@@ -1,0 +1,46 @@
+//! Fig. 6(a) as a Criterion bench: the two analytics execution paths on
+//! identical (small-scale) workloads. The `figures` binary runs the
+//! paper-scale version; this bench tracks regressions in the path costs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use neurdb_core::{run_neurdb, run_pgp, AnalyticsWorkload, RowSource};
+use neurdb_engine::AiEngine;
+use std::hint::black_box;
+
+fn bench_paths(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6a_paths");
+    g.sample_size(10);
+    for workload in [AnalyticsWorkload::Ecommerce, AnalyticsWorkload::Healthcare] {
+        let src = RowSource {
+            workload,
+            cluster: 0,
+            n_batches: 8,
+            batch_size: 256,
+            seed: 5,
+        };
+        g.bench_with_input(
+            BenchmarkId::new("neurdb_streaming", workload.label()),
+            &src,
+            |b, src| {
+                b.iter(|| {
+                    let engine = AiEngine::new();
+                    black_box(run_neurdb(&engine, workload, src.clone(), 8, 5e-3).samples)
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("pgp_export", workload.label()),
+            &src,
+            |b, src| {
+                b.iter(|| {
+                    let engine = AiEngine::new();
+                    black_box(run_pgp(&engine, workload, src.clone(), 5e-3).samples)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_paths);
+criterion_main!(benches);

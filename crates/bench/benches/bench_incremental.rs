@@ -1,0 +1,90 @@
+//! Ablation 2 (DESIGN.md §5): incremental update depth. Varies the frozen
+//! prefix of the fine-tuned ArmNet — 0 frozen layers is full retraining,
+//! `n-1` is head-only tuning — measuring adaptation wall-clock. Also
+//! benches model (dis)assembly through the layered model storage.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use neurdb_core::{build_batches, AnalyticsWorkload};
+use neurdb_engine::streaming::{stream_from_source, Handshake, StreamParams};
+use neurdb_engine::AiEngine;
+use neurdb_nn::{armnet_spec, LossKind};
+use std::hint::black_box;
+
+fn setup(engine: &AiEngine) -> neurdb_engine::Mid {
+    let cfg = AnalyticsWorkload::Ecommerce.config();
+    let batches = build_batches(AnalyticsWorkload::Ecommerce, 0, 8, 256, 1);
+    let hs = Handshake {
+        model_descriptor: "bench".into(),
+        params: StreamParams {
+            batch_size: 256,
+            window: 8,
+        },
+    };
+    let (rx, h) = stream_from_source(&hs, batches.into_iter());
+    let out = engine.train_streaming(armnet_spec(&cfg), LossKind::Mse, 5e-3, rx);
+    h.join().unwrap();
+    out.mid
+}
+
+fn bench_frozen_prefix(c: &mut Criterion) {
+    let engine = AiEngine::new();
+    let mid = setup(&engine);
+    let n_layers = armnet_spec(&AnalyticsWorkload::Ecommerce.config()).len();
+    let mut g = c.benchmark_group("finetune_frozen_prefix");
+    g.sample_size(10);
+    for frozen in [0usize, 2, n_layers - 1] {
+        g.bench_with_input(BenchmarkId::from_parameter(frozen), &frozen, |b, &f| {
+            b.iter(|| {
+                let batches = build_batches(AnalyticsWorkload::Ecommerce, 1, 4, 256, 2);
+                let hs = Handshake {
+                    model_descriptor: "ft".into(),
+                    params: StreamParams {
+                        batch_size: 256,
+                        window: 8,
+                    },
+                };
+                let (rx, h) = stream_from_source(&hs, batches.into_iter());
+                let out = engine
+                    .finetune_streaming(mid, LossKind::Mse, 5e-3, f, rx)
+                    .unwrap();
+                h.join().unwrap();
+                black_box(out.version)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_model_assembly(c: &mut Criterion) {
+    let engine = AiEngine::new();
+    let mid = setup(&engine);
+    // Create 10 incremental versions so assembly walks the layer table.
+    for _ in 0..10 {
+        let batches = build_batches(AnalyticsWorkload::Ecommerce, 0, 1, 128, 3);
+        let hs = Handshake {
+            model_descriptor: "v".into(),
+            params: StreamParams {
+                batch_size: 128,
+                window: 4,
+            },
+        };
+        let (rx, h) = stream_from_source(&hs, batches.into_iter());
+        engine
+            .finetune_streaming(mid, LossKind::Mse, 5e-3, 6, rx)
+            .unwrap();
+        h.join().unwrap();
+    }
+    c.bench_function("materialize_latest_of_11_versions", |b| {
+        b.iter(|| black_box(engine.models.materialize_latest(mid).unwrap().num_layers()))
+    });
+    let report = engine.models.storage_report();
+    println!(
+        "\n[storage] {} versions, {} layer rows, {:.1}% saved vs naive",
+        report.versions,
+        report.layer_rows,
+        100.0 * report.savings()
+    );
+}
+
+criterion_group!(benches, bench_frozen_prefix, bench_model_assembly);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Micro-benchmarks of the NN substrate: matmul, ArmNet forward/backward,
+//! attention, tree encoding — the compute side of every analytics figure.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use neurdb_nn::{
+    armnet_spec, ArmNetConfig, LossKind, Matrix, Model, MultiHeadAttention, OptimConfig, Trainer,
+    TreeEncoder, TreeNode, Layer,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let a = Matrix::xavier(128, 128, &mut rng);
+    let b = Matrix::xavier(128, 128, &mut rng);
+    c.bench_function("matmul_128", |bch| bch.iter(|| black_box(a.matmul(&b))));
+    c.bench_function("matmul_t_128", |bch| bch.iter(|| black_box(a.matmul_t(&b))));
+}
+
+fn bench_armnet(c: &mut Criterion) {
+    let cfg = ArmNetConfig {
+        nfields: 22,
+        vocab: 2048,
+        embed_dim: 8,
+        hidden: 32,
+        outputs: 1,
+    };
+    let mut rng = StdRng::seed_from_u64(2);
+    let model = Model::from_spec(armnet_spec(&cfg), &mut rng);
+    let mut trainer = Trainer::new(model, LossKind::Mse, OptimConfig::default());
+    let x = Matrix::from_vec(
+        256,
+        22,
+        (0..256 * 22).map(|i| (i % 2048) as f32).collect(),
+    );
+    let y = Matrix::from_vec(256, 1, (0..256).map(|i| (i % 2) as f32).collect());
+    c.bench_function("armnet_train_batch_256", |b| {
+        b.iter(|| black_box(trainer.train_batch(&x, &y)))
+    });
+    c.bench_function("armnet_forward_256", |b| {
+        b.iter(|| black_box(trainer.predict(&x).mean()))
+    });
+}
+
+fn bench_attention(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut mha = MultiHeadAttention::new(32, 4, &mut rng);
+    let x = Matrix::xavier(16, 32, &mut rng);
+    c.bench_function("mha_forward_16x32", |b| b.iter(|| black_box(mha.forward(&x))));
+}
+
+fn bench_tree_encoder(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let enc = TreeEncoder::new(8, 16, &mut rng);
+    // Left-deep 8-table plan tree.
+    let mut tree = TreeNode::leaf(vec![0.5; 8]);
+    for i in 0..7 {
+        tree = TreeNode::inner(
+            vec![i as f32 / 7.0; 8],
+            vec![tree, TreeNode::leaf(vec![0.25; 8])],
+        );
+    }
+    c.bench_function("tree_encode_8way_plan", |b| {
+        b.iter(|| black_box(enc.encode(&tree).0[0]))
+    });
+}
+
+criterion_group!(benches, bench_matmul, bench_armnet, bench_attention, bench_tree_encoder);
+criterion_main!(benches);

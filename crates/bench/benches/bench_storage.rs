@@ -1,0 +1,115 @@
+//! Micro-benchmarks of the storage substrate: slotted-page ops, tuple
+//! codec, B-tree, buffer pool.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use neurdb_storage::{
+    BTreeIndex, BufferPool, DiskManager, Page, RecordId, Tuple, Value,
+};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_page(c: &mut Criterion) {
+    let mut g = c.benchmark_group("page");
+    g.bench_function("insert_100b", |b| {
+        let payload = vec![7u8; 100];
+        b.iter_batched(
+            Page::new,
+            |mut p| {
+                while p.insert(black_box(&payload)).is_ok() {}
+                p
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("get", |b| {
+        let mut p = Page::new();
+        let slot = p.insert(&vec![7u8; 100]).unwrap();
+        b.iter(|| black_box(p.get(black_box(slot)).unwrap().len()))
+    });
+    g.finish();
+}
+
+fn bench_tuple(c: &mut Criterion) {
+    use neurdb_storage::DataType;
+    let types = vec![
+        DataType::Int,
+        DataType::Float,
+        DataType::Text,
+        DataType::Bool,
+    ];
+    let t = Tuple::new(vec![
+        Value::Int(42),
+        Value::Float(0.5),
+        Value::Text("benchmark tuple".into()),
+        Value::Bool(true),
+    ]);
+    let enc = t.encode(&types).unwrap();
+    let mut g = c.benchmark_group("tuple");
+    g.bench_function("encode", |b| b.iter(|| black_box(t.encode(&types).unwrap())));
+    g.bench_function("decode", |b| {
+        b.iter(|| black_box(Tuple::decode(&enc, &types).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_btree(c: &mut Criterion) {
+    let mut g = c.benchmark_group("btree");
+    g.bench_function("insert_10k", |b| {
+        b.iter_batched(
+            BTreeIndex::new,
+            |mut t| {
+                for i in 0..10_000i64 {
+                    t.insert(Value::Int(i), RecordId::new(i as u64, 0));
+                }
+                t
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    let mut t = BTreeIndex::new();
+    for i in 0..100_000i64 {
+        t.insert(Value::Int(i), RecordId::new(i as u64, 0));
+    }
+    g.bench_function("point_lookup_100k", |b| {
+        b.iter(|| black_box(t.get(&Value::Int(black_box(77_777)))))
+    });
+    g.bench_function("range_1k_of_100k", |b| {
+        b.iter(|| {
+            black_box(
+                t.range(Some(&Value::Int(50_000)), Some(&Value::Int(50_999)))
+                    .len(),
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_buffer_pool(c: &mut Criterion) {
+    let mut g = c.benchmark_group("buffer_pool");
+    // Hot: working set fits.
+    let pool = BufferPool::new(Arc::new(DiskManager::new()), 64);
+    let ids: Vec<_> = (0..32).map(|_| pool.allocate_page().unwrap()).collect();
+    g.bench_function("hit_heavy_access", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let id = ids[i % ids.len()];
+            i += 1;
+            pool.with_page(id, |p| black_box(p.free_space())).unwrap()
+        })
+    });
+    // Cold: working set 4x the pool -> constant eviction.
+    let pool2 = BufferPool::new(Arc::new(DiskManager::new()), 16);
+    let ids2: Vec<_> = (0..64).map(|_| pool2.allocate_page().unwrap()).collect();
+    g.bench_function("eviction_heavy_access", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let id = ids2[i % ids2.len()];
+            i += 7; // stride defeats clock locality
+            pool2.with_page(id, |p| black_box(p.free_space())).unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_page, bench_tuple, bench_btree, bench_buffer_pool);
+criterion_main!(benches);

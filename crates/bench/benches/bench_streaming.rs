@@ -1,0 +1,50 @@
+//! Ablation 1 (DESIGN.md §5): the streaming window. Sweeps the window
+//! size of the data streaming protocol — window 1 degenerates to
+//! ping-pong batching; large windows buy full overlap at bounded memory.
+//! Also benches the raw wire codec.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use neurdb_core::{run_neurdb, AnalyticsWorkload, RowSource};
+use neurdb_engine::streaming::DataBatch;
+use neurdb_engine::AiEngine;
+use neurdb_nn::Matrix;
+use std::hint::black_box;
+
+fn bench_window_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("streaming_window");
+    g.sample_size(10);
+    let src = RowSource {
+        workload: AnalyticsWorkload::Ecommerce,
+        cluster: 0,
+        n_batches: 8,
+        batch_size: 256,
+        seed: 3,
+    };
+    for window in [1usize, 4, 16, 80] {
+        g.bench_with_input(BenchmarkId::from_parameter(window), &window, |b, &w| {
+            b.iter(|| {
+                let engine = AiEngine::new();
+                black_box(
+                    run_neurdb(&engine, AnalyticsWorkload::Ecommerce, src.clone(), w, 5e-3)
+                        .samples,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_wire_codec(c: &mut Criterion) {
+    let batch = DataBatch {
+        features: Matrix::from_vec(4096, 22, vec![1.0; 4096 * 22]),
+        targets: Matrix::from_vec(4096, 1, vec![0.5; 4096]),
+    };
+    let enc = batch.encode();
+    let mut g = c.benchmark_group("wire_codec_4096x22");
+    g.bench_function("encode", |b| b.iter(|| black_box(batch.encode().len())));
+    g.bench_function("decode", |b| b.iter(|| black_box(DataBatch::decode(&enc).rows())));
+    g.finish();
+}
+
+criterion_group!(benches, bench_window_sweep, bench_wire_codec);
+criterion_main!(benches);

@@ -1,0 +1,486 @@
+//! Regenerate every table and figure of the NeurDB paper's evaluation
+//! (Section 5). Each subcommand prints the same series the paper plots;
+//! EXPERIMENTS.md records the paper-vs-measured comparison.
+//!
+//! ```sh
+//! cargo run --release -p neurdb-bench --bin figures -- all
+//! cargo run --release -p neurdb-bench --bin figures -- fig6a
+//! ```
+//!
+//! Subcommands: `table1 fig6a fig6b fig6c fig7a fig7b fig8 all`.
+//! Scale-sensitive experiments accept `--quick` for a fast smoke run.
+
+use neurdb_cc::{
+    run_learned_adaptive, run_polyjuice_adaptive, AdaptConfig, LearnedCc, Phase, PolyjuiceCc,
+};
+use neurdb_core::{run_neurdb, run_pgp, AnalyticsWorkload, RowSource};
+use neurdb_engine::streaming::{stream_from_source, Handshake, StreamParams};
+use neurdb_engine::AiEngine;
+use neurdb_nn::{armnet_spec, LossKind};
+use neurdb_qo::{
+    latency_of, BaoOptimizer, CostBasedOptimizer, LeroOptimizer, NeurQo, Optimizer,
+    PretrainConfig,
+};
+use neurdb_sql::parse;
+use neurdb_txn::{run_workload, EngineConfig, Ssi, TxnEngine};
+use neurdb_workloads::{query_graph, stats_queries, DriftLevel, Tpcc, TpccConfig, Ycsb, YcsbConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let what = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(|s| s.as_str())
+        .unwrap_or("all");
+    match what {
+        "table1" => table1(),
+        "fig6a" => fig6a(quick),
+        "fig6b" => fig6b(quick),
+        "fig6c" => fig6c(quick),
+        "fig7a" => fig7a(quick),
+        "fig7b" => fig7b(quick),
+        "fig8" => fig8(quick),
+        "all" => {
+            table1();
+            fig6a(quick);
+            fig6b(quick);
+            fig6c(quick);
+            fig7a(quick);
+            fig7b(quick);
+            fig8(quick);
+        }
+        other => {
+            eprintln!(
+                "unknown figure '{other}'; use table1|fig6a|fig6b|fig6c|fig7a|fig7b|fig8|all"
+            );
+            std::process::exit(1);
+        }
+    }
+}
+
+fn header(title: &str) {
+    println!("\n==================================================================");
+    println!("{title}");
+    println!("==================================================================");
+}
+
+/// Table 1: the AI analytics statements of workloads E and H.
+fn table1() {
+    header("Table 1: Queries for AI Analytics Evaluations");
+    let queries = [
+        (
+            "E-Commerce (E)",
+            "PREDICT VALUE OF click_rate FROM avazu TRAIN ON *",
+        ),
+        (
+            "Healthcare (H)",
+            "PREDICT CLASS OF outcome FROM diabetes TRAIN ON *",
+        ),
+    ];
+    for (w, q) in queries {
+        parse(q).expect("Table 1 statement parses");
+        println!("{w:16} {q}   [parses OK]");
+    }
+}
+
+/// Fig. 6(a): end-to-end latency and training throughput, NeurDB vs
+/// PostgreSQL+P, workloads E and H.
+fn fig6a(quick: bool) {
+    header("Fig 6(a): End-to-end analytics performance (NeurDB vs PostgreSQL+P)");
+    let (n_batches, batch) = if quick { (10, 512) } else { (80, 4096) };
+    println!("({n_batches} batches x {batch} records, window 80)\n");
+    println!(
+        "{:10} {:>14} {:>14} {:>10} {:>16} {:>16} {:>9}",
+        "workload",
+        "neurdb lat(s)",
+        "pg+p lat(s)",
+        "lat drop",
+        "neurdb thr(s/s)",
+        "pg+p thr(s/s)",
+        "thr gain"
+    );
+    for w in [AnalyticsWorkload::Ecommerce, AnalyticsWorkload::Healthcare] {
+        let engine = AiEngine::new();
+        let src = RowSource {
+            workload: w,
+            cluster: 0,
+            n_batches,
+            batch_size: batch,
+            seed: 42,
+        };
+        let n = run_neurdb(&engine, w, src.clone(), 80, 5e-3);
+        let p = run_pgp(&engine, w, src, 5e-3);
+        println!(
+            "{:10} {:>14.3} {:>14.3} {:>9.1}% {:>16.0} {:>16.0} {:>8.2}x",
+            w.label(),
+            n.total_seconds,
+            p.total_seconds,
+            100.0 * (1.0 - n.total_seconds / p.total_seconds),
+            n.throughput(),
+            p.throughput(),
+            n.throughput() / p.throughput(),
+        );
+    }
+    println!("\npaper: E 41.3% lower latency / 1.96x throughput; H 48.6% / 2.92x");
+}
+
+/// Fig. 6(b): latency vs number of data batches (workload E).
+fn fig6b(quick: bool) {
+    header("Fig 6(b): Effects of data volume (workload E latency vs #batches)");
+    let sweep: &[usize] = if quick {
+        &[5, 10, 20]
+    } else {
+        &[20, 40, 80, 160, 320, 640]
+    };
+    let batch = if quick { 512 } else { 2048 };
+    println!("(batch size {batch}; paper uses 4096 — the series is volume scaling)\n");
+    println!(
+        "{:>10} {:>14} {:>14} {:>9}",
+        "#batches", "neurdb (s)", "pg+p (s)", "speedup"
+    );
+    for &n_batches in sweep {
+        let engine = AiEngine::new();
+        let src = RowSource {
+            workload: AnalyticsWorkload::Ecommerce,
+            cluster: 0,
+            n_batches,
+            batch_size: batch,
+            seed: 7,
+        };
+        let n = run_neurdb(&engine, AnalyticsWorkload::Ecommerce, src.clone(), 80, 5e-3);
+        let p = run_pgp(&engine, AnalyticsWorkload::Ecommerce, src, 5e-3);
+        println!(
+            "{:>10} {:>14.3} {:>14.3} {:>8.2}x",
+            n_batches,
+            n.total_seconds,
+            p.total_seconds,
+            p.total_seconds / n.total_seconds
+        );
+    }
+    println!("\npaper: NeurDB consistently below PostgreSQL+P across data volumes");
+}
+
+/// Fig. 6(c): training loss under cluster-switch drift, with vs without
+/// the incremental model update.
+fn fig6c(quick: bool) {
+    header("Fig 6(c): Loss under data drift (with vs without incremental update)");
+    let (batches_per_cluster, batch) = if quick { (6, 512) } else { (20, 4096) };
+    let switch_every = batches_per_cluster * batch;
+    println!(
+        "(clusters C1..C5, switching every {switch_every} samples; 'w/o' \
+         retrains from scratch at each drift, 'with' fine-tunes the trailing \
+         layers of the previous version — the paper's incremental update)\n"
+    );
+    let cfg = AnalyticsWorkload::Ecommerce.config();
+    let spec = armnet_spec(&cfg);
+    let hs = |b: usize| Handshake {
+        model_descriptor: "fig6c".into(),
+        params: StreamParams {
+            batch_size: b,
+            window: 80,
+        },
+    };
+    // Variant A: w/o incremental update — fresh model per cluster.
+    let engine_a = AiEngine::new();
+    let mut losses_a: Vec<f32> = Vec::new();
+    for cluster in 0..5 {
+        let src = RowSource {
+            workload: AnalyticsWorkload::Ecommerce,
+            cluster,
+            n_batches: batches_per_cluster,
+            batch_size: batch,
+            seed: 100 + cluster as u64,
+        };
+        let (rx, h) = stream_from_source(
+            &hs(batch),
+            (0..batches_per_cluster).map(move |i| src.wire_batch(i, &cfg)),
+        );
+        let out = engine_a.train_streaming(spec.clone(), LossKind::Mse, 5e-3, rx);
+        h.join().unwrap();
+        losses_a.extend(out.losses);
+    }
+    // Variant B: with incremental update — one model, fine-tuned at drift.
+    let engine_b = AiEngine::new();
+    let mut losses_b: Vec<f32> = Vec::new();
+    let mut mid = None;
+    for cluster in 0..5 {
+        let src = RowSource {
+            workload: AnalyticsWorkload::Ecommerce,
+            cluster,
+            n_batches: batches_per_cluster,
+            batch_size: batch,
+            seed: 100 + cluster as u64,
+        };
+        let (rx, h) = stream_from_source(
+            &hs(batch),
+            (0..batches_per_cluster).map(move |i| src.wire_batch(i, &cfg)),
+        );
+        let out = match mid {
+            None => engine_b.train_streaming(spec.clone(), LossKind::Mse, 5e-3, rx),
+            Some(m) => engine_b
+                .finetune_streaming(m, LossKind::Mse, 5e-3, 2, rx)
+                .expect("finetune"),
+        };
+        h.join().unwrap();
+        mid = Some(out.mid);
+        losses_b.extend(out.losses);
+    }
+    println!(
+        "{:>12} {:>22} {:>22}",
+        "samples", "loss w/o inc. update", "loss with inc. update"
+    );
+    for (i, (a, b)) in losses_a.iter().zip(losses_b.iter()).enumerate() {
+        if i % (batches_per_cluster / 2).max(1) == 0 || (i % batches_per_cluster) < 2 {
+            println!("{:>12} {:>22.4} {:>22.4}", (i + 1) * batch, a, b);
+        }
+    }
+    // Post-drift summary: mean loss over the 2 batches after each switch.
+    let mut spike_a = 0.0;
+    let mut spike_b = 0.0;
+    for c in 1..5 {
+        let at = c * batches_per_cluster;
+        spike_a += (losses_a[at] + losses_a[at + 1]) / 2.0;
+        spike_b += (losses_b[at] + losses_b[at + 1]) / 2.0;
+    }
+    println!(
+        "\nmean post-drift loss (first 2 batches after each switch): \
+         w/o {:.4} vs with {:.4}",
+        spike_a / 4.0,
+        spike_b / 4.0
+    );
+    println!("paper: incremental updates yield lower loss at each drift and faster convergence");
+}
+
+/// Fig. 7(a): YCSB transaction throughput, NeurDB learned CC vs
+/// PostgreSQL's SSI, at 4 and 16 threads.
+fn fig7a(quick: bool) {
+    header("Fig 7(a): Learned CC vs PostgreSQL (SSI) on YCSB");
+    let records = if quick { 50_000 } else { 1_000_000 };
+    let dur = Duration::from_millis(if quick { 300 } else { 2000 });
+    // The paper's micro-benchmark spec gives no skew; moderate zipf(0.5)
+    // reproduces its contention regime (its 1.44x gain implies SSI is not
+    // in abort collapse — see EXPERIMENTS.md).
+    let theta = 0.5;
+    println!("({records} records, 5 selects + 5 updates per txn, zipfian {theta})\n");
+    println!(
+        "{:>8} {:>18} {:>18} {:>7}",
+        "threads", "postgres(ssi) t/s", "neurdb(cc) t/s", "gain"
+    );
+    for threads in [4usize, 16] {
+        let ycsb = Arc::new(Ycsb::new(YcsbConfig {
+            records,
+            theta,
+            ..Default::default()
+        }));
+        let mut results = Vec::new();
+        for learned in [false, true] {
+            let engine = if learned {
+                Arc::new(TxnEngine::new(
+                    Arc::new(LearnedCc::seeded()),
+                    EngineConfig::default(),
+                ))
+            } else {
+                Arc::new(TxnEngine::new(Arc::new(Ssi), EngineConfig::default()))
+            };
+            ycsb.load(&engine);
+            let y = ycsb.clone();
+            let stats = run_workload(&engine, threads, dur, move |tid, seq| {
+                y.transaction_for(tid, seq)
+            });
+            results.push(stats.throughput());
+        }
+        println!(
+            "{:>8} {:>18.0} {:>18.0} {:>6.2}x",
+            threads,
+            results[0],
+            results[1],
+            results[1] / results[0]
+        );
+    }
+    println!("\npaper: NeurDB up to 1.44x higher throughput than PostgreSQL");
+}
+
+/// Fig. 7(b): throughput timeline under TPC-C drift, NeurDB(CC) vs
+/// Polyjuice.
+fn fig7b(quick: bool) {
+    header("Fig 7(b): Throughput under workload drift (NeurDB(CC) vs Polyjuice)");
+    let slice = Duration::from_millis(if quick { 100 } else { 400 });
+    let slices = if quick { 3 } else { 6 };
+    println!(
+        "(phases: 8thr/1wh -> 8thr/2wh -> 16thr/1wh, {slices} slices of {slice:?} each)\n"
+    );
+    // Shared generators; the warehouse count changes per phase.
+    let make_phases = |slices: usize| -> Vec<Phase> {
+        let one = Arc::new(Tpcc::new(TpccConfig {
+            warehouses: 1,
+            ..Default::default()
+        }));
+        let two = Arc::new(Tpcc::new(TpccConfig {
+            warehouses: 2,
+            ..Default::default()
+        }));
+        let g1 = {
+            let t = one.clone();
+            Arc::new(move |tid: usize, seq: u64| t.transaction_for(tid, seq)) as neurdb_cc::TxnGen
+        };
+        let g2 = {
+            let t = two.clone();
+            Arc::new(move |tid: usize, seq: u64| t.transaction_for(tid, seq)) as neurdb_cc::TxnGen
+        };
+        let g3 = {
+            let t = one;
+            Arc::new(move |tid: usize, seq: u64| t.transaction_for(tid, seq)) as neurdb_cc::TxnGen
+        };
+        vec![
+            Phase {
+                label: "8 threads / 1 warehouse".into(),
+                threads: 8,
+                slices,
+                gen: g1,
+            },
+            Phase {
+                label: "8 threads / 2 warehouses".into(),
+                threads: 8,
+                slices,
+                gen: g2,
+            },
+            Phase {
+                label: "16 threads / 1 warehouse".into(),
+                threads: 16,
+                slices,
+                gen: g3,
+            },
+        ]
+    };
+    let load = |engine: &Arc<TxnEngine>| {
+        Tpcc::new(TpccConfig {
+            warehouses: 2,
+            ..Default::default()
+        })
+        .load(engine);
+    };
+    // NeurDB(CC).
+    let policy = Arc::new(LearnedCc::seeded());
+    let engine = Arc::new(TxnEngine::new(policy.clone(), EngineConfig::default()));
+    load(&engine);
+    let tl_neurdb = run_learned_adaptive(
+        &engine,
+        &policy,
+        &make_phases(slices),
+        slice,
+        AdaptConfig {
+            candidates: 4,
+            refine_iters: 4,
+            ..Default::default()
+        },
+        1,
+    );
+    // Polyjuice.
+    let pj = Arc::new(PolyjuiceCc::default_policy());
+    let engine2 = Arc::new(TxnEngine::new(pj.clone(), EngineConfig::default()));
+    load(&engine2);
+    let tl_pj = run_polyjuice_adaptive(&engine2, &pj, &make_phases(slices), slice, 2);
+    println!("NeurDB(CC) timeline:");
+    for p in &tl_neurdb {
+        println!(
+            "  t={:>7.2}s {:>10.0} txn/s{}",
+            p.t,
+            p.throughput,
+            if p.adapted { "  [adapted]" } else { "" }
+        );
+    }
+    println!("Polyjuice timeline:");
+    for p in &tl_pj {
+        println!(
+            "  t={:>7.2}s {:>10.0} txn/s{}",
+            p.t,
+            p.throughput,
+            if p.adapted { "  [adapted]" } else { "" }
+        );
+    }
+    // Steady-state comparison over the final phase.
+    let tail = |tl: &[neurdb_cc::TimelinePoint]| -> f64 {
+        let n = tl.len();
+        tl[n - slices..].iter().map(|p| p.throughput).sum::<f64>() / slices as f64
+    };
+    println!(
+        "\nfinal-phase mean throughput: NeurDB(CC) {:.0} vs Polyjuice {:.0} ({:.2}x)",
+        tail(&tl_neurdb),
+        tail(&tl_pj),
+        tail(&tl_neurdb) / tail(&tl_pj)
+    );
+    println!("paper: NeurDB(CC) adapts quickly to drift, up to 2.05x over Polyjuice");
+}
+
+/// Fig. 8: per-query latency of the 8 STATS SPJ queries under drift, for
+/// PostgreSQL, Bao, Lero, and NeurDB.
+fn fig8(quick: bool) {
+    header("Fig 8: Learned query optimizers on STATS under drift");
+    let iters = if quick { 80 } else { 600 };
+    // Train the learned baselines on the original distribution; they stay
+    // frozen afterwards ("stable models", as the paper runs them).
+    let training: Vec<_> = stats_queries()
+        .iter()
+        .map(|q| query_graph(q, DriftLevel::Original, 0))
+        .collect();
+    let mut bao = BaoOptimizer::train(&training, if quick { 10 } else { 40 }, 1);
+    let mut lero = LeroOptimizer::train(&training, if quick { 5 } else { 25 }, 2);
+    let (mut neur, _) = NeurQo::pretrained_for(
+        &training,
+        PretrainConfig {
+            iters,
+            tables: 5,
+            candidates: 6,
+        },
+        3,
+    );
+    let mut pg = CostBasedOptimizer;
+    println!(
+        "\n{:<22} {:>3} {:>14} {:>14} {:>14} {:>14}",
+        "workload", "q#", "postgresql", "bao", "lero", "neurdb"
+    );
+    let mut totals = [0.0f64; 4];
+    for level in [DriftLevel::Original, DriftLevel::Mild, DriftLevel::Severe] {
+        for q in stats_queries() {
+            let g = query_graph(&q, level, 777);
+            let lat: Vec<f64> = {
+                let mut v = Vec::with_capacity(4);
+                for opt in [
+                    &mut pg as &mut dyn Optimizer,
+                    &mut bao,
+                    &mut lero,
+                    &mut neur,
+                ] {
+                    v.push(latency_of(&opt.choose_plan(&g), &g));
+                }
+                v
+            };
+            for (t, l) in totals.iter_mut().zip(lat.iter()) {
+                *t += l;
+            }
+            println!(
+                "{:<22} {:>3} {:>14.0} {:>14.0} {:>14.0} {:>14.0}",
+                level.label(),
+                q.id,
+                lat[0],
+                lat[1],
+                lat[2],
+                lat[3]
+            );
+        }
+    }
+    println!(
+        "\ntotal simulated latency: postgresql {:.0}, bao {:.0}, lero {:.0}, neurdb {:.0}",
+        totals[0], totals[1], totals[2], totals[3]
+    );
+    for (i, name) in ["postgresql", "bao", "lero"].iter().enumerate() {
+        println!(
+            "neurdb vs {name}: {:+.1}% total latency",
+            100.0 * (totals[3] / totals[i] - 1.0)
+        );
+    }
+    println!("paper: NeurDB up to 20.32% lower average latency across the evaluated queries");
+}

@@ -1,0 +1,6 @@
+//! # neurdb-bench
+//!
+//! Benchmark harness for NeurDB-RS. The `figures` binary regenerates every
+//! table and figure of the paper's evaluation; the Criterion benches under
+//! `benches/` provide micro-level measurements and the ablations called
+//! out in DESIGN.md §5.

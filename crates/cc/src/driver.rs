@@ -1,0 +1,232 @@
+//! Self-adaptive CC drivers: close the loop between the workload, the
+//! performance monitor, and model adaptation.
+//!
+//! This is the harness behind Fig. 7(b): a workload runs in *phases*
+//! (8 threads/1 warehouse → 8 threads/2 warehouses → 16 threads/1
+//! warehouse); each driver samples throughput per slice, detects drops via
+//! the drift monitor, and runs its own adaptation machinery — NeurDB(CC)'s
+//! two-phase filter/refine vs Polyjuice's evolutionary generations.
+
+use crate::adapt::{AdaptConfig, TwoPhaseAdapter};
+use crate::model::LearnedCc;
+use crate::polyjuice::{PolyjuiceCc, PolyjuiceTrainer};
+use neurdb_engine::{Adaptation, MonitorConfig, ThroughputMonitor};
+use neurdb_txn::{run_workload, TxnEngine, TxnSpec};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A generator of transactions: `(thread_id, seq) -> TxnSpec`.
+pub type TxnGen = Arc<dyn Fn(usize, u64) -> TxnSpec + Send + Sync>;
+
+/// One workload phase.
+#[derive(Clone)]
+pub struct Phase {
+    pub label: String,
+    pub threads: usize,
+    /// Number of measurement slices in this phase.
+    pub slices: usize,
+    pub gen: TxnGen,
+}
+
+/// One throughput sample on the experiment timeline.
+#[derive(Debug, Clone, Copy)]
+pub struct TimelinePoint {
+    /// Seconds since the experiment started.
+    pub t: f64,
+    pub throughput: f64,
+    /// Whether an adaptation ran during this slice.
+    pub adapted: bool,
+}
+
+/// Run phases with the **learned** CC: monitor-triggered two-phase
+/// adaptation, evaluating candidates on short live slices (the paper's
+/// "evaluate them over a specific timeframe").
+#[allow(clippy::too_many_arguments)]
+pub fn run_learned_adaptive(
+    engine: &Arc<TxnEngine>,
+    policy: &Arc<LearnedCc>,
+    phases: &[Phase],
+    slice: Duration,
+    adapt_cfg: AdaptConfig,
+    seed: u64,
+) -> Vec<TimelinePoint> {
+    let mut adapter = TwoPhaseAdapter::new(adapt_cfg, seed);
+    let mut monitor = ThroughputMonitor::new(MonitorConfig {
+        window: 3,
+        finetune_ratio: 1.35,
+        retrain_ratio: 3.0,
+        cooldown: 2,
+    });
+    let mut timeline = Vec::new();
+    let mut t = 0.0;
+    let eval_slice = slice / 4;
+    for phase in phases {
+        for _ in 0..phase.slices {
+            let stats = run_workload(engine, phase.threads, slice, {
+                let g = phase.gen.clone();
+                move |tid, seq| g(tid, seq)
+            });
+            t += stats.seconds;
+            let mut adapted = false;
+            if monitor.observe(stats.throughput()) != Adaptation::None {
+                adapted = true;
+                adapter.observe(policy.params(), stats.throughput());
+                let threads = phase.threads;
+                let gen = phase.gen.clone();
+                let engine2 = engine.clone();
+                let policy2 = policy.clone();
+                let (best, _) = adapter.adapt(move |params| {
+                    policy2.set_params(params.clone());
+                    let g = gen.clone();
+                    let s = run_workload(&engine2, threads, eval_slice, move |tid, seq| {
+                        g(tid, seq)
+                    });
+                    s.throughput()
+                });
+                policy.set_params(best);
+                // Adaptation time counts against the timeline (candidates
+                // ran live traffic, so it is not dead time, but we stamp
+                // the elapsed evaluation wall-clock).
+                let evals = (adapt_cfg.candidates + 1 + adapt_cfg.refine_iters) as f64;
+                t += evals * eval_slice.as_secs_f64();
+            }
+            timeline.push(TimelinePoint {
+                t,
+                throughput: stats.throughput(),
+                adapted,
+            });
+        }
+    }
+    timeline
+}
+
+/// Run phases with the **Polyjuice** baseline: monitor-triggered EA
+/// generations. Each generation must evaluate its whole population on live
+/// slices, and the policy-table features (txn type, op index) do not see
+/// the drift, so recovery is slower — the behaviour Fig. 7(b) shows.
+pub fn run_polyjuice_adaptive(
+    engine: &Arc<TxnEngine>,
+    policy: &Arc<PolyjuiceCc>,
+    phases: &[Phase],
+    slice: Duration,
+    seed: u64,
+) -> Vec<TimelinePoint> {
+    let mut trainer = PolyjuiceTrainer::new(policy.table(), seed);
+    let mut monitor = ThroughputMonitor::new(MonitorConfig {
+        window: 3,
+        finetune_ratio: 1.35,
+        retrain_ratio: 3.0,
+        cooldown: 2,
+    });
+    let mut timeline = Vec::new();
+    let mut t = 0.0;
+    let eval_slice = slice / 4;
+    for phase in phases {
+        for _ in 0..phase.slices {
+            let stats = run_workload(engine, phase.threads, slice, {
+                let g = phase.gen.clone();
+                move |tid, seq| g(tid, seq)
+            });
+            t += stats.seconds;
+            let mut adapted = false;
+            if monitor.observe(stats.throughput()) != Adaptation::None {
+                adapted = true;
+                // EA: two generations per trigger (population re-evaluated
+                // each time) — Polyjuice's heavier adaptation loop.
+                for _ in 0..2 {
+                    let threads = phase.threads;
+                    let gen = phase.gen.clone();
+                    let engine2 = engine.clone();
+                    let policy2 = policy.clone();
+                    let (best, _) = trainer.generation(move |table| {
+                        policy2.set_table(table.clone());
+                        let g = gen.clone();
+                        let s = run_workload(&engine2, threads, eval_slice, move |tid, seq| {
+                            g(tid, seq)
+                        });
+                        s.throughput()
+                    });
+                    policy.set_table(best);
+                    t += (trainer.population as f64) * eval_slice.as_secs_f64();
+                }
+            }
+            timeline.push(TimelinePoint {
+                t,
+                throughput: stats.throughput(),
+                adapted,
+            });
+        }
+    }
+    timeline
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neurdb_txn::{EngineConfig, Op};
+
+    fn zipf_like_gen(keys: u64, hot_frac: f64) -> TxnGen {
+        Arc::new(move |tid, seq| {
+            let h = (tid as u64).wrapping_mul(0x9E3779B97F4A7C15) ^ seq.wrapping_mul(0xBF58476D1CE4E5B9);
+            let hot = (h % 100) as f64 / 100.0 < hot_frac;
+            let span = if hot { keys / 100 + 1 } else { keys };
+            let base = h % span;
+            TxnSpec::new(
+                0,
+                vec![
+                    Op::Read(base % keys),
+                    Op::Read((base + 7) % keys),
+                    Op::Rmw((base + 3) % keys, 1),
+                ],
+            )
+        })
+    }
+
+    #[test]
+    fn learned_driver_produces_timeline() {
+        let policy = Arc::new(LearnedCc::seeded());
+        let engine = Arc::new(TxnEngine::new(policy.clone(), EngineConfig::default()));
+        for k in 0..1000 {
+            engine.load(k, 0);
+        }
+        let phases = vec![Phase {
+            label: "steady".into(),
+            threads: 2,
+            slices: 3,
+            gen: zipf_like_gen(1000, 0.1),
+        }];
+        let tl = run_learned_adaptive(
+            &engine,
+            &policy,
+            &phases,
+            Duration::from_millis(30),
+            AdaptConfig {
+                candidates: 2,
+                refine_iters: 2,
+                ..Default::default()
+            },
+            1,
+        );
+        assert_eq!(tl.len(), 3);
+        assert!(tl.iter().all(|p| p.throughput > 0.0));
+        assert!(tl.windows(2).all(|w| w[0].t < w[1].t));
+    }
+
+    #[test]
+    fn polyjuice_driver_produces_timeline() {
+        let policy = Arc::new(PolyjuiceCc::default_policy());
+        let engine = Arc::new(TxnEngine::new(policy.clone(), EngineConfig::default()));
+        for k in 0..1000 {
+            engine.load(k, 0);
+        }
+        let phases = vec![Phase {
+            label: "steady".into(),
+            threads: 2,
+            slices: 2,
+            gen: zipf_like_gen(1000, 0.1),
+        }];
+        let tl = run_polyjuice_adaptive(&engine, &policy, &phases, Duration::from_millis(30), 2);
+        assert_eq!(tl.len(), 2);
+        assert!(tl.iter().all(|p| p.throughput > 0.0));
+    }
+}

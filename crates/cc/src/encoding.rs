@@ -1,0 +1,97 @@
+//! Fast contention-state encoding (paper Section 4.2).
+//!
+//! "We first develop a fast encoding technique to significantly reduce the
+//! dimension of contention state representation" — the raw state (per-key
+//! conflict info + transaction context) is compressed to a fixed
+//! [`ENCODING_DIM`]-dimensional vector of log-scaled, bounded features so
+//! the decision model can run in nanoseconds on the transaction's critical
+//! path.
+
+use neurdb_txn::OpCtx;
+
+/// Dimension of the encoded contention state.
+pub const ENCODING_DIM: usize = 8;
+
+/// Squash a non-negative count into [0, 1) with log scaling.
+#[inline]
+fn squash(x: f32) -> f32 {
+    let l = (1.0 + x.max(0.0)).ln();
+    l / (1.0 + l)
+}
+
+/// Encode the contention state of one operation.
+#[inline]
+pub fn encode(ctx: &OpCtx) -> [f32; ENCODING_DIM] {
+    let c = &ctx.contention;
+    let progress = if ctx.txn_len_hint == 0 {
+        0.0
+    } else {
+        (ctx.ops_done as f32 / ctx.txn_len_hint as f32).min(1.0)
+    };
+    [
+        squash(c.recent_reads),
+        squash(c.recent_writes),
+        squash(c.recent_aborts),
+        if c.write_locked { 1.0 } else { 0.0 },
+        squash(c.hotness()),
+        progress,
+        squash(ctx.txn_len_hint as f32),
+        1.0, // bias feature
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neurdb_txn::KeyContention;
+
+    fn ctx(reads: f32, writes: f32, aborts: f32, locked: bool) -> OpCtx {
+        OpCtx {
+            key: 0,
+            ops_done: 3,
+            txn_len_hint: 10,
+            txn_type: 0,
+            contention: KeyContention {
+                recent_reads: reads,
+                recent_writes: writes,
+                recent_aborts: aborts,
+                write_locked: locked,
+            },
+        }
+    }
+
+    #[test]
+    fn features_bounded() {
+        let huge = ctx(1e9, 1e9, 1e9, true);
+        for f in encode(&huge) {
+            assert!((0.0..=1.0).contains(&f), "feature {f} out of bounds");
+        }
+    }
+
+    #[test]
+    fn monotone_in_contention() {
+        let cold = encode(&ctx(0.0, 0.0, 0.0, false));
+        let hot = encode(&ctx(100.0, 100.0, 50.0, true));
+        assert!(hot[0] > cold[0]);
+        assert!(hot[1] > cold[1]);
+        assert!(hot[2] > cold[2]);
+        assert!(hot[3] > cold[3]);
+        assert!(hot[4] > cold[4]);
+    }
+
+    #[test]
+    fn progress_feature() {
+        let mut c = ctx(0.0, 0.0, 0.0, false);
+        c.ops_done = 0;
+        assert_eq!(encode(&c)[5], 0.0);
+        c.ops_done = 10;
+        assert_eq!(encode(&c)[5], 1.0);
+        c.ops_done = 99;
+        assert_eq!(encode(&c)[5], 1.0, "clamped");
+    }
+
+    #[test]
+    fn bias_always_one() {
+        assert_eq!(encode(&ctx(5.0, 1.0, 0.0, false))[7], 1.0);
+    }
+}

@@ -1,0 +1,44 @@
+//! # neurdb-cc
+//!
+//! The fast-adaptive **learned concurrency control** of NeurDB-RS (paper
+//! Section 4.2, Fig. 4): a compressed ("flattened") decision model over a
+//! fast low-dimensional encoding of the contention state assigns each
+//! operation a CC action (optimistic read/write, locking read/write, or
+//! immediate abort); a two-phase adaptation loop — Bayesian-optimization
+//! *filtering* then reward-feedback *refinement* — re-tunes the model when
+//! the performance monitor detects workload drift. A Polyjuice-style
+//! baseline (static per-transaction-type policy table with evolutionary
+//! training) is included for the Fig. 7(b) comparison.
+//!
+//! ```
+//! use neurdb_cc::LearnedCc;
+//! use neurdb_txn::{TxnEngine, EngineConfig};
+//! use std::sync::Arc;
+//!
+//! let policy = Arc::new(LearnedCc::seeded());
+//! let engine = TxnEngine::new(policy.clone(), EngineConfig::default());
+//! engine.load(1, 10);
+//! let mut txn = engine.begin_with_hint(2);
+//! let v = engine.read(&mut txn, 1).unwrap();
+//! engine.write(&mut txn, 1, v * 2).unwrap();
+//! engine.commit(txn).unwrap();
+//! assert_eq!(engine.peek(1), Some(20));
+//! ```
+
+pub mod adapt;
+pub mod driver;
+pub mod encoding;
+pub mod model;
+pub mod polyjuice;
+
+pub use adapt::{AdaptConfig, Observation, TwoPhaseAdapter};
+pub use driver::{run_learned_adaptive, run_polyjuice_adaptive, Phase, TimelinePoint, TxnGen};
+pub use encoding::{encode, ENCODING_DIM};
+pub use model::{
+    perturb_params, random_params, seed_params, LearnedCc, Params, PARAM_COUNT, READ_ACTIONS,
+    WRITE_ACTIONS,
+};
+pub use polyjuice::{
+    crossover_table, mutate_table, random_table, ActionEntry, PolicyTable, PolyjuiceCc,
+    PolyjuiceTrainer, MAX_OPS, MAX_TYPES,
+};

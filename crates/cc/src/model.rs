@@ -1,0 +1,248 @@
+//! The compressed decision model `F` of the learned concurrency control
+//! (paper Section 4.2, Fig. 4).
+//!
+//! "We compress the model with a flattened layer to improve inference
+//! efficiency": the model is a single linear layer over the encoded
+//! contention state producing logits for the three read actions
+//! {snapshot, lock, abort} and three write actions {buffer, lock, abort};
+//! argmax picks the action. Parameters live in a flat `Vec<f32>` (the
+//! *genome* the two-phase adaptation evolves) behind an `RwLock` so the
+//! policy can be hot-swapped while worker threads run.
+
+use crate::encoding::{encode, ENCODING_DIM};
+use neurdb_txn::{CcPolicy, OpCtx, ReadDecision, ReadMode, WriteDecision, WriteMode};
+use parking_lot::RwLock;
+use rand::Rng;
+
+/// Read actions, in logit order.
+pub const READ_ACTIONS: usize = 3; // snapshot, lock-shared, abort
+/// Write actions, in logit order.
+pub const WRITE_ACTIONS: usize = 3; // buffer, lock-exclusive, abort
+
+/// Total parameter count of the decision model.
+pub const PARAM_COUNT: usize = ENCODING_DIM * (READ_ACTIONS + WRITE_ACTIONS);
+
+/// Flat parameter vector (the adaptation search space).
+pub type Params = Vec<f32>;
+
+/// A sensible hand-initialized starting point: optimistic on cold keys,
+/// pessimistic on write-locked keys, abort on very hot keys. The
+/// *filtering* phase of adaptation starts its search here.
+pub fn seed_params() -> Params {
+    let mut p = vec![0.0f32; PARAM_COUNT];
+    // Feature layout (see encoding.rs):
+    // 0 reads, 1 writes, 2 aborts, 3 locked, 4 hotness, 5 progress, 6 len, 7 bias
+    // Read logits: [snapshot, lock, abort] each ENCODING_DIM weights.
+    let read = |a: usize, f: usize| a * ENCODING_DIM + f;
+    let write = |a: usize, f: usize| (READ_ACTIONS + a) * ENCODING_DIM + f;
+    // Snapshot read: favored by default (bias), disfavored when locked.
+    p[read(0, 7)] = 1.0;
+    p[read(0, 3)] = -0.5;
+    // Locking read: favored when the key is write-locked or write-hot.
+    p[read(1, 3)] = 1.0;
+    p[read(1, 1)] = 0.8;
+    // Read-abort: only under extreme abort rates.
+    p[read(2, 2)] = 1.2;
+    p[read(2, 7)] = -1.5;
+    // Buffered (optimistic) write: default.
+    p[write(0, 7)] = 1.0;
+    p[write(0, 1)] = -0.6;
+    // Locking write: favored on write-hot or locked keys, and early in
+    // long transactions (cheap to wait now, expensive to abort later) —
+    // but not when the key is an abort storm (locking just queues doomed
+    // work there).
+    p[write(1, 1)] = 1.0;
+    p[write(1, 3)] = 0.8;
+    p[write(1, 6)] = 0.3;
+    p[write(1, 2)] = -1.0;
+    // Write-abort: when aborts are rampant and we are early in the txn.
+    p[write(2, 2)] = 3.0;
+    p[write(2, 5)] = -0.8;
+    p[write(2, 7)] = -1.2;
+    p
+}
+
+/// Uniform random parameters (exploration candidates).
+pub fn random_params(rng: &mut impl Rng) -> Params {
+    (0..PARAM_COUNT).map(|_| rng.gen_range(-1.0..1.0)).collect()
+}
+
+/// Gaussian perturbation of existing parameters (exploitation candidates).
+pub fn perturb_params(base: &Params, sigma: f32, rng: &mut impl Rng) -> Params {
+    base.iter()
+        .map(|w| {
+            // Box-Muller without external deps.
+            let u1: f32 = rng.gen_range(1e-6..1.0);
+            let u2: f32 = rng.gen_range(0.0..1.0);
+            let n = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos();
+            w + sigma * n
+        })
+        .collect()
+}
+
+#[inline]
+fn argmax_logits(params: &[f32], offset: usize, actions: usize, x: &[f32; ENCODING_DIM]) -> usize {
+    let mut best = 0usize;
+    let mut best_v = f32::NEG_INFINITY;
+    for a in 0..actions {
+        let w = &params[(offset + a) * ENCODING_DIM..(offset + a + 1) * ENCODING_DIM];
+        let mut v = 0.0;
+        for i in 0..ENCODING_DIM {
+            v += w[i] * x[i];
+        }
+        if v > best_v {
+            best_v = v;
+            best = a;
+        }
+    }
+    best
+}
+
+/// The learned CC policy: NeurDB(CC). Thread-safe; parameters hot-swap.
+pub struct LearnedCc {
+    params: RwLock<Params>,
+}
+
+impl LearnedCc {
+    pub fn new(params: Params) -> Self {
+        assert_eq!(params.len(), PARAM_COUNT);
+        LearnedCc {
+            params: RwLock::new(params),
+        }
+    }
+
+    pub fn seeded() -> Self {
+        Self::new(seed_params())
+    }
+
+    /// Atomically replace the parameters (model hot-swap during
+    /// adaptation).
+    pub fn set_params(&self, params: Params) {
+        assert_eq!(params.len(), PARAM_COUNT);
+        *self.params.write() = params;
+    }
+
+    pub fn params(&self) -> Params {
+        self.params.read().clone()
+    }
+}
+
+impl CcPolicy for LearnedCc {
+    fn read_decision(&self, ctx: &OpCtx) -> ReadDecision {
+        let x = encode(ctx);
+        let a = argmax_logits(&self.params.read(), 0, READ_ACTIONS, &x);
+        match a {
+            0 => ReadDecision::Proceed(ReadMode::Snapshot),
+            1 => ReadDecision::Proceed(ReadMode::LockShared),
+            _ => ReadDecision::Abort,
+        }
+    }
+
+    fn write_decision(&self, ctx: &OpCtx) -> WriteDecision {
+        let x = encode(ctx);
+        let a = argmax_logits(&self.params.read(), READ_ACTIONS, WRITE_ACTIONS, &x);
+        match a {
+            0 => WriteDecision::Proceed(WriteMode::Buffer),
+            1 => WriteDecision::Proceed(WriteMode::LockExclusive),
+            _ => WriteDecision::Abort,
+        }
+    }
+
+    fn validate_reads(&self) -> bool {
+        // Snapshot reads taken optimistically are validated at commit so
+        // mixing optimistic and pessimistic actions stays serializable.
+        true
+    }
+
+    fn ssi_checks(&self) -> bool {
+        false
+    }
+
+    fn name(&self) -> &str {
+        "neurdb-cc"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neurdb_txn::KeyContention;
+    use rand::SeedableRng;
+
+    fn ctx(contention: KeyContention) -> OpCtx {
+        OpCtx {
+            key: 1,
+            ops_done: 2,
+            txn_len_hint: 10,
+            txn_type: 0,
+            contention,
+        }
+    }
+
+    #[test]
+    fn seeded_policy_is_optimistic_on_cold_keys() {
+        let cc = LearnedCc::seeded();
+        let cold = ctx(KeyContention::default());
+        assert_eq!(cc.read_decision(&cold), ReadDecision::Proceed(ReadMode::Snapshot));
+        assert_eq!(cc.write_decision(&cold), WriteDecision::Proceed(WriteMode::Buffer));
+    }
+
+    #[test]
+    fn seeded_policy_locks_contended_writes() {
+        let cc = LearnedCc::seeded();
+        let hot = ctx(KeyContention {
+            recent_reads: 5.0,
+            recent_writes: 200.0,
+            recent_aborts: 2.0,
+            write_locked: true,
+        });
+        assert_eq!(
+            cc.write_decision(&hot),
+            WriteDecision::Proceed(WriteMode::LockExclusive)
+        );
+        assert_eq!(
+            cc.read_decision(&hot),
+            ReadDecision::Proceed(ReadMode::LockShared)
+        );
+    }
+
+    #[test]
+    fn seeded_policy_aborts_on_abort_storms() {
+        let cc = LearnedCc::seeded();
+        let storm = ctx(KeyContention {
+            recent_reads: 10.0,
+            recent_writes: 500.0,
+            recent_aborts: 10_000.0,
+            write_locked: true,
+        });
+        assert_eq!(cc.write_decision(&storm), WriteDecision::Abort);
+    }
+
+    #[test]
+    fn hot_swap_changes_behaviour() {
+        let cc = LearnedCc::seeded();
+        let cold = ctx(KeyContention::default());
+        assert_eq!(cc.read_decision(&cold), ReadDecision::Proceed(ReadMode::Snapshot));
+        // All-zero params with a forced lock-read bias.
+        let mut p = vec![0.0; PARAM_COUNT];
+        p[ENCODING_DIM + 7] = 5.0; // read action 1 (lock), bias feature
+        cc.set_params(p);
+        assert_eq!(cc.read_decision(&cold), ReadDecision::Proceed(ReadMode::LockShared));
+    }
+
+    #[test]
+    fn perturb_preserves_length_and_moves_weights() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let base = seed_params();
+        let p = perturb_params(&base, 0.1, &mut rng);
+        assert_eq!(p.len(), base.len());
+        assert_ne!(p, base);
+        let dist: f32 = p
+            .iter()
+            .zip(base.iter())
+            .map(|(a, b)| (a - b).powi(2))
+            .sum::<f32>()
+            .sqrt();
+        assert!(dist < 2.0, "perturbation too large: {dist}");
+    }
+}

@@ -1,0 +1,302 @@
+//! Polyjuice-style baseline (Wang et al., OSDI'21), as used in the paper's
+//! Fig. 7(b) comparison.
+//!
+//! Polyjuice learns a *policy table* keyed by static transaction/operation
+//! patterns — `(transaction type, operation index)` — mapping to CC actions,
+//! optimized with an evolutionary algorithm over measured throughput. Its
+//! weakness (the one the paper exploits) is that the table keys on
+//! transaction *type*, not on the live contention state, so when the
+//! workload drifts (warehouse count or thread count changes) the learned
+//! table is stale until a full EA generation re-evaluates; NeurDB(CC)'s
+//! contention-state features move with the drift instead.
+
+use neurdb_txn::{CcPolicy, OpCtx, ReadDecision, ReadMode, WriteDecision, WriteMode};
+use parking_lot::RwLock;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Max transaction types and ops-per-transaction indexed by the table.
+pub const MAX_TYPES: usize = 4;
+pub const MAX_OPS: usize = 16;
+
+/// Per-(type, op) action entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ActionEntry {
+    /// 0 = snapshot read, 1 = locking read.
+    pub read_action: u8,
+    /// 0 = buffered write, 1 = locking write.
+    pub write_action: u8,
+}
+
+impl Default for ActionEntry {
+    fn default() -> Self {
+        // Polyjuice's default leans optimistic (its IC3/occ heritage).
+        ActionEntry {
+            read_action: 0,
+            write_action: 0,
+        }
+    }
+}
+
+/// The policy table (the Polyjuice "genome").
+pub type PolicyTable = Vec<ActionEntry>; // MAX_TYPES * MAX_OPS
+
+fn table_index(txn_type: u8, op: usize) -> usize {
+    (txn_type as usize % MAX_TYPES) * MAX_OPS + op.min(MAX_OPS - 1)
+}
+
+/// Random policy table.
+pub fn random_table(rng: &mut impl Rng) -> PolicyTable {
+    (0..MAX_TYPES * MAX_OPS)
+        .map(|_| ActionEntry {
+            read_action: rng.gen_range(0..2),
+            write_action: rng.gen_range(0..2),
+        })
+        .collect()
+}
+
+/// Mutate a table by flipping each entry's actions with probability `p`.
+pub fn mutate_table(base: &PolicyTable, p: f64, rng: &mut impl Rng) -> PolicyTable {
+    base.iter()
+        .map(|e| {
+            let mut e = *e;
+            if rng.gen_bool(p) {
+                e.read_action ^= 1;
+            }
+            if rng.gen_bool(p) {
+                e.write_action ^= 1;
+            }
+            e
+        })
+        .collect()
+}
+
+/// Uniform crossover of two tables.
+pub fn crossover_table(a: &PolicyTable, b: &PolicyTable, rng: &mut impl Rng) -> PolicyTable {
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| if rng.gen_bool(0.5) { *x } else { *y })
+        .collect()
+}
+
+/// The Polyjuice-style CC policy.
+pub struct PolyjuiceCc {
+    table: RwLock<PolicyTable>,
+}
+
+impl PolyjuiceCc {
+    pub fn new(table: PolicyTable) -> Self {
+        assert_eq!(table.len(), MAX_TYPES * MAX_OPS);
+        PolyjuiceCc {
+            table: RwLock::new(table),
+        }
+    }
+
+    /// Default-initialized (optimistic everywhere).
+    pub fn default_policy() -> Self {
+        Self::new(vec![ActionEntry::default(); MAX_TYPES * MAX_OPS])
+    }
+
+    pub fn set_table(&self, table: PolicyTable) {
+        assert_eq!(table.len(), MAX_TYPES * MAX_OPS);
+        *self.table.write() = table;
+    }
+
+    pub fn table(&self) -> PolicyTable {
+        self.table.read().clone()
+    }
+}
+
+impl CcPolicy for PolyjuiceCc {
+    fn read_decision(&self, ctx: &OpCtx) -> ReadDecision {
+        let t = self.table.read();
+        match t[table_index(ctx.txn_type, ctx.ops_done)].read_action {
+            0 => ReadDecision::Proceed(ReadMode::Snapshot),
+            _ => ReadDecision::Proceed(ReadMode::LockShared),
+        }
+    }
+
+    fn write_decision(&self, ctx: &OpCtx) -> WriteDecision {
+        let t = self.table.read();
+        match t[table_index(ctx.txn_type, ctx.ops_done)].write_action {
+            0 => WriteDecision::Proceed(WriteMode::Buffer),
+            _ => WriteDecision::Proceed(WriteMode::LockExclusive),
+        }
+    }
+
+    fn validate_reads(&self) -> bool {
+        true
+    }
+
+    fn ssi_checks(&self) -> bool {
+        false
+    }
+
+    fn name(&self) -> &str {
+        "polyjuice"
+    }
+}
+
+/// Evolutionary trainer for the policy table: one `generation` evaluates a
+/// population (incumbent + mutants + crossovers) with the caller's reward
+/// oracle and installs the winner. Matches Polyjuice's offline EA loop; in
+/// the drift experiment its cadence is what makes adaptation slow.
+pub struct PolyjuiceTrainer {
+    pub population: usize,
+    pub mutation_p: f64,
+    best: (PolicyTable, f64),
+    rng: StdRng,
+}
+
+impl PolyjuiceTrainer {
+    pub fn new(initial: PolicyTable, seed: u64) -> Self {
+        PolyjuiceTrainer {
+            population: 8,
+            mutation_p: 0.08,
+            best: (initial, f64::NEG_INFINITY),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    pub fn best_table(&self) -> &PolicyTable {
+        &self.best.0
+    }
+
+    pub fn best_reward(&self) -> f64 {
+        self.best.1
+    }
+
+    /// Run one EA generation. Returns the new best table and its reward.
+    pub fn generation(
+        &mut self,
+        mut reward_of: impl FnMut(&PolicyTable) -> f64,
+    ) -> (PolicyTable, f64) {
+        let mut pop: Vec<PolicyTable> = vec![self.best.0.clone()];
+        for _ in 0..self.population / 2 {
+            pop.push(mutate_table(&self.best.0, self.mutation_p, &mut self.rng));
+        }
+        while pop.len() < self.population {
+            let m = mutate_table(&self.best.0, self.mutation_p * 2.0, &mut self.rng);
+            pop.push(crossover_table(&self.best.0, &m, &mut self.rng));
+        }
+        // Re-evaluate the incumbent too (rewards are noisy and the
+        // workload may have drifted under it).
+        let mut best: Option<(PolicyTable, f64)> = None;
+        for cand in pop {
+            let r = reward_of(&cand);
+            if best.as_ref().is_none_or(|(_, br)| r > *br) {
+                best = Some((cand, r));
+            }
+        }
+        let (table, reward) = best.expect("population non-empty");
+        self.best = (table.clone(), reward);
+        (table, reward)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neurdb_txn::KeyContention;
+
+    fn ctx(txn_type: u8, ops_done: usize) -> OpCtx {
+        OpCtx {
+            key: 0,
+            ops_done,
+            txn_len_hint: 10,
+            txn_type,
+            contention: KeyContention::default(),
+        }
+    }
+
+    #[test]
+    fn table_lookup_by_type_and_op() {
+        let mut table = vec![ActionEntry::default(); MAX_TYPES * MAX_OPS];
+        table[table_index(1, 3)] = ActionEntry {
+            read_action: 1,
+            write_action: 1,
+        };
+        let pj = PolyjuiceCc::new(table);
+        assert_eq!(
+            pj.read_decision(&ctx(1, 3)),
+            ReadDecision::Proceed(ReadMode::LockShared)
+        );
+        assert_eq!(
+            pj.read_decision(&ctx(0, 3)),
+            ReadDecision::Proceed(ReadMode::Snapshot),
+            "other type unaffected"
+        );
+        assert_eq!(
+            pj.write_decision(&ctx(1, 3)),
+            WriteDecision::Proceed(WriteMode::LockExclusive)
+        );
+    }
+
+    #[test]
+    fn op_index_clamped() {
+        let pj = PolyjuiceCc::default_policy();
+        // ops beyond MAX_OPS reuse the last entry instead of panicking.
+        let _ = pj.read_decision(&ctx(0, 999));
+    }
+
+    #[test]
+    fn contention_is_ignored() {
+        // The defining contrast with NeurDB(CC): identical decisions on
+        // cold and scorching keys.
+        let pj = PolyjuiceCc::default_policy();
+        let mut hot = ctx(0, 0);
+        hot.contention = KeyContention {
+            recent_reads: 1e6,
+            recent_writes: 1e6,
+            recent_aborts: 1e6,
+            write_locked: true,
+        };
+        assert_eq!(pj.read_decision(&ctx(0, 0)), pj.read_decision(&hot));
+        assert_eq!(pj.write_decision(&ctx(0, 0)), pj.write_decision(&hot));
+    }
+
+    #[test]
+    fn evolution_improves_on_synthetic_reward() {
+        // Reward = number of locking writes in type 0 (pretend locking is
+        // good for this workload); EA should discover that.
+        let oracle = |t: &PolicyTable| -> f64 {
+            t[0..MAX_OPS]
+                .iter()
+                .map(|e| e.write_action as f64)
+                .sum()
+        };
+        let mut trainer = PolyjuiceTrainer::new(
+            vec![ActionEntry::default(); MAX_TYPES * MAX_OPS],
+            7,
+        );
+        let mut last = f64::NEG_INFINITY;
+        for _ in 0..30 {
+            let (_, r) = trainer.generation(oracle);
+            assert!(r >= last || (r - last).abs() < 1e-9);
+            last = r;
+        }
+        assert!(last >= MAX_OPS as f64 * 0.5, "EA should lock most writes: {last}");
+    }
+
+    #[test]
+    fn crossover_mixes_parents() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let a = vec![
+            ActionEntry {
+                read_action: 0,
+                write_action: 0
+            };
+            MAX_TYPES * MAX_OPS
+        ];
+        let b = vec![
+            ActionEntry {
+                read_action: 1,
+                write_action: 1
+            };
+            MAX_TYPES * MAX_OPS
+        ];
+        let c = crossover_table(&a, &b, &mut rng);
+        let zeros = c.iter().filter(|e| e.read_action == 0).count();
+        assert!(zeros > 8 && zeros < MAX_TYPES * MAX_OPS - 8, "mixed: {zeros}");
+    }
+}

@@ -1,0 +1,585 @@
+//! The NeurDB-RS database facade: SQL sessions over the storage substrate,
+//! with the in-database AI ecosystem wired into the executor so `PREDICT`
+//! statements run as first-class queries (paper Section 3's running
+//! example: parse → plan → scan → AI operator → AI engine → result).
+
+use crate::analytics::{
+    encode_inference, extract_examples, make_batches, value_to_field, Standardizer,
+};
+use crate::error::{CoreError, CoreResult};
+use crate::exec::{execute_select, QueryResult};
+use crate::expr::{eval, eval_predicate, literal_value, Bindings};
+use neurdb_engine::streaming::{stream_from_source, Handshake, StreamParams};
+use neurdb_engine::{AiEngine, Mid, TrainOutcome};
+use neurdb_nn::{armnet_spec, ArmNetConfig, LossKind};
+use neurdb_sql::{
+    parse, parse_script, ColumnSpec, Expr, PredictStmt, PredictTask, Statement, TrainOn, TypeName,
+};
+use neurdb_storage::{
+    BufferPool, ColumnDef, DataType, DiskManager, Schema, Table, Tuple, Value,
+};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Result of executing one statement.
+#[derive(Debug)]
+pub enum Output {
+    /// SELECT results.
+    Rows(QueryResult),
+    /// Rows affected by DML / DDL acknowledgements.
+    Affected(usize),
+    /// PREDICT results.
+    Prediction(PredictionReport),
+}
+
+impl Output {
+    pub fn rows(&self) -> Option<&QueryResult> {
+        match self {
+            Output::Rows(r) => Some(r),
+            Output::Prediction(p) => Some(&p.result),
+            _ => None,
+        }
+    }
+
+    pub fn affected(&self) -> Option<usize> {
+        match self {
+            Output::Affected(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// What a PREDICT statement produced.
+#[derive(Debug)]
+pub struct PredictionReport {
+    pub result: QueryResult,
+    /// Model id serving the prediction.
+    pub mid: Mid,
+    /// Set when this statement trained a fresh model (first use).
+    pub train_outcome: Option<TrainOutcome>,
+}
+
+/// Cached per-(table, target) model state.
+struct CachedModel {
+    mid: Mid,
+    cfg: ArmNetConfig,
+    loss: LossKind,
+    std: Standardizer,
+    features: Vec<usize>,
+}
+
+/// The database.
+pub struct Database {
+    pool: Arc<BufferPool>,
+    tables: RwLock<HashMap<String, Arc<Table>>>,
+    /// The in-database AI engine (task manager, model manager, runtimes).
+    pub ai: AiEngine,
+    models: Mutex<HashMap<(String, String), CachedModel>>,
+    /// Streaming protocol defaults (paper: window 80, batch 4096).
+    pub stream_params: StreamParams,
+    /// Learning rate for in-database training.
+    pub learning_rate: f32,
+    /// Minimum total samples a training task should consume; small tables
+    /// are cycled for multiple epochs until this budget is met.
+    pub train_sample_budget: usize,
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Database {
+    pub fn new() -> Self {
+        Self::with_buffer_capacity(4096)
+    }
+
+    pub fn with_buffer_capacity(frames: usize) -> Self {
+        Database {
+            pool: Arc::new(BufferPool::new(Arc::new(DiskManager::new()), frames)),
+            tables: RwLock::new(HashMap::new()),
+            ai: AiEngine::new(),
+            models: Mutex::new(HashMap::new()),
+            stream_params: StreamParams {
+                batch_size: 4096,
+                window: 80,
+            },
+            learning_rate: 5e-3,
+            train_sample_budget: 30_000,
+        }
+    }
+
+    /// Buffer-pool statistics (part of the QO's system conditions).
+    pub fn buffer_stats(&self) -> neurdb_storage::BufferStats {
+        self.pool.stats()
+    }
+
+    /// Look up a table.
+    pub fn table(&self, name: &str) -> CoreResult<Arc<Table>> {
+        self.tables
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| CoreError::UnknownTable(name.to_string()))
+    }
+
+    pub fn table_names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.tables.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Execute one SQL statement.
+    pub fn execute(&self, sql: &str) -> CoreResult<Output> {
+        let stmt = parse(sql)?;
+        self.execute_statement(stmt)
+    }
+
+    /// Execute a `;`-separated script, returning the last statement's
+    /// output.
+    pub fn execute_script(&self, sql: &str) -> CoreResult<Output> {
+        let stmts = parse_script(sql)?;
+        let mut last = Output::Affected(0);
+        for s in stmts {
+            last = self.execute_statement(s)?;
+        }
+        Ok(last)
+    }
+
+    fn execute_statement(&self, stmt: Statement) -> CoreResult<Output> {
+        match stmt {
+            Statement::CreateTable { name, columns } => {
+                self.create_table(&name, &columns)?;
+                Ok(Output::Affected(0))
+            }
+            Statement::DropTable { name } => {
+                if self.tables.write().remove(&name).is_none() {
+                    return Err(CoreError::UnknownTable(name));
+                }
+                Ok(Output::Affected(0))
+            }
+            Statement::CreateIndex { table, column } => {
+                let t = self.table(&table)?;
+                let idx = t
+                    .schema
+                    .column_index(&column)
+                    .ok_or_else(|| CoreError::UnknownColumn(column.clone()))?;
+                t.create_index(idx)?;
+                Ok(Output::Affected(0))
+            }
+            Statement::Insert {
+                table,
+                columns,
+                rows,
+            } => self.insert(&table, columns.as_deref(), &rows).map(Output::Affected),
+            Statement::Update {
+                table,
+                assignments,
+                predicate,
+            } => self
+                .update(&table, &assignments, predicate.as_ref())
+                .map(Output::Affected),
+            Statement::Delete { table, predicate } => {
+                self.delete(&table, predicate.as_ref()).map(Output::Affected)
+            }
+            Statement::Select(s) => {
+                let mut resolved = Vec::with_capacity(s.from.len());
+                for tref in &s.from {
+                    resolved.push((tref.binding().to_string(), self.table(&tref.name)?));
+                }
+                execute_select(&s, &resolved).map(Output::Rows)
+            }
+            Statement::Predict(p) => self.predict(&p).map(Output::Prediction),
+        }
+    }
+
+    fn create_table(&self, name: &str, columns: &[ColumnSpec]) -> CoreResult<()> {
+        if self.tables.read().contains_key(name) {
+            return Err(CoreError::Unsupported(format!(
+                "table '{name}' already exists"
+            )));
+        }
+        let cols = columns
+            .iter()
+            .map(|c| {
+                let ty = match c.ty {
+                    TypeName::Int => DataType::Int,
+                    TypeName::Float => DataType::Float,
+                    TypeName::Text => DataType::Text,
+                    TypeName::Bool => DataType::Bool,
+                };
+                let mut def = ColumnDef::new(c.name.clone(), ty);
+                if c.not_null {
+                    def = def.not_null();
+                }
+                if c.unique {
+                    def = def.unique();
+                }
+                def
+            })
+            .collect();
+        let table = Arc::new(Table::new(name, Schema::new(cols), self.pool.clone()));
+        self.tables.write().insert(name.to_string(), table);
+        Ok(())
+    }
+
+    fn insert(
+        &self,
+        table: &str,
+        columns: Option<&[String]>,
+        rows: &[Vec<Expr>],
+    ) -> CoreResult<usize> {
+        let t = self.table(table)?;
+        let arity = t.schema.arity();
+        // Map provided columns onto schema positions.
+        let positions: Vec<usize> = match columns {
+            Some(cols) => cols
+                .iter()
+                .map(|c| {
+                    t.schema
+                        .column_index(c)
+                        .ok_or_else(|| CoreError::UnknownColumn(c.clone()))
+                })
+                .collect::<CoreResult<_>>()?,
+            None => (0..arity).collect(),
+        };
+        let empty_env = Bindings::default();
+        let empty_row = Tuple::new(vec![]);
+        let mut n = 0;
+        for row in rows {
+            if row.len() != positions.len() {
+                return Err(CoreError::Unsupported(format!(
+                    "INSERT arity mismatch: {} values for {} columns",
+                    row.len(),
+                    positions.len()
+                )));
+            }
+            let mut vals = vec![Value::Null; arity];
+            for (expr, &pos) in row.iter().zip(positions.iter()) {
+                vals[pos] = eval(expr, &empty_row, &empty_env)?;
+            }
+            t.insert(Tuple::new(vals))?;
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    fn update(
+        &self,
+        table: &str,
+        assignments: &[(String, Expr)],
+        predicate: Option<&Expr>,
+    ) -> CoreResult<usize> {
+        let t = self.table(table)?;
+        let names = t.schema.names();
+        let env = Bindings::for_table(table, &names);
+        let targets: Vec<usize> = assignments
+            .iter()
+            .map(|(c, _)| {
+                t.schema
+                    .column_index(c)
+                    .ok_or_else(|| CoreError::UnknownColumn(c.clone()))
+            })
+            .collect::<CoreResult<_>>()?;
+        let mut n = 0;
+        for (rid, row) in t.scan()? {
+            let hit = match predicate {
+                Some(p) => eval_predicate(p, &row, &env)?,
+                None => true,
+            };
+            if !hit {
+                continue;
+            }
+            let mut new_row = row.clone();
+            for ((_, expr), &pos) in assignments.iter().zip(targets.iter()) {
+                new_row.values[pos] = eval(expr, &row, &env)?;
+            }
+            t.update(rid, new_row)?;
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    fn delete(&self, table: &str, predicate: Option<&Expr>) -> CoreResult<usize> {
+        let t = self.table(table)?;
+        let names = t.schema.names();
+        let env = Bindings::for_table(table, &names);
+        let mut n = 0;
+        for (rid, row) in t.scan()? {
+            let hit = match predicate {
+                Some(p) => eval_predicate(p, &row, &env)?,
+                None => true,
+            };
+            if hit {
+                t.delete(rid)?;
+                n += 1;
+            }
+        }
+        Ok(n)
+    }
+
+    // ------------------------- PREDICT -----------------------------
+
+    /// Resolve feature column indexes for a PREDICT statement. `TRAIN ON *`
+    /// excludes unique-constrained columns and the target itself (paper
+    /// Section 2.3).
+    fn resolve_features(
+        &self,
+        t: &Table,
+        stmt: &PredictStmt,
+        target_idx: usize,
+    ) -> CoreResult<Vec<usize>> {
+        match &stmt.train_on {
+            TrainOn::Star => Ok(t.schema.feature_columns(&stmt.target)),
+            TrainOn::Columns(cols) => cols
+                .iter()
+                .map(|c| {
+                    let idx = t
+                        .schema
+                        .column_index(c)
+                        .ok_or_else(|| CoreError::UnknownColumn(c.clone()))?;
+                    if idx == target_idx {
+                        return Err(CoreError::Unsupported(format!(
+                            "target column '{c}' cannot be a feature"
+                        )));
+                    }
+                    Ok(idx)
+                })
+                .collect(),
+        }
+    }
+
+    fn predict(&self, stmt: &PredictStmt) -> CoreResult<PredictionReport> {
+        let t = self.table(&stmt.table)?;
+        let target_idx = t
+            .schema
+            .column_index(&stmt.target)
+            .ok_or_else(|| CoreError::UnknownColumn(stmt.target.clone()))?;
+        let features = self.resolve_features(&t, stmt, target_idx)?;
+        if features.is_empty() {
+            return Err(CoreError::Unsupported("no feature columns".into()));
+        }
+        let loss = match stmt.task {
+            PredictTask::Regression => LossKind::Mse,
+            PredictTask::Classification => LossKind::Bce,
+        };
+        let key = (stmt.table.clone(), stmt.target.clone());
+        let names = t.schema.names();
+        let env = Bindings::for_table(&stmt.table, &names);
+
+        // --- Training (first use of this (table, target)) ---
+        let mut train_outcome = None;
+        let cached = {
+            let models = self.models.lock();
+            models.get(&key).map(|m| (m.mid, m.cfg, m.loss, m.std, m.features.clone()))
+        };
+        let (mid, cfg, std, model_features) = match cached {
+            Some((mid, cfg, cached_loss, std, feats)) => {
+                if cached_loss != loss {
+                    return Err(CoreError::Unsupported(format!(
+                        "model for {}.{} was trained as {:?}",
+                        stmt.table, stmt.target, cached_loss
+                    )));
+                }
+                (mid, cfg, std, feats)
+            }
+            None => {
+                // Gather training rows (WITH filters them).
+                let mut rows = Vec::new();
+                for (_, row) in t.scan()? {
+                    let keep = match &stmt.with {
+                        Some(p) => eval_predicate(p, &row, &env)?,
+                        None => true,
+                    };
+                    if keep {
+                        rows.push(row);
+                    }
+                }
+                let (xs, ys) = extract_examples(&rows, &features, target_idx);
+                if xs.is_empty() {
+                    return Err(CoreError::Unsupported(
+                        "no labeled training rows".to_string(),
+                    ));
+                }
+                let cfg = ArmNetConfig {
+                    nfields: features.len(),
+                    vocab: 2048,
+                    embed_dim: 8,
+                    hidden: 64,
+                    outputs: 1,
+                };
+                let std = match stmt.task {
+                    PredictTask::Regression => Standardizer::fit(&ys),
+                    PredictTask::Classification => Standardizer::identity(),
+                };
+                let batch_size = self.stream_params.batch_size.min(xs.len()).max(1);
+                let one_epoch = make_batches(&xs, &ys, &cfg, batch_size, &std);
+                // Cycle small tables for several epochs so the sample
+                // budget is met (a single pass over a few hundred rows
+                // cannot converge).
+                let epochs = (self.train_sample_budget / xs.len().max(1)).clamp(1, 100);
+                let mut batches = Vec::with_capacity(one_epoch.len() * epochs);
+                for _ in 0..epochs {
+                    batches.extend(one_epoch.iter().cloned());
+                }
+                let hs = Handshake {
+                    model_descriptor: format!("armnet:{}:{}", stmt.table, stmt.target),
+                    params: StreamParams {
+                        batch_size,
+                        window: self.stream_params.window,
+                    },
+                };
+                let (rx, producer) = stream_from_source(&hs, batches.into_iter());
+                let outcome =
+                    self.ai
+                        .train_streaming(armnet_spec(&cfg), loss, self.learning_rate, rx);
+                producer.join().expect("stream producer");
+                let mid = outcome.mid;
+                self.models.lock().insert(
+                    key.clone(),
+                    CachedModel {
+                        mid,
+                        cfg,
+                        loss,
+                        std,
+                        features: features.clone(),
+                    },
+                );
+                train_outcome = Some(outcome);
+                (mid, cfg, std, features.clone())
+            }
+        };
+
+        // --- Inference ---
+        let feature_names: Vec<String> = model_features
+            .iter()
+            .map(|&i| t.schema.column(i).name.clone())
+            .collect();
+        let (xs, display_rows): (Vec<Vec<u64>>, Vec<Vec<Value>>) = match &stmt.values {
+            Some(rows) => {
+                let mut xs = Vec::with_capacity(rows.len());
+                let mut disp = Vec::with_capacity(rows.len());
+                for r in rows {
+                    if r.len() != model_features.len() {
+                        return Err(CoreError::Unsupported(format!(
+                            "VALUES arity {} != feature count {}",
+                            r.len(),
+                            model_features.len()
+                        )));
+                    }
+                    let vals: Vec<Value> = r.iter().map(literal_value).collect();
+                    xs.push(vals.iter().map(value_to_field).collect());
+                    disp.push(vals);
+                }
+                (xs, disp)
+            }
+            None => {
+                let mut xs = Vec::new();
+                let mut disp = Vec::new();
+                for (_, row) in t.scan()? {
+                    let hit = match &stmt.predicate {
+                        Some(p) => eval_predicate(p, &row, &env)?,
+                        None => true,
+                    };
+                    if !hit {
+                        continue;
+                    }
+                    xs.push(
+                        model_features
+                            .iter()
+                            .map(|&i| value_to_field(row.get(i)))
+                            .collect(),
+                    );
+                    disp.push(
+                        model_features
+                            .iter()
+                            .map(|&i| row.get(i).clone())
+                            .collect(),
+                    );
+                }
+                (xs, disp)
+            }
+        };
+        let mut columns = feature_names;
+        let mut rows = Vec::with_capacity(xs.len());
+        if xs.is_empty() {
+            columns.push(format!("predicted_{}", stmt.target));
+            return Ok(PredictionReport {
+                result: QueryResult { columns, rows },
+                mid,
+                train_outcome,
+            });
+        }
+        let preds = self.ai.infer(mid, &encode_inference(&xs, &cfg))?;
+        match stmt.task {
+            PredictTask::Regression => {
+                columns.push(format!("predicted_{}", stmt.target));
+                for (i, disp) in display_rows.into_iter().enumerate() {
+                    let mut vals = disp;
+                    vals.push(Value::Float(std.inverse(preds.get(i, 0)) as f64));
+                    rows.push(Tuple::new(vals));
+                }
+            }
+            PredictTask::Classification => {
+                columns.push(format!("predicted_{}", stmt.target));
+                columns.push("probability".to_string());
+                for (i, disp) in display_rows.into_iter().enumerate() {
+                    let logit = preds.get(i, 0);
+                    let p = 1.0 / (1.0 + (-logit).exp());
+                    let mut vals = disp;
+                    vals.push(Value::Bool(p > 0.5));
+                    vals.push(Value::Float(p as f64));
+                    rows.push(Tuple::new(vals));
+                }
+            }
+        }
+        Ok(PredictionReport {
+            result: QueryResult { columns, rows },
+            mid,
+            train_outcome,
+        })
+    }
+
+    /// Incrementally update the PREDICT model of `(table, target)` on the
+    /// table's current rows: freeze all but the final layer and persist
+    /// only the fine-tuned layers as a new version (the paper's model
+    /// incremental update, Fig. 3). Returns the fine-tuning outcome.
+    pub fn finetune(&self, table: &str, target: &str) -> CoreResult<TrainOutcome> {
+        let key = (table.to_string(), target.to_string());
+        let (mid, cfg, loss, std, features) = {
+            let models = self.models.lock();
+            let m = models.get(&key).ok_or_else(|| {
+                CoreError::Unsupported(format!("no model for {table}.{target}"))
+            })?;
+            (m.mid, m.cfg, m.loss, m.std, m.features.clone())
+        };
+        let t = self.table(table)?;
+        let target_idx = t
+            .schema
+            .column_index(target)
+            .ok_or_else(|| CoreError::UnknownColumn(target.to_string()))?;
+        let rows: Vec<Tuple> = t.scan()?.into_iter().map(|(_, r)| r).collect();
+        let (xs, ys) = extract_examples(&rows, &features, target_idx);
+        if xs.is_empty() {
+            return Err(CoreError::Unsupported("no labeled rows to fine-tune on".into()));
+        }
+        let batch_size = self.stream_params.batch_size.min(xs.len()).max(1);
+        let batches = make_batches(&xs, &ys, &cfg, batch_size, &std);
+        let hs = Handshake {
+            model_descriptor: format!("finetune:{table}:{target}"),
+            params: StreamParams {
+                batch_size,
+                window: self.stream_params.window,
+            },
+        };
+        let (rx, producer) = stream_from_source(&hs, batches.into_iter());
+        let frozen = neurdb_nn::armnet_finetune_from(&cfg);
+        let outcome = self
+            .ai
+            .finetune_streaming(mid, loss, self.learning_rate, frozen, rx)?;
+        producer.join().expect("stream producer");
+        Ok(outcome)
+    }
+}

@@ -1,0 +1,62 @@
+//! Unified error type for the NeurDB-RS facade.
+
+use crate::expr::EvalError;
+use neurdb_engine::ModelError;
+use neurdb_sql::ParseError;
+use neurdb_storage::StorageError;
+use std::fmt;
+
+/// Any error a SQL session can surface.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    Parse(ParseError),
+    Storage(StorageError),
+    Eval(EvalError),
+    Model(ModelError),
+    UnknownTable(String),
+    UnknownColumn(String),
+    Unsupported(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Parse(e) => write!(f, "{e}"),
+            CoreError::Storage(e) => write!(f, "{e}"),
+            CoreError::Eval(e) => write!(f, "{e}"),
+            CoreError::Model(e) => write!(f, "{e}"),
+            CoreError::UnknownTable(t) => write!(f, "unknown table '{t}'"),
+            CoreError::UnknownColumn(c) => write!(f, "unknown column '{c}'"),
+            CoreError::Unsupported(m) => write!(f, "unsupported: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<ParseError> for CoreError {
+    fn from(e: ParseError) -> Self {
+        CoreError::Parse(e)
+    }
+}
+
+impl From<StorageError> for CoreError {
+    fn from(e: StorageError) -> Self {
+        CoreError::Storage(e)
+    }
+}
+
+impl From<EvalError> for CoreError {
+    fn from(e: EvalError) -> Self {
+        CoreError::Eval(e)
+    }
+}
+
+impl From<ModelError> for CoreError {
+    fn from(e: ModelError) -> Self {
+        CoreError::Model(e)
+    }
+}
+
+/// Convenience alias.
+pub type CoreResult<T> = Result<T, CoreError>;

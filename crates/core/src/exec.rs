@@ -1,0 +1,532 @@
+//! The SELECT executor: scans with predicate pushdown, hash/nested-loop
+//! joins, grouped aggregation, sorting, and limits.
+
+use crate::error::CoreError;
+use crate::expr::{eval, eval_predicate, Bindings};
+use neurdb_sql::{AggFunc, BinaryOp, Expr, SelectItem, SelectStmt, SortOrder};
+use neurdb_storage::{Table, Tuple, Value};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A query result: column headers plus rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    pub columns: Vec<String>,
+    pub rows: Vec<Tuple>,
+}
+
+impl QueryResult {
+    pub fn empty() -> Self {
+        QueryResult {
+            columns: vec![],
+            rows: vec![],
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// Split a predicate into AND-conjuncts.
+fn conjuncts(expr: &Expr) -> Vec<Expr> {
+    match expr {
+        Expr::Binary {
+            op: BinaryOp::And,
+            left,
+            right,
+        } => {
+            let mut out = conjuncts(left);
+            out.extend(conjuncts(right));
+            out
+        }
+        other => vec![other.clone()],
+    }
+}
+
+/// Does every column referenced by `expr` resolve within `env`?
+fn resolvable(expr: &Expr, env: &Bindings) -> bool {
+    expr.referenced_columns().iter().all(|c| {
+        if let Some((q, n)) = c.split_once('.') {
+            env.resolve_qualified(q, n).is_ok()
+        } else {
+            env.resolve(c).is_ok()
+        }
+    })
+}
+
+/// If `expr` is `left_col = right_col` bridging the two environments,
+/// return the column indexes `(left_idx, right_idx)`.
+fn equi_join_key(expr: &Expr, left: &Bindings, right: &Bindings) -> Option<(usize, usize)> {
+    let Expr::Binary {
+        op: BinaryOp::Eq,
+        left: a,
+        right: b,
+    } = expr
+    else {
+        return None;
+    };
+    let col_idx = |e: &Expr, env: &Bindings| -> Option<usize> {
+        match e {
+            Expr::Column(c) => env.resolve(c).ok(),
+            Expr::Qualified(q, c) => env.resolve_qualified(q, c).ok(),
+            _ => None,
+        }
+    };
+    match (col_idx(a, left), col_idx(b, right)) {
+        (Some(l), Some(r)) => Some((l, r)),
+        _ => match (col_idx(b, left), col_idx(a, right)) {
+            (Some(l), Some(r)) => Some((l, r)),
+            _ => None,
+        },
+    }
+}
+
+struct Relation {
+    env: Bindings,
+    rows: Vec<Tuple>,
+}
+
+/// Execute a SELECT against resolved tables (`binding name -> table`).
+pub fn execute_select(
+    stmt: &SelectStmt,
+    tables: &[(String, Arc<Table>)],
+) -> Result<QueryResult, CoreError> {
+    // 1. Scan base tables, building bindings.
+    let mut relations: Vec<Relation> = Vec::with_capacity(tables.len());
+    for (binding, table) in tables {
+        let names = table.schema.names();
+        let env = Bindings::for_table(binding, &names);
+        let rows = table.scan()?.into_iter().map(|(_, t)| t).collect();
+        relations.push(Relation { env, rows });
+    }
+    if relations.is_empty() {
+        return Err(CoreError::Unsupported("SELECT without FROM".into()));
+    }
+    let all_conjuncts: Vec<Expr> = stmt
+        .predicate
+        .as_ref()
+        .map(|p| conjuncts(p))
+        .unwrap_or_default();
+    let mut used = vec![false; all_conjuncts.len()];
+
+    // 2. Predicate pushdown to single relations.
+    for rel in &mut relations {
+        for (i, c) in all_conjuncts.iter().enumerate() {
+            if !used[i] && resolvable(c, &rel.env) {
+                used[i] = true;
+                let env = rel.env.clone();
+                let mut kept = Vec::with_capacity(rel.rows.len());
+                for row in rel.rows.drain(..) {
+                    if eval_predicate(c, &row, &env)? {
+                        kept.push(row);
+                    }
+                }
+                rel.rows = kept;
+            }
+        }
+    }
+
+    // 3. Join left-to-right; hash join when an unused equi conjunct
+    //    bridges, else nested loops.
+    let mut iter = relations.into_iter();
+    let mut acc = iter.next().unwrap();
+    for right in iter {
+        // Find a bridging equi-join key.
+        let mut join_key = None;
+        for (i, c) in all_conjuncts.iter().enumerate() {
+            if used[i] {
+                continue;
+            }
+            if let Some(k) = equi_join_key(c, &acc.env, &right.env) {
+                join_key = Some((i, k));
+                break;
+            }
+        }
+        let joined_env = acc.env.join(&right.env);
+        let mut out_rows = Vec::new();
+        match join_key {
+            Some((ci, (li, ri))) => {
+                used[ci] = true;
+                // Build hash table on the smaller side (right).
+                let mut ht: HashMap<Value, Vec<&Tuple>> = HashMap::new();
+                for r in &right.rows {
+                    ht.entry(r.get(ri).clone()).or_default().push(r);
+                }
+                for l in &acc.rows {
+                    let key = l.get(li);
+                    if key.is_null() {
+                        continue;
+                    }
+                    if let Some(matches) = ht.get(key) {
+                        for r in matches {
+                            let mut vals = l.values.clone();
+                            vals.extend(r.values.iter().cloned());
+                            out_rows.push(Tuple::new(vals));
+                        }
+                    }
+                }
+            }
+            None => {
+                for l in &acc.rows {
+                    for r in &right.rows {
+                        let mut vals = l.values.clone();
+                        vals.extend(r.values.iter().cloned());
+                        out_rows.push(Tuple::new(vals));
+                    }
+                }
+            }
+        }
+        // Apply any newly-resolvable conjuncts right after the join.
+        for (i, c) in all_conjuncts.iter().enumerate() {
+            if !used[i] && resolvable(c, &joined_env) {
+                used[i] = true;
+                let mut kept = Vec::with_capacity(out_rows.len());
+                for row in out_rows.drain(..) {
+                    if eval_predicate(c, &row, &joined_env)? {
+                        kept.push(row);
+                    }
+                }
+                out_rows = kept;
+            }
+        }
+        acc = Relation {
+            env: joined_env,
+            rows: out_rows,
+        };
+    }
+
+    // 4. Any residual conjunct must now be resolvable.
+    for (i, c) in all_conjuncts.iter().enumerate() {
+        if !used[i] {
+            if !resolvable(c, &acc.env) {
+                return Err(CoreError::Unsupported(format!(
+                    "predicate references unknown columns: {:?}",
+                    c.referenced_columns()
+                )));
+            }
+            let mut kept = Vec::with_capacity(acc.rows.len());
+            for row in acc.rows.drain(..) {
+                if eval_predicate(c, &row, &acc.env)? {
+                    kept.push(row);
+                }
+            }
+            acc.rows = kept;
+        }
+    }
+
+    // 5. Aggregation or plain projection.
+    let has_agg = stmt
+        .items
+        .iter()
+        .any(|i| matches!(i, SelectItem::Expr { expr, .. } if contains_agg(expr)));
+    let mut result = if has_agg || !stmt.group_by.is_empty() {
+        aggregate(stmt, &acc)?
+    } else {
+        project(stmt, &acc)?
+    };
+
+    // 6. ORDER BY over the *input* environment when possible, else output
+    //    column names.
+    if !stmt.order_by.is_empty() {
+        sort_result(stmt, &acc, &mut result)?;
+    }
+
+    // 7. LIMIT.
+    if let Some(n) = stmt.limit {
+        result.rows.truncate(n as usize);
+    }
+    Ok(result)
+}
+
+fn contains_agg(e: &Expr) -> bool {
+    match e {
+        Expr::Agg { .. } => true,
+        Expr::Binary { left, right, .. } => contains_agg(left) || contains_agg(right),
+        Expr::Unary { expr, .. } => contains_agg(expr),
+        _ => false,
+    }
+}
+
+fn item_name(item: &SelectItem, idx: usize) -> String {
+    match item {
+        SelectItem::Wildcard => "*".to_string(),
+        SelectItem::Expr { expr, alias } => alias.clone().unwrap_or_else(|| match expr {
+            Expr::Column(c) => c.clone(),
+            Expr::Qualified(q, c) => format!("{q}.{c}"),
+            Expr::Agg { func, .. } => format!("{func:?}").to_lowercase(),
+            _ => format!("col{idx}"),
+        }),
+    }
+}
+
+fn project(stmt: &SelectStmt, rel: &Relation) -> Result<QueryResult, CoreError> {
+    let mut columns = Vec::new();
+    for (i, item) in stmt.items.iter().enumerate() {
+        match item {
+            SelectItem::Wildcard => {
+                columns.extend(rel.env.cols.iter().map(|(_, c)| c.clone()));
+            }
+            _ => columns.push(item_name(item, i)),
+        }
+    }
+    let mut rows = Vec::with_capacity(rel.rows.len());
+    for row in &rel.rows {
+        let mut vals = Vec::with_capacity(columns.len());
+        for item in &stmt.items {
+            match item {
+                SelectItem::Wildcard => vals.extend(row.values.iter().cloned()),
+                SelectItem::Expr { expr, .. } => vals.push(eval(expr, row, &rel.env)?),
+            }
+        }
+        rows.push(Tuple::new(vals));
+    }
+    Ok(QueryResult { columns, rows })
+}
+
+/// Accumulator for one aggregate call.
+#[derive(Debug, Clone)]
+struct AggState {
+    func: AggFunc,
+    count: u64,
+    sum: f64,
+    min: Option<Value>,
+    max: Option<Value>,
+}
+
+impl AggState {
+    fn new(func: AggFunc) -> Self {
+        AggState {
+            func,
+            count: 0,
+            sum: 0.0,
+            min: None,
+            max: None,
+        }
+    }
+
+    fn update(&mut self, v: Option<&Value>) {
+        match v {
+            None => self.count += 1, // COUNT(*)
+            Some(v) if !v.is_null() => {
+                self.count += 1;
+                if let Some(f) = v.as_f64() {
+                    self.sum += f;
+                }
+                if self.min.as_ref().is_none_or(|m| v < m) {
+                    self.min = Some(v.clone());
+                }
+                if self.max.as_ref().is_none_or(|m| v > m) {
+                    self.max = Some(v.clone());
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn finish(&self) -> Value {
+        match self.func {
+            AggFunc::Count => Value::Int(self.count as i64),
+            AggFunc::Sum => {
+                if self.count == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(self.sum)
+                }
+            }
+            AggFunc::Avg => {
+                if self.count == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(self.sum / self.count as f64)
+                }
+            }
+            AggFunc::Min => self.min.clone().unwrap_or(Value::Null),
+            AggFunc::Max => self.max.clone().unwrap_or(Value::Null),
+        }
+    }
+}
+
+fn aggregate(stmt: &SelectStmt, rel: &Relation) -> Result<QueryResult, CoreError> {
+    // Collect the aggregate calls appearing in the projection.
+    let mut agg_exprs: Vec<(AggFunc, Option<Expr>)> = Vec::new();
+    fn collect(e: &Expr, out: &mut Vec<(AggFunc, Option<Expr>)>) {
+        match e {
+            Expr::Agg { func, arg } => out.push((*func, arg.as_deref().cloned())),
+            Expr::Binary { left, right, .. } => {
+                collect(left, out);
+                collect(right, out);
+            }
+            Expr::Unary { expr, .. } => collect(expr, out),
+            _ => {}
+        }
+    }
+    for item in &stmt.items {
+        if let SelectItem::Expr { expr, .. } = item {
+            collect(expr, &mut agg_exprs);
+        }
+    }
+    // Group rows.
+    type GroupKey = Vec<Value>;
+    let mut groups: HashMap<GroupKey, (Tuple, Vec<AggState>)> = HashMap::new();
+    let mut order: Vec<GroupKey> = Vec::new();
+    for row in &rel.rows {
+        let key: GroupKey = stmt
+            .group_by
+            .iter()
+            .map(|e| eval(e, row, &rel.env))
+            .collect::<Result<_, _>>()?;
+        let entry = groups.entry(key.clone()).or_insert_with(|| {
+            order.push(key.clone());
+            (
+                row.clone(),
+                agg_exprs.iter().map(|(f, _)| AggState::new(*f)).collect(),
+            )
+        });
+        for ((_, arg), state) in agg_exprs.iter().zip(entry.1.iter_mut()) {
+            match arg {
+                None => state.update(None),
+                Some(e) => {
+                    let v = eval(e, row, &rel.env)?;
+                    state.update(Some(&v));
+                }
+            }
+        }
+    }
+    // Empty input with no GROUP BY still yields one all-aggregate row.
+    if groups.is_empty() && stmt.group_by.is_empty() {
+        let key: GroupKey = vec![];
+        order.push(key.clone());
+        groups.insert(
+            key,
+            (
+                Tuple::new(vec![Value::Null; rel.env.arity()]),
+                agg_exprs.iter().map(|(f, _)| AggState::new(*f)).collect(),
+            ),
+        );
+    }
+    // Emit: substitute aggregate results into projection expressions.
+    let columns: Vec<String> = stmt
+        .items
+        .iter()
+        .enumerate()
+        .map(|(i, it)| item_name(it, i))
+        .collect();
+    let mut rows = Vec::with_capacity(order.len());
+    for key in order {
+        let (sample, states) = &groups[&key];
+        let mut agg_iter = states.iter();
+        let mut vals = Vec::with_capacity(stmt.items.len());
+        for item in &stmt.items {
+            let SelectItem::Expr { expr, .. } = item else {
+                return Err(CoreError::Unsupported(
+                    "wildcard with aggregates".to_string(),
+                ));
+            };
+            vals.push(eval_with_aggs(expr, sample, &rel.env, &mut agg_iter)?);
+        }
+        rows.push(Tuple::new(vals));
+    }
+    Ok(QueryResult { columns, rows })
+}
+
+/// Evaluate an expression where each aggregate node consumes the next
+/// pre-computed aggregate state (in-order traversal matches `collect`).
+fn eval_with_aggs<'a>(
+    expr: &Expr,
+    sample: &Tuple,
+    env: &Bindings,
+    aggs: &mut impl Iterator<Item = &'a AggState>,
+) -> Result<Value, CoreError> {
+    Ok(match expr {
+        Expr::Agg { .. } => aggs.next().expect("aggregate state").finish(),
+        Expr::Binary { op, left, right } => {
+            let l = eval_with_aggs(left, sample, env, aggs)?;
+            let r = eval_with_aggs(right, sample, env, aggs)?;
+            // Reuse scalar machinery via a tiny synthetic expression.
+            let le = Expr::Literal(value_to_literal(&l));
+            let re = Expr::Literal(value_to_literal(&r));
+            eval(
+                &Expr::Binary {
+                    op: *op,
+                    left: Box::new(le),
+                    right: Box::new(re),
+                },
+                sample,
+                env,
+            )?
+        }
+        Expr::Unary { op, expr: inner } => {
+            let v = eval_with_aggs(inner, sample, env, aggs)?;
+            let ve = Expr::Literal(value_to_literal(&v));
+            eval(
+                &Expr::Unary {
+                    op: *op,
+                    expr: Box::new(ve),
+                },
+                sample,
+                env,
+            )?
+        }
+        other => eval(other, sample, env)?,
+    })
+}
+
+fn value_to_literal(v: &Value) -> neurdb_sql::Literal {
+    use neurdb_sql::Literal;
+    match v {
+        Value::Null => Literal::Null,
+        Value::Bool(b) => Literal::Bool(*b),
+        Value::Int(i) => Literal::Int(*i),
+        Value::Float(f) => Literal::Float(*f),
+        Value::Text(s) => Literal::Str(s.clone()),
+    }
+}
+
+fn sort_result(
+    stmt: &SelectStmt,
+    rel: &Relation,
+    result: &mut QueryResult,
+) -> Result<(), CoreError> {
+    // Sort keys evaluated against output columns when resolvable there,
+    // else against the pre-projection rows is not possible post-projection;
+    // we support output-column references (the common case).
+    let out_env = Bindings {
+        cols: result
+            .columns
+            .iter()
+            .map(|c| (String::new(), c.clone()))
+            .collect(),
+    };
+    let mut keyed: Vec<(Vec<Value>, Tuple)> = Vec::with_capacity(result.rows.len());
+    for row in result.rows.drain(..) {
+        let mut keys = Vec::with_capacity(stmt.order_by.len());
+        for (e, _) in &stmt.order_by {
+            // Try output columns first, fall back to treating unqualified
+            // names as qualified in the source env (projection must have
+            // included them for that to be meaningful).
+            let v = eval(e, &row, &out_env).or_else(|_| eval(e, &row, &rel.env))?;
+            keys.push(v);
+        }
+        keyed.push((keys, row));
+    }
+    keyed.sort_by(|a, b| {
+        for (i, (_, ord)) in stmt.order_by.iter().enumerate() {
+            let c = a.0[i].total_cmp(&b.0[i]);
+            let c = match ord {
+                SortOrder::Asc => c,
+                SortOrder::Desc => c.reverse(),
+            };
+            if !c.is_eq() {
+                return c;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    result.rows = keyed.into_iter().map(|(_, r)| r).collect();
+    Ok(())
+}

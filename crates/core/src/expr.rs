@@ -1,0 +1,319 @@
+//! Expression evaluation over tuples.
+//!
+//! Expressions are evaluated against a *binding environment*: an ordered
+//! list of `(qualifier, column_name)` pairs describing the columns of the
+//! current (possibly joined) row.
+
+use neurdb_sql::{BinaryOp, Expr, Literal, UnaryOp};
+use neurdb_storage::{Tuple, Value};
+use std::fmt;
+
+/// Evaluation errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    UnknownColumn(String),
+    AmbiguousColumn(String),
+    TypeMismatch(String),
+    AggregateInScalarContext,
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UnknownColumn(c) => write!(f, "unknown column '{c}'"),
+            EvalError::AmbiguousColumn(c) => write!(f, "ambiguous column '{c}'"),
+            EvalError::TypeMismatch(m) => write!(f, "type mismatch: {m}"),
+            EvalError::AggregateInScalarContext => {
+                write!(f, "aggregate not allowed in this context")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// The binding environment: column resolution for a row layout.
+#[derive(Debug, Clone, Default)]
+pub struct Bindings {
+    /// `(qualifier, column)` per output position.
+    pub cols: Vec<(String, String)>,
+}
+
+impl Bindings {
+    pub fn for_table(qualifier: &str, columns: &[&str]) -> Self {
+        Bindings {
+            cols: columns
+                .iter()
+                .map(|c| (qualifier.to_string(), c.to_string()))
+                .collect(),
+        }
+    }
+
+    /// Concatenate two binding environments (join output layout).
+    pub fn join(&self, other: &Bindings) -> Bindings {
+        let mut cols = self.cols.clone();
+        cols.extend(other.cols.iter().cloned());
+        Bindings { cols }
+    }
+
+    pub fn arity(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Resolve an unqualified column name.
+    pub fn resolve(&self, name: &str) -> Result<usize, EvalError> {
+        let hits: Vec<usize> = self
+            .cols
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, c))| c == name)
+            .map(|(i, _)| i)
+            .collect();
+        match hits.len() {
+            0 => Err(EvalError::UnknownColumn(name.to_string())),
+            1 => Ok(hits[0]),
+            _ => Err(EvalError::AmbiguousColumn(name.to_string())),
+        }
+    }
+
+    /// Resolve `qualifier.column`.
+    pub fn resolve_qualified(&self, q: &str, name: &str) -> Result<usize, EvalError> {
+        self.cols
+            .iter()
+            .position(|(tq, c)| tq == q && c == name)
+            .ok_or_else(|| EvalError::UnknownColumn(format!("{q}.{name}")))
+    }
+}
+
+/// Convert a SQL literal to a runtime value.
+pub fn literal_value(l: &Literal) -> Value {
+    match l {
+        Literal::Null => Value::Null,
+        Literal::Bool(b) => Value::Bool(*b),
+        Literal::Int(i) => Value::Int(*i),
+        Literal::Float(f) => Value::Float(*f),
+        Literal::Str(s) => Value::Text(s.clone()),
+    }
+}
+
+/// Evaluate a scalar expression against a row.
+pub fn eval(expr: &Expr, row: &Tuple, env: &Bindings) -> Result<Value, EvalError> {
+    match expr {
+        Expr::Column(name) => Ok(row.get(env.resolve(name)?).clone()),
+        Expr::Qualified(q, name) => Ok(row.get(env.resolve_qualified(q, name)?).clone()),
+        Expr::Literal(l) => Ok(literal_value(l)),
+        Expr::Unary { op, expr } => {
+            let v = eval(expr, row, env)?;
+            match op {
+                UnaryOp::Not => match v.as_bool() {
+                    Some(b) => Ok(Value::Bool(!b)),
+                    None if v.is_null() => Ok(Value::Null),
+                    None => Err(EvalError::TypeMismatch(format!("NOT {v}"))),
+                },
+                UnaryOp::Neg => match v {
+                    Value::Int(i) => Ok(Value::Int(-i)),
+                    Value::Float(f) => Ok(Value::Float(-f)),
+                    Value::Null => Ok(Value::Null),
+                    other => Err(EvalError::TypeMismatch(format!("-{other}"))),
+                },
+            }
+        }
+        Expr::Binary { op, left, right } => {
+            let l = eval(left, row, env)?;
+            match op {
+                // Short-circuit three-valued logic for AND/OR.
+                BinaryOp::And => {
+                    if l.as_bool() == Some(false) {
+                        return Ok(Value::Bool(false));
+                    }
+                    let r = eval(right, row, env)?;
+                    match (l.as_bool(), r.as_bool()) {
+                        (Some(a), Some(b)) => Ok(Value::Bool(a && b)),
+                        // Kleene logic: FALSE AND NULL = FALSE.
+                        (_, Some(false)) => Ok(Value::Bool(false)),
+                        _ => Ok(Value::Null),
+                    }
+                }
+                BinaryOp::Or => {
+                    if l.as_bool() == Some(true) {
+                        return Ok(Value::Bool(true));
+                    }
+                    let r = eval(right, row, env)?;
+                    match (l.as_bool(), r.as_bool()) {
+                        (Some(a), Some(b)) => Ok(Value::Bool(a || b)),
+                        // Kleene logic: NULL OR TRUE = TRUE.
+                        (_, Some(true)) => Ok(Value::Bool(true)),
+                        _ => Ok(Value::Null),
+                    }
+                }
+                BinaryOp::Eq
+                | BinaryOp::Neq
+                | BinaryOp::Lt
+                | BinaryOp::Lte
+                | BinaryOp::Gt
+                | BinaryOp::Gte => {
+                    let r = eval(right, row, env)?;
+                    if l.is_null() || r.is_null() {
+                        return Ok(Value::Null);
+                    }
+                    let ord = l.total_cmp(&r);
+                    let b = match op {
+                        BinaryOp::Eq => ord.is_eq(),
+                        BinaryOp::Neq => !ord.is_eq(),
+                        BinaryOp::Lt => ord.is_lt(),
+                        BinaryOp::Lte => ord.is_le(),
+                        BinaryOp::Gt => ord.is_gt(),
+                        _ => ord.is_ge(),
+                    };
+                    Ok(Value::Bool(b))
+                }
+                BinaryOp::Add | BinaryOp::Sub | BinaryOp::Mul | BinaryOp::Div => {
+                    let r = eval(right, row, env)?;
+                    if l.is_null() || r.is_null() {
+                        return Ok(Value::Null);
+                    }
+                    arith(*op, &l, &r)
+                }
+            }
+        }
+        Expr::Agg { .. } => Err(EvalError::AggregateInScalarContext),
+    }
+}
+
+fn arith(op: BinaryOp, l: &Value, r: &Value) -> Result<Value, EvalError> {
+    // Integer arithmetic stays integral; any float operand promotes.
+    if let (Value::Int(a), Value::Int(b)) = (l, r) {
+        return Ok(match op {
+            BinaryOp::Add => Value::Int(a.wrapping_add(*b)),
+            BinaryOp::Sub => Value::Int(a.wrapping_sub(*b)),
+            BinaryOp::Mul => Value::Int(a.wrapping_mul(*b)),
+            BinaryOp::Div => {
+                if *b == 0 {
+                    Value::Null
+                } else {
+                    Value::Int(a / b)
+                }
+            }
+            _ => unreachable!(),
+        });
+    }
+    let (a, b) = match (l.as_f64(), r.as_f64()) {
+        (Some(a), Some(b)) => (a, b),
+        _ => return Err(EvalError::TypeMismatch(format!("{l} {op} {r}"))),
+    };
+    Ok(match op {
+        BinaryOp::Add => Value::Float(a + b),
+        BinaryOp::Sub => Value::Float(a - b),
+        BinaryOp::Mul => Value::Float(a * b),
+        BinaryOp::Div => {
+            if b == 0.0 {
+                Value::Null
+            } else {
+                Value::Float(a / b)
+            }
+        }
+        _ => unreachable!(),
+    })
+}
+
+/// Evaluate a predicate: SQL semantics — NULL counts as false.
+pub fn eval_predicate(expr: &Expr, row: &Tuple, env: &Bindings) -> Result<bool, EvalError> {
+    Ok(eval(expr, row, env)?.as_bool().unwrap_or(false))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neurdb_sql::parse;
+    use neurdb_sql::Statement;
+
+    fn env() -> Bindings {
+        Bindings::for_table("t", &["a", "b", "name"])
+    }
+
+    fn row(a: i64, b: f64, name: &str) -> Tuple {
+        Tuple::new(vec![Value::Int(a), Value::Float(b), Value::Text(name.into())])
+    }
+
+    fn pred(sql_where: &str) -> Expr {
+        let stmt = parse(&format!("SELECT * FROM t WHERE {sql_where}")).unwrap();
+        let Statement::Select(s) = stmt else { panic!() };
+        s.predicate.unwrap()
+    }
+
+    #[test]
+    fn comparisons_and_logic() {
+        let e = env();
+        let r = row(5, 2.5, "x");
+        assert!(eval_predicate(&pred("a = 5 AND b < 3"), &r, &e).unwrap());
+        assert!(eval_predicate(&pred("a > 10 OR name = 'x'"), &r, &e).unwrap());
+        assert!(!eval_predicate(&pred("NOT a = 5"), &r, &e).unwrap());
+        assert!(eval_predicate(&pred("a <> 4"), &r, &e).unwrap());
+    }
+
+    #[test]
+    fn arithmetic() {
+        let e = env();
+        let r = row(7, 0.5, "x");
+        assert_eq!(
+            eval(&pred("a + 1 = 8"), &r, &e).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            eval(&pred("a * 2 - 4 = 10"), &r, &e).unwrap(),
+            Value::Bool(true)
+        );
+        // Mixed int/float promotes.
+        assert_eq!(
+            eval(&pred("b * 4 = 2"), &r, &e).unwrap(),
+            Value::Bool(true)
+        );
+    }
+
+    #[test]
+    fn division_by_zero_is_null() {
+        let e = env();
+        let r = row(1, 1.0, "x");
+        assert!(!eval_predicate(&pred("a / 0 = 1"), &r, &e).unwrap());
+    }
+
+    #[test]
+    fn null_semantics() {
+        let e = env();
+        let r = Tuple::new(vec![Value::Null, Value::Float(1.0), Value::Null]);
+        // NULL = NULL is NULL, so predicate is false.
+        assert!(!eval_predicate(&pred("a = a"), &r, &e).unwrap());
+        // NULL OR true is true.
+        assert!(eval_predicate(&pred("a = 1 OR b = 1"), &r, &e).unwrap());
+        // NULL AND false is false.
+        assert!(!eval_predicate(&pred("a = 1 AND b = 2"), &r, &e).unwrap());
+    }
+
+    #[test]
+    fn qualified_resolution_and_ambiguity() {
+        let j = Bindings::for_table("u", &["id", "x"]).join(&Bindings::for_table("p", &["id", "y"]));
+        let r = Tuple::new(vec![
+            Value::Int(1),
+            Value::Int(2),
+            Value::Int(1),
+            Value::Int(4),
+        ]);
+        assert!(eval_predicate(&pred("u.id = p.id"), &r, &j).unwrap());
+        assert_eq!(
+            eval(&pred("id = 1"), &r, &j).unwrap_err(),
+            EvalError::AmbiguousColumn("id".into())
+        );
+        assert!(matches!(
+            eval(&pred("nope = 1"), &r, &j).unwrap_err(),
+            EvalError::UnknownColumn(_)
+        ));
+    }
+
+    #[test]
+    fn unary_ops() {
+        let e = env();
+        let r = row(5, -1.5, "x");
+        assert!(eval_predicate(&pred("-a = -5"), &r, &e).unwrap());
+        assert!(eval_predicate(&pred("-b = 1.5"), &r, &e).unwrap());
+    }
+}

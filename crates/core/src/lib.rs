@@ -1,0 +1,42 @@
+//! # neurdb-core
+//!
+//! The NeurDB-RS facade: a SQL database with the paper's in-database AI
+//! ecosystem wired in. Sessions parse standard DML/DDL plus the `PREDICT`
+//! extension; PREDICT statements scan training data, stream it to the AI
+//! engine through the data streaming protocol, train/serve ArmNet models
+//! managed by the layered model storage, and return predictions as rows —
+//! the running example of paper Section 3.
+//!
+//! ```
+//! use neurdb_core::Database;
+//!
+//! let db = Database::new();
+//! db.execute("CREATE TABLE review (id INT PRIMARY KEY, brand_name TEXT, stars INT, score FLOAT)").unwrap();
+//! for i in 0..200 {
+//!     db.execute(&format!(
+//!         "INSERT INTO review VALUES ({i}, 'brand{}', {}, {})",
+//!         i % 4, i % 5, (i % 5) as f64 * 1.0,
+//!     )).unwrap();
+//! }
+//! let out = db.execute(
+//!     "PREDICT VALUE OF score FROM review WHERE brand_name = 'brand0' TRAIN ON * WITH brand_name <> 'brand0'",
+//! ).unwrap();
+//! assert!(!out.rows().unwrap().is_empty());
+//! ```
+
+pub mod analytics;
+pub mod compare;
+pub mod database;
+pub mod error;
+pub mod exec;
+pub mod expr;
+
+pub use analytics::{extract_examples, make_batches, value_to_field, Standardizer};
+pub use compare::{
+    build_batches, compare, from_text_protocol, run_neurdb, run_pgp, to_text_protocol,
+    AnalyticsWorkload, ComparisonRow, RowSource,
+};
+pub use database::{Database, Output, PredictionReport};
+pub use error::{CoreError, CoreResult};
+pub use exec::{execute_select, QueryResult};
+pub use expr::{eval, eval_predicate, Bindings, EvalError};

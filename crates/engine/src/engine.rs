@@ -1,0 +1,444 @@
+//! The AI engine: task manager, dispatchers, and AI runtimes
+//! (paper Section 4.1, Fig. 2).
+//!
+//! The task manager accepts AI tasks (training / fine-tuning / inference),
+//! creates a *dispatcher* per task, and hands execution to an *AI runtime*.
+//! Dispatchers stream data to runtimes through the
+//! [streaming protocol](crate::streaming); fine-tuning runs with a frozen
+//! layer prefix and persists only the updated trailing layers through the
+//! [model manager](crate::model_manager) — the incremental update of
+//! Fig. 3.
+
+use crate::model_manager::{Mid, ModelManager, VersionTs};
+use crate::streaming::{DataBatch, StreamReceiver};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use neurdb_nn::{LayerSpec, LossKind, Matrix, Model, OptimConfig, Trainer};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Outcome of a training or fine-tuning task.
+#[derive(Debug, Clone)]
+pub struct TrainOutcome {
+    pub mid: Mid,
+    pub version: VersionTs,
+    /// Per-batch training losses, in arrival order.
+    pub losses: Vec<f32>,
+    /// Total samples consumed.
+    pub samples: usize,
+    /// Wall-clock seconds spent inside `train_batch` (compute).
+    pub compute_seconds: f64,
+    /// Wall-clock seconds spent waiting for data (stream stalls).
+    pub wait_seconds: f64,
+    /// End-to-end seconds for the task.
+    pub total_seconds: f64,
+}
+
+impl TrainOutcome {
+    /// Training throughput in samples/second over the whole task.
+    pub fn throughput(&self) -> f64 {
+        self.samples as f64 / self.total_seconds.max(1e-9)
+    }
+}
+
+/// The AI engine. Shares a [`ModelManager`]; spawns runtimes on demand.
+pub struct AiEngine {
+    pub models: Arc<ModelManager>,
+    rng_seed: AtomicU64,
+}
+
+impl Default for AiEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AiEngine {
+    pub fn new() -> Self {
+        AiEngine {
+            models: Arc::new(ModelManager::new()),
+            rng_seed: AtomicU64::new(0xA1EC05),
+        }
+    }
+
+    fn rng(&self) -> StdRng {
+        StdRng::seed_from_u64(self.rng_seed.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// **Training task** over a data stream: the runtime trains while the
+    /// dispatcher keeps streaming (pipelined). Registers the final model
+    /// and returns the outcome.
+    pub fn train_streaming(
+        &self,
+        spec: Vec<LayerSpec>,
+        loss: LossKind,
+        lr: f32,
+        mut rx: StreamReceiver,
+    ) -> TrainOutcome {
+        let start = Instant::now();
+        let mut rng = self.rng();
+        let model = Model::from_spec(spec.clone(), &mut rng);
+        let mut trainer = Trainer::new(
+            model,
+            loss,
+            OptimConfig {
+                lr,
+                ..Default::default()
+            },
+        );
+        let (losses, samples, compute, wait) = Self::consume(&mut trainer, &mut rx);
+        let (mid, version) = self
+            .models
+            .register(spec, trainer.model.layer_states());
+        TrainOutcome {
+            mid,
+            version,
+            losses,
+            samples,
+            compute_seconds: compute,
+            wait_seconds: wait,
+            total_seconds: start.elapsed().as_secs_f64(),
+        }
+    }
+
+    /// **Fine-tuning task**: materialize the latest version, freeze the
+    /// first `frozen_prefix` layers, train on the stream, persist only the
+    /// updated trailing layers (incremental version).
+    pub fn finetune_streaming(
+        &self,
+        mid: Mid,
+        loss: LossKind,
+        lr: f32,
+        frozen_prefix: usize,
+        mut rx: StreamReceiver,
+    ) -> Result<TrainOutcome, crate::model_manager::ModelError> {
+        let start = Instant::now();
+        let model = self.models.materialize_latest(mid)?;
+        let n_layers = model.num_layers();
+        let mut trainer = Trainer::new(
+            model,
+            loss,
+            OptimConfig {
+                lr,
+                ..Default::default()
+            },
+        );
+        trainer.set_frozen_prefix(frozen_prefix.min(n_layers));
+        let (losses, samples, compute, wait) = Self::consume(&mut trainer, &mut rx);
+        let states = trainer.model.layer_states();
+        let changed: Vec<(u32, Vec<u8>)> = (frozen_prefix..n_layers)
+            .map(|lid| (lid as u32, states[lid].clone()))
+            .collect();
+        let version = self.models.save_incremental(mid, changed)?;
+        Ok(TrainOutcome {
+            mid,
+            version,
+            losses,
+            samples,
+            compute_seconds: compute,
+            wait_seconds: wait,
+            total_seconds: start.elapsed().as_secs_f64(),
+        })
+    }
+
+    /// **Inference task**: run the latest model version on `features`.
+    pub fn infer(
+        &self,
+        mid: Mid,
+        features: &Matrix,
+    ) -> Result<Matrix, crate::model_manager::ModelError> {
+        let mut model = self.models.materialize_latest(mid)?;
+        Ok(model.forward(features))
+    }
+
+    /// **Inference at a version** (time travel over model views).
+    pub fn infer_at(
+        &self,
+        mid: Mid,
+        version: VersionTs,
+        features: &Matrix,
+    ) -> Result<Matrix, crate::model_manager::ModelError> {
+        let mut model = self.models.materialize(mid, version)?;
+        Ok(model.forward(features))
+    }
+
+    /// Shared consume loop: pulls batches, measuring stall vs compute time.
+    fn consume(
+        trainer: &mut Trainer,
+        rx: &mut StreamReceiver,
+    ) -> (Vec<f32>, usize, f64, f64) {
+        let mut losses = Vec::new();
+        let mut samples = 0usize;
+        let mut compute = 0.0;
+        let mut wait = 0.0;
+        loop {
+            let t0 = Instant::now();
+            let Some(batch) = rx.recv() else { break };
+            wait += t0.elapsed().as_secs_f64();
+            let t1 = Instant::now();
+            let l = trainer.train_batch(&batch.features, &batch.targets);
+            compute += t1.elapsed().as_secs_f64();
+            samples += batch.rows();
+            losses.push(l);
+        }
+        (losses, samples, compute, wait)
+    }
+}
+
+/// A queued AI task for the [`TaskManager`].
+pub struct AiTask {
+    /// Human-readable description ("train avazu", "finetune mid=3"...).
+    pub label: String,
+    /// The work itself.
+    pub run: Box<dyn FnOnce() -> TaskResult + Send>,
+}
+
+/// Result of a managed task.
+#[derive(Debug, Clone)]
+pub struct TaskResult {
+    pub label: String,
+    pub seconds: f64,
+    /// Task-defined scalar outcome (final loss, accuracy, ...).
+    pub metric: f64,
+}
+
+/// The task manager: a dispatcher pool executing queued AI tasks on worker
+/// threads ("the task manager coordinates and schedules the tasks and
+/// resources ... creates a dispatcher for each task", Fig. 2).
+pub struct TaskManager {
+    tx: Option<Sender<AiTask>>,
+    results_rx: Receiver<TaskResult>,
+    workers: Vec<JoinHandle<()>>,
+    submitted: AtomicU64,
+}
+
+impl TaskManager {
+    /// Spawn a manager with `dispatchers` worker threads.
+    pub fn new(dispatchers: usize) -> Self {
+        let (tx, rx) = unbounded::<AiTask>();
+        let (res_tx, results_rx) = unbounded::<TaskResult>();
+        let workers = (0..dispatchers.max(1))
+            .map(|_| {
+                let rx = rx.clone();
+                let res_tx = res_tx.clone();
+                std::thread::spawn(move || {
+                    while let Ok(task) = rx.recv() {
+                        let start = Instant::now();
+                        let mut result = (task.run)();
+                        result.seconds = start.elapsed().as_secs_f64();
+                        if res_tx.send(result).is_err() {
+                            break;
+                        }
+                    }
+                })
+            })
+            .collect();
+        TaskManager {
+            tx: Some(tx),
+            results_rx,
+            workers,
+            submitted: AtomicU64::new(0),
+        }
+    }
+
+    /// Queue a task.
+    pub fn submit(&self, task: AiTask) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        self.tx
+            .as_ref()
+            .expect("task manager shut down")
+            .send(task)
+            .expect("workers alive");
+    }
+
+    /// Wait for all submitted tasks and collect their results.
+    pub fn drain(&self) -> Vec<TaskResult> {
+        let n = self.submitted.swap(0, Ordering::Relaxed);
+        (0..n)
+            .map(|_| self.results_rx.recv().expect("worker delivered result"))
+            .collect()
+    }
+}
+
+impl Drop for TaskManager {
+    fn drop(&mut self) {
+        self.tx.take(); // close the queue
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// The PostgreSQL+P baseline path: load **all** batches first (paying a
+/// full serialize→copy→deserialize round per batch, as a client-protocol
+/// export does), then train — no pipelining, peak memory holds the whole
+/// dataset (paper Section 5.1.2).
+pub fn batch_load_then_train(
+    engine: &AiEngine,
+    spec: Vec<LayerSpec>,
+    loss: LossKind,
+    lr: f32,
+    source: impl Iterator<Item = DataBatch>,
+) -> TrainOutcome {
+    let start = Instant::now();
+    // Phase 1: bulk export. Extra encode/decode models the wire format +
+    // driver parse that an out-of-database runtime pays.
+    let t0 = Instant::now();
+    let staged: Vec<DataBatch> = source
+        .map(|b| {
+            let wire = b.encode();
+            let parsed = DataBatch::decode(&wire);
+            let wire2 = parsed.encode(); // driver -> tensor copy
+            DataBatch::decode(&wire2)
+        })
+        .collect();
+    let wait = t0.elapsed().as_secs_f64();
+    // Phase 2: train.
+    let mut rng = StdRng::seed_from_u64(0xBA5E);
+    let model = Model::from_spec(spec.clone(), &mut rng);
+    let mut trainer = Trainer::new(
+        model,
+        loss,
+        OptimConfig {
+            lr,
+            ..Default::default()
+        },
+    );
+    let mut losses = Vec::new();
+    let mut samples = 0;
+    let t1 = Instant::now();
+    for b in &staged {
+        losses.push(trainer.train_batch(&b.features, &b.targets));
+        samples += b.rows();
+    }
+    let compute = t1.elapsed().as_secs_f64();
+    let (mid, version) = engine.models.register(spec, trainer.model.layer_states());
+    TrainOutcome {
+        mid,
+        version,
+        losses,
+        samples,
+        compute_seconds: compute,
+        wait_seconds: wait,
+        total_seconds: start.elapsed().as_secs_f64(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::streaming::{stream_from_source, Handshake, StreamParams};
+    use neurdb_nn::mlp_spec;
+
+    fn toy_batches(n: usize, rows: usize) -> Vec<DataBatch> {
+        // y = x0 - x1
+        (0..n)
+            .map(|b| {
+                let mut f = Matrix::zeros(rows, 2);
+                let mut t = Matrix::zeros(rows, 1);
+                for r in 0..rows {
+                    let a = ((b * rows + r) % 17) as f32 / 17.0 - 0.5;
+                    let c = ((b * rows + r) % 13) as f32 / 13.0 - 0.5;
+                    f.set(r, 0, a);
+                    f.set(r, 1, c);
+                    t.set(r, 0, a - c);
+                }
+                DataBatch {
+                    features: f,
+                    targets: t,
+                }
+            })
+            .collect()
+    }
+
+    fn handshake() -> Handshake {
+        Handshake {
+            model_descriptor: "mlp".into(),
+            params: StreamParams {
+                batch_size: 32,
+                window: 8,
+            },
+        }
+    }
+
+    #[test]
+    fn streaming_training_learns_and_registers() {
+        let engine = AiEngine::new();
+        let (rx, h) = stream_from_source(&handshake(), toy_batches(60, 32).into_iter());
+        let out = engine.train_streaming(mlp_spec(&[2, 16, 1]), LossKind::Mse, 0.01, rx);
+        h.join().unwrap();
+        assert_eq!(out.samples, 60 * 32);
+        assert!(out.losses.last().unwrap() < &(out.losses[0] * 0.5));
+        assert_eq!(engine.models.num_models(), 1);
+    }
+
+    #[test]
+    fn finetune_creates_incremental_version() {
+        let engine = AiEngine::new();
+        let (rx, h) = stream_from_source(&handshake(), toy_batches(30, 32).into_iter());
+        let out = engine.train_streaming(mlp_spec(&[2, 8, 1]), LossKind::Mse, 0.01, rx);
+        h.join().unwrap();
+        let (rx2, h2) = stream_from_source(&handshake(), toy_batches(10, 32).into_iter());
+        let ft = engine
+            .finetune_streaming(out.mid, LossKind::Mse, 0.01, 2, rx2)
+            .unwrap();
+        h2.join().unwrap();
+        assert!(ft.version > out.version);
+        // Frozen layer 0 shared between versions.
+        let s1 = engine.models.layer_states_at(out.mid, out.version).unwrap();
+        let s2 = engine.models.layer_states_at(out.mid, ft.version).unwrap();
+        assert_eq!(s1[0], s2[0]);
+        assert_ne!(s1[2], s2[2]);
+    }
+
+    #[test]
+    fn inference_and_time_travel() {
+        let engine = AiEngine::new();
+        let (rx, h) = stream_from_source(&handshake(), toy_batches(40, 32).into_iter());
+        let out = engine.train_streaming(mlp_spec(&[2, 8, 1]), LossKind::Mse, 0.01, rx);
+        h.join().unwrap();
+        let x = Matrix::from_vec(1, 2, vec![0.4, -0.1]);
+        let y = engine.infer(out.mid, &x).unwrap();
+        assert!((y.get(0, 0) - 0.5).abs() < 0.25, "prediction {}", y.get(0, 0));
+        // Old version still servable.
+        let y_old = engine.infer_at(out.mid, out.version, &x).unwrap();
+        assert_eq!(y.data, y_old.data);
+    }
+
+    #[test]
+    fn task_manager_runs_parallel_tasks() {
+        let tm = TaskManager::new(4);
+        for i in 0..8 {
+            tm.submit(AiTask {
+                label: format!("task{i}"),
+                run: Box::new(move || TaskResult {
+                    label: format!("task{i}"),
+                    seconds: 0.0,
+                    metric: i as f64,
+                }),
+            });
+        }
+        let results = tm.drain();
+        assert_eq!(results.len(), 8);
+        let mut metrics: Vec<f64> = results.iter().map(|r| r.metric).collect();
+        metrics.sort_by(f64::total_cmp);
+        assert_eq!(metrics, (0..8).map(|i| i as f64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn baseline_pays_staging_cost() {
+        let engine = AiEngine::new();
+        let out = batch_load_then_train(
+            &engine,
+            mlp_spec(&[2, 8, 1]),
+            LossKind::Mse,
+            0.01,
+            toy_batches(30, 64).into_iter(),
+        );
+        assert_eq!(out.samples, 30 * 64);
+        assert!(out.wait_seconds > 0.0, "staging must be accounted");
+    }
+}

@@ -1,0 +1,386 @@
+//! The model manager: layered model storage, model views, versioning, and
+//! incremental updates (paper Section 4.1, Fig. 3).
+//!
+//! Physical representation mirrors the paper's two relations:
+//!
+//! * **model table** — `(MID, timestamp)` rows: one per model *version*;
+//! * **layer table** — `(MID, LID, timestamp, weights)` rows: one per
+//!   *stored layer version*.
+//!
+//! A model version `M_{i,t}` is assembled by taking, for each layer `LID`,
+//! the stored weights with the largest timestamp `≤ t` — exactly the
+//! formula in Section 4.1. Incremental updates therefore persist only the
+//! fine-tuned trailing layers; earlier versions' frozen layers are shared.
+
+use neurdb_nn::{LayerSpec, Model};
+use parking_lot::RwLock;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Model identifier.
+pub type Mid = u64;
+/// Layer identifier (index within the model's stack).
+pub type Lid = u32;
+/// Version timestamp (logical).
+pub type VersionTs = u64;
+
+/// Errors from the model manager.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    UnknownModel(Mid),
+    NoVersionAtOrBefore(Mid, VersionTs),
+    LayerCountMismatch { expected: usize, got: usize },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::UnknownModel(m) => write!(f, "unknown model {m}"),
+            ModelError::NoVersionAtOrBefore(m, t) => {
+                write!(f, "model {m} has no version at or before t={t}")
+            }
+            ModelError::LayerCountMismatch { expected, got } => {
+                write!(f, "layer count mismatch: expected {expected}, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+struct ModelEntry {
+    spec: Vec<LayerSpec>,
+    /// Version timestamps, ascending (the model table).
+    versions: Vec<VersionTs>,
+    /// The layer table: per LID, `(timestamp, weights)` ascending by ts.
+    layers: Vec<Vec<(VersionTs, Vec<u8>)>>,
+}
+
+/// Storage accounting the Fig. 3 design exists to improve.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StorageReport {
+    /// Bytes actually stored (shared frozen layers stored once).
+    pub stored_bytes: usize,
+    /// Bytes a naive full-copy-per-version scheme would store.
+    pub naive_bytes: usize,
+    /// Number of model versions across all models.
+    pub versions: usize,
+    /// Number of stored layer rows.
+    pub layer_rows: usize,
+}
+
+impl StorageReport {
+    /// Fraction of naive storage saved by layer sharing.
+    pub fn savings(&self) -> f64 {
+        if self.naive_bytes == 0 {
+            0.0
+        } else {
+            1.0 - self.stored_bytes as f64 / self.naive_bytes as f64
+        }
+    }
+}
+
+/// The model manager. Thread-safe; the AI engine shares one instance.
+pub struct ModelManager {
+    models: RwLock<HashMap<Mid, ModelEntry>>,
+    next_mid: RwLock<Mid>,
+    clock: RwLock<VersionTs>,
+}
+
+impl Default for ModelManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ModelManager {
+    pub fn new() -> Self {
+        ModelManager {
+            models: RwLock::new(HashMap::new()),
+            next_mid: RwLock::new(1),
+            clock: RwLock::new(1),
+        }
+    }
+
+    fn next_ts(&self) -> VersionTs {
+        let mut c = self.clock.write();
+        let t = *c;
+        *c += 1;
+        t
+    }
+
+    /// Register a new model: stores the spec and version 1 with all layers.
+    pub fn register(&self, spec: Vec<LayerSpec>, states: Vec<Vec<u8>>) -> (Mid, VersionTs) {
+        assert_eq!(spec.len(), states.len(), "spec/state length mismatch");
+        let mid = {
+            let mut n = self.next_mid.write();
+            let m = *n;
+            *n += 1;
+            m
+        };
+        let ts = self.next_ts();
+        let layers = states.into_iter().map(|s| vec![(ts, s)]).collect();
+        self.models.write().insert(
+            mid,
+            ModelEntry {
+                spec,
+                versions: vec![ts],
+                layers,
+            },
+        );
+        (mid, ts)
+    }
+
+    /// Persist a **full** new version (every layer re-stored). This is what
+    /// complete retraining produces.
+    pub fn save_full(&self, mid: Mid, states: Vec<Vec<u8>>) -> Result<VersionTs, ModelError> {
+        let ts = self.next_ts();
+        let mut models = self.models.write();
+        let entry = models.get_mut(&mid).ok_or(ModelError::UnknownModel(mid))?;
+        if states.len() != entry.layers.len() {
+            return Err(ModelError::LayerCountMismatch {
+                expected: entry.layers.len(),
+                got: states.len(),
+            });
+        }
+        for (lid, s) in states.into_iter().enumerate() {
+            entry.layers[lid].push((ts, s));
+        }
+        entry.versions.push(ts);
+        Ok(ts)
+    }
+
+    /// Persist an **incremental** new version: only `changed` layers (LID,
+    /// weights) are stored; all other layers are inherited from earlier
+    /// versions (Fig. 3's layer sharing).
+    pub fn save_incremental(
+        &self,
+        mid: Mid,
+        changed: Vec<(Lid, Vec<u8>)>,
+    ) -> Result<VersionTs, ModelError> {
+        let ts = self.next_ts();
+        let mut models = self.models.write();
+        let entry = models.get_mut(&mid).ok_or(ModelError::UnknownModel(mid))?;
+        for (lid, s) in changed {
+            let lid = lid as usize;
+            if lid >= entry.layers.len() {
+                return Err(ModelError::LayerCountMismatch {
+                    expected: entry.layers.len(),
+                    got: lid + 1,
+                });
+            }
+            entry.layers[lid].push((ts, s));
+        }
+        entry.versions.push(ts);
+        Ok(ts)
+    }
+
+    /// Latest version timestamp of a model.
+    pub fn latest_version(&self, mid: Mid) -> Result<VersionTs, ModelError> {
+        let models = self.models.read();
+        let entry = models.get(&mid).ok_or(ModelError::UnknownModel(mid))?;
+        entry
+            .versions
+            .last()
+            .copied()
+            .ok_or(ModelError::NoVersionAtOrBefore(mid, 0))
+    }
+
+    /// All version timestamps of a model.
+    pub fn versions(&self, mid: Mid) -> Result<Vec<VersionTs>, ModelError> {
+        let models = self.models.read();
+        let entry = models.get(&mid).ok_or(ModelError::UnknownModel(mid))?;
+        Ok(entry.versions.clone())
+    }
+
+    /// The model's layer spec.
+    pub fn spec(&self, mid: Mid) -> Result<Vec<LayerSpec>, ModelError> {
+        let models = self.models.read();
+        let entry = models.get(&mid).ok_or(ModelError::UnknownModel(mid))?;
+        Ok(entry.spec.clone())
+    }
+
+    /// Assemble the layer states of `M_{mid, t}`: for each layer, the
+    /// weights with the largest timestamp `≤ t`.
+    pub fn layer_states_at(
+        &self,
+        mid: Mid,
+        t: VersionTs,
+    ) -> Result<Vec<Vec<u8>>, ModelError> {
+        let models = self.models.read();
+        let entry = models.get(&mid).ok_or(ModelError::UnknownModel(mid))?;
+        if !entry.versions.iter().any(|v| *v <= t) {
+            return Err(ModelError::NoVersionAtOrBefore(mid, t));
+        }
+        let mut out = Vec::with_capacity(entry.layers.len());
+        for layer_versions in &entry.layers {
+            let state = layer_versions
+                .iter()
+                .rev()
+                .find(|(ts, _)| *ts <= t)
+                .map(|(_, s)| s.clone())
+                .ok_or(ModelError::NoVersionAtOrBefore(mid, t))?;
+            out.push(state);
+        }
+        Ok(out)
+    }
+
+    /// Materialize an executable [`Model`] at version `t` (a *model view*
+    /// in the paper's terms). The architecture comes from the stored spec;
+    /// weights are loaded per layer. `seed` only affects transient init
+    /// before weights are overwritten.
+    pub fn materialize(&self, mid: Mid, t: VersionTs) -> Result<Model, ModelError> {
+        let spec = self.spec(mid)?;
+        let states = self.layer_states_at(mid, t)?;
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut model = Model::from_spec(spec, &mut rng);
+        model.load_states(&states);
+        Ok(model)
+    }
+
+    /// Materialize the latest version.
+    pub fn materialize_latest(&self, mid: Mid) -> Result<Model, ModelError> {
+        let t = self.latest_version(mid)?;
+        self.materialize(mid, t)
+    }
+
+    /// Storage accounting across all models.
+    pub fn storage_report(&self) -> StorageReport {
+        let models = self.models.read();
+        let mut r = StorageReport::default();
+        for entry in models.values() {
+            r.versions += entry.versions.len();
+            let full_size: usize = entry
+                .layers
+                .iter()
+                .filter_map(|lv| lv.last().map(|(_, s)| s.len()))
+                .sum();
+            r.naive_bytes += full_size * entry.versions.len();
+            for lv in &entry.layers {
+                for (_, s) in lv {
+                    r.stored_bytes += s.len();
+                    r.layer_rows += 1;
+                }
+            }
+        }
+        r
+    }
+
+    pub fn num_models(&self) -> usize {
+        self.models.read().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neurdb_nn::{mlp_spec, Matrix};
+
+    fn fresh_model() -> (Vec<LayerSpec>, Model) {
+        let spec = mlp_spec(&[3, 8, 1]);
+        let mut rng = StdRng::seed_from_u64(99);
+        let model = Model::from_spec(spec.clone(), &mut rng);
+        (spec, model)
+    }
+
+    #[test]
+    fn register_and_materialize_roundtrip() {
+        let mm = ModelManager::new();
+        let (spec, mut model) = fresh_model();
+        let (mid, ts) = mm.register(spec, model.layer_states());
+        let mut restored = mm.materialize(mid, ts).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let x = Matrix::xavier(4, 3, &mut rng);
+        assert_eq!(model.forward(&x).data, restored.forward(&x).data);
+    }
+
+    #[test]
+    fn incremental_version_shares_frozen_layers() {
+        let mm = ModelManager::new();
+        let (spec, model) = fresh_model();
+        let (mid, v1) = mm.register(spec.clone(), model.layer_states());
+        // Fine-tune: only the last layer changes.
+        let mut rng = StdRng::seed_from_u64(7);
+        let fresh = Model::from_spec(spec, &mut rng);
+        let new_last = fresh.layer_states().pop().unwrap();
+        let last_lid = (model.num_layers() - 1) as Lid;
+        let v2 = mm.save_incremental(mid, vec![(last_lid, new_last.clone())]).unwrap();
+        assert!(v2 > v1);
+        // v2 = frozen prefix of v1 + new last layer.
+        let s1 = mm.layer_states_at(mid, v1).unwrap();
+        let s2 = mm.layer_states_at(mid, v2).unwrap();
+        assert_eq!(s1[0], s2[0], "frozen layer shared");
+        assert_eq!(s2.last().unwrap(), &new_last);
+        assert_ne!(s1.last().unwrap(), s2.last().unwrap());
+    }
+
+    #[test]
+    fn old_versions_stay_reconstructible() {
+        let mm = ModelManager::new();
+        let (spec, model) = fresh_model();
+        let (mid, v1) = mm.register(spec, model.layer_states());
+        let orig_last = model.layer_states().pop().unwrap();
+        for i in 0..5 {
+            let mut changed = model.layer_states().pop().unwrap();
+            changed[8] = i as u8; // mutate one weight byte
+            mm.save_incremental(mid, vec![(2, changed)]).unwrap();
+        }
+        let s1 = mm.layer_states_at(mid, v1).unwrap();
+        assert_eq!(s1.last().unwrap(), &orig_last, "v1 unchanged by later versions");
+        assert_eq!(mm.versions(mid).unwrap().len(), 6);
+    }
+
+    #[test]
+    fn storage_savings_from_incremental_updates() {
+        let mm = ModelManager::new();
+        let (spec, model) = fresh_model();
+        let (mid, _) = mm.register(spec, model.layer_states());
+        let last = model.layer_states().pop().unwrap();
+        for _ in 0..9 {
+            mm.save_incremental(mid, vec![(2, last.clone())]).unwrap();
+        }
+        let r = mm.storage_report();
+        assert_eq!(r.versions, 10);
+        // The big first linear layer is stored once; naive stores it 10x.
+        assert!(
+            r.savings() > 0.5,
+            "expected >50% savings, got {:.2}",
+            r.savings()
+        );
+    }
+
+    #[test]
+    fn errors() {
+        let mm = ModelManager::new();
+        assert_eq!(
+            mm.materialize(42, 1).unwrap_err(),
+            ModelError::UnknownModel(42)
+        );
+        let (spec, model) = fresh_model();
+        let (mid, v1) = mm.register(spec, model.layer_states());
+        assert!(mm.layer_states_at(mid, v1 - 1).is_err());
+        assert!(mm
+            .save_incremental(mid, vec![(99, vec![])])
+            .is_err());
+        assert!(mm.save_full(mid, vec![vec![]]).is_err());
+    }
+
+    #[test]
+    fn version_query_semantics_match_paper_formula() {
+        // Fig. 3 example: M1 v2 assembled from layers {L1@t1.., Ln@t2}.
+        let mm = ModelManager::new();
+        let (spec, model) = fresh_model();
+        let (mid, v1) = mm.register(spec, model.layer_states());
+        let mut new_last = model.layer_states().pop().unwrap();
+        new_last[8] ^= 0xFF;
+        let v2 = mm.save_incremental(mid, vec![(2, new_last)]).unwrap();
+        // Query strictly between v1 and v2 resolves to v1's layers.
+        let mid_ts = (v1 + v2) / 2;
+        if mid_ts > v1 && mid_ts < v2 {
+            let s = mm.layer_states_at(mid, mid_ts).unwrap();
+            assert_eq!(s, mm.layer_states_at(mid, v1).unwrap());
+        }
+    }
+}

@@ -1,0 +1,258 @@
+//! The monitor: detects performance and accuracy anomalies and triggers
+//! model adaptation (paper Section 3: "we further implement a monitor to
+//! detect unexpected performance or accuracy issues, based on which we
+//! trigger automatic and appropriate model adaptation").
+//!
+//! Two signals are watched:
+//! * **accuracy drift** — a windowed loss ratio: if the recent-window mean
+//!   loss exceeds `threshold ×` the reference-window mean, data has drifted
+//!   and fine-tuning is triggered;
+//! * **performance drift** — windowed throughput ratio, for learned system
+//!   components (CC/QO) whose "loss" is latency or abort rate.
+
+use std::collections::VecDeque;
+
+/// What the monitor recommends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Adaptation {
+    /// Everything nominal.
+    None,
+    /// Fine-tune trailing layers (cheap incremental update).
+    FineTune,
+    /// The drift is severe; retrain from scratch.
+    Retrain,
+}
+
+/// Configuration of a drift detector.
+#[derive(Debug, Clone, Copy)]
+pub struct MonitorConfig {
+    /// Window length (observations) for both reference and recent windows.
+    pub window: usize,
+    /// Recent/reference ratio above which fine-tuning triggers.
+    pub finetune_ratio: f64,
+    /// Ratio above which full retraining triggers.
+    pub retrain_ratio: f64,
+    /// Observations to skip after an adaptation before re-arming
+    /// (avoids re-triggering while the model is still converging).
+    pub cooldown: usize,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        MonitorConfig {
+            window: 20,
+            finetune_ratio: 1.5,
+            retrain_ratio: 4.0,
+            cooldown: 20,
+        }
+    }
+}
+
+/// Windowed drift detector over a "badness" signal (loss, latency, abort
+/// rate — anything where larger is worse).
+#[derive(Debug)]
+pub struct DriftMonitor {
+    cfg: MonitorConfig,
+    reference: VecDeque<f64>,
+    recent: VecDeque<f64>,
+    cooldown_left: usize,
+    triggers: usize,
+}
+
+impl DriftMonitor {
+    pub fn new(cfg: MonitorConfig) -> Self {
+        DriftMonitor {
+            cfg,
+            reference: VecDeque::with_capacity(cfg.window),
+            recent: VecDeque::with_capacity(cfg.window),
+            cooldown_left: 0,
+            triggers: 0,
+        }
+    }
+
+    /// Feed one observation; returns the recommended adaptation.
+    pub fn observe(&mut self, badness: f64) -> Adaptation {
+        if !badness.is_finite() {
+            return Adaptation::None;
+        }
+        // Recent window slides; values leaving it enter the reference
+        // window, which also slides.
+        self.recent.push_back(badness);
+        if self.recent.len() > self.cfg.window {
+            let old = self.recent.pop_front().unwrap();
+            self.reference.push_back(old);
+            if self.reference.len() > self.cfg.window {
+                self.reference.pop_front();
+            }
+        }
+        if self.cooldown_left > 0 {
+            self.cooldown_left -= 1;
+            return Adaptation::None;
+        }
+        if self.reference.len() < self.cfg.window || self.recent.len() < self.cfg.window {
+            return Adaptation::None;
+        }
+        let ref_mean: f64 = self.reference.iter().sum::<f64>() / self.reference.len() as f64;
+        let rec_mean: f64 = self.recent.iter().sum::<f64>() / self.recent.len() as f64;
+        if ref_mean <= 0.0 {
+            return Adaptation::None;
+        }
+        let ratio = rec_mean / ref_mean;
+        if ratio >= self.cfg.retrain_ratio {
+            self.arm_cooldown();
+            Adaptation::Retrain
+        } else if ratio >= self.cfg.finetune_ratio {
+            self.arm_cooldown();
+            Adaptation::FineTune
+        } else {
+            Adaptation::None
+        }
+    }
+
+    fn arm_cooldown(&mut self) {
+        self.triggers += 1;
+        self.cooldown_left = self.cfg.cooldown;
+        // Reset windows so post-adaptation observations form the new
+        // reference.
+        self.reference.clear();
+        self.recent.clear();
+    }
+
+    /// Number of adaptations triggered so far.
+    pub fn triggers(&self) -> usize {
+        self.triggers
+    }
+}
+
+/// Convenience wrapper watching throughput (larger is better): converts to
+/// badness as `1 / max(x, ε)`.
+#[derive(Debug)]
+pub struct ThroughputMonitor {
+    inner: DriftMonitor,
+}
+
+impl ThroughputMonitor {
+    pub fn new(cfg: MonitorConfig) -> Self {
+        ThroughputMonitor {
+            inner: DriftMonitor::new(cfg),
+        }
+    }
+
+    pub fn observe(&mut self, throughput: f64) -> Adaptation {
+        self.inner.observe(1.0 / throughput.max(1e-9))
+    }
+
+    pub fn triggers(&self) -> usize {
+        self.inner.triggers()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> MonitorConfig {
+        MonitorConfig {
+            window: 10,
+            finetune_ratio: 1.5,
+            retrain_ratio: 4.0,
+            cooldown: 5,
+        }
+    }
+
+    #[test]
+    fn stable_signal_never_triggers() {
+        let mut m = DriftMonitor::new(cfg());
+        for i in 0..200 {
+            let noise = (i % 7) as f64 * 0.01;
+            assert_eq!(m.observe(1.0 + noise), Adaptation::None);
+        }
+        assert_eq!(m.triggers(), 0);
+    }
+
+    #[test]
+    fn loss_jump_triggers_finetune() {
+        let mut m = DriftMonitor::new(cfg());
+        for _ in 0..30 {
+            m.observe(1.0);
+        }
+        let mut fired = None;
+        for _ in 0..15 {
+            let a = m.observe(2.5);
+            if a != Adaptation::None {
+                fired = Some(a);
+                break;
+            }
+        }
+        assert_eq!(fired, Some(Adaptation::FineTune));
+    }
+
+    #[test]
+    fn severe_jump_triggers_retrain() {
+        let mut m = DriftMonitor::new(cfg());
+        for _ in 0..30 {
+            m.observe(0.5);
+        }
+        // One catastrophic observation pushes the windowed ratio straight
+        // past the retrain threshold (windowed mean with a 100x outlier).
+        let mut fired = None;
+        for _ in 0..15 {
+            let a = m.observe(50.0);
+            if a != Adaptation::None {
+                fired = Some(a);
+                break;
+            }
+        }
+        assert_eq!(fired, Some(Adaptation::Retrain));
+    }
+
+    #[test]
+    fn cooldown_suppresses_immediate_retrigger() {
+        let mut m = DriftMonitor::new(cfg());
+        for _ in 0..30 {
+            m.observe(1.0);
+        }
+        let mut first = 0;
+        for i in 0..100 {
+            if m.observe(3.0) != Adaptation::None {
+                first = i;
+                break;
+            }
+        }
+        // Immediately after, cooldown + window refill must pass before the
+        // next trigger can fire.
+        let mut second = None;
+        for i in 0..cfg().cooldown + 2 * cfg().window - 1 {
+            if m.observe(3.0) != Adaptation::None {
+                second = Some(i);
+                break;
+            }
+        }
+        assert!(second.is_none() || second.unwrap() > first + cfg().cooldown);
+    }
+
+    #[test]
+    fn throughput_drop_is_drift() {
+        let mut m = ThroughputMonitor::new(cfg());
+        for _ in 0..30 {
+            m.observe(1000.0);
+        }
+        let mut fired = false;
+        for _ in 0..15 {
+            if m.observe(300.0) != Adaptation::None {
+                fired = true;
+                break;
+            }
+        }
+        assert!(fired, "3.3x throughput drop must trigger adaptation");
+    }
+
+    #[test]
+    fn nan_is_ignored() {
+        let mut m = DriftMonitor::new(cfg());
+        for _ in 0..30 {
+            m.observe(1.0);
+        }
+        assert_eq!(m.observe(f64::NAN), Adaptation::None);
+    }
+}

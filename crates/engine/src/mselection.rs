@@ -1,0 +1,236 @@
+//! The model-selection AI operator (paper Section 3: "a query may call
+//! the model selection operator (denoted as MSelection) to automatically
+//! select the best-suited model for a given prediction task, thereby
+//! enhancing accuracy and efficiency").
+//!
+//! Selection follows the filter-and-refine principle the paper builds on:
+//! a cheap *filtering* stage discards models whose input arity cannot
+//! serve the task or whose parameter budget exceeds the caller's latency
+//! envelope, then a *refinement* stage scores the survivors on a held-out
+//! validation batch and returns the best.
+
+use crate::model_manager::{Mid, ModelError, ModelManager};
+use neurdb_nn::{bce_with_logits, mse, LayerSpec, LossKind, Matrix};
+
+/// A candidate's refinement score.
+#[derive(Debug, Clone)]
+pub struct ModelScore {
+    pub mid: Mid,
+    pub validation_loss: f32,
+    pub param_count: usize,
+}
+
+/// Constraints applied in the filtering stage.
+#[derive(Debug, Clone, Copy)]
+pub struct SelectionConstraints {
+    /// Required model input width (features of the task).
+    pub input_width: usize,
+    /// Optional parameter budget (latency envelope); `None` = unbounded.
+    pub max_params: Option<usize>,
+}
+
+/// Input width a layer stack expects, derived from its first parametric
+/// layer.
+pub fn spec_input_width(spec: &[LayerSpec]) -> Option<usize> {
+    for layer in spec {
+        match layer {
+            LayerSpec::Linear { inputs, .. } => return Some(*inputs),
+            LayerSpec::Embedding { nfields, .. } => return Some(*nfields),
+            LayerSpec::LayerNorm { dim } => return Some(*dim),
+            LayerSpec::MultiHeadAttention { dim, .. } => return Some(*dim),
+            _ => continue,
+        }
+    }
+    None
+}
+
+fn spec_param_count(spec: &[LayerSpec]) -> usize {
+    spec.iter()
+        .map(|l| match l {
+            LayerSpec::Linear { inputs, outputs } => inputs * outputs + outputs,
+            LayerSpec::Embedding { vocab, dim, .. } => vocab * dim,
+            LayerSpec::LayerNorm { dim } => 2 * dim,
+            LayerSpec::MultiHeadAttention { dim, .. } => 4 * dim * dim,
+            _ => 0,
+        })
+        .sum()
+}
+
+/// Run MSelection over `candidates`: filter by constraints, then score the
+/// survivors on `(features, targets)` with `loss` and return them sorted
+/// best-first. Errors only if *no* candidate survives filtering.
+pub fn mselection(
+    manager: &ModelManager,
+    candidates: &[Mid],
+    constraints: SelectionConstraints,
+    loss: LossKind,
+    features: &Matrix,
+    targets: &Matrix,
+) -> Result<Vec<ModelScore>, ModelError> {
+    // --- Filtering: structural compatibility + parameter budget ---
+    let mut survivors = Vec::new();
+    for &mid in candidates {
+        let spec = manager.spec(mid)?;
+        if spec_input_width(&spec) != Some(constraints.input_width) {
+            continue;
+        }
+        let params = spec_param_count(&spec);
+        if let Some(maxp) = constraints.max_params {
+            if params > maxp {
+                continue;
+            }
+        }
+        survivors.push((mid, params));
+    }
+    if survivors.is_empty() {
+        return Err(ModelError::NoVersionAtOrBefore(0, 0));
+    }
+    // --- Refinement: validation loss on the held-out batch ---
+    let mut scores = Vec::with_capacity(survivors.len());
+    for (mid, param_count) in survivors {
+        let mut model = manager.materialize_latest(mid)?;
+        let pred = model.forward(features);
+        let validation_loss = match loss {
+            LossKind::Mse => mse(&pred, targets).0,
+            LossKind::Bce => bce_with_logits(&pred, targets).0,
+            LossKind::CrossEntropy => {
+                let labels: Vec<usize> = (0..targets.rows)
+                    .map(|r| targets.get(r, 0).max(0.0) as usize)
+                    .collect();
+                neurdb_nn::softmax_cross_entropy(&pred, &labels).0
+            }
+        };
+        scores.push(ModelScore {
+            mid,
+            validation_loss,
+            param_count,
+        });
+    }
+    scores.sort_by(|a, b| a.validation_loss.total_cmp(&b.validation_loss));
+    Ok(scores)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neurdb_nn::{mlp_spec, Model, OptimConfig, Trainer};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn toy_batch(rng: &mut StdRng, n: usize) -> (Matrix, Matrix) {
+        let mut x = Matrix::zeros(n, 2);
+        let mut y = Matrix::zeros(n, 1);
+        for r in 0..n {
+            let a: f32 = rng.gen_range(-1.0..1.0);
+            let b: f32 = rng.gen_range(-1.0..1.0);
+            x.set(r, 0, a);
+            x.set(r, 1, b);
+            y.set(r, 0, a + b);
+        }
+        (x, y)
+    }
+
+    /// Register one trained and one untrained model; MSelection must rank
+    /// the trained one first.
+    #[test]
+    fn selects_trained_over_random() {
+        let mm = ModelManager::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        // Trained model.
+        let mut trainer = Trainer::new(
+            Model::from_spec(mlp_spec(&[2, 8, 1]), &mut rng),
+            LossKind::Mse,
+            OptimConfig {
+                lr: 0.02,
+                ..Default::default()
+            },
+        );
+        for _ in 0..300 {
+            let (x, y) = toy_batch(&mut rng, 32);
+            trainer.train_batch(&x, &y);
+        }
+        let (good, _) = mm.register(mlp_spec(&[2, 8, 1]), trainer.model.layer_states());
+        // Untrained model.
+        let fresh = Model::from_spec(mlp_spec(&[2, 8, 1]), &mut rng);
+        let (bad, _) = mm.register(mlp_spec(&[2, 8, 1]), fresh.layer_states());
+        let (vx, vy) = toy_batch(&mut rng, 128);
+        let scores = mselection(
+            &mm,
+            &[bad, good],
+            SelectionConstraints {
+                input_width: 2,
+                max_params: None,
+            },
+            LossKind::Mse,
+            &vx,
+            &vy,
+        )
+        .unwrap();
+        assert_eq!(scores[0].mid, good);
+        assert!(scores[0].validation_loss < scores[1].validation_loss);
+    }
+
+    /// Filtering removes incompatible input widths and over-budget models.
+    #[test]
+    fn filtering_stage_prunes() {
+        let mm = ModelManager::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let narrow = Model::from_spec(mlp_spec(&[2, 4, 1]), &mut rng);
+        let (narrow_mid, _) = mm.register(mlp_spec(&[2, 4, 1]), narrow.layer_states());
+        let wide = Model::from_spec(mlp_spec(&[3, 4, 1]), &mut rng);
+        let (wide_mid, _) = mm.register(mlp_spec(&[3, 4, 1]), wide.layer_states());
+        let big = Model::from_spec(mlp_spec(&[2, 256, 1]), &mut rng);
+        let (big_mid, _) = mm.register(mlp_spec(&[2, 256, 1]), big.layer_states());
+        let (vx, vy) = toy_batch(&mut rng, 16);
+        let scores = mselection(
+            &mm,
+            &[narrow_mid, wide_mid, big_mid],
+            SelectionConstraints {
+                input_width: 2,
+                max_params: Some(1000),
+            },
+            LossKind::Mse,
+            &vx,
+            &vy,
+        )
+        .unwrap();
+        // wide_mid filtered (arity), big_mid filtered (params).
+        assert_eq!(scores.len(), 1);
+        assert_eq!(scores[0].mid, narrow_mid);
+    }
+
+    #[test]
+    fn empty_survivor_set_is_error() {
+        let mm = ModelManager::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = Model::from_spec(mlp_spec(&[5, 4, 1]), &mut rng);
+        let (mid, _) = mm.register(mlp_spec(&[5, 4, 1]), m.layer_states());
+        let (vx, vy) = toy_batch(&mut rng, 4);
+        assert!(mselection(
+            &mm,
+            &[mid],
+            SelectionConstraints {
+                input_width: 2, // incompatible
+                max_params: None,
+            },
+            LossKind::Mse,
+            &vx,
+            &vy,
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn spec_introspection() {
+        assert_eq!(spec_input_width(&mlp_spec(&[7, 3, 1])), Some(7));
+        let arm = neurdb_nn::armnet_spec(&neurdb_nn::ArmNetConfig {
+            nfields: 22,
+            vocab: 64,
+            embed_dim: 4,
+            hidden: 8,
+            outputs: 1,
+        });
+        assert_eq!(spec_input_width(&arm), Some(22));
+        assert!(spec_param_count(&arm) > 0);
+    }
+}

@@ -1,0 +1,450 @@
+//! Multi-head self-attention and cross-attention.
+//!
+//! The learned query optimizer (paper Fig. 5) feeds candidate-plan
+//! embeddings and system-condition embeddings through *cross-attention
+//! layers* to a unified embedding, then an *analyzer* applies multi-head
+//! attention over the candidates. In this crate:
+//!
+//! * [`MultiHeadAttention`] implements [`Layer`]: rows of the input matrix
+//!   are sequence positions (for the analyzer: one row per candidate plan).
+//! * [`CrossAttention`] is a two-input module (`queries` attend over
+//!   `context`) with explicit forward/backward since the [`Layer`] trait is
+//!   single-input.
+
+use crate::layer::Layer;
+use crate::tensor::Matrix;
+use bytes::{Buf, BufMut, BytesMut};
+use rand::Rng;
+
+fn put_mat(buf: &mut BytesMut, m: &Matrix) {
+    buf.put_u32_le(m.rows as u32);
+    buf.put_u32_le(m.cols as u32);
+    for v in &m.data {
+        buf.put_f32_le(*v);
+    }
+}
+
+fn get_mat(buf: &mut &[u8]) -> Matrix {
+    let rows = buf.get_u32_le() as usize;
+    let cols = buf.get_u32_le() as usize;
+    let data = (0..rows * cols).map(|_| buf.get_f32_le()).collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+/// Gradient of row-wise softmax: given A = softmax(S) and dL/dA, returns
+/// dL/dS = A ∘ (dA - rowsum(dA ∘ A)).
+fn softmax_backward(a: &Matrix, da: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(a.rows, a.cols);
+    for r in 0..a.rows {
+        let arow = a.row(r);
+        let darow = da.row(r);
+        let dot: f32 = arow.iter().zip(darow.iter()).map(|(x, y)| x * y).sum();
+        for c in 0..a.cols {
+            out.set(r, c, arow[c] * (darow[c] - dot));
+        }
+    }
+    out
+}
+
+struct HeadCache {
+    q: Matrix,
+    k: Matrix,
+    v: Matrix,
+    attn: Matrix,
+}
+
+/// Multi-head self-attention over the rows of the input matrix, with a
+/// residual connection (`out = x + attn(x) Wo`).
+pub struct MultiHeadAttention {
+    pub dim: usize,
+    pub heads: usize,
+    wq: Matrix,
+    wk: Matrix,
+    wv: Matrix,
+    wo: Matrix,
+    gq: Matrix,
+    gk: Matrix,
+    gv: Matrix,
+    go: Matrix,
+    cache: Option<(Matrix, Vec<HeadCache>, Matrix)>, // input, per-head, concat
+}
+
+impl MultiHeadAttention {
+    pub fn new(dim: usize, heads: usize, rng: &mut impl Rng) -> Self {
+        assert!(dim % heads == 0, "dim must divide heads");
+        MultiHeadAttention {
+            dim,
+            heads,
+            wq: Matrix::xavier(dim, dim, rng),
+            wk: Matrix::xavier(dim, dim, rng),
+            wv: Matrix::xavier(dim, dim, rng),
+            wo: Matrix::xavier(dim, dim, rng),
+            gq: Matrix::zeros(dim, dim),
+            gk: Matrix::zeros(dim, dim),
+            gv: Matrix::zeros(dim, dim),
+            go: Matrix::zeros(dim, dim),
+            cache: None,
+        }
+    }
+
+    fn head_slice(m: &Matrix, head: usize, dh: usize) -> Matrix {
+        let mut out = Matrix::zeros(m.rows, dh);
+        for r in 0..m.rows {
+            out.row_mut(r)
+                .copy_from_slice(&m.row(r)[head * dh..(head + 1) * dh]);
+        }
+        out
+    }
+
+    fn write_head(dst: &mut Matrix, src: &Matrix, head: usize, dh: usize) {
+        for r in 0..src.rows {
+            dst.row_mut(r)[head * dh..(head + 1) * dh].copy_from_slice(src.row(r));
+        }
+    }
+}
+
+impl Layer for MultiHeadAttention {
+    fn forward(&mut self, input: &Matrix) -> Matrix {
+        assert_eq!(input.cols, self.dim);
+        let dh = self.dim / self.heads;
+        let scale = 1.0 / (dh as f32).sqrt();
+        let qf = input.matmul(&self.wq);
+        let kf = input.matmul(&self.wk);
+        let vf = input.matmul(&self.wv);
+        let mut concat = Matrix::zeros(input.rows, self.dim);
+        let mut caches = Vec::with_capacity(self.heads);
+        for h in 0..self.heads {
+            let q = Self::head_slice(&qf, h, dh);
+            let k = Self::head_slice(&kf, h, dh);
+            let v = Self::head_slice(&vf, h, dh);
+            let scores = q.matmul_t(&k).scale(scale);
+            let attn = scores.softmax_rows();
+            let o = attn.matmul(&v);
+            Self::write_head(&mut concat, &o, h, dh);
+            caches.push(HeadCache { q, k, v, attn });
+        }
+        let out = input.add(&concat.matmul(&self.wo));
+        self.cache = Some((input.clone(), caches, concat));
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let (input, caches, concat) = self.cache.as_ref().expect("backward before forward");
+        let dh = self.dim / self.heads;
+        let scale = 1.0 / (dh as f32).sqrt();
+        // out = input + concat @ wo
+        let mut grad_in = grad_out.clone(); // residual path
+        self.go = self.go.add(&concat.t_matmul(grad_out));
+        let dconcat = grad_out.matmul_t(&self.wo);
+        let mut dqf = Matrix::zeros(input.rows, self.dim);
+        let mut dkf = Matrix::zeros(input.rows, self.dim);
+        let mut dvf = Matrix::zeros(input.rows, self.dim);
+        for (h, cache) in caches.iter().enumerate() {
+            let do_h = Self::head_slice(&dconcat, h, dh);
+            // o = attn @ v
+            let dattn = do_h.matmul_t(&cache.v);
+            let dv = cache.attn.t_matmul(&do_h);
+            // attn = softmax(scores)
+            let dscores = softmax_backward(&cache.attn, &dattn).scale(scale);
+            // scores = q @ k^T
+            let dq = dscores.matmul(&cache.k);
+            let dk = dscores.t_matmul(&cache.q);
+            Self::write_head(&mut dqf, &dq, h, dh);
+            Self::write_head(&mut dkf, &dk, h, dh);
+            Self::write_head(&mut dvf, &dv, h, dh);
+        }
+        // qf = input @ wq etc.
+        self.gq = self.gq.add(&input.t_matmul(&dqf));
+        self.gk = self.gk.add(&input.t_matmul(&dkf));
+        self.gv = self.gv.add(&input.t_matmul(&dvf));
+        grad_in = grad_in.add(&dqf.matmul_t(&self.wq));
+        grad_in = grad_in.add(&dkf.matmul_t(&self.wk));
+        grad_in = grad_in.add(&dvf.matmul_t(&self.wv));
+        grad_in
+    }
+
+    fn params(&mut self) -> Vec<&mut [f32]> {
+        vec![
+            &mut self.wq.data,
+            &mut self.wk.data,
+            &mut self.wv.data,
+            &mut self.wo.data,
+        ]
+    }
+
+    fn grads(&mut self) -> Vec<&mut [f32]> {
+        vec![
+            &mut self.gq.data,
+            &mut self.gk.data,
+            &mut self.gv.data,
+            &mut self.go.data,
+        ]
+    }
+
+    fn zero_grad(&mut self) {
+        for g in [&mut self.gq, &mut self.gk, &mut self.gv, &mut self.go] {
+            g.data.iter_mut().for_each(|v| *v = 0.0);
+        }
+    }
+
+    fn param_count(&self) -> usize {
+        4 * self.dim * self.dim
+    }
+
+    fn state(&self) -> Vec<u8> {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(self.dim as u32);
+        buf.put_u32_le(self.heads as u32);
+        for m in [&self.wq, &self.wk, &self.wv, &self.wo] {
+            put_mat(&mut buf, m);
+        }
+        buf.to_vec()
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) {
+        let mut buf = bytes;
+        let dim = buf.get_u32_le() as usize;
+        let heads = buf.get_u32_le() as usize;
+        assert_eq!((dim, heads), (self.dim, self.heads));
+        self.wq = get_mat(&mut buf);
+        self.wk = get_mat(&mut buf);
+        self.wv = get_mat(&mut buf);
+        self.wo = get_mat(&mut buf);
+    }
+
+    fn describe(&self) -> String {
+        format!("mha(dim={}, heads={})", self.dim, self.heads)
+    }
+}
+
+/// Cross-attention: each row of `queries` attends over the rows of
+/// `context`. `out = queries + softmax(Q K^T / √d) V @ Wo` where Q comes
+/// from `queries` and K, V from `context`.
+pub struct CrossAttention {
+    pub dim: usize,
+    wq: Matrix,
+    wk: Matrix,
+    wv: Matrix,
+    wo: Matrix,
+    gq: Matrix,
+    gk: Matrix,
+    gv: Matrix,
+    go: Matrix,
+    cache: Option<CrossCache>,
+}
+
+struct CrossCache {
+    queries: Matrix,
+    context: Matrix,
+    q: Matrix,
+    k: Matrix,
+    v: Matrix,
+    attn: Matrix,
+    mixed: Matrix,
+}
+
+impl CrossAttention {
+    pub fn new(dim: usize, rng: &mut impl Rng) -> Self {
+        CrossAttention {
+            dim,
+            wq: Matrix::xavier(dim, dim, rng),
+            wk: Matrix::xavier(dim, dim, rng),
+            wv: Matrix::xavier(dim, dim, rng),
+            wo: Matrix::xavier(dim, dim, rng),
+            gq: Matrix::zeros(dim, dim),
+            gk: Matrix::zeros(dim, dim),
+            gv: Matrix::zeros(dim, dim),
+            go: Matrix::zeros(dim, dim),
+            cache: None,
+        }
+    }
+
+    /// Forward: `queries` is `nq × dim`, `context` is `nc × dim`.
+    pub fn forward(&mut self, queries: &Matrix, context: &Matrix) -> Matrix {
+        assert_eq!(queries.cols, self.dim);
+        assert_eq!(context.cols, self.dim);
+        let scale = 1.0 / (self.dim as f32).sqrt();
+        let q = queries.matmul(&self.wq);
+        let k = context.matmul(&self.wk);
+        let v = context.matmul(&self.wv);
+        let attn = q.matmul_t(&k).scale(scale).softmax_rows();
+        let mixed = attn.matmul(&v);
+        let out = queries.add(&mixed.matmul(&self.wo));
+        self.cache = Some(CrossCache {
+            queries: queries.clone(),
+            context: context.clone(),
+            q,
+            k,
+            v,
+            attn,
+            mixed,
+        });
+        out
+    }
+
+    /// Backward: returns `(d_queries, d_context)`.
+    pub fn backward(&mut self, grad_out: &Matrix) -> (Matrix, Matrix) {
+        let c = self.cache.as_ref().expect("backward before forward");
+        let scale = 1.0 / (self.dim as f32).sqrt();
+        self.go = self.go.add(&c.mixed.t_matmul(grad_out));
+        let dmixed = grad_out.matmul_t(&self.wo);
+        let dattn = dmixed.matmul_t(&c.v);
+        let dv = c.attn.t_matmul(&dmixed);
+        let dscores = softmax_backward(&c.attn, &dattn).scale(scale);
+        let dq = dscores.matmul(&c.k);
+        let dk = dscores.t_matmul(&c.q);
+        self.gq = self.gq.add(&c.queries.t_matmul(&dq));
+        self.gk = self.gk.add(&c.context.t_matmul(&dk));
+        self.gv = self.gv.add(&c.context.t_matmul(&dv));
+        let dqueries = grad_out.add(&dq.matmul_t(&self.wq));
+        let dcontext = dk.matmul_t(&self.wk).add(&dv.matmul_t(&self.wv));
+        (dqueries, dcontext)
+    }
+
+    pub fn params(&mut self) -> Vec<&mut [f32]> {
+        vec![
+            &mut self.wq.data,
+            &mut self.wk.data,
+            &mut self.wv.data,
+            &mut self.wo.data,
+        ]
+    }
+
+    pub fn grads(&mut self) -> Vec<&mut [f32]> {
+        vec![
+            &mut self.gq.data,
+            &mut self.gk.data,
+            &mut self.gv.data,
+            &mut self.go.data,
+        ]
+    }
+
+    pub fn zero_grad(&mut self) {
+        for g in [&mut self.gq, &mut self.gk, &mut self.gv, &mut self.go] {
+            g.data.iter_mut().for_each(|v| *v = 0.0);
+        }
+    }
+
+    pub fn param_count(&self) -> usize {
+        4 * self.dim * self.dim
+    }
+
+    pub fn state(&self) -> Vec<u8> {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(self.dim as u32);
+        for m in [&self.wq, &self.wk, &self.wv, &self.wo] {
+            put_mat(&mut buf, m);
+        }
+        buf.to_vec()
+    }
+
+    pub fn load_state(&mut self, bytes: &[u8]) {
+        let mut buf = bytes;
+        let dim = buf.get_u32_le() as usize;
+        assert_eq!(dim, self.dim);
+        self.wq = get_mat(&mut buf);
+        self.wk = get_mat(&mut buf);
+        self.wv = get_mat(&mut buf);
+        self.wo = get_mat(&mut buf);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mha_shapes_and_residual() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let mut m = MultiHeadAttention::new(8, 2, &mut rng);
+        let x = Matrix::xavier(5, 8, &mut rng);
+        let y = m.forward(&x);
+        assert_eq!((y.rows, y.cols), (5, 8));
+    }
+
+    #[test]
+    fn mha_input_gradient_check() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+        let mut m = MultiHeadAttention::new(4, 2, &mut rng);
+        let x = Matrix::xavier(3, 4, &mut rng);
+        let out = m.forward(&x);
+        let ones = Matrix::from_vec(out.rows, out.cols, vec![1.0; out.rows * out.cols]);
+        let g = m.backward(&ones);
+        let eps = 1e-2f32;
+        for i in 0..x.data.len() {
+            let mut p = x.clone();
+            p.data[i] += eps;
+            let mut mm = x.clone();
+            mm.data[i] -= eps;
+            let fp: f32 = m.forward(&p).data.iter().sum();
+            let fm: f32 = m.forward(&mm).data.iter().sum();
+            let numeric = (fp - fm) / (2.0 * eps);
+            assert!(
+                (numeric - g.data[i]).abs() < 3e-2 * (1.0 + numeric.abs()),
+                "mha grad mismatch at {i}: {numeric} vs {}",
+                g.data[i]
+            );
+        }
+    }
+
+    #[test]
+    fn cross_attention_gradient_check_both_inputs() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        let mut ca = CrossAttention::new(4, &mut rng);
+        let xq = Matrix::xavier(3, 4, &mut rng);
+        let xc = Matrix::xavier(5, 4, &mut rng);
+        let out = ca.forward(&xq, &xc);
+        let ones = Matrix::from_vec(out.rows, out.cols, vec![1.0; out.rows * out.cols]);
+        let (dq, dc) = ca.backward(&ones);
+        let eps = 1e-2f32;
+        for i in 0..xq.data.len() {
+            let mut p = xq.clone();
+            p.data[i] += eps;
+            let mut m = xq.clone();
+            m.data[i] -= eps;
+            let fp: f32 = ca.forward(&p, &xc).data.iter().sum();
+            let fm: f32 = ca.forward(&m, &xc).data.iter().sum();
+            let numeric = (fp - fm) / (2.0 * eps);
+            assert!(
+                (numeric - dq.data[i]).abs() < 3e-2 * (1.0 + numeric.abs()),
+                "query grad mismatch at {i}"
+            );
+        }
+        for i in 0..xc.data.len() {
+            let mut p = xc.clone();
+            p.data[i] += eps;
+            let mut m = xc.clone();
+            m.data[i] -= eps;
+            let fp: f32 = ca.forward(&xq, &p).data.iter().sum();
+            let fm: f32 = ca.forward(&xq, &m).data.iter().sum();
+            let numeric = (fp - fm) / (2.0 * eps);
+            assert!(
+                (numeric - dc.data[i]).abs() < 3e-2 * (1.0 + numeric.abs()),
+                "context grad mismatch at {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn state_roundtrip_mha() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(14);
+        let mut a = MultiHeadAttention::new(8, 2, &mut rng);
+        let mut b = MultiHeadAttention::new(8, 2, &mut rng);
+        b.load_state(&a.state());
+        let x = Matrix::xavier(4, 8, &mut rng);
+        assert_eq!(a.forward(&x).data, b.forward(&x).data);
+    }
+
+    #[test]
+    fn cross_attention_mixes_context() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(15);
+        let mut ca = CrossAttention::new(4, &mut rng);
+        let xq = Matrix::xavier(2, 4, &mut rng);
+        let c1 = Matrix::xavier(3, 4, &mut rng);
+        let c2 = c1.scale(5.0);
+        let y1 = ca.forward(&xq, &c1);
+        let y2 = ca.forward(&xq, &c2);
+        assert_ne!(y1.data, y2.data, "different context must change output");
+    }
+}

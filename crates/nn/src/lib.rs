@@ -1,0 +1,37 @@
+//! # neurdb-nn
+//!
+//! From-scratch neural-network substrate for NeurDB-RS (the Rust
+//! reproduction of the CIDR 2025 NeurDB paper). It replaces the paper's
+//! PyTorch runtime with a CPU implementation that is deliberately
+//! *layer-oriented*: models are ordered stacks of [`Layer`]s whose weights
+//! serialize independently, because the paper's model manager stores,
+//! versions, and incrementally updates models **per layer** (Section 4.1).
+//!
+//! Contents:
+//! * [`tensor::Matrix`] — row-major f32 matrices with the needed BLAS-1/3 ops.
+//! * [`layer`] — Linear, Embedding, activations, LayerNorm; all gradient-checked.
+//! * [`attention`] — multi-head self-attention and cross-attention (for the
+//!   learned query optimizer's dual-module model).
+//! * [`loss`] / [`optim`] — MSE/BCE/CE and SGD/Adam with clipping & freezing.
+//! * [`model`] — [`model::Model`] stacks + [`model::Trainer`] with frozen-prefix
+//!   fine-tuning (the incremental-update mechanism).
+//! * [`armnet`] — the ARM-Net-style structured-data model used by PREDICT.
+//! * [`tree`] — backprop-through-structure plan-tree encoder ("tree transformer").
+
+pub mod armnet;
+pub mod attention;
+pub mod layer;
+pub mod loss;
+pub mod model;
+pub mod optim;
+pub mod tensor;
+pub mod tree;
+
+pub use armnet::{armnet_finetune_from, armnet_spec, armnet_trainer, encode_batch, ArmNetConfig};
+pub use attention::{CrossAttention, MultiHeadAttention};
+pub use layer::{Embedding, Layer, LayerNorm, Linear, Relu, Sigmoid, Tanh};
+pub use loss::{accuracy, bce_with_logits, binary_accuracy, mse, softmax_cross_entropy};
+pub use model::{mlp_spec, LayerSpec, LossKind, Model, Trainer};
+pub use optim::{Adam, OptimConfig, Sgd};
+pub use tensor::Matrix;
+pub use tree::{TreeEncoder, TreeNode, TreeTrace};

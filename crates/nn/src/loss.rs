@@ -1,0 +1,169 @@
+//! Loss functions: value + gradient with respect to predictions.
+
+use crate::tensor::Matrix;
+
+/// Mean squared error over all cells: `L = mean((pred - target)^2)`.
+/// Returns `(loss, dL/dpred)`.
+pub fn mse(pred: &Matrix, target: &Matrix) -> (f32, Matrix) {
+    assert_eq!((pred.rows, pred.cols), (target.rows, target.cols));
+    let n = (pred.rows * pred.cols) as f32;
+    let diff = pred.sub(target);
+    let loss = diff.data.iter().map(|d| d * d).sum::<f32>() / n;
+    let grad = diff.scale(2.0 / n);
+    (loss, grad)
+}
+
+/// Binary cross-entropy on logits (numerically stable):
+/// `L = mean(max(z,0) - z*y + ln(1+e^{-|z|}))`. Targets in {0,1}.
+pub fn bce_with_logits(logits: &Matrix, target: &Matrix) -> (f32, Matrix) {
+    assert_eq!((logits.rows, logits.cols), (target.rows, target.cols));
+    let n = (logits.rows * logits.cols) as f32;
+    let mut loss = 0.0;
+    let mut grad = Matrix::zeros(logits.rows, logits.cols);
+    for i in 0..logits.data.len() {
+        let z = logits.data[i];
+        let y = target.data[i];
+        loss += z.max(0.0) - z * y + (1.0 + (-z.abs()).exp()).ln();
+        let sig = 1.0 / (1.0 + (-z).exp());
+        grad.data[i] = (sig - y) / n;
+    }
+    (loss / n, grad)
+}
+
+/// Softmax cross-entropy for one-hot class targets. `logits` is
+/// `batch × classes`, `labels[i]` is the class index of row i.
+/// Returns `(mean loss, dL/dlogits)`.
+pub fn softmax_cross_entropy(logits: &Matrix, labels: &[usize]) -> (f32, Matrix) {
+    assert_eq!(logits.rows, labels.len());
+    let probs = logits.softmax_rows();
+    let n = logits.rows as f32;
+    let mut loss = 0.0;
+    let mut grad = probs.clone();
+    for (r, &label) in labels.iter().enumerate() {
+        assert!(label < logits.cols, "label out of range");
+        let p = probs.get(r, label).max(1e-12);
+        loss -= p.ln();
+        grad.set(r, label, grad.get(r, label) - 1.0);
+    }
+    (loss / n, grad.scale(1.0 / n))
+}
+
+/// Classification accuracy given logits and class labels.
+pub fn accuracy(logits: &Matrix, labels: &[usize]) -> f64 {
+    if logits.rows == 0 {
+        return 0.0;
+    }
+    let mut correct = 0usize;
+    for (r, &label) in labels.iter().enumerate() {
+        let row = logits.row(r);
+        let argmax = row
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        if argmax == label {
+            correct += 1;
+        }
+    }
+    correct as f64 / logits.rows as f64
+}
+
+/// Binary accuracy from logits (threshold at 0) and 0/1 targets.
+pub fn binary_accuracy(logits: &Matrix, target: &Matrix) -> f64 {
+    if logits.rows == 0 {
+        return 0.0;
+    }
+    let mut correct = 0usize;
+    for i in 0..logits.data.len() {
+        let pred = logits.data[i] > 0.0;
+        let truth = target.data[i] > 0.5;
+        if pred == truth {
+            correct += 1;
+        }
+    }
+    correct as f64 / logits.data.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_zero_at_equal() {
+        let p = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let (l, g) = mse(&p, &p);
+        assert_eq!(l, 0.0);
+        assert!(g.data.iter().all(|v| *v == 0.0));
+    }
+
+    #[test]
+    fn mse_gradient_numeric() {
+        let p = Matrix::from_vec(1, 3, vec![0.5, -1.0, 2.0]);
+        let t = Matrix::from_vec(1, 3, vec![0.0, 0.0, 1.0]);
+        let (_, g) = mse(&p, &t);
+        let eps = 1e-3f32;
+        for i in 0..3 {
+            let mut pp = p.clone();
+            pp.data[i] += eps;
+            let mut pm = p.clone();
+            pm.data[i] -= eps;
+            let numeric = (mse(&pp, &t).0 - mse(&pm, &t).0) / (2.0 * eps);
+            assert!((numeric - g.data[i]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn bce_stable_for_large_logits() {
+        let z = Matrix::from_vec(1, 2, vec![100.0, -100.0]);
+        let y = Matrix::from_vec(1, 2, vec![1.0, 0.0]);
+        let (l, g) = bce_with_logits(&z, &y);
+        assert!(l.is_finite() && l < 1e-3);
+        assert!(g.data.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn bce_gradient_numeric() {
+        let z = Matrix::from_vec(1, 3, vec![0.3, -0.7, 1.2]);
+        let y = Matrix::from_vec(1, 3, vec![1.0, 0.0, 1.0]);
+        let (_, g) = bce_with_logits(&z, &y);
+        let eps = 1e-3f32;
+        for i in 0..3 {
+            let mut zp = z.clone();
+            zp.data[i] += eps;
+            let mut zm = z.clone();
+            zm.data[i] -= eps;
+            let numeric =
+                (bce_with_logits(&zp, &y).0 - bce_with_logits(&zm, &y).0) / (2.0 * eps);
+            assert!((numeric - g.data[i]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn ce_gradient_numeric() {
+        let z = Matrix::from_vec(2, 3, vec![0.1, 0.5, -0.2, 1.0, -1.0, 0.0]);
+        let labels = vec![2usize, 0usize];
+        let (_, g) = softmax_cross_entropy(&z, &labels);
+        let eps = 1e-3f32;
+        for i in 0..6 {
+            let mut zp = z.clone();
+            zp.data[i] += eps;
+            let mut zm = z.clone();
+            zm.data[i] -= eps;
+            let numeric = (softmax_cross_entropy(&zp, &labels).0
+                - softmax_cross_entropy(&zm, &labels).0)
+                / (2.0 * eps);
+            assert!((numeric - g.data[i]).abs() < 1e-3, "at {i}");
+        }
+    }
+
+    #[test]
+    fn accuracy_metrics() {
+        let z = Matrix::from_vec(2, 2, vec![2.0, -1.0, 0.0, 3.0]);
+        assert_eq!(accuracy(&z, &[0, 1]), 1.0);
+        assert_eq!(accuracy(&z, &[1, 0]), 0.0);
+        let logits = Matrix::from_vec(1, 4, vec![1.0, -1.0, 2.0, -2.0]);
+        let target = Matrix::from_vec(1, 4, vec![1.0, 0.0, 0.0, 1.0]);
+        assert_eq!(binary_accuracy(&logits, &target), 0.5);
+    }
+}

@@ -1,0 +1,373 @@
+//! Layered models: the unit the paper's model manager stores and versions.
+//!
+//! A model is an ordered stack of layers `M(X) = L(n)(...L(1)(X))`
+//! (Section 4.1). [`LayerSpec`] describes the architecture declaratively so
+//! model storage can rebuild the stack and then load per-layer weight blobs
+//! — which is exactly how incremental updates re-assemble a model version
+//! from layers with different timestamps.
+
+use crate::attention::MultiHeadAttention;
+use crate::layer::{Embedding, Layer, LayerNorm, Linear, Relu, Sigmoid, Tanh};
+use crate::loss::{bce_with_logits, mse, softmax_cross_entropy};
+use crate::optim::{Adam, OptimConfig};
+use crate::tensor::Matrix;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Declarative layer description; the model manager persists this next to
+/// the weight blobs.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LayerSpec {
+    Linear { inputs: usize, outputs: usize },
+    Embedding { vocab: usize, dim: usize, nfields: usize },
+    Relu,
+    Sigmoid,
+    Tanh,
+    LayerNorm { dim: usize },
+    MultiHeadAttention { dim: usize, heads: usize },
+}
+
+impl LayerSpec {
+    /// Instantiate the layer with fresh (random) weights.
+    pub fn build(&self, rng: &mut impl Rng) -> Box<dyn Layer> {
+        match self {
+            LayerSpec::Linear { inputs, outputs } => Box::new(Linear::new(*inputs, *outputs, rng)),
+            LayerSpec::Embedding { vocab, dim, nfields } => {
+                Box::new(Embedding::new(*vocab, *dim, *nfields, rng))
+            }
+            LayerSpec::Relu => Box::new(Relu::new()),
+            LayerSpec::Sigmoid => Box::new(Sigmoid::new()),
+            LayerSpec::Tanh => Box::new(Tanh::new()),
+            LayerSpec::LayerNorm { dim } => Box::new(LayerNorm::new(*dim)),
+            LayerSpec::MultiHeadAttention { dim, heads } => {
+                Box::new(MultiHeadAttention::new(*dim, *heads, rng))
+            }
+        }
+    }
+}
+
+/// Loss function selector for [`Trainer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LossKind {
+    /// Mean squared error — `PREDICT VALUE OF` (regression).
+    Mse,
+    /// Binary cross-entropy on logits — `PREDICT CLASS OF` with 2 classes.
+    Bce,
+    /// Softmax cross-entropy; targets are class indexes in column 0.
+    CrossEntropy,
+}
+
+/// A sequential stack of layers.
+pub struct Model {
+    pub spec: Vec<LayerSpec>,
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl std::fmt::Debug for Model {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Model[{}]", self.describe())
+    }
+}
+
+impl Model {
+    pub fn from_spec(spec: Vec<LayerSpec>, rng: &mut impl Rng) -> Self {
+        let layers = spec.iter().map(|s| s.build(rng)).collect();
+        Model { spec, layers }
+    }
+
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(|l| l.param_count()).sum()
+    }
+
+    pub fn forward(&mut self, input: &Matrix) -> Matrix {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x);
+        }
+        x
+    }
+
+    /// Backward through all layers; gradients accumulate in each layer.
+    pub fn backward(&mut self, grad_out: &Matrix) {
+        let mut g = grad_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+    }
+
+    pub fn zero_grad(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_grad();
+        }
+    }
+
+    /// Parameter slices of layers `from..` (used to freeze a prefix).
+    pub fn params_from(&mut self, from: usize) -> Vec<&mut [f32]> {
+        self.layers[from..]
+            .iter_mut()
+            .flat_map(|l| l.params())
+            .collect()
+    }
+
+    pub fn grads_from(&mut self, from: usize) -> Vec<&mut [f32]> {
+        self.layers[from..]
+            .iter_mut()
+            .flat_map(|l| l.grads())
+            .collect()
+    }
+
+    /// Serialize each layer's weights.
+    pub fn layer_states(&self) -> Vec<Vec<u8>> {
+        self.layers.iter().map(|l| l.state()).collect()
+    }
+
+    /// Load one layer's weights.
+    pub fn load_layer_state(&mut self, idx: usize, bytes: &[u8]) {
+        self.layers[idx].load_state(bytes);
+    }
+
+    /// Load all layers' weights.
+    pub fn load_states(&mut self, states: &[Vec<u8>]) {
+        assert_eq!(states.len(), self.layers.len(), "layer count mismatch");
+        for (i, s) in states.iter().enumerate() {
+            self.layers[i].load_state(s);
+        }
+    }
+
+    pub fn describe(&self) -> String {
+        self.layers
+            .iter()
+            .map(|l| l.describe())
+            .collect::<Vec<_>>()
+            .join(" -> ")
+    }
+}
+
+/// Couples a model with an Adam optimizer and a loss, handling layer
+/// freezing for incremental updates.
+pub struct Trainer {
+    pub model: Model,
+    pub loss: LossKind,
+    opt: Adam,
+    frozen_prefix: usize,
+}
+
+impl Trainer {
+    pub fn new(model: Model, loss: LossKind, cfg: OptimConfig) -> Self {
+        Trainer {
+            model,
+            loss,
+            opt: Adam::new(cfg),
+            frozen_prefix: 0,
+        }
+    }
+
+    /// Freeze the first `n` layers: their weights stop updating. This is
+    /// the mechanism behind the paper's incremental model update — only the
+    /// trailing layers are fine-tuned and persisted as a new version.
+    pub fn set_frozen_prefix(&mut self, n: usize) {
+        assert!(n <= self.model.num_layers());
+        if n != self.frozen_prefix {
+            self.frozen_prefix = n;
+            self.opt.reset();
+        }
+    }
+
+    pub fn frozen_prefix(&self) -> usize {
+        self.frozen_prefix
+    }
+
+    /// One SGD step on a batch. For [`LossKind::CrossEntropy`], `target`
+    /// column 0 holds class indexes. Returns the loss.
+    pub fn train_batch(&mut self, input: &Matrix, target: &Matrix) -> f32 {
+        let pred = self.model.forward(input);
+        let (loss, grad) = match self.loss {
+            LossKind::Mse => mse(&pred, target),
+            LossKind::Bce => bce_with_logits(&pred, target),
+            LossKind::CrossEntropy => {
+                let labels: Vec<usize> = (0..target.rows)
+                    .map(|r| target.get(r, 0).max(0.0) as usize)
+                    .collect();
+                softmax_cross_entropy(&pred, &labels)
+            }
+        };
+        self.model.zero_grad();
+        self.model.backward(&grad);
+        let from = self.frozen_prefix;
+        // `params_from` and `grads_from` both borrow the model mutably, so
+        // snapshot the gradients into owned buffers first.
+        let mut grads_owned: Vec<Vec<f32>> = self
+            .model
+            .grads_from(from)
+            .iter()
+            .map(|g| g.to_vec())
+            .collect();
+        let mut params = self.model.params_from(from);
+        let mut grads_refs: Vec<&mut [f32]> =
+            grads_owned.iter_mut().map(|g| g.as_mut_slice()).collect();
+        self.opt.step(&mut params, &mut grads_refs);
+        loss
+    }
+
+    /// Evaluate loss without updating weights.
+    pub fn eval_batch(&mut self, input: &Matrix, target: &Matrix) -> f32 {
+        let pred = self.model.forward(input);
+        match self.loss {
+            LossKind::Mse => mse(&pred, target).0,
+            LossKind::Bce => bce_with_logits(&pred, target).0,
+            LossKind::CrossEntropy => {
+                let labels: Vec<usize> = (0..target.rows)
+                    .map(|r| target.get(r, 0).max(0.0) as usize)
+                    .collect();
+                softmax_cross_entropy(&pred, &labels).0
+            }
+        }
+    }
+
+    pub fn predict(&mut self, input: &Matrix) -> Matrix {
+        self.model.forward(input)
+    }
+}
+
+/// A standard MLP spec: `dims[0] -> dims[1] -> ... -> dims.last()` with
+/// ReLU between hidden layers.
+pub fn mlp_spec(dims: &[usize]) -> Vec<LayerSpec> {
+    assert!(dims.len() >= 2);
+    let mut spec = Vec::new();
+    for i in 0..dims.len() - 1 {
+        spec.push(LayerSpec::Linear {
+            inputs: dims[i],
+            outputs: dims[i + 1],
+        });
+        if i + 2 < dims.len() {
+            spec.push(LayerSpec::Relu);
+        }
+    }
+    spec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(42)
+    }
+
+    /// y = 2a - b as a regression task.
+    fn toy_batch(rng: &mut impl Rng, n: usize) -> (Matrix, Matrix) {
+        let mut x = Matrix::zeros(n, 2);
+        let mut y = Matrix::zeros(n, 1);
+        for r in 0..n {
+            let a: f32 = rng.gen_range(-1.0..1.0);
+            let b: f32 = rng.gen_range(-1.0..1.0);
+            x.set(r, 0, a);
+            x.set(r, 1, b);
+            y.set(r, 0, 2.0 * a - b);
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn mlp_learns_linear_function() {
+        let mut rng = rng();
+        let model = Model::from_spec(mlp_spec(&[2, 16, 1]), &mut rng);
+        let mut t = Trainer::new(model, LossKind::Mse, OptimConfig { lr: 0.01, ..Default::default() });
+        let mut last = f32::MAX;
+        for _ in 0..300 {
+            let (x, y) = toy_batch(&mut rng, 32);
+            last = t.train_batch(&x, &y);
+        }
+        assert!(last < 0.01, "final loss {last}");
+    }
+
+    #[test]
+    fn classification_with_cross_entropy() {
+        let mut rng = rng();
+        let model = Model::from_spec(mlp_spec(&[2, 16, 2]), &mut rng);
+        let mut t = Trainer::new(model, LossKind::CrossEntropy, OptimConfig { lr: 0.01, ..Default::default() });
+        // Class = whether a+b > 0.
+        let gen = |rng: &mut rand::rngs::StdRng, n: usize| {
+            let mut x = Matrix::zeros(n, 2);
+            let mut y = Matrix::zeros(n, 1);
+            for r in 0..n {
+                let a: f32 = rng.gen_range(-1.0..1.0);
+                let b: f32 = rng.gen_range(-1.0..1.0);
+                x.set(r, 0, a);
+                x.set(r, 1, b);
+                y.set(r, 0, if a + b > 0.0 { 1.0 } else { 0.0 });
+            }
+            (x, y)
+        };
+        for _ in 0..300 {
+            let (x, y) = gen(&mut rng, 32);
+            t.train_batch(&x, &y);
+        }
+        let (x, y) = gen(&mut rng, 256);
+        let pred = t.predict(&x);
+        let labels: Vec<usize> = (0..y.rows).map(|r| y.get(r, 0) as usize).collect();
+        let acc = crate::loss::accuracy(&pred, &labels);
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn frozen_prefix_keeps_early_layers_fixed() {
+        let mut rng = rng();
+        let model = Model::from_spec(mlp_spec(&[2, 8, 8, 1]), &mut rng);
+        let mut t = Trainer::new(model, LossKind::Mse, OptimConfig::default());
+        let before = t.model.layer_states();
+        t.set_frozen_prefix(2); // freeze first linear + relu
+        for _ in 0..20 {
+            let (x, y) = toy_batch(&mut rng, 16);
+            t.train_batch(&x, &y);
+        }
+        let after = t.model.layer_states();
+        assert_eq!(before[0], after[0], "frozen layer 0 must not change");
+        assert_ne!(
+            before[2], after[2],
+            "unfrozen layer 2 must receive updates"
+        );
+    }
+
+    #[test]
+    fn layer_state_roundtrip_through_spec() {
+        let mut rng = rng();
+        let spec = mlp_spec(&[3, 5, 2]);
+        let mut a = Model::from_spec(spec.clone(), &mut rng);
+        let states = a.layer_states();
+        let mut b = Model::from_spec(spec, &mut rng);
+        b.load_states(&states);
+        let x = Matrix::xavier(4, 3, &mut rng);
+        assert_eq!(a.forward(&x).data, b.forward(&x).data);
+    }
+
+    #[test]
+    fn partial_layer_load_creates_hybrid() {
+        let mut rng = rng();
+        let spec = mlp_spec(&[2, 4, 1]);
+        let mut a = Model::from_spec(spec.clone(), &mut rng);
+        let mut b = Model::from_spec(spec.clone(), &mut rng);
+        // Hybrid: layer 0 from a, layer 2 (second linear) from b.
+        let mut h = Model::from_spec(spec, &mut rng);
+        h.load_layer_state(0, &a.layer_states()[0]);
+        h.load_layer_state(2, &b.layer_states()[2]);
+        let x = Matrix::xavier(3, 2, &mut rng);
+        let ya = a.forward(&x);
+        let yb = b.forward(&x);
+        let yh = h.forward(&x);
+        assert_ne!(yh.data, ya.data);
+        assert_ne!(yh.data, yb.data);
+    }
+
+    #[test]
+    fn describe_lists_layers() {
+        let mut rng = rng();
+        let m = Model::from_spec(mlp_spec(&[2, 4, 1]), &mut rng);
+        assert_eq!(m.describe(), "linear(2->4) -> relu -> linear(4->1)");
+    }
+}

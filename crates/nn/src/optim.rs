@@ -1,0 +1,232 @@
+//! Optimizers: SGD (with momentum) and Adam.
+//!
+//! Optimizers operate on `(params, grads)` slice pairs obtained from layers,
+//! so they work uniformly for any layer and respect the model manager's
+//! layer freezing (frozen layers simply aren't passed in).
+
+/// Configuration shared by optimizers.
+#[derive(Debug, Clone, Copy)]
+pub struct OptimConfig {
+    pub lr: f32,
+    /// L2 weight decay; 0 disables.
+    pub weight_decay: f32,
+    /// Gradient-norm clip; 0 disables.
+    pub clip: f32,
+}
+
+impl Default for OptimConfig {
+    fn default() -> Self {
+        OptimConfig {
+            lr: 1e-3,
+            weight_decay: 0.0,
+            clip: 5.0,
+        }
+    }
+}
+
+fn clip_scale(grads: &[&mut [f32]], clip: f32) -> f32 {
+    if clip <= 0.0 {
+        return 1.0;
+    }
+    let norm: f32 = grads
+        .iter()
+        .flat_map(|g| g.iter())
+        .map(|v| v * v)
+        .sum::<f32>()
+        .sqrt();
+    if norm > clip {
+        clip / norm
+    } else {
+        1.0
+    }
+}
+
+/// Stochastic gradient descent with classical momentum.
+pub struct Sgd {
+    pub cfg: OptimConfig,
+    pub momentum: f32,
+    velocity: Vec<Vec<f32>>,
+}
+
+impl Sgd {
+    pub fn new(cfg: OptimConfig, momentum: f32) -> Self {
+        Sgd {
+            cfg,
+            momentum,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// Apply one update step. `params[i]` and `grads[i]` must be parallel
+    /// and keep the same shapes across calls.
+    pub fn step(&mut self, params: &mut [&mut [f32]], grads: &mut [&mut [f32]]) {
+        assert_eq!(params.len(), grads.len());
+        if self.velocity.len() != params.len() {
+            self.velocity = params.iter().map(|p| vec![0.0; p.len()]).collect();
+        }
+        let scale = clip_scale(grads, self.cfg.clip);
+        for ((p, g), v) in params.iter_mut().zip(grads.iter()).zip(self.velocity.iter_mut()) {
+            if v.len() != p.len() {
+                *v = vec![0.0; p.len()];
+            }
+            for i in 0..p.len() {
+                let grad = g[i] * scale + self.cfg.weight_decay * p[i];
+                v[i] = self.momentum * v[i] - self.cfg.lr * grad;
+                p[i] += v[i];
+            }
+        }
+    }
+}
+
+/// Adam optimizer (Kingma & Ba).
+pub struct Adam {
+    pub cfg: OptimConfig,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    m: Vec<Vec<f32>>,
+    v: Vec<Vec<f32>>,
+}
+
+impl Adam {
+    pub fn new(cfg: OptimConfig) -> Self {
+        Adam {
+            cfg,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    pub fn step(&mut self, params: &mut [&mut [f32]], grads: &mut [&mut [f32]]) {
+        assert_eq!(params.len(), grads.len());
+        if self.m.len() != params.len() {
+            self.m = params.iter().map(|p| vec![0.0; p.len()]).collect();
+            self.v = params.iter().map(|p| vec![0.0; p.len()]).collect();
+            self.t = 0;
+        }
+        self.t += 1;
+        let scale = clip_scale(grads, self.cfg.clip);
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (((p, g), m), v) in params
+            .iter_mut()
+            .zip(grads.iter())
+            .zip(self.m.iter_mut())
+            .zip(self.v.iter_mut())
+        {
+            if m.len() != p.len() {
+                *m = vec![0.0; p.len()];
+                *v = vec![0.0; p.len()];
+            }
+            for i in 0..p.len() {
+                let grad = g[i] * scale + self.cfg.weight_decay * p[i];
+                m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * grad;
+                v[i] = self.beta2 * v[i] + (1.0 - self.beta2) * grad * grad;
+                let mhat = m[i] / bc1;
+                let vhat = v[i] / bc2;
+                p[i] -= self.cfg.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+        }
+    }
+
+    /// Reset moment estimates (used when a model is re-assembled from
+    /// versioned layers and the old moments no longer correspond).
+    pub fn reset(&mut self) {
+        self.m.clear();
+        self.v.clear();
+        self.t = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimize f(x) = (x-3)^2 with each optimizer.
+    fn run<F: FnMut(&mut [&mut [f32]], &mut [&mut [f32]])>(mut step: F) -> f32 {
+        let mut x = vec![0.0f32];
+        for _ in 0..500 {
+            let mut g = vec![2.0 * (x[0] - 3.0)];
+            let mut params: Vec<&mut [f32]> = vec![&mut x];
+            let mut grads: Vec<&mut [f32]> = vec![&mut g];
+            step(&mut params, &mut grads);
+        }
+        x[0]
+    }
+
+    #[test]
+    fn sgd_converges() {
+        let mut opt = Sgd::new(
+            OptimConfig {
+                lr: 0.05,
+                ..Default::default()
+            },
+            0.9,
+        );
+        let x = run(|p, g| opt.step(p, g));
+        assert!((x - 3.0).abs() < 1e-2, "got {x}");
+    }
+
+    #[test]
+    fn adam_converges() {
+        let mut opt = Adam::new(OptimConfig {
+            lr: 0.05,
+            ..Default::default()
+        });
+        let x = run(|p, g| opt.step(p, g));
+        assert!((x - 3.0).abs() < 1e-2, "got {x}");
+    }
+
+    #[test]
+    fn clipping_bounds_update() {
+        let mut opt = Sgd::new(
+            OptimConfig {
+                lr: 1.0,
+                clip: 1.0,
+                ..Default::default()
+            },
+            0.0,
+        );
+        let mut x = vec![0.0f32];
+        let mut g = vec![1000.0f32];
+        let mut params: Vec<&mut [f32]> = vec![&mut x];
+        let mut grads: Vec<&mut [f32]> = vec![&mut g];
+        opt.step(&mut params, &mut grads);
+        assert!((x[0].abs() - 1.0).abs() < 1e-5, "clipped step should be lr*clip");
+    }
+
+    #[test]
+    fn weight_decay_shrinks_params() {
+        let mut opt = Sgd::new(
+            OptimConfig {
+                lr: 0.1,
+                weight_decay: 0.5,
+                clip: 0.0,
+            },
+            0.0,
+        );
+        let mut x = vec![10.0f32];
+        let mut g = vec![0.0f32];
+        let mut params: Vec<&mut [f32]> = vec![&mut x];
+        let mut grads: Vec<&mut [f32]> = vec![&mut g];
+        opt.step(&mut params, &mut grads);
+        assert!(x[0] < 10.0);
+    }
+
+    #[test]
+    fn adam_reset_clears_state() {
+        let mut opt = Adam::new(OptimConfig::default());
+        let mut x = vec![1.0f32];
+        let mut g = vec![1.0f32];
+        let mut params: Vec<&mut [f32]> = vec![&mut x];
+        let mut grads: Vec<&mut [f32]> = vec![&mut g];
+        opt.step(&mut params, &mut grads);
+        opt.reset();
+        assert_eq!(opt.t, 0);
+    }
+}

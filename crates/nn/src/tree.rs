@@ -1,0 +1,354 @@
+//! Tree encoder for query-plan trees ("tree transformer", paper Fig. 5).
+//!
+//! Encodes an arbitrary binary plan tree into a fixed-size embedding by
+//! recursive composition: `h(node) = tanh(W_n x_node + W_l h(left) +
+//! W_r h(right) + b)`. The learned query optimizer feeds one such embedding
+//! per candidate plan into its cross-attention encoder. Gradients flow back
+//! through the recursion (backprop-through-structure).
+
+use crate::tensor::Matrix;
+use bytes::{Buf, BufMut, BytesMut};
+use rand::Rng;
+
+/// A node of an encodable plan tree: a feature vector plus up to two
+/// children.
+#[derive(Debug, Clone)]
+pub struct TreeNode {
+    pub features: Vec<f32>,
+    pub children: Vec<TreeNode>,
+}
+
+impl TreeNode {
+    pub fn leaf(features: Vec<f32>) -> Self {
+        TreeNode {
+            features,
+            children: Vec::new(),
+        }
+    }
+
+    pub fn inner(features: Vec<f32>, children: Vec<TreeNode>) -> Self {
+        assert!(children.len() <= 2, "binary trees only");
+        TreeNode { features, children }
+    }
+
+    pub fn size(&self) -> usize {
+        1 + self.children.iter().map(|c| c.size()).sum::<usize>()
+    }
+
+    pub fn depth(&self) -> usize {
+        1 + self.children.iter().map(|c| c.depth()).max().unwrap_or(0)
+    }
+}
+
+/// Recursive tree encoder with tied weights across nodes.
+pub struct TreeEncoder {
+    pub feat_dim: usize,
+    pub out_dim: usize,
+    wn: Matrix, // feat_dim x out_dim
+    wl: Matrix, // out_dim x out_dim
+    wr: Matrix, // out_dim x out_dim
+    b: Vec<f32>,
+    gn: Matrix,
+    gl: Matrix,
+    gr: Matrix,
+    gb: Vec<f32>,
+}
+
+/// Cached activations for one encoded tree (needed for backward).
+pub struct TreeTrace {
+    /// Post-order list: (features, left trace idx, right trace idx, pre-activation, h).
+    nodes: Vec<TraceNode>,
+    root: usize,
+}
+
+struct TraceNode {
+    features: Vec<f32>,
+    left: Option<usize>,
+    right: Option<usize>,
+    pre: Vec<f32>,
+    h: Vec<f32>,
+}
+
+impl TreeEncoder {
+    pub fn new(feat_dim: usize, out_dim: usize, rng: &mut impl Rng) -> Self {
+        TreeEncoder {
+            feat_dim,
+            out_dim,
+            wn: Matrix::xavier(feat_dim, out_dim, rng),
+            wl: Matrix::xavier(out_dim, out_dim, rng),
+            wr: Matrix::xavier(out_dim, out_dim, rng),
+            b: vec![0.0; out_dim],
+            gn: Matrix::zeros(feat_dim, out_dim),
+            gl: Matrix::zeros(out_dim, out_dim),
+            gr: Matrix::zeros(out_dim, out_dim),
+            gb: vec![0.0; out_dim],
+        }
+    }
+
+    fn encode_rec(&self, node: &TreeNode, trace: &mut Vec<TraceNode>) -> usize {
+        let left = node.children.first().map(|c| self.encode_rec(c, trace));
+        let right = node.children.get(1).map(|c| self.encode_rec(c, trace));
+        let mut feats = node.features.clone();
+        feats.resize(self.feat_dim, 0.0);
+        let mut pre = self.b.clone();
+        // W_n^T x
+        for (i, f) in feats.iter().enumerate() {
+            if *f != 0.0 {
+                for (p, w) in pre.iter_mut().zip(self.wn.row(i).iter()) {
+                    *p += f * w;
+                }
+            }
+        }
+        for (child, w) in [(left, &self.wl), (right, &self.wr)] {
+            if let Some(ci) = child {
+                let ch = trace[ci].h.clone();
+                for (i, hv) in ch.iter().enumerate() {
+                    for (p, wv) in pre.iter_mut().zip(w.row(i).iter()) {
+                        *p += hv * wv;
+                    }
+                }
+            }
+        }
+        let h: Vec<f32> = pre.iter().map(|v| v.tanh()).collect();
+        trace.push(TraceNode {
+            features: feats,
+            left,
+            right,
+            pre,
+            h,
+        });
+        trace.len() - 1
+    }
+
+    /// Encode a tree; returns the root embedding and a trace for backward.
+    pub fn encode(&self, tree: &TreeNode) -> (Vec<f32>, TreeTrace) {
+        let mut nodes = Vec::with_capacity(tree.size());
+        let root = self.encode_rec(tree, &mut nodes);
+        let h = nodes[root].h.clone();
+        (h, TreeTrace { nodes, root })
+    }
+
+    /// Backprop `d_root` (dL/d root embedding) through the tree, updating
+    /// parameter gradients.
+    pub fn backward(&mut self, trace: &TreeTrace, d_root: &[f32]) {
+        let n = trace.nodes.len();
+        let mut dh = vec![vec![0.0f32; self.out_dim]; n];
+        dh[trace.root].copy_from_slice(d_root);
+        // Traverse in reverse post-order (parents after children in the
+        // trace vector, so iterate indices downward).
+        for i in (0..n).rev() {
+            let (left, right) = (trace.nodes[i].left, trace.nodes[i].right);
+            // dpre = dh * (1 - tanh^2)
+            let dpre: Vec<f32> = trace.nodes[i]
+                .pre
+                .iter()
+                .zip(dh[i].iter())
+                .map(|(p, d)| d * (1.0 - p.tanh().powi(2)))
+                .collect();
+            // Parameter grads.
+            for (fi, f) in trace.nodes[i].features.iter().enumerate() {
+                if *f != 0.0 {
+                    for (g, d) in self.gn.row_mut(fi).iter_mut().zip(dpre.iter()) {
+                        *g += f * d;
+                    }
+                }
+            }
+            for (g, d) in self.gb.iter_mut().zip(dpre.iter()) {
+                *g += d;
+            }
+            for (child, w, gw) in [
+                (left, &self.wl, &mut self.gl),
+                (right, &self.wr, &mut self.gr),
+            ] {
+                if let Some(ci) = child {
+                    let ch = trace.nodes[ci].h.clone();
+                    for (hi, hv) in ch.iter().enumerate() {
+                        for (g, d) in gw.row_mut(hi).iter_mut().zip(dpre.iter()) {
+                            *g += hv * d;
+                        }
+                    }
+                    // dh_child += W dpre (W is out_dim x out_dim, row = child dim)
+                    for hi in 0..self.out_dim {
+                        let mut s = 0.0;
+                        for (wv, d) in w.row(hi).iter().zip(dpre.iter()) {
+                            s += wv * d;
+                        }
+                        dh[ci][hi] += s;
+                    }
+                }
+            }
+        }
+    }
+
+    pub fn params(&mut self) -> Vec<&mut [f32]> {
+        vec![
+            &mut self.wn.data,
+            &mut self.wl.data,
+            &mut self.wr.data,
+            &mut self.b,
+        ]
+    }
+
+    pub fn grads(&mut self) -> Vec<&mut [f32]> {
+        vec![
+            &mut self.gn.data,
+            &mut self.gl.data,
+            &mut self.gr.data,
+            &mut self.gb,
+        ]
+    }
+
+    pub fn zero_grad(&mut self) {
+        self.gn.data.iter_mut().for_each(|v| *v = 0.0);
+        self.gl.data.iter_mut().for_each(|v| *v = 0.0);
+        self.gr.data.iter_mut().for_each(|v| *v = 0.0);
+        self.gb.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    pub fn param_count(&self) -> usize {
+        self.wn.data.len() + self.wl.data.len() + self.wr.data.len() + self.b.len()
+    }
+
+    pub fn state(&self) -> Vec<u8> {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(self.feat_dim as u32);
+        buf.put_u32_le(self.out_dim as u32);
+        for m in [&self.wn, &self.wl, &self.wr] {
+            for v in &m.data {
+                buf.put_f32_le(*v);
+            }
+        }
+        for v in &self.b {
+            buf.put_f32_le(*v);
+        }
+        buf.to_vec()
+    }
+
+    pub fn load_state(&mut self, bytes: &[u8]) {
+        let mut buf = bytes;
+        let fd = buf.get_u32_le() as usize;
+        let od = buf.get_u32_le() as usize;
+        assert_eq!((fd, od), (self.feat_dim, self.out_dim));
+        for m in [&mut self.wn, &mut self.wl, &mut self.wr] {
+            for v in &mut m.data {
+                *v = buf.get_f32_le();
+            }
+        }
+        for v in &mut self.b {
+            *v = buf.get_f32_le();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn chain(depth: usize, feat: f32) -> TreeNode {
+        let mut node = TreeNode::leaf(vec![feat, 1.0]);
+        for _ in 0..depth {
+            node = TreeNode::inner(vec![feat, 0.5], vec![node]);
+        }
+        node
+    }
+
+    #[test]
+    fn encoding_is_deterministic_and_structure_sensitive() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(30);
+        let enc = TreeEncoder::new(2, 8, &mut rng);
+        let t1 = chain(3, 0.7);
+        let (h1, _) = enc.encode(&t1);
+        let (h1b, _) = enc.encode(&t1);
+        assert_eq!(h1, h1b);
+        let t2 = chain(4, 0.7);
+        let (h2, _) = enc.encode(&t2);
+        assert_ne!(h1, h2, "deeper tree must encode differently");
+        // Left vs right child placement matters.
+        let leaf = TreeNode::leaf(vec![1.0, 0.0]);
+        let l = TreeNode::inner(vec![0.0, 0.0], vec![leaf.clone()]);
+        let r = TreeNode {
+            features: vec![0.0, 0.0],
+            children: vec![TreeNode::leaf(vec![0.0, 0.0]), leaf],
+        };
+        assert_ne!(enc.encode(&l).0, enc.encode(&r).0);
+    }
+
+    #[test]
+    fn gradient_check_through_structure() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        let mut enc = TreeEncoder::new(2, 4, &mut rng);
+        let tree = TreeNode::inner(
+            vec![0.3, -0.2],
+            vec![
+                TreeNode::leaf(vec![0.5, 0.1]),
+                TreeNode::inner(vec![-0.4, 0.9], vec![TreeNode::leaf(vec![0.2, 0.2])]),
+            ],
+        );
+        let (h, trace) = enc.encode(&tree);
+        enc.zero_grad();
+        let d_root = vec![1.0; 4];
+        enc.backward(&trace, &d_root);
+        let _ = h;
+        // Finite differences on a few weights of each matrix.
+        let eps = 1e-2f32;
+        let check = |enc: &mut TreeEncoder, which: usize, idx: usize, analytic: f32| {
+            let get = |e: &TreeEncoder| -> f32 {
+                let (h, _) = e.encode(&tree);
+                h.iter().sum()
+            };
+            let bump = |e: &mut TreeEncoder, d: f32| match which {
+                0 => e.wn.data[idx] += d,
+                1 => e.wl.data[idx] += d,
+                2 => e.wr.data[idx] += d,
+                _ => e.b[idx] += d,
+            };
+            bump(enc, eps);
+            let fp = get(enc);
+            bump(enc, -2.0 * eps);
+            let fm = get(enc);
+            bump(enc, eps);
+            let numeric = (fp - fm) / (2.0 * eps);
+            assert!(
+                (numeric - analytic).abs() < 3e-2 * (1.0 + numeric.abs()),
+                "grad mismatch which={which} idx={idx}: {numeric} vs {analytic}"
+            );
+        };
+        for idx in 0..4 {
+            let a = enc.gn.data[idx];
+            check(&mut enc, 0, idx, a);
+            let a = enc.gl.data[idx];
+            check(&mut enc, 1, idx, a);
+            let a = enc.gr.data[idx];
+            check(&mut enc, 2, idx, a);
+            let a = enc.gb[idx];
+            check(&mut enc, 3, idx, a);
+        }
+    }
+
+    #[test]
+    fn state_roundtrip() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(32);
+        let a = TreeEncoder::new(3, 6, &mut rng);
+        let mut b = TreeEncoder::new(3, 6, &mut rng);
+        b.load_state(&a.state());
+        let t = chain(2, 0.5);
+        assert_eq!(a.encode(&t).0, b.encode(&t).0);
+    }
+
+    #[test]
+    fn size_and_depth() {
+        let t = chain(3, 0.1);
+        assert_eq!(t.size(), 4);
+        assert_eq!(t.depth(), 4);
+    }
+
+    #[test]
+    fn short_feature_vectors_are_padded() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(33);
+        let enc = TreeEncoder::new(8, 4, &mut rng);
+        let t = TreeNode::leaf(vec![1.0]); // 1 < feat_dim = 8
+        let (h, _) = enc.encode(&t);
+        assert_eq!(h.len(), 4);
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests for the NN substrate.
+
+use neurdb_nn::{mlp_spec, LayerSpec, Matrix, Model};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_matrix(max_dim: usize) -> impl Strategy<Value = Matrix> {
+    (1..max_dim, 1..max_dim).prop_flat_map(|(r, c)| {
+        prop::collection::vec(-10.0f32..10.0, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data))
+    })
+}
+
+proptest! {
+    /// Double transpose is the identity.
+    #[test]
+    fn transpose_involution(m in arb_matrix(12)) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    /// (A B)^T == B^T A^T.
+    #[test]
+    fn matmul_transpose_identity(seed in 0u64..1000, n in 1usize..8, k in 1usize..8, m in 1usize..8) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Matrix::xavier(n, k, &mut rng);
+        let b = Matrix::xavier(k, m, &mut rng);
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        for (x, y) in lhs.data.iter().zip(rhs.data.iter()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    /// Fused transposed matmuls agree with the naive formulation.
+    #[test]
+    fn fused_matmuls_agree(seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Matrix::xavier(5, 7, &mut rng);
+        let b = Matrix::xavier(5, 3, &mut rng);
+        let naive = a.transpose().matmul(&b);
+        let fused = a.t_matmul(&b);
+        for (x, y) in naive.data.iter().zip(fused.data.iter()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    /// Row softmax returns a probability distribution per row.
+    #[test]
+    fn softmax_is_distribution(m in arb_matrix(10)) {
+        let s = m.softmax_rows();
+        for r in 0..s.rows {
+            let row = s.row(r);
+            prop_assert!(row.iter().all(|v| (0.0..=1.0 + 1e-6).contains(v)));
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4, "row {r} sums to {sum}");
+        }
+    }
+
+    /// Layer-state serialization round-trips any MLP architecture.
+    #[test]
+    fn model_state_roundtrip(dims in prop::collection::vec(1usize..12, 2..5), seed in 0u64..1000) {
+        let spec = mlp_spec(&dims);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut a = Model::from_spec(spec.clone(), &mut rng);
+        let mut b = Model::from_spec(spec, &mut rng); // different init
+        b.load_states(&a.layer_states());
+        let x = Matrix::xavier(3, dims[0], &mut rng);
+        prop_assert_eq!(a.forward(&x).data, b.forward(&x).data);
+    }
+
+    /// A model assembled from mixed-version layers equals manual forward
+    /// through those exact layer states (versioned reconstruction).
+    #[test]
+    fn hybrid_layer_load_is_deterministic(seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let spec = vec![
+            LayerSpec::Linear { inputs: 4, outputs: 6 },
+            LayerSpec::Relu,
+            LayerSpec::Linear { inputs: 6, outputs: 2 },
+        ];
+        let v1 = Model::from_spec(spec.clone(), &mut rng);
+        let v2 = Model::from_spec(spec.clone(), &mut rng);
+        // Assemble twice from the same mixed states: results must agree.
+        let assemble = |rng: &mut StdRng| {
+            let mut m = Model::from_spec(spec.clone(), rng);
+            m.load_layer_state(0, &v1.layer_states()[0]);
+            m.load_layer_state(2, &v2.layer_states()[2]);
+            m
+        };
+        let mut h1 = assemble(&mut rng);
+        let mut h2 = assemble(&mut rng);
+        let x = Matrix::xavier(2, 4, &mut rng);
+        prop_assert_eq!(h1.forward(&x).data, h2.forward(&x).data);
+    }
+}

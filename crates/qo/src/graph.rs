@@ -1,0 +1,281 @@
+//! Join graphs: the optimizer's view of an SPJ query.
+//!
+//! A [`JoinGraph`] carries, per base table, the *estimated* cardinality
+//! (from possibly-stale catalog statistics — what a PostgreSQL-style
+//! optimizer sees) and the *true* cardinality (what execution actually
+//! encounters). Data drift is modeled as divergence between the two: the
+//! STATS experiments (paper Fig. 8) apply inserts/updates/deletes that
+//! change true cardinalities and selectivities while stale estimates lag.
+
+use rand::Rng;
+
+/// One base table in the query.
+#[derive(Debug, Clone)]
+pub struct TableInfo {
+    pub name: String,
+    /// Estimated output rows of the scan (after local predicates),
+    /// according to catalog statistics.
+    pub est_rows: f64,
+    /// True output rows of the scan.
+    pub true_rows: f64,
+    /// Selectivity of local predicates (est), for plan features.
+    pub est_selectivity: f64,
+}
+
+/// An equi-join edge between two tables.
+#[derive(Debug, Clone, Copy)]
+pub struct JoinEdge {
+    pub a: usize,
+    pub b: usize,
+    /// Estimated join selectivity: |A ⋈ B| = sel * |A| * |B|.
+    pub est_sel: f64,
+    /// True join selectivity.
+    pub true_sel: f64,
+}
+
+/// The join graph of one SPJ query.
+#[derive(Debug, Clone)]
+pub struct JoinGraph {
+    pub tables: Vec<TableInfo>,
+    pub joins: Vec<JoinEdge>,
+}
+
+impl JoinGraph {
+    pub fn num_tables(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Selectivity between two table *sets* (product of crossing edges).
+    /// `which = true` uses true selectivities, else estimates.
+    pub fn cross_selectivity(&self, left: u32, right: u32, truth: bool) -> f64 {
+        let mut sel = 1.0;
+        let mut connected = false;
+        for e in &self.joins {
+            let (ba, bb) = (1u32 << e.a, 1u32 << e.b);
+            if (left & ba != 0 && right & bb != 0) || (left & bb != 0 && right & ba != 0) {
+                sel *= if truth { e.true_sel } else { e.est_sel };
+                connected = true;
+            }
+        }
+        if connected {
+            sel
+        } else {
+            // Cross product: heavily penalized by any sane cost model.
+            1.0
+        }
+    }
+
+    /// Whether two table sets are connected by at least one join edge.
+    pub fn connected(&self, left: u32, right: u32) -> bool {
+        self.joins.iter().any(|e| {
+            let (ba, bb) = (1u32 << e.a, 1u32 << e.b);
+            (left & ba != 0 && right & bb != 0) || (left & bb != 0 && right & ba != 0)
+        })
+    }
+
+    /// Apply *drift*: true cardinalities and selectivities move while
+    /// estimates stay stale. `severity` scales the drift: each table's true
+    /// rows move by up to ~10x and join selectivities by up to ~4x at
+    /// severity 1.0 — the magnitude ALECE-style drift drivers report
+    /// (q-errors of 10-100 on stale estimators).
+    pub fn drift(&self, severity: f64, rng: &mut impl Rng) -> JoinGraph {
+        let mut g = self.clone();
+        for t in &mut g.tables {
+            let f = 1.0 + 9.0 * severity * rng.gen_range(0.0..1.0f64);
+            if rng.gen_bool(0.5) {
+                t.true_rows = (t.true_rows * f).max(1.0);
+            } else {
+                t.true_rows = (t.true_rows / f).max(1.0);
+            }
+        }
+        for e in &mut g.joins {
+            let f = 1.0 + 3.0 * severity * rng.gen_range(0.0..1.0f64);
+            if rng.gen_bool(0.5) {
+                e.true_sel = (e.true_sel * f).min(1.0);
+            } else {
+                e.true_sel /= f;
+            }
+        }
+        g
+    }
+
+    /// Refresh estimates from truth (what ANALYZE would do). The learned
+    /// QO's *system conditions* include cheap fresh statistics, modeled by
+    /// a partially-refreshed graph.
+    pub fn refresh_estimates(&mut self) {
+        for t in &mut self.tables {
+            t.est_rows = t.true_rows;
+        }
+        for e in &mut self.joins {
+            e.est_sel = e.true_sel;
+        }
+    }
+
+    /// Summary statistics vector for the *system condition* input of the
+    /// learned QO: per table `[log10(true rows), est/true ratio]`, padded
+    /// to `max_tables` tables.
+    pub fn condition_tokens(&self, max_tables: usize) -> Vec<Vec<f32>> {
+        let mut out = Vec::with_capacity(max_tables);
+        for i in 0..max_tables {
+            match self.tables.get(i) {
+                Some(t) => out.push(vec![
+                    (t.true_rows.max(1.0).log10() / 8.0) as f32,
+                    ((t.est_rows / t.true_rows.max(1.0)).ln().clamp(-3.0, 3.0) / 3.0) as f32,
+                    t.est_selectivity as f32,
+                ]),
+                None => out.push(vec![0.0, 0.0, 0.0]),
+            }
+        }
+        out
+    }
+}
+
+/// Build a random connected join graph (used by pretraining and tests).
+pub fn random_graph(n_tables: usize, rng: &mut impl Rng) -> JoinGraph {
+    assert!((2..=16).contains(&n_tables));
+    let tables = (0..n_tables)
+        .map(|i| {
+            let rows = 10f64.powf(rng.gen_range(2.0..6.0));
+            let sel = rng.gen_range(0.05..1.0);
+            TableInfo {
+                name: format!("t{i}"),
+                est_rows: rows * sel,
+                true_rows: rows * sel,
+                est_selectivity: sel,
+            }
+        })
+        .collect();
+    // Spanning tree + extra edges.
+    let mut joins = Vec::new();
+    for i in 1..n_tables {
+        let j = rng.gen_range(0..i);
+        let sel = 10f64.powf(rng.gen_range(-5.0..-1.0));
+        joins.push(JoinEdge {
+            a: i,
+            b: j,
+            est_sel: sel,
+            true_sel: sel,
+        });
+    }
+    for _ in 0..n_tables / 3 {
+        let a = rng.gen_range(0..n_tables);
+        let b = rng.gen_range(0..n_tables);
+        if a != b && !joins.iter().any(|e| (e.a, e.b) == (a, b) || (e.a, e.b) == (b, a)) {
+            let sel = 10f64.powf(rng.gen_range(-5.0..-1.0));
+            joins.push(JoinEdge {
+                a,
+                b,
+                est_sel: sel,
+                true_sel: sel,
+            });
+        }
+    }
+    JoinGraph { tables, joins }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn random_graph_is_connected() {
+        let mut r = rng();
+        for _ in 0..20 {
+            let g = random_graph(6, &mut r);
+            // BFS over join edges.
+            let mut seen = 1u32;
+            let mut frontier = vec![0usize];
+            while let Some(x) = frontier.pop() {
+                for e in &g.joins {
+                    for (u, v) in [(e.a, e.b), (e.b, e.a)] {
+                        if u == x && seen & (1 << v) == 0 {
+                            seen |= 1 << v;
+                            frontier.push(v);
+                        }
+                    }
+                }
+            }
+            assert_eq!(seen.count_ones() as usize, 6);
+        }
+    }
+
+    #[test]
+    fn drift_moves_truth_not_estimates() {
+        let mut r = rng();
+        let g = random_graph(5, &mut r);
+        let d = g.drift(1.0, &mut r);
+        let moved = g
+            .tables
+            .iter()
+            .zip(d.tables.iter())
+            .filter(|(a, b)| (a.true_rows - b.true_rows).abs() > 1e-9)
+            .count();
+        assert!(moved >= 3, "most tables should drift");
+        for (a, b) in g.tables.iter().zip(d.tables.iter()) {
+            assert_eq!(a.est_rows, b.est_rows, "estimates must stay stale");
+        }
+    }
+
+    #[test]
+    fn refresh_aligns_estimates() {
+        let mut r = rng();
+        let mut g = random_graph(4, &mut r).drift(0.8, &mut r);
+        g.refresh_estimates();
+        for t in &g.tables {
+            assert_eq!(t.est_rows, t.true_rows);
+        }
+    }
+
+    #[test]
+    fn cross_selectivity_multiplies_edges() {
+        let g = JoinGraph {
+            tables: (0..3)
+                .map(|i| TableInfo {
+                    name: format!("t{i}"),
+                    est_rows: 100.0,
+                    true_rows: 100.0,
+                    est_selectivity: 1.0,
+                })
+                .collect(),
+            joins: vec![
+                JoinEdge {
+                    a: 0,
+                    b: 1,
+                    est_sel: 0.1,
+                    true_sel: 0.2,
+                },
+                JoinEdge {
+                    a: 1,
+                    b: 2,
+                    est_sel: 0.01,
+                    true_sel: 0.01,
+                },
+            ],
+        };
+        // {0} vs {1,2}: edges 0-1 only.
+        assert_eq!(g.cross_selectivity(0b001, 0b110, false), 0.1);
+        assert_eq!(g.cross_selectivity(0b001, 0b110, true), 0.2);
+        // {0,1} vs {2}: edge 1-2.
+        assert_eq!(g.cross_selectivity(0b011, 0b100, false), 0.01);
+        assert!(g.connected(0b001, 0b010));
+        assert!(!g.connected(0b001, 0b100));
+    }
+
+    #[test]
+    fn condition_tokens_fixed_shape() {
+        let mut r = rng();
+        let g = random_graph(4, &mut r);
+        let toks = g.condition_tokens(8);
+        assert_eq!(toks.len(), 8);
+        assert!(toks.iter().all(|t| t.len() == 3));
+        // Padding rows are zero.
+        assert!(toks[6].iter().all(|v| *v == 0.0));
+        // Fresh graph: est/true ratio feature ~ 0.
+        assert!(toks[0][1].abs() < 1e-6);
+    }
+}

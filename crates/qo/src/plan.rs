@@ -1,0 +1,359 @@
+//! Plan trees, cost model, and candidate-plan enumeration.
+//!
+//! Costs follow a textbook hash-join model: `C(scan) = rows`,
+//! `C(A ⋈ B) = C(A) + C(B) + |A| + |B| + |A ⋈ B|` with cardinalities from
+//! either estimated or true statistics. "Latency" of executing a plan is
+//! its cost under **true** statistics — a deliberately simulator-flavoured
+//! stand-in for wall-clock execution that preserves plan *ranking*, which
+//! is all the Fig. 8 comparison needs.
+
+use crate::graph::JoinGraph;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A binary join tree over base-table indexes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanTree {
+    Leaf(usize),
+    Join(Box<PlanTree>, Box<PlanTree>),
+}
+
+impl PlanTree {
+    /// Bitmask of base tables under this subtree.
+    pub fn mask(&self) -> u32 {
+        match self {
+            PlanTree::Leaf(i) => 1 << i,
+            PlanTree::Join(l, r) => l.mask() | r.mask(),
+        }
+    }
+
+    pub fn num_joins(&self) -> usize {
+        match self {
+            PlanTree::Leaf(_) => 0,
+            PlanTree::Join(l, r) => 1 + l.num_joins() + r.num_joins(),
+        }
+    }
+
+    /// Left-deep plan from a table order.
+    pub fn left_deep(order: &[usize]) -> PlanTree {
+        assert!(!order.is_empty());
+        let mut it = order.iter();
+        let mut tree = PlanTree::Leaf(*it.next().unwrap());
+        for &t in it {
+            tree = PlanTree::Join(Box::new(tree), Box::new(PlanTree::Leaf(t)));
+        }
+        tree
+    }
+
+    /// Compact display like `((t0 ⋈ t1) ⋈ t2)`.
+    pub fn display(&self, graph: &JoinGraph) -> String {
+        match self {
+            PlanTree::Leaf(i) => graph.tables[*i].name.clone(),
+            PlanTree::Join(l, r) => {
+                format!("({} ⋈ {})", l.display(graph), r.display(graph))
+            }
+        }
+    }
+}
+
+/// Result of costing a plan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlanCost {
+    /// Total cost (our latency surrogate).
+    pub cost: f64,
+    /// Output cardinality of the root.
+    pub cardinality: f64,
+}
+
+/// Cost a plan under estimated (`truth = false`) or true statistics.
+pub fn cost_plan(plan: &PlanTree, graph: &JoinGraph, truth: bool) -> PlanCost {
+    const CROSS_PRODUCT_PENALTY: f64 = 1e3;
+    match plan {
+        PlanTree::Leaf(i) => {
+            let t = &graph.tables[*i];
+            let rows = if truth { t.true_rows } else { t.est_rows };
+            PlanCost {
+                cost: rows,
+                cardinality: rows,
+            }
+        }
+        PlanTree::Join(l, r) => {
+            let cl = cost_plan(l, graph, truth);
+            let cr = cost_plan(r, graph, truth);
+            let (lm, rm) = (l.mask(), r.mask());
+            let sel = graph.cross_selectivity(lm, rm, truth);
+            let mut out = sel * cl.cardinality * cr.cardinality;
+            if !graph.connected(lm, rm) {
+                // A cross product's cardinality is already the full
+                // product; the extra penalty models the catastrophic
+                // materialized intermediate.
+                out *= CROSS_PRODUCT_PENALTY;
+            }
+            let cost = cl.cost + cr.cost + cl.cardinality + cr.cardinality + out;
+            PlanCost {
+                cost,
+                cardinality: out.max(1.0),
+            }
+        }
+    }
+}
+
+/// Exhaustive DP over connected subsets (bushy), minimizing **estimated**
+/// cost: the PostgreSQL-style optimizer. Returns the best plan.
+pub fn dp_best_plan(graph: &JoinGraph) -> PlanTree {
+    let n = graph.num_tables();
+    assert!(n <= 16, "DP optimizer limited to 16 tables");
+    let full = (1u32 << n) - 1;
+    let mut best: Vec<Option<(f64, PlanTree)>> = vec![None; (full + 1) as usize];
+    for i in 0..n {
+        let m = 1u32 << i;
+        let c = cost_plan(&PlanTree::Leaf(i), graph, false);
+        best[m as usize] = Some((c.cost, PlanTree::Leaf(i)));
+    }
+    for mask in 1..=full {
+        if mask.count_ones() < 2 {
+            continue;
+        }
+        // Enumerate proper subset splits.
+        let mut sub = (mask - 1) & mask;
+        while sub != 0 {
+            let other = mask & !sub;
+            if sub < other {
+                // each unordered split visited once
+                if let (Some((_, lp)), Some((_, rp))) =
+                    (&best[sub as usize], &best[other as usize])
+                {
+                    // Require connectivity to avoid cross products when
+                    // possible (fall back allowed if nothing else exists).
+                    if graph.connected(sub, other) || all_splits_disconnected(graph, mask) {
+                        let cand = PlanTree::Join(Box::new(lp.clone()), Box::new(rp.clone()));
+                        let c = cost_plan(&cand, graph, false).cost;
+                        if best[mask as usize].as_ref().is_none_or(|(bc, _)| c < *bc) {
+                            best[mask as usize] = Some((c, cand));
+                        }
+                    }
+                }
+            }
+            sub = (sub - 1) & mask;
+        }
+    }
+    best[full as usize]
+        .as_ref()
+        .expect("connected graph has a plan")
+        .1
+        .clone()
+}
+
+fn all_splits_disconnected(graph: &JoinGraph, mask: u32) -> bool {
+    let mut sub = (mask - 1) & mask;
+    while sub != 0 {
+        let other = mask & !sub;
+        if graph.connected(sub, other) {
+            return false;
+        }
+        sub = (sub - 1) & mask;
+    }
+    true
+}
+
+/// Generate `k` diverse candidate plans for the learned optimizer: the
+/// DP-estimated best, greedy left-deep orders from different starting
+/// tables, and random (connectivity-respecting) left-deep orders.
+pub fn candidate_plans(graph: &JoinGraph, k: usize, rng: &mut impl Rng) -> Vec<PlanTree> {
+    let n = graph.num_tables();
+    let mut out: Vec<PlanTree> = Vec::with_capacity(k);
+    out.push(dp_best_plan(graph));
+    // Greedy left-deep: start from each table, repeatedly join the
+    // connected table minimizing estimated intermediate cardinality.
+    for start in 0..n {
+        if out.len() >= k {
+            break;
+        }
+        let mut order = vec![start];
+        let mut mask = 1u32 << start;
+        while order.len() < n {
+            let mut cands: Vec<usize> = (0..n)
+                .filter(|t| mask & (1 << t) == 0 && graph.connected(mask, 1 << t))
+                .collect();
+            if cands.is_empty() {
+                cands = (0..n).filter(|t| mask & (1 << t) == 0).collect();
+            }
+            let next = cands
+                .into_iter()
+                .min_by(|&a, &b| {
+                    let ca = graph.cross_selectivity(mask, 1 << a, false)
+                        * graph.tables[a].est_rows;
+                    let cb = graph.cross_selectivity(mask, 1 << b, false)
+                        * graph.tables[b].est_rows;
+                    ca.total_cmp(&cb)
+                })
+                .unwrap();
+            order.push(next);
+            mask |= 1 << next;
+        }
+        let plan = PlanTree::left_deep(&order);
+        if !out.contains(&plan) {
+            out.push(plan);
+        }
+    }
+    // Random connectivity-respecting orders.
+    let mut guard = 0;
+    while out.len() < k && guard < k * 20 {
+        guard += 1;
+        let mut remaining: Vec<usize> = (0..n).collect();
+        remaining.shuffle(rng);
+        let mut order = vec![remaining.pop().unwrap()];
+        let mut mask = 1u32 << order[0];
+        while let Some(pos) = remaining
+            .iter()
+            .position(|t| graph.connected(mask, 1 << *t))
+            .or(if remaining.is_empty() { None } else { Some(0) })
+        {
+            let t = remaining.swap_remove(pos);
+            order.push(t);
+            mask |= 1 << t;
+        }
+        let plan = PlanTree::left_deep(&order);
+        if !out.contains(&plan) {
+            out.push(plan);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{random_graph, JoinEdge, TableInfo};
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(7)
+    }
+
+    fn chain3() -> JoinGraph {
+        // t0 (10 rows) - t1 (1000 rows) - t2 (10000 rows), selective joins.
+        JoinGraph {
+            tables: vec![
+                TableInfo {
+                    name: "t0".into(),
+                    est_rows: 10.0,
+                    true_rows: 10.0,
+                    est_selectivity: 1.0,
+                },
+                TableInfo {
+                    name: "t1".into(),
+                    est_rows: 1000.0,
+                    true_rows: 1000.0,
+                    est_selectivity: 1.0,
+                },
+                TableInfo {
+                    name: "t2".into(),
+                    est_rows: 10000.0,
+                    true_rows: 10000.0,
+                    est_selectivity: 1.0,
+                },
+            ],
+            joins: vec![
+                JoinEdge {
+                    a: 0,
+                    b: 1,
+                    est_sel: 0.001,
+                    true_sel: 0.001,
+                },
+                JoinEdge {
+                    a: 1,
+                    b: 2,
+                    est_sel: 0.0001,
+                    true_sel: 0.0001,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn cost_prefers_selective_join_first() {
+        let g = chain3();
+        let good = PlanTree::left_deep(&[0, 1, 2]);
+        let bad = PlanTree::left_deep(&[1, 2, 0]); // big join first
+        let cg = cost_plan(&good, &g, false);
+        let cb = cost_plan(&bad, &g, false);
+        assert!(cg.cost < cb.cost, "{} !< {}", cg.cost, cb.cost);
+    }
+
+    #[test]
+    fn dp_finds_minimum_over_left_deep_orders() {
+        let g = chain3();
+        let dp = dp_best_plan(&g);
+        let dp_cost = cost_plan(&dp, &g, false).cost;
+        // DP must beat or tie every left-deep permutation.
+        let perms = [
+            [0, 1, 2],
+            [0, 2, 1],
+            [1, 0, 2],
+            [1, 2, 0],
+            [2, 0, 1],
+            [2, 1, 0],
+        ];
+        for p in perms {
+            let c = cost_plan(&PlanTree::left_deep(&p), &g, false).cost;
+            assert!(dp_cost <= c + 1e-6, "dp {dp_cost} > perm {c}");
+        }
+    }
+
+    #[test]
+    fn dp_on_random_graphs_beats_random_orders() {
+        let mut r = rng();
+        for _ in 0..10 {
+            let g = random_graph(5, &mut r);
+            let dp_cost = cost_plan(&dp_best_plan(&g), &g, false).cost;
+            for _ in 0..5 {
+                let cands = candidate_plans(&g, 6, &mut r);
+                for c in cands {
+                    let cc = cost_plan(&c, &g, false).cost;
+                    assert!(dp_cost <= cc + 1e-6);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn candidates_are_diverse_and_complete() {
+        let mut r = rng();
+        let g = random_graph(6, &mut r);
+        let cands = candidate_plans(&g, 8, &mut r);
+        assert!(cands.len() >= 4, "got {}", cands.len());
+        let full = (1u32 << 6) - 1;
+        for c in &cands {
+            assert_eq!(c.mask(), full, "every candidate joins all tables");
+            assert_eq!(c.num_joins(), 5);
+        }
+        // All distinct.
+        for i in 0..cands.len() {
+            for j in i + 1..cands.len() {
+                assert_ne!(cands[i], cands[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn true_vs_estimated_costs_diverge_under_drift() {
+        let mut r = rng();
+        let g = random_graph(5, &mut r);
+        let drifted = g.drift(1.0, &mut r);
+        let plan = dp_best_plan(&drifted);
+        let est = cost_plan(&plan, &drifted, false).cost;
+        let truth = cost_plan(&plan, &drifted, true).cost;
+        assert!(
+            (est - truth).abs() / est.max(truth) > 0.05,
+            "drift should separate est ({est}) from truth ({truth})"
+        );
+    }
+
+    #[test]
+    fn display_renders_tree() {
+        let g = chain3();
+        let p = PlanTree::left_deep(&[0, 1, 2]);
+        assert_eq!(p.display(&g), "((t0 ⋈ t1) ⋈ t2)");
+    }
+}

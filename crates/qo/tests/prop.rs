@@ -1,0 +1,110 @@
+//! Property-based tests for the query-optimizer crate.
+
+use neurdb_qo::{
+    candidate_plans, cost_plan, dp_best_plan, random_graph, JoinGraph, PlanTree,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Exhaustive left-deep enumeration for small table counts.
+fn all_left_deep(n: usize) -> Vec<Vec<usize>> {
+    fn perms(items: Vec<usize>) -> Vec<Vec<usize>> {
+        if items.len() <= 1 {
+            return vec![items];
+        }
+        let mut out = Vec::new();
+        for i in 0..items.len() {
+            let mut rest = items.clone();
+            let head = rest.remove(i);
+            for mut tail in perms(rest) {
+                tail.insert(0, head);
+                out.push(tail);
+            }
+        }
+        out
+    }
+    perms((0..n).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// DP (bushy) never costs more than any left-deep permutation under
+    /// the same (estimated) statistics.
+    #[test]
+    fn dp_dominates_left_deep(seed in 0u64..5000, n in 2usize..5) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = random_graph(n, &mut rng);
+        let dp_cost = cost_plan(&dp_best_plan(&g), &g, false).cost;
+        for order in all_left_deep(n) {
+            let c = cost_plan(&PlanTree::left_deep(&order), &g, false).cost;
+            // Relative tolerance: different summation orders of the same
+            // plan cost drift in the last ulps at ~1e10 magnitudes.
+            prop_assert!(dp_cost <= c * (1.0 + 1e-9), "dp {dp_cost} > left-deep {c}");
+        }
+    }
+
+    /// Every candidate plan is complete (joins all tables) and distinct.
+    #[test]
+    fn candidates_complete_and_distinct(seed in 0u64..5000, n in 2usize..7, k in 2usize..10) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = random_graph(n, &mut rng);
+        let cands = candidate_plans(&g, k, &mut rng);
+        let full = (1u32 << n) - 1;
+        for c in &cands {
+            prop_assert_eq!(c.mask(), full);
+            prop_assert_eq!(c.num_joins(), n - 1);
+        }
+        for i in 0..cands.len() {
+            for j in i + 1..cands.len() {
+                prop_assert_ne!(&cands[i], &cands[j]);
+            }
+        }
+    }
+
+    /// Costs are positive, finite, and cardinalities at least 1.
+    #[test]
+    fn costs_well_formed(seed in 0u64..5000, n in 2usize..6) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = random_graph(n, &mut rng);
+        for truth in [false, true] {
+            for c in candidate_plans(&g, 5, &mut rng) {
+                let pc = cost_plan(&c, &g, truth);
+                prop_assert!(pc.cost.is_finite() && pc.cost > 0.0);
+                prop_assert!(pc.cardinality >= 1.0);
+            }
+        }
+    }
+
+    /// Drift never mutates estimates, and zero severity is the identity
+    /// on true statistics.
+    #[test]
+    fn drift_contract(seed in 0u64..5000, severity in 0.0f64..1.0) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = random_graph(4, &mut rng);
+        let d = g.drift(severity, &mut rng);
+        for (a, b) in g.tables.iter().zip(d.tables.iter()) {
+            prop_assert_eq!(a.est_rows, b.est_rows);
+            prop_assert!(b.true_rows >= 1.0);
+        }
+        let z = g.drift(0.0, &mut rng);
+        for (a, b) in g.tables.iter().zip(z.tables.iter()) {
+            prop_assert_eq!(a.true_rows, b.true_rows);
+        }
+    }
+
+    /// Condition tokens always have the declared fixed shape, on drifted
+    /// and undrifted graphs alike.
+    #[test]
+    fn condition_tokens_shape(seed in 0u64..5000, max_tables in 1usize..10) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g: JoinGraph = random_graph(4, &mut rng).drift(0.7, &mut rng);
+        let toks = g.condition_tokens(max_tables);
+        prop_assert_eq!(toks.len(), max_tables);
+        for t in &toks {
+            prop_assert_eq!(t.len(), 3);
+            prop_assert!(t.iter().all(|v| v.is_finite()));
+        }
+    }
+}

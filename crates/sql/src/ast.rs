@@ -1,0 +1,317 @@
+//! Abstract syntax tree for NeurDB SQL, including the `PREDICT` extension.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Literal values in SQL text.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Literal {
+    Null,
+    Bool(bool),
+    Int(i64),
+    Float(f64),
+    Str(String),
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Null => f.write_str("NULL"),
+            Literal::Bool(b) => write!(f, "{}", if *b { "TRUE" } else { "FALSE" }),
+            Literal::Int(i) => write!(f, "{i}"),
+            Literal::Float(x) => write!(f, "{x}"),
+            Literal::Str(s) => write!(f, "'{}'", s.replace('\'', "''")),
+        }
+    }
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BinaryOp {
+    Eq,
+    Neq,
+    Lt,
+    Lte,
+    Gt,
+    Gte,
+    And,
+    Or,
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+impl fmt::Display for BinaryOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinaryOp::Eq => "=",
+            BinaryOp::Neq => "<>",
+            BinaryOp::Lt => "<",
+            BinaryOp::Lte => "<=",
+            BinaryOp::Gt => ">",
+            BinaryOp::Gte => ">=",
+            BinaryOp::And => "AND",
+            BinaryOp::Or => "OR",
+            BinaryOp::Add => "+",
+            BinaryOp::Sub => "-",
+            BinaryOp::Mul => "*",
+            BinaryOp::Div => "/",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UnaryOp {
+    Not,
+    Neg,
+}
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AggFunc {
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Expr {
+    /// Unqualified column reference.
+    Column(String),
+    /// `table.column`.
+    Qualified(String, String),
+    Literal(Literal),
+    Binary {
+        op: BinaryOp,
+        left: Box<Expr>,
+        right: Box<Expr>,
+    },
+    Unary {
+        op: UnaryOp,
+        expr: Box<Expr>,
+    },
+    /// Aggregate call; `arg = None` means `COUNT(*)`.
+    Agg {
+        func: AggFunc,
+        arg: Option<Box<Expr>>,
+    },
+}
+
+impl Expr {
+    pub fn col(name: &str) -> Expr {
+        Expr::Column(name.to_string())
+    }
+
+    pub fn lit(l: Literal) -> Expr {
+        Expr::Literal(l)
+    }
+
+    pub fn binary(op: BinaryOp, left: Expr, right: Expr) -> Expr {
+        Expr::Binary {
+            op,
+            left: Box::new(left),
+            right: Box::new(right),
+        }
+    }
+
+    /// All column names referenced by this expression.
+    pub fn referenced_columns(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_columns(&mut out);
+        out
+    }
+
+    fn collect_columns(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Column(c) => out.push(c.clone()),
+            Expr::Qualified(t, c) => out.push(format!("{t}.{c}")),
+            Expr::Literal(_) => {}
+            Expr::Binary { left, right, .. } => {
+                left.collect_columns(out);
+                right.collect_columns(out);
+            }
+            Expr::Unary { expr, .. } => expr.collect_columns(out),
+            Expr::Agg { arg, .. } => {
+                if let Some(a) = arg {
+                    a.collect_columns(out);
+                }
+            }
+        }
+    }
+}
+
+/// Column data types in DDL.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TypeName {
+    Int,
+    Float,
+    Text,
+    Bool,
+}
+
+/// Column spec in `CREATE TABLE`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColumnSpec {
+    pub name: String,
+    pub ty: TypeName,
+    pub not_null: bool,
+    pub unique: bool,
+    pub primary_key: bool,
+}
+
+/// A projected item in `SELECT`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SelectItem {
+    Wildcard,
+    Expr { expr: Expr, alias: Option<String> },
+}
+
+/// A table reference in `FROM`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableRef {
+    pub name: String,
+    pub alias: Option<String>,
+}
+
+impl TableRef {
+    /// The name the table binds to in this query (alias if present).
+    pub fn binding(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.name)
+    }
+}
+
+/// Sort direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SortOrder {
+    Asc,
+    Desc,
+}
+
+/// `SELECT` statement (SPJ + aggregates + ORDER/LIMIT).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SelectStmt {
+    pub items: Vec<SelectItem>,
+    pub from: Vec<TableRef>,
+    pub predicate: Option<Expr>,
+    pub group_by: Vec<Expr>,
+    pub order_by: Vec<(Expr, SortOrder)>,
+    pub limit: Option<u64>,
+}
+
+/// `TRAIN ON` clause of a PREDICT statement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TrainOn {
+    /// `TRAIN ON *` — all columns except unique-constrained ones and the
+    /// prediction target (paper Section 2.3).
+    Star,
+    /// Explicit feature columns.
+    Columns(Vec<String>),
+}
+
+/// The AI task requested by a PREDICT statement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PredictTask {
+    /// `PREDICT VALUE OF` — regression.
+    Regression,
+    /// `PREDICT CLASS OF` — classification.
+    Classification,
+}
+
+/// The NeurDB `PREDICT` statement:
+///
+/// ```sql
+/// PREDICT VALUE OF score FROM review WHERE brand_name = 'x'
+///   TRAIN ON * WITH brand_name <> 'x'
+/// PREDICT CLASS OF outcome FROM diabetes
+///   TRAIN ON pregnancies, glucose VALUES (6, 148), (1, 85)
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PredictStmt {
+    pub task: PredictTask,
+    /// The target column to predict.
+    pub target: String,
+    pub table: String,
+    /// `WHERE`: selects rows whose target to predict (inference set).
+    pub predicate: Option<Expr>,
+    pub train_on: TrainOn,
+    /// `WITH`: filters the training rows.
+    pub with: Option<Expr>,
+    /// `VALUES`: inline feature rows to run inference on.
+    pub values: Option<Vec<Vec<Literal>>>,
+}
+
+/// Any parsed statement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Statement {
+    CreateTable {
+        name: String,
+        columns: Vec<ColumnSpec>,
+    },
+    DropTable {
+        name: String,
+    },
+    CreateIndex {
+        table: String,
+        column: String,
+    },
+    Insert {
+        table: String,
+        columns: Option<Vec<String>>,
+        rows: Vec<Vec<Expr>>,
+    },
+    Update {
+        table: String,
+        assignments: Vec<(String, Expr)>,
+        predicate: Option<Expr>,
+    },
+    Delete {
+        table: String,
+        predicate: Option<Expr>,
+    },
+    Select(SelectStmt),
+    Predict(PredictStmt),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn referenced_columns_walks_tree() {
+        let e = Expr::binary(
+            BinaryOp::And,
+            Expr::binary(BinaryOp::Eq, Expr::col("a"), Expr::lit(Literal::Int(1))),
+            Expr::Unary {
+                op: UnaryOp::Not,
+                expr: Box::new(Expr::Qualified("t".into(), "b".into())),
+            },
+        );
+        assert_eq!(e.referenced_columns(), vec!["a".to_string(), "t.b".to_string()]);
+    }
+
+    #[test]
+    fn table_ref_binding() {
+        let t = TableRef {
+            name: "posts".into(),
+            alias: Some("p".into()),
+        };
+        assert_eq!(t.binding(), "p");
+        let t2 = TableRef {
+            name: "posts".into(),
+            alias: None,
+        };
+        assert_eq!(t2.binding(), "posts");
+    }
+
+    #[test]
+    fn literal_display_escapes() {
+        assert_eq!(Literal::Str("it's".into()).to_string(), "'it''s'");
+        assert_eq!(Literal::Null.to_string(), "NULL");
+    }
+}

@@ -1,0 +1,29 @@
+//! # neurdb-sql
+//!
+//! SQL front-end for NeurDB-RS: lexer, AST, and recursive-descent parser
+//! supporting standard DML/DDL plus the paper's `PREDICT` extension
+//! (Section 2.3):
+//!
+//! ```
+//! use neurdb_sql::{parse, Statement, PredictTask};
+//!
+//! let stmt = parse(
+//!     "PREDICT VALUE OF score FROM review \
+//!      WHERE brand_name = 'Special Goods' \
+//!      TRAIN ON * WITH brand_name <> 'Special Goods'",
+//! ).unwrap();
+//! let Statement::Predict(p) = stmt else { unreachable!() };
+//! assert_eq!(p.task, PredictTask::Regression);
+//! assert_eq!(p.target, "score");
+//! ```
+
+pub mod ast;
+pub mod parser;
+pub mod token;
+
+pub use ast::{
+    AggFunc, BinaryOp, ColumnSpec, Expr, Literal, PredictStmt, PredictTask, SelectItem,
+    SelectStmt, SortOrder, Statement, TableRef, TrainOn, TypeName, UnaryOp,
+};
+pub use parser::{parse, parse_script, ParseError};
+pub use token::{lex, Keyword, LexError, Token};

@@ -1,0 +1,823 @@
+//! Recursive-descent parser for NeurDB SQL.
+//!
+//! Grammar (informal):
+//!
+//! ```text
+//! stmt     := create_table | drop_table | create_index | insert | update
+//!           | delete | select | predict
+//! predict  := PREDICT (VALUE | CLASS) OF ident FROM ident [WHERE expr]
+//!             TRAIN ON (* | ident_list) [WITH expr] [VALUES row_list]
+//! select   := SELECT items FROM table_refs [WHERE expr] [GROUP BY exprs]
+//!             [ORDER BY expr [ASC|DESC], ...] [LIMIT n]
+//! expr     := or_expr  (precedence: OR < AND < NOT < cmp < add < mul < unary)
+//! ```
+
+use crate::ast::*;
+use crate::token::{lex, Keyword, LexError, Token};
+use std::fmt;
+
+/// Parse error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError {
+            message: e.to_string(),
+        }
+    }
+}
+
+type PResult<T> = Result<T, ParseError>;
+
+/// Parse a single SQL statement (a trailing `;` is allowed).
+pub fn parse(input: &str) -> PResult<Statement> {
+    let tokens = lex(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.statement()?;
+    p.accept(&Token::Semicolon);
+    if !p.at_end() {
+        return Err(p.err(&format!("unexpected trailing token {}", p.peek_str())));
+    }
+    Ok(stmt)
+}
+
+/// Parse a `;`-separated script into statements.
+pub fn parse_script(input: &str) -> PResult<Vec<Statement>> {
+    let tokens = lex(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut stmts = Vec::new();
+    while !p.at_end() {
+        stmts.push(p.statement()?);
+        while p.accept(&Token::Semicolon) {}
+    }
+    Ok(stmts)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek_str(&self) -> String {
+        self.peek().map_or("<eof>".to_string(), |t| t.to_string())
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, message: &str) -> ParseError {
+        ParseError {
+            message: format!("{message} (at token {})", self.pos),
+        }
+    }
+
+    fn accept(&mut self, t: &Token) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn accept_kw(&mut self, k: Keyword) -> bool {
+        self.accept(&Token::Keyword(k))
+    }
+
+    fn expect(&mut self, t: &Token) -> PResult<()> {
+        if self.accept(t) {
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {t}, found {}", self.peek_str())))
+        }
+    }
+
+    fn expect_kw(&mut self, k: Keyword) -> PResult<()> {
+        self.expect(&Token::Keyword(k))
+    }
+
+    /// Identifiers; also tolerates keyword-like names usable as identifiers
+    /// (e.g. a column named `value` or `class`).
+    fn ident(&mut self) -> PResult<String> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            Some(Token::Keyword(Keyword::Value)) => Ok("value".to_string()),
+            Some(Token::Keyword(Keyword::Class)) => Ok("class".to_string()),
+            Some(Token::Keyword(Keyword::Key)) => Ok("key".to_string()),
+            other => Err(self.err(&format!(
+                "expected identifier, found {}",
+                other.map_or("<eof>".to_string(), |t| t.to_string())
+            ))),
+        }
+    }
+
+    fn statement(&mut self) -> PResult<Statement> {
+        match self.peek() {
+            Some(Token::Keyword(Keyword::Create)) => self.create(),
+            Some(Token::Keyword(Keyword::Drop)) => self.drop_table(),
+            Some(Token::Keyword(Keyword::Insert)) => self.insert(),
+            Some(Token::Keyword(Keyword::Update)) => self.update(),
+            Some(Token::Keyword(Keyword::Delete)) => self.delete(),
+            Some(Token::Keyword(Keyword::Select)) => Ok(Statement::Select(self.select()?)),
+            Some(Token::Keyword(Keyword::Predict)) => self.predict(),
+            _ => Err(self.err(&format!("expected statement, found {}", self.peek_str()))),
+        }
+    }
+
+    fn create(&mut self) -> PResult<Statement> {
+        self.expect_kw(Keyword::Create)?;
+        if self.accept_kw(Keyword::Index) {
+            self.expect_kw(Keyword::On)?;
+            let table = self.ident()?;
+            self.expect(&Token::LParen)?;
+            let column = self.ident()?;
+            self.expect(&Token::RParen)?;
+            return Ok(Statement::CreateIndex { table, column });
+        }
+        self.expect_kw(Keyword::Table)?;
+        let name = self.ident()?;
+        self.expect(&Token::LParen)?;
+        let mut columns = Vec::new();
+        loop {
+            let cname = self.ident()?;
+            let ty = match self.next() {
+                Some(Token::Keyword(Keyword::Int)) => TypeName::Int,
+                Some(Token::Keyword(Keyword::Float)) => TypeName::Float,
+                Some(Token::Keyword(Keyword::Text)) => TypeName::Text,
+                Some(Token::Keyword(Keyword::Bool)) => TypeName::Bool,
+                other => {
+                    return Err(self.err(&format!(
+                        "expected type, found {}",
+                        other.map_or("<eof>".to_string(), |t| t.to_string())
+                    )))
+                }
+            };
+            let mut spec = ColumnSpec {
+                name: cname,
+                ty,
+                not_null: false,
+                unique: false,
+                primary_key: false,
+            };
+            loop {
+                if self.accept_kw(Keyword::Not) {
+                    self.expect_kw(Keyword::Null)?;
+                    spec.not_null = true;
+                } else if self.accept_kw(Keyword::Unique) {
+                    spec.unique = true;
+                } else if self.accept_kw(Keyword::Primary) {
+                    self.expect_kw(Keyword::Key)?;
+                    spec.primary_key = true;
+                    spec.unique = true;
+                    spec.not_null = true;
+                } else {
+                    break;
+                }
+            }
+            columns.push(spec);
+            if !self.accept(&Token::Comma) {
+                break;
+            }
+        }
+        self.expect(&Token::RParen)?;
+        Ok(Statement::CreateTable { name, columns })
+    }
+
+    fn drop_table(&mut self) -> PResult<Statement> {
+        self.expect_kw(Keyword::Drop)?;
+        self.expect_kw(Keyword::Table)?;
+        let name = self.ident()?;
+        Ok(Statement::DropTable { name })
+    }
+
+    fn insert(&mut self) -> PResult<Statement> {
+        self.expect_kw(Keyword::Insert)?;
+        self.expect_kw(Keyword::Into)?;
+        let table = self.ident()?;
+        let columns = if self.accept(&Token::LParen) {
+            let mut cols = vec![self.ident()?];
+            while self.accept(&Token::Comma) {
+                cols.push(self.ident()?);
+            }
+            self.expect(&Token::RParen)?;
+            Some(cols)
+        } else {
+            None
+        };
+        self.expect_kw(Keyword::Values)?;
+        let mut rows = Vec::new();
+        loop {
+            self.expect(&Token::LParen)?;
+            let mut row = vec![self.expr()?];
+            while self.accept(&Token::Comma) {
+                row.push(self.expr()?);
+            }
+            self.expect(&Token::RParen)?;
+            rows.push(row);
+            if !self.accept(&Token::Comma) {
+                break;
+            }
+        }
+        Ok(Statement::Insert {
+            table,
+            columns,
+            rows,
+        })
+    }
+
+    fn update(&mut self) -> PResult<Statement> {
+        self.expect_kw(Keyword::Update)?;
+        let table = self.ident()?;
+        self.expect_kw(Keyword::Set)?;
+        let mut assignments = Vec::new();
+        loop {
+            let col = self.ident()?;
+            self.expect(&Token::Eq)?;
+            let e = self.expr()?;
+            assignments.push((col, e));
+            if !self.accept(&Token::Comma) {
+                break;
+            }
+        }
+        let predicate = if self.accept_kw(Keyword::Where) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Statement::Update {
+            table,
+            assignments,
+            predicate,
+        })
+    }
+
+    fn delete(&mut self) -> PResult<Statement> {
+        self.expect_kw(Keyword::Delete)?;
+        self.expect_kw(Keyword::From)?;
+        let table = self.ident()?;
+        let predicate = if self.accept_kw(Keyword::Where) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Statement::Delete { table, predicate })
+    }
+
+    fn select(&mut self) -> PResult<SelectStmt> {
+        self.expect_kw(Keyword::Select)?;
+        let mut items = Vec::new();
+        loop {
+            if self.accept(&Token::Star) {
+                items.push(SelectItem::Wildcard);
+            } else {
+                let expr = self.expr()?;
+                let alias = if self.accept_kw(Keyword::As) {
+                    Some(self.ident()?)
+                } else {
+                    None
+                };
+                items.push(SelectItem::Expr { expr, alias });
+            }
+            if !self.accept(&Token::Comma) {
+                break;
+            }
+        }
+        self.expect_kw(Keyword::From)?;
+        let mut from = Vec::new();
+        loop {
+            let name = self.ident()?;
+            let alias = match self.peek() {
+                Some(Token::Keyword(Keyword::As)) => {
+                    self.pos += 1;
+                    Some(self.ident()?)
+                }
+                Some(Token::Ident(_)) => Some(self.ident()?),
+                _ => None,
+            };
+            from.push(TableRef { name, alias });
+            if !self.accept(&Token::Comma) {
+                break;
+            }
+        }
+        let predicate = if self.accept_kw(Keyword::Where) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.accept_kw(Keyword::Group) {
+            self.expect_kw(Keyword::By)?;
+            group_by.push(self.expr()?);
+            while self.accept(&Token::Comma) {
+                group_by.push(self.expr()?);
+            }
+        }
+        let mut order_by = Vec::new();
+        if self.accept_kw(Keyword::Order) {
+            self.expect_kw(Keyword::By)?;
+            loop {
+                let e = self.expr()?;
+                let ord = if self.accept_kw(Keyword::Desc) {
+                    SortOrder::Desc
+                } else {
+                    self.accept_kw(Keyword::Asc);
+                    SortOrder::Asc
+                };
+                order_by.push((e, ord));
+                if !self.accept(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        let limit = if self.accept_kw(Keyword::Limit) {
+            match self.next() {
+                Some(Token::Int(n)) if n >= 0 => Some(n as u64),
+                other => {
+                    return Err(self.err(&format!(
+                        "expected LIMIT count, found {}",
+                        other.map_or("<eof>".to_string(), |t| t.to_string())
+                    )))
+                }
+            }
+        } else {
+            None
+        };
+        Ok(SelectStmt {
+            items,
+            from,
+            predicate,
+            group_by,
+            order_by,
+            limit,
+        })
+    }
+
+    /// The NeurDB PREDICT statement (paper Listings 1 and 2).
+    fn predict(&mut self) -> PResult<Statement> {
+        self.expect_kw(Keyword::Predict)?;
+        let task = if self.accept_kw(Keyword::Value) {
+            PredictTask::Regression
+        } else if self.accept_kw(Keyword::Class) {
+            PredictTask::Classification
+        } else {
+            return Err(self.err("expected VALUE or CLASS after PREDICT"));
+        };
+        self.expect_kw(Keyword::Of)?;
+        let target = self.ident()?;
+        self.expect_kw(Keyword::From)?;
+        let table = self.ident()?;
+        let predicate = if self.accept_kw(Keyword::Where) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        self.expect_kw(Keyword::Train)?;
+        self.expect_kw(Keyword::On)?;
+        let train_on = if self.accept(&Token::Star) {
+            TrainOn::Star
+        } else {
+            let mut cols = vec![self.ident()?];
+            while self.accept(&Token::Comma) {
+                cols.push(self.ident()?);
+            }
+            TrainOn::Columns(cols)
+        };
+        let with = if self.accept_kw(Keyword::With) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let values = if self.accept_kw(Keyword::Values) {
+            let mut rows = Vec::new();
+            loop {
+                self.expect(&Token::LParen)?;
+                let mut row = vec![self.literal()?];
+                while self.accept(&Token::Comma) {
+                    row.push(self.literal()?);
+                }
+                self.expect(&Token::RParen)?;
+                rows.push(row);
+                if !self.accept(&Token::Comma) {
+                    break;
+                }
+            }
+            Some(rows)
+        } else {
+            None
+        };
+        Ok(Statement::Predict(PredictStmt {
+            task,
+            target,
+            table,
+            predicate,
+            train_on,
+            with,
+            values,
+        }))
+    }
+
+    fn literal(&mut self) -> PResult<Literal> {
+        match self.next() {
+            Some(Token::Int(i)) => Ok(Literal::Int(i)),
+            Some(Token::Float(f)) => Ok(Literal::Float(f)),
+            Some(Token::Str(s)) => Ok(Literal::Str(s)),
+            Some(Token::Keyword(Keyword::True)) => Ok(Literal::Bool(true)),
+            Some(Token::Keyword(Keyword::False)) => Ok(Literal::Bool(false)),
+            Some(Token::Keyword(Keyword::Null)) => Ok(Literal::Null),
+            Some(Token::Minus) => match self.next() {
+                Some(Token::Int(i)) => Ok(Literal::Int(-i)),
+                Some(Token::Float(f)) => Ok(Literal::Float(-f)),
+                other => Err(self.err(&format!(
+                    "expected number after '-', found {}",
+                    other.map_or("<eof>".to_string(), |t| t.to_string())
+                ))),
+            },
+            other => Err(self.err(&format!(
+                "expected literal, found {}",
+                other.map_or("<eof>".to_string(), |t| t.to_string())
+            ))),
+        }
+    }
+
+    // --- expression precedence climbing ---
+
+    fn expr(&mut self) -> PResult<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> PResult<Expr> {
+        let mut left = self.and_expr()?;
+        while self.accept_kw(Keyword::Or) {
+            let right = self.and_expr()?;
+            left = Expr::binary(BinaryOp::Or, left, right);
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> PResult<Expr> {
+        let mut left = self.not_expr()?;
+        while self.accept_kw(Keyword::And) {
+            let right = self.not_expr()?;
+            left = Expr::binary(BinaryOp::And, left, right);
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> PResult<Expr> {
+        if self.accept_kw(Keyword::Not) {
+            let inner = self.not_expr()?;
+            return Ok(Expr::Unary {
+                op: UnaryOp::Not,
+                expr: Box::new(inner),
+            });
+        }
+        self.cmp_expr()
+    }
+
+    fn cmp_expr(&mut self) -> PResult<Expr> {
+        let left = self.add_expr()?;
+        let op = match self.peek() {
+            Some(Token::Eq) => Some(BinaryOp::Eq),
+            Some(Token::Neq) => Some(BinaryOp::Neq),
+            Some(Token::Lt) => Some(BinaryOp::Lt),
+            Some(Token::Lte) => Some(BinaryOp::Lte),
+            Some(Token::Gt) => Some(BinaryOp::Gt),
+            Some(Token::Gte) => Some(BinaryOp::Gte),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let right = self.add_expr()?;
+            Ok(Expr::binary(op, left, right))
+        } else {
+            Ok(left)
+        }
+    }
+
+    fn add_expr(&mut self) -> PResult<Expr> {
+        let mut left = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => BinaryOp::Add,
+                Some(Token::Minus) => BinaryOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.mul_expr()?;
+            left = Expr::binary(op, left, right);
+        }
+        Ok(left)
+    }
+
+    fn mul_expr(&mut self) -> PResult<Expr> {
+        let mut left = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Star) => BinaryOp::Mul,
+                Some(Token::Slash) => BinaryOp::Div,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.unary_expr()?;
+            left = Expr::binary(op, left, right);
+        }
+        Ok(left)
+    }
+
+    fn unary_expr(&mut self) -> PResult<Expr> {
+        if self.accept(&Token::Minus) {
+            let inner = self.unary_expr()?;
+            return Ok(Expr::Unary {
+                op: UnaryOp::Neg,
+                expr: Box::new(inner),
+            });
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> PResult<Expr> {
+        match self.peek().cloned() {
+            Some(Token::LParen) => {
+                self.pos += 1;
+                let e = self.expr()?;
+                self.expect(&Token::RParen)?;
+                Ok(e)
+            }
+            Some(Token::Int(i)) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Literal::Int(i)))
+            }
+            Some(Token::Float(f)) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Literal::Float(f)))
+            }
+            Some(Token::Str(s)) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Literal::Str(s)))
+            }
+            Some(Token::Keyword(Keyword::True)) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Literal::Bool(true)))
+            }
+            Some(Token::Keyword(Keyword::False)) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Literal::Bool(false)))
+            }
+            Some(Token::Keyword(Keyword::Null)) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Literal::Null))
+            }
+            Some(Token::Keyword(k))
+                if matches!(
+                    k,
+                    Keyword::Count | Keyword::Sum | Keyword::Avg | Keyword::Min | Keyword::Max
+                ) =>
+            {
+                self.pos += 1;
+                let func = match k {
+                    Keyword::Count => AggFunc::Count,
+                    Keyword::Sum => AggFunc::Sum,
+                    Keyword::Avg => AggFunc::Avg,
+                    Keyword::Min => AggFunc::Min,
+                    _ => AggFunc::Max,
+                };
+                self.expect(&Token::LParen)?;
+                let arg = if self.accept(&Token::Star) {
+                    None
+                } else {
+                    Some(Box::new(self.expr()?))
+                };
+                self.expect(&Token::RParen)?;
+                Ok(Expr::Agg { func, arg })
+            }
+            Some(Token::Ident(_)) | Some(Token::Keyword(Keyword::Value))
+            | Some(Token::Keyword(Keyword::Class)) | Some(Token::Keyword(Keyword::Key)) => {
+                let first = self.ident()?;
+                if self.accept(&Token::Dot) {
+                    let second = self.ident()?;
+                    Ok(Expr::Qualified(first, second))
+                } else {
+                    Ok(Expr::Column(first))
+                }
+            }
+            other => Err(self.err(&format!(
+                "expected expression, found {}",
+                other.map_or("<eof>".to_string(), |t| t.to_string())
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_listing_1_regression() {
+        let sql = "PREDICT VALUE OF score \
+                   FROM review \
+                   WHERE brand_name = 'Special Goods' \
+                   TRAIN ON * \
+                   WITH brand_name <> 'Special Goods'";
+        let stmt = parse(sql).unwrap();
+        match stmt {
+            Statement::Predict(p) => {
+                assert_eq!(p.task, PredictTask::Regression);
+                assert_eq!(p.target, "score");
+                assert_eq!(p.table, "review");
+                assert!(p.predicate.is_some());
+                assert_eq!(p.train_on, TrainOn::Star);
+                assert!(p.with.is_some());
+                assert!(p.values.is_none());
+            }
+            other => panic!("expected PREDICT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_paper_listing_2_classification() {
+        let sql = "PREDICT CLASS OF outcome \
+                   FROM diabetes \
+                   TRAIN ON pregnancies, glucose, blood_pressure \
+                   VALUES (6, 148, 72), (1, 85, 66)";
+        let stmt = parse(sql).unwrap();
+        match stmt {
+            Statement::Predict(p) => {
+                assert_eq!(p.task, PredictTask::Classification);
+                assert_eq!(
+                    p.train_on,
+                    TrainOn::Columns(vec![
+                        "pregnancies".into(),
+                        "glucose".into(),
+                        "blood_pressure".into()
+                    ])
+                );
+                let values = p.values.unwrap();
+                assert_eq!(values.len(), 2);
+                assert_eq!(values[0], vec![Literal::Int(6), Literal::Int(148), Literal::Int(72)]);
+            }
+            other => panic!("expected PREDICT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_table_1_workload_queries() {
+        // Exactly the two statements of the paper's Table 1.
+        let e = parse("PREDICT VALUE OF click_rate FROM avazu TRAIN ON *").unwrap();
+        assert!(matches!(e, Statement::Predict(_)));
+        let h = parse("PREDICT CLASS OF outcome FROM diabetes TRAIN ON *").unwrap();
+        assert!(matches!(h, Statement::Predict(_)));
+    }
+
+    #[test]
+    fn create_table_with_constraints() {
+        let stmt = parse(
+            "CREATE TABLE users (id INT PRIMARY KEY, name TEXT NOT NULL, age INT, vip BOOL UNIQUE)",
+        )
+        .unwrap();
+        match stmt {
+            Statement::CreateTable { name, columns } => {
+                assert_eq!(name, "users");
+                assert_eq!(columns.len(), 4);
+                assert!(columns[0].primary_key && columns[0].unique && columns[0].not_null);
+                assert!(columns[1].not_null && !columns[1].unique);
+                assert!(columns[3].unique);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn select_with_joins_order_limit() {
+        let stmt = parse(
+            "SELECT u.name, COUNT(*) FROM users u, posts p \
+             WHERE u.id = p.owner AND p.score > 10 \
+             GROUP BY u.name ORDER BY u.name DESC LIMIT 5",
+        )
+        .unwrap();
+        match stmt {
+            Statement::Select(s) => {
+                assert_eq!(s.items.len(), 2);
+                assert_eq!(s.from.len(), 2);
+                assert_eq!(s.from[1].binding(), "p");
+                assert_eq!(s.group_by.len(), 1);
+                assert_eq!(s.order_by.len(), 1);
+                assert_eq!(s.order_by[0].1, SortOrder::Desc);
+                assert_eq!(s.limit, Some(5));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn insert_update_delete() {
+        let i = parse("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')").unwrap();
+        match i {
+            Statement::Insert { rows, columns, .. } => {
+                assert_eq!(rows.len(), 2);
+                assert_eq!(columns.unwrap(), vec!["a", "b"]);
+            }
+            other => panic!("{other:?}"),
+        }
+        let u = parse("UPDATE t SET a = a + 1 WHERE b = 'x'").unwrap();
+        assert!(matches!(u, Statement::Update { .. }));
+        let d = parse("DELETE FROM t WHERE a < 0").unwrap();
+        assert!(matches!(d, Statement::Delete { .. }));
+    }
+
+    #[test]
+    fn operator_precedence() {
+        let stmt = parse("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3").unwrap();
+        let Statement::Select(s) = stmt else { panic!() };
+        // OR is the root: (a=1) OR ((b=2) AND (c=3)).
+        match s.predicate.unwrap() {
+            Expr::Binary { op: BinaryOp::Or, right, .. } => {
+                assert!(matches!(*right, Expr::Binary { op: BinaryOp::And, .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        let stmt = parse("SELECT a + b * c FROM t").unwrap();
+        let Statement::Select(s) = stmt else { panic!() };
+        let SelectItem::Expr { expr, .. } = &s.items[0] else { panic!() };
+        match expr {
+            Expr::Binary { op: BinaryOp::Add, right, .. } => {
+                assert!(matches!(**right, Expr::Binary { op: BinaryOp::Mul, .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn negative_numbers_and_not() {
+        let stmt = parse("SELECT * FROM t WHERE NOT a > -5").unwrap();
+        assert!(matches!(stmt, Statement::Select(_)));
+    }
+
+    #[test]
+    fn create_index() {
+        let stmt = parse("CREATE INDEX ON users (id)").unwrap();
+        assert_eq!(
+            stmt,
+            Statement::CreateIndex {
+                table: "users".into(),
+                column: "id".into()
+            }
+        );
+    }
+
+    #[test]
+    fn script_parsing() {
+        let stmts = parse_script(
+            "CREATE TABLE t (a INT); INSERT INTO t VALUES (1); SELECT * FROM t;",
+        )
+        .unwrap();
+        assert_eq!(stmts.len(), 3);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(parse("PREDICT").is_err());
+        assert!(parse("PREDICT SOMETHING OF x FROM t TRAIN ON *").is_err());
+        assert!(parse("SELECT FROM").is_err());
+        assert!(parse("SELECT * FROM t WHERE").is_err());
+        assert!(parse("SELECT * FROM t extra garbage ,").is_err());
+        // PREDICT requires TRAIN ON.
+        assert!(parse("PREDICT VALUE OF y FROM t").is_err());
+    }
+
+    #[test]
+    fn keywordish_identifiers() {
+        let stmt = parse("SELECT value, class FROM t").unwrap();
+        let Statement::Select(s) = stmt else { panic!() };
+        assert_eq!(s.items.len(), 2);
+    }
+}

@@ -1,0 +1,457 @@
+//! SQL tokens and the lexer.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Keywords recognized by the lexer (case-insensitive in source text).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Keyword {
+    Select,
+    From,
+    Where,
+    Insert,
+    Into,
+    Values,
+    Update,
+    Set,
+    Delete,
+    Create,
+    Drop,
+    Table,
+    Index,
+    On,
+    Primary,
+    Key,
+    Unique,
+    Not,
+    Null,
+    And,
+    Or,
+    As,
+    Group,
+    Order,
+    By,
+    Limit,
+    Asc,
+    Desc,
+    Int,
+    Float,
+    Text,
+    Bool,
+    True,
+    False,
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+    // NeurDB PREDICT extension (paper Section 2.3).
+    Predict,
+    Value,
+    Class,
+    Of,
+    Train,
+    With,
+}
+
+impl Keyword {
+    fn from_str(s: &str) -> Option<Keyword> {
+        let up = s.to_ascii_uppercase();
+        Some(match up.as_str() {
+            "SELECT" => Keyword::Select,
+            "FROM" => Keyword::From,
+            "WHERE" => Keyword::Where,
+            "INSERT" => Keyword::Insert,
+            "INTO" => Keyword::Into,
+            "VALUES" => Keyword::Values,
+            "UPDATE" => Keyword::Update,
+            "SET" => Keyword::Set,
+            "DELETE" => Keyword::Delete,
+            "CREATE" => Keyword::Create,
+            "DROP" => Keyword::Drop,
+            "TABLE" => Keyword::Table,
+            "INDEX" => Keyword::Index,
+            "ON" => Keyword::On,
+            "PRIMARY" => Keyword::Primary,
+            "KEY" => Keyword::Key,
+            "UNIQUE" => Keyword::Unique,
+            "NOT" => Keyword::Not,
+            "NULL" => Keyword::Null,
+            "AND" => Keyword::And,
+            "OR" => Keyword::Or,
+            "AS" => Keyword::As,
+            "GROUP" => Keyword::Group,
+            "ORDER" => Keyword::Order,
+            "BY" => Keyword::By,
+            "LIMIT" => Keyword::Limit,
+            "ASC" => Keyword::Asc,
+            "DESC" => Keyword::Desc,
+            "INT" | "INTEGER" | "BIGINT" => Keyword::Int,
+            "FLOAT" | "REAL" | "DOUBLE" => Keyword::Float,
+            "TEXT" | "VARCHAR" | "STRING" => Keyword::Text,
+            "BOOL" | "BOOLEAN" => Keyword::Bool,
+            "TRUE" => Keyword::True,
+            "FALSE" => Keyword::False,
+            "COUNT" => Keyword::Count,
+            "SUM" => Keyword::Sum,
+            "AVG" => Keyword::Avg,
+            "MIN" => Keyword::Min,
+            "MAX" => Keyword::Max,
+            "PREDICT" => Keyword::Predict,
+            "VALUE" => Keyword::Value,
+            "CLASS" => Keyword::Class,
+            "OF" => Keyword::Of,
+            "TRAIN" => Keyword::Train,
+            "WITH" => Keyword::With,
+            _ => return None,
+        })
+    }
+}
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Token {
+    Keyword(Keyword),
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Eq,        // =
+    Neq,       // <> or !=
+    Lt,        // <
+    Lte,       // <=
+    Gt,        // >
+    Gte,       // >=
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Semicolon,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Keyword(k) => write!(f, "{k:?}"),
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Int(i) => write!(f, "{i}"),
+            Token::Float(x) => write!(f, "{x}"),
+            Token::Str(s) => write!(f, "'{s}'"),
+            Token::Eq => f.write_str("="),
+            Token::Neq => f.write_str("<>"),
+            Token::Lt => f.write_str("<"),
+            Token::Lte => f.write_str("<="),
+            Token::Gt => f.write_str(">"),
+            Token::Gte => f.write_str(">="),
+            Token::Plus => f.write_str("+"),
+            Token::Minus => f.write_str("-"),
+            Token::Star => f.write_str("*"),
+            Token::Slash => f.write_str("/"),
+            Token::LParen => f.write_str("("),
+            Token::RParen => f.write_str(")"),
+            Token::Comma => f.write_str(","),
+            Token::Dot => f.write_str("."),
+            Token::Semicolon => f.write_str(";"),
+        }
+    }
+}
+
+/// Lexing error with byte position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    pub pos: usize,
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize `input` into a vector of tokens.
+pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '-' if i + 1 < bytes.len() && bytes[i + 1] == b'-' => {
+                // Line comment.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            '.' => {
+                out.push(Token::Dot);
+                i += 1;
+            }
+            ';' => {
+                out.push(Token::Semicolon);
+                i += 1;
+            }
+            '+' => {
+                out.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                out.push(Token::Minus);
+                i += 1;
+            }
+            '*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            '/' => {
+                out.push(Token::Slash);
+                i += 1;
+            }
+            '=' => {
+                out.push(Token::Eq);
+                i += 1;
+            }
+            '!' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    out.push(Token::Neq);
+                    i += 2;
+                } else {
+                    return Err(LexError {
+                        pos: i,
+                        message: "unexpected '!'".into(),
+                    });
+                }
+            }
+            '<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    out.push(Token::Lte);
+                    i += 2;
+                } else if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
+                    out.push(Token::Neq);
+                    i += 2;
+                } else {
+                    out.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    out.push(Token::Gte);
+                    i += 2;
+                } else {
+                    out.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '\'' => {
+                // String literal with '' escaping.
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    if i >= bytes.len() {
+                        return Err(LexError {
+                            pos: start,
+                            message: "unterminated string literal".into(),
+                        });
+                    }
+                    if bytes[i] == b'\'' {
+                        if i + 1 < bytes.len() && bytes[i + 1] == b'\'' {
+                            s.push('\'');
+                            i += 2;
+                        } else {
+                            i += 1;
+                            break;
+                        }
+                    } else {
+                        // Handle multi-byte UTF-8 transparently.
+                        let ch_len = utf8_len(bytes[i]);
+                        s.push_str(&input[i..i + ch_len]);
+                        i += ch_len;
+                    }
+                }
+                out.push(Token::Str(s));
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i + 1 < bytes.len() && bytes[i] == b'.' && bytes[i + 1].is_ascii_digit() {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                    let mut j = i + 1;
+                    if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                        j += 1;
+                    }
+                    if j < bytes.len() && bytes[j].is_ascii_digit() {
+                        is_float = true;
+                        i = j;
+                        while i < bytes.len() && bytes[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
+                let text = &input[start..i];
+                if is_float {
+                    let v = text.parse::<f64>().map_err(|e| LexError {
+                        pos: start,
+                        message: format!("bad float '{text}': {e}"),
+                    })?;
+                    out.push(Token::Float(v));
+                } else {
+                    let v = text.parse::<i64>().map_err(|e| LexError {
+                        pos: start,
+                        message: format!("bad int '{text}': {e}"),
+                    })?;
+                    out.push(Token::Int(v));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &input[start..i];
+                match Keyword::from_str(word) {
+                    Some(k) => out.push(Token::Keyword(k)),
+                    None => out.push(Token::Ident(word.to_string())),
+                }
+            }
+            other => {
+                return Err(LexError {
+                    pos: i,
+                    message: format!("unexpected character '{other}'"),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn utf8_len(first: u8) -> usize {
+    if first < 0x80 {
+        1
+    } else if first >> 5 == 0b110 {
+        2
+    } else if first >> 4 == 0b1110 {
+        3
+    } else {
+        4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_case_insensitive() {
+        let t = lex("select SeLeCt SELECT").unwrap();
+        assert!(t.iter().all(|t| *t == Token::Keyword(Keyword::Select)));
+    }
+
+    #[test]
+    fn predict_keywords() {
+        let t = lex("PREDICT VALUE OF score TRAIN ON *").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Token::Keyword(Keyword::Predict),
+                Token::Keyword(Keyword::Value),
+                Token::Keyword(Keyword::Of),
+                Token::Ident("score".into()),
+                Token::Keyword(Keyword::Train),
+                Token::Keyword(Keyword::On),
+                Token::Star,
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        let t = lex("1 2.5 3e2 4.5E-1").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Token::Int(1),
+                Token::Float(2.5),
+                Token::Float(300.0),
+                Token::Float(0.45),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes_and_unicode() {
+        let t = lex("'it''s' '数据库'").unwrap();
+        assert_eq!(
+            t,
+            vec![Token::Str("it's".into()), Token::Str("数据库".into())]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        let t = lex("= <> != < <= > >= + - * /").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Token::Eq,
+                Token::Neq,
+                Token::Neq,
+                Token::Lt,
+                Token::Lte,
+                Token::Gt,
+                Token::Gte,
+                Token::Plus,
+                Token::Minus,
+                Token::Star,
+                Token::Slash,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let t = lex("SELECT -- everything\n1").unwrap();
+        assert_eq!(t, vec![Token::Keyword(Keyword::Select), Token::Int(1)]);
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(lex("'oops").is_err());
+    }
+
+    #[test]
+    fn bad_char_errors() {
+        assert!(lex("SELECT #").is_err());
+    }
+}

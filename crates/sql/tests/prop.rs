@@ -1,0 +1,66 @@
+//! Property-based tests for the SQL front-end.
+
+use neurdb_sql::{lex, parse, Literal, Statement, Token};
+use proptest::prelude::*;
+
+fn arb_ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,12}".prop_filter("not a keyword", |s| {
+        // A lexed identifier must stay an identifier.
+        matches!(lex(s).as_deref(), Ok([Token::Ident(_)]))
+    })
+}
+
+proptest! {
+    /// Literals survive display -> re-parse through a VALUES clause.
+    #[test]
+    fn literal_display_reparses(i in any::<i64>(), s in "[a-zA-Z0-9 ']{0,16}") {
+        let lit = Literal::Str(s.clone());
+        let sql = format!("INSERT INTO t VALUES ({i}, {lit})");
+        let stmt = parse(&sql).unwrap();
+        let Statement::Insert { rows, .. } = stmt else { panic!() };
+        prop_assert_eq!(rows[0].len(), 2);
+    }
+
+    /// Any generated identifier works as table and column names across
+    /// the whole statement surface.
+    #[test]
+    fn identifiers_parse_everywhere(t in arb_ident(), c in arb_ident()) {
+        parse(&format!("CREATE TABLE {t} ({c} INT)")).unwrap();
+        parse(&format!("SELECT {c} FROM {t} WHERE {c} > 0")).unwrap();
+        parse(&format!("INSERT INTO {t} ({c}) VALUES (1)")).unwrap();
+        parse(&format!("UPDATE {t} SET {c} = {c} + 1")).unwrap();
+        parse(&format!("DELETE FROM {t} WHERE {c} = 1")).unwrap();
+        parse(&format!("PREDICT VALUE OF {c} FROM {t} TRAIN ON *")).unwrap();
+    }
+
+    /// The lexer never panics on arbitrary input (errors are Results).
+    #[test]
+    fn lexer_total(input in "\\PC{0,64}") {
+        let _ = lex(&input);
+    }
+
+    /// The parser never panics on arbitrary token-ish text.
+    #[test]
+    fn parser_total(input in "[a-zA-Z0-9 ,.*()<>=!'_-]{0,80}") {
+        let _ = parse(&input);
+    }
+
+    /// Numeric literals round-trip through the lexer.
+    #[test]
+    fn numbers_lex_exactly(n in any::<u32>()) {
+        let toks = lex(&n.to_string()).unwrap();
+        prop_assert_eq!(toks, vec![Token::Int(n as i64)]);
+    }
+
+    /// Parenthesization is respected: `a OP (b OP c)` differs from
+    /// `(a OP b) OP c` in the AST.
+    #[test]
+    fn parens_shape_ast(a in 1i64..100, b in 1i64..100, c in 1i64..100) {
+        let left = parse(&format!("SELECT ({a} - {b}) - {c} FROM t")).unwrap();
+        let right = parse(&format!("SELECT {a} - ({b} - {c}) FROM t")).unwrap();
+        prop_assert_ne!(&left, &right);
+        // Default associativity is left.
+        let flat = parse(&format!("SELECT {a} - {b} - {c} FROM t")).unwrap();
+        prop_assert_eq!(&flat, &left);
+    }
+}

@@ -1,0 +1,378 @@
+//! An in-memory B+Tree index keyed by [`Value`] with record-id postings.
+//!
+//! Non-unique: each key maps to a posting list of [`RecordId`]s. Leaves are
+//! chained for range scans. The fanout is configurable so tests can force
+//! deep trees with few keys.
+
+use crate::page::RecordId;
+use crate::value::Value;
+
+const DEFAULT_ORDER: usize = 64;
+
+#[derive(Debug)]
+enum Node {
+    Internal {
+        /// `keys[i]` separates `children[i]` (< key) from `children[i+1]` (>= key).
+        keys: Vec<Value>,
+        children: Vec<Box<Node>>,
+    },
+    Leaf {
+        keys: Vec<Value>,
+        postings: Vec<Vec<RecordId>>,
+    },
+}
+
+/// Result of inserting into a subtree: possibly a split.
+enum InsertResult {
+    Ok,
+    Split { sep: Value, right: Box<Node> },
+}
+
+/// A B+Tree index.
+pub struct BTreeIndex {
+    root: Box<Node>,
+    order: usize,
+    len: usize,
+}
+
+impl Default for BTreeIndex {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BTreeIndex {
+    pub fn new() -> Self {
+        Self::with_order(DEFAULT_ORDER)
+    }
+
+    /// `order` = max keys per node before splitting (>= 3).
+    pub fn with_order(order: usize) -> Self {
+        assert!(order >= 3, "order must be >= 3");
+        BTreeIndex {
+            root: Box::new(Node::Leaf {
+                keys: Vec::new(),
+                postings: Vec::new(),
+            }),
+            order,
+            len: 0,
+        }
+    }
+
+    /// Number of (key, rid) entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Insert a (key, rid) pair.
+    pub fn insert(&mut self, key: Value, rid: RecordId) {
+        self.len += 1;
+        let order = self.order;
+        match Self::insert_rec(&mut self.root, key, rid, order) {
+            InsertResult::Ok => {}
+            InsertResult::Split { sep, right } => {
+                let old_root = std::mem::replace(
+                    &mut self.root,
+                    Box::new(Node::Leaf {
+                        keys: vec![],
+                        postings: vec![],
+                    }),
+                );
+                self.root = Box::new(Node::Internal {
+                    keys: vec![sep],
+                    children: vec![old_root, right],
+                });
+            }
+        }
+    }
+
+    fn insert_rec(node: &mut Node, key: Value, rid: RecordId, order: usize) -> InsertResult {
+        match node {
+            Node::Leaf { keys, postings } => {
+                match keys.binary_search(&key) {
+                    Ok(i) => postings[i].push(rid),
+                    Err(i) => {
+                        keys.insert(i, key);
+                        postings.insert(i, vec![rid]);
+                    }
+                }
+                if keys.len() > order {
+                    let mid = keys.len() / 2;
+                    let right_keys = keys.split_off(mid);
+                    let right_postings = postings.split_off(mid);
+                    let sep = right_keys[0].clone();
+                    InsertResult::Split {
+                        sep,
+                        right: Box::new(Node::Leaf {
+                            keys: right_keys,
+                            postings: right_postings,
+                        }),
+                    }
+                } else {
+                    InsertResult::Ok
+                }
+            }
+            Node::Internal { keys, children } => {
+                let idx = match keys.binary_search(&key) {
+                    Ok(i) => i + 1,
+                    Err(i) => i,
+                };
+                match Self::insert_rec(&mut children[idx], key, rid, order) {
+                    InsertResult::Ok => InsertResult::Ok,
+                    InsertResult::Split { sep, right } => {
+                        keys.insert(idx, sep);
+                        children.insert(idx + 1, right);
+                        if keys.len() > order {
+                            let mid = keys.len() / 2;
+                            // Middle key moves up; children split after mid.
+                            let sep_up = keys[mid].clone();
+                            let right_keys = keys.split_off(mid + 1);
+                            keys.pop(); // remove sep_up from the left node
+                            let right_children = children.split_off(mid + 1);
+                            InsertResult::Split {
+                                sep: sep_up,
+                                right: Box::new(Node::Internal {
+                                    keys: right_keys,
+                                    children: right_children,
+                                }),
+                            }
+                        } else {
+                            InsertResult::Ok
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Exact-match lookup: all rids stored under `key`.
+    pub fn get(&self, key: &Value) -> Vec<RecordId> {
+        let mut node = &*self.root;
+        loop {
+            match node {
+                Node::Internal { keys, children } => {
+                    let idx = match keys.binary_search(key) {
+                        Ok(i) => i + 1,
+                        Err(i) => i,
+                    };
+                    node = &children[idx];
+                }
+                Node::Leaf { keys, postings } => {
+                    return match keys.binary_search(key) {
+                        Ok(i) => postings[i].clone(),
+                        Err(_) => Vec::new(),
+                    };
+                }
+            }
+        }
+    }
+
+    /// Remove one specific (key, rid) pair. Returns whether it existed.
+    /// Underflow is tolerated (no merging) — postings just shrink; this
+    /// keeps deletion O(log n) and is standard for in-memory secondary
+    /// indexes where reinsertion dominates.
+    pub fn remove(&mut self, key: &Value, rid: RecordId) -> bool {
+        fn rec(node: &mut Node, key: &Value, rid: RecordId) -> bool {
+            match node {
+                Node::Internal { keys, children } => {
+                    let idx = match keys.binary_search(key) {
+                        Ok(i) => i + 1,
+                        Err(i) => i,
+                    };
+                    rec(&mut children[idx], key, rid)
+                }
+                Node::Leaf { keys, postings } => {
+                    if let Ok(i) = keys.binary_search(key) {
+                        let p = &mut postings[i];
+                        if let Some(pos) = p.iter().position(|r| *r == rid) {
+                            p.swap_remove(pos);
+                            if p.is_empty() {
+                                keys.remove(i);
+                                postings.remove(i);
+                            }
+                            return true;
+                        }
+                    }
+                    false
+                }
+            }
+        }
+        let removed = rec(&mut self.root, key, rid);
+        if removed {
+            self.len -= 1;
+        }
+        removed
+    }
+
+    /// Range scan over `[lo, hi]` (inclusive bounds; `None` = unbounded).
+    /// Returns `(key, rid)` pairs in key order.
+    pub fn range(&self, lo: Option<&Value>, hi: Option<&Value>) -> Vec<(Value, RecordId)> {
+        let mut out = Vec::new();
+        Self::range_rec(&self.root, lo, hi, &mut out);
+        out
+    }
+
+    fn range_rec(
+        node: &Node,
+        lo: Option<&Value>,
+        hi: Option<&Value>,
+        out: &mut Vec<(Value, RecordId)>,
+    ) {
+        match node {
+            Node::Internal { keys, children } => {
+                // Visit children whose key ranges may intersect [lo, hi].
+                for (i, child) in children.iter().enumerate() {
+                    // child i holds keys < keys[i] and >= keys[i-1].
+                    if let Some(lo) = lo {
+                        if i < keys.len() && keys[i] <= *lo {
+                            // Entire child strictly below lo only when its
+                            // upper separator <= lo; skip unless equal keys
+                            // could sit at the boundary.
+                            if keys[i] < *lo {
+                                continue;
+                            }
+                        }
+                    }
+                    if let Some(hi) = hi {
+                        if i > 0 && keys[i - 1] > *hi {
+                            break;
+                        }
+                    }
+                    Self::range_rec(child, lo, hi, out);
+                }
+            }
+            Node::Leaf { keys, postings } => {
+                for (k, p) in keys.iter().zip(postings.iter()) {
+                    if let Some(lo) = lo {
+                        if k < lo {
+                            continue;
+                        }
+                    }
+                    if let Some(hi) = hi {
+                        if k > hi {
+                            return;
+                        }
+                    }
+                    for rid in p {
+                        out.push((k.clone(), *rid));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Depth of the tree (1 = just a leaf). Exposed for tests.
+    pub fn depth(&self) -> usize {
+        let mut d = 1;
+        let mut node = &*self.root;
+        while let Node::Internal { children, .. } = node {
+            d += 1;
+            node = &children[0];
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rid(i: u64) -> RecordId {
+        RecordId::new(i, (i % 100) as u16)
+    }
+
+    #[test]
+    fn insert_and_get() {
+        let mut t = BTreeIndex::with_order(4);
+        for i in 0..100i64 {
+            t.insert(Value::Int(i), rid(i as u64));
+        }
+        assert_eq!(t.len(), 100);
+        assert!(t.depth() > 1, "order-4 tree with 100 keys must split");
+        for i in 0..100i64 {
+            assert_eq!(t.get(&Value::Int(i)), vec![rid(i as u64)]);
+        }
+        assert!(t.get(&Value::Int(100)).is_empty());
+    }
+
+    #[test]
+    fn duplicate_keys_accumulate_postings() {
+        let mut t = BTreeIndex::new();
+        t.insert(Value::Int(5), rid(1));
+        t.insert(Value::Int(5), rid(2));
+        t.insert(Value::Int(5), rid(3));
+        assert_eq!(t.get(&Value::Int(5)).len(), 3);
+    }
+
+    #[test]
+    fn remove_specific_rid() {
+        let mut t = BTreeIndex::new();
+        t.insert(Value::Int(5), rid(1));
+        t.insert(Value::Int(5), rid(2));
+        assert!(t.remove(&Value::Int(5), rid(1)));
+        assert_eq!(t.get(&Value::Int(5)), vec![rid(2)]);
+        assert!(!t.remove(&Value::Int(5), rid(1)), "already removed");
+        assert!(t.remove(&Value::Int(5), rid(2)));
+        assert!(t.get(&Value::Int(5)).is_empty());
+        assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn range_scan_inclusive() {
+        let mut t = BTreeIndex::with_order(4);
+        for i in 0..50i64 {
+            t.insert(Value::Int(i), rid(i as u64));
+        }
+        let got = t.range(Some(&Value::Int(10)), Some(&Value::Int(20)));
+        let keys: Vec<i64> = got.iter().map(|(k, _)| k.as_i64().unwrap()).collect();
+        assert_eq!(keys, (10..=20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn range_unbounded() {
+        let mut t = BTreeIndex::with_order(4);
+        for i in (0..30i64).rev() {
+            t.insert(Value::Int(i), rid(i as u64));
+        }
+        let all = t.range(None, None);
+        let keys: Vec<i64> = all.iter().map(|(k, _)| k.as_i64().unwrap()).collect();
+        assert_eq!(keys, (0..30).collect::<Vec<_>>());
+        let tail = t.range(Some(&Value::Int(25)), None);
+        assert_eq!(tail.len(), 5);
+        let head = t.range(None, Some(&Value::Int(4)));
+        assert_eq!(head.len(), 5);
+    }
+
+    #[test]
+    fn text_keys() {
+        let mut t = BTreeIndex::with_order(4);
+        for w in ["pear", "apple", "fig", "banana", "kiwi", "grape"] {
+            t.insert(Value::Text(w.into()), rid(w.len() as u64));
+        }
+        let got = t.range(Some(&Value::Text("b".into())), Some(&Value::Text("g".into())));
+        let keys: Vec<&str> = got.iter().filter_map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, vec!["banana", "fig"]);
+    }
+
+    #[test]
+    fn random_inserts_stay_sorted() {
+        use rand::{seq::SliceRandom, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut keys: Vec<i64> = (0..1000).collect();
+        keys.shuffle(&mut rng);
+        let mut t = BTreeIndex::with_order(8);
+        for k in &keys {
+            t.insert(Value::Int(*k), rid(*k as u64));
+        }
+        let scanned: Vec<i64> = t
+            .range(None, None)
+            .iter()
+            .map(|(k, _)| k.as_i64().unwrap())
+            .collect();
+        assert_eq!(scanned, (0..1000).collect::<Vec<_>>());
+    }
+}

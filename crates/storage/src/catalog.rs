@@ -1,0 +1,225 @@
+//! Table catalog: schemas, columns, constraints.
+//!
+//! The catalog is what lets `TRAIN ON *` automatically exclude columns with
+//! unique constraints (Section 2.3 of the paper): `Schema::feature_columns`
+//! implements exactly that rule.
+
+use crate::error::{StorageError, StorageResult};
+use crate::value::DataType;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Identifies a table within a database.
+pub type TableId = u32;
+
+/// A column definition.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ColumnDef {
+    pub name: String,
+    pub ty: DataType,
+    pub nullable: bool,
+    /// Unique constraint (also set for primary keys). `TRAIN ON *`
+    /// excludes these columns as meaningless features.
+    pub unique: bool,
+}
+
+impl ColumnDef {
+    pub fn new(name: impl Into<String>, ty: DataType) -> Self {
+        ColumnDef {
+            name: name.into(),
+            ty,
+            nullable: true,
+            unique: false,
+        }
+    }
+
+    pub fn not_null(mut self) -> Self {
+        self.nullable = false;
+        self
+    }
+
+    pub fn unique(mut self) -> Self {
+        self.unique = true;
+        self
+    }
+}
+
+/// An ordered set of columns.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    pub columns: Vec<ColumnDef>,
+}
+
+impl Schema {
+    pub fn new(columns: Vec<ColumnDef>) -> Self {
+        Schema { columns }
+    }
+
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    pub fn column(&self, idx: usize) -> &ColumnDef {
+        &self.columns[idx]
+    }
+
+    pub fn types(&self) -> Vec<DataType> {
+        self.columns.iter().map(|c| c.ty).collect()
+    }
+
+    pub fn names(&self) -> Vec<&str> {
+        self.columns.iter().map(|c| c.name.as_str()).collect()
+    }
+
+    /// Column indexes usable as model features when the user writes
+    /// `TRAIN ON *`: everything except unique-constrained columns and the
+    /// label column itself.
+    pub fn feature_columns(&self, label: &str) -> Vec<usize> {
+        self.columns
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !c.unique && c.name != label)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Metadata for one table.
+#[derive(Debug, Clone)]
+pub struct TableMeta {
+    pub id: TableId,
+    pub name: String,
+    pub schema: Schema,
+}
+
+/// The database catalog: name ↔ id ↔ schema.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    tables: HashMap<TableId, TableMeta>,
+    by_name: HashMap<String, TableId>,
+    next_id: TableId,
+}
+
+impl Catalog {
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    pub fn create_table(&mut self, name: &str, schema: Schema) -> StorageResult<TableId> {
+        if self.by_name.contains_key(name) {
+            return Err(StorageError::Catalog(format!("table '{name}' already exists")));
+        }
+        if schema.columns.is_empty() {
+            return Err(StorageError::Catalog("table needs at least one column".into()));
+        }
+        let mut seen = HashMap::new();
+        for c in &schema.columns {
+            if seen.insert(c.name.clone(), ()).is_some() {
+                return Err(StorageError::Catalog(format!("duplicate column '{}'", c.name)));
+            }
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.tables.insert(
+            id,
+            TableMeta {
+                id,
+                name: name.to_string(),
+                schema,
+            },
+        );
+        self.by_name.insert(name.to_string(), id);
+        Ok(id)
+    }
+
+    pub fn drop_table(&mut self, name: &str) -> StorageResult<TableId> {
+        let id = self
+            .by_name
+            .remove(name)
+            .ok_or_else(|| StorageError::Catalog(format!("unknown table '{name}'")))?;
+        self.tables.remove(&id);
+        Ok(id)
+    }
+
+    pub fn get(&self, id: TableId) -> Option<&TableMeta> {
+        self.tables.get(&id)
+    }
+
+    pub fn get_by_name(&self, name: &str) -> Option<&TableMeta> {
+        self.by_name.get(name).and_then(|id| self.tables.get(id))
+    }
+
+    pub fn table_names(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.by_name.keys().map(|s| s.as_str()).collect();
+        v.sort_unstable();
+        v
+    }
+
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn review_schema() -> Schema {
+        Schema::new(vec![
+            ColumnDef::new("id", DataType::Int).not_null().unique(),
+            ColumnDef::new("brand_name", DataType::Text),
+            ColumnDef::new("stars", DataType::Int),
+            ColumnDef::new("score", DataType::Float),
+        ])
+    }
+
+    #[test]
+    fn create_lookup_drop() {
+        let mut c = Catalog::new();
+        let id = c.create_table("review", review_schema()).unwrap();
+        assert_eq!(c.get_by_name("review").unwrap().id, id);
+        assert_eq!(c.get(id).unwrap().name, "review");
+        c.drop_table("review").unwrap();
+        assert!(c.get_by_name("review").is_none());
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let mut c = Catalog::new();
+        c.create_table("t", review_schema()).unwrap();
+        assert!(c.create_table("t", review_schema()).is_err());
+    }
+
+    #[test]
+    fn duplicate_column_rejected() {
+        let mut c = Catalog::new();
+        let s = Schema::new(vec![
+            ColumnDef::new("a", DataType::Int),
+            ColumnDef::new("a", DataType::Float),
+        ]);
+        assert!(c.create_table("t", s).is_err());
+    }
+
+    #[test]
+    fn feature_columns_exclude_unique_and_label() {
+        let s = review_schema();
+        // `TRAIN ON *` predicting `score`: drops unique `id` and the label.
+        let feats = s.feature_columns("score");
+        assert_eq!(feats, vec![1, 2]);
+    }
+
+    #[test]
+    fn column_index_lookup() {
+        let s = review_schema();
+        assert_eq!(s.column_index("stars"), Some(2));
+        assert_eq!(s.column_index("nope"), None);
+    }
+}

@@ -1,0 +1,199 @@
+//! Heap files: unordered collections of tuples over buffer-pool pages.
+
+use crate::buffer::BufferPool;
+use crate::error::{StorageError, StorageResult};
+use crate::page::{PageId, RecordId};
+use crate::tuple::Tuple;
+use crate::value::DataType;
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// A heap file: an append-friendly list of pages owned by one table.
+///
+/// Insertion tries the last page first (the common append path), then scans
+/// earlier pages for reusable space before allocating a new page.
+pub struct HeapFile {
+    pool: Arc<BufferPool>,
+    pages: RwLock<Vec<PageId>>,
+    types: Vec<DataType>,
+}
+
+impl HeapFile {
+    pub fn new(pool: Arc<BufferPool>, types: Vec<DataType>) -> Self {
+        HeapFile {
+            pool,
+            pages: RwLock::new(Vec::new()),
+            types,
+        }
+    }
+
+    pub fn types(&self) -> &[DataType] {
+        &self.types
+    }
+
+    pub fn num_pages(&self) -> usize {
+        self.pages.read().len()
+    }
+
+    /// Insert a tuple, returning its record id.
+    pub fn insert(&self, tuple: &Tuple) -> StorageResult<RecordId> {
+        let payload = tuple.encode(&self.types)?;
+        // Fast path: try the last page.
+        let last = self.pages.read().last().copied();
+        if let Some(pid) = last {
+            let res = self.pool.with_page_mut(pid, |p| p.insert(&payload))?;
+            if let Ok(slot) = res {
+                return Ok(RecordId::new(pid, slot));
+            }
+        }
+        // Slow path: scan earlier pages for a hole big enough.
+        let pages = self.pages.read().clone();
+        for pid in pages.iter().rev().skip(1) {
+            let res = self.pool.with_page_mut(*pid, |p| {
+                if p.free_space() >= payload.len() + 8 {
+                    p.insert(&payload)
+                } else {
+                    Err(StorageError::PageOverflow {
+                        needed: payload.len(),
+                        available: p.free_space(),
+                    })
+                }
+            })?;
+            if let Ok(slot) = res {
+                return Ok(RecordId::new(*pid, slot));
+            }
+        }
+        // Allocate a fresh page.
+        let pid = self.pool.allocate_page()?;
+        self.pages.write().push(pid);
+        let slot = self.pool.with_page_mut(pid, |p| p.insert(&payload))??;
+        Ok(RecordId::new(pid, slot))
+    }
+
+    /// Fetch the tuple at `rid`.
+    pub fn get(&self, rid: RecordId) -> StorageResult<Tuple> {
+        let bytes = self.pool.with_page(rid.page, |p| {
+            p.get(rid.slot).map(|b| b.to_vec())
+        })??;
+        Tuple::decode(&bytes, &self.types)
+    }
+
+    /// Overwrite the tuple at `rid`.
+    pub fn update(&self, rid: RecordId, tuple: &Tuple) -> StorageResult<()> {
+        let payload = tuple.encode(&self.types)?;
+        self.pool
+            .with_page_mut(rid.page, |p| p.update(rid.slot, &payload))?
+    }
+
+    /// Delete the tuple at `rid`.
+    pub fn delete(&self, rid: RecordId) -> StorageResult<()> {
+        self.pool.with_page_mut(rid.page, |p| p.delete(rid.slot))?
+    }
+
+    /// Materialize all live `(rid, tuple)` pairs. Used by sequential scans;
+    /// decodes page-by-page so only one page is borrowed at a time.
+    pub fn scan(&self) -> StorageResult<Vec<(RecordId, Tuple)>> {
+        let pages = self.pages.read().clone();
+        let mut out = Vec::new();
+        for pid in pages {
+            let raw: Vec<(u16, Vec<u8>)> = self.pool.with_page(pid, |p| {
+                p.iter().map(|(s, d)| (s, d.to_vec())).collect()
+            })?;
+            for (slot, bytes) in raw {
+                out.push((RecordId::new(pid, slot), Tuple::decode(&bytes, &self.types)?));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Count live tuples (scans pages; O(pages)).
+    pub fn len(&self) -> StorageResult<usize> {
+        let pages = self.pages.read().clone();
+        let mut n = 0;
+        for pid in pages {
+            n += self.pool.with_page(pid, |p| p.live_count())?;
+        }
+        Ok(n)
+    }
+
+    pub fn is_empty(&self) -> StorageResult<bool> {
+        Ok(self.len()? == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::DiskManager;
+    use crate::value::Value;
+
+    fn heap() -> HeapFile {
+        let pool = Arc::new(BufferPool::new(Arc::new(DiskManager::new()), 16));
+        HeapFile::new(pool, vec![DataType::Int, DataType::Text])
+    }
+
+    fn row(i: i64) -> Tuple {
+        Tuple::new(vec![Value::Int(i), Value::Text(format!("row-{i}"))])
+    }
+
+    #[test]
+    fn insert_get() {
+        let h = heap();
+        let rid = h.insert(&row(1)).unwrap();
+        assert_eq!(h.get(rid).unwrap(), row(1));
+    }
+
+    #[test]
+    fn spans_multiple_pages() {
+        let h = heap();
+        let mut rids = Vec::new();
+        for i in 0..2000 {
+            rids.push(h.insert(&row(i)).unwrap());
+        }
+        assert!(h.num_pages() > 1, "2000 rows should not fit in one page");
+        for (i, rid) in rids.iter().enumerate() {
+            assert_eq!(h.get(*rid).unwrap().get(0), &Value::Int(i as i64));
+        }
+        assert_eq!(h.len().unwrap(), 2000);
+    }
+
+    #[test]
+    fn update_and_delete() {
+        let h = heap();
+        let rid = h.insert(&row(1)).unwrap();
+        h.update(rid, &row(99)).unwrap();
+        assert_eq!(h.get(rid).unwrap().get(0), &Value::Int(99));
+        h.delete(rid).unwrap();
+        assert!(h.get(rid).is_err());
+    }
+
+    #[test]
+    fn scan_returns_live_rows_only() {
+        let h = heap();
+        let r0 = h.insert(&row(0)).unwrap();
+        h.insert(&row(1)).unwrap();
+        h.insert(&row(2)).unwrap();
+        h.delete(r0).unwrap();
+        let rows = h.scan().unwrap();
+        assert_eq!(rows.len(), 2);
+        assert!(rows.iter().all(|(_, t)| t.get(0) != &Value::Int(0)));
+    }
+
+    #[test]
+    fn reuses_space_after_delete() {
+        let h = heap();
+        let mut rids = Vec::new();
+        for i in 0..500 {
+            rids.push(h.insert(&row(i)).unwrap());
+        }
+        let pages_before = h.num_pages();
+        for rid in &rids {
+            h.delete(*rid).unwrap();
+        }
+        for i in 0..500 {
+            h.insert(&row(i + 1000)).unwrap();
+        }
+        // Tombstone reuse means little or no page growth.
+        assert!(h.num_pages() <= pages_before + 1);
+    }
+}

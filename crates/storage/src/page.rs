@@ -1,0 +1,335 @@
+//! Slotted-page layout.
+//!
+//! Each page is a fixed `PAGE_SIZE` byte array laid out as:
+//!
+//! ```text
+//! +-------------------+----------------------+......+------------------+
+//! | header (8 bytes)  | slot array (4B each) | free | tuple payloads   |
+//! +-------------------+----------------------+......+------------------+
+//! header: [n_slots: u16][free_end: u16][reserved: u32]
+//! slot:   [offset: u16][len: u16]   (len == 0 => tombstone)
+//! ```
+//!
+//! Payloads grow from the end of the page toward the slot array, PostgreSQL
+//! style. Deleting a tuple leaves a tombstone; `compact` reclaims payload
+//! space in place.
+
+use crate::error::{StorageError, StorageResult};
+
+/// Size of every page in bytes (8 KiB, matching PostgreSQL's default).
+pub const PAGE_SIZE: usize = 8192;
+const HEADER_SIZE: usize = 8;
+const SLOT_SIZE: usize = 4;
+
+/// Identifies a page on disk.
+pub type PageId = u64;
+
+/// Identifies a tuple: page + slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RecordId {
+    pub page: PageId,
+    pub slot: u16,
+}
+
+impl RecordId {
+    pub fn new(page: PageId, slot: u16) -> Self {
+        RecordId { page, slot }
+    }
+}
+
+/// A fixed-size slotted page.
+pub struct Page {
+    data: Box<[u8; PAGE_SIZE]>,
+}
+
+impl Default for Page {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Page {
+    /// A fresh page with zero slots and all payload space free.
+    pub fn new() -> Self {
+        let mut data = Box::new([0u8; PAGE_SIZE]);
+        // free_end starts at PAGE_SIZE.
+        data[2..4].copy_from_slice(&(PAGE_SIZE as u16).to_le_bytes());
+        Page { data }
+    }
+
+    /// Reconstruct a page from raw bytes (e.g. read from the disk manager).
+    pub fn from_bytes(bytes: &[u8]) -> StorageResult<Self> {
+        if bytes.len() != PAGE_SIZE {
+            return Err(StorageError::Codec(format!(
+                "page must be {PAGE_SIZE} bytes, got {}",
+                bytes.len()
+            )));
+        }
+        let mut data = Box::new([0u8; PAGE_SIZE]);
+        data.copy_from_slice(bytes);
+        Ok(Page { data })
+    }
+
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.data[..]
+    }
+
+    fn n_slots(&self) -> u16 {
+        u16::from_le_bytes([self.data[0], self.data[1]])
+    }
+
+    fn set_n_slots(&mut self, n: u16) {
+        self.data[0..2].copy_from_slice(&n.to_le_bytes());
+    }
+
+    fn free_end(&self) -> u16 {
+        u16::from_le_bytes([self.data[2], self.data[3]])
+    }
+
+    fn set_free_end(&mut self, v: u16) {
+        self.data[2..4].copy_from_slice(&v.to_le_bytes());
+    }
+
+    fn slot(&self, idx: u16) -> (u16, u16) {
+        let base = HEADER_SIZE + idx as usize * SLOT_SIZE;
+        let off = u16::from_le_bytes([self.data[base], self.data[base + 1]]);
+        let len = u16::from_le_bytes([self.data[base + 2], self.data[base + 3]]);
+        (off, len)
+    }
+
+    fn set_slot(&mut self, idx: u16, off: u16, len: u16) {
+        let base = HEADER_SIZE + idx as usize * SLOT_SIZE;
+        self.data[base..base + 2].copy_from_slice(&off.to_le_bytes());
+        self.data[base + 2..base + 4].copy_from_slice(&len.to_le_bytes());
+    }
+
+    /// Contiguous free bytes between the slot array and the payload area.
+    pub fn free_space(&self) -> usize {
+        let slots_end = HEADER_SIZE + self.n_slots() as usize * SLOT_SIZE;
+        (self.free_end() as usize).saturating_sub(slots_end)
+    }
+
+    /// Number of live (non-tombstone) tuples.
+    pub fn live_count(&self) -> usize {
+        (0..self.n_slots()).filter(|&i| self.slot(i).1 != 0).count()
+    }
+
+    /// Number of slots ever allocated (live + tombstones).
+    pub fn slot_count(&self) -> u16 {
+        self.n_slots()
+    }
+
+    /// Insert a tuple payload; returns the slot index.
+    ///
+    /// Reuses a tombstone slot when one exists (the payload still consumes
+    /// fresh payload space until the next `compact`).
+    pub fn insert(&mut self, payload: &[u8]) -> StorageResult<u16> {
+        if payload.is_empty() {
+            return Err(StorageError::Codec("empty payload not allowed".into()));
+        }
+        if payload.len() > u16::MAX as usize {
+            return Err(StorageError::PageOverflow {
+                needed: payload.len(),
+                available: self.free_space(),
+            });
+        }
+        // Find a reusable tombstone, else a fresh slot.
+        let reuse = (0..self.n_slots()).find(|&i| self.slot(i).1 == 0);
+        let extra_slot = if reuse.is_some() { 0 } else { SLOT_SIZE };
+        if self.free_space() < payload.len() + extra_slot {
+            return Err(StorageError::PageOverflow {
+                needed: payload.len() + extra_slot,
+                available: self.free_space(),
+            });
+        }
+        let new_end = self.free_end() as usize - payload.len();
+        self.data[new_end..new_end + payload.len()].copy_from_slice(payload);
+        self.set_free_end(new_end as u16);
+        let slot = match reuse {
+            Some(s) => s,
+            None => {
+                let s = self.n_slots();
+                self.set_n_slots(s + 1);
+                s
+            }
+        };
+        self.set_slot(slot, new_end as u16, payload.len() as u16);
+        Ok(slot)
+    }
+
+    /// Read the payload stored at `slot`.
+    pub fn get(&self, slot: u16) -> StorageResult<&[u8]> {
+        if slot >= self.n_slots() {
+            return Err(StorageError::SlotNotFound { page: 0, slot });
+        }
+        let (off, len) = self.slot(slot);
+        if len == 0 {
+            return Err(StorageError::SlotNotFound { page: 0, slot });
+        }
+        Ok(&self.data[off as usize..off as usize + len as usize])
+    }
+
+    /// Tombstone the tuple at `slot`.
+    pub fn delete(&mut self, slot: u16) -> StorageResult<()> {
+        if slot >= self.n_slots() || self.slot(slot).1 == 0 {
+            return Err(StorageError::SlotNotFound { page: 0, slot });
+        }
+        self.set_slot(slot, 0, 0);
+        Ok(())
+    }
+
+    /// Replace the payload at `slot`. If the new payload fits in the old
+    /// space it is updated in place; otherwise new payload space is consumed
+    /// (compacting first if needed).
+    pub fn update(&mut self, slot: u16, payload: &[u8]) -> StorageResult<()> {
+        if slot >= self.n_slots() || self.slot(slot).1 == 0 {
+            return Err(StorageError::SlotNotFound { page: 0, slot });
+        }
+        let (off, len) = self.slot(slot);
+        if payload.len() <= len as usize {
+            let off = off as usize;
+            self.data[off..off + payload.len()].copy_from_slice(payload);
+            self.set_slot(slot, off as u16, payload.len() as u16);
+            return Ok(());
+        }
+        if self.free_space() < payload.len() {
+            self.compact();
+        }
+        if self.free_space() < payload.len() {
+            return Err(StorageError::PageOverflow {
+                needed: payload.len(),
+                available: self.free_space(),
+            });
+        }
+        let new_end = self.free_end() as usize - payload.len();
+        self.data[new_end..new_end + payload.len()].copy_from_slice(payload);
+        self.set_free_end(new_end as u16);
+        self.set_slot(slot, new_end as u16, payload.len() as u16);
+        Ok(())
+    }
+
+    /// Slide all live payloads to the end of the page, reclaiming holes left
+    /// by deletes and relocating updates. Slot indexes are stable.
+    pub fn compact(&mut self) {
+        let n = self.n_slots();
+        let mut live: Vec<(u16, Vec<u8>)> = Vec::with_capacity(n as usize);
+        for i in 0..n {
+            let (off, len) = self.slot(i);
+            if len != 0 {
+                live.push((i, self.data[off as usize..(off + len) as usize].to_vec()));
+            }
+        }
+        let mut end = PAGE_SIZE;
+        for (slot, payload) in &live {
+            end -= payload.len();
+            self.data[end..end + payload.len()].copy_from_slice(payload);
+            self.set_slot(*slot, end as u16, payload.len() as u16);
+        }
+        self.set_free_end(end as u16);
+    }
+
+    /// Iterate over `(slot, payload)` pairs of live tuples.
+    pub fn iter(&self) -> impl Iterator<Item = (u16, &[u8])> + '_ {
+        (0..self.n_slots()).filter_map(move |i| {
+            let (off, len) = self.slot(i);
+            if len == 0 {
+                None
+            } else {
+                Some((i, &self.data[off as usize..(off + len) as usize]))
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut p = Page::new();
+        let s0 = p.insert(b"hello").unwrap();
+        let s1 = p.insert(b"world!").unwrap();
+        assert_eq!(p.get(s0).unwrap(), b"hello");
+        assert_eq!(p.get(s1).unwrap(), b"world!");
+        assert_eq!(p.live_count(), 2);
+    }
+
+    #[test]
+    fn delete_tombstones_and_reuses_slot() {
+        let mut p = Page::new();
+        let s0 = p.insert(b"aaa").unwrap();
+        p.insert(b"bbb").unwrap();
+        p.delete(s0).unwrap();
+        assert!(p.get(s0).is_err());
+        assert_eq!(p.live_count(), 1);
+        let s2 = p.insert(b"ccc").unwrap();
+        assert_eq!(s2, s0, "tombstoned slot should be reused");
+        assert_eq!(p.get(s2).unwrap(), b"ccc");
+    }
+
+    #[test]
+    fn update_in_place_and_grow() {
+        let mut p = Page::new();
+        let s = p.insert(b"abcdef").unwrap();
+        p.update(s, b"xy").unwrap();
+        assert_eq!(p.get(s).unwrap(), b"xy");
+        p.update(s, b"a much longer payload than before").unwrap();
+        assert_eq!(p.get(s).unwrap(), b"a much longer payload than before");
+    }
+
+    #[test]
+    fn fills_until_overflow() {
+        let mut p = Page::new();
+        let payload = vec![7u8; 100];
+        let mut n = 0;
+        while p.insert(&payload).is_ok() {
+            n += 1;
+        }
+        // 8192 - 8 header; each tuple costs 100 + 4 slot = 104.
+        assert!(n >= 75, "expected at least 75 inserts, got {n}");
+        assert!(matches!(
+            p.insert(&payload),
+            Err(StorageError::PageOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn compact_reclaims_space() {
+        let mut p = Page::new();
+        let payload = vec![1u8; 512];
+        let mut slots = vec![];
+        while let Ok(s) = p.insert(&payload) {
+            slots.push(s);
+        }
+        // Delete every other tuple, compact, and check we can insert again.
+        for s in slots.iter().step_by(2) {
+            p.delete(*s).unwrap();
+        }
+        p.compact();
+        assert!(p.insert(&payload).is_ok());
+        // Survivors intact.
+        for s in slots.iter().skip(1).step_by(2) {
+            assert_eq!(p.get(*s).unwrap(), &payload[..]);
+        }
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let mut p = Page::new();
+        p.insert(b"persist me").unwrap();
+        let restored = Page::from_bytes(p.as_bytes()).unwrap();
+        assert_eq!(restored.get(0).unwrap(), b"persist me");
+    }
+
+    #[test]
+    fn iter_skips_tombstones() {
+        let mut p = Page::new();
+        p.insert(b"a").unwrap();
+        let s = p.insert(b"b").unwrap();
+        p.insert(b"c").unwrap();
+        p.delete(s).unwrap();
+        let collected: Vec<_> = p.iter().map(|(_, d)| d.to_vec()).collect();
+        assert_eq!(collected, vec![b"a".to_vec(), b"c".to_vec()]);
+    }
+}

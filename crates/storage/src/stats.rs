@@ -1,0 +1,344 @@
+//! Per-column statistics: equi-depth histograms, distinct counts,
+//! selectivity estimation, and distribution-drift measurement.
+//!
+//! These feed two consumers in the paper's architecture:
+//! 1. the classic cost-based optimizer (cardinality estimates), and
+//! 2. the learned query optimizer's *system condition* vector ("data
+//!    statistics representing each attribute's distribution", Fig. 5), plus
+//!    the monitor's data-drift detector (histogram divergence).
+
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// Number of buckets used by default histograms.
+pub const DEFAULT_BUCKETS: usize = 16;
+
+/// An equi-depth histogram over the numeric view of a column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Bucket boundaries, length `buckets + 1`, non-decreasing.
+    pub bounds: Vec<f64>,
+    /// Rows per bucket (equi-depth: roughly equal).
+    pub counts: Vec<u64>,
+    /// Total rows summarized (excludes NULL / non-numeric).
+    pub total: u64,
+    pub min: f64,
+    pub max: f64,
+}
+
+impl Histogram {
+    /// Build an equi-depth histogram from numeric samples.
+    pub fn build(mut samples: Vec<f64>, buckets: usize) -> Option<Histogram> {
+        samples.retain(|x| x.is_finite());
+        if samples.is_empty() || buckets == 0 {
+            return None;
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let n = samples.len();
+        let min = samples[0];
+        let max = samples[n - 1];
+        let mut bounds = Vec::with_capacity(buckets + 1);
+        let mut counts = Vec::with_capacity(buckets);
+        bounds.push(min);
+        let mut prev_idx = 0usize;
+        for b in 1..=buckets {
+            let idx = (b * n) / buckets;
+            let idx = idx.min(n);
+            let bound = if idx == n { max } else { samples[idx.saturating_sub(1).max(0)] };
+            bounds.push(bound.max(*bounds.last().unwrap()));
+            counts.push((idx - prev_idx) as u64);
+            prev_idx = idx;
+        }
+        Some(Histogram {
+            bounds,
+            counts,
+            total: n as u64,
+            min,
+            max,
+        })
+    }
+
+    pub fn num_buckets(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Estimated fraction of rows with value <= `x` (CDF), assuming uniform
+    /// spread inside each bucket.
+    pub fn cdf(&self, x: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        if x < self.min {
+            return 0.0;
+        }
+        if x >= self.max {
+            return 1.0;
+        }
+        let mut acc = 0u64;
+        for i in 0..self.counts.len() {
+            let lo = self.bounds[i];
+            let hi = self.bounds[i + 1];
+            if x >= hi {
+                acc += self.counts[i];
+                continue;
+            }
+            let frac = if hi > lo { (x - lo) / (hi - lo) } else { 1.0 };
+            return (acc as f64 + self.counts[i] as f64 * frac.clamp(0.0, 1.0))
+                / self.total as f64;
+        }
+        1.0
+    }
+
+    /// Estimated selectivity of `lo <= col <= hi`.
+    pub fn range_selectivity(&self, lo: Option<f64>, hi: Option<f64>) -> f64 {
+        let lo_cdf = lo.map_or(0.0, |v| self.cdf(v - f64::EPSILON));
+        let hi_cdf = hi.map_or(1.0, |v| self.cdf(v));
+        (hi_cdf - lo_cdf).clamp(0.0, 1.0)
+    }
+
+    /// Normalized per-bucket frequency vector (sums to 1); the learned QO
+    /// embeds this directly.
+    pub fn frequencies(&self) -> Vec<f64> {
+        if self.total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts
+            .iter()
+            .map(|c| *c as f64 / self.total as f64)
+            .collect()
+    }
+
+    /// Symmetric Kullback–Leibler-style divergence between two histograms
+    /// *rebinned onto a common grid*; the drift monitor thresholds this.
+    pub fn divergence(&self, other: &Histogram) -> f64 {
+        let lo = self.min.min(other.min);
+        let hi = self.max.max(other.max);
+        if !(hi > lo) {
+            return 0.0;
+        }
+        let grid = 32usize;
+        let step = (hi - lo) / grid as f64;
+        let mut d = 0.0;
+        let eps = 1e-9;
+        for g in 0..grid {
+            let a0 = lo + g as f64 * step;
+            let a1 = a0 + step;
+            let p = (self.cdf(a1) - self.cdf(a0)).max(0.0) + eps;
+            let q = (other.cdf(a1) - other.cdf(a0)).max(0.0) + eps;
+            d += p * (p / q).ln() + q * (q / p).ln();
+        }
+        d / 2.0
+    }
+}
+
+/// Statistics for one column.
+#[derive(Debug, Clone, Default)]
+pub struct ColumnStats {
+    pub histogram: Option<Histogram>,
+    pub distinct: u64,
+    pub null_count: u64,
+    pub row_count: u64,
+    /// Most common values with frequencies (top-8), for equality estimates
+    /// on skewed/categorical columns.
+    pub mcv: Vec<(Value, u64)>,
+}
+
+impl ColumnStats {
+    /// Build stats from the column's values.
+    pub fn build(values: &[Value], buckets: usize) -> ColumnStats {
+        let row_count = values.len() as u64;
+        let null_count = values.iter().filter(|v| v.is_null()).count() as u64;
+        let mut freq: HashMap<Value, u64> = HashMap::new();
+        for v in values.iter().filter(|v| !v.is_null()) {
+            *freq.entry(v.clone()).or_insert(0) += 1;
+        }
+        let distinct = freq.len() as u64;
+        let mut mcv: Vec<(Value, u64)> = freq.into_iter().collect();
+        mcv.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        mcv.truncate(8);
+        let numeric: Vec<f64> = values.iter().filter_map(|v| v.as_f64()).collect();
+        let histogram = Histogram::build(numeric, buckets);
+        ColumnStats {
+            histogram,
+            distinct,
+            null_count,
+            row_count,
+            mcv,
+        }
+    }
+
+    /// Estimated selectivity of `col = v`.
+    pub fn eq_selectivity(&self, v: &Value) -> f64 {
+        if self.row_count == 0 {
+            return 0.0;
+        }
+        if let Some((_, c)) = self.mcv.iter().find(|(mv, _)| mv == v) {
+            return *c as f64 / self.row_count as f64;
+        }
+        if self.distinct == 0 {
+            return 0.0;
+        }
+        // Uniformity over the non-MCV remainder.
+        let mcv_rows: u64 = self.mcv.iter().map(|(_, c)| *c).sum();
+        let rest_rows = self.row_count.saturating_sub(mcv_rows + self.null_count);
+        let rest_distinct = self.distinct.saturating_sub(self.mcv.len() as u64);
+        if rest_distinct == 0 {
+            return 1.0 / self.distinct.max(1) as f64;
+        }
+        (rest_rows as f64 / rest_distinct as f64) / self.row_count as f64
+    }
+
+    /// Estimated selectivity of a numeric range predicate.
+    pub fn range_selectivity(&self, lo: Option<f64>, hi: Option<f64>) -> f64 {
+        match &self.histogram {
+            Some(h) => h.range_selectivity(lo, hi),
+            None => 0.33, // classic guess when no numeric stats exist
+        }
+    }
+}
+
+/// Statistics for a whole table.
+#[derive(Debug, Clone, Default)]
+pub struct TableStats {
+    pub row_count: u64,
+    pub columns: Vec<ColumnStats>,
+}
+
+impl TableStats {
+    /// Build from column-major values: `columns[i]` holds column i's values.
+    pub fn build(columns: &[Vec<Value>]) -> TableStats {
+        let row_count = columns.first().map_or(0, |c| c.len() as u64);
+        TableStats {
+            row_count,
+            columns: columns
+                .iter()
+                .map(|c| ColumnStats::build(c, DEFAULT_BUCKETS))
+                .collect(),
+        }
+    }
+
+    /// Flattened feature vector describing the data distribution, consumed
+    /// by the learned QO (fixed length: per column, `[ndv_frac, null_frac,
+    /// 16 bucket freqs]`, truncated/padded to `max_cols` columns).
+    pub fn condition_vector(&self, max_cols: usize) -> Vec<f64> {
+        let per_col = 2 + DEFAULT_BUCKETS;
+        let mut v = vec![0.0; max_cols * per_col];
+        for (i, c) in self.columns.iter().take(max_cols).enumerate() {
+            let base = i * per_col;
+            let rows = c.row_count.max(1) as f64;
+            v[base] = c.distinct as f64 / rows;
+            v[base + 1] = c.null_count as f64 / rows;
+            if let Some(h) = &c.histogram {
+                for (j, f) in h.frequencies().iter().take(DEFAULT_BUCKETS).enumerate() {
+                    v[base + 2 + j] = *f;
+                }
+            }
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equi_depth_buckets_balanced() {
+        let samples: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let h = Histogram::build(samples, 10).unwrap();
+        assert_eq!(h.num_buckets(), 10);
+        for c in &h.counts {
+            assert_eq!(*c, 100);
+        }
+        assert_eq!(h.total, 1000);
+    }
+
+    #[test]
+    fn cdf_monotone_and_bounded() {
+        let samples: Vec<f64> = (0..500).map(|i| (i as f64).sqrt()).collect();
+        let h = Histogram::build(samples, 8).unwrap();
+        let mut prev = 0.0;
+        for i in 0..100 {
+            let x = h.min + (h.max - h.min) * i as f64 / 99.0;
+            let c = h.cdf(x);
+            assert!((0.0..=1.0).contains(&c));
+            assert!(c + 1e-12 >= prev, "CDF must be monotone");
+            prev = c;
+        }
+        assert_eq!(h.cdf(h.max + 1.0), 1.0);
+        assert_eq!(h.cdf(h.min - 1.0), 0.0);
+    }
+
+    #[test]
+    fn range_selectivity_uniform() {
+        let samples: Vec<f64> = (0..10000).map(|i| i as f64 / 100.0).collect();
+        let h = Histogram::build(samples, 16).unwrap();
+        let sel = h.range_selectivity(Some(25.0), Some(75.0));
+        assert!((sel - 0.5).abs() < 0.03, "got {sel}");
+    }
+
+    #[test]
+    fn divergence_detects_shift() {
+        let a = Histogram::build((0..1000).map(|i| i as f64 / 10.0).collect(), 16).unwrap();
+        let b = Histogram::build((0..1000).map(|i| i as f64 / 10.0).collect(), 16).unwrap();
+        let c = Histogram::build((0..1000).map(|i| 50.0 + i as f64 / 10.0).collect(), 16).unwrap();
+        assert!(a.divergence(&b) < 0.05, "identical distributions");
+        assert!(a.divergence(&c) > 1.0, "shifted distribution must diverge");
+    }
+
+    #[test]
+    fn eq_selectivity_uses_mcv() {
+        let mut vals = vec![Value::Int(1); 90];
+        vals.extend((0..10).map(|i| Value::Int(100 + i)));
+        let s = ColumnStats::build(&vals, 8);
+        let hot = s.eq_selectivity(&Value::Int(1));
+        assert!((hot - 0.9).abs() < 1e-9);
+        let cold = s.eq_selectivity(&Value::Int(105));
+        assert!(cold < 0.05);
+    }
+
+    #[test]
+    fn null_and_distinct_counts() {
+        let vals = vec![
+            Value::Int(1),
+            Value::Null,
+            Value::Int(1),
+            Value::Int(2),
+            Value::Null,
+        ];
+        let s = ColumnStats::build(&vals, 4);
+        assert_eq!(s.null_count, 2);
+        assert_eq!(s.distinct, 2);
+        assert_eq!(s.row_count, 5);
+    }
+
+    #[test]
+    fn condition_vector_fixed_len() {
+        let cols = vec![
+            (0..100).map(Value::Int).collect::<Vec<_>>(),
+            (0..100).map(|i| Value::Float(i as f64)).collect(),
+        ];
+        let st = TableStats::build(&cols);
+        let v = st.condition_vector(4);
+        assert_eq!(v.len(), 4 * (2 + DEFAULT_BUCKETS));
+        // First column ndv fraction = 1.0 (all distinct).
+        assert!((v[0] - 1.0).abs() < 1e-9);
+        // Padding for absent columns is zero.
+        assert!(v[2 * (2 + DEFAULT_BUCKETS)..].iter().all(|x| *x == 0.0));
+    }
+
+    #[test]
+    fn empty_histogram_is_none() {
+        assert!(Histogram::build(vec![], 8).is_none());
+        assert!(Histogram::build(vec![f64::NAN], 8).is_none());
+    }
+
+    #[test]
+    fn single_value_histogram() {
+        let h = Histogram::build(vec![5.0; 100], 8).unwrap();
+        assert_eq!(h.min, 5.0);
+        assert_eq!(h.max, 5.0);
+        assert_eq!(h.cdf(5.0), 1.0);
+        assert_eq!(h.cdf(4.9), 0.0);
+    }
+}

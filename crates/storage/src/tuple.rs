@@ -1,0 +1,215 @@
+//! Tuple representation and the row codec.
+//!
+//! Tuples are encoded into the slotted page as:
+//! `[null bitmap][per-column payload]` where the bitmap has one bit per
+//! column (1 = NULL) and each non-null payload is encoded according to the
+//! column's declared [`DataType`]. Text is length-prefixed with a u32.
+
+use crate::error::{StorageError, StorageResult};
+use crate::value::{DataType, Value};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// A row: one `Value` per column, in schema order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tuple {
+    pub values: Vec<Value>,
+}
+
+impl Tuple {
+    pub fn new(values: Vec<Value>) -> Self {
+        Tuple { values }
+    }
+
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    pub fn get(&self, idx: usize) -> &Value {
+        &self.values[idx]
+    }
+
+    /// Encode this tuple against column types `types`.
+    pub fn encode(&self, types: &[DataType]) -> StorageResult<Bytes> {
+        if self.values.len() != types.len() {
+            return Err(StorageError::Codec(format!(
+                "tuple arity {} != schema arity {}",
+                self.values.len(),
+                types.len()
+            )));
+        }
+        let mut buf = BytesMut::with_capacity(16 + self.values.len() * 8);
+        let bitmap_len = self.values.len().div_ceil(8);
+        let mut bitmap = vec![0u8; bitmap_len];
+        for (i, v) in self.values.iter().enumerate() {
+            if v.is_null() {
+                bitmap[i / 8] |= 1 << (i % 8);
+            }
+        }
+        buf.put_slice(&bitmap);
+        for (v, ty) in self.values.iter().zip(types.iter()) {
+            if v.is_null() {
+                continue;
+            }
+            if !v.compatible_with(*ty) {
+                return Err(StorageError::Codec(format!(
+                    "value {v} incompatible with column type {ty}"
+                )));
+            }
+            match ty {
+                DataType::Bool => buf.put_u8(v.as_bool().unwrap() as u8),
+                DataType::Int => buf.put_i64_le(v.as_i64().unwrap()),
+                DataType::Float => buf.put_f64_le(v.as_f64().unwrap()),
+                DataType::Text => {
+                    let s = v.as_str().ok_or_else(|| {
+                        StorageError::Codec("expected text value".to_string())
+                    })?;
+                    buf.put_u32_le(s.len() as u32);
+                    buf.put_slice(s.as_bytes());
+                }
+            }
+        }
+        Ok(buf.freeze())
+    }
+
+    /// Decode a tuple previously produced by [`Tuple::encode`] with the same
+    /// column types.
+    pub fn decode(mut data: &[u8], types: &[DataType]) -> StorageResult<Tuple> {
+        let bitmap_len = types.len().div_ceil(8);
+        if data.len() < bitmap_len {
+            return Err(StorageError::Codec("short buffer: missing null bitmap".into()));
+        }
+        let bitmap = data[..bitmap_len].to_vec();
+        data.advance(bitmap_len);
+        let mut values = Vec::with_capacity(types.len());
+        for (i, ty) in types.iter().enumerate() {
+            let is_null = bitmap[i / 8] & (1 << (i % 8)) != 0;
+            if is_null {
+                values.push(Value::Null);
+                continue;
+            }
+            let v = match ty {
+                DataType::Bool => {
+                    ensure_len(data, 1)?;
+                    Value::Bool(data.get_u8() != 0)
+                }
+                DataType::Int => {
+                    ensure_len(data, 8)?;
+                    Value::Int(data.get_i64_le())
+                }
+                DataType::Float => {
+                    ensure_len(data, 8)?;
+                    Value::Float(data.get_f64_le())
+                }
+                DataType::Text => {
+                    ensure_len(data, 4)?;
+                    let len = data.get_u32_le() as usize;
+                    ensure_len(data, len)?;
+                    let s = std::str::from_utf8(&data[..len])
+                        .map_err(|e| StorageError::Codec(format!("invalid utf8: {e}")))?
+                        .to_string();
+                    data.advance(len);
+                    Value::Text(s)
+                }
+            };
+            values.push(v);
+        }
+        Ok(Tuple { values })
+    }
+}
+
+fn ensure_len(data: &[u8], need: usize) -> StorageResult<()> {
+    if data.len() < need {
+        Err(StorageError::Codec(format!(
+            "short buffer: need {need} bytes, have {}",
+            data.len()
+        )))
+    } else {
+        Ok(())
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(values: Vec<Value>) -> Self {
+        Tuple { values }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn types() -> Vec<DataType> {
+        vec![DataType::Int, DataType::Float, DataType::Text, DataType::Bool]
+    }
+
+    #[test]
+    fn roundtrip_basic() {
+        let t = Tuple::new(vec![
+            Value::Int(42),
+            Value::Float(3.5),
+            Value::Text("hello".into()),
+            Value::Bool(true),
+        ]);
+        let enc = t.encode(&types()).unwrap();
+        let dec = Tuple::decode(&enc, &types()).unwrap();
+        assert_eq!(t, dec);
+    }
+
+    #[test]
+    fn roundtrip_with_nulls() {
+        let t = Tuple::new(vec![
+            Value::Null,
+            Value::Float(-0.0),
+            Value::Null,
+            Value::Bool(false),
+        ]);
+        let enc = t.encode(&types()).unwrap();
+        let dec = Tuple::decode(&enc, &types()).unwrap();
+        assert!(dec.get(0).is_null());
+        assert!(dec.get(2).is_null());
+        assert_eq!(dec.get(3), &Value::Bool(false));
+    }
+
+    #[test]
+    fn int_widens_to_float_column() {
+        let t = Tuple::new(vec![Value::Int(7)]);
+        let enc = t.encode(&[DataType::Float]).unwrap();
+        let dec = Tuple::decode(&enc, &[DataType::Float]).unwrap();
+        assert_eq!(dec.get(0), &Value::Float(7.0));
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let t = Tuple::new(vec![Value::Int(1)]);
+        assert!(t.encode(&types()).is_err());
+    }
+
+    #[test]
+    fn type_mismatch_rejected() {
+        let t = Tuple::new(vec![Value::Text("x".into())]);
+        assert!(t.encode(&[DataType::Int]).is_err());
+    }
+
+    #[test]
+    fn truncated_buffer_rejected() {
+        let t = Tuple::new(vec![Value::Int(42)]);
+        let enc = t.encode(&[DataType::Int]).unwrap();
+        assert!(Tuple::decode(&enc[..enc.len() - 1], &[DataType::Int]).is_err());
+    }
+
+    #[test]
+    fn empty_text_roundtrip() {
+        let t = Tuple::new(vec![Value::Text(String::new())]);
+        let enc = t.encode(&[DataType::Text]).unwrap();
+        let dec = Tuple::decode(&enc, &[DataType::Text]).unwrap();
+        assert_eq!(dec.get(0).as_str(), Some(""));
+    }
+
+    #[test]
+    fn unicode_text_roundtrip() {
+        let t = Tuple::new(vec![Value::Text("数据库 🦀".into())]);
+        let enc = t.encode(&[DataType::Text]).unwrap();
+        let dec = Tuple::decode(&enc, &[DataType::Text]).unwrap();
+        assert_eq!(dec.get(0).as_str(), Some("数据库 🦀"));
+    }
+}

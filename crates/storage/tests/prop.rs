@@ -1,0 +1,143 @@
+//! Property-based tests for the storage substrate.
+
+use neurdb_storage::{
+    BTreeIndex, DataType, Histogram, Page, RecordId, Tuple, Value,
+};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        // Finite floats only; NaN breaks equality round-trips by design.
+        (-1e15f64..1e15).prop_map(Value::Float),
+        "[a-zA-Z0-9 _-]{0,24}".prop_map(Value::Text),
+    ]
+}
+
+fn type_of(v: &Value) -> DataType {
+    match v {
+        Value::Null => DataType::Int, // arbitrary; nulls fit any column
+        Value::Bool(_) => DataType::Bool,
+        Value::Int(_) => DataType::Int,
+        Value::Float(_) => DataType::Float,
+        Value::Text(_) => DataType::Text,
+    }
+}
+
+proptest! {
+    /// Tuple encode/decode is the identity for schema-compatible rows.
+    #[test]
+    fn tuple_codec_roundtrip(values in prop::collection::vec(arb_value(), 1..12)) {
+        let types: Vec<DataType> = values.iter().map(type_of).collect();
+        let t = Tuple::new(values);
+        let enc = t.encode(&types).unwrap();
+        let dec = Tuple::decode(&enc, &types).unwrap();
+        prop_assert_eq!(t, dec);
+    }
+
+    /// A page's live tuples survive arbitrary insert/delete interleavings.
+    #[test]
+    fn page_tracks_live_set(ops in prop::collection::vec((any::<bool>(), 1usize..64), 1..120)) {
+        let mut page = Page::new();
+        let mut live: Vec<(u16, Vec<u8>)> = Vec::new();
+        for (i, (insert, size)) in ops.into_iter().enumerate() {
+            if insert || live.is_empty() {
+                let payload = vec![(i % 251) as u8; size];
+                if let Ok(slot) = page.insert(&payload) {
+                    live.retain(|(s, _)| *s != slot);
+                    live.push((slot, payload));
+                }
+            } else {
+                let (slot, _) = live.remove(i % live.len());
+                page.delete(slot).unwrap();
+            }
+        }
+        prop_assert_eq!(page.live_count(), live.len());
+        for (slot, payload) in &live {
+            prop_assert_eq!(page.get(*slot).unwrap(), &payload[..]);
+        }
+    }
+
+    /// The B-tree behaves exactly like a sorted map of posting lists.
+    #[test]
+    fn btree_matches_btreemap(
+        keys in prop::collection::vec(-500i64..500, 1..400),
+        removals in prop::collection::vec(any::<prop::sample::Index>(), 0..50),
+    ) {
+        let mut tree = BTreeIndex::with_order(8);
+        let mut model: BTreeMap<i64, Vec<RecordId>> = BTreeMap::new();
+        for (i, k) in keys.iter().enumerate() {
+            let rid = RecordId::new(i as u64, 0);
+            tree.insert(Value::Int(*k), rid);
+            model.entry(*k).or_default().push(rid);
+        }
+        for idx in removals {
+            let i = idx.index(keys.len());
+            let k = keys[i];
+            let rid = RecordId::new(i as u64, 0);
+            let in_model = model.get_mut(&k).map(|v| {
+                if let Some(pos) = v.iter().position(|r| *r == rid) {
+                    v.remove(pos);
+                    true
+                } else {
+                    false
+                }
+            }).unwrap_or(false);
+            if in_model && model[&k].is_empty() {
+                model.remove(&k);
+            }
+            prop_assert_eq!(tree.remove(&Value::Int(k), rid), in_model);
+        }
+        // Point lookups agree.
+        for k in -500i64..500 {
+            let mut got = tree.get(&Value::Int(k));
+            got.sort();
+            let mut want = model.get(&k).cloned().unwrap_or_default();
+            want.sort();
+            prop_assert_eq!(got, want);
+        }
+        // Full scan is key-ordered and complete.
+        let scan = tree.range(None, None);
+        let total: usize = model.values().map(|v| v.len()).sum();
+        prop_assert_eq!(scan.len(), total);
+        for w in scan.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0);
+        }
+    }
+
+    /// Histogram CDF is monotone and hits 0/1 at the extremes.
+    #[test]
+    fn histogram_cdf_monotone(samples in prop::collection::vec(-1e6f64..1e6, 2..500)) {
+        let h = Histogram::build(samples.clone(), 8).unwrap();
+        prop_assert_eq!(h.cdf(h.min - 1.0), 0.0);
+        prop_assert_eq!(h.cdf(h.max + 1.0), 1.0);
+        let mut prev = 0.0;
+        for i in 0..=50 {
+            let x = h.min + (h.max - h.min) * i as f64 / 50.0;
+            let c = h.cdf(x);
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&c));
+            prop_assert!(c + 1e-9 >= prev, "CDF decreased at {x}: {c} < {prev}");
+            prev = c;
+        }
+    }
+
+    /// Value total order: antisymmetric & transitive over random triples.
+    #[test]
+    fn value_order_is_total(a in arb_value(), b in arb_value(), c in arb_value()) {
+        use std::cmp::Ordering::*;
+        // Antisymmetry.
+        match a.total_cmp(&b) {
+            Less => prop_assert_eq!(b.total_cmp(&a), Greater),
+            Greater => prop_assert_eq!(b.total_cmp(&a), Less),
+            Equal => prop_assert_eq!(b.total_cmp(&a), Equal),
+        }
+        // Transitivity (only the <= chain needs checking for a total order
+        // validated pairwise).
+        if a.total_cmp(&b) != Greater && b.total_cmp(&c) != Greater {
+            prop_assert!(a.total_cmp(&c) != Greater);
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Contention monitoring: the engine-side half of the paper's performance
+//! monitor. Tracks per-key access/abort rates with exponential decay and
+//! global throughput/abort counters. The learned CC reads [`KeyContention`]
+//! snapshots from here; the drift monitor reads the global counters.
+
+use crate::policy::KeyContention;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+const SHARDS: usize = 64;
+/// Decay half-life in units of "global operations".
+const HALF_LIFE_OPS: f64 = 10_000.0;
+
+#[derive(Debug, Default, Clone, Copy)]
+struct KeyCounters {
+    reads: f32,
+    writes: f32,
+    aborts: f32,
+    last_tick: u64,
+}
+
+impl KeyCounters {
+    fn decay_to(&mut self, now: u64) {
+        let dt = now.saturating_sub(self.last_tick) as f64;
+        if dt > 0.0 {
+            let f = (0.5f64).powf(dt / HALF_LIFE_OPS) as f32;
+            self.reads *= f;
+            self.writes *= f;
+            self.aborts *= f;
+            self.last_tick = now;
+        }
+    }
+}
+
+/// Sharded contention tracker.
+pub struct ContentionTracker {
+    shards: Vec<RwLock<HashMap<u64, KeyCounters>>>,
+    op_clock: AtomicU64,
+    commits: AtomicU64,
+    aborts: AtomicU64,
+    started: Instant,
+}
+
+impl Default for ContentionTracker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ContentionTracker {
+    pub fn new() -> Self {
+        ContentionTracker {
+            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            op_clock: AtomicU64::new(0),
+            commits: AtomicU64::new(0),
+            aborts: AtomicU64::new(0),
+            started: Instant::now(),
+        }
+    }
+
+    fn shard(&self, key: u64) -> &RwLock<HashMap<u64, KeyCounters>> {
+        &self.shards[(key as usize) % SHARDS]
+    }
+
+    fn tick(&self) -> u64 {
+        self.op_clock.fetch_add(1, Ordering::Relaxed)
+    }
+
+    pub fn record_read(&self, key: u64) {
+        let now = self.tick();
+        let mut m = self.shard(key).write();
+        let c = m.entry(key).or_default();
+        c.decay_to(now);
+        c.reads += 1.0;
+    }
+
+    pub fn record_write(&self, key: u64) {
+        let now = self.tick();
+        let mut m = self.shard(key).write();
+        let c = m.entry(key).or_default();
+        c.decay_to(now);
+        c.writes += 1.0;
+    }
+
+    pub fn record_abort(&self, conflict_keys: &[u64]) {
+        self.aborts.fetch_add(1, Ordering::Relaxed);
+        let now = self.op_clock.load(Ordering::Relaxed);
+        for key in conflict_keys {
+            let mut m = self.shard(*key).write();
+            let c = m.entry(*key).or_default();
+            c.decay_to(now);
+            c.aborts += 1.0;
+        }
+    }
+
+    pub fn record_commit(&self) {
+        self.commits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot the contention state of a key (decayed to "now").
+    pub fn contention(&self, key: u64, write_locked: bool) -> KeyContention {
+        let now = self.op_clock.load(Ordering::Relaxed);
+        let m = self.shard(key).read();
+        match m.get(&key) {
+            Some(c) => {
+                let mut c = *c;
+                c.decay_to(now);
+                KeyContention {
+                    recent_reads: c.reads,
+                    recent_writes: c.writes,
+                    recent_aborts: c.aborts,
+                    write_locked,
+                }
+            }
+            None => KeyContention {
+                write_locked,
+                ..Default::default()
+            },
+        }
+    }
+
+    pub fn commits(&self) -> u64 {
+        self.commits.load(Ordering::Relaxed)
+    }
+
+    pub fn aborts(&self) -> u64 {
+        self.aborts.load(Ordering::Relaxed)
+    }
+
+    /// Abort ratio since start (0 when nothing has finished).
+    pub fn abort_ratio(&self) -> f64 {
+        let c = self.commits() as f64;
+        let a = self.aborts() as f64;
+        if c + a == 0.0 {
+            0.0
+        } else {
+            a / (c + a)
+        }
+    }
+
+    /// Committed transactions per second since construction.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.started.elapsed().as_secs_f64().max(1e-9);
+        self.commits() as f64 / secs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_accumulate() {
+        let t = ContentionTracker::new();
+        for _ in 0..10 {
+            t.record_read(5);
+        }
+        t.record_write(5);
+        let c = t.contention(5, false);
+        assert!(c.recent_reads > 9.0);
+        assert!(c.recent_writes > 0.9);
+        assert_eq!(t.contention(6, false).recent_reads, 0.0);
+    }
+
+    #[test]
+    fn decay_reduces_old_counts() {
+        let t = ContentionTracker::new();
+        for _ in 0..100 {
+            t.record_write(1);
+        }
+        let before = t.contention(1, false).recent_writes;
+        // Advance the op clock far past the half-life by touching another key.
+        for _ in 0..40_000 {
+            t.record_read(2);
+        }
+        let after = t.contention(1, false).recent_writes;
+        assert!(after < before / 2.0, "{after} !< {before}/2");
+    }
+
+    #[test]
+    fn abort_ratio() {
+        let t = ContentionTracker::new();
+        t.record_commit();
+        t.record_commit();
+        t.record_commit();
+        t.record_abort(&[1]);
+        assert!((t.abort_ratio() - 0.25).abs() < 1e-9);
+        assert!(t.contention(1, false).recent_aborts > 0.0);
+    }
+}

@@ -1,0 +1,214 @@
+//! The concurrency-control policy abstraction.
+//!
+//! The paper's learned concurrency control (Section 4.2) chooses, per
+//! operation, a CC *action* based on the current contention state. This
+//! module defines that action vocabulary and the context handed to a
+//! policy; classic algorithms (2PL, OCC, SSI) and the learned policy all
+//! implement [`CcPolicy`], so the transaction engine is policy-agnostic.
+
+use std::fmt;
+
+/// How a read should be performed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadMode {
+    /// Acquire a shared lock, read the latest committed version.
+    LockShared,
+    /// Read the snapshot as of the transaction's begin timestamp without
+    /// locking (optimistic; may require validation at commit).
+    Snapshot,
+}
+
+/// How a write should be performed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteMode {
+    /// Acquire an exclusive lock immediately (pessimistic).
+    LockExclusive,
+    /// Buffer the write locally; locks are taken at commit (optimistic).
+    Buffer,
+}
+
+/// Decision for a read operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadDecision {
+    Proceed(ReadMode),
+    /// Abort immediately (e.g. the key is so contended the transaction is
+    /// doomed; aborting now avoids wasted work — paper's example).
+    Abort,
+}
+
+/// Decision for a write operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteDecision {
+    Proceed(WriteMode),
+    Abort,
+}
+
+/// Contention snapshot for one key, maintained by the engine's performance
+/// monitor. This is the core of the learned CC's *contention state*
+/// encoding: conflict information (recent readers/writers/aborts) plus
+/// contextual information.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct KeyContention {
+    /// Exponentially-decayed recent read count.
+    pub recent_reads: f32,
+    /// Exponentially-decayed recent write count.
+    pub recent_writes: f32,
+    /// Exponentially-decayed aborts attributed to this key.
+    pub recent_aborts: f32,
+    /// Whether the key is currently write-locked by another transaction.
+    pub write_locked: bool,
+}
+
+impl KeyContention {
+    /// A scalar hotness score in roughly `[0, ∞)`.
+    pub fn hotness(&self) -> f32 {
+        self.recent_writes * 2.0 + self.recent_aborts * 4.0 + self.recent_reads * 0.25
+    }
+}
+
+/// Per-operation context given to the policy.
+#[derive(Debug, Clone, Copy)]
+pub struct OpCtx {
+    pub key: u64,
+    /// Number of operations the transaction has already executed.
+    pub ops_done: usize,
+    /// Expected total length of the transaction (paper: "Txn Length").
+    pub txn_len_hint: usize,
+    /// Workload-assigned transaction type (e.g. TPC-C NewOrder vs Payment).
+    /// Polyjuice-style policies key on this; the learned policy does not
+    /// (it generalizes via the contention state instead).
+    pub txn_type: u8,
+    /// Contention state of the key being touched.
+    pub contention: KeyContention,
+}
+
+/// A pluggable concurrency-control policy.
+pub trait CcPolicy: Send + Sync {
+    /// Choose how to perform a read.
+    fn read_decision(&self, ctx: &OpCtx) -> ReadDecision;
+
+    /// Choose how to perform a write.
+    fn write_decision(&self, ctx: &OpCtx) -> WriteDecision;
+
+    /// Whether buffered/snapshot reads must be validated at commit
+    /// (true for OCC-style execution).
+    fn validate_reads(&self) -> bool;
+
+    /// Whether snapshot-isolation first-committer-wins and SSI
+    /// rw-antidependency tracking are in force (PostgreSQL-style SSI).
+    fn ssi_checks(&self) -> bool;
+
+    /// Human-readable policy name for reports.
+    fn name(&self) -> &str;
+}
+
+impl fmt::Debug for dyn CcPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CcPolicy({})", self.name())
+    }
+}
+
+/// Strict two-phase locking: shared/exclusive locks on every access.
+pub struct TwoPhaseLocking;
+
+impl CcPolicy for TwoPhaseLocking {
+    fn read_decision(&self, _ctx: &OpCtx) -> ReadDecision {
+        ReadDecision::Proceed(ReadMode::LockShared)
+    }
+    fn write_decision(&self, _ctx: &OpCtx) -> WriteDecision {
+        WriteDecision::Proceed(WriteMode::LockExclusive)
+    }
+    fn validate_reads(&self) -> bool {
+        false
+    }
+    fn ssi_checks(&self) -> bool {
+        false
+    }
+    fn name(&self) -> &str {
+        "2pl"
+    }
+}
+
+/// Optimistic concurrency control: lock-free reads recorded in the read
+/// set, buffered writes, backward validation at commit.
+pub struct Occ;
+
+impl CcPolicy for Occ {
+    fn read_decision(&self, _ctx: &OpCtx) -> ReadDecision {
+        ReadDecision::Proceed(ReadMode::Snapshot)
+    }
+    fn write_decision(&self, _ctx: &OpCtx) -> WriteDecision {
+        WriteDecision::Proceed(WriteMode::Buffer)
+    }
+    fn validate_reads(&self) -> bool {
+        true
+    }
+    fn ssi_checks(&self) -> bool {
+        false
+    }
+    fn name(&self) -> &str {
+        "occ"
+    }
+}
+
+/// Serializable snapshot isolation, as in PostgreSQL (Ports & Grittner,
+/// VLDB'12): snapshot reads, buffered writes, first-committer-wins plus
+/// rw-antidependency ("dangerous structure") detection.
+pub struct Ssi;
+
+impl CcPolicy for Ssi {
+    fn read_decision(&self, _ctx: &OpCtx) -> ReadDecision {
+        ReadDecision::Proceed(ReadMode::Snapshot)
+    }
+    fn write_decision(&self, _ctx: &OpCtx) -> WriteDecision {
+        WriteDecision::Proceed(WriteMode::Buffer)
+    }
+    fn validate_reads(&self) -> bool {
+        false // snapshot reads need no per-version validation...
+    }
+    fn ssi_checks(&self) -> bool {
+        true // ...but SSI tracks rw-antidependencies instead.
+    }
+    fn name(&self) -> &str {
+        "ssi"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_policies_are_static() {
+        let ctx = OpCtx {
+            key: 1,
+            ops_done: 0,
+            txn_len_hint: 10,
+            txn_type: 0,
+            contention: KeyContention::default(),
+        };
+        assert_eq!(
+            TwoPhaseLocking.read_decision(&ctx),
+            ReadDecision::Proceed(ReadMode::LockShared)
+        );
+        assert_eq!(
+            Occ.write_decision(&ctx),
+            WriteDecision::Proceed(WriteMode::Buffer)
+        );
+        assert!(Occ.validate_reads());
+        assert!(!Ssi.validate_reads());
+        assert!(Ssi.ssi_checks());
+    }
+
+    #[test]
+    fn hotness_orders_keys() {
+        let cold = KeyContention::default();
+        let hot = KeyContention {
+            recent_reads: 5.0,
+            recent_writes: 10.0,
+            recent_aborts: 3.0,
+            write_locked: true,
+        };
+        assert!(hot.hotness() > cold.hotness());
+    }
+}

@@ -1,0 +1,187 @@
+//! Transaction workload specs and a multi-threaded runner.
+//!
+//! Workload generators (YCSB, TPC-C-lite in `neurdb-workloads`) produce
+//! [`TxnSpec`]s; [`run_workload`] drives an engine with worker threads and
+//! reports throughput/abort statistics — the measurement harness behind the
+//! paper's Fig. 7(a) and 7(b).
+
+use crate::engine::{TxnEngine, TxnError};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One operation of a transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    Read(u64),
+    /// Write `key = value`; `value` is typically derived from reads, but
+    /// the concurrency behaviour only depends on the key.
+    Write(u64, u64),
+    /// Read-modify-write: read the key and write `old + delta` (exercises
+    /// read-your-writes and real conflict semantics).
+    Rmw(u64, u64),
+}
+
+/// A transaction to execute.
+#[derive(Debug, Clone)]
+pub struct TxnSpec {
+    pub txn_type: u8,
+    pub ops: Vec<Op>,
+}
+
+impl TxnSpec {
+    pub fn new(txn_type: u8, ops: Vec<Op>) -> Self {
+        TxnSpec { txn_type, ops }
+    }
+}
+
+/// Execute one spec against the engine (no retry). Returns Ok(()) on
+/// commit.
+pub fn execute_spec(engine: &TxnEngine, spec: &TxnSpec) -> Result<(), TxnError> {
+    let mut txn = engine.begin_with_type(spec.ops.len(), spec.txn_type);
+    for op in &spec.ops {
+        match op {
+            Op::Read(k) => {
+                engine.read(&mut txn, *k)?;
+            }
+            Op::Write(k, v) => {
+                engine.write(&mut txn, *k, *v)?;
+            }
+            Op::Rmw(k, delta) => {
+                let v = engine.read(&mut txn, *k)?;
+                engine.write(&mut txn, *k, v.wrapping_add(*delta))?;
+            }
+        }
+    }
+    engine.commit(txn).map(|_| ())
+}
+
+/// Result of a workload run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WorkloadStats {
+    pub commits: u64,
+    pub aborts: u64,
+    pub seconds: f64,
+}
+
+impl WorkloadStats {
+    pub fn throughput(&self) -> f64 {
+        self.commits as f64 / self.seconds.max(1e-9)
+    }
+
+    pub fn abort_ratio(&self) -> f64 {
+        let total = self.commits + self.aborts;
+        if total == 0 {
+            0.0
+        } else {
+            self.aborts as f64 / total as f64
+        }
+    }
+}
+
+/// Drive the engine with `threads` workers for `duration`. Each worker
+/// repeatedly asks `next_txn(thread_id, seq)` for a spec and executes it;
+/// aborted transactions are counted and *not* retried (the generator
+/// decides whether to regenerate or move on, matching YCSB-style drivers).
+pub fn run_workload<F>(
+    engine: &Arc<TxnEngine>,
+    threads: usize,
+    duration: Duration,
+    next_txn: F,
+) -> WorkloadStats
+where
+    F: Fn(usize, u64) -> TxnSpec + Send + Sync + 'static,
+{
+    let next_txn = Arc::new(next_txn);
+    let stop = Arc::new(AtomicBool::new(false));
+    let commits = Arc::new(AtomicU64::new(0));
+    let aborts = Arc::new(AtomicU64::new(0));
+    let start = Instant::now();
+    let handles: Vec<_> = (0..threads)
+        .map(|tid| {
+            let engine = engine.clone();
+            let next_txn = next_txn.clone();
+            let stop = stop.clone();
+            let commits = commits.clone();
+            let aborts = aborts.clone();
+            std::thread::spawn(move || {
+                let mut seq = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let spec = next_txn(tid, seq);
+                    seq += 1;
+                    match execute_spec(&engine, &spec) {
+                        Ok(()) => {
+                            commits.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(_) => {
+                            aborts.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    std::thread::sleep(duration);
+    stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        h.join().expect("worker panicked");
+    }
+    WorkloadStats {
+        commits: commits.load(Ordering::Relaxed),
+        aborts: aborts.load(Ordering::Relaxed),
+        seconds: start.elapsed().as_secs_f64(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use crate::policy::{Ssi, TwoPhaseLocking};
+
+    fn engine_with_keys(policy: Arc<dyn crate::policy::CcPolicy>, n: u64) -> Arc<TxnEngine> {
+        let e = Arc::new(TxnEngine::new(policy, EngineConfig::default()));
+        for k in 0..n {
+            e.load(k, 0);
+        }
+        e
+    }
+
+    #[test]
+    fn execute_spec_rmw() {
+        let e = engine_with_keys(Arc::new(TwoPhaseLocking), 4);
+        let spec = TxnSpec::new(0, vec![Op::Rmw(1, 5), Op::Rmw(1, 5)]);
+        execute_spec(&e, &spec).unwrap();
+        assert_eq!(e.peek(1), Some(10));
+    }
+
+    #[test]
+    fn run_workload_produces_commits() {
+        let e = engine_with_keys(Arc::new(Ssi), 1000);
+        let stats = run_workload(&e, 4, Duration::from_millis(100), |tid, seq| {
+            let base = (tid as u64 * 7919 + seq * 13) % 1000;
+            TxnSpec::new(
+                0,
+                vec![
+                    Op::Read(base),
+                    Op::Read((base + 1) % 1000),
+                    Op::Write((base + 2) % 1000, seq),
+                ],
+            )
+        });
+        assert!(stats.commits > 100, "got {} commits", stats.commits);
+        assert!(stats.throughput() > 0.0);
+        assert!(stats.abort_ratio() < 0.5);
+    }
+
+    #[test]
+    fn stats_math() {
+        let s = WorkloadStats {
+            commits: 80,
+            aborts: 20,
+            seconds: 2.0,
+        };
+        assert_eq!(s.throughput(), 40.0);
+        assert!((s.abort_ratio() - 0.2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,144 @@
+//! Property-based tests for the transaction engine: serializability
+//! invariants over randomized concurrent histories, under every policy.
+
+use neurdb_txn::{
+    execute_spec, CcPolicy, EngineConfig, Occ, Op, Ssi, TwoPhaseLocking, TxnEngine, TxnSpec,
+};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Run `threads` workers executing increment transactions drawn from a
+/// randomized op list; return (engine, committed increments per key).
+fn run_increments(
+    policy: Arc<dyn CcPolicy>,
+    specs: Vec<Vec<u64>>, // per spec: keys to increment
+    threads: usize,
+    keys: u64,
+) -> (Arc<TxnEngine>, Vec<u64>) {
+    let engine = Arc::new(TxnEngine::new(policy, EngineConfig::default()));
+    for k in 0..keys {
+        engine.load(k, 0);
+    }
+    let specs = Arc::new(specs);
+    let committed = Arc::new(parking_lot::Mutex::new(vec![0u64; keys as usize]));
+    let handles: Vec<_> = (0..threads)
+        .map(|tid| {
+            let engine = engine.clone();
+            let specs = specs.clone();
+            let committed = committed.clone();
+            std::thread::spawn(move || {
+                for (i, spec_keys) in specs.iter().enumerate() {
+                    if i % threads != tid {
+                        continue;
+                    }
+                    let spec = TxnSpec::new(
+                        0,
+                        spec_keys.iter().map(|k| Op::Rmw(*k, 1)).collect(),
+                    );
+                    if execute_spec(&engine, &spec).is_ok() {
+                        let mut c = committed.lock();
+                        for k in spec_keys {
+                            c[*k as usize] += 1;
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let counts = committed.lock().clone();
+    (engine, counts)
+}
+
+fn arb_specs(keys: u64) -> impl Strategy<Value = Vec<Vec<u64>>> {
+    prop::collection::vec(
+        prop::collection::vec(0..keys, 1..4),
+        1..40,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// No lost updates under 2PL: every key's final value equals the
+    /// number of committed increments that touched it.
+    #[test]
+    fn no_lost_updates_2pl(specs in arb_specs(8)) {
+        let (engine, counts) = run_increments(Arc::new(TwoPhaseLocking), specs, 3, 8);
+        for (k, want) in counts.iter().enumerate() {
+            prop_assert_eq!(engine.peek(k as u64), Some(*want));
+        }
+    }
+
+    /// Same invariant under OCC (validation must catch every conflict).
+    #[test]
+    fn no_lost_updates_occ(specs in arb_specs(8)) {
+        let (engine, counts) = run_increments(Arc::new(Occ), specs, 3, 8);
+        for (k, want) in counts.iter().enumerate() {
+            prop_assert_eq!(engine.peek(k as u64), Some(*want));
+        }
+    }
+
+    /// Same invariant under SSI (first-committer-wins + rw-antidependency
+    /// checks must prevent write-write anomalies on RMW workloads).
+    #[test]
+    fn no_lost_updates_ssi(specs in arb_specs(8)) {
+        let (engine, counts) = run_increments(Arc::new(Ssi), specs, 3, 8);
+        for (k, want) in counts.iter().enumerate() {
+            prop_assert_eq!(engine.peek(k as u64), Some(*want));
+        }
+    }
+
+    /// Sequential execution commits everything and the final state is the
+    /// exact op-count, for every policy.
+    #[test]
+    fn sequential_is_exact(specs in arb_specs(6)) {
+        for policy in [
+            Arc::new(TwoPhaseLocking) as Arc<dyn CcPolicy>,
+            Arc::new(Occ),
+            Arc::new(Ssi),
+        ] {
+            let engine = TxnEngine::new(policy, EngineConfig::default());
+            for k in 0..6 {
+                engine.load(k, 0);
+            }
+            let mut want = vec![0u64; 6];
+            for spec_keys in &specs {
+                let spec = TxnSpec::new(
+                    0,
+                    spec_keys.iter().map(|k| Op::Rmw(*k, 1)).collect(),
+                );
+                execute_spec(&engine, &spec).unwrap();
+                for k in spec_keys {
+                    want[*k as usize] += 1;
+                }
+            }
+            for (k, w) in want.iter().enumerate() {
+                prop_assert_eq!(engine.peek(k as u64), Some(*w));
+            }
+        }
+    }
+
+    /// Read-your-own-writes holds for arbitrary write/read interleavings
+    /// within one transaction.
+    #[test]
+    fn read_your_writes(writes in prop::collection::vec((0u64..4, any::<u64>()), 1..10)) {
+        let engine = TxnEngine::new(Arc::new(Ssi), EngineConfig::default());
+        for k in 0..4 {
+            engine.load(k, 999);
+        }
+        let mut txn = engine.begin();
+        let mut last: std::collections::HashMap<u64, u64> = Default::default();
+        for (k, v) in writes {
+            engine.write(&mut txn, k, v).unwrap();
+            last.insert(k, v);
+            prop_assert_eq!(engine.read(&mut txn, k).unwrap(), v);
+        }
+        engine.commit(txn).unwrap();
+        for (k, v) in last {
+            prop_assert_eq!(engine.peek(k), Some(v));
+        }
+    }
+}

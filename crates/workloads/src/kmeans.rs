@@ -1,0 +1,168 @@
+//! k-means clustering. The paper uses k-means to split the Avazu dataset
+//! into five clusters C1..C5 whose alternation simulates data-distribution
+//! drift (Section 5.1.1); this is that tool, built from scratch.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Result of a k-means run.
+#[derive(Debug, Clone)]
+pub struct KMeans {
+    pub centroids: Vec<Vec<f64>>,
+    pub assignments: Vec<usize>,
+    pub inertia: f64,
+    pub iterations: usize,
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b.iter()).map(|(x, y)| (x - y).powi(2)).sum()
+}
+
+/// Lloyd's algorithm with k-means++ seeding.
+pub fn kmeans(points: &[Vec<f64>], k: usize, max_iters: usize, rng: &mut impl Rng) -> KMeans {
+    assert!(k >= 1 && k <= points.len(), "1 <= k <= n");
+    let dim = points[0].len();
+    // k-means++ seeding.
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    centroids.push(points.choose(rng).unwrap().clone());
+    while centroids.len() < k {
+        let dists: Vec<f64> = points
+            .iter()
+            .map(|p| {
+                centroids
+                    .iter()
+                    .map(|c| sq_dist(p, c))
+                    .fold(f64::MAX, f64::min)
+            })
+            .collect();
+        let total: f64 = dists.iter().sum();
+        if total <= 0.0 {
+            centroids.push(points.choose(rng).unwrap().clone());
+            continue;
+        }
+        let mut pick = rng.gen_range(0.0..total);
+        let mut chosen = 0;
+        for (i, d) in dists.iter().enumerate() {
+            if pick < *d {
+                chosen = i;
+                break;
+            }
+            pick -= d;
+        }
+        centroids.push(points[chosen].clone());
+    }
+    // Lloyd iterations.
+    let mut assignments = vec![0usize; points.len()];
+    let mut iterations = 0;
+    for it in 0..max_iters {
+        iterations = it + 1;
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let best = (0..k)
+                .min_by(|&a, &b| sq_dist(p, &centroids[a]).total_cmp(&sq_dist(p, &centroids[b])))
+                .unwrap();
+            if assignments[i] != best {
+                assignments[i] = best;
+                changed = true;
+            }
+        }
+        // Recompute centroids.
+        let mut sums = vec![vec![0.0; dim]; k];
+        let mut counts = vec![0usize; k];
+        for (p, &a) in points.iter().zip(assignments.iter()) {
+            counts[a] += 1;
+            for (s, v) in sums[a].iter_mut().zip(p.iter()) {
+                *s += v;
+            }
+        }
+        for c in 0..k {
+            if counts[c] > 0 {
+                for s in sums[c].iter_mut() {
+                    *s /= counts[c] as f64;
+                }
+                centroids[c] = sums[c].clone();
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let inertia = points
+        .iter()
+        .zip(assignments.iter())
+        .map(|(p, &a)| sq_dist(p, &centroids[a]))
+        .sum();
+    KMeans {
+        centroids,
+        assignments,
+        inertia,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn blobs(rng: &mut impl Rng) -> (Vec<Vec<f64>>, Vec<usize>) {
+        let centers = [[0.0, 0.0], [10.0, 10.0], [-10.0, 10.0]];
+        let mut points = Vec::new();
+        let mut truth = Vec::new();
+        for (ci, c) in centers.iter().enumerate() {
+            for _ in 0..100 {
+                points.push(vec![
+                    c[0] + rng.gen_range(-1.0..1.0),
+                    c[1] + rng.gen_range(-1.0..1.0),
+                ]);
+                truth.push(ci);
+            }
+        }
+        (points, truth)
+    }
+
+    #[test]
+    fn recovers_separated_blobs() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let (points, truth) = blobs(&mut rng);
+        let km = kmeans(&points, 3, 50, &mut rng);
+        // Same-truth points must share a cluster; cross-truth must not.
+        for chunk in truth.chunks(100).enumerate() {
+            let (ci, labels) = chunk;
+            let first = km.assignments[ci * 100];
+            assert!(
+                labels.iter().enumerate().all(|(j, _)| km.assignments[ci * 100 + j] == first),
+                "cluster {ci} split"
+            );
+        }
+        let mut distinct: Vec<usize> = (0..3).map(|c| km.assignments[c * 100]).collect();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert_eq!(distinct.len(), 3);
+    }
+
+    #[test]
+    fn inertia_decreases_with_more_clusters() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let (points, _) = blobs(&mut rng);
+        let k1 = kmeans(&points, 1, 30, &mut rng).inertia;
+        let k3 = kmeans(&points, 3, 30, &mut rng).inertia;
+        assert!(k3 < k1 * 0.2, "k=3 should slash inertia: {k1} -> {k3}");
+    }
+
+    #[test]
+    fn converges_and_terminates_early() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let (points, _) = blobs(&mut rng);
+        let km = kmeans(&points, 3, 1000, &mut rng);
+        assert!(km.iterations < 1000, "should converge before max iters");
+    }
+
+    #[test]
+    fn k_equals_one() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let points = vec![vec![1.0], vec![3.0]];
+        let km = kmeans(&points, 1, 10, &mut rng);
+        assert!((km.centroids[0][0] - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,33 @@
+//! # neurdb-workloads
+//!
+//! Workload and dataset generators for every experiment in the NeurDB
+//! paper's evaluation (Section 5.1.1):
+//!
+//! * [`ycsb`] — the transactional micro-benchmark (5 selects + 5 updates
+//!   per transaction, 1M records, zipfian keys) behind Fig. 7(a);
+//! * [`tpcc`] — TPC-C-lite NewOrder/Payment with warehouse/thread drift
+//!   phases behind Fig. 7(b);
+//! * [`avazu`] — synthetic 22-attribute CTR stream with k-means clusters
+//!   C1..C5 (workload E, Figs. 6(a–c));
+//! * [`diabetes`] — synthetic 43-attribute classification stream
+//!   (workload H, Fig. 6(a));
+//! * [`stats`] — the 8-table / 8-SPJ-query STATS clone with
+//!   Original/Mild/Severe drift behind Fig. 8;
+//! * [`kmeans`] / [`zipf`] — the clustering and skew primitives the above
+//!   are built from.
+
+pub mod avazu;
+pub mod diabetes;
+pub mod kmeans;
+pub mod stats;
+pub mod tpcc;
+pub mod ycsb;
+pub mod zipf;
+
+pub use avazu::{clustered_corpus, AvazuGen, AvazuRow, AVAZU_CLUSTERS, AVAZU_FIELDS};
+pub use diabetes::{DiabetesGen, DiabetesRow, DIABETES_FIELDS};
+pub use kmeans::{kmeans, KMeans};
+pub use stats::{drift_statements, query_graph, stats_queries, DriftLevel, StatsQuery};
+pub use tpcc::{Tpcc, TpccConfig};
+pub use ycsb::{Ycsb, YcsbConfig};
+pub use zipf::Zipf;

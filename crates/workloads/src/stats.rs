@@ -1,0 +1,279 @@
+//! Synthetic STATS: the OLAP benchmark of Fig. 8 — 8 tables from the
+//! Stats Stack Exchange network with 8 SPJ queries, plus the drift
+//! protocol (random inserts/updates/deletes, following ALECE).
+//!
+//! Table cardinalities approximate the real STATS-CEB benchmark; join
+//! selectivities encode the FK structure (users ← posts ← comments /
+//! votes / postHistory / postLinks, users ← badges, posts ← tags).
+
+use neurdb_qo::{JoinEdge, JoinGraph, TableInfo};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Indexes of the 8 STATS tables.
+pub const USERS: usize = 0;
+pub const POSTS: usize = 1;
+pub const COMMENTS: usize = 2;
+pub const BADGES: usize = 3;
+pub const VOTES: usize = 4;
+pub const POST_HISTORY: usize = 5;
+pub const POST_LINKS: usize = 6;
+pub const TAGS: usize = 7;
+
+pub const TABLE_NAMES: [&str; 8] = [
+    "users",
+    "posts",
+    "comments",
+    "badges",
+    "votes",
+    "postHistory",
+    "postLinks",
+    "tags",
+];
+
+/// Approximate real STATS row counts.
+pub const TABLE_ROWS: [f64; 8] = [
+    40_325.0,  // users
+    91_976.0,  // posts
+    174_305.0, // comments
+    79_851.0,  // badges
+    328_064.0, // votes
+    303_187.0, // postHistory
+    11_102.0,  // postLinks
+    1_032.0,   // tags
+];
+
+/// FK edges `(a, b, selectivity)`: |A ⋈ B| = sel·|A|·|B| approximating
+/// key/foreign-key joins (sel ≈ 1/|referenced table|).
+fn fk_edges() -> Vec<(usize, usize, f64)> {
+    vec![
+        (USERS, POSTS, 1.0 / TABLE_ROWS[USERS]),
+        (USERS, BADGES, 1.0 / TABLE_ROWS[USERS]),
+        (USERS, COMMENTS, 1.0 / TABLE_ROWS[USERS]),
+        (POSTS, COMMENTS, 1.0 / TABLE_ROWS[POSTS]),
+        (POSTS, VOTES, 1.0 / TABLE_ROWS[POSTS]),
+        (POSTS, POST_HISTORY, 1.0 / TABLE_ROWS[POSTS]),
+        (POSTS, POST_LINKS, 1.0 / TABLE_ROWS[POSTS]),
+        (POSTS, TAGS, 4.0 / TABLE_ROWS[TAGS]), // posts carry ~4 tags
+    ]
+}
+
+/// Drift levels of the Fig. 8 experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DriftLevel {
+    Original,
+    Mild,
+    Severe,
+}
+
+impl DriftLevel {
+    pub fn severity(self) -> f64 {
+        match self {
+            DriftLevel::Original => 0.0,
+            DriftLevel::Mild => 0.35,
+            DriftLevel::Severe => 1.0,
+        }
+    }
+
+    pub fn label(self) -> &'static str {
+        match self {
+            DriftLevel::Original => "Original STATS",
+            DriftLevel::Mild => "STATS w. Mild Drift",
+            DriftLevel::Severe => "STATS w. Severe Drift",
+        }
+    }
+}
+
+/// The 8 SPJ queries: table subsets with per-table local-predicate
+/// selectivities. Modeled on the STATS-CEB query families.
+pub struct StatsQuery {
+    pub id: usize,
+    pub tables: Vec<usize>,
+    pub selectivities: Vec<f64>,
+    pub sql: String,
+}
+
+/// Build the 8 SPJ query definitions.
+pub fn stats_queries() -> Vec<StatsQuery> {
+    let q = |id: usize, tables: Vec<usize>, selectivities: Vec<f64>| {
+        let names: Vec<&str> = tables.iter().map(|t| TABLE_NAMES[*t]).collect();
+        let mut preds = Vec::new();
+        // Join predicates along the FK chain (informal but parseable SQL).
+        for w in tables.windows(2) {
+            preds.push(format!(
+                "{}.id = {}.ref_id",
+                TABLE_NAMES[w[0]], TABLE_NAMES[w[1]]
+            ));
+        }
+        for (t, s) in tables.iter().zip(selectivities.iter()) {
+            if *s < 1.0 {
+                preds.push(format!("{}.score > {}", TABLE_NAMES[*t], (100.0 * (1.0 - s)) as i64));
+            }
+        }
+        let sql = format!(
+            "SELECT COUNT(*) FROM {} WHERE {}",
+            names.join(", "),
+            preds.join(" AND ")
+        );
+        StatsQuery {
+            id,
+            tables,
+            selectivities,
+            sql,
+        }
+    };
+    vec![
+        q(1, vec![USERS, POSTS], vec![0.5, 0.8]),
+        q(2, vec![USERS, POSTS, COMMENTS], vec![1.0, 0.4, 0.6]),
+        q(3, vec![POSTS, VOTES], vec![0.3, 1.0]),
+        q(4, vec![USERS, BADGES, COMMENTS], vec![0.7, 1.0, 0.2]),
+        q(5, vec![POSTS, COMMENTS, VOTES, POST_HISTORY], vec![0.5, 0.5, 0.9, 0.3]),
+        q(6, vec![USERS, POSTS, POST_LINKS], vec![0.9, 0.6, 1.0]),
+        q(7, vec![POSTS, TAGS, VOTES], vec![0.4, 0.8, 0.5]),
+        q(8, vec![USERS, POSTS, COMMENTS, VOTES, POST_HISTORY], vec![0.8, 0.7, 0.4, 0.6, 0.5]),
+    ]
+}
+
+/// Materialize the join graph of a query at a drift level. Drift is
+/// seeded deterministically per (query, level) so every optimizer sees the
+/// same drifted world — estimates stay stale, as in the paper's protocol
+/// of random inserts/updates/deletes.
+pub fn query_graph(query: &StatsQuery, level: DriftLevel, seed: u64) -> JoinGraph {
+    let edges = fk_edges();
+    let tables: Vec<TableInfo> = query
+        .tables
+        .iter()
+        .zip(query.selectivities.iter())
+        .map(|(&t, &sel)| TableInfo {
+            name: TABLE_NAMES[t].to_string(),
+            est_rows: TABLE_ROWS[t] * sel,
+            true_rows: TABLE_ROWS[t] * sel,
+            est_selectivity: sel,
+        })
+        .collect();
+    // Remap global edges onto the query's local table indexes.
+    let mut joins = Vec::new();
+    for (a, b, sel) in edges {
+        let la = query.tables.iter().position(|t| *t == a);
+        let lb = query.tables.iter().position(|t| *t == b);
+        if let (Some(la), Some(lb)) = (la, lb) {
+            joins.push(JoinEdge {
+                a: la,
+                b: lb,
+                est_sel: sel,
+                true_sel: sel,
+            });
+        }
+    }
+    let g = JoinGraph { tables, joins };
+    if level == DriftLevel::Original {
+        g
+    } else {
+        let mut rng = StdRng::seed_from_u64(seed ^ (query.id as u64) << 8);
+        g.drift(level.severity(), &mut rng)
+    }
+}
+
+/// Random data-modification statements simulating the ALECE-style drift
+/// driver ("we execute inserts/updates/deletes with randomly generated
+/// data values"). Returned as SQL strings runnable against a NeurDB-RS
+/// session holding the STATS schema.
+pub fn drift_statements(n: usize, seed: u64) -> Vec<String> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let t = TABLE_NAMES[rng.gen_range(0..TABLE_NAMES.len())];
+        match rng.gen_range(0..3) {
+            0 => out.push(format!(
+                "INSERT INTO {t} (id, ref_id, score) VALUES ({}, {}, {})",
+                1_000_000 + i,
+                rng.gen_range(0..100_000),
+                rng.gen_range(0..100)
+            )),
+            1 => out.push(format!(
+                "UPDATE {t} SET score = {} WHERE id = {}",
+                rng.gen_range(0..100),
+                rng.gen_range(0..100_000)
+            )),
+            _ => out.push(format!(
+                "DELETE FROM {t} WHERE id = {}",
+                rng.gen_range(0..100_000)
+            )),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neurdb_sql::parse;
+
+    #[test]
+    fn eight_queries_over_eight_tables() {
+        let qs = stats_queries();
+        assert_eq!(qs.len(), 8);
+        let mut used: Vec<usize> = qs.iter().flat_map(|q| q.tables.clone()).collect();
+        used.sort_unstable();
+        used.dedup();
+        assert_eq!(used.len(), 8, "all 8 tables appear somewhere");
+    }
+
+    #[test]
+    fn query_sql_is_parseable() {
+        for q in stats_queries() {
+            parse(&q.sql).unwrap_or_else(|e| panic!("q{} unparseable: {e}\n{}", q.id, q.sql));
+        }
+    }
+
+    #[test]
+    fn graphs_are_connected_spj() {
+        for q in stats_queries() {
+            let g = query_graph(&q, DriftLevel::Original, 1);
+            assert_eq!(g.num_tables(), q.tables.len());
+            assert!(!g.joins.is_empty());
+            // Every table participates in at least one join.
+            for i in 0..g.num_tables() {
+                assert!(
+                    g.joins.iter().any(|e| e.a == i || e.b == i),
+                    "q{} table {i} dangling",
+                    q.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn drift_levels_scale_divergence() {
+        let qs = stats_queries();
+        let q = &qs[7]; // the 5-way join
+        let orig = query_graph(q, DriftLevel::Original, 42);
+        let mild = query_graph(q, DriftLevel::Mild, 42);
+        let severe = query_graph(q, DriftLevel::Severe, 42);
+        let gap = |g: &JoinGraph| -> f64 {
+            g.tables
+                .iter()
+                .map(|t| (t.true_rows / t.est_rows).ln().abs())
+                .sum()
+        };
+        assert_eq!(gap(&orig), 0.0);
+        assert!(gap(&severe) > gap(&mild), "{} !> {}", gap(&severe), gap(&mild));
+    }
+
+    #[test]
+    fn drift_is_deterministic_per_seed() {
+        let qs = stats_queries();
+        let a = query_graph(&qs[0], DriftLevel::Severe, 7);
+        let b = query_graph(&qs[0], DriftLevel::Severe, 7);
+        for (x, y) in a.tables.iter().zip(b.tables.iter()) {
+            assert_eq!(x.true_rows, y.true_rows);
+        }
+    }
+
+    #[test]
+    fn drift_statements_are_parseable() {
+        for s in drift_statements(50, 3) {
+            parse(&s).unwrap_or_else(|e| panic!("{e}: {s}"));
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! TPC-C-lite: the drift workload of Fig. 7(b).
+//!
+//! Two transaction profiles over warehouse-partitioned keys:
+//! * **NewOrder** (type 0): read the district, read ~10 item stocks,
+//!   read-modify-write those stocks, RMW the district next-order counter —
+//!   contended on the per-district counter and hot items;
+//! * **Payment** (type 1): RMW warehouse YTD, RMW district YTD, RMW a
+//!   customer balance — extremely contended on the warehouse row.
+//!
+//! Drift is induced by changing the warehouse count and thread count
+//! between phases (8thr/1wh → 8thr/2wh → 16thr/1wh): contention per
+//! warehouse row changes drastically, which is what the CC policy must
+//! adapt to.
+
+use neurdb_txn::{Op, TxnEngine, TxnSpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Key-space layout per warehouse.
+const DISTRICTS: u64 = 10;
+const CUSTOMERS: u64 = 3000;
+const ITEMS: u64 = 10_000;
+/// Stride between warehouses in the flat key space.
+const WAREHOUSE_STRIDE: u64 = 1_000_000;
+
+/// Key helpers.
+pub fn warehouse_key(w: u64) -> u64 {
+    w * WAREHOUSE_STRIDE
+}
+pub fn district_key(w: u64, d: u64) -> u64 {
+    w * WAREHOUSE_STRIDE + 1 + d
+}
+pub fn customer_key(w: u64, c: u64) -> u64 {
+    w * WAREHOUSE_STRIDE + 100 + c
+}
+pub fn stock_key(w: u64, i: u64) -> u64 {
+    w * WAREHOUSE_STRIDE + 10_000 + i
+}
+
+/// TPC-C-lite configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct TpccConfig {
+    pub warehouses: u64,
+    /// Fraction of NewOrder transactions (rest are Payment).
+    pub neworder_frac: f64,
+    /// Items per NewOrder.
+    pub order_lines: usize,
+}
+
+impl Default for TpccConfig {
+    fn default() -> Self {
+        TpccConfig {
+            warehouses: 1,
+            neworder_frac: 0.5,
+            order_lines: 10,
+        }
+    }
+}
+
+/// The generator.
+#[derive(Debug, Clone)]
+pub struct Tpcc {
+    pub cfg: TpccConfig,
+}
+
+impl Tpcc {
+    pub fn new(cfg: TpccConfig) -> Self {
+        Tpcc { cfg }
+    }
+
+    /// Load all rows for the configured warehouses.
+    pub fn load(&self, engine: &TxnEngine) {
+        for w in 0..self.cfg.warehouses {
+            engine.load(warehouse_key(w), 0);
+            for d in 0..DISTRICTS {
+                engine.load(district_key(w, d), 0);
+            }
+            for c in 0..CUSTOMERS {
+                engine.load(customer_key(w, c), 1000);
+            }
+            for i in 0..ITEMS {
+                engine.load(stock_key(w, i), 100);
+            }
+        }
+    }
+
+    /// Load rows for warehouses `[from, to)` (growing the cluster when a
+    /// drift phase adds warehouses).
+    pub fn load_range(&self, engine: &TxnEngine, from: u64, to: u64) {
+        for w in from..to {
+            engine.load(warehouse_key(w), 0);
+            for d in 0..DISTRICTS {
+                engine.load(district_key(w, d), 0);
+            }
+            for c in 0..CUSTOMERS {
+                engine.load(customer_key(w, c), 1000);
+            }
+            for i in 0..ITEMS {
+                engine.load(stock_key(w, i), 100);
+            }
+        }
+    }
+
+    pub fn neworder(&self, rng: &mut impl Rng) -> TxnSpec {
+        let w = rng.gen_range(0..self.cfg.warehouses);
+        let d = rng.gen_range(0..DISTRICTS);
+        let mut ops = Vec::with_capacity(2 + 2 * self.cfg.order_lines);
+        ops.push(Op::Read(district_key(w, d)));
+        for _ in 0..self.cfg.order_lines {
+            // TPC-C item popularity is skewed; approximate with a quadratic
+            // skew toward low item ids.
+            let u: f64 = rng.gen_range(0.0..1.0);
+            let i = ((u * u) * ITEMS as f64) as u64 % ITEMS;
+            ops.push(Op::Rmw(stock_key(w, i), 1));
+        }
+        ops.push(Op::Rmw(district_key(w, d), 1)); // next order id
+        TxnSpec::new(0, ops)
+    }
+
+    pub fn payment(&self, rng: &mut impl Rng) -> TxnSpec {
+        let w = rng.gen_range(0..self.cfg.warehouses);
+        let d = rng.gen_range(0..DISTRICTS);
+        let c = rng.gen_range(0..CUSTOMERS);
+        TxnSpec::new(
+            1,
+            vec![
+                Op::Rmw(warehouse_key(w), 7),
+                Op::Rmw(district_key(w, d), 7),
+                Op::Rmw(customer_key(w, c), 7),
+            ],
+        )
+    }
+
+    pub fn transaction(&self, rng: &mut impl Rng) -> TxnSpec {
+        if rng.gen_bool(self.cfg.neworder_frac) {
+            self.neworder(rng)
+        } else {
+            self.payment(rng)
+        }
+    }
+
+    /// Deterministic per-(thread, seq) transaction.
+    pub fn transaction_for(&self, thread: usize, seq: u64) -> TxnSpec {
+        let seed = (thread as u64)
+            .wrapping_mul(0xA0761D6478BD642F)
+            .wrapping_add(seq.wrapping_mul(0xE7037ED1A0B428DB));
+        let mut rng = StdRng::seed_from_u64(seed);
+        self.transaction(&mut rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neurdb_txn::{execute_spec, EngineConfig, TwoPhaseLocking, TxnEngine};
+    use std::sync::Arc;
+
+    #[test]
+    fn key_spaces_disjoint() {
+        assert_ne!(warehouse_key(0), district_key(0, 0));
+        assert!(district_key(0, 9) < customer_key(0, 0));
+        assert!(customer_key(0, 2999) < stock_key(0, 0));
+        assert!(stock_key(0, ITEMS - 1) < warehouse_key(1));
+    }
+
+    #[test]
+    fn neworder_touches_district_and_stocks() {
+        let t = Tpcc::new(TpccConfig::default());
+        let mut rng = StdRng::seed_from_u64(1);
+        let spec = t.neworder(&mut rng);
+        assert_eq!(spec.txn_type, 0);
+        assert_eq!(spec.ops.len(), 2 + t.cfg.order_lines);
+        assert!(matches!(spec.ops[0], Op::Read(_)));
+        assert!(matches!(spec.ops.last(), Some(Op::Rmw(_, 1))));
+    }
+
+    #[test]
+    fn payment_is_three_rmws() {
+        let t = Tpcc::new(TpccConfig::default());
+        let mut rng = StdRng::seed_from_u64(2);
+        let spec = t.payment(&mut rng);
+        assert_eq!(spec.txn_type, 1);
+        assert_eq!(spec.ops.len(), 3);
+        assert!(spec.ops.iter().all(|o| matches!(o, Op::Rmw(..))));
+    }
+
+    #[test]
+    fn load_and_execute() {
+        let t = Tpcc::new(TpccConfig {
+            warehouses: 1,
+            ..Default::default()
+        });
+        let e = Arc::new(TxnEngine::new(
+            Arc::new(TwoPhaseLocking),
+            EngineConfig::default(),
+        ));
+        t.load(&e);
+        let spec = t.transaction_for(0, 0);
+        execute_spec(&e, &spec).unwrap();
+        // Warehouse growth for drift phases.
+        t.load_range(&e, 1, 2);
+        assert_eq!(e.peek(warehouse_key(1)), Some(0));
+    }
+
+    #[test]
+    fn mix_respects_fraction() {
+        let t = Tpcc::new(TpccConfig {
+            neworder_frac: 0.5,
+            ..Default::default()
+        });
+        let mut rng = StdRng::seed_from_u64(3);
+        let neworders = (0..1000)
+            .filter(|_| t.transaction(&mut rng).txn_type == 0)
+            .count();
+        assert!((400..600).contains(&neworders), "{neworders}");
+    }
+}

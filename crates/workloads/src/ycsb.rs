@@ -1,0 +1,137 @@
+//! YCSB-style transactional micro-benchmark (paper Section 5.1.1):
+//! "Each transaction performs 5 selects and 5 updates on a table with 1
+//! million records."
+
+use crate::zipf::Zipf;
+use neurdb_txn::{Op, TxnEngine, TxnSpec};
+use rand::Rng;
+
+/// YCSB workload configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct YcsbConfig {
+    pub records: u64,
+    pub reads_per_txn: usize,
+    pub writes_per_txn: usize,
+    /// Zipfian skew (YCSB default 0.99).
+    pub theta: f64,
+}
+
+impl Default for YcsbConfig {
+    fn default() -> Self {
+        YcsbConfig {
+            records: 1_000_000,
+            reads_per_txn: 5,
+            writes_per_txn: 5,
+            theta: 0.99,
+        }
+    }
+}
+
+/// The YCSB generator: thread-safe via per-call RNG.
+#[derive(Debug, Clone)]
+pub struct Ycsb {
+    pub cfg: YcsbConfig,
+    zipf: Zipf,
+}
+
+impl Ycsb {
+    pub fn new(cfg: YcsbConfig) -> Self {
+        Ycsb {
+            zipf: Zipf::new(cfg.records, cfg.theta),
+            cfg,
+        }
+    }
+
+    /// Populate the engine's records.
+    pub fn load(&self, engine: &TxnEngine) {
+        for k in 0..self.cfg.records {
+            engine.load(k, k);
+        }
+    }
+
+    /// Generate one transaction (5 selects + 5 updates by default).
+    pub fn transaction(&self, rng: &mut impl Rng) -> TxnSpec {
+        let mut ops = Vec::with_capacity(self.cfg.reads_per_txn + self.cfg.writes_per_txn);
+        for _ in 0..self.cfg.reads_per_txn {
+            ops.push(Op::Read(self.zipf.sample(rng)));
+        }
+        for _ in 0..self.cfg.writes_per_txn {
+            ops.push(Op::Write(self.zipf.sample(rng), rng.gen()));
+        }
+        TxnSpec::new(0, ops)
+    }
+
+    /// A deterministic per-(thread, seq) transaction, for `run_workload`
+    /// closures that cannot carry a shared RNG.
+    pub fn transaction_for(&self, thread: usize, seq: u64) -> TxnSpec {
+        let seed = (thread as u64)
+            .wrapping_mul(0x9E3779B97F4A7C15)
+            .wrapping_add(seq.wrapping_mul(0xD1B54A32D192ED03));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        self.transaction(&mut rng)
+    }
+}
+
+use rand::SeedableRng;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neurdb_txn::{EngineConfig, TwoPhaseLocking};
+    use std::sync::Arc;
+
+    fn small() -> Ycsb {
+        Ycsb::new(YcsbConfig {
+            records: 1000,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn transaction_shape_matches_paper() {
+        let y = Ycsb::new(YcsbConfig::default());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let t = y.transaction(&mut rng);
+        assert_eq!(t.ops.len(), 10);
+        let reads = t.ops.iter().filter(|o| matches!(o, Op::Read(_))).count();
+        let writes = t.ops.iter().filter(|o| matches!(o, Op::Write(..))).count();
+        assert_eq!((reads, writes), (5, 5));
+    }
+
+    #[test]
+    fn load_and_run() {
+        let y = small();
+        let engine = Arc::new(neurdb_txn::TxnEngine::new(
+            Arc::new(TwoPhaseLocking),
+            EngineConfig::default(),
+        ));
+        y.load(&engine);
+        assert_eq!(engine.peek(999), Some(999));
+        let spec = y.transaction_for(0, 0);
+        neurdb_txn::execute_spec(&engine, &spec).unwrap();
+    }
+
+    #[test]
+    fn deterministic_per_thread_seq() {
+        let y = small();
+        let a = y.transaction_for(3, 17);
+        let b = y.transaction_for(3, 17);
+        assert_eq!(a.ops, b.ops);
+        let c = y.transaction_for(4, 17);
+        assert_ne!(a.ops, c.ops);
+    }
+
+    #[test]
+    fn keys_within_range() {
+        let y = small();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        for _ in 0..100 {
+            for op in y.transaction(&mut rng).ops {
+                let k = match op {
+                    Op::Read(k) | Op::Write(k, _) | Op::Rmw(k, _) => k,
+                };
+                assert!(k < 1000);
+            }
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Zipfian key chooser (the YCSB request distribution).
+//!
+//! Implements the Gray et al. rejection-free inverse-CDF approximation
+//! used by the original YCSB `ZipfianGenerator`.
+
+use rand::Rng;
+
+/// Zipfian distribution over `0..n` with skew `theta` (YCSB default 0.99).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    zeta2: f64,
+}
+
+impl Zipf {
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0);
+        assert!((0.0..1.0).contains(&theta), "theta in [0,1)");
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Zipf {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+            zeta2,
+        }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        // Exact for small n; integral approximation for large n keeps
+        // construction O(1)-ish without materially changing the skew.
+        if n <= 10_000 {
+            (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+        } else {
+            let head: f64 = (1..=10_000u64).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+            let tail = ((n as f64).powf(1.0 - theta) - 10_000f64.powf(1.0 - theta))
+                / (1.0 - theta);
+            head + tail
+        }
+    }
+
+    /// Draw a key in `0..n` (0 is the hottest).
+    pub fn sample(&self, rng: &mut impl Rng) -> u64 {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let v = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        v.min(self.n - 1)
+    }
+
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    #[allow(dead_code)]
+    fn zeta2(&self) -> f64 {
+        self.zeta2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn skew_concentrates_on_small_keys() {
+        let z = Zipf::new(1_000_000, 0.99);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut hot = 0;
+        let total = 20_000;
+        for _ in 0..total {
+            if z.sample(&mut rng) < 1000 {
+                hot += 1;
+            }
+        }
+        // With theta=0.99 the top 0.1% of keys draw a large share.
+        assert!(
+            hot as f64 / total as f64 > 0.3,
+            "hot share {}",
+            hot as f64 / total as f64
+        );
+    }
+
+    #[test]
+    fn samples_in_range() {
+        let z = Zipf::new(100, 0.5);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 100);
+        }
+    }
+
+    #[test]
+    fn zero_theta_is_near_uniform() {
+        let z = Zipf::new(1000, 0.0);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut top_decile = 0;
+        let total = 50_000;
+        for _ in 0..total {
+            if z.sample(&mut rng) < 100 {
+                top_decile += 1;
+            }
+        }
+        let share = top_decile as f64 / total as f64;
+        assert!((share - 0.1).abs() < 0.05, "share {share}");
+    }
+}

@@ -1,0 +1,139 @@
+//! Cross-crate concurrency-control integration: YCSB and TPC-C-lite
+//! workloads driving the transaction engine under every policy, plus the
+//! learned CC's serializability sanity checks.
+
+use neurdb_cc::{LearnedCc, PolyjuiceCc};
+use neurdb_txn::{
+    execute_spec, run_workload, CcPolicy, EngineConfig, Op, Ssi, TwoPhaseLocking, TxnEngine,
+    TxnSpec,
+};
+use neurdb_workloads::{Tpcc, TpccConfig, Ycsb, YcsbConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn ycsb_small() -> Ycsb {
+    Ycsb::new(YcsbConfig {
+        records: 10_000,
+        ..Default::default()
+    })
+}
+
+fn run_policy(policy: Arc<dyn CcPolicy>, threads: usize) -> f64 {
+    let y = ycsb_small();
+    let engine = Arc::new(TxnEngine::new(policy, EngineConfig::default()));
+    y.load(&engine);
+    let y = Arc::new(y);
+    let stats = run_workload(&engine, threads, Duration::from_millis(150), move |tid, seq| {
+        y.transaction_for(tid, seq)
+    });
+    assert!(stats.commits > 0, "policy must make progress");
+    stats.throughput()
+}
+
+#[test]
+fn all_policies_sustain_ycsb() {
+    assert!(run_policy(Arc::new(Ssi), 4) > 0.0);
+    assert!(run_policy(Arc::new(TwoPhaseLocking), 4) > 0.0);
+    assert!(run_policy(Arc::new(LearnedCc::seeded()), 4) > 0.0);
+    assert!(run_policy(Arc::new(PolyjuiceCc::default_policy()), 4) > 0.0);
+}
+
+#[test]
+fn learned_cc_preserves_lost_update_safety() {
+    // Concurrent increments on one hot key: the sum must be exact, no
+    // matter what actions the learned policy picks.
+    let policy = Arc::new(LearnedCc::seeded());
+    let engine = Arc::new(TxnEngine::new(policy, EngineConfig::default()));
+    engine.load(1, 0);
+    let threads = 4;
+    let per = 50;
+    let handles: Vec<_> = (0..threads)
+        .map(|_| {
+            let e = engine.clone();
+            std::thread::spawn(move || {
+                let mut done = 0;
+                while done < per {
+                    let spec = TxnSpec::new(0, vec![Op::Rmw(1, 1)]);
+                    if execute_spec(&e, &spec).is_ok() {
+                        done += 1;
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(engine.peek(1), Some((threads * per) as u64));
+}
+
+#[test]
+fn tpcc_phases_execute_under_learned_cc() {
+    let policy = Arc::new(LearnedCc::seeded());
+    let engine = Arc::new(TxnEngine::new(policy, EngineConfig::default()));
+    let tpcc = Tpcc::new(TpccConfig {
+        warehouses: 2,
+        ..Default::default()
+    });
+    tpcc.load(&engine);
+    let t = Arc::new(tpcc);
+    let stats = run_workload(&engine, 4, Duration::from_millis(150), move |tid, seq| {
+        t.transaction_for(tid, seq)
+    });
+    assert!(stats.commits > 50, "commits: {}", stats.commits);
+    assert!(stats.abort_ratio() < 0.9);
+}
+
+#[test]
+fn contention_metrics_feed_policy_features() {
+    let policy = Arc::new(LearnedCc::seeded());
+    let engine = Arc::new(TxnEngine::new(policy, EngineConfig::default()));
+    engine.load(7, 0);
+    for _ in 0..50 {
+        let _ = execute_spec(&engine, &TxnSpec::new(0, vec![Op::Rmw(7, 1)]));
+    }
+    let c = engine.metrics.contention(7, false);
+    assert!(c.recent_writes > 10.0, "hot key must register as write-hot");
+}
+
+#[test]
+fn policy_hot_swap_mid_workload() {
+    // The adaptation loop swaps parameters while workers run; this must
+    // not corrupt data.
+    let policy = Arc::new(LearnedCc::seeded());
+    let engine = Arc::new(TxnEngine::new(policy.clone(), EngineConfig::default()));
+    for k in 0..100 {
+        engine.load(k, 0);
+    }
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let workers: Vec<_> = (0..2)
+        .map(|t| {
+            let e = engine.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                let mut seq = 0u64;
+                let mut commits = 0u64;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let k = (t as u64 * 31 + seq * 7) % 100;
+                    seq += 1;
+                    if execute_spec(&e, &TxnSpec::new(0, vec![Op::Rmw(k, 1)])).is_ok() {
+                        commits += 1;
+                    }
+                }
+                commits
+            })
+        })
+        .collect();
+    // Swap parameters repeatedly.
+    for i in 0..20 {
+        let mut rng = rand::rngs::mock::StepRng::new(i, 1);
+        let _ = &mut rng;
+        policy.set_params(neurdb_cc::seed_params());
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    let total: u64 = workers.into_iter().map(|w| w.join().unwrap()).sum();
+    // Sum of all key values equals total committed increments.
+    let sum: u64 = (0..100).map(|k| engine.peek(k).unwrap()).sum();
+    assert_eq!(sum, total, "no lost updates across policy swaps");
+}

@@ -1,0 +1,196 @@
+//! End-to-end PREDICT statements: the paper's Listings 1 and 2 against
+//! real tables, plus model reuse, versioning, and fine-tuning.
+
+use neurdb_core::{Database, Output};
+use neurdb_storage::Value;
+
+/// Build the paper's `review` table with a learnable score signal:
+/// score tracks `stars`, with some brands held out for inference.
+fn review_db(rows: usize) -> Database {
+    let db = Database::new();
+    db.execute(
+        "CREATE TABLE review (id INT PRIMARY KEY, brand_name TEXT, stars INT, score FLOAT)",
+    )
+    .unwrap();
+    let mut stmts = Vec::new();
+    for i in 0..rows {
+        // Brand and stars vary independently so held-out brands cover the
+        // full stars range.
+        let brand = format!("brand{}", i % 5);
+        let stars = ((i / 5) % 5) as i64 + 1;
+        // Score is a clean function of stars so the model can learn it.
+        if brand == "brand0" {
+            // Held-out brand: score missing (to be predicted).
+            stmts.push(format!(
+                "INSERT INTO review VALUES ({i}, '{brand}', {stars}, NULL)"
+            ));
+        } else {
+            stmts.push(format!(
+                "INSERT INTO review VALUES ({i}, '{brand}', {stars}, {})",
+                stars as f64
+            ));
+        }
+    }
+    for s in stmts {
+        db.execute(&s).unwrap();
+    }
+    db
+}
+
+#[test]
+fn listing1_regression_end_to_end() {
+    let db = review_db(400);
+    let out = db
+        .execute(
+            "PREDICT VALUE OF score FROM review \
+             WHERE brand_name = 'brand0' \
+             TRAIN ON * \
+             WITH brand_name <> 'brand0'",
+        )
+        .unwrap();
+    let Output::Prediction(p) = out else { panic!("expected prediction") };
+    assert!(p.train_outcome.is_some(), "first PREDICT trains a model");
+    let result = &p.result;
+    assert_eq!(result.len(), 80, "all brand0 rows predicted");
+    assert_eq!(
+        result.columns,
+        vec!["brand_name", "stars", "predicted_score"],
+        "TRAIN ON * excluded the unique id column"
+    );
+    // Predictions should be within the plausible score range.
+    for row in &result.rows {
+        let pred = row.get(2).as_f64().unwrap();
+        assert!((0.0..=7.0).contains(&pred), "prediction {pred} out of range");
+    }
+}
+
+#[test]
+fn predictions_track_training_signal() {
+    let db = review_db(600);
+    let out = db
+        .execute(
+            "PREDICT VALUE OF score FROM review WHERE brand_name = 'brand0' \
+             TRAIN ON * WITH brand_name <> 'brand0'",
+        )
+        .unwrap();
+    let Output::Prediction(p) = out else { panic!() };
+    // Group predictions by the stars feature: 5-star rows must be
+    // predicted higher than 1-star rows (the model learned the signal).
+    let mean_for = |stars: i64| -> f64 {
+        let v: Vec<f64> = p
+            .result
+            .rows
+            .iter()
+            .filter(|r| r.get(1) == &Value::Int(stars))
+            .map(|r| r.get(2).as_f64().unwrap())
+            .collect();
+        v.iter().sum::<f64>() / v.len().max(1) as f64
+    };
+    assert!(
+        mean_for(5) > mean_for(1) + 0.5,
+        "5-star {} should be predicted above 1-star {}",
+        mean_for(5),
+        mean_for(1)
+    );
+}
+
+#[test]
+fn listing2_classification_with_values() {
+    let db = Database::new();
+    db.execute(
+        "CREATE TABLE diabetes (pid INT PRIMARY KEY, pregnancies INT, glucose INT, \
+         blood_pressure INT, outcome BOOL)",
+    )
+    .unwrap();
+    // High glucose => diabetic, cleanly separable.
+    for i in 0..300 {
+        let glucose = 80 + (i % 12) * 10;
+        let outcome = glucose > 140;
+        db.execute(&format!(
+            "INSERT INTO diabetes VALUES ({i}, {}, {glucose}, {}, {outcome})",
+            i % 10,
+            60 + i % 40,
+        ))
+        .unwrap();
+    }
+    let out = db
+        .execute(
+            "PREDICT CLASS OF outcome FROM diabetes \
+             TRAIN ON pregnancies, glucose, blood_pressure \
+             VALUES (6, 190, 72), (1, 85, 66)",
+        )
+        .unwrap();
+    let Output::Prediction(p) = out else { panic!() };
+    assert_eq!(p.result.len(), 2);
+    assert_eq!(
+        p.result.columns,
+        vec!["pregnancies", "glucose", "blood_pressure", "predicted_outcome", "probability"]
+    );
+    let hi = p.result.rows[0].get(4).as_f64().unwrap();
+    let lo = p.result.rows[1].get(4).as_f64().unwrap();
+    assert!(
+        hi > lo,
+        "glucose 190 ({hi:.3}) must score above glucose 85 ({lo:.3})"
+    );
+}
+
+#[test]
+fn model_reused_on_second_predict() {
+    let db = review_db(200);
+    let sql = "PREDICT VALUE OF score FROM review WHERE brand_name = 'brand0' \
+               TRAIN ON * WITH brand_name <> 'brand0'";
+    let Output::Prediction(first) = db.execute(sql).unwrap() else { panic!() };
+    assert!(first.train_outcome.is_some());
+    let Output::Prediction(second) = db.execute(sql).unwrap() else { panic!() };
+    assert!(second.train_outcome.is_none(), "second run serves the cached model");
+    assert_eq!(first.mid, second.mid);
+}
+
+#[test]
+fn finetune_creates_new_version_sharing_layers() {
+    let db = review_db(200);
+    let sql = "PREDICT VALUE OF score FROM review TRAIN ON * WITH brand_name <> 'brand0'";
+    let Output::Prediction(p) = db.execute(sql).unwrap() else { panic!() };
+    let mid = p.mid;
+    let v1 = db.ai.models.latest_version(mid).unwrap();
+    let outcome = db.finetune("review", "score").unwrap();
+    assert!(outcome.version > v1);
+    // Incremental: early layers shared, last layer replaced.
+    let s1 = db.ai.models.layer_states_at(mid, v1).unwrap();
+    let s2 = db.ai.models.layer_states_at(mid, outcome.version).unwrap();
+    assert_eq!(s1[0], s2[0], "embedding layer frozen and shared");
+    assert_ne!(s1.last(), s2.last(), "head layer fine-tuned");
+    // Storage savings from the layered design.
+    let report = db.ai.models.storage_report();
+    assert!(report.savings() > 0.0);
+}
+
+#[test]
+fn predict_errors() {
+    let db = review_db(50);
+    // Unknown target column.
+    assert!(db
+        .execute("PREDICT VALUE OF missing FROM review TRAIN ON *")
+        .is_err());
+    // Unknown table.
+    assert!(db
+        .execute("PREDICT VALUE OF score FROM nope TRAIN ON *")
+        .is_err());
+    // Target as feature.
+    assert!(db
+        .execute("PREDICT VALUE OF score FROM review TRAIN ON score, stars")
+        .is_err());
+    // VALUES arity mismatch.
+    assert!(db
+        .execute("PREDICT VALUE OF score FROM review TRAIN ON stars VALUES (1, 2, 3)")
+        .is_err());
+}
+
+#[test]
+fn no_training_rows_is_an_error() {
+    let db = Database::new();
+    db.execute("CREATE TABLE empty_t (a INT, y FLOAT)").unwrap();
+    assert!(db
+        .execute("PREDICT VALUE OF y FROM empty_t TRAIN ON *")
+        .is_err());
+}

@@ -1,0 +1,126 @@
+//! Query-optimizer integration: all four optimizers over the STATS
+//! queries at every drift level, validating plan validity and the
+//! qualitative ordering the paper reports.
+
+use neurdb_qo::{
+    latency_of, BaoOptimizer, CostBasedOptimizer, LeroOptimizer, NeurQo, Optimizer,
+    PretrainConfig,
+};
+use neurdb_workloads::{query_graph, stats_queries, DriftLevel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn training_graphs() -> Vec<neurdb_qo::JoinGraph> {
+    // Pre-drift distribution: the original STATS graphs.
+    stats_queries()
+        .iter()
+        .map(|q| query_graph(q, DriftLevel::Original, 0))
+        .collect()
+}
+
+#[test]
+fn every_optimizer_produces_valid_plans_at_every_drift_level() {
+    let tg = training_graphs();
+    let mut bao = BaoOptimizer::train(&tg, 20, 1);
+    let mut lero = LeroOptimizer::train(&tg, 10, 2);
+    let (mut neur, _) = NeurQo::pretrained(
+        PretrainConfig {
+            iters: 120,
+            tables: 5,
+            candidates: 5,
+        },
+        3,
+    );
+    let mut pg = CostBasedOptimizer;
+    for level in [DriftLevel::Original, DriftLevel::Mild, DriftLevel::Severe] {
+        for q in stats_queries() {
+            let g = query_graph(&q, level, 42);
+            let full = (1u32 << g.num_tables()) - 1;
+            for opt in [
+                &mut pg as &mut dyn Optimizer,
+                &mut bao,
+                &mut lero,
+                &mut neur,
+            ] {
+                let plan = opt.choose_plan(&g);
+                assert_eq!(
+                    plan.mask(),
+                    full,
+                    "{} produced incomplete plan for q{} at {:?}",
+                    opt.name(),
+                    q.id,
+                    level
+                );
+                assert!(latency_of(&plan, &g).is_finite());
+            }
+        }
+    }
+}
+
+#[test]
+fn drift_increases_cost_based_optimizer_latency() {
+    // Stale estimates hurt the classic optimizer as drift grows — the
+    // premise of Fig. 8. We measure regret vs the true-cost optimum over
+    // the candidate set rather than absolute latency (drift also changes
+    // the workload's intrinsic cost).
+    let mut pg = CostBasedOptimizer;
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut regret = |level: DriftLevel| -> f64 {
+        let mut total = 0.0;
+        for q in stats_queries() {
+            let g = query_graph(&q, level, 1234);
+            let chosen = latency_of(&pg.choose_plan(&g), &g);
+            let best = neurdb_qo::candidate_plans(&g, 8, &mut rng)
+                .iter()
+                .map(|p| latency_of(p, &g))
+                .fold(f64::MAX, f64::min)
+                .min(chosen);
+            total += chosen / best.max(1e-9);
+        }
+        total
+    };
+    let orig = regret(DriftLevel::Original);
+    let severe = regret(DriftLevel::Severe);
+    assert!(
+        severe >= orig,
+        "severe-drift regret {severe:.2} should be >= original {orig:.2}"
+    );
+}
+
+#[test]
+fn neurdb_beats_or_matches_stale_pg_under_severe_drift() {
+    let (mut neur, _) = NeurQo::pretrained(
+        PretrainConfig {
+            iters: 300,
+            tables: 5,
+            candidates: 6,
+        },
+        7,
+    );
+    let mut pg = CostBasedOptimizer;
+    let mut neur_total = 0.0;
+    let mut pg_total = 0.0;
+    for q in stats_queries() {
+        let g = query_graph(&q, DriftLevel::Severe, 99);
+        neur_total += latency_of(&neur.choose_plan(&g), &g);
+        pg_total += latency_of(&pg.choose_plan(&g), &g);
+    }
+    assert!(
+        neur_total <= pg_total * 1.2,
+        "neurdb {neur_total:.0} vs pg {pg_total:.0}"
+    );
+}
+
+#[test]
+fn pretraining_report_is_consistent() {
+    let (_, report) = NeurQo::pretrained(
+        PretrainConfig {
+            iters: 100,
+            tables: 4,
+            candidates: 4,
+        },
+        11,
+    );
+    assert_eq!(report.bucket_counts.iter().sum::<usize>(), 100);
+    assert!(report.loss_curve.iter().all(|l| l.is_finite()));
+}

@@ -1,0 +1,197 @@
+//! End-to-end SQL sessions: DDL, DML, scans, joins, aggregates, ordering.
+
+use neurdb_core::{Database, Output};
+use neurdb_storage::Value;
+
+fn db_with_users() -> Database {
+    let db = Database::new();
+    db.execute("CREATE TABLE users (id INT PRIMARY KEY, name TEXT NOT NULL, age INT)")
+        .unwrap();
+    db.execute(
+        "INSERT INTO users VALUES (1, 'ada', 36), (2, 'bob', 25), (3, 'carol', 41), (4, 'dan', 25)",
+    )
+    .unwrap();
+    db
+}
+
+#[test]
+fn create_insert_select_roundtrip() {
+    let db = db_with_users();
+    let out = db.execute("SELECT * FROM users").unwrap();
+    let rows = out.rows().unwrap();
+    assert_eq!(rows.len(), 4);
+    assert_eq!(rows.columns, vec!["id", "name", "age"]);
+}
+
+#[test]
+fn where_filters_and_projection() {
+    let db = db_with_users();
+    let out = db.execute("SELECT name FROM users WHERE age = 25").unwrap();
+    let rows = out.rows().unwrap();
+    assert_eq!(rows.len(), 2);
+    let names: Vec<&str> = rows.rows.iter().filter_map(|r| r.get(0).as_str()).collect();
+    assert!(names.contains(&"bob") && names.contains(&"dan"));
+}
+
+#[test]
+fn update_and_delete() {
+    let db = db_with_users();
+    let n = db
+        .execute("UPDATE users SET age = age + 1 WHERE name = 'bob'")
+        .unwrap();
+    assert_eq!(n.affected(), Some(1));
+    let out = db.execute("SELECT age FROM users WHERE name = 'bob'").unwrap();
+    assert_eq!(out.rows().unwrap().rows[0].get(0), &Value::Int(26));
+    let n = db.execute("DELETE FROM users WHERE age > 40").unwrap();
+    assert_eq!(n.affected(), Some(1));
+    let out = db.execute("SELECT COUNT(*) FROM users").unwrap();
+    assert_eq!(out.rows().unwrap().rows[0].get(0), &Value::Int(3));
+}
+
+#[test]
+fn join_two_tables() {
+    let db = db_with_users();
+    db.execute("CREATE TABLE posts (pid INT PRIMARY KEY, owner INT, score INT)")
+        .unwrap();
+    db.execute("INSERT INTO posts VALUES (10, 1, 5), (11, 1, 8), (12, 2, 3), (13, 9, 1)")
+        .unwrap();
+    let out = db
+        .execute(
+            "SELECT u.name, p.score FROM users u, posts p WHERE u.id = p.owner AND p.score > 4",
+        )
+        .unwrap();
+    let rows = out.rows().unwrap();
+    assert_eq!(rows.len(), 2);
+    assert!(rows.rows.iter().all(|r| r.get(0).as_str() == Some("ada")));
+}
+
+#[test]
+fn three_way_join() {
+    let db = db_with_users();
+    db.execute("CREATE TABLE posts (pid INT PRIMARY KEY, owner INT)").unwrap();
+    db.execute("CREATE TABLE comments (cid INT PRIMARY KEY, post INT)").unwrap();
+    db.execute("INSERT INTO posts VALUES (10, 1), (11, 2)").unwrap();
+    db.execute("INSERT INTO comments VALUES (100, 10), (101, 10), (102, 11)").unwrap();
+    let out = db
+        .execute(
+            "SELECT u.name, c.cid FROM users u, posts p, comments c \
+             WHERE u.id = p.owner AND p.pid = c.post",
+        )
+        .unwrap();
+    assert_eq!(out.rows().unwrap().len(), 3);
+}
+
+#[test]
+fn group_by_and_aggregates() {
+    let db = db_with_users();
+    let out = db
+        .execute("SELECT age, COUNT(*) FROM users GROUP BY age ORDER BY age")
+        .unwrap();
+    let rows = out.rows().unwrap();
+    assert_eq!(rows.len(), 3);
+    assert_eq!(rows.rows[0].values, vec![Value::Int(25), Value::Int(2)]);
+    let out = db
+        .execute("SELECT MIN(age), MAX(age), AVG(age), SUM(age) FROM users")
+        .unwrap();
+    let r = &out.rows().unwrap().rows[0];
+    assert_eq!(r.get(0), &Value::Int(25));
+    assert_eq!(r.get(1), &Value::Int(41));
+    assert_eq!(r.get(2), &Value::Float(31.75));
+    assert_eq!(r.get(3), &Value::Float(127.0));
+}
+
+#[test]
+fn order_by_and_limit() {
+    let db = db_with_users();
+    let out = db
+        .execute("SELECT name, age FROM users ORDER BY age DESC, name ASC LIMIT 2")
+        .unwrap();
+    let rows = out.rows().unwrap();
+    assert_eq!(rows.len(), 2);
+    assert_eq!(rows.rows[0].get(0).as_str(), Some("carol"));
+    assert_eq!(rows.rows[1].get(0).as_str(), Some("ada"));
+}
+
+#[test]
+fn secondary_index_usable() {
+    let db = db_with_users();
+    db.execute("CREATE INDEX ON users (age)").unwrap();
+    let t = db.table("users").unwrap();
+    let idx = t.schema.column_index("age").unwrap();
+    assert!(t.has_index(idx));
+    let hits = t.lookup(idx, &Value::Int(25)).unwrap();
+    assert_eq!(hits.len(), 2);
+}
+
+#[test]
+fn constraint_errors_surface() {
+    let db = db_with_users();
+    // NULL into NOT NULL column.
+    assert!(db.execute("INSERT INTO users VALUES (5, NULL, 10)").is_err());
+    // Unknown table / column.
+    assert!(db.execute("SELECT * FROM missing").is_err());
+    assert!(db.execute("SELECT nope FROM users").is_err());
+    // Duplicate create.
+    assert!(db.execute("CREATE TABLE users (x INT)").is_err());
+}
+
+#[test]
+fn drop_table() {
+    let db = db_with_users();
+    db.execute("DROP TABLE users").unwrap();
+    assert!(db.execute("SELECT * FROM users").is_err());
+    assert!(matches!(
+        db.execute("DROP TABLE users"),
+        Err(neurdb_core::CoreError::UnknownTable(_))
+    ));
+}
+
+#[test]
+fn script_execution() {
+    let db = Database::new();
+    let out = db
+        .execute_script(
+            "CREATE TABLE t (a INT); \
+             INSERT INTO t VALUES (1), (2), (3); \
+             SELECT SUM(a) FROM t;",
+        )
+        .unwrap();
+    match out {
+        Output::Rows(r) => assert_eq!(r.rows[0].get(0), &Value::Float(6.0)),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn stats_schema_loads_and_queries_parse() {
+    // The 8 STATS SPJ queries parse and the drift statements execute
+    // against real tables.
+    let db = Database::new();
+    for name in neurdb_workloads::stats::TABLE_NAMES {
+        db.execute(&format!(
+            "CREATE TABLE {name} (id INT, ref_id INT, score INT)"
+        ))
+        .unwrap();
+        db.execute(&format!("INSERT INTO {name} VALUES (1, 1, 50), (2, 1, 80)"))
+            .unwrap();
+    }
+    for s in neurdb_workloads::drift_statements(30, 5) {
+        db.execute(&s).unwrap();
+    }
+    for q in neurdb_workloads::stats_queries() {
+        // All 8 SPJ queries must at least execute (counts may be zero).
+        db.execute(&q.sql)
+            .unwrap_or_else(|e| panic!("q{} failed: {e}", q.id));
+    }
+}
+
+#[test]
+fn buffer_stats_exposed() {
+    let db = db_with_users();
+    for _ in 0..20 {
+        db.execute("SELECT * FROM users").unwrap();
+    }
+    let stats = db.buffer_stats();
+    assert!(stats.hits > 0);
+    assert!(stats.hit_ratio() > 0.5);
+}
