@@ -38,12 +38,10 @@ fn bench_policy_throughput(c: &mut Criterion) {
                 let start = std::time::Instant::now();
                 for _ in 0..iters.min(3) {
                     let y2 = y.clone();
-                    let stats = run_workload(
-                        &engine,
-                        4,
-                        Duration::from_millis(100),
-                        move |tid, seq| y2.transaction_for(tid, seq),
-                    );
+                    let stats =
+                        run_workload(&engine, 4, Duration::from_millis(100), move |tid, seq| {
+                            y2.transaction_for(tid, seq)
+                        });
                     black_box(stats.commits);
                 }
                 start.elapsed()

@@ -3,8 +3,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use neurdb_nn::{
-    armnet_spec, ArmNetConfig, LossKind, Matrix, Model, MultiHeadAttention, OptimConfig, Trainer,
-    TreeEncoder, TreeNode, Layer,
+    armnet_spec, ArmNetConfig, Layer, LossKind, Matrix, Model, MultiHeadAttention, OptimConfig,
+    Trainer, TreeEncoder, TreeNode,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -29,11 +29,7 @@ fn bench_armnet(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(2);
     let model = Model::from_spec(armnet_spec(&cfg), &mut rng);
     let mut trainer = Trainer::new(model, LossKind::Mse, OptimConfig::default());
-    let x = Matrix::from_vec(
-        256,
-        22,
-        (0..256 * 22).map(|i| (i % 2048) as f32).collect(),
-    );
+    let x = Matrix::from_vec(256, 22, (0..256 * 22).map(|i| (i % 2048) as f32).collect());
     let y = Matrix::from_vec(256, 1, (0..256).map(|i| (i % 2) as f32).collect());
     c.bench_function("armnet_train_batch_256", |b| {
         b.iter(|| black_box(trainer.train_batch(&x, &y)))
@@ -47,7 +43,9 @@ fn bench_attention(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(3);
     let mut mha = MultiHeadAttention::new(32, 4, &mut rng);
     let x = Matrix::xavier(16, 32, &mut rng);
-    c.bench_function("mha_forward_16x32", |b| b.iter(|| black_box(mha.forward(&x))));
+    c.bench_function("mha_forward_16x32", |b| {
+        b.iter(|| black_box(mha.forward(&x)))
+    });
 }
 
 fn bench_tree_encoder(c: &mut Criterion) {
@@ -66,5 +64,11 @@ fn bench_tree_encoder(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_matmul, bench_armnet, bench_attention, bench_tree_encoder);
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_armnet,
+    bench_attention,
+    bench_tree_encoder
+);
 criterion_main!(benches);

@@ -2,9 +2,7 @@
 //! codec, B-tree, buffer pool.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use neurdb_storage::{
-    BTreeIndex, BufferPool, DiskManager, Page, RecordId, Tuple, Value,
-};
+use neurdb_storage::{BTreeIndex, BufferPool, DiskManager, Page, RecordId, Tuple, Value};
 use std::hint::black_box;
 use std::sync::Arc;
 
@@ -23,7 +21,7 @@ fn bench_page(c: &mut Criterion) {
     });
     g.bench_function("get", |b| {
         let mut p = Page::new();
-        let slot = p.insert(&vec![7u8; 100]).unwrap();
+        let slot = p.insert(&[7u8; 100]).unwrap();
         b.iter(|| black_box(p.get(black_box(slot)).unwrap().len()))
     });
     g.finish();
@@ -45,7 +43,9 @@ fn bench_tuple(c: &mut Criterion) {
     ]);
     let enc = t.encode(&types).unwrap();
     let mut g = c.benchmark_group("tuple");
-    g.bench_function("encode", |b| b.iter(|| black_box(t.encode(&types).unwrap())));
+    g.bench_function("encode", |b| {
+        b.iter(|| black_box(t.encode(&types).unwrap()))
+    });
     g.bench_function("decode", |b| {
         b.iter(|| black_box(Tuple::decode(&enc, &types).unwrap()))
     });
@@ -111,5 +111,11 @@ fn bench_buffer_pool(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_page, bench_tuple, bench_btree, bench_buffer_pool);
+criterion_group!(
+    benches,
+    bench_page,
+    bench_tuple,
+    bench_btree,
+    bench_buffer_pool
+);
 criterion_main!(benches);

@@ -25,8 +25,7 @@ fn bench_window_sweep(c: &mut Criterion) {
             b.iter(|| {
                 let engine = AiEngine::new();
                 black_box(
-                    run_neurdb(&engine, AnalyticsWorkload::Ecommerce, src.clone(), w, 5e-3)
-                        .samples,
+                    run_neurdb(&engine, AnalyticsWorkload::Ecommerce, src.clone(), w, 5e-3).samples,
                 )
             })
         });
@@ -42,7 +41,9 @@ fn bench_wire_codec(c: &mut Criterion) {
     let enc = batch.encode();
     let mut g = c.benchmark_group("wire_codec_4096x22");
     g.bench_function("encode", |b| b.iter(|| black_box(batch.encode().len())));
-    g.bench_function("decode", |b| b.iter(|| black_box(DataBatch::decode(&enc).rows())));
+    g.bench_function("decode", |b| {
+        b.iter(|| black_box(DataBatch::decode(&enc).rows()))
+    });
     g.finish();
 }
 

@@ -1,0 +1,170 @@
+//! Durability micro-benchmarks: WAL append throughput, commit latency
+//! under each fsync policy (group commit vs per-commit fsync), recovery
+//! replay speed, and checkpoint cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use neurdb_storage::{ColumnDef, DataType, RecordId, Schema, Tuple, Value};
+use neurdb_wal::{DurableStore, DurableStoreOptions, FsyncPolicy, Wal, WalOptions, WalRecord};
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::time::Duration;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    static N: AtomicU32 = AtomicU32::new(0);
+    let d = std::env::temp_dir().join(format!(
+        "neurdb-bench-wal-{tag}-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn sample_record(i: u64) -> WalRecord {
+    WalRecord::HeapInsert {
+        txn: i,
+        table: "bench".into(),
+        rid: RecordId::new(i / 64, (i % 64) as u16),
+        tuple: vec![0xAB; 100],
+    }
+}
+
+fn bench_append(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wal_append");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("append_100b_record", |b| {
+        let dir = tmpdir("append");
+        let wal = Wal::open(
+            &dir,
+            WalOptions {
+                segment_bytes: 64 << 20,
+                fsync: FsyncPolicy::Never,
+            },
+        )
+        .unwrap();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(wal.append(&sample_record(i)))
+        });
+        drop(wal);
+        let _ = std::fs::remove_dir_all(&dir);
+    });
+    g.finish();
+}
+
+fn bench_commit_policies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wal_commit");
+    g.sample_size(10)
+        .measurement_time(Duration::from_millis(300));
+    for (name, policy) in [
+        ("never", FsyncPolicy::Never),
+        ("group_1ms", FsyncPolicy::Group(Duration::from_millis(1))),
+        ("fsync_always", FsyncPolicy::Always),
+    ] {
+        g.bench_with_input(
+            BenchmarkId::new("append_commit", name),
+            &policy,
+            |b, policy| {
+                let dir = tmpdir(name);
+                let wal = Wal::open(
+                    &dir,
+                    WalOptions {
+                        segment_bytes: 64 << 20,
+                        fsync: *policy,
+                    },
+                )
+                .unwrap();
+                let mut i = 0u64;
+                b.iter(|| {
+                    i += 1;
+                    let lsn = wal.append(&sample_record(i));
+                    wal.commit(lsn).unwrap();
+                    lsn
+                });
+                drop(wal);
+                let _ = std::fs::remove_dir_all(&dir);
+            },
+        );
+    }
+    g.finish();
+}
+
+fn store_opts() -> DurableStoreOptions {
+    DurableStoreOptions {
+        frames: 256,
+        wal: WalOptions {
+            segment_bytes: 4 << 20,
+            fsync: FsyncPolicy::Never,
+        },
+    }
+}
+
+fn prepare_store(rows: usize) -> PathBuf {
+    let dir = tmpdir("replay");
+    let (store, _) = DurableStore::open(&dir, store_opts()).unwrap();
+    let schema = Schema::new(vec![
+        ColumnDef::new("id", DataType::Int).not_null().unique(),
+        ColumnDef::new("payload", DataType::Text),
+    ]);
+    let txn = store.begin();
+    store.create_table(txn, "t", schema).unwrap();
+    store.create_index(txn, "t", 0).unwrap();
+    store.commit(txn).unwrap();
+    for i in 0..rows {
+        let txn = store.begin();
+        store
+            .insert(
+                txn,
+                "t",
+                Tuple::new(vec![
+                    Value::Int(i as i64),
+                    Value::Text(format!("row payload {i}")),
+                ]),
+            )
+            .unwrap();
+        store.commit(txn).unwrap();
+    }
+    store.sync().unwrap();
+    dir
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wal_recovery");
+    g.sample_size(10);
+    for rows in [1_000usize, 10_000] {
+        let dir = prepare_store(rows);
+        g.throughput(Throughput::Elements(rows as u64));
+        g.bench_with_input(BenchmarkId::new("replay_rows", rows), &dir, |b, dir| {
+            b.iter(|| {
+                let (store, _) = DurableStore::open(dir, store_opts()).unwrap();
+                black_box(store.table("t").unwrap().len().unwrap())
+            })
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    g.finish();
+}
+
+fn bench_checkpoint(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wal_checkpoint");
+    g.sample_size(10);
+    let dir = prepare_store(5_000);
+    let (store, _) = DurableStore::open(&dir, store_opts()).unwrap();
+    g.bench_function("checkpoint_5k_rows", |b| {
+        b.iter(|| store.checkpoint(Vec::new).unwrap())
+    });
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_append,
+    bench_commit_policies,
+    bench_recovery,
+    bench_checkpoint
+);
+criterion_main!(benches);

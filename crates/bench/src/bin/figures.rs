@@ -18,12 +18,13 @@ use neurdb_engine::streaming::{stream_from_source, Handshake, StreamParams};
 use neurdb_engine::AiEngine;
 use neurdb_nn::{armnet_spec, LossKind};
 use neurdb_qo::{
-    latency_of, BaoOptimizer, CostBasedOptimizer, LeroOptimizer, NeurQo, Optimizer,
-    PretrainConfig,
+    latency_of, BaoOptimizer, CostBasedOptimizer, LeroOptimizer, NeurQo, Optimizer, PretrainConfig,
 };
 use neurdb_sql::parse;
 use neurdb_txn::{run_workload, EngineConfig, Ssi, TxnEngine};
-use neurdb_workloads::{query_graph, stats_queries, DriftLevel, Tpcc, TpccConfig, Ycsb, YcsbConfig};
+use neurdb_workloads::{
+    query_graph, stats_queries, DriftLevel, Tpcc, TpccConfig, Ycsb, YcsbConfig,
+};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -309,9 +310,7 @@ fn fig7b(quick: bool) {
     header("Fig 7(b): Throughput under workload drift (NeurDB(CC) vs Polyjuice)");
     let slice = Duration::from_millis(if quick { 100 } else { 400 });
     let slices = if quick { 3 } else { 6 };
-    println!(
-        "(phases: 8thr/1wh -> 8thr/2wh -> 16thr/1wh, {slices} slices of {slice:?} each)\n"
-    );
+    println!("(phases: 8thr/1wh -> 8thr/2wh -> 16thr/1wh, {slices} slices of {slice:?} each)\n");
     // Shared generators; the warehouse count changes per phase.
     let make_phases = |slices: usize| -> Vec<Phase> {
         let one = Arc::new(Tpcc::new(TpccConfig {

@@ -85,10 +85,7 @@ impl TwoPhaseAdapter {
     /// **Filtering phase**: propose candidates, evaluate each with
     /// `reward_of`, keep the best. Returns the winning parameters and
     /// reward.
-    pub fn filter_phase(
-        &mut self,
-        mut reward_of: impl FnMut(&Params) -> f64,
-    ) -> (Params, f64) {
+    pub fn filter_phase(&mut self, mut reward_of: impl FnMut(&Params) -> f64) -> (Params, f64) {
         let base = self
             .incumbent()
             .map(|o| o.params.clone())
@@ -186,7 +183,10 @@ mod tests {
         let start_r = oracle(&start);
         adapter.observe(start, start_r);
         let (_, r1) = adapter.adapt(&oracle);
-        assert!(r1 >= start_r, "one round must not regress: {r1} vs {start_r}");
+        assert!(
+            r1 >= start_r,
+            "one round must not regress: {r1} vs {start_r}"
+        );
         let (_, r2) = adapter.adapt(&oracle);
         let (_, r3) = adapter.adapt(&oracle);
         assert!(r3 >= r1, "rewards should trend up: {r1} {r2} {r3}");

@@ -78,9 +78,8 @@ pub fn run_learned_adaptive(
                 let (best, _) = adapter.adapt(move |params| {
                     policy2.set_params(params.clone());
                     let g = gen.clone();
-                    let s = run_workload(&engine2, threads, eval_slice, move |tid, seq| {
-                        g(tid, seq)
-                    });
+                    let s =
+                        run_workload(&engine2, threads, eval_slice, move |tid, seq| g(tid, seq));
                     s.throughput()
                 });
                 policy.set_params(best);
@@ -167,7 +166,8 @@ mod tests {
 
     fn zipf_like_gen(keys: u64, hot_frac: f64) -> TxnGen {
         Arc::new(move |tid, seq| {
-            let h = (tid as u64).wrapping_mul(0x9E3779B97F4A7C15) ^ seq.wrapping_mul(0xBF58476D1CE4E5B9);
+            let h = (tid as u64).wrapping_mul(0x9E3779B97F4A7C15)
+                ^ seq.wrapping_mul(0xBF58476D1CE4E5B9);
             let hot = (h % 100) as f64 / 100.0 < hot_frac;
             let span = if hot { keys / 100 + 1 } else { keys };
             let base = h % span;

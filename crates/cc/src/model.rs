@@ -183,8 +183,14 @@ mod tests {
     fn seeded_policy_is_optimistic_on_cold_keys() {
         let cc = LearnedCc::seeded();
         let cold = ctx(KeyContention::default());
-        assert_eq!(cc.read_decision(&cold), ReadDecision::Proceed(ReadMode::Snapshot));
-        assert_eq!(cc.write_decision(&cold), WriteDecision::Proceed(WriteMode::Buffer));
+        assert_eq!(
+            cc.read_decision(&cold),
+            ReadDecision::Proceed(ReadMode::Snapshot)
+        );
+        assert_eq!(
+            cc.write_decision(&cold),
+            WriteDecision::Proceed(WriteMode::Buffer)
+        );
     }
 
     #[test]
@@ -222,12 +228,18 @@ mod tests {
     fn hot_swap_changes_behaviour() {
         let cc = LearnedCc::seeded();
         let cold = ctx(KeyContention::default());
-        assert_eq!(cc.read_decision(&cold), ReadDecision::Proceed(ReadMode::Snapshot));
+        assert_eq!(
+            cc.read_decision(&cold),
+            ReadDecision::Proceed(ReadMode::Snapshot)
+        );
         // All-zero params with a forced lock-read bias.
         let mut p = vec![0.0; PARAM_COUNT];
         p[ENCODING_DIM + 7] = 5.0; // read action 1 (lock), bias feature
         cc.set_params(p);
-        assert_eq!(cc.read_decision(&cold), ReadDecision::Proceed(ReadMode::LockShared));
+        assert_eq!(
+            cc.read_decision(&cold),
+            ReadDecision::Proceed(ReadMode::LockShared)
+        );
     }
 
     #[test]

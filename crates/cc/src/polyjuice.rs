@@ -20,22 +20,12 @@ pub const MAX_TYPES: usize = 4;
 pub const MAX_OPS: usize = 16;
 
 /// Per-(type, op) action entry.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ActionEntry {
     /// 0 = snapshot read, 1 = locking read.
     pub read_action: u8,
     /// 0 = buffered write, 1 = locking write.
     pub write_action: u8,
-}
-
-impl Default for ActionEntry {
-    fn default() -> Self {
-        // Polyjuice's default leans optimistic (its IC3/occ heritage).
-        ActionEntry {
-            read_action: 0,
-            write_action: 0,
-        }
-    }
 }
 
 /// The policy table (the Polyjuice "genome").
@@ -259,23 +249,20 @@ mod tests {
     fn evolution_improves_on_synthetic_reward() {
         // Reward = number of locking writes in type 0 (pretend locking is
         // good for this workload); EA should discover that.
-        let oracle = |t: &PolicyTable| -> f64 {
-            t[0..MAX_OPS]
-                .iter()
-                .map(|e| e.write_action as f64)
-                .sum()
-        };
-        let mut trainer = PolyjuiceTrainer::new(
-            vec![ActionEntry::default(); MAX_TYPES * MAX_OPS],
-            7,
-        );
+        let oracle =
+            |t: &PolicyTable| -> f64 { t[0..MAX_OPS].iter().map(|e| e.write_action as f64).sum() };
+        let mut trainer =
+            PolyjuiceTrainer::new(vec![ActionEntry::default(); MAX_TYPES * MAX_OPS], 7);
         let mut last = f64::NEG_INFINITY;
         for _ in 0..30 {
             let (_, r) = trainer.generation(oracle);
             assert!(r >= last || (r - last).abs() < 1e-9);
             last = r;
         }
-        assert!(last >= MAX_OPS as f64 * 0.5, "EA should lock most writes: {last}");
+        assert!(
+            last >= MAX_OPS as f64 * 0.5,
+            "EA should lock most writes: {last}"
+        );
     }
 
     #[test]
@@ -297,6 +284,9 @@ mod tests {
         ];
         let c = crossover_table(&a, &b, &mut rng);
         let zeros = c.iter().filter(|e| e.read_action == 0).count();
-        assert!(zeros > 8 && zeros < MAX_TYPES * MAX_OPS - 8, "mixed: {zeros}");
+        assert!(
+            zeros > 8 && zeros < MAX_TYPES * MAX_OPS - 8,
+            "mixed: {zeros}"
+        );
     }
 }

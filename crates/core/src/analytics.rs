@@ -40,7 +40,12 @@ pub fn extract_examples(
         if label.is_null() {
             continue; // unlabeled rows cannot train
         }
-        xs.push(features.iter().map(|&i| value_to_field(row.get(i))).collect());
+        xs.push(
+            features
+                .iter()
+                .map(|&i| value_to_field(row.get(i)))
+                .collect(),
+        );
         ys.push(label.as_f64().unwrap_or(0.0) as f32);
     }
     (xs, ys)
@@ -56,7 +61,10 @@ pub struct Standardizer {
 impl Standardizer {
     pub fn fit(ys: &[f32]) -> Standardizer {
         if ys.is_empty() {
-            return Standardizer { mean: 0.0, std: 1.0 };
+            return Standardizer {
+                mean: 0.0,
+                std: 1.0,
+            };
         }
         let mean = ys.iter().sum::<f32>() / ys.len() as f32;
         let var = ys.iter().map(|y| (y - mean).powi(2)).sum::<f32>() / ys.len() as f32;
@@ -67,7 +75,10 @@ impl Standardizer {
     }
 
     pub fn identity() -> Standardizer {
-        Standardizer { mean: 0.0, std: 1.0 }
+        Standardizer {
+            mean: 0.0,
+            std: 1.0,
+        }
     }
 
     pub fn transform(&self, y: f32) -> f32 {
@@ -96,7 +107,10 @@ pub fn make_batches(
         let targets = Matrix::from_vec(
             end - i,
             1,
-            ys[i..end].iter().map(|y| standardizer.transform(*y)).collect(),
+            ys[i..end]
+                .iter()
+                .map(|y| standardizer.transform(*y))
+                .collect(),
         );
         out.push(DataBatch { features, targets });
         i = end;

@@ -84,9 +84,8 @@ pub struct RowSource {
 impl RowSource {
     /// Generate the raw rows of batch `i`: `(fields, labels)`.
     pub fn generate(&self, i: usize) -> (Vec<Vec<u64>>, Vec<f32>) {
-        let mut rng = StdRng::seed_from_u64(
-            self.seed ^ (i as u64).wrapping_mul(0x9E3779B97F4A7C15),
-        );
+        let mut rng =
+            StdRng::seed_from_u64(self.seed ^ (i as u64).wrapping_mul(0x9E3779B97F4A7C15));
         match self.workload {
             AnalyticsWorkload::Ecommerce => {
                 let gen = AvazuGen::new(0xE);
@@ -201,8 +200,7 @@ pub fn run_neurdb(
         },
     };
     let n = src.n_batches;
-    let (rx, producer) =
-        stream_from_source(&hs, (0..n).map(move |i| src.wire_batch(i, &cfg)));
+    let (rx, producer) = stream_from_source(&hs, (0..n).map(move |i| src.wire_batch(i, &cfg)));
     let outcome = engine.train_streaming(armnet_spec(&cfg), workload.loss(), lr, rx);
     producer.join().expect("producer thread");
     outcome

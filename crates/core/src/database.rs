@@ -2,9 +2,22 @@
 //! with the in-database AI ecosystem wired into the executor so `PREDICT`
 //! statements run as first-class queries (paper Section 3's running
 //! example: parse → plan → scan → AI operator → AI engine → result).
+//!
+//! Two construction modes:
+//!
+//! * [`Database::new`] — volatile (the seed's behavior): simulated disk,
+//!   no log, state dies with the process.
+//! * [`Database::open`] — durable: a directory-backed [`DurableStore`]
+//!   journals every statement through the WAL, model-manager events are
+//!   logged so trained models and their version chains survive crashes,
+//!   and reopening the directory runs redo recovery.
 
 use crate::analytics::{
     encode_inference, extract_examples, make_batches, value_to_field, Standardizer,
+};
+use crate::durability::{
+    decode_app_snapshot, encode_app_snapshot, model_event_record, replay_model_record, BindingMeta,
+    SnapshotBinding,
 };
 use crate::error::{CoreError, CoreResult};
 use crate::exec::{execute_select, QueryResult};
@@ -15,11 +28,11 @@ use neurdb_nn::{armnet_spec, ArmNetConfig, LossKind};
 use neurdb_sql::{
     parse, parse_script, ColumnSpec, Expr, PredictStmt, PredictTask, Statement, TrainOn, TypeName,
 };
-use neurdb_storage::{
-    BufferPool, ColumnDef, DataType, DiskManager, Schema, Table, Tuple, Value,
-};
-use parking_lot::{Mutex, RwLock};
+use neurdb_storage::{ColumnDef, DataType, Schema, Table, Tuple, Value};
+use neurdb_wal::{DurableStore, DurableStoreOptions, Lsn, WalRecord, SYSTEM_TXN};
+use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::path::Path;
 use std::sync::Arc;
 
 /// Result of executing one statement.
@@ -71,11 +84,10 @@ struct CachedModel {
 
 /// The database.
 pub struct Database {
-    pool: Arc<BufferPool>,
-    tables: RwLock<HashMap<String, Arc<Table>>>,
+    store: Arc<DurableStore>,
     /// The in-database AI engine (task manager, model manager, runtimes).
     pub ai: AiEngine,
-    models: Mutex<HashMap<(String, String), CachedModel>>,
+    models: Arc<Mutex<HashMap<(String, String), CachedModel>>>,
     /// Streaming protocol defaults (paper: window 80, batch 4096).
     pub stream_params: StreamParams,
     /// Learning rate for in-database training.
@@ -92,16 +104,94 @@ impl Default for Database {
 }
 
 impl Database {
+    /// A volatile in-memory database (no durability).
     pub fn new() -> Self {
         Self::with_buffer_capacity(4096)
     }
 
     pub fn with_buffer_capacity(frames: usize) -> Self {
+        Self::from_store(DurableStore::volatile(frames))
+    }
+
+    /// Open (or create) a durable database in `dir` with default
+    /// durability options, running crash recovery first: the latest
+    /// checkpoint is restored, committed statements are redone into
+    /// heaps/indexes/catalog, and model-manager events are replayed so
+    /// trained models, their version chains, and their PREDICT bindings
+    /// come back.
+    pub fn open(dir: impl AsRef<Path>) -> CoreResult<Database> {
+        Self::open_with(dir, DurableStoreOptions::default())
+    }
+
+    /// [`Database::open`] with explicit store/WAL options.
+    pub fn open_with(dir: impl AsRef<Path>, opts: DurableStoreOptions) -> CoreResult<Database> {
+        let (store, recovered) = DurableStore::open(dir.as_ref(), opts)?;
+        let db = Self::from_store(store);
+
+        // 1. Restore the model store + serving bindings from the
+        //    checkpoint's app snapshot.
+        if let Some(snapshot) = &recovered.snapshot {
+            let (mm_bytes, bindings) = decode_app_snapshot(snapshot).ok_or_else(|| {
+                CoreError::Storage(neurdb_storage::StorageError::Codec(
+                    "corrupt app snapshot in checkpoint manifest".into(),
+                ))
+            })?;
+            if !mm_bytes.is_empty() {
+                db.ai.models.restore(&mm_bytes).ok_or_else(|| {
+                    CoreError::Storage(neurdb_storage::StorageError::Codec(
+                        "corrupt model-store snapshot".into(),
+                    ))
+                })?;
+            }
+            let mut cache = db.models.lock();
+            for b in bindings {
+                if let Some(cached) = Self::binding_to_cached(b.mid, &b.meta) {
+                    cache.insert((b.table, b.target), cached);
+                }
+            }
+        }
+
+        // 2. Replay committed post-checkpoint model events and bindings,
+        //    in log order.
+        for rec in &recovered.records {
+            match rec {
+                WalRecord::ModelBind {
+                    table,
+                    target,
+                    mid,
+                    meta,
+                    ..
+                } => {
+                    if let Some(cached) = Self::binding_to_cached(*mid, meta) {
+                        db.models
+                            .lock()
+                            .insert((table.clone(), target.clone()), cached);
+                    }
+                }
+                WalRecord::KvCommit { .. } => {
+                    // The KV transaction engine owns these; nothing to do
+                    // in the SQL facade.
+                }
+                other => {
+                    replay_model_record(&db.ai.models, other).ok_or_else(|| {
+                        CoreError::Storage(neurdb_storage::StorageError::Codec(
+                            "corrupt model event in log".into(),
+                        ))
+                    })?;
+                }
+            }
+        }
+
+        // 3. From here on, model-manager mutations flow into the WAL.
+        db.install_model_sink();
+        Ok(db)
+    }
+
+    fn from_store(store: DurableStore) -> Database {
         Database {
-            pool: Arc::new(BufferPool::new(Arc::new(DiskManager::new()), frames)),
-            tables: RwLock::new(HashMap::new()),
+            store: Arc::new(store),
             ai: AiEngine::new(),
-            models: Mutex::new(HashMap::new()),
+            models: Arc::new(Mutex::new(HashMap::new())),
             stream_params: StreamParams {
                 batch_size: 4096,
                 window: 80,
@@ -111,24 +201,91 @@ impl Database {
         }
     }
 
+    fn binding_to_cached(mid: Mid, meta: &[u8]) -> Option<CachedModel> {
+        let meta = BindingMeta::decode(meta)?;
+        Some(CachedModel {
+            mid,
+            cfg: meta.cfg,
+            loss: meta.loss,
+            std: Standardizer {
+                mean: meta.std_mean,
+                std: meta.std_std,
+            },
+            features: meta.features,
+        })
+    }
+
+    /// Wire the model manager's event sink to the WAL (durable mode).
+    fn install_model_sink(&self) {
+        if !self.store.is_durable() {
+            return;
+        }
+        let store = self.store.clone();
+        self.ai.models.set_event_sink(Box::new(move |event| {
+            // Unlatched: the sink runs under the model store's write
+            // lock, and the checkpoint holds the quiesce latch while
+            // snapshotting that store — taking the latch here would
+            // deadlock. Replay of model events is idempotent instead.
+            store.append_record_unlatched(&model_event_record(event));
+        }));
+    }
+
+    /// Whether this database journals to a WAL.
+    pub fn is_durable(&self) -> bool {
+        self.store.is_durable()
+    }
+
+    /// Write a checkpoint: flush dirty pages, snapshot the page file and
+    /// the model store (+ PREDICT bindings), and truncate the log.
+    /// Errors on volatile databases.
+    pub fn checkpoint(&self) -> CoreResult<Lsn> {
+        let lsn = self.store.checkpoint(|| {
+            let cache = self.models.lock();
+            let bindings: Vec<SnapshotBinding> = cache
+                .iter()
+                .map(|((table, target), m)| SnapshotBinding {
+                    table: table.clone(),
+                    target: target.clone(),
+                    mid: m.mid,
+                    meta: BindingMeta {
+                        cfg: m.cfg,
+                        loss: m.loss,
+                        std_mean: m.std.mean,
+                        std_std: m.std.std,
+                        features: m.features.clone(),
+                    }
+                    .encode(),
+                })
+                .collect();
+            encode_app_snapshot(&self.ai.models, &bindings)
+        })?;
+        Ok(lsn)
+    }
+
+    /// WAL statistics (`None` for volatile databases).
+    pub fn wal_stats(&self) -> Option<neurdb_wal::WalStats> {
+        self.store.wal_stats()
+    }
+
+    /// The underlying durable store (crash-test hooks live here).
+    pub fn store(&self) -> &Arc<DurableStore> {
+        &self.store
+    }
+
     /// Buffer-pool statistics (part of the QO's system conditions).
     pub fn buffer_stats(&self) -> neurdb_storage::BufferStats {
-        self.pool.stats()
+        self.store.buffer_stats()
     }
 
     /// Look up a table.
     pub fn table(&self, name: &str) -> CoreResult<Arc<Table>> {
-        self.tables
-            .read()
-            .get(name)
-            .cloned()
+        self.store
+            .table(name)
             .ok_or_else(|| CoreError::UnknownTable(name.to_string()))
     }
 
     pub fn table_names(&self) -> Vec<String> {
-        let mut v: Vec<String> = self.tables.read().keys().cloned().collect();
-        v.sort();
-        v
+        self.store.table_names()
     }
 
     /// Execute one SQL statement.
@@ -150,39 +307,25 @@ impl Database {
 
     fn execute_statement(&self, stmt: Statement) -> CoreResult<Output> {
         match stmt {
-            Statement::CreateTable { name, columns } => {
-                self.create_table(&name, &columns)?;
-                Ok(Output::Affected(0))
-            }
-            Statement::DropTable { name } => {
-                if self.tables.write().remove(&name).is_none() {
-                    return Err(CoreError::UnknownTable(name));
+            // Mutating statements run as a statement-level transaction:
+            // begin, apply+log each operation, commit. There is no undo —
+            // partial effects of a failed statement stay visible (the
+            // seed's semantics) and are committed so recovered state
+            // always matches what a live session observed.
+            Statement::CreateTable { .. }
+            | Statement::DropTable { .. }
+            | Statement::CreateIndex { .. }
+            | Statement::Insert { .. }
+            | Statement::Update { .. }
+            | Statement::Delete { .. } => {
+                let txn = self.store.begin();
+                let result = self.apply_mutation(txn, stmt);
+                let commit = self.store.commit(txn);
+                match (result, commit) {
+                    (Ok(out), Ok(())) => Ok(out),
+                    (Err(e), _) => Err(e),
+                    (Ok(_), Err(e)) => Err(e.into()),
                 }
-                Ok(Output::Affected(0))
-            }
-            Statement::CreateIndex { table, column } => {
-                let t = self.table(&table)?;
-                let idx = t
-                    .schema
-                    .column_index(&column)
-                    .ok_or_else(|| CoreError::UnknownColumn(column.clone()))?;
-                t.create_index(idx)?;
-                Ok(Output::Affected(0))
-            }
-            Statement::Insert {
-                table,
-                columns,
-                rows,
-            } => self.insert(&table, columns.as_deref(), &rows).map(Output::Affected),
-            Statement::Update {
-                table,
-                assignments,
-                predicate,
-            } => self
-                .update(&table, &assignments, predicate.as_ref())
-                .map(Output::Affected),
-            Statement::Delete { table, predicate } => {
-                self.delete(&table, predicate.as_ref()).map(Output::Affected)
             }
             Statement::Select(s) => {
                 let mut resolved = Vec::with_capacity(s.from.len());
@@ -195,8 +338,51 @@ impl Database {
         }
     }
 
-    fn create_table(&self, name: &str, columns: &[ColumnSpec]) -> CoreResult<()> {
-        if self.tables.read().contains_key(name) {
+    fn apply_mutation(&self, txn: u64, stmt: Statement) -> CoreResult<Output> {
+        match stmt {
+            Statement::CreateTable { name, columns } => {
+                self.create_table(txn, &name, &columns)?;
+                Ok(Output::Affected(0))
+            }
+            Statement::DropTable { name } => {
+                // Resolve first so a missing table surfaces as
+                // `UnknownTable` (not a generic catalog error).
+                self.table(&name)?;
+                self.store.drop_table(txn, &name)?;
+                Ok(Output::Affected(0))
+            }
+            Statement::CreateIndex { table, column } => {
+                let t = self.table(&table)?;
+                let idx = t
+                    .schema
+                    .column_index(&column)
+                    .ok_or_else(|| CoreError::UnknownColumn(column.clone()))?;
+                self.store.create_index(txn, &table, idx)?;
+                Ok(Output::Affected(0))
+            }
+            Statement::Insert {
+                table,
+                columns,
+                rows,
+            } => self
+                .insert(txn, &table, columns.as_deref(), &rows)
+                .map(Output::Affected),
+            Statement::Update {
+                table,
+                assignments,
+                predicate,
+            } => self
+                .update(txn, &table, &assignments, predicate.as_ref())
+                .map(Output::Affected),
+            Statement::Delete { table, predicate } => self
+                .delete(txn, &table, predicate.as_ref())
+                .map(Output::Affected),
+            _ => unreachable!("apply_mutation only receives mutating statements"),
+        }
+    }
+
+    fn create_table(&self, txn: u64, name: &str, columns: &[ColumnSpec]) -> CoreResult<()> {
+        if self.store.table(name).is_some() {
             return Err(CoreError::Unsupported(format!(
                 "table '{name}' already exists"
             )));
@@ -220,13 +406,13 @@ impl Database {
                 def
             })
             .collect();
-        let table = Arc::new(Table::new(name, Schema::new(cols), self.pool.clone()));
-        self.tables.write().insert(name.to_string(), table);
+        self.store.create_table(txn, name, Schema::new(cols))?;
         Ok(())
     }
 
     fn insert(
         &self,
+        txn: u64,
         table: &str,
         columns: Option<&[String]>,
         rows: &[Vec<Expr>],
@@ -260,7 +446,7 @@ impl Database {
             for (expr, &pos) in row.iter().zip(positions.iter()) {
                 vals[pos] = eval(expr, &empty_row, &empty_env)?;
             }
-            t.insert(Tuple::new(vals))?;
+            self.store.insert(txn, table, Tuple::new(vals))?;
             n += 1;
         }
         Ok(n)
@@ -268,6 +454,7 @@ impl Database {
 
     fn update(
         &self,
+        txn: u64,
         table: &str,
         assignments: &[(String, Expr)],
         predicate: Option<&Expr>,
@@ -296,13 +483,13 @@ impl Database {
             for ((_, expr), &pos) in assignments.iter().zip(targets.iter()) {
                 new_row.values[pos] = eval(expr, &row, &env)?;
             }
-            t.update(rid, new_row)?;
+            self.store.update(txn, table, rid, new_row)?;
             n += 1;
         }
         Ok(n)
     }
 
-    fn delete(&self, table: &str, predicate: Option<&Expr>) -> CoreResult<usize> {
+    fn delete(&self, txn: u64, table: &str, predicate: Option<&Expr>) -> CoreResult<usize> {
         let t = self.table(table)?;
         let names = t.schema.names();
         let env = Bindings::for_table(table, &names);
@@ -313,7 +500,7 @@ impl Database {
                 None => true,
             };
             if hit {
-                t.delete(rid)?;
+                self.store.delete(txn, table, rid)?;
                 n += 1;
             }
         }
@@ -373,7 +560,9 @@ impl Database {
         let mut train_outcome = None;
         let cached = {
             let models = self.models.lock();
-            models.get(&key).map(|m| (m.mid, m.cfg, m.loss, m.std, m.features.clone()))
+            models
+                .get(&key)
+                .map(|m| (m.mid, m.cfg, m.loss, m.std, m.features.clone()))
         };
         let (mid, cfg, std, model_features) = match cached {
             Some((mid, cfg, cached_loss, std, feats)) => {
@@ -447,6 +636,26 @@ impl Database {
                         features: features.clone(),
                     },
                 );
+                // Durability: the sink already logged the registration
+                // event; bind (table, target) -> mid with its serving
+                // metadata and force both to stable storage before the
+                // statement reports success.
+                let meta = BindingMeta {
+                    cfg,
+                    loss,
+                    std_mean: std.mean,
+                    std_std: std.std,
+                    features: features.clone(),
+                };
+                if let Some(lsn) = self.store.append_record(&WalRecord::ModelBind {
+                    txn: SYSTEM_TXN,
+                    table: stmt.table.clone(),
+                    target: stmt.target.clone(),
+                    mid,
+                    meta: meta.encode(),
+                }) {
+                    self.store.wait_durable(lsn)?;
+                }
                 train_outcome = Some(outcome);
                 (mid, cfg, std, features.clone())
             }
@@ -492,12 +701,7 @@ impl Database {
                             .map(|&i| value_to_field(row.get(i)))
                             .collect(),
                     );
-                    disp.push(
-                        model_features
-                            .iter()
-                            .map(|&i| row.get(i).clone())
-                            .collect(),
-                    );
+                    disp.push(model_features.iter().map(|&i| row.get(i).clone()).collect());
                 }
                 (xs, disp)
             }
@@ -550,9 +754,9 @@ impl Database {
         let key = (table.to_string(), target.to_string());
         let (mid, cfg, loss, std, features) = {
             let models = self.models.lock();
-            let m = models.get(&key).ok_or_else(|| {
-                CoreError::Unsupported(format!("no model for {table}.{target}"))
-            })?;
+            let m = models
+                .get(&key)
+                .ok_or_else(|| CoreError::Unsupported(format!("no model for {table}.{target}")))?;
             (m.mid, m.cfg, m.loss, m.std, m.features.clone())
         };
         let t = self.table(table)?;
@@ -563,7 +767,9 @@ impl Database {
         let rows: Vec<Tuple> = t.scan()?.into_iter().map(|(_, r)| r).collect();
         let (xs, ys) = extract_examples(&rows, &features, target_idx);
         if xs.is_empty() {
-            return Err(CoreError::Unsupported("no labeled rows to fine-tune on".into()));
+            return Err(CoreError::Unsupported(
+                "no labeled rows to fine-tune on".into(),
+            ));
         }
         let batch_size = self.stream_params.batch_size.min(xs.len()).max(1);
         let batches = make_batches(&xs, &ys, &cfg, batch_size, &std);
@@ -580,6 +786,9 @@ impl Database {
             .ai
             .finetune_streaming(mid, loss, self.learning_rate, frozen, rx)?;
         producer.join().expect("stream producer");
+        // The sink logged the incremental-update event; make it durable
+        // before reporting the new version to the caller.
+        self.store.sync()?;
         Ok(outcome)
     }
 }

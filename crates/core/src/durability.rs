@@ -1,0 +1,246 @@
+//! Glue between the AI engine's model manager and the WAL: encodes
+//! [`ModelEvent`]s as log records, (de)codes the PREDICT serving
+//! metadata that binds `(table, target)` to a model id, and packs the
+//! application snapshot stored in checkpoint manifests.
+//!
+//! Blob layouts are hand-rolled LE (see `neurdb-wal`'s codec): the model
+//! manager snapshot comes first so recovery can restore the store before
+//! replaying events, followed by the serving bindings.
+
+use neurdb_engine::{ModelEvent, ModelManager};
+use neurdb_nn::{ArmNetConfig, LayerSpec, LossKind};
+use neurdb_wal::codec::{Reader, Writer};
+use neurdb_wal::{WalRecord, SYSTEM_TXN};
+
+/// Serving metadata persisted with a `(table, target) -> mid` binding:
+/// everything PREDICT needs to serve a recovered model without
+/// retraining.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BindingMeta {
+    pub cfg: ArmNetConfig,
+    pub loss: LossKind,
+    pub std_mean: f32,
+    pub std_std: f32,
+    pub features: Vec<usize>,
+}
+
+fn loss_code(loss: LossKind) -> u8 {
+    match loss {
+        LossKind::Mse => 0,
+        LossKind::Bce => 1,
+        LossKind::CrossEntropy => 2,
+    }
+}
+
+fn loss_from(code: u8) -> Option<LossKind> {
+    Some(match code {
+        0 => LossKind::Mse,
+        1 => LossKind::Bce,
+        2 => LossKind::CrossEntropy,
+        _ => return None,
+    })
+}
+
+impl BindingMeta {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.u64(self.cfg.nfields as u64);
+        w.u64(self.cfg.vocab as u64);
+        w.u64(self.cfg.embed_dim as u64);
+        w.u64(self.cfg.hidden as u64);
+        w.u64(self.cfg.outputs as u64);
+        w.u8(loss_code(self.loss));
+        w.f32(self.std_mean);
+        w.f32(self.std_std);
+        w.u32(self.features.len() as u32);
+        for f in &self.features {
+            w.u32(*f as u32);
+        }
+        w.into_bytes()
+    }
+
+    pub fn decode(bytes: &[u8]) -> Option<BindingMeta> {
+        let mut r = Reader(bytes);
+        let cfg = ArmNetConfig {
+            nfields: r.u64()? as usize,
+            vocab: r.u64()? as usize,
+            embed_dim: r.u64()? as usize,
+            hidden: r.u64()? as usize,
+            outputs: r.u64()? as usize,
+        };
+        let loss = loss_from(r.u8()?)?;
+        let std_mean = r.f32()?;
+        let std_std = r.f32()?;
+        let n = r.u32()? as usize;
+        let mut features = Vec::with_capacity(n.min(1 << 12));
+        for _ in 0..n {
+            features.push(r.u32()? as usize);
+        }
+        r.is_empty().then_some(BindingMeta {
+            cfg,
+            loss,
+            std_mean,
+            std_std,
+            features,
+        })
+    }
+}
+
+/// Encode a model-manager event as its WAL record (auto-committed under
+/// the system transaction — model registry mutations are atomic units).
+pub fn model_event_record(event: &ModelEvent) -> WalRecord {
+    match event {
+        ModelEvent::Registered {
+            mid,
+            ts,
+            spec,
+            states,
+        } => WalRecord::ModelRegister {
+            txn: SYSTEM_TXN,
+            mid: *mid,
+            ts: *ts,
+            spec: LayerSpec::encode_stack(spec),
+            states: states.clone(),
+        },
+        ModelEvent::SavedFull { mid, ts, states } => WalRecord::ModelSaveFull {
+            txn: SYSTEM_TXN,
+            mid: *mid,
+            ts: *ts,
+            states: states.clone(),
+        },
+        ModelEvent::SavedIncremental { mid, ts, changed } => WalRecord::ModelSaveIncremental {
+            txn: SYSTEM_TXN,
+            mid: *mid,
+            ts: *ts,
+            changed: changed.clone(),
+        },
+    }
+}
+
+/// Replay one recovered model record into the manager. Returns `false`
+/// for records this function does not handle (e.g. `ModelBind`, which the
+/// database replays into its serving cache).
+pub fn replay_model_record(mm: &ModelManager, record: &WalRecord) -> Option<bool> {
+    match record {
+        WalRecord::ModelRegister {
+            mid,
+            ts,
+            spec,
+            states,
+            ..
+        } => {
+            let spec = LayerSpec::decode_stack(spec)?;
+            mm.apply_replay(ModelEvent::Registered {
+                mid: *mid,
+                ts: *ts,
+                spec,
+                states: states.clone(),
+            })
+            .ok()?;
+            Some(true)
+        }
+        WalRecord::ModelSaveFull {
+            mid, ts, states, ..
+        } => {
+            mm.apply_replay(ModelEvent::SavedFull {
+                mid: *mid,
+                ts: *ts,
+                states: states.clone(),
+            })
+            .ok()?;
+            Some(true)
+        }
+        WalRecord::ModelSaveIncremental {
+            mid, ts, changed, ..
+        } => {
+            mm.apply_replay(ModelEvent::SavedIncremental {
+                mid: *mid,
+                ts: *ts,
+                changed: changed.clone(),
+            })
+            .ok()?;
+            Some(true)
+        }
+        _ => Some(false),
+    }
+}
+
+/// One serving binding inside the app snapshot.
+pub struct SnapshotBinding {
+    pub table: String,
+    pub target: String,
+    pub mid: u64,
+    pub meta: Vec<u8>,
+}
+
+/// Pack the checkpoint app snapshot: model store + serving bindings.
+pub fn encode_app_snapshot(mm: &ModelManager, bindings: &[SnapshotBinding]) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.bytes(&mm.snapshot());
+    w.u32(bindings.len() as u32);
+    for b in bindings {
+        w.str(&b.table);
+        w.str(&b.target);
+        w.u64(b.mid);
+        w.bytes(&b.meta);
+    }
+    w.into_bytes()
+}
+
+/// Unpack [`encode_app_snapshot`]'s blob.
+pub fn decode_app_snapshot(bytes: &[u8]) -> Option<(Vec<u8>, Vec<SnapshotBinding>)> {
+    let mut r = Reader(bytes);
+    let mm = r.bytes()?.to_vec();
+    let n = r.u32()? as usize;
+    let mut bindings = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        bindings.push(SnapshotBinding {
+            table: r.str()?,
+            target: r.str()?,
+            mid: r.u64()?,
+            meta: r.bytes()?.to_vec(),
+        });
+    }
+    r.is_empty().then_some((mm, bindings))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binding_meta_roundtrip() {
+        let meta = BindingMeta {
+            cfg: ArmNetConfig {
+                nfields: 3,
+                vocab: 2048,
+                embed_dim: 8,
+                hidden: 64,
+                outputs: 1,
+            },
+            loss: LossKind::Bce,
+            std_mean: 1.5,
+            std_std: 0.25,
+            features: vec![1, 2, 5],
+        };
+        assert_eq!(BindingMeta::decode(&meta.encode()).as_ref(), Some(&meta));
+        assert_eq!(BindingMeta::decode(&[1, 2, 3]), None);
+    }
+
+    #[test]
+    fn model_events_roundtrip_through_records() {
+        let mm = ModelManager::new();
+        let spec = neurdb_nn::mlp_spec(&[2, 4, 1]);
+        let states = vec![vec![1u8; 8], vec![], vec![2u8; 4]];
+        let ev = ModelEvent::Registered {
+            mid: 7,
+            ts: 3,
+            spec,
+            states,
+        };
+        let rec = model_event_record(&ev);
+        assert_eq!(replay_model_record(&mm, &rec), Some(true));
+        assert_eq!(mm.num_models(), 1);
+        assert_eq!(mm.versions(7).unwrap(), vec![3]);
+    }
+}

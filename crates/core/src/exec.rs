@@ -107,11 +107,7 @@ pub fn execute_select(
     if relations.is_empty() {
         return Err(CoreError::Unsupported("SELECT without FROM".into()));
     }
-    let all_conjuncts: Vec<Expr> = stmt
-        .predicate
-        .as_ref()
-        .map(|p| conjuncts(p))
-        .unwrap_or_default();
+    let all_conjuncts: Vec<Expr> = stmt.predicate.as_ref().map(conjuncts).unwrap_or_default();
     let mut used = vec![false; all_conjuncts.len()];
 
     // 2. Predicate pushdown to single relations.

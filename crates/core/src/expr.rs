@@ -232,7 +232,11 @@ mod tests {
     }
 
     fn row(a: i64, b: f64, name: &str) -> Tuple {
-        Tuple::new(vec![Value::Int(a), Value::Float(b), Value::Text(name.into())])
+        Tuple::new(vec![
+            Value::Int(a),
+            Value::Float(b),
+            Value::Text(name.into()),
+        ])
     }
 
     fn pred(sql_where: &str) -> Expr {
@@ -255,19 +259,13 @@ mod tests {
     fn arithmetic() {
         let e = env();
         let r = row(7, 0.5, "x");
-        assert_eq!(
-            eval(&pred("a + 1 = 8"), &r, &e).unwrap(),
-            Value::Bool(true)
-        );
+        assert_eq!(eval(&pred("a + 1 = 8"), &r, &e).unwrap(), Value::Bool(true));
         assert_eq!(
             eval(&pred("a * 2 - 4 = 10"), &r, &e).unwrap(),
             Value::Bool(true)
         );
         // Mixed int/float promotes.
-        assert_eq!(
-            eval(&pred("b * 4 = 2"), &r, &e).unwrap(),
-            Value::Bool(true)
-        );
+        assert_eq!(eval(&pred("b * 4 = 2"), &r, &e).unwrap(), Value::Bool(true));
     }
 
     #[test]
@@ -291,7 +289,8 @@ mod tests {
 
     #[test]
     fn qualified_resolution_and_ambiguity() {
-        let j = Bindings::for_table("u", &["id", "x"]).join(&Bindings::for_table("p", &["id", "y"]));
+        let j =
+            Bindings::for_table("u", &["id", "x"]).join(&Bindings::for_table("p", &["id", "y"]));
         let r = Tuple::new(vec![
             Value::Int(1),
             Value::Int(2),

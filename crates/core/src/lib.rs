@@ -27,6 +27,7 @@
 pub mod analytics;
 pub mod compare;
 pub mod database;
+pub mod durability;
 pub mod error;
 pub mod exec;
 pub mod expr;
@@ -37,6 +38,7 @@ pub use compare::{
     AnalyticsWorkload, ComparisonRow, RowSource,
 };
 pub use database::{Database, Output, PredictionReport};
+pub use durability::{BindingMeta, SnapshotBinding};
 pub use error::{CoreError, CoreResult};
 pub use exec::{execute_select, QueryResult};
 pub use expr::{eval, eval_predicate, Bindings, EvalError};

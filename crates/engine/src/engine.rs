@@ -90,9 +90,7 @@ impl AiEngine {
             },
         );
         let (losses, samples, compute, wait) = Self::consume(&mut trainer, &mut rx);
-        let (mid, version) = self
-            .models
-            .register(spec, trainer.model.layer_states());
+        let (mid, version) = self.models.register(spec, trainer.model.layer_states());
         TrainOutcome {
             mid,
             version,
@@ -166,10 +164,7 @@ impl AiEngine {
     }
 
     /// Shared consume loop: pulls batches, measuring stall vs compute time.
-    fn consume(
-        trainer: &mut Trainer,
-        rx: &mut StreamReceiver,
-    ) -> (Vec<f32>, usize, f64, f64) {
+    fn consume(trainer: &mut Trainer, rx: &mut StreamReceiver) -> (Vec<f32>, usize, f64, f64) {
         let mut losses = Vec::new();
         let mut samples = 0usize;
         let mut compute = 0.0;
@@ -402,7 +397,11 @@ mod tests {
         h.join().unwrap();
         let x = Matrix::from_vec(1, 2, vec![0.4, -0.1]);
         let y = engine.infer(out.mid, &x).unwrap();
-        assert!((y.get(0, 0) - 0.5).abs() < 0.25, "prediction {}", y.get(0, 0));
+        assert!(
+            (y.get(0, 0) - 0.5).abs() < 0.25,
+            "prediction {}",
+            y.get(0, 0)
+        );
         // Old version still servable.
         let y_old = engine.infer_at(out.mid, out.version, &x).unwrap();
         assert_eq!(y.data, y_old.data);

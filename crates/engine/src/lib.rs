@@ -29,7 +29,9 @@ pub mod mselection;
 pub mod streaming;
 
 pub use engine::{batch_load_then_train, AiEngine, AiTask, TaskManager, TaskResult, TrainOutcome};
-pub use model_manager::{Lid, Mid, ModelError, ModelManager, StorageReport, VersionTs};
+pub use model_manager::{
+    EventSink, Lid, Mid, ModelError, ModelEvent, ModelManager, StorageReport, VersionTs,
+};
 pub use monitor::{Adaptation, DriftMonitor, MonitorConfig, ThroughputMonitor};
 pub use mselection::{mselection, ModelScore, SelectionConstraints};
 pub use streaming::{

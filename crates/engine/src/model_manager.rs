@@ -19,6 +19,37 @@ use rand::SeedableRng;
 use std::collections::HashMap;
 use std::fmt;
 
+/// A durable model-manager event, emitted after the in-memory state
+/// change commits. The database layer encodes these into WAL records so a
+/// crash loses neither trained models nor their version chains.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelEvent {
+    /// A new model was registered (version 1, all layers stored).
+    Registered {
+        mid: Mid,
+        ts: VersionTs,
+        spec: Vec<LayerSpec>,
+        states: Vec<Vec<u8>>,
+    },
+    /// A full new version was persisted (complete retraining).
+    SavedFull {
+        mid: Mid,
+        ts: VersionTs,
+        states: Vec<Vec<u8>>,
+    },
+    /// An incremental version was persisted (only `changed` layers).
+    SavedIncremental {
+        mid: Mid,
+        ts: VersionTs,
+        changed: Vec<(Lid, Vec<u8>)>,
+    },
+}
+
+/// Receives [`ModelEvent`]s synchronously, before the mutating call
+/// returns — so a WAL-backed sink can order the event's log record ahead
+/// of anything that observes the new version.
+pub type EventSink = Box<dyn Fn(&ModelEvent) + Send + Sync>;
+
 /// Model identifier.
 pub type Mid = u64;
 /// Layer identifier (index within the model's stack).
@@ -87,6 +118,8 @@ pub struct ModelManager {
     models: RwLock<HashMap<Mid, ModelEntry>>,
     next_mid: RwLock<Mid>,
     clock: RwLock<VersionTs>,
+    /// Durability hook; `None` for volatile managers.
+    sink: RwLock<Option<EventSink>>,
 }
 
 impl Default for ModelManager {
@@ -101,6 +134,23 @@ impl ModelManager {
             models: RwLock::new(HashMap::new()),
             next_mid: RwLock::new(1),
             clock: RwLock::new(1),
+            sink: RwLock::new(None),
+        }
+    }
+
+    /// Install the durability sink. Replaces any previous sink; events
+    /// fire synchronously from the mutating call.
+    pub fn set_event_sink(&self, sink: EventSink) {
+        *self.sink.write() = Some(sink);
+    }
+
+    fn has_sink(&self) -> bool {
+        self.sink.read().is_some()
+    }
+
+    fn emit(&self, event: ModelEvent) {
+        if let Some(sink) = self.sink.read().as_ref() {
+            sink(&event);
         }
     }
 
@@ -121,8 +171,16 @@ impl ModelManager {
             m
         };
         let ts = self.next_ts();
+        // Only pay for the event's full-weight copies when a sink exists.
+        let event = self.has_sink().then(|| ModelEvent::Registered {
+            mid,
+            ts,
+            spec: spec.clone(),
+            states: states.clone(),
+        });
         let layers = states.into_iter().map(|s| vec![(ts, s)]).collect();
-        self.models.write().insert(
+        let mut models = self.models.write();
+        models.insert(
             mid,
             ModelEntry {
                 spec,
@@ -130,6 +188,13 @@ impl ModelManager {
                 layers,
             },
         );
+        // Emit while still holding the write lock: the event's log record
+        // must be ordered before any other version mutation of this store
+        // becomes visible, or replay order could diverge from chain order.
+        if let Some(event) = event {
+            self.emit(event);
+        }
+        drop(models);
         (mid, ts)
     }
 
@@ -137,18 +202,29 @@ impl ModelManager {
     /// complete retraining produces.
     pub fn save_full(&self, mid: Mid, states: Vec<Vec<u8>>) -> Result<VersionTs, ModelError> {
         let ts = self.next_ts();
-        let mut models = self.models.write();
-        let entry = models.get_mut(&mid).ok_or(ModelError::UnknownModel(mid))?;
-        if states.len() != entry.layers.len() {
-            return Err(ModelError::LayerCountMismatch {
-                expected: entry.layers.len(),
-                got: states.len(),
+        {
+            let mut models = self.models.write();
+            let entry = models.get_mut(&mid).ok_or(ModelError::UnknownModel(mid))?;
+            if states.len() != entry.layers.len() {
+                return Err(ModelError::LayerCountMismatch {
+                    expected: entry.layers.len(),
+                    got: states.len(),
+                });
+            }
+            let event = self.has_sink().then(|| ModelEvent::SavedFull {
+                mid,
+                ts,
+                states: states.clone(),
             });
+            for (lid, s) in states.into_iter().enumerate() {
+                entry.layers[lid].push((ts, s));
+            }
+            entry.versions.push(ts);
+            // Emit under the write lock (see `register`).
+            if let Some(event) = event {
+                self.emit(event);
+            }
         }
-        for (lid, s) in states.into_iter().enumerate() {
-            entry.layers[lid].push((ts, s));
-        }
-        entry.versions.push(ts);
         Ok(ts)
     }
 
@@ -161,20 +237,114 @@ impl ModelManager {
         changed: Vec<(Lid, Vec<u8>)>,
     ) -> Result<VersionTs, ModelError> {
         let ts = self.next_ts();
-        let mut models = self.models.write();
-        let entry = models.get_mut(&mid).ok_or(ModelError::UnknownModel(mid))?;
-        for (lid, s) in changed {
-            let lid = lid as usize;
-            if lid >= entry.layers.len() {
-                return Err(ModelError::LayerCountMismatch {
-                    expected: entry.layers.len(),
-                    got: lid + 1,
-                });
+        {
+            let mut models = self.models.write();
+            let entry = models.get_mut(&mid).ok_or(ModelError::UnknownModel(mid))?;
+            for (lid, _) in &changed {
+                if *lid as usize >= entry.layers.len() {
+                    return Err(ModelError::LayerCountMismatch {
+                        expected: entry.layers.len(),
+                        got: *lid as usize + 1,
+                    });
+                }
             }
-            entry.layers[lid].push((ts, s));
+            let event = self.has_sink().then(|| ModelEvent::SavedIncremental {
+                mid,
+                ts,
+                changed: changed.clone(),
+            });
+            for (lid, s) in changed {
+                entry.layers[lid as usize].push((ts, s));
+            }
+            entry.versions.push(ts);
+            // Emit under the write lock (see `register`).
+            if let Some(event) = event {
+                self.emit(event);
+            }
         }
-        entry.versions.push(ts);
         Ok(ts)
+    }
+
+    /// Re-apply a logged event during crash recovery, preserving the
+    /// original model id and version timestamp. Does not emit events (the
+    /// sink is installed after replay finishes). Idempotent: an event
+    /// whose model/version already exists is skipped, because an event
+    /// can legitimately be captured in a checkpoint snapshot *and* sit
+    /// after the checkpoint LSN in the log (its record is appended
+    /// outside the checkpoint quiesce latch). Replay in log order.
+    pub fn apply_replay(&self, event: ModelEvent) -> Result<(), ModelError> {
+        match event {
+            ModelEvent::Registered {
+                mid,
+                ts,
+                spec,
+                states,
+            } => {
+                if self.models.read().contains_key(&mid) {
+                    return Ok(()); // already in the snapshot
+                }
+                let layers = states.into_iter().map(|s| vec![(ts, s)]).collect();
+                self.models.write().insert(
+                    mid,
+                    ModelEntry {
+                        spec,
+                        versions: vec![ts],
+                        layers,
+                    },
+                );
+                self.bump_counters(mid, ts);
+                Ok(())
+            }
+            ModelEvent::SavedFull { mid, ts, states } => {
+                let mut models = self.models.write();
+                let entry = models.get_mut(&mid).ok_or(ModelError::UnknownModel(mid))?;
+                if entry.versions.contains(&ts) {
+                    return Ok(()); // already in the snapshot
+                }
+                if states.len() != entry.layers.len() {
+                    return Err(ModelError::LayerCountMismatch {
+                        expected: entry.layers.len(),
+                        got: states.len(),
+                    });
+                }
+                for (lid, s) in states.into_iter().enumerate() {
+                    entry.layers[lid].push((ts, s));
+                }
+                entry.versions.push(ts);
+                drop(models);
+                self.bump_counters(mid, ts);
+                Ok(())
+            }
+            ModelEvent::SavedIncremental { mid, ts, changed } => {
+                let mut models = self.models.write();
+                let entry = models.get_mut(&mid).ok_or(ModelError::UnknownModel(mid))?;
+                if entry.versions.contains(&ts) {
+                    return Ok(()); // already in the snapshot
+                }
+                for (lid, s) in changed {
+                    let lid = lid as usize;
+                    if lid >= entry.layers.len() {
+                        return Err(ModelError::LayerCountMismatch {
+                            expected: entry.layers.len(),
+                            got: lid + 1,
+                        });
+                    }
+                    entry.layers[lid].push((ts, s));
+                }
+                entry.versions.push(ts);
+                drop(models);
+                self.bump_counters(mid, ts);
+                Ok(())
+            }
+        }
+    }
+
+    fn bump_counters(&self, mid: Mid, ts: VersionTs) {
+        let mut n = self.next_mid.write();
+        *n = (*n).max(mid + 1);
+        drop(n);
+        let mut c = self.clock.write();
+        *c = (*c).max(ts + 1);
     }
 
     /// Latest version timestamp of a model.
@@ -204,11 +374,7 @@ impl ModelManager {
 
     /// Assemble the layer states of `M_{mid, t}`: for each layer, the
     /// weights with the largest timestamp `≤ t`.
-    pub fn layer_states_at(
-        &self,
-        mid: Mid,
-        t: VersionTs,
-    ) -> Result<Vec<Vec<u8>>, ModelError> {
+    pub fn layer_states_at(&self, mid: Mid, t: VersionTs) -> Result<Vec<Vec<u8>>, ModelError> {
         let models = self.models.read();
         let entry = models.get(&mid).ok_or(ModelError::UnknownModel(mid))?;
         if !entry.versions.iter().any(|v| *v <= t) {
@@ -271,6 +437,111 @@ impl ModelManager {
     pub fn num_models(&self) -> usize {
         self.models.read().len()
     }
+
+    /// Serialize the full store — specs, version chains, layer rows, and
+    /// id counters — for a durability checkpoint. Layout (all LE):
+    /// `[next_mid u64][clock u64][n_models u32]` then per model
+    /// `[mid u64][spec_stack][n_versions u32][ts u64...]` followed by per
+    /// layer `[n_rows u32]([ts u64][len u32][bytes])...`.
+    pub fn snapshot(&self) -> Vec<u8> {
+        fn put_u32(out: &mut Vec<u8>, v: u32) {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        fn put_u64(out: &mut Vec<u8>, v: u64) {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        let models = self.models.read();
+        let mut out = Vec::new();
+        put_u64(&mut out, *self.next_mid.read());
+        put_u64(&mut out, *self.clock.read());
+        put_u32(&mut out, models.len() as u32);
+        // Sorted for deterministic snapshots.
+        let mut mids: Vec<Mid> = models.keys().copied().collect();
+        mids.sort_unstable();
+        for mid in mids {
+            let entry = &models[&mid];
+            put_u64(&mut out, mid);
+            let spec = LayerSpec::encode_stack(&entry.spec);
+            put_u32(&mut out, spec.len() as u32);
+            out.extend_from_slice(&spec);
+            put_u32(&mut out, entry.versions.len() as u32);
+            for v in &entry.versions {
+                put_u64(&mut out, *v);
+            }
+            put_u32(&mut out, entry.layers.len() as u32);
+            for rows in &entry.layers {
+                put_u32(&mut out, rows.len() as u32);
+                for (ts, s) in rows {
+                    put_u64(&mut out, *ts);
+                    put_u32(&mut out, s.len() as u32);
+                    out.extend_from_slice(s);
+                }
+            }
+        }
+        out
+    }
+
+    /// Rebuild the store from a [`ModelManager::snapshot`] blob,
+    /// replacing all current state. `None` on malformed input.
+    pub fn restore(&self, bytes: &[u8]) -> Option<()> {
+        struct R<'a>(&'a [u8]);
+        impl R<'_> {
+            fn u32(&mut self) -> Option<u32> {
+                let (head, rest) = self.0.split_at_checked(4)?;
+                self.0 = rest;
+                Some(u32::from_le_bytes(head.try_into().ok()?))
+            }
+            fn u64(&mut self) -> Option<u64> {
+                let (head, rest) = self.0.split_at_checked(8)?;
+                self.0 = rest;
+                Some(u64::from_le_bytes(head.try_into().ok()?))
+            }
+            fn bytes(&mut self, n: usize) -> Option<&[u8]> {
+                let (head, rest) = self.0.split_at_checked(n)?;
+                self.0 = rest;
+                Some(head)
+            }
+        }
+        let mut r = R(bytes);
+        let next_mid = r.u64()?;
+        let clock = r.u64()?;
+        let n_models = r.u32()? as usize;
+        let mut map = HashMap::with_capacity(n_models);
+        for _ in 0..n_models {
+            let mid = r.u64()?;
+            let spec_len = r.u32()? as usize;
+            let spec = LayerSpec::decode_stack(r.bytes(spec_len)?)?;
+            let n_versions = r.u32()? as usize;
+            let mut versions = Vec::with_capacity(n_versions);
+            for _ in 0..n_versions {
+                versions.push(r.u64()?);
+            }
+            let n_layers = r.u32()? as usize;
+            let mut layers = Vec::with_capacity(n_layers);
+            for _ in 0..n_layers {
+                let n_rows = r.u32()? as usize;
+                let mut rows = Vec::with_capacity(n_rows);
+                for _ in 0..n_rows {
+                    let ts = r.u64()?;
+                    let len = r.u32()? as usize;
+                    rows.push((ts, r.bytes(len)?.to_vec()));
+                }
+                layers.push(rows);
+            }
+            map.insert(
+                mid,
+                ModelEntry {
+                    spec,
+                    versions,
+                    layers,
+                },
+            );
+        }
+        *self.models.write() = map;
+        *self.next_mid.write() = next_mid;
+        *self.clock.write() = clock;
+        Some(())
+    }
 }
 
 #[cfg(test)]
@@ -306,7 +577,9 @@ mod tests {
         let fresh = Model::from_spec(spec, &mut rng);
         let new_last = fresh.layer_states().pop().unwrap();
         let last_lid = (model.num_layers() - 1) as Lid;
-        let v2 = mm.save_incremental(mid, vec![(last_lid, new_last.clone())]).unwrap();
+        let v2 = mm
+            .save_incremental(mid, vec![(last_lid, new_last.clone())])
+            .unwrap();
         assert!(v2 > v1);
         // v2 = frozen prefix of v1 + new last layer.
         let s1 = mm.layer_states_at(mid, v1).unwrap();
@@ -328,7 +601,11 @@ mod tests {
             mm.save_incremental(mid, vec![(2, changed)]).unwrap();
         }
         let s1 = mm.layer_states_at(mid, v1).unwrap();
-        assert_eq!(s1.last().unwrap(), &orig_last, "v1 unchanged by later versions");
+        assert_eq!(
+            s1.last().unwrap(),
+            &orig_last,
+            "v1 unchanged by later versions"
+        );
         assert_eq!(mm.versions(mid).unwrap().len(), 6);
     }
 
@@ -361,9 +638,7 @@ mod tests {
         let (spec, model) = fresh_model();
         let (mid, v1) = mm.register(spec, model.layer_states());
         assert!(mm.layer_states_at(mid, v1 - 1).is_err());
-        assert!(mm
-            .save_incremental(mid, vec![(99, vec![])])
-            .is_err());
+        assert!(mm.save_incremental(mid, vec![(99, vec![])]).is_err());
         assert!(mm.save_full(mid, vec![vec![]]).is_err());
     }
 

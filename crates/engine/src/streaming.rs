@@ -55,9 +55,8 @@ pub struct DataBatch {
 impl DataBatch {
     /// Wire-encode the batch (length-prefixed f32 payloads).
     pub fn encode(&self) -> Vec<u8> {
-        let mut buf = BytesMut::with_capacity(
-            16 + 4 * (self.features.data.len() + self.targets.data.len()),
-        );
+        let mut buf =
+            BytesMut::with_capacity(16 + 4 * (self.features.data.len() + self.targets.data.len()));
         for m in [&self.features, &self.targets] {
             buf.put_u32_le(m.rows as u32);
             buf.put_u32_le(m.cols as u32);
@@ -263,7 +262,10 @@ mod tests {
         // The third send must block until the consumer frees a slot.
         let start = std::time::Instant::now();
         tx.send(&batch(1, 2.0)).unwrap();
-        assert!(start.elapsed().as_millis() >= 20, "send should have blocked");
+        assert!(
+            start.elapsed().as_millis() >= 20,
+            "send should have blocked"
+        );
         tx.finish();
         assert_eq!(t.join().unwrap(), 3);
     }

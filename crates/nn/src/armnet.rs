@@ -15,7 +15,7 @@ use crate::tensor::Matrix;
 use rand::Rng;
 
 /// Configuration of an ArmNet instance.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ArmNetConfig {
     /// Number of categorical input fields.
     pub nfields: usize,
@@ -83,12 +83,7 @@ pub fn armnet_finetune_from(cfg: &ArmNetConfig) -> usize {
 }
 
 /// Build a ready-to-train ArmNet.
-pub fn armnet_trainer(
-    cfg: &ArmNetConfig,
-    loss: LossKind,
-    lr: f32,
-    rng: &mut impl Rng,
-) -> Trainer {
+pub fn armnet_trainer(cfg: &ArmNetConfig, loss: LossKind, lr: f32, rng: &mut impl Rng) -> Trainer {
     let model = Model::from_spec(armnet_spec(cfg), rng);
     Trainer::new(
         model,
@@ -105,7 +100,11 @@ pub fn armnet_trainer(
 pub fn bucketize(field: usize, raw: u64, vocab: usize) -> usize {
     // FNV-1a style mix.
     let mut h: u64 = 0xcbf29ce484222325;
-    for b in (field as u64).to_le_bytes().iter().chain(raw.to_le_bytes().iter()) {
+    for b in (field as u64)
+        .to_le_bytes()
+        .iter()
+        .chain(raw.to_le_bytes().iter())
+    {
         h ^= *b as u64;
         h = h.wrapping_mul(0x100000001b3);
     }
@@ -155,7 +154,7 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(21);
         let mut t = armnet_trainer(&cfg, LossKind::Bce, 0.01, &mut rng);
         // Click iff field0's raw value is even.
-        let mut make = |rng: &mut rand::rngs::StdRng, n: usize| {
+        let make = |rng: &mut rand::rngs::StdRng, n: usize| {
             let rows: Vec<Vec<u64>> = (0..n)
                 .map(|_| (0..4).map(|_| rng.gen_range(0..32u64)).collect())
                 .collect();
@@ -186,7 +185,9 @@ mod tests {
         assert_eq!(bucketize(0, 42, 100), bucketize(0, 42, 100));
         // Same raw value in different fields should (almost surely) bucket
         // differently.
-        let same = (0..16).filter(|f| bucketize(*f, 7, 1024) == bucketize(0, 7, 1024)).count();
+        let same = (0..16)
+            .filter(|f| bucketize(*f, 7, 1024) == bucketize(0, 7, 1024))
+            .count();
         assert!(same <= 2);
     }
 

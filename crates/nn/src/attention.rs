@@ -71,7 +71,7 @@ pub struct MultiHeadAttention {
 
 impl MultiHeadAttention {
     pub fn new(dim: usize, heads: usize, rng: &mut impl Rng) -> Self {
-        assert!(dim % heads == 0, "dim must divide heads");
+        assert!(dim.is_multiple_of(heads), "dim must divide heads");
         MultiHeadAttention {
             dim,
             heads,

@@ -128,7 +128,11 @@ impl Layer for Linear {
         let mut buf = bytes;
         let inf = buf.get_u32_le() as usize;
         let outf = buf.get_u32_le() as usize;
-        assert_eq!((inf, outf), (self.in_features, self.out_features), "shape mismatch");
+        assert_eq!(
+            (inf, outf),
+            (self.in_features, self.out_features),
+            "shape mismatch"
+        );
         self.w.data = get_vec_f32(&mut buf);
         self.b = get_vec_f32(&mut buf);
     }
@@ -232,7 +236,10 @@ impl Layer for Embedding {
     }
 
     fn describe(&self) -> String {
-        format!("embedding({}x{} over {} fields)", self.vocab, self.dim, self.nfields)
+        format!(
+            "embedding({}x{} over {} fields)",
+            self.vocab, self.dim, self.nfields
+        )
     }
 }
 
@@ -344,8 +351,8 @@ impl Layer for LayerNorm {
             let inv_std = 1.0 / (var + self.eps).sqrt();
             means.push(mean);
             inv_stds.push(inv_std);
-            for c in 0..self.dim {
-                let h = (row[c] - mean) * inv_std;
+            for (c, &x) in row.iter().enumerate() {
+                let h = (x - mean) * inv_std;
                 xhat.set(r, c, h);
                 out.set(r, c, h * self.gamma[c] + self.beta[c]);
             }
@@ -358,7 +365,7 @@ impl Layer for LayerNorm {
         let (xhat, _means, inv_stds) = self.cache.as_ref().expect("backward before forward");
         let n = self.dim as f32;
         let mut grad_in = Matrix::zeros(grad_out.rows, grad_out.cols);
-        for r in 0..grad_out.rows {
+        for (r, &inv_std) in inv_stds.iter().enumerate() {
             let g = grad_out.row(r);
             let xh = xhat.row(r);
             // Accumulate param grads.
@@ -371,7 +378,7 @@ impl Layer for LayerNorm {
             let sum_dxhat: f32 = dxhat.iter().sum();
             let sum_dxhat_xhat: f32 = dxhat.iter().zip(xh.iter()).map(|(a, b)| a * b).sum();
             for c in 0..self.dim {
-                let v = (dxhat[c] - sum_dxhat / n - xh[c] * sum_dxhat_xhat / n) * inv_stds[r];
+                let v = (dxhat[c] - sum_dxhat / n - xh[c] * sum_dxhat_xhat / n) * inv_std;
                 grad_in.set(r, c, v);
             }
         }

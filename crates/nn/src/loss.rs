@@ -133,8 +133,7 @@ mod tests {
             zp.data[i] += eps;
             let mut zm = z.clone();
             zm.data[i] -= eps;
-            let numeric =
-                (bce_with_logits(&zp, &y).0 - bce_with_logits(&zm, &y).0) / (2.0 * eps);
+            let numeric = (bce_with_logits(&zp, &y).0 - bce_with_logits(&zm, &y).0) / (2.0 * eps);
             assert!((numeric - g.data[i]).abs() < 1e-3);
         }
     }

@@ -18,23 +18,129 @@ use serde::{Deserialize, Serialize};
 /// the weight blobs.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum LayerSpec {
-    Linear { inputs: usize, outputs: usize },
-    Embedding { vocab: usize, dim: usize, nfields: usize },
+    Linear {
+        inputs: usize,
+        outputs: usize,
+    },
+    Embedding {
+        vocab: usize,
+        dim: usize,
+        nfields: usize,
+    },
     Relu,
     Sigmoid,
     Tanh,
-    LayerNorm { dim: usize },
-    MultiHeadAttention { dim: usize, heads: usize },
+    LayerNorm {
+        dim: usize,
+    },
+    MultiHeadAttention {
+        dim: usize,
+        heads: usize,
+    },
 }
 
 impl LayerSpec {
+    /// Append a compact wire encoding — used by the model manager's
+    /// durable snapshots and the WAL's model-event records.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        use bytes::BufMut;
+        match self {
+            LayerSpec::Linear { inputs, outputs } => {
+                out.put_u8(0);
+                out.put_u64_le(*inputs as u64);
+                out.put_u64_le(*outputs as u64);
+            }
+            LayerSpec::Embedding {
+                vocab,
+                dim,
+                nfields,
+            } => {
+                out.put_u8(1);
+                out.put_u64_le(*vocab as u64);
+                out.put_u64_le(*dim as u64);
+                out.put_u64_le(*nfields as u64);
+            }
+            LayerSpec::Relu => out.put_u8(2),
+            LayerSpec::Sigmoid => out.put_u8(3),
+            LayerSpec::Tanh => out.put_u8(4),
+            LayerSpec::LayerNorm { dim } => {
+                out.put_u8(5);
+                out.put_u64_le(*dim as u64);
+            }
+            LayerSpec::MultiHeadAttention { dim, heads } => {
+                out.put_u8(6);
+                out.put_u64_le(*dim as u64);
+                out.put_u64_le(*heads as u64);
+            }
+        }
+    }
+
+    /// Decode one spec from the front of `buf`; `None` on malformed input.
+    pub fn decode(buf: &mut &[u8]) -> Option<Self> {
+        use bytes::Buf;
+        if buf.remaining() < 1 {
+            return None;
+        }
+        let tag = buf.get_u8();
+        let u = |buf: &mut &[u8]| -> Option<usize> {
+            (buf.remaining() >= 8).then(|| buf.get_u64_le() as usize)
+        };
+        Some(match tag {
+            0 => LayerSpec::Linear {
+                inputs: u(buf)?,
+                outputs: u(buf)?,
+            },
+            1 => LayerSpec::Embedding {
+                vocab: u(buf)?,
+                dim: u(buf)?,
+                nfields: u(buf)?,
+            },
+            2 => LayerSpec::Relu,
+            3 => LayerSpec::Sigmoid,
+            4 => LayerSpec::Tanh,
+            5 => LayerSpec::LayerNorm { dim: u(buf)? },
+            6 => LayerSpec::MultiHeadAttention {
+                dim: u(buf)?,
+                heads: u(buf)?,
+            },
+            _ => return None,
+        })
+    }
+
+    /// Encode an ordered spec stack.
+    pub fn encode_stack(specs: &[LayerSpec]) -> Vec<u8> {
+        use bytes::BufMut;
+        let mut out = Vec::with_capacity(4 + specs.len() * 8);
+        out.put_u32_le(specs.len() as u32);
+        for s in specs {
+            s.encode_into(&mut out);
+        }
+        out
+    }
+
+    /// Decode a spec stack produced by [`LayerSpec::encode_stack`].
+    pub fn decode_stack(mut buf: &[u8]) -> Option<Vec<LayerSpec>> {
+        use bytes::Buf;
+        if buf.remaining() < 4 {
+            return None;
+        }
+        let n = buf.get_u32_le() as usize;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(LayerSpec::decode(&mut buf)?);
+        }
+        Some(out)
+    }
+
     /// Instantiate the layer with fresh (random) weights.
     pub fn build(&self, rng: &mut impl Rng) -> Box<dyn Layer> {
         match self {
             LayerSpec::Linear { inputs, outputs } => Box::new(Linear::new(*inputs, *outputs, rng)),
-            LayerSpec::Embedding { vocab, dim, nfields } => {
-                Box::new(Embedding::new(*vocab, *dim, *nfields, rng))
-            }
+            LayerSpec::Embedding {
+                vocab,
+                dim,
+                nfields,
+            } => Box::new(Embedding::new(*vocab, *dim, *nfields, rng)),
             LayerSpec::Relu => Box::new(Relu::new()),
             LayerSpec::Sigmoid => Box::new(Sigmoid::new()),
             LayerSpec::Tanh => Box::new(Tanh::new()),
@@ -277,7 +383,14 @@ mod tests {
     fn mlp_learns_linear_function() {
         let mut rng = rng();
         let model = Model::from_spec(mlp_spec(&[2, 16, 1]), &mut rng);
-        let mut t = Trainer::new(model, LossKind::Mse, OptimConfig { lr: 0.01, ..Default::default() });
+        let mut t = Trainer::new(
+            model,
+            LossKind::Mse,
+            OptimConfig {
+                lr: 0.01,
+                ..Default::default()
+            },
+        );
         let mut last = f32::MAX;
         for _ in 0..300 {
             let (x, y) = toy_batch(&mut rng, 32);
@@ -290,7 +403,14 @@ mod tests {
     fn classification_with_cross_entropy() {
         let mut rng = rng();
         let model = Model::from_spec(mlp_spec(&[2, 16, 2]), &mut rng);
-        let mut t = Trainer::new(model, LossKind::CrossEntropy, OptimConfig { lr: 0.01, ..Default::default() });
+        let mut t = Trainer::new(
+            model,
+            LossKind::CrossEntropy,
+            OptimConfig {
+                lr: 0.01,
+                ..Default::default()
+            },
+        );
         // Class = whether a+b > 0.
         let gen = |rng: &mut rand::rngs::StdRng, n: usize| {
             let mut x = Matrix::zeros(n, 2);
@@ -328,10 +448,7 @@ mod tests {
         }
         let after = t.model.layer_states();
         assert_eq!(before[0], after[0], "frozen layer 0 must not change");
-        assert_ne!(
-            before[2], after[2],
-            "unfrozen layer 2 must receive updates"
-        );
+        assert_ne!(before[2], after[2], "unfrozen layer 2 must receive updates");
     }
 
     #[test]

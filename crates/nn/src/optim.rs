@@ -65,7 +65,11 @@ impl Sgd {
             self.velocity = params.iter().map(|p| vec![0.0; p.len()]).collect();
         }
         let scale = clip_scale(grads, self.cfg.clip);
-        for ((p, g), v) in params.iter_mut().zip(grads.iter()).zip(self.velocity.iter_mut()) {
+        for ((p, g), v) in params
+            .iter_mut()
+            .zip(grads.iter())
+            .zip(self.velocity.iter_mut())
+        {
             if v.len() != p.len() {
                 *v = vec![0.0; p.len()];
             }
@@ -197,7 +201,10 @@ mod tests {
         let mut params: Vec<&mut [f32]> = vec![&mut x];
         let mut grads: Vec<&mut [f32]> = vec![&mut g];
         opt.step(&mut params, &mut grads);
-        assert!((x[0].abs() - 1.0).abs() < 1e-5, "clipped step should be lr*clip");
+        assert!(
+            (x[0].abs() - 1.0).abs() < 1e-5,
+            "clipped step should be lr*clip"
+        );
     }
 
     #[test]

@@ -168,12 +168,12 @@ impl TreeEncoder {
                         }
                     }
                     // dh_child += W dpre (W is out_dim x out_dim, row = child dim)
-                    for hi in 0..self.out_dim {
+                    for (hi, slot) in dh[ci].iter_mut().enumerate().take(self.out_dim) {
                         let mut s = 0.0;
                         for (wv, d) in w.row(hi).iter().zip(dpre.iter()) {
                             s += wv * d;
                         }
-                        dh[ci][hi] += s;
+                        *slot += s;
                     }
                 }
             }

@@ -93,7 +93,11 @@ pub fn arm_plan(arm: BaoArm, graph: &JoinGraph) -> PlanTree {
         BaoArm::GreedySmallFirst => {
             // Greedy from the smallest table.
             let start = (0..n)
-                .min_by(|&a, &b| graph.tables[a].est_rows.total_cmp(&graph.tables[b].est_rows))
+                .min_by(|&a, &b| {
+                    graph.tables[a]
+                        .est_rows
+                        .total_cmp(&graph.tables[b].est_rows)
+                })
                 .unwrap();
             let mut order = vec![start];
             let mut mask = 1u32 << start;
@@ -102,14 +106,12 @@ pub fn arm_plan(arm: BaoArm, graph: &JoinGraph) -> PlanTree {
                     .filter(|t| mask & (1 << t) == 0)
                     .min_by(|&a, &b| {
                         let ca = if graph.connected(mask, 1 << a) {
-                            graph.cross_selectivity(mask, 1 << a, false)
-                                * graph.tables[a].est_rows
+                            graph.cross_selectivity(mask, 1 << a, false) * graph.tables[a].est_rows
                         } else {
                             f64::MAX / 2.0
                         };
                         let cb = if graph.connected(mask, 1 << b) {
-                            graph.cross_selectivity(mask, 1 << b, false)
-                                * graph.tables[b].est_rows
+                            graph.cross_selectivity(mask, 1 << b, false) * graph.tables[b].est_rows
                         } else {
                             f64::MAX / 2.0
                         };
@@ -123,7 +125,11 @@ pub fn arm_plan(arm: BaoArm, graph: &JoinGraph) -> PlanTree {
         }
         BaoArm::SizeAscending | BaoArm::SizeDescending => {
             let mut order: Vec<usize> = (0..n).collect();
-            order.sort_by(|&a, &b| graph.tables[a].est_rows.total_cmp(&graph.tables[b].est_rows));
+            order.sort_by(|&a, &b| {
+                graph.tables[a]
+                    .est_rows
+                    .total_cmp(&graph.tables[b].est_rows)
+            });
             if arm == BaoArm::SizeDescending {
                 order.reverse();
             }

@@ -160,7 +160,11 @@ pub fn random_graph(n_tables: usize, rng: &mut impl Rng) -> JoinGraph {
     for _ in 0..n_tables / 3 {
         let a = rng.gen_range(0..n_tables);
         let b = rng.gen_range(0..n_tables);
-        if a != b && !joins.iter().any(|e| (e.a, e.b) == (a, b) || (e.a, e.b) == (b, a)) {
+        if a != b
+            && !joins
+                .iter()
+                .any(|e| (e.a, e.b) == (a, b) || (e.a, e.b) == (b, a))
+        {
             let sel = 10f64.powf(rng.gen_range(-5.0..-1.0));
             joins.push(JoinEdge {
                 a,

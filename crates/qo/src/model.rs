@@ -47,10 +47,7 @@ pub fn plan_features(plan: &PlanTree, graph: &JoinGraph) -> TreeNode {
             f[2] = (sel.max(1e-12).log10() / -12.0) as f32;
             f[3] = 0.0;
             f[4] = ((lc.cost + rc.cost).max(1.0).log10() / 10.0) as f32;
-            TreeNode::inner(
-                f,
-                vec![plan_features(l, graph), plan_features(r, graph)],
-            )
+            TreeNode::inner(f, vec![plan_features(l, graph), plan_features(r, graph)])
         }
     }
 }
@@ -71,7 +68,10 @@ pub struct DualQoModel {
 
 impl DualQoModel {
     pub fn new(dim: usize, max_tables: usize, lr: f32, rng: &mut impl Rng) -> Self {
-        assert!(dim % 4 == 0, "dim must be divisible by the 4 heads");
+        assert!(
+            dim.is_multiple_of(4),
+            "dim must be divisible by the 4 heads"
+        );
         DualQoModel {
             dim,
             max_tables,
@@ -106,12 +106,7 @@ impl DualQoModel {
             traces.push(trace);
         }
         let tokens = graph.condition_tokens(self.max_tables);
-        let cond_in = Matrix::from_rows(
-            &tokens
-                .iter()
-                .map(|t| t.iter().map(|v| *v as f32).collect::<Vec<f32>>())
-                .collect::<Vec<_>>(),
-        );
+        let cond_in = Matrix::from_rows(&tokens.iter().map(|t| t.to_vec()).collect::<Vec<_>>());
         let s = self.cond_proj.forward(&cond_in);
         let u = self.cross.forward(&p, &s);
         let a = self.analyzer.forward(&u);
@@ -252,10 +247,7 @@ mod tests {
             }
             last = total;
         }
-        assert!(
-            last < first * 0.6,
-            "loss should drop: {first} -> {last}"
-        );
+        assert!(last < first * 0.6, "loss should drop: {first} -> {last}");
     }
 
     #[test]
@@ -276,11 +268,8 @@ mod tests {
             let c = candidate_plans(&g, 5, &mut r);
             let chosen = m.choose(&c, &g);
             chosen_total += cost_plan(chosen, &g, true).cost;
-            avg_total += c
-                .iter()
-                .map(|p| cost_plan(p, &g, true).cost)
-                .sum::<f64>()
-                / c.len() as f64;
+            avg_total +=
+                c.iter().map(|p| cost_plan(p, &g, true).cost).sum::<f64>() / c.len() as f64;
         }
         assert!(
             chosen_total < avg_total,

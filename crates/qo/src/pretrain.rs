@@ -175,9 +175,16 @@ mod tests {
             },
             1,
         );
-        let head: f32 = report.loss_curve[..3].iter().sum::<f32>() / 3.0;
+        // The curriculum keeps sampling hard (high-severity) graphs, so
+        // individual curve points spike; compare median of the first half
+        // against median of the second half for a spike-robust trend.
+        fn median(mut xs: Vec<f32>) -> f32 {
+            xs.sort_by(f32::total_cmp);
+            xs[xs.len() / 2]
+        }
         let n = report.loss_curve.len();
-        let tail: f32 = report.loss_curve[n - 3..].iter().sum::<f32>() / 3.0;
+        let head = median(report.loss_curve[..n / 2].to_vec());
+        let tail = median(report.loss_curve[n / 2..].to_vec());
         assert!(tail < head, "loss should fall: {head} -> {tail}");
     }
 
@@ -191,7 +198,11 @@ mod tests {
             },
             2,
         );
-        assert!(report.bucket_counts.iter().all(|c| *c > 0), "{:?}", report.bucket_counts);
+        assert!(
+            report.bucket_counts.iter().all(|c| *c > 0),
+            "{:?}",
+            report.bucket_counts
+        );
         assert_eq!(report.bucket_counts.iter().sum::<usize>(), 150);
     }
 }

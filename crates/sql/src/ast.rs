@@ -292,7 +292,10 @@ mod tests {
                 expr: Box::new(Expr::Qualified("t".into(), "b".into())),
             },
         );
-        assert_eq!(e.referenced_columns(), vec!["a".to_string(), "t.b".to_string()]);
+        assert_eq!(
+            e.referenced_columns(),
+            vec!["a".to_string(), "t.b".to_string()]
+        );
     }
 
     #[test]

@@ -22,8 +22,8 @@ pub mod parser;
 pub mod token;
 
 pub use ast::{
-    AggFunc, BinaryOp, ColumnSpec, Expr, Literal, PredictStmt, PredictTask, SelectItem,
-    SelectStmt, SortOrder, Statement, TableRef, TrainOn, TypeName, UnaryOp,
+    AggFunc, BinaryOp, ColumnSpec, Expr, Literal, PredictStmt, PredictTask, SelectItem, SelectStmt,
+    SortOrder, Statement, TableRef, TrainOn, TypeName, UnaryOp,
 };
 pub use parser::{parse, parse_script, ParseError};
 pub use token::{lex, Keyword, LexError, Token};

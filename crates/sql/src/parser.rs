@@ -615,8 +615,10 @@ impl Parser {
                 self.expect(&Token::RParen)?;
                 Ok(Expr::Agg { func, arg })
             }
-            Some(Token::Ident(_)) | Some(Token::Keyword(Keyword::Value))
-            | Some(Token::Keyword(Keyword::Class)) | Some(Token::Keyword(Keyword::Key)) => {
+            Some(Token::Ident(_))
+            | Some(Token::Keyword(Keyword::Value))
+            | Some(Token::Keyword(Keyword::Class))
+            | Some(Token::Keyword(Keyword::Key)) => {
                 let first = self.ident()?;
                 if self.accept(&Token::Dot) {
                     let second = self.ident()?;
@@ -679,7 +681,10 @@ mod tests {
                 );
                 let values = p.values.unwrap();
                 assert_eq!(values.len(), 2);
-                assert_eq!(values[0], vec![Literal::Int(6), Literal::Int(148), Literal::Int(72)]);
+                assert_eq!(
+                    values[0],
+                    vec![Literal::Int(6), Literal::Int(148), Literal::Int(72)]
+                );
             }
             other => panic!("expected PREDICT, got {other:?}"),
         }
@@ -756,8 +761,18 @@ mod tests {
         let Statement::Select(s) = stmt else { panic!() };
         // OR is the root: (a=1) OR ((b=2) AND (c=3)).
         match s.predicate.unwrap() {
-            Expr::Binary { op: BinaryOp::Or, right, .. } => {
-                assert!(matches!(*right, Expr::Binary { op: BinaryOp::And, .. }));
+            Expr::Binary {
+                op: BinaryOp::Or,
+                right,
+                ..
+            } => {
+                assert!(matches!(
+                    *right,
+                    Expr::Binary {
+                        op: BinaryOp::And,
+                        ..
+                    }
+                ));
             }
             other => panic!("{other:?}"),
         }
@@ -767,10 +782,22 @@ mod tests {
     fn arithmetic_precedence() {
         let stmt = parse("SELECT a + b * c FROM t").unwrap();
         let Statement::Select(s) = stmt else { panic!() };
-        let SelectItem::Expr { expr, .. } = &s.items[0] else { panic!() };
+        let SelectItem::Expr { expr, .. } = &s.items[0] else {
+            panic!()
+        };
         match expr {
-            Expr::Binary { op: BinaryOp::Add, right, .. } => {
-                assert!(matches!(**right, Expr::Binary { op: BinaryOp::Mul, .. }));
+            Expr::Binary {
+                op: BinaryOp::Add,
+                right,
+                ..
+            } => {
+                assert!(matches!(
+                    **right,
+                    Expr::Binary {
+                        op: BinaryOp::Mul,
+                        ..
+                    }
+                ));
             }
             other => panic!("{other:?}"),
         }
@@ -796,10 +823,9 @@ mod tests {
 
     #[test]
     fn script_parsing() {
-        let stmts = parse_script(
-            "CREATE TABLE t (a INT); INSERT INTO t VALUES (1); SELECT * FROM t;",
-        )
-        .unwrap();
+        let stmts =
+            parse_script("CREATE TABLE t (a INT); INSERT INTO t VALUES (1); SELECT * FROM t;")
+                .unwrap();
         assert_eq!(stmts.len(), 3);
     }
 

@@ -116,12 +116,12 @@ pub enum Token {
     Int(i64),
     Float(f64),
     Str(String),
-    Eq,        // =
-    Neq,       // <> or !=
-    Lt,        // <
-    Lte,       // <=
-    Gt,        // >
-    Gte,       // >=
+    Eq,  // =
+    Neq, // <> or !=
+    Lt,  // <
+    Lte, // <=
+    Gt,  // >
+    Gte, // >=
     Plus,
     Minus,
     Star,

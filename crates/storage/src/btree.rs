@@ -14,7 +14,7 @@ enum Node {
     Internal {
         /// `keys[i]` separates `children[i]` (< key) from `children[i+1]` (>= key).
         keys: Vec<Value>,
-        children: Vec<Box<Node>>,
+        children: Vec<Node>,
     },
     Leaf {
         keys: Vec<Value>,
@@ -82,10 +82,10 @@ impl BTreeIndex {
                         postings: vec![],
                     }),
                 );
-                self.root = Box::new(Node::Internal {
+                *self.root = Node::Internal {
                     keys: vec![sep],
-                    children: vec![old_root, right],
-                });
+                    children: vec![*old_root, *right],
+                };
             }
         }
     }
@@ -125,7 +125,7 @@ impl BTreeIndex {
                     InsertResult::Ok => InsertResult::Ok,
                     InsertResult::Split { sep, right } => {
                         keys.insert(idx, sep);
-                        children.insert(idx + 1, right);
+                        children.insert(idx + 1, *right);
                         if keys.len() > order {
                             let mid = keys.len() / 2;
                             // Middle key moves up; children split after mid.
@@ -353,7 +353,10 @@ mod tests {
         for w in ["pear", "apple", "fig", "banana", "kiwi", "grape"] {
             t.insert(Value::Text(w.into()), rid(w.len() as u64));
         }
-        let got = t.range(Some(&Value::Text("b".into())), Some(&Value::Text("g".into())));
+        let got = t.range(
+            Some(&Value::Text("b".into())),
+            Some(&Value::Text("g".into())),
+        );
         let keys: Vec<&str> = got.iter().filter_map(|(k, _)| k.as_str()).collect();
         assert_eq!(keys, vec!["banana", "fig"]);
     }

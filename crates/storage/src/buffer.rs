@@ -1,9 +1,12 @@
-//! Buffer pool with clock (second-chance) eviction over a simulated disk.
+//! Buffer pool with clock (second-chance) eviction over a pluggable disk.
 //!
-//! The disk manager keeps page images in memory but charges every read and
-//! write through atomic counters, so benchmarks can report "I/O" volume and
-//! the buffer-usage statistics the learned query optimizer consumes as part
-//! of its *system condition* input (Section 4.2 of the paper).
+//! [`DiskBackend`] is the trait surface page storage hides behind: the
+//! in-memory [`DiskManager`] (the seed's simulated disk, still the default
+//! for volatile databases and benchmarks) and `neurdb-wal`'s file-backed
+//! disk both implement it. Every read and write is charged through atomic
+//! counters, so benchmarks can report "I/O" volume and the buffer-usage
+//! statistics the learned query optimizer consumes as part of its *system
+//! condition* input (Section 4.2 of the paper).
 
 use crate::error::{StorageError, StorageResult};
 use crate::page::{Page, PageId, PAGE_SIZE};
@@ -11,6 +14,34 @@ use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Page-granular storage behind the buffer pool.
+///
+/// Implementations must be safe for concurrent use; the buffer pool calls
+/// them while holding its own latch, with whole-page reads and writes.
+pub trait DiskBackend: Send + Sync {
+    /// Allocate a fresh zeroed page; returns its id. Fails when the
+    /// backing store cannot grow (e.g. disk full).
+    fn allocate(&self) -> StorageResult<PageId>;
+
+    /// Read a whole page image.
+    fn read(&self, id: PageId) -> StorageResult<Box<[u8]>>;
+
+    /// Overwrite a whole page image.
+    fn write(&self, id: PageId, data: &[u8]) -> StorageResult<()>;
+
+    /// Force written pages to stable storage (no-op for volatile disks).
+    fn sync(&self) -> StorageResult<()>;
+
+    /// Number of allocated pages.
+    fn num_pages(&self) -> usize;
+
+    /// Total page reads served.
+    fn read_count(&self) -> u64;
+
+    /// Total page writes accepted.
+    fn write_count(&self) -> u64;
+}
 
 /// Simulated disk: a growable array of page images plus I/O counters.
 pub struct DiskManager {
@@ -33,15 +64,16 @@ impl DiskManager {
             writes: AtomicU64::new(0),
         }
     }
+}
 
-    /// Allocate a fresh zeroed page; returns its id.
-    pub fn allocate(&self) -> PageId {
+impl DiskBackend for DiskManager {
+    fn allocate(&self) -> StorageResult<PageId> {
         let mut pages = self.pages.write();
         pages.push(Some(vec![0u8; PAGE_SIZE].into_boxed_slice()));
-        (pages.len() - 1) as PageId
+        Ok((pages.len() - 1) as PageId)
     }
 
-    pub fn read(&self, id: PageId) -> StorageResult<Box<[u8]>> {
+    fn read(&self, id: PageId) -> StorageResult<Box<[u8]>> {
         self.reads.fetch_add(1, Ordering::Relaxed);
         let pages = self.pages.read();
         pages
@@ -50,7 +82,7 @@ impl DiskManager {
             .ok_or(StorageError::PageNotFound(id))
     }
 
-    pub fn write(&self, id: PageId, data: &[u8]) -> StorageResult<()> {
+    fn write(&self, id: PageId, data: &[u8]) -> StorageResult<()> {
         self.writes.fetch_add(1, Ordering::Relaxed);
         let mut pages = self.pages.write();
         match pages.get_mut(id as usize) {
@@ -62,15 +94,19 @@ impl DiskManager {
         }
     }
 
-    pub fn num_pages(&self) -> usize {
+    fn sync(&self) -> StorageResult<()> {
+        Ok(())
+    }
+
+    fn num_pages(&self) -> usize {
         self.pages.read().len()
     }
 
-    pub fn read_count(&self) -> u64 {
+    fn read_count(&self) -> u64 {
         self.reads.load(Ordering::Relaxed)
     }
 
-    pub fn write_count(&self) -> u64 {
+    fn write_count(&self) -> u64 {
         self.writes.load(Ordering::Relaxed)
     }
 }
@@ -130,13 +166,13 @@ struct PoolInner {
 /// multicore scan throughput for simplicity; contention on the pool is not
 /// what the paper's experiments measure.
 pub struct BufferPool {
-    disk: Arc<DiskManager>,
+    disk: Arc<dyn DiskBackend>,
     inner: Mutex<PoolInner>,
     capacity: usize,
 }
 
 impl BufferPool {
-    pub fn new(disk: Arc<DiskManager>, capacity: usize) -> Self {
+    pub fn new(disk: Arc<dyn DiskBackend>, capacity: usize) -> Self {
         assert!(capacity > 0, "buffer pool needs at least one frame");
         BufferPool {
             disk,
@@ -152,13 +188,13 @@ impl BufferPool {
         }
     }
 
-    pub fn disk(&self) -> &Arc<DiskManager> {
+    pub fn disk(&self) -> &Arc<dyn DiskBackend> {
         &self.disk
     }
 
     /// Allocate a brand-new page on disk and cache it.
     pub fn allocate_page(&self) -> StorageResult<PageId> {
-        let id = self.disk.allocate();
+        let id = self.disk.allocate()?;
         let mut inner = self.inner.lock();
         let frame_idx = Self::find_victim(&mut inner, &self.disk)?;
         inner.map.insert(id, frame_idx);
@@ -181,11 +217,7 @@ impl BufferPool {
     }
 
     /// Run `f` with mutable access to the page; marks it dirty.
-    pub fn with_page_mut<R>(
-        &self,
-        id: PageId,
-        f: impl FnOnce(&mut Page) -> R,
-    ) -> StorageResult<R> {
+    pub fn with_page_mut<R>(&self, id: PageId, f: impl FnOnce(&mut Page) -> R) -> StorageResult<R> {
         let mut inner = self.inner.lock();
         let idx = Self::load(&mut inner, &self.disk, id, self.capacity)?;
         let frame = inner.frames[idx].as_mut().expect("frame just loaded");
@@ -213,6 +245,24 @@ impl BufferPool {
         Ok(())
     }
 
+    /// Number of resident pages currently dirty (the checkpointer's
+    /// flush frontier).
+    pub fn dirty_count(&self) -> usize {
+        let inner = self.inner.lock();
+        inner
+            .frames
+            .iter()
+            .filter(|f| f.as_ref().is_some_and(|f| f.dirty))
+            .count()
+    }
+
+    /// Write all dirty pages back and force them to stable storage — the
+    /// page-flush half of a checkpoint.
+    pub fn flush_all_and_sync(&self) -> StorageResult<()> {
+        self.flush_all()?;
+        self.disk.sync()
+    }
+
     pub fn stats(&self) -> BufferStats {
         let inner = self.inner.lock();
         BufferStats {
@@ -226,7 +276,7 @@ impl BufferPool {
 
     fn load(
         inner: &mut PoolInner,
-        disk: &Arc<DiskManager>,
+        disk: &Arc<dyn DiskBackend>,
         id: PageId,
         _capacity: usize,
     ) -> StorageResult<usize> {
@@ -252,7 +302,7 @@ impl BufferPool {
     }
 
     /// Clock sweep: find a free frame or evict an unpinned, unreferenced one.
-    fn find_victim(inner: &mut PoolInner, disk: &Arc<DiskManager>) -> StorageResult<usize> {
+    fn find_victim(inner: &mut PoolInner, disk: &Arc<dyn DiskBackend>) -> StorageResult<usize> {
         if let Some(idx) = inner.frames.iter().position(|f| f.is_none()) {
             return Ok(idx);
         }
@@ -294,7 +344,8 @@ mod tests {
     fn allocate_and_readback() {
         let p = pool(4);
         let id = p.allocate_page().unwrap();
-        p.with_page_mut(id, |pg| pg.insert(b"data").unwrap()).unwrap();
+        p.with_page_mut(id, |pg| pg.insert(b"data").unwrap())
+            .unwrap();
         let bytes = p.with_page(id, |pg| pg.get(0).unwrap().to_vec()).unwrap();
         assert_eq!(bytes, b"data");
     }
@@ -330,7 +381,8 @@ mod tests {
         let disk = Arc::new(DiskManager::new());
         let p = BufferPool::new(disk.clone(), 4);
         let id = p.allocate_page().unwrap();
-        p.with_page_mut(id, |pg| pg.insert(b"flushed").unwrap()).unwrap();
+        p.with_page_mut(id, |pg| pg.insert(b"flushed").unwrap())
+            .unwrap();
         p.flush_all().unwrap();
         let raw = disk.read(id).unwrap();
         let page = Page::from_bytes(&raw).unwrap();

@@ -111,15 +111,22 @@ impl Catalog {
 
     pub fn create_table(&mut self, name: &str, schema: Schema) -> StorageResult<TableId> {
         if self.by_name.contains_key(name) {
-            return Err(StorageError::Catalog(format!("table '{name}' already exists")));
+            return Err(StorageError::Catalog(format!(
+                "table '{name}' already exists"
+            )));
         }
         if schema.columns.is_empty() {
-            return Err(StorageError::Catalog("table needs at least one column".into()));
+            return Err(StorageError::Catalog(
+                "table needs at least one column".into(),
+            ));
         }
         let mut seen = HashMap::new();
         for c in &schema.columns {
             if seen.insert(c.name.clone(), ()).is_some() {
-                return Err(StorageError::Catalog(format!("duplicate column '{}'", c.name)));
+                return Err(StorageError::Catalog(format!(
+                    "duplicate column '{}'",
+                    c.name
+                )));
             }
         }
         let id = self.next_id;

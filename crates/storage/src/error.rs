@@ -33,7 +33,10 @@ impl fmt::Display for StorageError {
             StorageError::PageNotFound(id) => write!(f, "page {id} not found"),
             StorageError::BufferPoolFull => write!(f, "buffer pool full: all frames pinned"),
             StorageError::PageOverflow { needed, available } => {
-                write!(f, "page overflow: needed {needed} bytes, {available} available")
+                write!(
+                    f,
+                    "page overflow: needed {needed} bytes, {available} available"
+                )
             }
             StorageError::SlotNotFound { page, slot } => {
                 write!(f, "slot {slot} not found in page {page}")

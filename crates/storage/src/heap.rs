@@ -27,6 +27,21 @@ impl HeapFile {
         }
     }
 
+    /// Re-attach a heap to pages that already exist on disk — used by
+    /// crash recovery to rebuild a table from a checkpoint manifest.
+    pub fn with_pages(pool: Arc<BufferPool>, types: Vec<DataType>, pages: Vec<PageId>) -> Self {
+        HeapFile {
+            pool,
+            pages: RwLock::new(pages),
+            types,
+        }
+    }
+
+    /// The ordered page ids backing this heap (checkpoint manifest input).
+    pub fn page_ids(&self) -> Vec<PageId> {
+        self.pages.read().clone()
+    }
+
     pub fn types(&self) -> &[DataType] {
         &self.types
     }
@@ -72,9 +87,9 @@ impl HeapFile {
 
     /// Fetch the tuple at `rid`.
     pub fn get(&self, rid: RecordId) -> StorageResult<Tuple> {
-        let bytes = self.pool.with_page(rid.page, |p| {
-            p.get(rid.slot).map(|b| b.to_vec())
-        })??;
+        let bytes = self
+            .pool
+            .with_page(rid.page, |p| p.get(rid.slot).map(|b| b.to_vec()))??;
         Tuple::decode(&bytes, &self.types)
     }
 
@@ -96,11 +111,14 @@ impl HeapFile {
         let pages = self.pages.read().clone();
         let mut out = Vec::new();
         for pid in pages {
-            let raw: Vec<(u16, Vec<u8>)> = self.pool.with_page(pid, |p| {
-                p.iter().map(|(s, d)| (s, d.to_vec())).collect()
-            })?;
+            let raw: Vec<(u16, Vec<u8>)> = self
+                .pool
+                .with_page(pid, |p| p.iter().map(|(s, d)| (s, d.to_vec())).collect())?;
             for (slot, bytes) in raw {
-                out.push((RecordId::new(pid, slot), Tuple::decode(&bytes, &self.types)?));
+                out.push((
+                    RecordId::new(pid, slot),
+                    Tuple::decode(&bytes, &self.types)?,
+                ));
             }
         }
         Ok(out)

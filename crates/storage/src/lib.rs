@@ -35,7 +35,7 @@ pub mod tuple;
 pub mod value;
 
 pub use btree::BTreeIndex;
-pub use buffer::{BufferPool, BufferStats, DiskManager};
+pub use buffer::{BufferPool, BufferStats, DiskBackend, DiskManager};
 pub use catalog::{Catalog, ColumnDef, Schema, TableId, TableMeta};
 pub use error::{StorageError, StorageResult};
 pub use heap::HeapFile;

@@ -44,7 +44,11 @@ impl Histogram {
         for b in 1..=buckets {
             let idx = (b * n) / buckets;
             let idx = idx.min(n);
-            let bound = if idx == n { max } else { samples[idx.saturating_sub(1).max(0)] };
+            let bound = if idx == n {
+                max
+            } else {
+                samples[idx.saturating_sub(1)]
+            };
             bounds.push(bound.max(*bounds.last().unwrap()));
             counts.push((idx - prev_idx) as u64);
             prev_idx = idx;
@@ -83,8 +87,7 @@ impl Histogram {
                 continue;
             }
             let frac = if hi > lo { (x - lo) / (hi - lo) } else { 1.0 };
-            return (acc as f64 + self.counts[i] as f64 * frac.clamp(0.0, 1.0))
-                / self.total as f64;
+            return (acc as f64 + self.counts[i] as f64 * frac.clamp(0.0, 1.0)) / self.total as f64;
         }
         1.0
     }
@@ -113,7 +116,7 @@ impl Histogram {
     pub fn divergence(&self, other: &Histogram) -> f64 {
         let lo = self.min.min(other.min);
         let hi = self.max.max(other.max);
-        if !(hi > lo) {
+        if hi <= lo {
             return 0.0;
         }
         let grid = 32usize;

@@ -34,6 +34,37 @@ impl Table {
         }
     }
 
+    /// Rebuild a table over heap pages that already exist on disk (crash
+    /// recovery from a checkpoint manifest). Indexes are not restored
+    /// here; the recoverer re-creates them via [`Table::create_index`].
+    pub fn with_heap_pages(
+        name: impl Into<String>,
+        schema: Schema,
+        pool: Arc<BufferPool>,
+        pages: Vec<crate::page::PageId>,
+    ) -> Self {
+        let types = schema.types();
+        Table {
+            name: name.into(),
+            schema,
+            heap: HeapFile::with_pages(pool, types, pages),
+            indexes: RwLock::new(HashMap::new()),
+            stats: RwLock::new(None),
+        }
+    }
+
+    /// The ordered heap page ids (checkpoint manifest input).
+    pub fn heap_page_ids(&self) -> Vec<crate::page::PageId> {
+        self.heap.page_ids()
+    }
+
+    /// Columns that currently carry a B-tree index, ascending.
+    pub fn indexed_columns(&self) -> Vec<usize> {
+        let mut cols: Vec<usize> = self.indexes.read().keys().copied().collect();
+        cols.sort_unstable();
+        cols
+    }
+
     /// Create a B-tree index on column `col` and backfill it.
     pub fn create_index(&self, col: usize) -> StorageResult<()> {
         if col >= self.schema.arity() {
@@ -63,7 +94,12 @@ impl Table {
                 self.schema.arity()
             )));
         }
-        for (i, (v, c)) in tuple.values.iter().zip(self.schema.columns.iter()).enumerate() {
+        for (i, (v, c)) in tuple
+            .values
+            .iter()
+            .zip(self.schema.columns.iter())
+            .enumerate()
+        {
             if v.is_null() && !c.nullable {
                 return Err(StorageError::Constraint(format!(
                     "null in non-nullable column {i} ('{}')",
@@ -198,7 +234,11 @@ mod tests {
     }
 
     fn row(id: i64, name: &str, score: f64) -> Tuple {
-        Tuple::new(vec![Value::Int(id), Value::Text(name.into()), Value::Float(score)])
+        Tuple::new(vec![
+            Value::Int(id),
+            Value::Text(name.into()),
+            Value::Float(score),
+        ])
     }
 
     #[test]

@@ -60,9 +60,9 @@ impl Tuple {
                 DataType::Int => buf.put_i64_le(v.as_i64().unwrap()),
                 DataType::Float => buf.put_f64_le(v.as_f64().unwrap()),
                 DataType::Text => {
-                    let s = v.as_str().ok_or_else(|| {
-                        StorageError::Codec("expected text value".to_string())
-                    })?;
+                    let s = v
+                        .as_str()
+                        .ok_or_else(|| StorageError::Codec("expected text value".to_string()))?;
                     buf.put_u32_le(s.len() as u32);
                     buf.put_slice(s.as_bytes());
                 }
@@ -76,7 +76,9 @@ impl Tuple {
     pub fn decode(mut data: &[u8], types: &[DataType]) -> StorageResult<Tuple> {
         let bitmap_len = types.len().div_ceil(8);
         if data.len() < bitmap_len {
-            return Err(StorageError::Codec("short buffer: missing null bitmap".into()));
+            return Err(StorageError::Codec(
+                "short buffer: missing null bitmap".into(),
+            ));
         }
         let bitmap = data[..bitmap_len].to_vec();
         data.advance(bitmap_len);
@@ -139,7 +141,12 @@ mod tests {
     use super::*;
 
     fn types() -> Vec<DataType> {
-        vec![DataType::Int, DataType::Float, DataType::Text, DataType::Bool]
+        vec![
+            DataType::Int,
+            DataType::Float,
+            DataType::Text,
+            DataType::Bool,
+        ]
     }
 
     #[test]

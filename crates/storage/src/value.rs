@@ -60,15 +60,15 @@ impl Value {
     /// Whether this value can be stored in a column of type `ty`.
     /// Integers are accepted by FLOAT columns (implicit widening).
     pub fn compatible_with(&self, ty: DataType) -> bool {
-        match (self, ty) {
-            (Value::Null, _) => true,
-            (Value::Bool(_), DataType::Bool) => true,
-            (Value::Int(_), DataType::Int) => true,
-            (Value::Int(_), DataType::Float) => true,
-            (Value::Float(_), DataType::Float) => true,
-            (Value::Text(_), DataType::Text) => true,
-            _ => false,
-        }
+        matches!(
+            (self, ty),
+            (Value::Null, _)
+                | (Value::Bool(_), DataType::Bool)
+                | (Value::Int(_), DataType::Int)
+                | (Value::Int(_), DataType::Float)
+                | (Value::Float(_), DataType::Float)
+                | (Value::Text(_), DataType::Text)
+        )
     }
 
     /// Numeric view of this value, if it is numeric (or boolean).
@@ -157,7 +157,7 @@ impl Eq for Value {}
 
 impl PartialOrd for Value {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.total_cmp(other))
+        Some(self.cmp(other))
     }
 }
 
@@ -248,7 +248,10 @@ mod tests {
     fn cross_numeric_ordering() {
         assert_eq!(Value::Int(2).total_cmp(&Value::Float(2.0)), Ordering::Equal);
         assert_eq!(Value::Int(2).total_cmp(&Value::Float(2.5)), Ordering::Less);
-        assert_eq!(Value::Float(3.1).total_cmp(&Value::Int(3)), Ordering::Greater);
+        assert_eq!(
+            Value::Float(3.1).total_cmp(&Value::Int(3)),
+            Ordering::Greater
+        );
     }
 
     #[test]

@@ -36,6 +36,17 @@ pub enum AbortReason {
     ReadValidation,
     SsiDangerousStructure,
     PolicyChoice,
+    /// The durability hook could not persist the commit record.
+    DurabilityFailure,
+}
+
+/// Commit-ordering hook: called after validation succeeds and while the
+/// write set is still locked, **before** the new versions become visible
+/// to other transactions. A WAL-backed implementation appends and forces
+/// the commit record here, giving log-before-visible ordering. Returning
+/// `Err` aborts the transaction.
+pub trait DurabilityHook: Send + Sync {
+    fn persist_commit(&self, txn: TxnId, writes: &[(u64, u64)]) -> Result<(), String>;
 }
 
 impl std::fmt::Display for TxnError {
@@ -183,6 +194,8 @@ pub struct TxnEngine {
     /// off a single lock (PostgreSQL's SerializableXactHashLock is a known
     /// bottleneck; we shard rather than reproduce it).
     ssi: Vec<Mutex<HashMap<TxnId, Arc<SsiFlags>>>>,
+    /// Optional WAL-backed commit persistence (see [`DurabilityHook`]).
+    durability: Option<Arc<dyn DurabilityHook>>,
 }
 
 const SSI_SHARDS: usize = 64;
@@ -200,8 +213,18 @@ impl TxnEngine {
             next_txn: AtomicU64::new(1),
             cfg,
             metrics: ContentionTracker::new(),
-            ssi: (0..SSI_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            ssi: (0..SSI_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            durability: None,
         }
+    }
+
+    /// Route commits through a durability hook (e.g. the WAL): the hook
+    /// runs after validation, under the write-set locks, before the new
+    /// versions become visible.
+    pub fn set_durability(&mut self, hook: Arc<dyn DurabilityHook>) {
+        self.durability = Some(hook);
     }
 
     fn ssi_shard(&self, id: TxnId) -> &Mutex<HashMap<TxnId, Arc<SsiFlags>>> {
@@ -284,12 +307,7 @@ impl TxnEngine {
         }
     }
 
-    fn acquire(
-        &self,
-        txn: &mut Txn,
-        key: u64,
-        exclusive: bool,
-    ) -> Result<(), TxnError> {
+    fn acquire(&self, txn: &mut Txn, key: u64, exclusive: bool) -> Result<(), TxnError> {
         let deadline = Instant::now() + self.cfg.lock_timeout;
         loop {
             {
@@ -451,26 +469,24 @@ impl TxnEngine {
                             keep.push(reader);
                             continue;
                         }
-                        match self.ssi_flags(reader) {
-                            Some(flags) => {
-                                let finished = flags.finished.load(Ordering::Relaxed);
-                                // An edge exists if the reader is active or
-                                // finished *after* this txn began (overlap).
-                                let overlaps = !finished
-                                    || flags.finish_ts.load(Ordering::Relaxed) >= begin_ts;
-                                if overlaps {
-                                    flags.out_conflict.store(true, Ordering::Relaxed);
-                                    my_in = true;
-                                    // Keep the marker while the reader may
-                                    // still overlap writers that began
-                                    // before it finished; begin timestamps
-                                    // only grow, so a non-overlapping
-                                    // finished reader is dead.
-                                    keep.push(reader);
-                                }
+                        // A missing registry entry means it was GC'd:
+                        // drop the stale marker.
+                        if let Some(flags) = self.ssi_flags(reader) {
+                            let finished = flags.finished.load(Ordering::Relaxed);
+                            // An edge exists if the reader is active or
+                            // finished *after* this txn began (overlap).
+                            let overlaps =
+                                !finished || flags.finish_ts.load(Ordering::Relaxed) >= begin_ts;
+                            if overlaps {
+                                flags.out_conflict.store(true, Ordering::Relaxed);
+                                my_in = true;
+                                // Keep the marker while the reader may
+                                // still overlap writers that began
+                                // before it finished; begin timestamps
+                                // only grow, so a non-overlapping
+                                // finished reader is dead.
+                                keep.push(reader);
                             }
-                            // Registry entry GC'd: drop the stale marker.
-                            None => {}
                         }
                     }
                     st.sireads = keep;
@@ -482,20 +498,37 @@ impl TxnEngine {
                 }
                 // Dangerous structure: this txn is a pivot with both
                 // incoming and outgoing rw-antidependency edges.
-                if me.in_conflict.load(Ordering::Relaxed)
-                    && me.out_conflict.load(Ordering::Relaxed)
+                if me.in_conflict.load(Ordering::Relaxed) && me.out_conflict.load(Ordering::Relaxed)
                 {
                     self.rollback_internal(&mut txn, &write_keys);
                     return Err(TxnError::Abort(AbortReason::SsiDangerousStructure));
                 }
             }
         }
-        // Phase 3: install versions at a fresh commit timestamp.
+        // Phase 3: commit ordering through the WAL — persist the commit
+        // record while the write set is still locked and before any other
+        // transaction can observe the new versions. The commit timestamp
+        // is drawn only after persistence succeeds, so the slow fsync
+        // cannot widen the window between a published timestamp and the
+        // installed versions (snapshot readers key off timestamps).
+        if let Some(hook) = &self.durability {
+            let mut writes: Vec<(u64, u64)> =
+                txn.write_buffer.iter().map(|(&k, &v)| (k, v)).collect();
+            writes.sort_unstable_by_key(|(k, _)| *k);
+            if hook.persist_commit(txn.id, &writes).is_err() {
+                self.rollback_internal(&mut txn, &write_keys);
+                return Err(TxnError::Abort(AbortReason::DurabilityFailure));
+            }
+        }
+        // Phase 4: install versions at a fresh commit timestamp.
         let commit_ts = self.clock.fetch_add(1, Ordering::Relaxed);
         for (&key, &value) in &txn.write_buffer {
             let mut m = self.shard(key).map.lock();
             let st = m.entry(key).or_default();
-            st.versions.push(Version { ts: commit_ts, value });
+            st.versions.push(Version {
+                ts: commit_ts,
+                value,
+            });
             if st.versions.len() > self.cfg.max_versions {
                 let cut = st.versions.len() - self.cfg.max_versions;
                 st.versions.drain(..cut);
@@ -563,7 +596,9 @@ impl TxnEngine {
     /// Latest committed value (non-transactional peek, for tests/loaders).
     pub fn peek(&self, key: u64) -> Option<u64> {
         let m = self.shard(key).map.lock();
-        m.get(&key).and_then(|st| st.latest_committed()).map(|v| v.value)
+        m.get(&key)
+            .and_then(|st| st.latest_committed())
+            .map(|v| v.value)
     }
 }
 

@@ -31,10 +31,7 @@ fn run_increments(
                     if i % threads != tid {
                         continue;
                     }
-                    let spec = TxnSpec::new(
-                        0,
-                        spec_keys.iter().map(|k| Op::Rmw(*k, 1)).collect(),
-                    );
+                    let spec = TxnSpec::new(0, spec_keys.iter().map(|k| Op::Rmw(*k, 1)).collect());
                     if execute_spec(&engine, &spec).is_ok() {
                         let mut c = committed.lock();
                         for k in spec_keys {
@@ -53,10 +50,7 @@ fn run_increments(
 }
 
 fn arb_specs(keys: u64) -> impl Strategy<Value = Vec<Vec<u64>>> {
-    prop::collection::vec(
-        prop::collection::vec(0..keys, 1..4),
-        1..40,
-    )
+    prop::collection::vec(prop::collection::vec(0..keys, 1..4), 1..40)
 }
 
 proptest! {
@@ -104,7 +98,7 @@ proptest! {
             for k in 0..6 {
                 engine.load(k, 0);
             }
-            let mut want = vec![0u64; 6];
+            let mut want = [0u64; 6];
             for spec_keys in &specs {
                 let spec = TxnSpec::new(
                     0,

@@ -1,0 +1,150 @@
+//! Little-endian byte codec helpers shared by WAL records and the
+//! checkpoint manifest. Reads are total: malformed input yields `None`,
+//! never a panic — recovery treats any decode failure as end-of-log.
+
+/// Append-only writer over a `Vec<u8>`.
+#[derive(Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    pub fn new() -> Self {
+        Writer { buf: Vec::new() }
+    }
+
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn f32(&mut self, v: f32) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+    }
+
+    pub fn str(&mut self, v: &str) {
+        self.bytes(v.as_bytes());
+    }
+
+    pub fn byte_vecs(&mut self, vs: &[Vec<u8>]) {
+        self.u32(vs.len() as u32);
+        for v in vs {
+            self.bytes(v);
+        }
+    }
+}
+
+/// Consuming reader over a byte slice.
+pub struct Reader<'a>(pub &'a [u8]);
+
+impl<'a> Reader<'a> {
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    pub fn u8(&mut self) -> Option<u8> {
+        let (head, rest) = self.0.split_at_checked(1)?;
+        self.0 = rest;
+        Some(head[0])
+    }
+
+    pub fn u16(&mut self) -> Option<u16> {
+        let (head, rest) = self.0.split_at_checked(2)?;
+        self.0 = rest;
+        Some(u16::from_le_bytes(head.try_into().ok()?))
+    }
+
+    pub fn u32(&mut self) -> Option<u32> {
+        let (head, rest) = self.0.split_at_checked(4)?;
+        self.0 = rest;
+        Some(u32::from_le_bytes(head.try_into().ok()?))
+    }
+
+    pub fn u64(&mut self) -> Option<u64> {
+        let (head, rest) = self.0.split_at_checked(8)?;
+        self.0 = rest;
+        Some(u64::from_le_bytes(head.try_into().ok()?))
+    }
+
+    pub fn f32(&mut self) -> Option<f32> {
+        Some(f32::from_bits(self.u32()?))
+    }
+
+    pub fn bytes(&mut self) -> Option<&'a [u8]> {
+        let len = self.u32()? as usize;
+        let (head, rest) = self.0.split_at_checked(len)?;
+        self.0 = rest;
+        Some(head)
+    }
+
+    pub fn str(&mut self) -> Option<String> {
+        String::from_utf8(self.bytes()?.to_vec()).ok()
+    }
+
+    pub fn byte_vecs(&mut self) -> Option<Vec<Vec<u8>>> {
+        let n = self.u32()? as usize;
+        let mut out = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            out.push(self.bytes()?.to_vec());
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut w = Writer::new();
+        w.u8(7);
+        w.u16(513);
+        w.u32(70_000);
+        w.u64(1 << 40);
+        w.f32(-1.25);
+        w.str("héllo");
+        w.byte_vecs(&[vec![1, 2], vec![], vec![9]]);
+        let bytes = w.into_bytes();
+        let mut r = Reader(&bytes);
+        assert_eq!(r.u8(), Some(7));
+        assert_eq!(r.u16(), Some(513));
+        assert_eq!(r.u32(), Some(70_000));
+        assert_eq!(r.u64(), Some(1 << 40));
+        assert_eq!(r.f32(), Some(-1.25));
+        assert_eq!(r.str().as_deref(), Some("héllo"));
+        assert_eq!(r.byte_vecs(), Some(vec![vec![1, 2], vec![], vec![9]]));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn truncated_reads_fail_cleanly() {
+        let mut w = Writer::new();
+        w.str("abcdef");
+        let bytes = w.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut r = Reader(&bytes[..cut]);
+            assert!(r.str().is_none());
+        }
+    }
+}

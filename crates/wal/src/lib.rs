@@ -1,0 +1,44 @@
+//! # neurdb-wal
+//!
+//! The durability subsystem of NeurDB-RS: an ARIES-lite, redo-only
+//! write-ahead log with snapshot checkpoints, a file-backed disk behind
+//! the storage crate's [`DiskBackend`](neurdb_storage::DiskBackend)
+//! trait, and crash recovery that rebuilds tables, indexes, catalog
+//! state, **and** the AI engine's model version chains (the
+//! distinctly-NeurDB part: trained ArmNet models survive a crash).
+//!
+//! Layering: `storage` (pages) → `wal` (this crate) → `core` (SQL + AI
+//! wiring). The crate exposes three levels:
+//!
+//! * [`Wal`] — segmented log: LSN-addressed, CRC32-checksummed records,
+//!   group-commit batching, configurable fsync policy, torn-tail
+//!   detection, crash-point fault injection for kill-and-reopen tests.
+//! * [`FileDisk`] — a real file-backed page store (`data.ndb`).
+//! * [`DurableStore`] — logged tables: every heap/DDL/index mutation is
+//!   applied and logged, checkpoints snapshot the page file + manifest,
+//!   and [`DurableStore::open`] replays committed work after a crash.
+//!
+//! ## Recovery protocol (redo-only)
+//!
+//! Mutations are applied in memory first and logged on success; a
+//! statement-level transaction's commit record is forced according to the
+//! fsync policy before the statement reports success. Data pages may
+//! reach `data.ndb` at any time (evictions are *steal*), but recovery
+//! never trusts `data.ndb`: a checkpoint quiesces mutations, flushes all
+//! dirty pages, and atomically publishes a copy (`checkpoint.ndb`) plus a
+//! manifest (`checkpoint.meta`). Recovery restores the copy, then redoes
+//! committed records after the checkpoint LSN. There is no undo pass:
+//! uncommitted tails simply never replay.
+
+pub mod codec;
+pub mod crc32;
+pub mod disk;
+pub mod log;
+pub mod record;
+pub mod store;
+
+pub use crc32::crc32;
+pub use disk::FileDisk;
+pub use log::{FsyncPolicy, Lsn, Wal, WalOptions, WalStats};
+pub use record::{ColumnSpecDef, WalRecord, SYSTEM_TXN};
+pub use store::{DurableStore, DurableStoreOptions, RecoveredApp};

@@ -1,0 +1,710 @@
+//! The segmented write-ahead log.
+//!
+//! An LSN is a global byte offset into the logical log. Each segment file
+//! `wal-<start-lsn>.seg` holds consecutive frames
+//! `[len: u32][crc32(payload): u32][payload]`; a segment rolls once it
+//! exceeds the configured size. Appends buffer in memory; a flush writes
+//! buffered frames to the OS and (policy permitting) fsyncs. Commit
+//! waiters block until their LSN is durable — under
+//! [`FsyncPolicy::Group`] a background flusher batches concurrent
+//! commits into one fsync (group commit).
+//!
+//! For kill-and-reopen tests, [`Wal::lose_after_records`] installs a
+//! crash point: frames appended after it are acknowledged in memory but
+//! never reach the file (exactly what an OS crash does to unflushed
+//! writes), optionally tearing the first lost frame mid-write.
+
+use crate::crc32::crc32;
+use crate::record::WalRecord;
+use neurdb_storage::{StorageError, StorageResult};
+use std::collections::VecDeque;
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Log sequence number: a global byte offset. `Wal::append` returns the
+/// *end* LSN of the appended record (first offset not covered by it);
+/// scans yield each record's *start* LSN.
+pub type Lsn = u64;
+
+const FRAME_HEADER: u64 = 8;
+/// Upper bound on a sane frame payload (corruption guard).
+const MAX_PAYLOAD: u32 = 256 << 20;
+
+/// When appended records reach stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// Every commit flushes and fsyncs inline. Maximum durability,
+    /// one fsync per commit.
+    Always,
+    /// A background flusher fsyncs at this interval; committers wait for
+    /// it. Concurrent commits share one fsync (group commit).
+    Group(Duration),
+    /// Flush to the OS on commit but never fsync. Survives process
+    /// crashes, not power failures — the bench/test default.
+    Never,
+}
+
+/// Tuning knobs for [`Wal`].
+#[derive(Debug, Clone)]
+pub struct WalOptions {
+    /// Roll to a new segment file once the current one reaches this size.
+    pub segment_bytes: u64,
+    pub fsync: FsyncPolicy,
+}
+
+impl Default for WalOptions {
+    fn default() -> Self {
+        WalOptions {
+            segment_bytes: 4 << 20,
+            fsync: FsyncPolicy::Group(Duration::from_millis(1)),
+        }
+    }
+}
+
+/// Counters for benchmarks and the monitor.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WalStats {
+    pub appended_records: u64,
+    pub appended_bytes: u64,
+    pub flushes: u64,
+    pub fsyncs: u64,
+    /// Commits that found their LSN already durable (rode a group flush).
+    pub group_rides: u64,
+}
+
+struct Segment {
+    file: File,
+    /// Bytes written into this segment file.
+    len: u64,
+}
+
+struct Inner {
+    dir: PathBuf,
+    segment_bytes: u64,
+    /// Appended but not yet written frames: `(start_lsn, frame_bytes)`.
+    buffer: VecDeque<(Lsn, Vec<u8>)>,
+    /// Next append offset (end of buffered log).
+    next_lsn: Lsn,
+    /// Everything below this offset has been written to the OS.
+    written_lsn: Lsn,
+    /// Everything below this offset is durable per the active policy.
+    durable_lsn: Lsn,
+    current: Option<Segment>,
+    /// Crash injection: frames whose index (in appended-record order)
+    /// is `>= cutoff` are silently dropped at flush time.
+    crash_after_records: Option<u64>,
+    /// Tear the first dropped frame: write this many of its bytes.
+    torn_bytes: usize,
+    records_flushed: u64,
+    /// Sticky I/O failure: once a flush fails, frames stay buffered and
+    /// every commit surfaces this error instead of hanging on a
+    /// `durable_lsn` that can no longer advance.
+    io_error: Option<String>,
+    stats: WalStats,
+}
+
+impl Inner {
+    fn segment_path(dir: &Path, start: Lsn) -> PathBuf {
+        dir.join(format!("wal-{start:016x}.seg"))
+    }
+
+    fn open_segment(&mut self, start: Lsn) -> StorageResult<()> {
+        let path = Self::segment_path(&self.dir, start);
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .read(true)
+            .open(&path)
+            .map_err(io_err)?;
+        let len = file.metadata().map_err(io_err)?.len();
+        self.current = Some(Segment { file, len });
+        Ok(())
+    }
+
+    /// Write buffered frames out to segment files, honoring the crash
+    /// point. Returns whether anything was written (needs fsync). On an
+    /// I/O error the failed frame (and everything after it) stays
+    /// buffered and the error sticks, so a later retry can still flush
+    /// everything in order.
+    fn flush_buffer(&mut self) -> StorageResult<bool> {
+        let mut wrote = false;
+        while let Some((lsn, frame)) = self.buffer.front() {
+            let (lsn, frame_len) = (*lsn, frame.len() as u64);
+            let dropped = match self.crash_after_records {
+                Some(cut) => self.records_flushed >= cut,
+                None => false,
+            };
+            if !dropped {
+                let frame = self.buffer.front().map(|(_, f)| f.clone()).unwrap();
+                if let Err(e) = self.write_bytes(lsn, &frame) {
+                    self.io_error = Some(e.to_string());
+                    return Err(e);
+                }
+                wrote = true;
+            } else if self.torn_bytes > 0 {
+                // Lost to the "crash": emulate a torn tail on the first
+                // dropped frame, then nothing.
+                let n = self.torn_bytes.min(frame_len as usize);
+                self.torn_bytes = 0;
+                let prefix: Vec<u8> = self.buffer.front().map(|(_, f)| f[..n].to_vec()).unwrap();
+                self.write_bytes(lsn, &prefix)?;
+                wrote = true;
+            }
+            self.records_flushed += 1;
+            self.written_lsn = lsn + frame_len;
+            self.buffer.pop_front();
+        }
+        self.stats.flushes += 1;
+        Ok(wrote)
+    }
+
+    /// Append raw bytes at logical offset `lsn`, rolling segments at
+    /// frame boundaries.
+    fn write_bytes(&mut self, lsn: Lsn, bytes: &[u8]) -> StorageResult<()> {
+        let roll = match &self.current {
+            Some(seg) => seg.len >= self.segment_bytes,
+            None => true,
+        };
+        if roll {
+            if let Some(seg) = self.current.take() {
+                seg.file.sync_data().map_err(io_err)?;
+            }
+            self.open_segment(lsn)?;
+        }
+        let seg = self.current.as_mut().expect("segment just opened");
+        seg.file.write_all(bytes).map_err(io_err)?;
+        seg.len += bytes.len() as u64;
+        Ok(())
+    }
+
+    fn fsync_current(&mut self) -> StorageResult<()> {
+        if let Some(seg) = &self.current {
+            seg.file.sync_data().map_err(io_err)?;
+            self.stats.fsyncs += 1;
+        }
+        Ok(())
+    }
+}
+
+fn io_err(e: std::io::Error) -> StorageError {
+    StorageError::Codec(format!("wal io: {e}"))
+}
+
+/// The write-ahead log. Clone the surrounding [`Arc`] to share.
+pub struct Wal {
+    inner: Mutex<Inner>,
+    durable: Condvar,
+    policy: FsyncPolicy,
+    shutdown: Arc<AtomicBool>,
+    flusher: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Wal {
+    /// Open (or create) the log in `dir`, continuing after the last valid
+    /// record. A torn tail is truncated so appends start at a clean
+    /// boundary.
+    pub fn open(dir: impl Into<PathBuf>, opts: WalOptions) -> StorageResult<Arc<Wal>> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir).map_err(io_err)?;
+        // Find the end of the *contiguous valid* log — the same walk
+        // recovery scans — then truncate the segment holding that point
+        // and delete anything beyond, so new appends continue exactly
+        // where recovery stops.
+        let segments = list_segments(&dir)?;
+        let mut next_lsn = 0;
+        let mut valid_in_seg: Option<Lsn> = None; // seg start holding the end
+        for &(start, _) in &segments {
+            if valid_in_seg.is_some() && start != next_lsn {
+                break; // chain gap: everything from here on is dead
+            }
+            if valid_in_seg.is_none() {
+                next_lsn = start;
+            }
+            valid_in_seg = Some(start);
+            let frames = scan_segment_frames(&dir, start)?;
+            for (lsn, frame_len, _) in &frames {
+                next_lsn = lsn + frame_len;
+            }
+            let seg_len = fs::metadata(Inner::segment_path(&dir, start))
+                .map_err(io_err)?
+                .len();
+            if next_lsn - start < seg_len {
+                break; // torn/corrupt tail inside this segment
+            }
+        }
+        if let Some(end_seg) = valid_in_seg {
+            // Truncate the torn tail of the segment containing the end.
+            let seg_path = Inner::segment_path(&dir, end_seg);
+            let f = OpenOptions::new()
+                .write(true)
+                .open(&seg_path)
+                .map_err(io_err)?;
+            if f.metadata().map_err(io_err)?.len() > next_lsn - end_seg {
+                f.set_len(next_lsn - end_seg).map_err(io_err)?;
+            }
+            // Delete dead segments beyond the valid end.
+            for &(start, ref path) in &segments {
+                if start > end_seg {
+                    let _ = fs::remove_file(path);
+                }
+            }
+        }
+        let inner = Inner {
+            dir,
+            segment_bytes: opts.segment_bytes,
+            buffer: VecDeque::new(),
+            next_lsn,
+            written_lsn: next_lsn,
+            durable_lsn: next_lsn,
+            current: None,
+            crash_after_records: None,
+            torn_bytes: 0,
+            records_flushed: 0,
+            io_error: None,
+            stats: WalStats::default(),
+        };
+        let wal = Arc::new(Wal {
+            inner: Mutex::new(inner),
+            durable: Condvar::new(),
+            policy: opts.fsync,
+            shutdown: Arc::new(AtomicBool::new(false)),
+            flusher: Mutex::new(None),
+        });
+        if let FsyncPolicy::Group(interval) = opts.fsync {
+            let weak = Arc::downgrade(&wal);
+            let shutdown = wal.shutdown.clone();
+            let handle = std::thread::spawn(move || {
+                while !shutdown.load(Ordering::Relaxed) {
+                    std::thread::park_timeout(interval);
+                    let Some(wal) = weak.upgrade() else { break };
+                    let _ = wal.flush_and_mark_durable(true);
+                }
+            });
+            *wal.flusher.lock().unwrap() = Some(handle);
+        }
+        Ok(wal)
+    }
+
+    /// Append a record; returns its **end** LSN (pass to
+    /// [`Wal::commit`] to await durability).
+    pub fn append(&self, record: &WalRecord) -> Lsn {
+        let payload = record.encode();
+        let mut frame = Vec::with_capacity(payload.len() + FRAME_HEADER as usize);
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        let mut inner = self.inner.lock().unwrap();
+        let lsn = inner.next_lsn;
+        inner.next_lsn += frame.len() as u64;
+        inner.stats.appended_records += 1;
+        inner.stats.appended_bytes += frame.len() as u64;
+        inner.buffer.push_back((lsn, frame));
+        inner.next_lsn
+    }
+
+    /// Block until everything at or below `lsn` is durable under the
+    /// configured policy.
+    pub fn commit(&self, lsn: Lsn) -> StorageResult<()> {
+        match self.policy {
+            FsyncPolicy::Always => {
+                self.flush_and_mark_durable(true)?;
+                Ok(())
+            }
+            FsyncPolicy::Never => {
+                self.flush_and_mark_durable(false)?;
+                Ok(())
+            }
+            FsyncPolicy::Group(_) => {
+                let mut inner = self.inner.lock().unwrap();
+                if inner.durable_lsn >= lsn {
+                    inner.stats.group_rides += 1;
+                    return Ok(());
+                }
+                // Nudge the flusher rather than waiting a full interval.
+                if let Some(h) = self.flusher.lock().unwrap().as_ref() {
+                    h.thread().unpark();
+                }
+                loop {
+                    if let Some(e) = &inner.io_error {
+                        return Err(StorageError::Codec(format!("wal flush failed: {e}")));
+                    }
+                    inner = self.durable.wait(inner).unwrap();
+                    if inner.durable_lsn >= lsn {
+                        return Ok(());
+                    }
+                }
+            }
+        }
+    }
+
+    /// Flush buffered frames; fsync if requested; advance `durable_lsn`
+    /// and wake commit waiters.
+    fn flush_and_mark_durable(&self, fsync: bool) -> StorageResult<()> {
+        let mut inner = self.inner.lock().unwrap();
+        let result: StorageResult<()> = (|| {
+            let wrote = inner.flush_buffer()?;
+            if fsync && wrote {
+                inner.fsync_current()?;
+            }
+            Ok(())
+        })();
+        if let Err(e) = &result {
+            // Stick the failure so waiting committers error out instead
+            // of sleeping on a durable_lsn that cannot advance.
+            inner.io_error = Some(e.to_string());
+        } else {
+            inner.durable_lsn = inner.written_lsn;
+            inner.io_error = None; // a successful retry clears the fault
+        }
+        drop(inner);
+        self.durable.notify_all();
+        result
+    }
+
+    /// Force everything appended so far to stable storage.
+    pub fn sync(&self) -> StorageResult<()> {
+        self.flush_and_mark_durable(true)
+    }
+
+    /// End LSN of the appended log (including unflushed records).
+    pub fn end_lsn(&self) -> Lsn {
+        self.inner.lock().unwrap().next_lsn
+    }
+
+    pub fn stats(&self) -> WalStats {
+        self.inner.lock().unwrap().stats
+    }
+
+    /// Crash injection for kill-and-reopen tests: frames appended after
+    /// the `n`-th (counting every record ever appended to this `Wal`)
+    /// never reach the file. With `torn`, the first lost frame is
+    /// partially written to exercise torn-tail recovery. In-memory
+    /// operation continues normally — exactly like an OS losing its page
+    /// cache at power-off.
+    pub fn lose_after_records(&self, n: u64, torn: bool) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.crash_after_records = Some(n);
+        inner.torn_bytes = if torn { 5 } else { 0 };
+    }
+
+    /// Delete segments wholly below `lsn` (post-checkpoint truncation).
+    pub fn truncate_before(&self, lsn: Lsn) -> StorageResult<()> {
+        let inner = self.inner.lock().unwrap();
+        let segments = list_segments(&inner.dir)?;
+        for window in segments.windows(2) {
+            let (start, _) = window[0];
+            let (next_start, _) = window[1];
+            if next_start <= lsn {
+                let _ = fs::remove_file(Inner::segment_path(&inner.dir, start));
+            }
+        }
+        Ok(())
+    }
+
+    /// Scan all valid records with start LSN `>= from`, in order. Stops
+    /// at the first corrupt or torn frame (end of recoverable log).
+    pub fn scan_from(dir: &Path, from: Lsn) -> StorageResult<Vec<(Lsn, WalRecord)>> {
+        let mut out = Vec::new();
+        let segments = list_segments(dir)?;
+        let mut expected_next: Option<Lsn> = None;
+        for &(start, _) in &segments {
+            // Segments must chain contiguously; a gap means the tail
+            // was truncated by a checkpoint mid-history — stop there.
+            if let Some(exp) = expected_next {
+                if start != exp {
+                    break;
+                }
+            }
+            let mut end = start;
+            for (lsn, frame_len, record) in scan_segment_frames(dir, start)? {
+                end = lsn + frame_len;
+                if lsn >= from {
+                    out.push((lsn, record));
+                }
+            }
+            expected_next = Some(end);
+            // A short segment that is not the last one means corruption
+            // mid-history; the chain check above will catch it.
+        }
+        Ok(out)
+    }
+}
+
+impl Drop for Wal {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(h) = self.flusher.lock().unwrap().take() {
+            // The flusher's transient Weak::upgrade can make it the last
+            // Arc holder, running this Drop *on* the flusher thread —
+            // joining would self-deadlock; it is already exiting.
+            if h.thread().id() != std::thread::current().id() {
+                h.thread().unpark();
+                let _ = h.join();
+            }
+        }
+        // Final best-effort flush (honors any crash point).
+        let _ = self.flush_and_mark_durable(matches!(self.policy, FsyncPolicy::Always));
+    }
+}
+
+fn list_segments(dir: &Path) -> StorageResult<Vec<(Lsn, PathBuf)>> {
+    let mut segs = Vec::new();
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(_) => return Ok(segs),
+    };
+    for entry in entries {
+        let entry = entry.map_err(io_err)?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if let Some(hex) = name
+            .strip_prefix("wal-")
+            .and_then(|s| s.strip_suffix(".seg"))
+        {
+            if let Ok(start) = Lsn::from_str_radix(hex, 16) {
+                segs.push((start, entry.path()));
+            }
+        }
+    }
+    segs.sort_unstable_by_key(|(s, _)| *s);
+    Ok(segs)
+}
+
+/// Parse one segment file into `(start_lsn, frame_len, record)` triples,
+/// stopping at the first invalid frame.
+fn scan_segment_frames(dir: &Path, start: Lsn) -> StorageResult<Vec<(Lsn, u64, WalRecord)>> {
+    let path = Inner::segment_path(dir, start);
+    let mut file = match File::open(&path) {
+        Ok(f) => f,
+        Err(_) => return Ok(Vec::new()),
+    };
+    file.seek(SeekFrom::Start(0)).map_err(io_err)?;
+    let mut bytes = Vec::new();
+    file.read_to_end(&mut bytes).map_err(io_err)?;
+    let mut out = Vec::new();
+    let mut off = 0usize;
+    while off + FRAME_HEADER as usize <= bytes.len() {
+        let len = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap());
+        let crc = u32::from_le_bytes(bytes[off + 4..off + 8].try_into().unwrap());
+        if len == 0 || len > MAX_PAYLOAD {
+            break;
+        }
+        let payload_start = off + FRAME_HEADER as usize;
+        let payload_end = payload_start + len as usize;
+        if payload_end > bytes.len() {
+            break; // torn tail
+        }
+        let payload = &bytes[payload_start..payload_end];
+        if crc32(payload) != crc {
+            break;
+        }
+        let Some(record) = WalRecord::decode(payload) else {
+            break;
+        };
+        let frame_len = FRAME_HEADER + len as u64;
+        out.push((start + off as u64, frame_len, record));
+        off = payload_end;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        static N: AtomicU32 = AtomicU32::new(0);
+        let d = std::env::temp_dir().join(format!(
+            "neurdb-wal-{tag}-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = fs::remove_dir_all(&d);
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn rec(txn: u64) -> WalRecord {
+        WalRecord::TxnCommit { txn }
+    }
+
+    #[test]
+    fn append_scan_roundtrip() {
+        let dir = tmpdir("roundtrip");
+        {
+            let wal = Wal::open(&dir, WalOptions::default()).unwrap();
+            for i in 0..100 {
+                let lsn = wal.append(&rec(i));
+                wal.commit(lsn).unwrap();
+            }
+        }
+        let records = Wal::scan_from(&dir, 0).unwrap();
+        assert_eq!(records.len(), 100);
+        for (i, (_, r)) in records.iter().enumerate() {
+            assert_eq!(r, &rec(i as u64));
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn segments_roll_and_chain() {
+        let dir = tmpdir("segments");
+        {
+            let wal = Wal::open(
+                &dir,
+                WalOptions {
+                    segment_bytes: 256,
+                    fsync: FsyncPolicy::Never,
+                },
+            )
+            .unwrap();
+            for i in 0..200 {
+                wal.append(&rec(i));
+            }
+            wal.sync().unwrap();
+        }
+        let n_segs = fs::read_dir(&dir).unwrap().count();
+        assert!(n_segs > 5, "expected many segments, got {n_segs}");
+        assert_eq!(Wal::scan_from(&dir, 0).unwrap().len(), 200);
+        // Reopen continues appending where the log ended.
+        let wal = Wal::open(&dir, WalOptions::default()).unwrap();
+        let end = wal.append(&rec(999));
+        wal.commit(end).unwrap();
+        drop(wal);
+        let all = Wal::scan_from(&dir, 0).unwrap();
+        assert_eq!(all.len(), 201);
+        assert_eq!(all.last().unwrap().1, rec(999));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crash_point_drops_tail() {
+        let dir = tmpdir("crash");
+        {
+            let wal = Wal::open(&dir, WalOptions::default()).unwrap();
+            wal.lose_after_records(10, false);
+            for i in 0..50 {
+                let lsn = wal.append(&rec(i));
+                wal.commit(lsn).unwrap();
+            }
+        }
+        let records = Wal::scan_from(&dir, 0).unwrap();
+        assert_eq!(records.len(), 10, "only pre-crash records survive");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_detected_and_truncated_on_reopen() {
+        let dir = tmpdir("torn");
+        {
+            let wal = Wal::open(&dir, WalOptions::default()).unwrap();
+            wal.lose_after_records(7, true);
+            for i in 0..20 {
+                let lsn = wal.append(&rec(i));
+                wal.commit(lsn).unwrap();
+            }
+        }
+        assert_eq!(Wal::scan_from(&dir, 0).unwrap().len(), 7);
+        // Reopen truncates the torn bytes and appends cleanly after.
+        {
+            let wal = Wal::open(&dir, WalOptions::default()).unwrap();
+            let lsn = wal.append(&rec(777));
+            wal.commit(lsn).unwrap();
+        }
+        let records = Wal::scan_from(&dir, 0).unwrap();
+        assert_eq!(records.len(), 8);
+        assert_eq!(records.last().unwrap().1, rec(777));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_byte_ends_scan() {
+        let dir = tmpdir("corrupt");
+        {
+            let wal = Wal::open(&dir, WalOptions::default()).unwrap();
+            for i in 0..20 {
+                let lsn = wal.append(&rec(i));
+                wal.commit(lsn).unwrap();
+            }
+        }
+        // Flip a byte in the middle of the single segment.
+        let seg = fs::read_dir(&dir).unwrap().next().unwrap().unwrap().path();
+        let mut bytes = fs::read(&seg).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        fs::write(&seg, &bytes).unwrap();
+        let records = Wal::scan_from(&dir, 0).unwrap();
+        assert!(records.len() < 20, "scan must stop at corruption");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn group_commit_batches_fsyncs() {
+        let dir = tmpdir("group");
+        let wal = Wal::open(
+            &dir,
+            WalOptions {
+                segment_bytes: 4 << 20,
+                fsync: FsyncPolicy::Group(Duration::from_millis(2)),
+            },
+        )
+        .unwrap();
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let wal = wal.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50 {
+                    let lsn = wal.append(&rec(t * 1000 + i));
+                    wal.commit(lsn).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let stats = wal.stats();
+        assert_eq!(stats.appended_records, 400);
+        assert!(
+            stats.fsyncs < 400,
+            "group commit should batch: {} fsyncs for 400 commits",
+            stats.fsyncs
+        );
+        drop(wal);
+        assert_eq!(Wal::scan_from(&dir, 0).unwrap().len(), 400);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncate_before_preserves_tail() {
+        let dir = tmpdir("truncate");
+        let wal = Wal::open(
+            &dir,
+            WalOptions {
+                segment_bytes: 128,
+                fsync: FsyncPolicy::Never,
+            },
+        )
+        .unwrap();
+        for i in 0..100 {
+            wal.append(&rec(i));
+        }
+        wal.sync().unwrap();
+        let cut = wal.end_lsn() / 2;
+        wal.truncate_before(cut).unwrap();
+        let tail = Wal::scan_from(&dir, cut).unwrap();
+        assert!(!tail.is_empty());
+        // Every surviving record with lsn >= cut is intact and in order.
+        let mut prev = 0;
+        for (lsn, _) in &tail {
+            assert!(*lsn >= prev);
+            prev = *lsn;
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -95,11 +95,7 @@ impl AvazuGen {
 /// Reproduce the paper's protocol: generate a corpus, run **k-means** over
 /// a numeric projection of the rows, and return per-cluster row pools
 /// C1..C5 ordered by cluster size (descending).
-pub fn clustered_corpus(
-    gen: &AvazuGen,
-    rows_per_segment: usize,
-    seed: u64,
-) -> Vec<Vec<AvazuRow>> {
+pub fn clustered_corpus(gen: &AvazuGen, rows_per_segment: usize, seed: u64) -> Vec<Vec<AvazuRow>> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut corpus = Vec::with_capacity(rows_per_segment * AVAZU_CLUSTERS);
     for c in 0..AVAZU_CLUSTERS {

@@ -131,7 +131,10 @@ mod tests {
             let (ci, labels) = chunk;
             let first = km.assignments[ci * 100];
             assert!(
-                labels.iter().enumerate().all(|(j, _)| km.assignments[ci * 100 + j] == first),
+                labels
+                    .iter()
+                    .enumerate()
+                    .all(|(j, _)| km.assignments[ci * 100 + j] == first),
                 "cluster {ci} split"
             );
         }

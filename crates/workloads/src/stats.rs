@@ -107,7 +107,11 @@ pub fn stats_queries() -> Vec<StatsQuery> {
         }
         for (t, s) in tables.iter().zip(selectivities.iter()) {
             if *s < 1.0 {
-                preds.push(format!("{}.score > {}", TABLE_NAMES[*t], (100.0 * (1.0 - s)) as i64));
+                preds.push(format!(
+                    "{}.score > {}",
+                    TABLE_NAMES[*t],
+                    (100.0 * (1.0 - s)) as i64
+                ));
             }
         }
         let sql = format!(
@@ -127,10 +131,18 @@ pub fn stats_queries() -> Vec<StatsQuery> {
         q(2, vec![USERS, POSTS, COMMENTS], vec![1.0, 0.4, 0.6]),
         q(3, vec![POSTS, VOTES], vec![0.3, 1.0]),
         q(4, vec![USERS, BADGES, COMMENTS], vec![0.7, 1.0, 0.2]),
-        q(5, vec![POSTS, COMMENTS, VOTES, POST_HISTORY], vec![0.5, 0.5, 0.9, 0.3]),
+        q(
+            5,
+            vec![POSTS, COMMENTS, VOTES, POST_HISTORY],
+            vec![0.5, 0.5, 0.9, 0.3],
+        ),
         q(6, vec![USERS, POSTS, POST_LINKS], vec![0.9, 0.6, 1.0]),
         q(7, vec![POSTS, TAGS, VOTES], vec![0.4, 0.8, 0.5]),
-        q(8, vec![USERS, POSTS, COMMENTS, VOTES, POST_HISTORY], vec![0.8, 0.7, 0.4, 0.6, 0.5]),
+        q(
+            8,
+            vec![USERS, POSTS, COMMENTS, VOTES, POST_HISTORY],
+            vec![0.8, 0.7, 0.4, 0.6, 0.5],
+        ),
     ]
 }
 
@@ -257,7 +269,12 @@ mod tests {
                 .sum()
         };
         assert_eq!(gap(&orig), 0.0);
-        assert!(gap(&severe) > gap(&mild), "{} !> {}", gap(&severe), gap(&mild));
+        assert!(
+            gap(&severe) > gap(&mild),
+            "{} !> {}",
+            gap(&severe),
+            gap(&mild)
+        );
     }
 
     #[test]

@@ -64,7 +64,11 @@ fn main() {
         let (l, _) = neurdb_nn::mse(&model.forward(&b.features), &b.targets);
         decision = monitor.observe(l as f64);
         if decision != Adaptation::None {
-            println!("monitor fired after {} drifted batches: {:?}", i + 1, decision);
+            println!(
+                "monitor fired after {} drifted batches: {:?}",
+                i + 1,
+                decision
+            );
             break;
         }
     }
@@ -108,7 +112,9 @@ fn main() {
     let hotspot = Arc::new(move |tid: usize, seq: u64| {
         // All threads hammer 4 keys with multi-op RMW transactions: a
         // sharp contention regime shift (think flash sale).
-        let h = (tid as u64).wrapping_mul(31).wrapping_add(seq.wrapping_mul(7));
+        let h = (tid as u64)
+            .wrapping_mul(31)
+            .wrapping_add(seq.wrapping_mul(7));
         TxnSpec::new(
             0,
             vec![
@@ -151,7 +157,11 @@ fn main() {
             "  t={:>6.2}s  {:>9.0} txn/s{}",
             p.t,
             p.throughput,
-            if p.adapted { "  <- two-phase adaptation ran" } else { "" }
+            if p.adapted {
+                "  <- two-phase adaptation ran"
+            } else {
+                ""
+            }
         );
     }
     let adapted = timeline.iter().any(|p| p.adapted);

@@ -1,0 +1,122 @@
+//! Durability demo: crash a writing database process and recover.
+//!
+//! ```text
+//! cargo run --release --example durability_crash -- write /tmp/ndb   # kill -9 this
+//! cargo run --release --example durability_crash -- read  /tmp/ndb   # recovers
+//! ```
+//!
+//! `write` loads a table, trains a PREDICT model, checkpoints, then
+//! keeps appending committed batches forever (printing progress) until
+//! killed. `read` reopens the directory, reports what crash recovery
+//! restored, and serves a prediction from the recovered model without
+//! retraining.
+
+use neurdb_core::{Database, Output};
+use neurdb_wal::{DurableStoreOptions, FsyncPolicy, WalOptions};
+use std::time::Duration;
+
+fn opts() -> DurableStoreOptions {
+    DurableStoreOptions {
+        frames: 512,
+        wal: WalOptions {
+            segment_bytes: 1 << 20,
+            fsync: FsyncPolicy::Group(Duration::from_millis(1)),
+        },
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mode = args.next().unwrap_or_default();
+    let dir = args.next().unwrap_or_else(|| "/tmp/neurdb-demo".into());
+    match mode.as_str() {
+        "write" => write(&dir),
+        "read" => read(&dir),
+        _ => {
+            eprintln!("usage: durability_crash <write|read> <dir>");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn write(dir: &str) {
+    let mut db = Database::open_with(dir, opts()).expect("open");
+    db.train_sample_budget = 2_000;
+    db.execute("CREATE TABLE review (id INT PRIMARY KEY, brand INT, stars INT, score FLOAT)")
+        .expect("create");
+    db.execute("CREATE INDEX ON review (id)").expect("index");
+    for i in 0..200 {
+        db.execute(&format!(
+            "INSERT INTO review VALUES ({i}, {}, {}, {:.1})",
+            i % 4,
+            i % 5,
+            (i % 5) as f64
+        ))
+        .expect("insert");
+    }
+    let Output::Prediction(p) = db
+        .execute("PREDICT VALUE OF score FROM review TRAIN ON brand, stars")
+        .expect("predict")
+    else {
+        unreachable!()
+    };
+    println!(
+        "trained model mid={} (versions {:?})",
+        p.mid,
+        db.ai.models.versions(p.mid).unwrap()
+    );
+    db.finetune("review", "score").expect("finetune");
+    let ckpt_lsn = db.checkpoint().expect("checkpoint");
+    println!("checkpoint at lsn {ckpt_lsn}");
+    // Keep committing batches until killed.
+    let mut next_id = 1_000i64;
+    loop {
+        let rows: Vec<String> = (0..10)
+            .map(|k| {
+                let id = next_id + k;
+                format!("({id}, {}, {}, {:.1})", id % 4, id % 5, (id % 5) as f64)
+            })
+            .collect();
+        db.execute(&format!("INSERT INTO review VALUES {}", rows.join(", ")))
+            .expect("batch insert");
+        next_id += 10;
+        let stats = db.wal_stats().unwrap();
+        println!(
+            "committed through id {} | wal: {} records, {} fsyncs",
+            next_id - 1,
+            stats.appended_records,
+            stats.fsyncs
+        );
+    }
+}
+
+fn read(dir: &str) {
+    let db = Database::open_with(dir, opts()).expect("recovery");
+    let rows = db
+        .execute("SELECT * FROM review")
+        .expect("select")
+        .rows()
+        .map(|r| r.rows.len())
+        .unwrap_or(0);
+    let t = db.table("review").expect("table");
+    println!(
+        "recovered {rows} rows, indexes on {:?}, tables {:?}",
+        t.indexed_columns(),
+        db.table_names()
+    );
+    let Output::Prediction(p) = db
+        .execute("PREDICT VALUE OF score FROM review WHERE id < 3 TRAIN ON brand, stars")
+        .expect("predict")
+    else {
+        unreachable!()
+    };
+    println!(
+        "PREDICT served by recovered model mid={} retrained={} versions={:?}",
+        p.mid,
+        p.train_outcome.is_some(),
+        db.ai.models.versions(p.mid).unwrap()
+    );
+    for row in &p.result.rows {
+        println!("  {row:?}");
+    }
+}

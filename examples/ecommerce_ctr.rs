@@ -28,7 +28,13 @@ fn main() {
         seed: 7,
     };
 
-    let neurdb = run_neurdb(&engine, AnalyticsWorkload::Ecommerce, src.clone(), window, 5e-3);
+    let neurdb = run_neurdb(
+        &engine,
+        AnalyticsWorkload::Ecommerce,
+        src.clone(),
+        window,
+        5e-3,
+    );
     println!(
         "NeurDB (streaming):     latency {:>7.3}s  throughput {:>9.0} samples/s  \
          (compute {:.3}s, stream-wait {:.3}s)",

@@ -55,7 +55,9 @@ fn main() {
              VALUES (6, 38, 14, 11, 10, 22, 6, 10), (1, 17, 13, 5, 4, 11, 2, 5)",
         )
         .unwrap();
-    let Output::Prediction(p) = out else { unreachable!() };
+    let Output::Prediction(p) = out else {
+        unreachable!()
+    };
     if let Some(t) = &p.train_outcome {
         println!(
             "trained in-database in {:.3}s over {} samples; final loss {:.4}",
@@ -77,7 +79,9 @@ fn main() {
              TRAIN ON pregnancies, glucose, blood_pressure, skin, insulin, bmi, pedigree, age",
         )
         .unwrap();
-    let Output::Prediction(all) = all else { unreachable!() };
+    let Output::Prediction(all) = all else {
+        unreachable!()
+    };
     let mut correct = 0usize;
     for (r, truth) in all.result.rows.iter().zip(rows.iter()) {
         let pred = r.get(8).as_bool().unwrap();

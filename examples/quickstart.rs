@@ -11,10 +11,8 @@ fn main() {
     let db = Database::new();
 
     // --- Standard SQL ----------------------------------------------------
-    db.execute(
-        "CREATE TABLE review (id INT PRIMARY KEY, brand_name TEXT, stars INT, score FLOAT)",
-    )
-    .unwrap();
+    db.execute("CREATE TABLE review (id INT PRIMARY KEY, brand_name TEXT, stars INT, score FLOAT)")
+        .unwrap();
     for i in 0..500i64 {
         let brand = format!("brand{}", i % 5);
         let stars = (i / 5) % 5 + 1;
@@ -36,7 +34,12 @@ fn main() {
     println!("review stats per brand:");
     if let Output::Rows(rows) = &out {
         for r in &rows.rows {
-            println!("  {:10} count={} avg_score={}", r.get(0).to_string(), r.get(1), r.get(2));
+            println!(
+                "  {:10} count={} avg_score={}",
+                r.get(0).to_string(),
+                r.get(1),
+                r.get(2)
+            );
         }
     }
 
@@ -49,7 +52,9 @@ fn main() {
              WITH brand_name <> 'brand0'",
         )
         .unwrap();
-    let Output::Prediction(p) = out else { unreachable!() };
+    let Output::Prediction(p) = out else {
+        unreachable!()
+    };
     if let Some(t) = &p.train_outcome {
         println!(
             "\ntrained model {} in {:.3}s over {} samples (streaming protocol, final loss {:.4})",
@@ -73,7 +78,9 @@ fn main() {
              TRAIN ON * WITH brand_name <> 'brand0'",
         )
         .unwrap();
-    let Output::Prediction(p2) = out else { unreachable!() };
+    let Output::Prediction(p2) = out else {
+        unreachable!()
+    };
     assert!(p2.train_outcome.is_none());
     println!("\nsecond PREDICT reused model {} (no retraining)", p2.mid);
 }

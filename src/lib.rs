@@ -1,0 +1,91 @@
+//! # neurdb
+//!
+//! Workspace facade crate: re-exports the public API of every NeurDB-RS
+//! subsystem and hosts the cross-crate glue that would otherwise create
+//! dependency cycles (e.g. routing transaction-engine commits through the
+//! write-ahead log).
+
+pub use neurdb_cc as cc;
+pub use neurdb_core as core;
+pub use neurdb_engine as engine;
+pub use neurdb_nn as nn;
+pub use neurdb_qo as qo;
+pub use neurdb_sql as sql;
+pub use neurdb_storage as storage;
+pub use neurdb_txn as txn;
+pub use neurdb_wal as wal;
+pub use neurdb_workloads as workloads;
+
+use neurdb_txn::{DurabilityHook, TxnId};
+use neurdb_wal::{DurableStore, WalRecord};
+use std::sync::Arc;
+
+/// Routes transaction-engine commits through the write-ahead log:
+/// [`neurdb_txn::TxnEngine`] calls this after validation, under the
+/// write-set locks, so the commit record is durable before the new
+/// versions become visible (log-before-visible commit ordering).
+///
+/// Lives in the facade crate because it bridges two otherwise
+/// independent layers (`txn` and `wal`).
+pub struct WalCommitLog {
+    store: Arc<DurableStore>,
+}
+
+impl WalCommitLog {
+    pub fn new(store: Arc<DurableStore>) -> Self {
+        WalCommitLog { store }
+    }
+}
+
+impl DurabilityHook for WalCommitLog {
+    fn persist_commit(&self, txn: TxnId, writes: &[(u64, u64)]) -> Result<(), String> {
+        let record = WalRecord::KvCommit {
+            txn,
+            writes: writes.to_vec(),
+        };
+        match self.store.append_record(&record) {
+            Some(lsn) => self.store.wait_durable(lsn).map_err(|e| e.to_string()),
+            None => Ok(()), // volatile store: nothing to persist
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neurdb_txn::{execute_spec, EngineConfig, Op, TwoPhaseLocking, TxnEngine, TxnSpec};
+    use neurdb_wal::DurableStoreOptions;
+
+    #[test]
+    fn txn_engine_commits_flow_through_the_wal() {
+        let dir = std::env::temp_dir().join(format!("neurdb-kvwal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let (store, _) = DurableStore::open(&dir, DurableStoreOptions::default()).unwrap();
+            let store = Arc::new(store);
+            let mut engine = TxnEngine::new(Arc::new(TwoPhaseLocking), EngineConfig::default());
+            engine.set_durability(Arc::new(WalCommitLog::new(store.clone())));
+            for k in 0..4 {
+                engine.load(k, 0);
+            }
+            for i in 0..10 {
+                let spec = TxnSpec::new(0, vec![Op::Rmw(i % 4, 1)]);
+                execute_spec(&engine, &spec).unwrap();
+            }
+            store.sync().unwrap();
+        }
+        // Reopen: every committed KV write is in the recovered records,
+        // in commit order.
+        let (_, app) = DurableStore::open(&dir, DurableStoreOptions::default()).unwrap();
+        let kv: Vec<_> = app
+            .records
+            .iter()
+            .filter_map(|r| match r {
+                WalRecord::KvCommit { writes, .. } => Some(writes.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(kv.len(), 10, "all ten commits logged");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -23,9 +23,12 @@ fn run_policy(policy: Arc<dyn CcPolicy>, threads: usize) -> f64 {
     let engine = Arc::new(TxnEngine::new(policy, EngineConfig::default()));
     y.load(&engine);
     let y = Arc::new(y);
-    let stats = run_workload(&engine, threads, Duration::from_millis(150), move |tid, seq| {
-        y.transaction_for(tid, seq)
-    });
+    let stats = run_workload(
+        &engine,
+        threads,
+        Duration::from_millis(150),
+        move |tid, seq| y.transaction_for(tid, seq),
+    );
     assert!(stats.commits > 0, "policy must make progress");
     stats.throughput()
 }

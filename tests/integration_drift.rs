@@ -87,7 +87,10 @@ fn monitor_detects_cluster_switch_from_loss_stream() {
             break;
         }
     }
-    assert!(fired, "cluster switch should raise the loss enough to trigger");
+    assert!(
+        fired,
+        "cluster switch should raise the loss enough to trigger"
+    );
 }
 
 #[test]

@@ -8,10 +8,8 @@ use neurdb_storage::Value;
 /// score tracks `stars`, with some brands held out for inference.
 fn review_db(rows: usize) -> Database {
     let db = Database::new();
-    db.execute(
-        "CREATE TABLE review (id INT PRIMARY KEY, brand_name TEXT, stars INT, score FLOAT)",
-    )
-    .unwrap();
+    db.execute("CREATE TABLE review (id INT PRIMARY KEY, brand_name TEXT, stars INT, score FLOAT)")
+        .unwrap();
     let mut stmts = Vec::new();
     for i in 0..rows {
         // Brand and stars vary independently so held-out brands cover the
@@ -48,7 +46,9 @@ fn listing1_regression_end_to_end() {
              WITH brand_name <> 'brand0'",
         )
         .unwrap();
-    let Output::Prediction(p) = out else { panic!("expected prediction") };
+    let Output::Prediction(p) = out else {
+        panic!("expected prediction")
+    };
     assert!(p.train_outcome.is_some(), "first PREDICT trains a model");
     let result = &p.result;
     assert_eq!(result.len(), 80, "all brand0 rows predicted");
@@ -60,7 +60,10 @@ fn listing1_regression_end_to_end() {
     // Predictions should be within the plausible score range.
     for row in &result.rows {
         let pred = row.get(2).as_f64().unwrap();
-        assert!((0.0..=7.0).contains(&pred), "prediction {pred} out of range");
+        assert!(
+            (0.0..=7.0).contains(&pred),
+            "prediction {pred} out of range"
+        );
     }
 }
 
@@ -124,7 +127,13 @@ fn listing2_classification_with_values() {
     assert_eq!(p.result.len(), 2);
     assert_eq!(
         p.result.columns,
-        vec!["pregnancies", "glucose", "blood_pressure", "predicted_outcome", "probability"]
+        vec![
+            "pregnancies",
+            "glucose",
+            "blood_pressure",
+            "predicted_outcome",
+            "probability"
+        ]
     );
     let hi = p.result.rows[0].get(4).as_f64().unwrap();
     let lo = p.result.rows[1].get(4).as_f64().unwrap();
@@ -139,10 +148,17 @@ fn model_reused_on_second_predict() {
     let db = review_db(200);
     let sql = "PREDICT VALUE OF score FROM review WHERE brand_name = 'brand0' \
                TRAIN ON * WITH brand_name <> 'brand0'";
-    let Output::Prediction(first) = db.execute(sql).unwrap() else { panic!() };
+    let Output::Prediction(first) = db.execute(sql).unwrap() else {
+        panic!()
+    };
     assert!(first.train_outcome.is_some());
-    let Output::Prediction(second) = db.execute(sql).unwrap() else { panic!() };
-    assert!(second.train_outcome.is_none(), "second run serves the cached model");
+    let Output::Prediction(second) = db.execute(sql).unwrap() else {
+        panic!()
+    };
+    assert!(
+        second.train_outcome.is_none(),
+        "second run serves the cached model"
+    );
     assert_eq!(first.mid, second.mid);
 }
 
@@ -150,7 +166,9 @@ fn model_reused_on_second_predict() {
 fn finetune_creates_new_version_sharing_layers() {
     let db = review_db(200);
     let sql = "PREDICT VALUE OF score FROM review TRAIN ON * WITH brand_name <> 'brand0'";
-    let Output::Prediction(p) = db.execute(sql).unwrap() else { panic!() };
+    let Output::Prediction(p) = db.execute(sql).unwrap() else {
+        panic!()
+    };
     let mid = p.mid;
     let v1 = db.ai.models.latest_version(mid).unwrap();
     let outcome = db.finetune("review", "score").unwrap();

@@ -3,8 +3,7 @@
 //! qualitative ordering the paper reports.
 
 use neurdb_qo::{
-    latency_of, BaoOptimizer, CostBasedOptimizer, LeroOptimizer, NeurQo, Optimizer,
-    PretrainConfig,
+    latency_of, BaoOptimizer, CostBasedOptimizer, LeroOptimizer, NeurQo, Optimizer, PretrainConfig,
 };
 use neurdb_workloads::{query_graph, stats_queries, DriftLevel};
 use rand::rngs::StdRng;

@@ -40,7 +40,9 @@ fn update_and_delete() {
         .execute("UPDATE users SET age = age + 1 WHERE name = 'bob'")
         .unwrap();
     assert_eq!(n.affected(), Some(1));
-    let out = db.execute("SELECT age FROM users WHERE name = 'bob'").unwrap();
+    let out = db
+        .execute("SELECT age FROM users WHERE name = 'bob'")
+        .unwrap();
     assert_eq!(out.rows().unwrap().rows[0].get(0), &Value::Int(26));
     let n = db.execute("DELETE FROM users WHERE age > 40").unwrap();
     assert_eq!(n.affected(), Some(1));
@@ -68,10 +70,14 @@ fn join_two_tables() {
 #[test]
 fn three_way_join() {
     let db = db_with_users();
-    db.execute("CREATE TABLE posts (pid INT PRIMARY KEY, owner INT)").unwrap();
-    db.execute("CREATE TABLE comments (cid INT PRIMARY KEY, post INT)").unwrap();
-    db.execute("INSERT INTO posts VALUES (10, 1), (11, 2)").unwrap();
-    db.execute("INSERT INTO comments VALUES (100, 10), (101, 10), (102, 11)").unwrap();
+    db.execute("CREATE TABLE posts (pid INT PRIMARY KEY, owner INT)")
+        .unwrap();
+    db.execute("CREATE TABLE comments (cid INT PRIMARY KEY, post INT)")
+        .unwrap();
+    db.execute("INSERT INTO posts VALUES (10, 1), (11, 2)")
+        .unwrap();
+    db.execute("INSERT INTO comments VALUES (100, 10), (101, 10), (102, 11)")
+        .unwrap();
     let out = db
         .execute(
             "SELECT u.name, c.cid FROM users u, posts p, comments c \
@@ -127,7 +133,9 @@ fn secondary_index_usable() {
 fn constraint_errors_surface() {
     let db = db_with_users();
     // NULL into NOT NULL column.
-    assert!(db.execute("INSERT INTO users VALUES (5, NULL, 10)").is_err());
+    assert!(db
+        .execute("INSERT INTO users VALUES (5, NULL, 10)")
+        .is_err());
     // Unknown table / column.
     assert!(db.execute("SELECT * FROM missing").is_err());
     assert!(db.execute("SELECT nope FROM users").is_err());

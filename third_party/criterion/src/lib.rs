@@ -1,0 +1,269 @@
+//! Offline shim for `criterion`: a minimal wall-clock benchmark harness
+//! with criterion's API shape. Each benchmark warms up briefly, then runs
+//! timed batches and reports the best observed ns/iter (min-of-batches is
+//! robust to scheduler noise for a harness this small). No statistics,
+//! plots, or baselines.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness handle.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            _parent: self,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(id, self.sample_size, self.measurement_time, &mut f);
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<I: fmt::Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.sample_size, self.measurement_time, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.sample_size, self.measurement_time, &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)
+    }
+}
+
+/// Declared throughput (accepted, not reported, by this shim).
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// How `iter_batched` sizes its batches. The shim always uses per-call
+/// batches, which is correct (just slower) for every variant.
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Passed to each benchmark closure; runs and times the workload.
+pub struct Bencher {
+    iters_per_batch: u64,
+    best_ns_per_iter: f64,
+    batches: usize,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        for _ in 0..3 {
+            black_box(routine()); // warm-up
+        }
+        for _ in 0..self.batches {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_batch {
+                black_box(routine());
+            }
+            let ns = start.elapsed().as_nanos() as f64 / self.iters_per_batch as f64;
+            self.best_ns_per_iter = self.best_ns_per_iter.min(ns);
+        }
+    }
+
+    /// The routine times itself for the requested iteration count.
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut routine: F) {
+        let _ = routine(1); // warm-up
+        for _ in 0..self.batches {
+            let elapsed = routine(self.iters_per_batch);
+            let ns = elapsed.as_nanos() as f64 / self.iters_per_batch as f64;
+            self.best_ns_per_iter = self.best_ns_per_iter.min(ns);
+        }
+    }
+
+    pub fn iter_batched<I, O, S: FnMut() -> I, F: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: F,
+        _size: BatchSize,
+    ) {
+        black_box(routine(setup())); // warm-up
+        for _ in 0..self.batches {
+            let n = self.iters_per_batch.min(16);
+            let inputs: Vec<I> = (0..n).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            let ns = start.elapsed().as_nanos() as f64 / n as f64;
+            self.best_ns_per_iter = self.best_ns_per_iter.min(ns);
+        }
+    }
+
+    pub fn iter_batched_ref<I, O, S: FnMut() -> I, F: FnMut(&mut I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: F,
+        _size: BatchSize,
+    ) {
+        black_box(routine(&mut setup())); // warm-up
+        for _ in 0..self.batches {
+            let n = self.iters_per_batch.min(16);
+            let mut inputs: Vec<I> = (0..n).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in &mut inputs {
+                black_box(routine(input));
+            }
+            let ns = start.elapsed().as_nanos() as f64 / n as f64;
+            self.best_ns_per_iter = self.best_ns_per_iter.min(ns);
+        }
+    }
+}
+
+fn run_one(
+    label: &str,
+    sample_size: usize,
+    measurement_time: Duration,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    // Calibration pass: one batch of one iteration to size the real run.
+    let mut probe = Bencher {
+        iters_per_batch: 1,
+        best_ns_per_iter: f64::INFINITY,
+        batches: 1,
+    };
+    f(&mut probe);
+    let per_iter = probe.best_ns_per_iter.max(1.0);
+    let budget_ns = measurement_time.as_nanos() as f64 / sample_size.max(1) as f64;
+    let iters = ((budget_ns / per_iter).round() as u64).clamp(1, 1_000_000);
+    let mut b = Bencher {
+        iters_per_batch: iters,
+        best_ns_per_iter: f64::INFINITY,
+        batches: sample_size.max(2),
+    };
+    f(&mut b);
+    let ns = b.best_ns_per_iter;
+    let (value, unit) = if ns < 1_000.0 {
+        (ns, "ns")
+    } else if ns < 1_000_000.0 {
+        (ns / 1_000.0, "µs")
+    } else {
+        (ns / 1_000_000.0, "ms")
+    };
+    println!("{label:<50} time: {value:>10.2} {unit}/iter");
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_and_times() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(2).measurement_time(Duration::from_millis(5));
+        g.bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,11 @@
+//! Offline shim for `serde`: re-exports the no-op derives plus marker
+//! traits of the same names so `use serde::{Serialize, Deserialize}`
+//! imports both the macro and the trait namespaces, as with real serde.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; never implemented or required.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`; never implemented or required.
+pub trait Deserialize {}

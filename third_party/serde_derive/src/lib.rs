@@ -1,0 +1,18 @@
+//! Offline shim for `serde_derive`: the derives expand to nothing.
+//!
+//! NeurDB-RS only uses `#[derive(Serialize, Deserialize)]` as annotations;
+//! no code path serializes through serde (the WAL and checkpoint codecs
+//! are hand-rolled), so empty expansions are sufficient and keep the
+//! derive attribute positions compiling unchanged.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
