@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_analytics-5b86cb90e1a2bc5a.d: crates/bench/benches/bench_analytics.rs
+
+/root/repo/target/debug/deps/libbench_analytics-5b86cb90e1a2bc5a.rmeta: crates/bench/benches/bench_analytics.rs
+
+crates/bench/benches/bench_analytics.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_analytics-9447aeacecd74f26.d: crates/bench/benches/bench_analytics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_analytics-9447aeacecd74f26.rmeta: crates/bench/benches/bench_analytics.rs Cargo.toml
+
+crates/bench/benches/bench_analytics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_cc-53e9cfc32b06c723.d: crates/bench/benches/bench_cc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_cc-53e9cfc32b06c723.rmeta: crates/bench/benches/bench_cc.rs Cargo.toml
+
+crates/bench/benches/bench_cc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

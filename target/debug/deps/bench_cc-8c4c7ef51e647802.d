@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_cc-8c4c7ef51e647802.d: crates/bench/benches/bench_cc.rs
+
+/root/repo/target/debug/deps/libbench_cc-8c4c7ef51e647802.rmeta: crates/bench/benches/bench_cc.rs
+
+crates/bench/benches/bench_cc.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_incremental-1a5d537222b03d09.d: crates/bench/benches/bench_incremental.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_incremental-1a5d537222b03d09.rmeta: crates/bench/benches/bench_incremental.rs Cargo.toml
+
+crates/bench/benches/bench_incremental.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

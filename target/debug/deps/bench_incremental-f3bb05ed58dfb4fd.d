@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_incremental-f3bb05ed58dfb4fd.d: crates/bench/benches/bench_incremental.rs
+
+/root/repo/target/debug/deps/libbench_incremental-f3bb05ed58dfb4fd.rmeta: crates/bench/benches/bench_incremental.rs
+
+crates/bench/benches/bench_incremental.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_nn-26fd95d84e75fc00.d: crates/bench/benches/bench_nn.rs
+
+/root/repo/target/debug/deps/libbench_nn-26fd95d84e75fc00.rmeta: crates/bench/benches/bench_nn.rs
+
+crates/bench/benches/bench_nn.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_nn-ca41b7df03c73228.d: crates/bench/benches/bench_nn.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_nn-ca41b7df03c73228.rmeta: crates/bench/benches/bench_nn.rs Cargo.toml
+
+crates/bench/benches/bench_nn.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_qo-a2a041a03090ce3e.d: crates/bench/benches/bench_qo.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_qo-a2a041a03090ce3e.rmeta: crates/bench/benches/bench_qo.rs Cargo.toml
+
+crates/bench/benches/bench_qo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_qo-d78b6a587048e565.d: crates/bench/benches/bench_qo.rs
+
+/root/repo/target/debug/deps/libbench_qo-d78b6a587048e565.rmeta: crates/bench/benches/bench_qo.rs
+
+crates/bench/benches/bench_qo.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_storage-7087491bfe6b0f78.d: crates/bench/benches/bench_storage.rs
+
+/root/repo/target/debug/deps/libbench_storage-7087491bfe6b0f78.rmeta: crates/bench/benches/bench_storage.rs
+
+crates/bench/benches/bench_storage.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_storage-ba82cdf322c3e973.d: crates/bench/benches/bench_storage.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_storage-ba82cdf322c3e973.rmeta: crates/bench/benches/bench_storage.rs Cargo.toml
+
+crates/bench/benches/bench_storage.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_streaming-39963f8d57d1d5b4.d: crates/bench/benches/bench_streaming.rs
+
+/root/repo/target/debug/deps/libbench_streaming-39963f8d57d1d5b4.rmeta: crates/bench/benches/bench_streaming.rs
+
+crates/bench/benches/bench_streaming.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_streaming-cd3514b02dddd34d.d: crates/bench/benches/bench_streaming.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_streaming-cd3514b02dddd34d.rmeta: crates/bench/benches/bench_streaming.rs Cargo.toml
+
+crates/bench/benches/bench_streaming.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

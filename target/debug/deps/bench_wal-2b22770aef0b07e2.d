@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_wal-2b22770aef0b07e2.d: crates/bench/benches/bench_wal.rs
+
+/root/repo/target/debug/deps/libbench_wal-2b22770aef0b07e2.rmeta: crates/bench/benches/bench_wal.rs
+
+crates/bench/benches/bench_wal.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_wal-d8294d0af25a745c.d: crates/bench/benches/bench_wal.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_wal-d8294d0af25a745c.rmeta: crates/bench/benches/bench_wal.rs Cargo.toml
+
+crates/bench/benches/bench_wal.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

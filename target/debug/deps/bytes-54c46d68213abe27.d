@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bytes-54c46d68213abe27.d: third_party/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-54c46d68213abe27.rmeta: third_party/bytes/src/lib.rs
+
+third_party/bytes/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bytes-a23a6803b1aee32c.d: third_party/bytes/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbytes-a23a6803b1aee32c.rmeta: third_party/bytes/src/lib.rs Cargo.toml
+
+third_party/bytes/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-2ddf944cfeda7cd6.d: third_party/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-2ddf944cfeda7cd6.rmeta: third_party/criterion/src/lib.rs
+
+third_party/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-5e0b9ac30f8baa62.d: third_party/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-5e0b9ac30f8baa62.rmeta: third_party/criterion/src/lib.rs
+
+third_party/criterion/src/lib.rs:

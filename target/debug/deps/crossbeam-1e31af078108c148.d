@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam-1e31af078108c148.d: third_party/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-1e31af078108c148.rmeta: third_party/crossbeam/src/lib.rs
+
+third_party/crossbeam/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crossbeam-5ee6fc90b52f7d7a.d: third_party/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-5ee6fc90b52f7d7a.rlib: third_party/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-5ee6fc90b52f7d7a.rmeta: third_party/crossbeam/src/lib.rs
+
+third_party/crossbeam/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-4ab2c44976faf165.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/libfigures-4ab2c44976faf165.rmeta: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

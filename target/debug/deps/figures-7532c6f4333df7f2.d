@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-7532c6f4333df7f2.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-7532c6f4333df7f2: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

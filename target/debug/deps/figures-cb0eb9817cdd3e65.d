@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-cb0eb9817cdd3e65.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/libfigures-cb0eb9817cdd3e65.rmeta: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

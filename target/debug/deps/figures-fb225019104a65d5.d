@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-fb225019104a65d5.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-fb225019104a65d5: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_cc-518e3bf6507bf941.d: tests/integration_cc.rs
+
+/root/repo/target/debug/deps/integration_cc-518e3bf6507bf941: tests/integration_cc.rs
+
+tests/integration_cc.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_cc-5653131884b04cbd.d: tests/integration_cc.rs
+
+/root/repo/target/debug/deps/libintegration_cc-5653131884b04cbd.rmeta: tests/integration_cc.rs
+
+tests/integration_cc.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_cc-d778e2d5135baa58.d: tests/integration_cc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_cc-d778e2d5135baa58.rmeta: tests/integration_cc.rs Cargo.toml
+
+tests/integration_cc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_drift-06ccd4b8aa9204e2.d: tests/integration_drift.rs
+
+/root/repo/target/debug/deps/integration_drift-06ccd4b8aa9204e2: tests/integration_drift.rs
+
+tests/integration_drift.rs:

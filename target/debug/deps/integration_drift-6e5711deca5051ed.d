@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_drift-6e5711deca5051ed.d: tests/integration_drift.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_drift-6e5711deca5051ed.rmeta: tests/integration_drift.rs Cargo.toml
+
+tests/integration_drift.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

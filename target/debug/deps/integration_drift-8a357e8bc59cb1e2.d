@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_drift-8a357e8bc59cb1e2.d: tests/integration_drift.rs
+
+/root/repo/target/debug/deps/libintegration_drift-8a357e8bc59cb1e2.rmeta: tests/integration_drift.rs
+
+tests/integration_drift.rs:

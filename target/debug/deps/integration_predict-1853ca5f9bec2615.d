@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_predict-1853ca5f9bec2615.d: tests/integration_predict.rs
+
+/root/repo/target/debug/deps/integration_predict-1853ca5f9bec2615: tests/integration_predict.rs
+
+tests/integration_predict.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_predict-1fc690d5f4238aa8.d: tests/integration_predict.rs
+
+/root/repo/target/debug/deps/libintegration_predict-1fc690d5f4238aa8.rmeta: tests/integration_predict.rs
+
+tests/integration_predict.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_predict-e01a849f9b493440.d: tests/integration_predict.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_predict-e01a849f9b493440.rmeta: tests/integration_predict.rs Cargo.toml
+
+tests/integration_predict.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

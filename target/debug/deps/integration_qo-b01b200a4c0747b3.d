@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_qo-b01b200a4c0747b3.d: tests/integration_qo.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_qo-b01b200a4c0747b3.rmeta: tests/integration_qo.rs Cargo.toml
+
+tests/integration_qo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_qo-bd0bb290441a5e29.d: tests/integration_qo.rs
+
+/root/repo/target/debug/deps/integration_qo-bd0bb290441a5e29: tests/integration_qo.rs
+
+tests/integration_qo.rs:

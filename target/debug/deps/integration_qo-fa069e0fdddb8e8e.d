@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_qo-fa069e0fdddb8e8e.d: tests/integration_qo.rs
+
+/root/repo/target/debug/deps/libintegration_qo-fa069e0fdddb8e8e.rmeta: tests/integration_qo.rs
+
+tests/integration_qo.rs:

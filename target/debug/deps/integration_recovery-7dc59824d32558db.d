@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_recovery-7dc59824d32558db.d: tests/integration_recovery.rs
+
+/root/repo/target/debug/deps/integration_recovery-7dc59824d32558db: tests/integration_recovery.rs
+
+tests/integration_recovery.rs:

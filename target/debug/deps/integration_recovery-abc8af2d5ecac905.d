@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_recovery-abc8af2d5ecac905.d: tests/integration_recovery.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_recovery-abc8af2d5ecac905.rmeta: tests/integration_recovery.rs Cargo.toml
+
+tests/integration_recovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

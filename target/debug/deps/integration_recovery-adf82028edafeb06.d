@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_recovery-adf82028edafeb06.d: tests/integration_recovery.rs
+
+/root/repo/target/debug/deps/libintegration_recovery-adf82028edafeb06.rmeta: tests/integration_recovery.rs
+
+tests/integration_recovery.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_sql-20cabec10ab4ea17.d: tests/integration_sql.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_sql-20cabec10ab4ea17.rmeta: tests/integration_sql.rs Cargo.toml
+
+tests/integration_sql.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

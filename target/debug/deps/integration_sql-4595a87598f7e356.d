@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_sql-4595a87598f7e356.d: tests/integration_sql.rs
+
+/root/repo/target/debug/deps/integration_sql-4595a87598f7e356: tests/integration_sql.rs
+
+tests/integration_sql.rs:

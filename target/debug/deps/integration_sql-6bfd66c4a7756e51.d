@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_sql-6bfd66c4a7756e51.d: tests/integration_sql.rs
+
+/root/repo/target/debug/deps/libintegration_sql-6bfd66c4a7756e51.rmeta: tests/integration_sql.rs
+
+tests/integration_sql.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/neurdb-08cd1a4b3bc1fce9.d: src/lib.rs
+
+/root/repo/target/debug/deps/libneurdb-08cd1a4b3bc1fce9.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libneurdb-08cd1a4b3bc1fce9.rmeta: src/lib.rs
+
+src/lib.rs:

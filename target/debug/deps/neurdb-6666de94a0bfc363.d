@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/neurdb-6666de94a0bfc363.d: src/lib.rs
+
+/root/repo/target/debug/deps/libneurdb-6666de94a0bfc363.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/neurdb-7a0a41282b43c665.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libneurdb-7a0a41282b43c665.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/neurdb-9157aa9a221bcbbb.d: src/lib.rs
+
+/root/repo/target/debug/deps/libneurdb-9157aa9a221bcbbb.rmeta: src/lib.rs
+
+src/lib.rs:

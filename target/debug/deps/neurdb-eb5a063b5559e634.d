@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/neurdb-eb5a063b5559e634.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libneurdb-eb5a063b5559e634.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/neurdb-f65bfc6018b63e76.d: src/lib.rs
+
+/root/repo/target/debug/deps/neurdb-f65bfc6018b63e76: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/neurdb_bench-103fa714b93438ef.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/neurdb_bench-103fa714b93438ef: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

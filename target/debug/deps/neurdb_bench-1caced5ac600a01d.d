@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/neurdb_bench-1caced5ac600a01d.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libneurdb_bench-1caced5ac600a01d.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

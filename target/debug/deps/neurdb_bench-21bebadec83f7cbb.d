@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/neurdb_bench-21bebadec83f7cbb.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libneurdb_bench-21bebadec83f7cbb.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libneurdb_bench-21bebadec83f7cbb.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

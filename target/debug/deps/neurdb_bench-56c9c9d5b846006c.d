@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/neurdb_bench-56c9c9d5b846006c.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libneurdb_bench-56c9c9d5b846006c.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/neurdb_bench-d047e6f0023c4c2d.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libneurdb_bench-d047e6f0023c4c2d.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

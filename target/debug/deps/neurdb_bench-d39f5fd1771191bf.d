@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/neurdb_bench-d39f5fd1771191bf.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libneurdb_bench-d39f5fd1771191bf.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/neurdb_cc-355f05b3413caa35.d: crates/cc/src/lib.rs crates/cc/src/adapt.rs crates/cc/src/driver.rs crates/cc/src/encoding.rs crates/cc/src/model.rs crates/cc/src/polyjuice.rs
+
+/root/repo/target/debug/deps/neurdb_cc-355f05b3413caa35: crates/cc/src/lib.rs crates/cc/src/adapt.rs crates/cc/src/driver.rs crates/cc/src/encoding.rs crates/cc/src/model.rs crates/cc/src/polyjuice.rs
+
+crates/cc/src/lib.rs:
+crates/cc/src/adapt.rs:
+crates/cc/src/driver.rs:
+crates/cc/src/encoding.rs:
+crates/cc/src/model.rs:
+crates/cc/src/polyjuice.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/neurdb_cc-3eedf16ff8a26dbf.d: crates/cc/src/lib.rs crates/cc/src/adapt.rs crates/cc/src/driver.rs crates/cc/src/encoding.rs crates/cc/src/model.rs crates/cc/src/polyjuice.rs Cargo.toml
+
+/root/repo/target/debug/deps/libneurdb_cc-3eedf16ff8a26dbf.rmeta: crates/cc/src/lib.rs crates/cc/src/adapt.rs crates/cc/src/driver.rs crates/cc/src/encoding.rs crates/cc/src/model.rs crates/cc/src/polyjuice.rs Cargo.toml
+
+crates/cc/src/lib.rs:
+crates/cc/src/adapt.rs:
+crates/cc/src/driver.rs:
+crates/cc/src/encoding.rs:
+crates/cc/src/model.rs:
+crates/cc/src/polyjuice.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/neurdb_cc-5404fdbd9aa87b9c.d: crates/cc/src/lib.rs crates/cc/src/adapt.rs crates/cc/src/driver.rs crates/cc/src/encoding.rs crates/cc/src/model.rs crates/cc/src/polyjuice.rs
+
+/root/repo/target/debug/deps/libneurdb_cc-5404fdbd9aa87b9c.rlib: crates/cc/src/lib.rs crates/cc/src/adapt.rs crates/cc/src/driver.rs crates/cc/src/encoding.rs crates/cc/src/model.rs crates/cc/src/polyjuice.rs
+
+/root/repo/target/debug/deps/libneurdb_cc-5404fdbd9aa87b9c.rmeta: crates/cc/src/lib.rs crates/cc/src/adapt.rs crates/cc/src/driver.rs crates/cc/src/encoding.rs crates/cc/src/model.rs crates/cc/src/polyjuice.rs
+
+crates/cc/src/lib.rs:
+crates/cc/src/adapt.rs:
+crates/cc/src/driver.rs:
+crates/cc/src/encoding.rs:
+crates/cc/src/model.rs:
+crates/cc/src/polyjuice.rs:

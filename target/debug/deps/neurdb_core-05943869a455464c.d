@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/neurdb_core-05943869a455464c.d: crates/core/src/lib.rs crates/core/src/analytics.rs crates/core/src/compare.rs crates/core/src/database.rs crates/core/src/durability.rs crates/core/src/error.rs crates/core/src/exec.rs crates/core/src/expr.rs Cargo.toml
+
+/root/repo/target/debug/deps/libneurdb_core-05943869a455464c.rmeta: crates/core/src/lib.rs crates/core/src/analytics.rs crates/core/src/compare.rs crates/core/src/database.rs crates/core/src/durability.rs crates/core/src/error.rs crates/core/src/exec.rs crates/core/src/expr.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/analytics.rs:
+crates/core/src/compare.rs:
+crates/core/src/database.rs:
+crates/core/src/durability.rs:
+crates/core/src/error.rs:
+crates/core/src/exec.rs:
+crates/core/src/expr.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

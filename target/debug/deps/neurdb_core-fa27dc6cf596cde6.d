@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/neurdb_core-fa27dc6cf596cde6.d: crates/core/src/lib.rs crates/core/src/analytics.rs crates/core/src/compare.rs crates/core/src/database.rs crates/core/src/durability.rs crates/core/src/error.rs crates/core/src/exec.rs crates/core/src/expr.rs
+
+/root/repo/target/debug/deps/libneurdb_core-fa27dc6cf596cde6.rlib: crates/core/src/lib.rs crates/core/src/analytics.rs crates/core/src/compare.rs crates/core/src/database.rs crates/core/src/durability.rs crates/core/src/error.rs crates/core/src/exec.rs crates/core/src/expr.rs
+
+/root/repo/target/debug/deps/libneurdb_core-fa27dc6cf596cde6.rmeta: crates/core/src/lib.rs crates/core/src/analytics.rs crates/core/src/compare.rs crates/core/src/database.rs crates/core/src/durability.rs crates/core/src/error.rs crates/core/src/exec.rs crates/core/src/expr.rs
+
+crates/core/src/lib.rs:
+crates/core/src/analytics.rs:
+crates/core/src/compare.rs:
+crates/core/src/database.rs:
+crates/core/src/durability.rs:
+crates/core/src/error.rs:
+crates/core/src/exec.rs:
+crates/core/src/expr.rs:

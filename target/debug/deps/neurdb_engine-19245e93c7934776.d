@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/neurdb_engine-19245e93c7934776.d: crates/engine/src/lib.rs crates/engine/src/engine.rs crates/engine/src/model_manager.rs crates/engine/src/monitor.rs crates/engine/src/mselection.rs crates/engine/src/streaming.rs
+
+/root/repo/target/debug/deps/libneurdb_engine-19245e93c7934776.rlib: crates/engine/src/lib.rs crates/engine/src/engine.rs crates/engine/src/model_manager.rs crates/engine/src/monitor.rs crates/engine/src/mselection.rs crates/engine/src/streaming.rs
+
+/root/repo/target/debug/deps/libneurdb_engine-19245e93c7934776.rmeta: crates/engine/src/lib.rs crates/engine/src/engine.rs crates/engine/src/model_manager.rs crates/engine/src/monitor.rs crates/engine/src/mselection.rs crates/engine/src/streaming.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/engine.rs:
+crates/engine/src/model_manager.rs:
+crates/engine/src/monitor.rs:
+crates/engine/src/mselection.rs:
+crates/engine/src/streaming.rs:

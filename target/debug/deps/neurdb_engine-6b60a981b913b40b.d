@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/neurdb_engine-6b60a981b913b40b.d: crates/engine/src/lib.rs crates/engine/src/engine.rs crates/engine/src/model_manager.rs crates/engine/src/monitor.rs crates/engine/src/mselection.rs crates/engine/src/streaming.rs
+
+/root/repo/target/debug/deps/libneurdb_engine-6b60a981b913b40b.rmeta: crates/engine/src/lib.rs crates/engine/src/engine.rs crates/engine/src/model_manager.rs crates/engine/src/monitor.rs crates/engine/src/mselection.rs crates/engine/src/streaming.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/engine.rs:
+crates/engine/src/model_manager.rs:
+crates/engine/src/monitor.rs:
+crates/engine/src/mselection.rs:
+crates/engine/src/streaming.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/neurdb_engine-86e3af0fcdd0ac68.d: crates/engine/src/lib.rs crates/engine/src/engine.rs crates/engine/src/model_manager.rs crates/engine/src/monitor.rs crates/engine/src/mselection.rs crates/engine/src/streaming.rs
+
+/root/repo/target/debug/deps/libneurdb_engine-86e3af0fcdd0ac68.rmeta: crates/engine/src/lib.rs crates/engine/src/engine.rs crates/engine/src/model_manager.rs crates/engine/src/monitor.rs crates/engine/src/mselection.rs crates/engine/src/streaming.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/engine.rs:
+crates/engine/src/model_manager.rs:
+crates/engine/src/monitor.rs:
+crates/engine/src/mselection.rs:
+crates/engine/src/streaming.rs:

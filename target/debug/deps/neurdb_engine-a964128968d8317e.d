@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/neurdb_engine-a964128968d8317e.d: crates/engine/src/lib.rs crates/engine/src/engine.rs crates/engine/src/model_manager.rs crates/engine/src/monitor.rs crates/engine/src/mselection.rs crates/engine/src/streaming.rs Cargo.toml
+
+/root/repo/target/debug/deps/libneurdb_engine-a964128968d8317e.rmeta: crates/engine/src/lib.rs crates/engine/src/engine.rs crates/engine/src/model_manager.rs crates/engine/src/monitor.rs crates/engine/src/mselection.rs crates/engine/src/streaming.rs Cargo.toml
+
+crates/engine/src/lib.rs:
+crates/engine/src/engine.rs:
+crates/engine/src/model_manager.rs:
+crates/engine/src/monitor.rs:
+crates/engine/src/mselection.rs:
+crates/engine/src/streaming.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/neurdb_nn-3d8b83bd2773312e.d: crates/nn/src/lib.rs crates/nn/src/armnet.rs crates/nn/src/attention.rs crates/nn/src/layer.rs crates/nn/src/loss.rs crates/nn/src/model.rs crates/nn/src/optim.rs crates/nn/src/tensor.rs crates/nn/src/tree.rs Cargo.toml
+
+/root/repo/target/debug/deps/libneurdb_nn-3d8b83bd2773312e.rmeta: crates/nn/src/lib.rs crates/nn/src/armnet.rs crates/nn/src/attention.rs crates/nn/src/layer.rs crates/nn/src/loss.rs crates/nn/src/model.rs crates/nn/src/optim.rs crates/nn/src/tensor.rs crates/nn/src/tree.rs Cargo.toml
+
+crates/nn/src/lib.rs:
+crates/nn/src/armnet.rs:
+crates/nn/src/attention.rs:
+crates/nn/src/layer.rs:
+crates/nn/src/loss.rs:
+crates/nn/src/model.rs:
+crates/nn/src/optim.rs:
+crates/nn/src/tensor.rs:
+crates/nn/src/tree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

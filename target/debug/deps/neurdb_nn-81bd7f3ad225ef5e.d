@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/neurdb_nn-81bd7f3ad225ef5e.d: crates/nn/src/lib.rs crates/nn/src/armnet.rs crates/nn/src/attention.rs crates/nn/src/layer.rs crates/nn/src/loss.rs crates/nn/src/model.rs crates/nn/src/optim.rs crates/nn/src/tensor.rs crates/nn/src/tree.rs
+
+/root/repo/target/debug/deps/libneurdb_nn-81bd7f3ad225ef5e.rmeta: crates/nn/src/lib.rs crates/nn/src/armnet.rs crates/nn/src/attention.rs crates/nn/src/layer.rs crates/nn/src/loss.rs crates/nn/src/model.rs crates/nn/src/optim.rs crates/nn/src/tensor.rs crates/nn/src/tree.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/armnet.rs:
+crates/nn/src/attention.rs:
+crates/nn/src/layer.rs:
+crates/nn/src/loss.rs:
+crates/nn/src/model.rs:
+crates/nn/src/optim.rs:
+crates/nn/src/tensor.rs:
+crates/nn/src/tree.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/neurdb_nn-b0ff1e9ff3f851ed.d: crates/nn/src/lib.rs crates/nn/src/armnet.rs crates/nn/src/attention.rs crates/nn/src/layer.rs crates/nn/src/loss.rs crates/nn/src/model.rs crates/nn/src/optim.rs crates/nn/src/tensor.rs crates/nn/src/tree.rs
+
+/root/repo/target/debug/deps/libneurdb_nn-b0ff1e9ff3f851ed.rmeta: crates/nn/src/lib.rs crates/nn/src/armnet.rs crates/nn/src/attention.rs crates/nn/src/layer.rs crates/nn/src/loss.rs crates/nn/src/model.rs crates/nn/src/optim.rs crates/nn/src/tensor.rs crates/nn/src/tree.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/armnet.rs:
+crates/nn/src/attention.rs:
+crates/nn/src/layer.rs:
+crates/nn/src/loss.rs:
+crates/nn/src/model.rs:
+crates/nn/src/optim.rs:
+crates/nn/src/tensor.rs:
+crates/nn/src/tree.rs:

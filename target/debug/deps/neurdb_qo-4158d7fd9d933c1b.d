@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/neurdb_qo-4158d7fd9d933c1b.d: crates/qo/src/lib.rs crates/qo/src/baselines.rs crates/qo/src/graph.rs crates/qo/src/model.rs crates/qo/src/plan.rs crates/qo/src/pretrain.rs
+
+/root/repo/target/debug/deps/libneurdb_qo-4158d7fd9d933c1b.rmeta: crates/qo/src/lib.rs crates/qo/src/baselines.rs crates/qo/src/graph.rs crates/qo/src/model.rs crates/qo/src/plan.rs crates/qo/src/pretrain.rs
+
+crates/qo/src/lib.rs:
+crates/qo/src/baselines.rs:
+crates/qo/src/graph.rs:
+crates/qo/src/model.rs:
+crates/qo/src/plan.rs:
+crates/qo/src/pretrain.rs:

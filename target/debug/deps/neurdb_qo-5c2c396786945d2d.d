@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/neurdb_qo-5c2c396786945d2d.d: crates/qo/src/lib.rs crates/qo/src/baselines.rs crates/qo/src/graph.rs crates/qo/src/model.rs crates/qo/src/plan.rs crates/qo/src/pretrain.rs Cargo.toml
+
+/root/repo/target/debug/deps/libneurdb_qo-5c2c396786945d2d.rmeta: crates/qo/src/lib.rs crates/qo/src/baselines.rs crates/qo/src/graph.rs crates/qo/src/model.rs crates/qo/src/plan.rs crates/qo/src/pretrain.rs Cargo.toml
+
+crates/qo/src/lib.rs:
+crates/qo/src/baselines.rs:
+crates/qo/src/graph.rs:
+crates/qo/src/model.rs:
+crates/qo/src/plan.rs:
+crates/qo/src/pretrain.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

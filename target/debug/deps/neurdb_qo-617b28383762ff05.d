@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/neurdb_qo-617b28383762ff05.d: crates/qo/src/lib.rs crates/qo/src/baselines.rs crates/qo/src/graph.rs crates/qo/src/model.rs crates/qo/src/plan.rs crates/qo/src/pretrain.rs
+
+/root/repo/target/debug/deps/libneurdb_qo-617b28383762ff05.rmeta: crates/qo/src/lib.rs crates/qo/src/baselines.rs crates/qo/src/graph.rs crates/qo/src/model.rs crates/qo/src/plan.rs crates/qo/src/pretrain.rs
+
+crates/qo/src/lib.rs:
+crates/qo/src/baselines.rs:
+crates/qo/src/graph.rs:
+crates/qo/src/model.rs:
+crates/qo/src/plan.rs:
+crates/qo/src/pretrain.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/neurdb_qo-842bcab5e1a94482.d: crates/qo/src/lib.rs crates/qo/src/baselines.rs crates/qo/src/graph.rs crates/qo/src/model.rs crates/qo/src/plan.rs crates/qo/src/pretrain.rs
+
+/root/repo/target/debug/deps/libneurdb_qo-842bcab5e1a94482.rlib: crates/qo/src/lib.rs crates/qo/src/baselines.rs crates/qo/src/graph.rs crates/qo/src/model.rs crates/qo/src/plan.rs crates/qo/src/pretrain.rs
+
+/root/repo/target/debug/deps/libneurdb_qo-842bcab5e1a94482.rmeta: crates/qo/src/lib.rs crates/qo/src/baselines.rs crates/qo/src/graph.rs crates/qo/src/model.rs crates/qo/src/plan.rs crates/qo/src/pretrain.rs
+
+crates/qo/src/lib.rs:
+crates/qo/src/baselines.rs:
+crates/qo/src/graph.rs:
+crates/qo/src/model.rs:
+crates/qo/src/plan.rs:
+crates/qo/src/pretrain.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/neurdb_sql-2bc0ed33479b92c0.d: crates/sql/src/lib.rs crates/sql/src/ast.rs crates/sql/src/parser.rs crates/sql/src/token.rs
+
+/root/repo/target/debug/deps/neurdb_sql-2bc0ed33479b92c0: crates/sql/src/lib.rs crates/sql/src/ast.rs crates/sql/src/parser.rs crates/sql/src/token.rs
+
+crates/sql/src/lib.rs:
+crates/sql/src/ast.rs:
+crates/sql/src/parser.rs:
+crates/sql/src/token.rs:

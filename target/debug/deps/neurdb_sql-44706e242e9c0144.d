@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/neurdb_sql-44706e242e9c0144.d: crates/sql/src/lib.rs crates/sql/src/ast.rs crates/sql/src/parser.rs crates/sql/src/token.rs
+
+/root/repo/target/debug/deps/libneurdb_sql-44706e242e9c0144.rlib: crates/sql/src/lib.rs crates/sql/src/ast.rs crates/sql/src/parser.rs crates/sql/src/token.rs
+
+/root/repo/target/debug/deps/libneurdb_sql-44706e242e9c0144.rmeta: crates/sql/src/lib.rs crates/sql/src/ast.rs crates/sql/src/parser.rs crates/sql/src/token.rs
+
+crates/sql/src/lib.rs:
+crates/sql/src/ast.rs:
+crates/sql/src/parser.rs:
+crates/sql/src/token.rs:

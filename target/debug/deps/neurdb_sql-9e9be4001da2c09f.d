@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/neurdb_sql-9e9be4001da2c09f.d: crates/sql/src/lib.rs crates/sql/src/ast.rs crates/sql/src/parser.rs crates/sql/src/token.rs
+
+/root/repo/target/debug/deps/libneurdb_sql-9e9be4001da2c09f.rmeta: crates/sql/src/lib.rs crates/sql/src/ast.rs crates/sql/src/parser.rs crates/sql/src/token.rs
+
+crates/sql/src/lib.rs:
+crates/sql/src/ast.rs:
+crates/sql/src/parser.rs:
+crates/sql/src/token.rs:

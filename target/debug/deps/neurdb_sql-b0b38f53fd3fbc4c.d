@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/neurdb_sql-b0b38f53fd3fbc4c.d: crates/sql/src/lib.rs crates/sql/src/ast.rs crates/sql/src/parser.rs crates/sql/src/token.rs
+
+/root/repo/target/debug/deps/libneurdb_sql-b0b38f53fd3fbc4c.rmeta: crates/sql/src/lib.rs crates/sql/src/ast.rs crates/sql/src/parser.rs crates/sql/src/token.rs
+
+crates/sql/src/lib.rs:
+crates/sql/src/ast.rs:
+crates/sql/src/parser.rs:
+crates/sql/src/token.rs:

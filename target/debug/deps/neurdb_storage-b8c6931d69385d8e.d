@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/neurdb_storage-b8c6931d69385d8e.d: crates/storage/src/lib.rs crates/storage/src/btree.rs crates/storage/src/buffer.rs crates/storage/src/catalog.rs crates/storage/src/error.rs crates/storage/src/heap.rs crates/storage/src/page.rs crates/storage/src/stats.rs crates/storage/src/table.rs crates/storage/src/tuple.rs crates/storage/src/value.rs
+
+/root/repo/target/debug/deps/libneurdb_storage-b8c6931d69385d8e.rlib: crates/storage/src/lib.rs crates/storage/src/btree.rs crates/storage/src/buffer.rs crates/storage/src/catalog.rs crates/storage/src/error.rs crates/storage/src/heap.rs crates/storage/src/page.rs crates/storage/src/stats.rs crates/storage/src/table.rs crates/storage/src/tuple.rs crates/storage/src/value.rs
+
+/root/repo/target/debug/deps/libneurdb_storage-b8c6931d69385d8e.rmeta: crates/storage/src/lib.rs crates/storage/src/btree.rs crates/storage/src/buffer.rs crates/storage/src/catalog.rs crates/storage/src/error.rs crates/storage/src/heap.rs crates/storage/src/page.rs crates/storage/src/stats.rs crates/storage/src/table.rs crates/storage/src/tuple.rs crates/storage/src/value.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/btree.rs:
+crates/storage/src/buffer.rs:
+crates/storage/src/catalog.rs:
+crates/storage/src/error.rs:
+crates/storage/src/heap.rs:
+crates/storage/src/page.rs:
+crates/storage/src/stats.rs:
+crates/storage/src/table.rs:
+crates/storage/src/tuple.rs:
+crates/storage/src/value.rs:

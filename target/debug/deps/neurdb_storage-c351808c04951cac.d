@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/neurdb_storage-c351808c04951cac.d: crates/storage/src/lib.rs crates/storage/src/btree.rs crates/storage/src/buffer.rs crates/storage/src/catalog.rs crates/storage/src/error.rs crates/storage/src/heap.rs crates/storage/src/page.rs crates/storage/src/stats.rs crates/storage/src/table.rs crates/storage/src/tuple.rs crates/storage/src/value.rs Cargo.toml
+
+/root/repo/target/debug/deps/libneurdb_storage-c351808c04951cac.rmeta: crates/storage/src/lib.rs crates/storage/src/btree.rs crates/storage/src/buffer.rs crates/storage/src/catalog.rs crates/storage/src/error.rs crates/storage/src/heap.rs crates/storage/src/page.rs crates/storage/src/stats.rs crates/storage/src/table.rs crates/storage/src/tuple.rs crates/storage/src/value.rs Cargo.toml
+
+crates/storage/src/lib.rs:
+crates/storage/src/btree.rs:
+crates/storage/src/buffer.rs:
+crates/storage/src/catalog.rs:
+crates/storage/src/error.rs:
+crates/storage/src/heap.rs:
+crates/storage/src/page.rs:
+crates/storage/src/stats.rs:
+crates/storage/src/table.rs:
+crates/storage/src/tuple.rs:
+crates/storage/src/value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/neurdb_storage-e00d58522254d8d5.d: crates/storage/src/lib.rs crates/storage/src/btree.rs crates/storage/src/buffer.rs crates/storage/src/catalog.rs crates/storage/src/error.rs crates/storage/src/heap.rs crates/storage/src/page.rs crates/storage/src/stats.rs crates/storage/src/table.rs crates/storage/src/tuple.rs crates/storage/src/value.rs
+
+/root/repo/target/debug/deps/libneurdb_storage-e00d58522254d8d5.rmeta: crates/storage/src/lib.rs crates/storage/src/btree.rs crates/storage/src/buffer.rs crates/storage/src/catalog.rs crates/storage/src/error.rs crates/storage/src/heap.rs crates/storage/src/page.rs crates/storage/src/stats.rs crates/storage/src/table.rs crates/storage/src/tuple.rs crates/storage/src/value.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/btree.rs:
+crates/storage/src/buffer.rs:
+crates/storage/src/catalog.rs:
+crates/storage/src/error.rs:
+crates/storage/src/heap.rs:
+crates/storage/src/page.rs:
+crates/storage/src/stats.rs:
+crates/storage/src/table.rs:
+crates/storage/src/tuple.rs:
+crates/storage/src/value.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/neurdb_txn-666c4b008db8ab04.d: crates/txn/src/lib.rs crates/txn/src/engine.rs crates/txn/src/metrics.rs crates/txn/src/policy.rs crates/txn/src/workload.rs
+
+/root/repo/target/debug/deps/neurdb_txn-666c4b008db8ab04: crates/txn/src/lib.rs crates/txn/src/engine.rs crates/txn/src/metrics.rs crates/txn/src/policy.rs crates/txn/src/workload.rs
+
+crates/txn/src/lib.rs:
+crates/txn/src/engine.rs:
+crates/txn/src/metrics.rs:
+crates/txn/src/policy.rs:
+crates/txn/src/workload.rs:

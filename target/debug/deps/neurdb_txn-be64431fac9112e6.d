@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/neurdb_txn-be64431fac9112e6.d: crates/txn/src/lib.rs crates/txn/src/engine.rs crates/txn/src/metrics.rs crates/txn/src/policy.rs crates/txn/src/workload.rs
+
+/root/repo/target/debug/deps/libneurdb_txn-be64431fac9112e6.rmeta: crates/txn/src/lib.rs crates/txn/src/engine.rs crates/txn/src/metrics.rs crates/txn/src/policy.rs crates/txn/src/workload.rs
+
+crates/txn/src/lib.rs:
+crates/txn/src/engine.rs:
+crates/txn/src/metrics.rs:
+crates/txn/src/policy.rs:
+crates/txn/src/workload.rs:

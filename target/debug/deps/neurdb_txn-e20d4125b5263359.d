@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/neurdb_txn-e20d4125b5263359.d: crates/txn/src/lib.rs crates/txn/src/engine.rs crates/txn/src/metrics.rs crates/txn/src/policy.rs crates/txn/src/workload.rs
+
+/root/repo/target/debug/deps/libneurdb_txn-e20d4125b5263359.rlib: crates/txn/src/lib.rs crates/txn/src/engine.rs crates/txn/src/metrics.rs crates/txn/src/policy.rs crates/txn/src/workload.rs
+
+/root/repo/target/debug/deps/libneurdb_txn-e20d4125b5263359.rmeta: crates/txn/src/lib.rs crates/txn/src/engine.rs crates/txn/src/metrics.rs crates/txn/src/policy.rs crates/txn/src/workload.rs
+
+crates/txn/src/lib.rs:
+crates/txn/src/engine.rs:
+crates/txn/src/metrics.rs:
+crates/txn/src/policy.rs:
+crates/txn/src/workload.rs:

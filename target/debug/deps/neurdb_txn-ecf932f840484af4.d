@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/neurdb_txn-ecf932f840484af4.d: crates/txn/src/lib.rs crates/txn/src/engine.rs crates/txn/src/metrics.rs crates/txn/src/policy.rs crates/txn/src/workload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libneurdb_txn-ecf932f840484af4.rmeta: crates/txn/src/lib.rs crates/txn/src/engine.rs crates/txn/src/metrics.rs crates/txn/src/policy.rs crates/txn/src/workload.rs Cargo.toml
+
+crates/txn/src/lib.rs:
+crates/txn/src/engine.rs:
+crates/txn/src/metrics.rs:
+crates/txn/src/policy.rs:
+crates/txn/src/workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/neurdb_wal-1c064ba58434fa2e.d: crates/wal/src/lib.rs crates/wal/src/codec.rs crates/wal/src/crc32.rs crates/wal/src/disk.rs crates/wal/src/log.rs crates/wal/src/record.rs crates/wal/src/store.rs
+
+/root/repo/target/debug/deps/libneurdb_wal-1c064ba58434fa2e.rlib: crates/wal/src/lib.rs crates/wal/src/codec.rs crates/wal/src/crc32.rs crates/wal/src/disk.rs crates/wal/src/log.rs crates/wal/src/record.rs crates/wal/src/store.rs
+
+/root/repo/target/debug/deps/libneurdb_wal-1c064ba58434fa2e.rmeta: crates/wal/src/lib.rs crates/wal/src/codec.rs crates/wal/src/crc32.rs crates/wal/src/disk.rs crates/wal/src/log.rs crates/wal/src/record.rs crates/wal/src/store.rs
+
+crates/wal/src/lib.rs:
+crates/wal/src/codec.rs:
+crates/wal/src/crc32.rs:
+crates/wal/src/disk.rs:
+crates/wal/src/log.rs:
+crates/wal/src/record.rs:
+crates/wal/src/store.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/neurdb_wal-c108f91f71b4cd8d.d: crates/wal/src/lib.rs crates/wal/src/codec.rs crates/wal/src/crc32.rs crates/wal/src/disk.rs crates/wal/src/log.rs crates/wal/src/record.rs crates/wal/src/store.rs
+
+/root/repo/target/debug/deps/libneurdb_wal-c108f91f71b4cd8d.rmeta: crates/wal/src/lib.rs crates/wal/src/codec.rs crates/wal/src/crc32.rs crates/wal/src/disk.rs crates/wal/src/log.rs crates/wal/src/record.rs crates/wal/src/store.rs
+
+crates/wal/src/lib.rs:
+crates/wal/src/codec.rs:
+crates/wal/src/crc32.rs:
+crates/wal/src/disk.rs:
+crates/wal/src/log.rs:
+crates/wal/src/record.rs:
+crates/wal/src/store.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/neurdb_wal-c80ca43bf6a39451.d: crates/wal/src/lib.rs crates/wal/src/codec.rs crates/wal/src/crc32.rs crates/wal/src/disk.rs crates/wal/src/log.rs crates/wal/src/record.rs crates/wal/src/store.rs Cargo.toml
+
+/root/repo/target/debug/deps/libneurdb_wal-c80ca43bf6a39451.rmeta: crates/wal/src/lib.rs crates/wal/src/codec.rs crates/wal/src/crc32.rs crates/wal/src/disk.rs crates/wal/src/log.rs crates/wal/src/record.rs crates/wal/src/store.rs Cargo.toml
+
+crates/wal/src/lib.rs:
+crates/wal/src/codec.rs:
+crates/wal/src/crc32.rs:
+crates/wal/src/disk.rs:
+crates/wal/src/log.rs:
+crates/wal/src/record.rs:
+crates/wal/src/store.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/neurdb_workloads-183b826bbe45f711.d: crates/workloads/src/lib.rs crates/workloads/src/avazu.rs crates/workloads/src/diabetes.rs crates/workloads/src/kmeans.rs crates/workloads/src/stats.rs crates/workloads/src/tpcc.rs crates/workloads/src/ycsb.rs crates/workloads/src/zipf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libneurdb_workloads-183b826bbe45f711.rmeta: crates/workloads/src/lib.rs crates/workloads/src/avazu.rs crates/workloads/src/diabetes.rs crates/workloads/src/kmeans.rs crates/workloads/src/stats.rs crates/workloads/src/tpcc.rs crates/workloads/src/ycsb.rs crates/workloads/src/zipf.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/avazu.rs:
+crates/workloads/src/diabetes.rs:
+crates/workloads/src/kmeans.rs:
+crates/workloads/src/stats.rs:
+crates/workloads/src/tpcc.rs:
+crates/workloads/src/ycsb.rs:
+crates/workloads/src/zipf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/neurdb_workloads-b267e93a5c9e409a.d: crates/workloads/src/lib.rs crates/workloads/src/avazu.rs crates/workloads/src/diabetes.rs crates/workloads/src/kmeans.rs crates/workloads/src/stats.rs crates/workloads/src/tpcc.rs crates/workloads/src/ycsb.rs crates/workloads/src/zipf.rs
+
+/root/repo/target/debug/deps/neurdb_workloads-b267e93a5c9e409a: crates/workloads/src/lib.rs crates/workloads/src/avazu.rs crates/workloads/src/diabetes.rs crates/workloads/src/kmeans.rs crates/workloads/src/stats.rs crates/workloads/src/tpcc.rs crates/workloads/src/ycsb.rs crates/workloads/src/zipf.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/avazu.rs:
+crates/workloads/src/diabetes.rs:
+crates/workloads/src/kmeans.rs:
+crates/workloads/src/stats.rs:
+crates/workloads/src/tpcc.rs:
+crates/workloads/src/ycsb.rs:
+crates/workloads/src/zipf.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/neurdb_workloads-ee66a7526e2bceb1.d: crates/workloads/src/lib.rs crates/workloads/src/avazu.rs crates/workloads/src/diabetes.rs crates/workloads/src/kmeans.rs crates/workloads/src/stats.rs crates/workloads/src/tpcc.rs crates/workloads/src/ycsb.rs crates/workloads/src/zipf.rs
+
+/root/repo/target/debug/deps/libneurdb_workloads-ee66a7526e2bceb1.rlib: crates/workloads/src/lib.rs crates/workloads/src/avazu.rs crates/workloads/src/diabetes.rs crates/workloads/src/kmeans.rs crates/workloads/src/stats.rs crates/workloads/src/tpcc.rs crates/workloads/src/ycsb.rs crates/workloads/src/zipf.rs
+
+/root/repo/target/debug/deps/libneurdb_workloads-ee66a7526e2bceb1.rmeta: crates/workloads/src/lib.rs crates/workloads/src/avazu.rs crates/workloads/src/diabetes.rs crates/workloads/src/kmeans.rs crates/workloads/src/stats.rs crates/workloads/src/tpcc.rs crates/workloads/src/ycsb.rs crates/workloads/src/zipf.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/avazu.rs:
+crates/workloads/src/diabetes.rs:
+crates/workloads/src/kmeans.rs:
+crates/workloads/src/stats.rs:
+crates/workloads/src/tpcc.rs:
+crates/workloads/src/ycsb.rs:
+crates/workloads/src/zipf.rs:

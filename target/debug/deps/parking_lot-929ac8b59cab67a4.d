@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-929ac8b59cab67a4.d: third_party/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-929ac8b59cab67a4.rmeta: third_party/parking_lot/src/lib.rs
+
+third_party/parking_lot/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-15a982d8e66d9a4e.d: crates/nn/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-15a982d8e66d9a4e: crates/nn/tests/prop.rs
+
+crates/nn/tests/prop.rs:

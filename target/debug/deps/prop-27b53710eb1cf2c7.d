@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop-27b53710eb1cf2c7.d: crates/storage/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-27b53710eb1cf2c7.rmeta: crates/storage/tests/prop.rs Cargo.toml
+
+crates/storage/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

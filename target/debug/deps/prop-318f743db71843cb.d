@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-318f743db71843cb.d: crates/txn/tests/prop.rs
+
+/root/repo/target/debug/deps/libprop-318f743db71843cb.rmeta: crates/txn/tests/prop.rs
+
+crates/txn/tests/prop.rs:

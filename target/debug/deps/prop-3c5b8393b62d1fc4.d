@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-3c5b8393b62d1fc4.d: crates/qo/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-3c5b8393b62d1fc4: crates/qo/tests/prop.rs
+
+crates/qo/tests/prop.rs:

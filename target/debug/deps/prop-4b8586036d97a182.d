@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop-4b8586036d97a182.d: crates/sql/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-4b8586036d97a182.rmeta: crates/sql/tests/prop.rs Cargo.toml
+
+crates/sql/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

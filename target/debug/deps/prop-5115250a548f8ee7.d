@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop-5115250a548f8ee7.d: crates/engine/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-5115250a548f8ee7.rmeta: crates/engine/tests/prop.rs Cargo.toml
+
+crates/engine/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop-5d97576e735157e3.d: crates/qo/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-5d97576e735157e3.rmeta: crates/qo/tests/prop.rs Cargo.toml
+
+crates/qo/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

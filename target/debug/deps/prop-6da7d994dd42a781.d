@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop-6da7d994dd42a781.d: crates/txn/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-6da7d994dd42a781.rmeta: crates/txn/tests/prop.rs Cargo.toml
+
+crates/txn/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

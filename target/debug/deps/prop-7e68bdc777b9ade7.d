@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-7e68bdc777b9ade7.d: crates/nn/tests/prop.rs
+
+/root/repo/target/debug/deps/libprop-7e68bdc777b9ade7.rmeta: crates/nn/tests/prop.rs
+
+crates/nn/tests/prop.rs:

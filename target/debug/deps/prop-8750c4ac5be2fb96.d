@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-8750c4ac5be2fb96.d: crates/qo/tests/prop.rs
+
+/root/repo/target/debug/deps/libprop-8750c4ac5be2fb96.rmeta: crates/qo/tests/prop.rs
+
+crates/qo/tests/prop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-964b20e4b4ffed10.d: crates/sql/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-964b20e4b4ffed10: crates/sql/tests/prop.rs
+
+crates/sql/tests/prop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-a453af5e93a8edc7.d: crates/txn/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-a453af5e93a8edc7: crates/txn/tests/prop.rs
+
+crates/txn/tests/prop.rs:

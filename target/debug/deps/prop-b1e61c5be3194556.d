@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-b1e61c5be3194556.d: crates/storage/tests/prop.rs
+
+/root/repo/target/debug/deps/libprop-b1e61c5be3194556.rmeta: crates/storage/tests/prop.rs
+
+crates/storage/tests/prop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-c10854671b7ee137.d: crates/engine/tests/prop.rs
+
+/root/repo/target/debug/deps/libprop-c10854671b7ee137.rmeta: crates/engine/tests/prop.rs
+
+crates/engine/tests/prop.rs:

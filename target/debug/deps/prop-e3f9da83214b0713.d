@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop-e3f9da83214b0713.d: crates/nn/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-e3f9da83214b0713.rmeta: crates/nn/tests/prop.rs Cargo.toml
+
+crates/nn/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-f2a6b86f0a67fb67.d: crates/sql/tests/prop.rs
+
+/root/repo/target/debug/deps/libprop-f2a6b86f0a67fb67.rmeta: crates/sql/tests/prop.rs
+
+crates/sql/tests/prop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-f32bb5ed6340c82e.d: crates/engine/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-f32bb5ed6340c82e: crates/engine/tests/prop.rs
+
+crates/engine/tests/prop.rs:

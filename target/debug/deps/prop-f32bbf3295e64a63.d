@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-f32bbf3295e64a63.d: crates/storage/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-f32bbf3295e64a63: crates/storage/tests/prop.rs
+
+crates/storage/tests/prop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-7cbd83921790a1e7.d: third_party/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-7cbd83921790a1e7.rmeta: third_party/proptest/src/lib.rs
+
+third_party/proptest/src/lib.rs:

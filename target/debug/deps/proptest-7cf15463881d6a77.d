@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-7cf15463881d6a77.d: third_party/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-7cf15463881d6a77.rmeta: third_party/proptest/src/lib.rs
+
+third_party/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-f244ebf2feb039f7.d: third_party/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-f244ebf2feb039f7.rlib: third_party/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-f244ebf2feb039f7.rmeta: third_party/proptest/src/lib.rs
+
+third_party/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-311e0c34c20c2070.d: third_party/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-311e0c34c20c2070.rmeta: third_party/rand/src/lib.rs
+
+third_party/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-f65eda2045993cb3.d: third_party/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-f65eda2045993cb3.rmeta: third_party/rand/src/lib.rs
+
+third_party/rand/src/lib.rs:

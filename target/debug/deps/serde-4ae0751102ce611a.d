@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-4ae0751102ce611a.d: third_party/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-4ae0751102ce611a.rlib: third_party/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-4ae0751102ce611a.rmeta: third_party/serde/src/lib.rs
+
+third_party/serde/src/lib.rs:

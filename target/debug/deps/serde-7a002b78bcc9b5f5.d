@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde-7a002b78bcc9b5f5.d: third_party/serde/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde-7a002b78bcc9b5f5.rmeta: third_party/serde/src/lib.rs Cargo.toml
+
+third_party/serde/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

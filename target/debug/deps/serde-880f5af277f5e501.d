@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-880f5af277f5e501.d: third_party/serde/src/lib.rs
+
+/root/repo/target/debug/deps/serde-880f5af277f5e501: third_party/serde/src/lib.rs
+
+third_party/serde/src/lib.rs:

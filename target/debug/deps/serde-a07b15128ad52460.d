@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-a07b15128ad52460.d: third_party/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-a07b15128ad52460.rmeta: third_party/serde/src/lib.rs
+
+third_party/serde/src/lib.rs:

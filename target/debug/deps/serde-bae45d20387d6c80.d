@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-bae45d20387d6c80.d: third_party/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-bae45d20387d6c80.rmeta: third_party/serde/src/lib.rs
+
+third_party/serde/src/lib.rs:

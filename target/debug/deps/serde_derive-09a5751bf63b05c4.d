@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-09a5751bf63b05c4.d: third_party/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-09a5751bf63b05c4.rmeta: third_party/serde_derive/src/lib.rs
+
+third_party/serde_derive/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-0f49420bf1633e93.d: third_party/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-0f49420bf1633e93.so: third_party/serde_derive/src/lib.rs
+
+third_party/serde_derive/src/lib.rs:

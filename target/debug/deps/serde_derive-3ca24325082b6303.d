@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde_derive-3ca24325082b6303.d: third_party/serde_derive/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde_derive-3ca24325082b6303.rmeta: third_party/serde_derive/src/lib.rs Cargo.toml
+
+third_party/serde_derive/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-8f7bda28d97bd61c.d: third_party/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-8f7bda28d97bd61c.rmeta: third_party/serde_derive/src/lib.rs
+
+third_party/serde_derive/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/drift_adaptation-2d30f0cc2df57026.d: examples/drift_adaptation.rs
+
+/root/repo/target/debug/examples/libdrift_adaptation-2d30f0cc2df57026.rmeta: examples/drift_adaptation.rs
+
+examples/drift_adaptation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/drift_adaptation-3127c176e0583eec.d: examples/drift_adaptation.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdrift_adaptation-3127c176e0583eec.rmeta: examples/drift_adaptation.rs Cargo.toml
+
+examples/drift_adaptation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/drift_adaptation-ee2f8cacda904c42.d: examples/drift_adaptation.rs
+
+/root/repo/target/debug/examples/drift_adaptation-ee2f8cacda904c42: examples/drift_adaptation.rs
+
+examples/drift_adaptation.rs:

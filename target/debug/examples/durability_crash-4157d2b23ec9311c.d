@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/durability_crash-4157d2b23ec9311c.d: examples/durability_crash.rs
+
+/root/repo/target/debug/examples/durability_crash-4157d2b23ec9311c: examples/durability_crash.rs
+
+examples/durability_crash.rs:

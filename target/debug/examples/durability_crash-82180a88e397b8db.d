@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/durability_crash-82180a88e397b8db.d: examples/durability_crash.rs
+
+/root/repo/target/debug/examples/libdurability_crash-82180a88e397b8db.rmeta: examples/durability_crash.rs
+
+examples/durability_crash.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/durability_crash-ffd503a29b426775.d: examples/durability_crash.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdurability_crash-ffd503a29b426775.rmeta: examples/durability_crash.rs Cargo.toml
+
+examples/durability_crash.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/ecommerce_ctr-9c66815dc1537d44.d: examples/ecommerce_ctr.rs Cargo.toml
+
+/root/repo/target/debug/examples/libecommerce_ctr-9c66815dc1537d44.rmeta: examples/ecommerce_ctr.rs Cargo.toml
+
+examples/ecommerce_ctr.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ecommerce_ctr-d5004e0d07d5cb97.d: examples/ecommerce_ctr.rs
+
+/root/repo/target/debug/examples/libecommerce_ctr-d5004e0d07d5cb97.rmeta: examples/ecommerce_ctr.rs
+
+examples/ecommerce_ctr.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ecommerce_ctr-fad1d0f2af6acffa.d: examples/ecommerce_ctr.rs
+
+/root/repo/target/debug/examples/ecommerce_ctr-fad1d0f2af6acffa: examples/ecommerce_ctr.rs
+
+examples/ecommerce_ctr.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/healthcare-546b9efb9b066dab.d: examples/healthcare.rs Cargo.toml
+
+/root/repo/target/debug/examples/libhealthcare-546b9efb9b066dab.rmeta: examples/healthcare.rs Cargo.toml
+
+examples/healthcare.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/healthcare-b40e6b412faf756c.d: examples/healthcare.rs
+
+/root/repo/target/debug/examples/healthcare-b40e6b412faf756c: examples/healthcare.rs
+
+examples/healthcare.rs:

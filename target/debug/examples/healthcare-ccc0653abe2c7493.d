@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/healthcare-ccc0653abe2c7493.d: examples/healthcare.rs
+
+/root/repo/target/debug/examples/libhealthcare-ccc0653abe2c7493.rmeta: examples/healthcare.rs
+
+examples/healthcare.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-09867a9b991976fd.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-09867a9b991976fd.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-f8af3a1bebf23e3c.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-f8af3a1bebf23e3c: examples/quickstart.rs
+
+examples/quickstart.rs:

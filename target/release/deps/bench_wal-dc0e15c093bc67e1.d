@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_wal-dc0e15c093bc67e1.d: crates/bench/benches/bench_wal.rs
+
+/root/repo/target/release/deps/bench_wal-dc0e15c093bc67e1: crates/bench/benches/bench_wal.rs
+
+crates/bench/benches/bench_wal.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bytes-ab4a1675633c13cf.d: third_party/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-ab4a1675633c13cf.rlib: third_party/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-ab4a1675633c13cf.rmeta: third_party/bytes/src/lib.rs
+
+third_party/bytes/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam-fededd02f6acc14a.d: third_party/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-fededd02f6acc14a.rlib: third_party/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-fededd02f6acc14a.rmeta: third_party/crossbeam/src/lib.rs
+
+third_party/crossbeam/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figures-d29b4aec85bd2df5.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/release/deps/figures-d29b4aec85bd2df5: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

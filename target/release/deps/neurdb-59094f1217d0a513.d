@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/neurdb-59094f1217d0a513.d: src/lib.rs
+
+/root/repo/target/release/deps/libneurdb-59094f1217d0a513.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libneurdb-59094f1217d0a513.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/neurdb_bench-1b94976a1d43e706.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libneurdb_bench-1b94976a1d43e706.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libneurdb_bench-1b94976a1d43e706.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/neurdb_cc-c0feecfa5e49300f.d: crates/cc/src/lib.rs crates/cc/src/adapt.rs crates/cc/src/driver.rs crates/cc/src/encoding.rs crates/cc/src/model.rs crates/cc/src/polyjuice.rs
+
+/root/repo/target/release/deps/libneurdb_cc-c0feecfa5e49300f.rlib: crates/cc/src/lib.rs crates/cc/src/adapt.rs crates/cc/src/driver.rs crates/cc/src/encoding.rs crates/cc/src/model.rs crates/cc/src/polyjuice.rs
+
+/root/repo/target/release/deps/libneurdb_cc-c0feecfa5e49300f.rmeta: crates/cc/src/lib.rs crates/cc/src/adapt.rs crates/cc/src/driver.rs crates/cc/src/encoding.rs crates/cc/src/model.rs crates/cc/src/polyjuice.rs
+
+crates/cc/src/lib.rs:
+crates/cc/src/adapt.rs:
+crates/cc/src/driver.rs:
+crates/cc/src/encoding.rs:
+crates/cc/src/model.rs:
+crates/cc/src/polyjuice.rs:

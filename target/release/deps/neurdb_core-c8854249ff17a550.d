@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/neurdb_core-c8854249ff17a550.d: crates/core/src/lib.rs crates/core/src/analytics.rs crates/core/src/compare.rs crates/core/src/database.rs crates/core/src/durability.rs crates/core/src/error.rs crates/core/src/exec.rs crates/core/src/expr.rs
+
+/root/repo/target/release/deps/libneurdb_core-c8854249ff17a550.rlib: crates/core/src/lib.rs crates/core/src/analytics.rs crates/core/src/compare.rs crates/core/src/database.rs crates/core/src/durability.rs crates/core/src/error.rs crates/core/src/exec.rs crates/core/src/expr.rs
+
+/root/repo/target/release/deps/libneurdb_core-c8854249ff17a550.rmeta: crates/core/src/lib.rs crates/core/src/analytics.rs crates/core/src/compare.rs crates/core/src/database.rs crates/core/src/durability.rs crates/core/src/error.rs crates/core/src/exec.rs crates/core/src/expr.rs
+
+crates/core/src/lib.rs:
+crates/core/src/analytics.rs:
+crates/core/src/compare.rs:
+crates/core/src/database.rs:
+crates/core/src/durability.rs:
+crates/core/src/error.rs:
+crates/core/src/exec.rs:
+crates/core/src/expr.rs:

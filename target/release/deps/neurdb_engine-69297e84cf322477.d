@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/neurdb_engine-69297e84cf322477.d: crates/engine/src/lib.rs crates/engine/src/engine.rs crates/engine/src/model_manager.rs crates/engine/src/monitor.rs crates/engine/src/mselection.rs crates/engine/src/streaming.rs
+
+/root/repo/target/release/deps/libneurdb_engine-69297e84cf322477.rlib: crates/engine/src/lib.rs crates/engine/src/engine.rs crates/engine/src/model_manager.rs crates/engine/src/monitor.rs crates/engine/src/mselection.rs crates/engine/src/streaming.rs
+
+/root/repo/target/release/deps/libneurdb_engine-69297e84cf322477.rmeta: crates/engine/src/lib.rs crates/engine/src/engine.rs crates/engine/src/model_manager.rs crates/engine/src/monitor.rs crates/engine/src/mselection.rs crates/engine/src/streaming.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/engine.rs:
+crates/engine/src/model_manager.rs:
+crates/engine/src/monitor.rs:
+crates/engine/src/mselection.rs:
+crates/engine/src/streaming.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/neurdb_nn-b31b8469f53fbc13.d: crates/nn/src/lib.rs crates/nn/src/armnet.rs crates/nn/src/attention.rs crates/nn/src/layer.rs crates/nn/src/loss.rs crates/nn/src/model.rs crates/nn/src/optim.rs crates/nn/src/tensor.rs crates/nn/src/tree.rs
+
+/root/repo/target/release/deps/libneurdb_nn-b31b8469f53fbc13.rlib: crates/nn/src/lib.rs crates/nn/src/armnet.rs crates/nn/src/attention.rs crates/nn/src/layer.rs crates/nn/src/loss.rs crates/nn/src/model.rs crates/nn/src/optim.rs crates/nn/src/tensor.rs crates/nn/src/tree.rs
+
+/root/repo/target/release/deps/libneurdb_nn-b31b8469f53fbc13.rmeta: crates/nn/src/lib.rs crates/nn/src/armnet.rs crates/nn/src/attention.rs crates/nn/src/layer.rs crates/nn/src/loss.rs crates/nn/src/model.rs crates/nn/src/optim.rs crates/nn/src/tensor.rs crates/nn/src/tree.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/armnet.rs:
+crates/nn/src/attention.rs:
+crates/nn/src/layer.rs:
+crates/nn/src/loss.rs:
+crates/nn/src/model.rs:
+crates/nn/src/optim.rs:
+crates/nn/src/tensor.rs:
+crates/nn/src/tree.rs:

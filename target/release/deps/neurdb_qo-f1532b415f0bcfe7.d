@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/neurdb_qo-f1532b415f0bcfe7.d: crates/qo/src/lib.rs crates/qo/src/baselines.rs crates/qo/src/graph.rs crates/qo/src/model.rs crates/qo/src/plan.rs crates/qo/src/pretrain.rs
+
+/root/repo/target/release/deps/libneurdb_qo-f1532b415f0bcfe7.rlib: crates/qo/src/lib.rs crates/qo/src/baselines.rs crates/qo/src/graph.rs crates/qo/src/model.rs crates/qo/src/plan.rs crates/qo/src/pretrain.rs
+
+/root/repo/target/release/deps/libneurdb_qo-f1532b415f0bcfe7.rmeta: crates/qo/src/lib.rs crates/qo/src/baselines.rs crates/qo/src/graph.rs crates/qo/src/model.rs crates/qo/src/plan.rs crates/qo/src/pretrain.rs
+
+crates/qo/src/lib.rs:
+crates/qo/src/baselines.rs:
+crates/qo/src/graph.rs:
+crates/qo/src/model.rs:
+crates/qo/src/plan.rs:
+crates/qo/src/pretrain.rs:

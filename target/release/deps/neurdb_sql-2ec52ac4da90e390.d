@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/neurdb_sql-2ec52ac4da90e390.d: crates/sql/src/lib.rs crates/sql/src/ast.rs crates/sql/src/parser.rs crates/sql/src/token.rs
+
+/root/repo/target/release/deps/libneurdb_sql-2ec52ac4da90e390.rlib: crates/sql/src/lib.rs crates/sql/src/ast.rs crates/sql/src/parser.rs crates/sql/src/token.rs
+
+/root/repo/target/release/deps/libneurdb_sql-2ec52ac4da90e390.rmeta: crates/sql/src/lib.rs crates/sql/src/ast.rs crates/sql/src/parser.rs crates/sql/src/token.rs
+
+crates/sql/src/lib.rs:
+crates/sql/src/ast.rs:
+crates/sql/src/parser.rs:
+crates/sql/src/token.rs:

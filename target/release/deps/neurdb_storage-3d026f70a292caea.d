@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/neurdb_storage-3d026f70a292caea.d: crates/storage/src/lib.rs crates/storage/src/btree.rs crates/storage/src/buffer.rs crates/storage/src/catalog.rs crates/storage/src/error.rs crates/storage/src/heap.rs crates/storage/src/page.rs crates/storage/src/stats.rs crates/storage/src/table.rs crates/storage/src/tuple.rs crates/storage/src/value.rs
+
+/root/repo/target/release/deps/libneurdb_storage-3d026f70a292caea.rlib: crates/storage/src/lib.rs crates/storage/src/btree.rs crates/storage/src/buffer.rs crates/storage/src/catalog.rs crates/storage/src/error.rs crates/storage/src/heap.rs crates/storage/src/page.rs crates/storage/src/stats.rs crates/storage/src/table.rs crates/storage/src/tuple.rs crates/storage/src/value.rs
+
+/root/repo/target/release/deps/libneurdb_storage-3d026f70a292caea.rmeta: crates/storage/src/lib.rs crates/storage/src/btree.rs crates/storage/src/buffer.rs crates/storage/src/catalog.rs crates/storage/src/error.rs crates/storage/src/heap.rs crates/storage/src/page.rs crates/storage/src/stats.rs crates/storage/src/table.rs crates/storage/src/tuple.rs crates/storage/src/value.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/btree.rs:
+crates/storage/src/buffer.rs:
+crates/storage/src/catalog.rs:
+crates/storage/src/error.rs:
+crates/storage/src/heap.rs:
+crates/storage/src/page.rs:
+crates/storage/src/stats.rs:
+crates/storage/src/table.rs:
+crates/storage/src/tuple.rs:
+crates/storage/src/value.rs:

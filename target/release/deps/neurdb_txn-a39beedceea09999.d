@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/neurdb_txn-a39beedceea09999.d: crates/txn/src/lib.rs crates/txn/src/engine.rs crates/txn/src/metrics.rs crates/txn/src/policy.rs crates/txn/src/workload.rs
+
+/root/repo/target/release/deps/libneurdb_txn-a39beedceea09999.rlib: crates/txn/src/lib.rs crates/txn/src/engine.rs crates/txn/src/metrics.rs crates/txn/src/policy.rs crates/txn/src/workload.rs
+
+/root/repo/target/release/deps/libneurdb_txn-a39beedceea09999.rmeta: crates/txn/src/lib.rs crates/txn/src/engine.rs crates/txn/src/metrics.rs crates/txn/src/policy.rs crates/txn/src/workload.rs
+
+crates/txn/src/lib.rs:
+crates/txn/src/engine.rs:
+crates/txn/src/metrics.rs:
+crates/txn/src/policy.rs:
+crates/txn/src/workload.rs:

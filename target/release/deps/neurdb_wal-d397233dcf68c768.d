@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/neurdb_wal-d397233dcf68c768.d: crates/wal/src/lib.rs crates/wal/src/codec.rs crates/wal/src/crc32.rs crates/wal/src/disk.rs crates/wal/src/log.rs crates/wal/src/record.rs crates/wal/src/store.rs
+
+/root/repo/target/release/deps/libneurdb_wal-d397233dcf68c768.rlib: crates/wal/src/lib.rs crates/wal/src/codec.rs crates/wal/src/crc32.rs crates/wal/src/disk.rs crates/wal/src/log.rs crates/wal/src/record.rs crates/wal/src/store.rs
+
+/root/repo/target/release/deps/libneurdb_wal-d397233dcf68c768.rmeta: crates/wal/src/lib.rs crates/wal/src/codec.rs crates/wal/src/crc32.rs crates/wal/src/disk.rs crates/wal/src/log.rs crates/wal/src/record.rs crates/wal/src/store.rs
+
+crates/wal/src/lib.rs:
+crates/wal/src/codec.rs:
+crates/wal/src/crc32.rs:
+crates/wal/src/disk.rs:
+crates/wal/src/log.rs:
+crates/wal/src/record.rs:
+crates/wal/src/store.rs:

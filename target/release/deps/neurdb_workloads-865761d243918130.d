@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/neurdb_workloads-865761d243918130.d: crates/workloads/src/lib.rs crates/workloads/src/avazu.rs crates/workloads/src/diabetes.rs crates/workloads/src/kmeans.rs crates/workloads/src/stats.rs crates/workloads/src/tpcc.rs crates/workloads/src/ycsb.rs crates/workloads/src/zipf.rs
+
+/root/repo/target/release/deps/libneurdb_workloads-865761d243918130.rlib: crates/workloads/src/lib.rs crates/workloads/src/avazu.rs crates/workloads/src/diabetes.rs crates/workloads/src/kmeans.rs crates/workloads/src/stats.rs crates/workloads/src/tpcc.rs crates/workloads/src/ycsb.rs crates/workloads/src/zipf.rs
+
+/root/repo/target/release/deps/libneurdb_workloads-865761d243918130.rmeta: crates/workloads/src/lib.rs crates/workloads/src/avazu.rs crates/workloads/src/diabetes.rs crates/workloads/src/kmeans.rs crates/workloads/src/stats.rs crates/workloads/src/tpcc.rs crates/workloads/src/ycsb.rs crates/workloads/src/zipf.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/avazu.rs:
+crates/workloads/src/diabetes.rs:
+crates/workloads/src/kmeans.rs:
+crates/workloads/src/stats.rs:
+crates/workloads/src/tpcc.rs:
+crates/workloads/src/ycsb.rs:
+crates/workloads/src/zipf.rs:

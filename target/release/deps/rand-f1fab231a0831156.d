@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-f1fab231a0831156.d: third_party/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-f1fab231a0831156.rlib: third_party/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-f1fab231a0831156.rmeta: third_party/rand/src/lib.rs
+
+third_party/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-53688061084e81df.d: third_party/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-53688061084e81df.rlib: third_party/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-53688061084e81df.rmeta: third_party/serde/src/lib.rs
+
+third_party/serde/src/lib.rs:

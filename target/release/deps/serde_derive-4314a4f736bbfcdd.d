@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-4314a4f736bbfcdd.d: third_party/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-4314a4f736bbfcdd.so: third_party/serde_derive/src/lib.rs
+
+third_party/serde_derive/src/lib.rs:

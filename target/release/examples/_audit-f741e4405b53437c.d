@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/_audit-f741e4405b53437c.d: examples/_audit.rs
+
+/root/repo/target/release/examples/_audit-f741e4405b53437c: examples/_audit.rs
+
+examples/_audit.rs:

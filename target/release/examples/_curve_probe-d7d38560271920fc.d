@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/_curve_probe-d7d38560271920fc.d: examples/_curve_probe.rs
+
+/root/repo/target/release/examples/_curve_probe-d7d38560271920fc: examples/_curve_probe.rs
+
+examples/_curve_probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/_dp_probe-bea7997afde3d07b.d: examples/_dp_probe.rs
+
+/root/repo/target/release/examples/_dp_probe-bea7997afde3d07b: examples/_dp_probe.rs
+
+examples/_dp_probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/durability_crash-72c072a5a663a2b7.d: examples/durability_crash.rs
+
+/root/repo/target/release/examples/durability_crash-72c072a5a663a2b7: examples/durability_crash.rs
+
+examples/durability_crash.rs:
