@@ -1,0 +1,104 @@
+//! Executor micro-benchmarks: scan, hash-join, and aggregate throughput
+//! through the planner + batch-operator pipeline. CI runs this bench as a
+//! smoke test so regressions in the SELECT hot path surface early.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use neurdb_core::Database;
+use std::hint::black_box;
+use std::time::Duration;
+
+const USERS: usize = 2_000;
+const POSTS: usize = 8_000;
+
+fn setup() -> Database {
+    let db = Database::new();
+    db.execute("CREATE TABLE users (id INT PRIMARY KEY, age INT, score FLOAT)")
+        .unwrap();
+    db.execute("CREATE TABLE posts (pid INT PRIMARY KEY, owner INT, likes INT)")
+        .unwrap();
+    db.execute("CREATE TABLE tags (tid INT PRIMARY KEY, post INT)")
+        .unwrap();
+    let mut stmt = String::from("INSERT INTO users VALUES ");
+    for i in 0..USERS {
+        if i > 0 {
+            stmt.push(',');
+        }
+        stmt.push_str(&format!("({i}, {}, {}.5)", i % 60, i % 10));
+    }
+    db.execute(&stmt).unwrap();
+    let mut stmt = String::from("INSERT INTO posts VALUES ");
+    for i in 0..POSTS {
+        if i > 0 {
+            stmt.push(',');
+        }
+        stmt.push_str(&format!("({i}, {}, {})", i % USERS, i % 100));
+    }
+    db.execute(&stmt).unwrap();
+    let mut stmt = String::from("INSERT INTO tags VALUES ");
+    for i in 0..POSTS {
+        if i > 0 {
+            stmt.push(',');
+        }
+        stmt.push_str(&format!("({i}, {})", i % POSTS));
+    }
+    db.execute(&stmt).unwrap();
+    db
+}
+
+fn bench_exec(c: &mut Criterion) {
+    let db = setup();
+    let mut g = c.benchmark_group("exec");
+    g.sample_size(10)
+        .measurement_time(Duration::from_millis(300));
+
+    g.throughput(Throughput::Elements(USERS as u64));
+    g.bench_function("seq_scan_filter", |b| {
+        b.iter(|| {
+            black_box(
+                db.execute("SELECT id FROM users WHERE age < 30 AND score > 2")
+                    .unwrap(),
+            )
+        })
+    });
+
+    g.throughput(Throughput::Elements(POSTS as u64));
+    g.bench_function("hash_join_2way", |b| {
+        b.iter(|| {
+            black_box(
+                db.execute(
+                    "SELECT u.id, p.likes FROM users u, posts p \
+                     WHERE u.id = p.owner AND p.likes > 90",
+                )
+                .unwrap(),
+            )
+        })
+    });
+
+    g.throughput(Throughput::Elements(POSTS as u64));
+    g.bench_function("qo_join_3way", |b| {
+        b.iter(|| {
+            black_box(
+                db.execute(
+                    "SELECT COUNT(*) FROM users u, posts p, tags t \
+                     WHERE u.id = p.owner AND p.pid = t.post AND u.age < 10",
+                )
+                .unwrap(),
+            )
+        })
+    });
+
+    g.throughput(Throughput::Elements(USERS as u64));
+    g.bench_function("hash_aggregate", |b| {
+        b.iter(|| {
+            black_box(
+                db.execute("SELECT age, COUNT(*), AVG(score) FROM users GROUP BY age")
+                    .unwrap(),
+            )
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_exec);
+criterion_main!(benches);

@@ -20,8 +20,9 @@ use crate::durability::{
     SnapshotBinding,
 };
 use crate::error::{CoreError, CoreResult};
-use crate::exec::{execute_select, QueryResult};
+use crate::exec::{execute_plan, execute_plan_instrumented, QueryResult};
 use crate::expr::{eval, eval_predicate, literal_value, Bindings};
+use crate::planner::{plan_select, PlannedSelect};
 use neurdb_engine::streaming::{stream_from_source, Handshake, StreamParams};
 use neurdb_engine::{AiEngine, Mid, TrainOutcome};
 use neurdb_nn::{armnet_spec, ArmNetConfig, LossKind};
@@ -87,6 +88,11 @@ pub struct Database {
     store: Arc<DurableStore>,
     /// The in-database AI engine (task manager, model manager, runtimes).
     pub ai: AiEngine,
+    /// Learned join-order optimizer for the SELECT planner. `None` (the
+    /// default) routes multi-join queries through `neurdb-qo`'s
+    /// cost-based DP; install a pre-trained model (e.g.
+    /// [`neurdb_qo::NeurQo`]) via [`Database::set_join_optimizer`].
+    join_optimizer: Mutex<Option<Box<dyn neurdb_qo::Optimizer + Send>>>,
     models: Arc<Mutex<HashMap<(String, String), CachedModel>>>,
     /// Streaming protocol defaults (paper: window 80, batch 4096).
     pub stream_params: StreamParams,
@@ -191,6 +197,7 @@ impl Database {
         Database {
             store: Arc::new(store),
             ai: AiEngine::new(),
+            join_optimizer: Mutex::new(None),
             models: Arc::new(Mutex::new(HashMap::new())),
             stream_params: StreamParams {
                 batch_size: 4096,
@@ -328,14 +335,85 @@ impl Database {
                 }
             }
             Statement::Select(s) => {
-                let mut resolved = Vec::with_capacity(s.from.len());
-                for tref in &s.from {
-                    resolved.push((tref.binding().to_string(), self.table(&tref.name)?));
-                }
-                execute_select(&s, &resolved).map(Output::Rows)
+                let planned = self.plan(&s)?;
+                execute_plan(&planned.plan).map(Output::Rows)
             }
             Statement::Predict(p) => self.predict(&p).map(Output::Prediction),
+            Statement::Explain { analyze, stmt } => self.explain(*stmt, analyze).map(Output::Rows),
         }
+    }
+
+    /// Plan a SELECT: resolve its tables, then lower it through the
+    /// planner (join order via the installed learned optimizer, falling
+    /// back to `neurdb-qo`'s cost-based DP).
+    fn plan(&self, s: &neurdb_sql::SelectStmt) -> CoreResult<PlannedSelect> {
+        let mut resolved = Vec::with_capacity(s.from.len());
+        for tref in &s.from {
+            resolved.push((tref.binding().to_string(), self.table(&tref.name)?));
+        }
+        // Only hold the optimizer lock when a learned model will actually
+        // be consulted (it is stateful); planning with the DP baseline —
+        // the common case — must not serialize concurrent sessions.
+        if s.from.len() >= 3 && self.join_optimizer.lock().is_some() {
+            // Warm the per-table statistics caches *outside* the lock so
+            // a post-write stats rebuild (a full scan per table) is not
+            // serialized; under the lock the planner then gets cached
+            // `Arc`s and only the choose_plan call itself is exclusive.
+            for (_, t) in &resolved {
+                let _ = t.stats();
+            }
+            let mut opt = self.join_optimizer.lock();
+            if opt.is_some() {
+                let learned = opt
+                    .as_mut()
+                    .map(|b| &mut **b as &mut dyn neurdb_qo::Optimizer);
+                return plan_select(s, &resolved, learned);
+            }
+        }
+        plan_select(s, &resolved, None)
+    }
+
+    /// `EXPLAIN [ANALYZE] SELECT ...`: render the physical plan (and,
+    /// with ANALYZE, execute it and annotate every operator with observed
+    /// rows, batches, and inclusive time). The result is one `plan` text
+    /// column, one row per plan line.
+    fn explain(&self, stmt: Statement, analyze: bool) -> CoreResult<QueryResult> {
+        let Statement::Select(s) = stmt else {
+            return Err(CoreError::Unsupported(
+                "EXPLAIN supports SELECT statements".into(),
+            ));
+        };
+        let planned = self.plan(&s)?;
+        let mut lines = Vec::new();
+        if let Some(source) = &planned.join_order {
+            lines.push(format!("join order: {source}"));
+        }
+        match analyze {
+            true => {
+                let (_, metrics) = execute_plan_instrumented(&planned.plan)?;
+                lines.extend(planned.plan.render(Some(&metrics)));
+            }
+            false => lines.extend(planned.plan.render(None)),
+        }
+        Ok(QueryResult {
+            columns: vec!["plan".to_string()],
+            rows: lines
+                .into_iter()
+                .map(|l| Tuple::new(vec![Value::Text(l)]))
+                .collect(),
+        })
+    }
+
+    /// Install a learned join-order optimizer (e.g. a pre-trained
+    /// [`neurdb_qo::NeurQo`]); subsequent multi-join SELECTs route their
+    /// join ordering through it instead of the DP baseline.
+    pub fn set_join_optimizer(&self, opt: Box<dyn neurdb_qo::Optimizer + Send>) {
+        *self.join_optimizer.lock() = Some(opt);
+    }
+
+    /// Remove the learned optimizer, restoring the DP baseline.
+    pub fn clear_join_optimizer(&self) {
+        *self.join_optimizer.lock() = None;
     }
 
     fn apply_mutation(&self, txn: u64, stmt: Statement) -> CoreResult<Output> {

@@ -1,12 +1,25 @@
-//! The SELECT executor: scans with predicate pushdown, hash/nested-loop
-//! joins, grouped aggregation, sorting, and limits.
+//! The pull-based SELECT executor: a tree of batch operators built from a
+//! [`PhysicalPlan`] (see [`crate::planner`]). Each operator yields
+//! `Vec<Tuple>` batches via [`Operator::next_batch`]; scans pull straight
+//! from the storage layer's batched heap cursor
+//! ([`neurdb_storage::Table::scan_batches`]) so a query never materializes
+//! a base table it only streams over. Every operator is wrapped in a
+//! metering shell that counts rows/batches and inclusive wall time —
+//! `EXPLAIN ANALYZE` renders those counters next to each plan node.
 
 use crate::error::CoreError;
 use crate::expr::{eval, eval_predicate, Bindings};
-use neurdb_sql::{AggFunc, BinaryOp, Expr, SelectItem, SelectStmt, SortOrder};
-use neurdb_storage::{Table, Tuple, Value};
+use crate::planner::{plan_select, PhysicalPlan};
+use neurdb_sql::{AggFunc, Expr, SelectItem, SelectStmt, SortOrder};
+use neurdb_storage::{HeapBatchScan, Table, Tuple, Value};
+use std::cell::RefCell;
 use std::collections::HashMap;
+use std::rc::Rc;
 use std::sync::Arc;
+use std::time::Instant;
+
+/// Rows per scan batch (operators in between may grow or shrink batches).
+pub const BATCH_ROWS: usize = 1024;
 
 /// A query result: column headers plus rows.
 #[derive(Debug, Clone, PartialEq)]
@@ -32,256 +45,582 @@ impl QueryResult {
     }
 }
 
-/// Split a predicate into AND-conjuncts.
-fn conjuncts(expr: &Expr) -> Vec<Expr> {
-    match expr {
-        Expr::Binary {
-            op: BinaryOp::And,
-            left,
-            right,
-        } => {
-            let mut out = conjuncts(left);
-            out.extend(conjuncts(right));
-            out
-        }
-        other => vec![other.clone()],
-    }
+/// Execution counters for one operator (pre-order position in the plan).
+#[derive(Debug, Clone, Default)]
+pub struct OpMetrics {
+    /// Operator label (matches the plan node's EXPLAIN line).
+    pub op: String,
+    /// Rows this operator emitted.
+    pub rows_out: u64,
+    /// Non-empty batches emitted.
+    pub batches: u64,
+    /// Inclusive wall time (includes children pulled from within).
+    pub nanos: u128,
 }
 
-/// Does every column referenced by `expr` resolve within `env`?
-fn resolvable(expr: &Expr, env: &Bindings) -> bool {
-    expr.referenced_columns().iter().all(|c| {
-        if let Some((q, n)) = c.split_once('.') {
-            env.resolve_qualified(q, n).is_ok()
-        } else {
-            env.resolve(c).is_ok()
-        }
-    })
-}
-
-/// If `expr` is `left_col = right_col` bridging the two environments,
-/// return the column indexes `(left_idx, right_idx)`.
-fn equi_join_key(expr: &Expr, left: &Bindings, right: &Bindings) -> Option<(usize, usize)> {
-    let Expr::Binary {
-        op: BinaryOp::Eq,
-        left: a,
-        right: b,
-    } = expr
-    else {
-        return None;
-    };
-    let col_idx = |e: &Expr, env: &Bindings| -> Option<usize> {
-        match e {
-            Expr::Column(c) => env.resolve(c).ok(),
-            Expr::Qualified(q, c) => env.resolve_qualified(q, c).ok(),
-            _ => None,
-        }
-    };
-    match (col_idx(a, left), col_idx(b, right)) {
-        (Some(l), Some(r)) => Some((l, r)),
-        _ => match (col_idx(b, left), col_idx(a, right)) {
-            (Some(l), Some(r)) => Some((l, r)),
-            _ => None,
-        },
-    }
-}
-
-struct Relation {
-    env: Bindings,
-    rows: Vec<Tuple>,
-}
-
-/// Execute a SELECT against resolved tables (`binding name -> table`).
+/// Execute a SELECT against resolved tables (`binding name -> table`):
+/// plan (join order via `neurdb-qo`'s DP) and run the operator pipeline.
 pub fn execute_select(
     stmt: &SelectStmt,
     tables: &[(String, Arc<Table>)],
 ) -> Result<QueryResult, CoreError> {
-    // 1. Scan base tables, building bindings.
-    let mut relations: Vec<Relation> = Vec::with_capacity(tables.len());
-    for (binding, table) in tables {
-        let names = table.schema.names();
-        let env = Bindings::for_table(binding, &names);
-        let rows = table.scan()?.into_iter().map(|(_, t)| t).collect();
-        relations.push(Relation { env, rows });
-    }
-    if relations.is_empty() {
-        return Err(CoreError::Unsupported("SELECT without FROM".into()));
-    }
-    let all_conjuncts: Vec<Expr> = stmt.predicate.as_ref().map(conjuncts).unwrap_or_default();
-    let mut used = vec![false; all_conjuncts.len()];
+    let planned = plan_select(stmt, tables, None)?;
+    execute_plan(&planned.plan)
+}
 
-    // 2. Predicate pushdown to single relations.
-    for rel in &mut relations {
-        for (i, c) in all_conjuncts.iter().enumerate() {
-            if !used[i] && resolvable(c, &rel.env) {
-                used[i] = true;
-                let env = rel.env.clone();
-                let mut kept = Vec::with_capacity(rel.rows.len());
-                for row in rel.rows.drain(..) {
-                    if eval_predicate(c, &row, &env)? {
-                        kept.push(row);
+/// Run a physical plan to completion.
+pub fn execute_plan(plan: &PhysicalPlan) -> Result<QueryResult, CoreError> {
+    execute_plan_instrumented(plan).map(|(r, _)| r)
+}
+
+/// Run a physical plan, returning per-operator metrics in pre-order
+/// (aligned with [`PhysicalPlan::render`]).
+pub fn execute_plan_instrumented(
+    plan: &PhysicalPlan,
+) -> Result<(QueryResult, Vec<OpMetrics>), CoreError> {
+    let sink: MetricsSink = Rc::new(RefCell::new(Vec::new()));
+    let mut root = build_operator(plan, &sink)?;
+    let mut rows = Vec::new();
+    while let Some(batch) = root.next_batch()? {
+        rows.extend(batch);
+    }
+    drop(root);
+    let columns = plan.output_columns();
+    let metrics = Rc::try_unwrap(sink)
+        .expect("operators dropped")
+        .into_inner();
+    Ok((QueryResult { columns, rows }, metrics))
+}
+
+// ----------------------------- operators -----------------------------
+
+type Batch = Vec<Tuple>;
+type MetricsSink = Rc<RefCell<Vec<OpMetrics>>>;
+
+/// A pull-based batch operator.
+trait Operator {
+    /// The next non-empty batch, or `None` once exhausted.
+    fn next_batch(&mut self) -> Result<Option<Batch>, CoreError>;
+}
+
+/// Metering shell: times each pull and counts emitted rows/batches.
+struct Metered {
+    inner: Box<dyn Operator>,
+    id: usize,
+    sink: MetricsSink,
+}
+
+impl Operator for Metered {
+    fn next_batch(&mut self) -> Result<Option<Batch>, CoreError> {
+        let start = Instant::now();
+        let out = self.inner.next_batch();
+        let nanos = start.elapsed().as_nanos();
+        let mut sink = self.sink.borrow_mut();
+        let m = &mut sink[self.id];
+        m.nanos += nanos;
+        if let Ok(Some(batch)) = &out {
+            m.rows_out += batch.len() as u64;
+            m.batches += 1;
+        }
+        out
+    }
+}
+
+/// Build the operator tree for `plan`, registering one [`OpMetrics`] slot
+/// per node in pre-order (parent before children, children left-to-right)
+/// so metrics align with [`PhysicalPlan::render`].
+fn build_operator(plan: &PhysicalPlan, sink: &MetricsSink) -> Result<Box<dyn Operator>, CoreError> {
+    let id = {
+        let mut s = sink.borrow_mut();
+        s.push(OpMetrics {
+            op: plan.label(),
+            ..OpMetrics::default()
+        });
+        s.len() - 1
+    };
+    let inner: Box<dyn Operator> = match plan {
+        PhysicalPlan::SeqScan {
+            table,
+            predicates,
+            env,
+            ..
+        } => Box::new(SeqScanOp {
+            cursor: table.scan_batches(BATCH_ROWS),
+            predicates: predicates.clone(),
+            env: env.clone(),
+        }),
+        PhysicalPlan::HashJoin {
+            left,
+            right,
+            left_key,
+            right_key,
+            ..
+        } => Box::new(HashJoinOp {
+            left: build_operator(left, sink)?,
+            right: Some(build_operator(right, sink)?),
+            left_key: *left_key,
+            right_key: *right_key,
+            table: HashMap::new(),
+        }),
+        PhysicalPlan::NestedLoopJoin { left, right, .. } => Box::new(NestedLoopJoinOp {
+            left: build_operator(left, sink)?,
+            right: Some(build_operator(right, sink)?),
+            right_rows: Vec::new(),
+        }),
+        PhysicalPlan::Filter {
+            input,
+            predicates,
+            env,
+        } => Box::new(FilterOp {
+            input: build_operator(input, sink)?,
+            predicates: predicates.clone(),
+            env: env.clone(),
+        }),
+        PhysicalPlan::Reorder { input, perm, .. } => Box::new(ReorderOp {
+            input: build_operator(input, sink)?,
+            perm: perm.clone(),
+        }),
+        PhysicalPlan::HashAggregate {
+            input,
+            group_by,
+            items,
+            in_env,
+            ..
+        } => Box::new(HashAggregateOp {
+            input: build_operator(input, sink)?,
+            group_by: group_by.clone(),
+            items: items.clone(),
+            env: in_env.clone(),
+            done: false,
+        }),
+        PhysicalPlan::Project {
+            input,
+            items,
+            in_env,
+            ..
+        } => Box::new(ProjectOp {
+            input: build_operator(input, sink)?,
+            items: items.clone(),
+            env: in_env.clone(),
+        }),
+        PhysicalPlan::Sort {
+            input,
+            order_by,
+            out_env,
+            fallback_env,
+            proj_map,
+        } => Box::new(SortOp {
+            input: build_operator(input, sink)?,
+            order_by: order_by.clone(),
+            out_env: out_env.clone(),
+            fallback_env: fallback_env.clone(),
+            proj_map: proj_map.clone(),
+            done: false,
+        }),
+        PhysicalPlan::Limit { input, n } => Box::new(LimitOp {
+            input: build_operator(input, sink)?,
+            remaining: *n as usize,
+        }),
+    };
+    Ok(Box::new(Metered {
+        inner,
+        id,
+        sink: sink.clone(),
+    }))
+}
+
+struct SeqScanOp {
+    cursor: HeapBatchScan,
+    predicates: Vec<Expr>,
+    env: Bindings,
+}
+
+impl Operator for SeqScanOp {
+    fn next_batch(&mut self) -> Result<Option<Batch>, CoreError> {
+        loop {
+            let Some(raw) = self.cursor.next_batch()? else {
+                return Ok(None);
+            };
+            let mut out = Vec::with_capacity(raw.len());
+            'rows: for (_, row) in raw {
+                for p in &self.predicates {
+                    if !eval_predicate(p, &row, &self.env)? {
+                        continue 'rows;
                     }
                 }
-                rel.rows = kept;
+                out.push(row);
+            }
+            if !out.is_empty() {
+                return Ok(Some(out));
             }
         }
     }
+}
 
-    // 3. Join left-to-right; hash join when an unused equi conjunct
-    //    bridges, else nested loops.
-    let mut iter = relations.into_iter();
-    let mut acc = iter.next().unwrap();
-    for right in iter {
-        // Find a bridging equi-join key.
-        let mut join_key = None;
-        for (i, c) in all_conjuncts.iter().enumerate() {
-            if used[i] {
-                continue;
+struct FilterOp {
+    input: Box<dyn Operator>,
+    predicates: Vec<Expr>,
+    env: Bindings,
+}
+
+impl Operator for FilterOp {
+    fn next_batch(&mut self) -> Result<Option<Batch>, CoreError> {
+        loop {
+            let Some(batch) = self.input.next_batch()? else {
+                return Ok(None);
+            };
+            let mut out = Vec::with_capacity(batch.len());
+            'rows: for row in batch {
+                for p in &self.predicates {
+                    if !eval_predicate(p, &row, &self.env)? {
+                        continue 'rows;
+                    }
+                }
+                out.push(row);
             }
-            if let Some(k) = equi_join_key(c, &acc.env, &right.env) {
-                join_key = Some((i, k));
-                break;
+            if !out.is_empty() {
+                return Ok(Some(out));
             }
         }
-        let joined_env = acc.env.join(&right.env);
-        let mut out_rows = Vec::new();
-        match join_key {
-            Some((ci, (li, ri))) => {
-                used[ci] = true;
-                // Build hash table on the smaller side (right).
-                let mut ht: HashMap<Value, Vec<&Tuple>> = HashMap::new();
-                for r in &right.rows {
-                    ht.entry(r.get(ri).clone()).or_default().push(r);
-                }
-                for l in &acc.rows {
-                    let key = l.get(li);
+    }
+}
+
+struct ReorderOp {
+    input: Box<dyn Operator>,
+    perm: Vec<usize>,
+}
+
+impl Operator for ReorderOp {
+    fn next_batch(&mut self) -> Result<Option<Batch>, CoreError> {
+        let Some(batch) = self.input.next_batch()? else {
+            return Ok(None);
+        };
+        Ok(Some(
+            batch
+                .into_iter()
+                .map(|t| Tuple::new(self.perm.iter().map(|&i| t.values[i].clone()).collect()))
+                .collect(),
+        ))
+    }
+}
+
+struct HashJoinOp {
+    left: Box<dyn Operator>,
+    /// Consumed (drained into `table`) on the first pull.
+    right: Option<Box<dyn Operator>>,
+    left_key: usize,
+    right_key: usize,
+    table: HashMap<Value, Vec<Tuple>>,
+}
+
+impl Operator for HashJoinOp {
+    fn next_batch(&mut self) -> Result<Option<Batch>, CoreError> {
+        if let Some(mut right) = self.right.take() {
+            // Build phase: hash the entire right input on its key.
+            while let Some(batch) = right.next_batch()? {
+                for row in batch {
+                    let key = row.get(self.right_key).clone();
                     if key.is_null() {
                         continue;
                     }
-                    if let Some(matches) = ht.get(key) {
-                        for r in matches {
-                            let mut vals = l.values.clone();
-                            vals.extend(r.values.iter().cloned());
-                            out_rows.push(Tuple::new(vals));
+                    self.table.entry(key).or_default().push(row);
+                }
+            }
+        }
+        if self.table.is_empty() {
+            // Empty build side can never produce a match; skip the probe.
+            return Ok(None);
+        }
+        loop {
+            let Some(batch) = self.left.next_batch()? else {
+                return Ok(None);
+            };
+            let mut out = Vec::new();
+            for l in &batch {
+                let key = l.get(self.left_key);
+                if key.is_null() {
+                    continue;
+                }
+                if let Some(matches) = self.table.get(key) {
+                    for r in matches {
+                        let mut vals = l.values.clone();
+                        vals.extend(r.values.iter().cloned());
+                        out.push(Tuple::new(vals));
+                    }
+                }
+            }
+            if !out.is_empty() {
+                return Ok(Some(out));
+            }
+        }
+    }
+}
+
+struct NestedLoopJoinOp {
+    left: Box<dyn Operator>,
+    right: Option<Box<dyn Operator>>,
+    right_rows: Vec<Tuple>,
+}
+
+impl Operator for NestedLoopJoinOp {
+    fn next_batch(&mut self) -> Result<Option<Batch>, CoreError> {
+        if let Some(mut right) = self.right.take() {
+            while let Some(batch) = right.next_batch()? {
+                self.right_rows.extend(batch);
+            }
+        }
+        if self.right_rows.is_empty() {
+            // Empty build side: the cross product is provably empty —
+            // don't drain the left subtree for nothing.
+            return Ok(None);
+        }
+        let Some(batch) = self.left.next_batch()? else {
+            return Ok(None);
+        };
+        let mut out = Vec::with_capacity(batch.len() * self.right_rows.len());
+        for l in &batch {
+            for r in &self.right_rows {
+                let mut vals = l.values.clone();
+                vals.extend(r.values.iter().cloned());
+                out.push(Tuple::new(vals));
+            }
+        }
+        Ok(Some(out))
+    }
+}
+
+struct ProjectOp {
+    input: Box<dyn Operator>,
+    items: Vec<SelectItem>,
+    env: Bindings,
+}
+
+impl Operator for ProjectOp {
+    fn next_batch(&mut self) -> Result<Option<Batch>, CoreError> {
+        let Some(batch) = self.input.next_batch()? else {
+            return Ok(None);
+        };
+        let mut out = Vec::with_capacity(batch.len());
+        for row in &batch {
+            let mut vals = Vec::with_capacity(self.items.len());
+            for item in &self.items {
+                match item {
+                    SelectItem::Wildcard => vals.extend(row.values.iter().cloned()),
+                    SelectItem::Expr { expr, .. } => vals.push(eval(expr, row, &self.env)?),
+                }
+            }
+            out.push(Tuple::new(vals));
+        }
+        Ok(Some(out))
+    }
+}
+
+struct HashAggregateOp {
+    input: Box<dyn Operator>,
+    group_by: Vec<Expr>,
+    items: Vec<SelectItem>,
+    env: Bindings,
+    done: bool,
+}
+
+impl Operator for HashAggregateOp {
+    fn next_batch(&mut self) -> Result<Option<Batch>, CoreError> {
+        if self.done {
+            return Ok(None);
+        }
+        self.done = true;
+        // Collect the aggregate calls appearing in the projection.
+        let mut agg_exprs: Vec<(AggFunc, Option<Expr>)> = Vec::new();
+        for item in &self.items {
+            if let SelectItem::Expr { expr, .. } = item {
+                collect_aggs(expr, &mut agg_exprs);
+            }
+        }
+        // Group rows, streaming batch by batch.
+        type GroupKey = Vec<Value>;
+        let mut groups: HashMap<GroupKey, (Tuple, Vec<AggState>)> = HashMap::new();
+        let mut order: Vec<GroupKey> = Vec::new();
+        while let Some(batch) = self.input.next_batch()? {
+            for row in &batch {
+                let key: GroupKey = self
+                    .group_by
+                    .iter()
+                    .map(|e| eval(e, row, &self.env))
+                    .collect::<Result<_, _>>()?;
+                let entry = groups.entry(key.clone()).or_insert_with(|| {
+                    order.push(key.clone());
+                    (
+                        row.clone(),
+                        agg_exprs.iter().map(|(f, _)| AggState::new(*f)).collect(),
+                    )
+                });
+                for ((_, arg), state) in agg_exprs.iter().zip(entry.1.iter_mut()) {
+                    match arg {
+                        None => state.update(None),
+                        Some(e) => {
+                            let v = eval(e, row, &self.env)?;
+                            state.update(Some(&v));
                         }
                     }
                 }
             }
-            None => {
-                for l in &acc.rows {
-                    for r in &right.rows {
-                        let mut vals = l.values.clone();
-                        vals.extend(r.values.iter().cloned());
-                        out_rows.push(Tuple::new(vals));
+        }
+        // Empty input with no GROUP BY still yields one all-aggregate row.
+        if groups.is_empty() && self.group_by.is_empty() {
+            let key: GroupKey = vec![];
+            order.push(key.clone());
+            groups.insert(
+                key,
+                (
+                    Tuple::new(vec![Value::Null; self.env.arity()]),
+                    agg_exprs.iter().map(|(f, _)| AggState::new(*f)).collect(),
+                ),
+            );
+        }
+        // Emit: substitute aggregate results into projection expressions.
+        let mut rows = Vec::with_capacity(order.len());
+        for key in order {
+            let (sample, states) = &groups[&key];
+            let mut agg_iter = states.iter();
+            let mut vals = Vec::with_capacity(self.items.len());
+            for item in &self.items {
+                let SelectItem::Expr { expr, .. } = item else {
+                    return Err(CoreError::Unsupported(
+                        "wildcard with aggregates".to_string(),
+                    ));
+                };
+                vals.push(eval_with_aggs(expr, sample, &self.env, &mut agg_iter)?);
+            }
+            rows.push(Tuple::new(vals));
+        }
+        if rows.is_empty() {
+            Ok(None)
+        } else {
+            Ok(Some(rows))
+        }
+    }
+}
+
+struct SortOp {
+    input: Box<dyn Operator>,
+    order_by: Vec<(Expr, SortOrder)>,
+    /// Environment over the projected output columns.
+    out_env: Bindings,
+    /// Pre-projection environment: sort keys the projection kept may
+    /// still be referenced by their source-table names.
+    fallback_env: Bindings,
+    /// Source position → projected output position (see the planner's
+    /// `projection_map`).
+    proj_map: Vec<Option<usize>>,
+    done: bool,
+}
+
+impl SortOp {
+    /// Evaluate a sort key against the projected row: output columns
+    /// first, then source-table names translated through `proj_map`. A
+    /// key over a column the projection dropped is an error — never a
+    /// silent sort by whatever value occupies that index.
+    fn key(&self, e: &Expr, row: &Tuple) -> Result<Value, CoreError> {
+        match eval(e, row, &self.out_env) {
+            Ok(v) => Ok(v),
+            Err(out_err) => {
+                let kept = e.referenced_columns().iter().all(|c| {
+                    let idx = if let Some((q, n)) = c.split_once('.') {
+                        self.fallback_env.resolve_qualified(q, n).ok()
+                    } else {
+                        self.fallback_env.resolve(c).ok()
+                    };
+                    idx.is_some_and(|i| self.proj_map.get(i).copied().flatten().is_some())
+                });
+                if !kept {
+                    return Err(out_err.into());
+                }
+                // Rebuild the referenced slice of the source layout from
+                // the projected values, then evaluate there.
+                let mut vals = vec![Value::Null; self.fallback_env.arity()];
+                for (src, out) in self.proj_map.iter().enumerate() {
+                    if let Some(o) = out {
+                        if let Some(v) = row.values.get(*o) {
+                            vals[src] = v.clone();
+                        }
                     }
                 }
+                Ok(eval(e, &Tuple::new(vals), &self.fallback_env)?)
             }
         }
-        // Apply any newly-resolvable conjuncts right after the join.
-        for (i, c) in all_conjuncts.iter().enumerate() {
-            if !used[i] && resolvable(c, &joined_env) {
-                used[i] = true;
-                let mut kept = Vec::with_capacity(out_rows.len());
-                for row in out_rows.drain(..) {
-                    if eval_predicate(c, &row, &joined_env)? {
-                        kept.push(row);
-                    }
+    }
+}
+
+impl Operator for SortOp {
+    fn next_batch(&mut self) -> Result<Option<Batch>, CoreError> {
+        if self.done {
+            return Ok(None);
+        }
+        self.done = true;
+        let mut keyed: Vec<(Vec<Value>, Tuple)> = Vec::new();
+        while let Some(batch) = self.input.next_batch()? {
+            keyed.reserve(batch.len());
+            for row in batch {
+                let mut keys = Vec::with_capacity(self.order_by.len());
+                for (e, _) in &self.order_by {
+                    keys.push(self.key(e, &row)?);
                 }
-                out_rows = kept;
+                keyed.push((keys, row));
             }
         }
-        acc = Relation {
-            env: joined_env,
-            rows: out_rows,
+        if keyed.is_empty() {
+            return Ok(None);
+        }
+        keyed.sort_by(|a, b| {
+            for (i, (_, ord)) in self.order_by.iter().enumerate() {
+                let c = a.0[i].total_cmp(&b.0[i]);
+                let c = match ord {
+                    SortOrder::Asc => c,
+                    SortOrder::Desc => c.reverse(),
+                };
+                if !c.is_eq() {
+                    return c;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        Ok(Some(keyed.into_iter().map(|(_, r)| r).collect()))
+    }
+}
+
+struct LimitOp {
+    input: Box<dyn Operator>,
+    remaining: usize,
+}
+
+impl Operator for LimitOp {
+    fn next_batch(&mut self) -> Result<Option<Batch>, CoreError> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        let Some(mut batch) = self.input.next_batch()? else {
+            return Ok(None);
         };
-    }
-
-    // 4. Any residual conjunct must now be resolvable.
-    for (i, c) in all_conjuncts.iter().enumerate() {
-        if !used[i] {
-            if !resolvable(c, &acc.env) {
-                return Err(CoreError::Unsupported(format!(
-                    "predicate references unknown columns: {:?}",
-                    c.referenced_columns()
-                )));
-            }
-            let mut kept = Vec::with_capacity(acc.rows.len());
-            for row in acc.rows.drain(..) {
-                if eval_predicate(c, &row, &acc.env)? {
-                    kept.push(row);
-                }
-            }
-            acc.rows = kept;
+        if batch.len() > self.remaining {
+            batch.truncate(self.remaining);
         }
+        self.remaining -= batch.len();
+        Ok(Some(batch))
     }
-
-    // 5. Aggregation or plain projection.
-    let has_agg = stmt
-        .items
-        .iter()
-        .any(|i| matches!(i, SelectItem::Expr { expr, .. } if contains_agg(expr)));
-    let mut result = if has_agg || !stmt.group_by.is_empty() {
-        aggregate(stmt, &acc)?
-    } else {
-        project(stmt, &acc)?
-    };
-
-    // 6. ORDER BY over the *input* environment when possible, else output
-    //    column names.
-    if !stmt.order_by.is_empty() {
-        sort_result(stmt, &acc, &mut result)?;
-    }
-
-    // 7. LIMIT.
-    if let Some(n) = stmt.limit {
-        result.rows.truncate(n as usize);
-    }
-    Ok(result)
 }
 
-fn contains_agg(e: &Expr) -> bool {
+// ---------------------------- aggregates -----------------------------
+
+fn collect_aggs(e: &Expr, out: &mut Vec<(AggFunc, Option<Expr>)>) {
     match e {
-        Expr::Agg { .. } => true,
-        Expr::Binary { left, right, .. } => contains_agg(left) || contains_agg(right),
-        Expr::Unary { expr, .. } => contains_agg(expr),
-        _ => false,
-    }
-}
-
-fn item_name(item: &SelectItem, idx: usize) -> String {
-    match item {
-        SelectItem::Wildcard => "*".to_string(),
-        SelectItem::Expr { expr, alias } => alias.clone().unwrap_or_else(|| match expr {
-            Expr::Column(c) => c.clone(),
-            Expr::Qualified(q, c) => format!("{q}.{c}"),
-            Expr::Agg { func, .. } => format!("{func:?}").to_lowercase(),
-            _ => format!("col{idx}"),
-        }),
-    }
-}
-
-fn project(stmt: &SelectStmt, rel: &Relation) -> Result<QueryResult, CoreError> {
-    let mut columns = Vec::new();
-    for (i, item) in stmt.items.iter().enumerate() {
-        match item {
-            SelectItem::Wildcard => {
-                columns.extend(rel.env.cols.iter().map(|(_, c)| c.clone()));
-            }
-            _ => columns.push(item_name(item, i)),
+        Expr::Agg { func, arg } => out.push((*func, arg.as_deref().cloned())),
+        Expr::Binary { left, right, .. } => {
+            collect_aggs(left, out);
+            collect_aggs(right, out);
         }
+        Expr::Unary { expr, .. } => collect_aggs(expr, out),
+        _ => {}
     }
-    let mut rows = Vec::with_capacity(rel.rows.len());
-    for row in &rel.rows {
-        let mut vals = Vec::with_capacity(columns.len());
-        for item in &stmt.items {
-            match item {
-                SelectItem::Wildcard => vals.extend(row.values.iter().cloned()),
-                SelectItem::Expr { expr, .. } => vals.push(eval(expr, row, &rel.env)?),
-            }
-        }
-        rows.push(Tuple::new(vals));
-    }
-    Ok(QueryResult { columns, rows })
 }
 
 /// Accumulator for one aggregate call.
@@ -347,91 +686,9 @@ impl AggState {
     }
 }
 
-fn aggregate(stmt: &SelectStmt, rel: &Relation) -> Result<QueryResult, CoreError> {
-    // Collect the aggregate calls appearing in the projection.
-    let mut agg_exprs: Vec<(AggFunc, Option<Expr>)> = Vec::new();
-    fn collect(e: &Expr, out: &mut Vec<(AggFunc, Option<Expr>)>) {
-        match e {
-            Expr::Agg { func, arg } => out.push((*func, arg.as_deref().cloned())),
-            Expr::Binary { left, right, .. } => {
-                collect(left, out);
-                collect(right, out);
-            }
-            Expr::Unary { expr, .. } => collect(expr, out),
-            _ => {}
-        }
-    }
-    for item in &stmt.items {
-        if let SelectItem::Expr { expr, .. } = item {
-            collect(expr, &mut agg_exprs);
-        }
-    }
-    // Group rows.
-    type GroupKey = Vec<Value>;
-    let mut groups: HashMap<GroupKey, (Tuple, Vec<AggState>)> = HashMap::new();
-    let mut order: Vec<GroupKey> = Vec::new();
-    for row in &rel.rows {
-        let key: GroupKey = stmt
-            .group_by
-            .iter()
-            .map(|e| eval(e, row, &rel.env))
-            .collect::<Result<_, _>>()?;
-        let entry = groups.entry(key.clone()).or_insert_with(|| {
-            order.push(key.clone());
-            (
-                row.clone(),
-                agg_exprs.iter().map(|(f, _)| AggState::new(*f)).collect(),
-            )
-        });
-        for ((_, arg), state) in agg_exprs.iter().zip(entry.1.iter_mut()) {
-            match arg {
-                None => state.update(None),
-                Some(e) => {
-                    let v = eval(e, row, &rel.env)?;
-                    state.update(Some(&v));
-                }
-            }
-        }
-    }
-    // Empty input with no GROUP BY still yields one all-aggregate row.
-    if groups.is_empty() && stmt.group_by.is_empty() {
-        let key: GroupKey = vec![];
-        order.push(key.clone());
-        groups.insert(
-            key,
-            (
-                Tuple::new(vec![Value::Null; rel.env.arity()]),
-                agg_exprs.iter().map(|(f, _)| AggState::new(*f)).collect(),
-            ),
-        );
-    }
-    // Emit: substitute aggregate results into projection expressions.
-    let columns: Vec<String> = stmt
-        .items
-        .iter()
-        .enumerate()
-        .map(|(i, it)| item_name(it, i))
-        .collect();
-    let mut rows = Vec::with_capacity(order.len());
-    for key in order {
-        let (sample, states) = &groups[&key];
-        let mut agg_iter = states.iter();
-        let mut vals = Vec::with_capacity(stmt.items.len());
-        for item in &stmt.items {
-            let SelectItem::Expr { expr, .. } = item else {
-                return Err(CoreError::Unsupported(
-                    "wildcard with aggregates".to_string(),
-                ));
-            };
-            vals.push(eval_with_aggs(expr, sample, &rel.env, &mut agg_iter)?);
-        }
-        rows.push(Tuple::new(vals));
-    }
-    Ok(QueryResult { columns, rows })
-}
-
 /// Evaluate an expression where each aggregate node consumes the next
-/// pre-computed aggregate state (in-order traversal matches `collect`).
+/// pre-computed aggregate state (in-order traversal matches
+/// [`collect_aggs`]).
 fn eval_with_aggs<'a>(
     expr: &Expr,
     sample: &Tuple,
@@ -483,46 +740,15 @@ fn value_to_literal(v: &Value) -> neurdb_sql::Literal {
     }
 }
 
-fn sort_result(
-    stmt: &SelectStmt,
-    rel: &Relation,
-    result: &mut QueryResult,
-) -> Result<(), CoreError> {
-    // Sort keys evaluated against output columns when resolvable there,
-    // else against the pre-projection rows is not possible post-projection;
-    // we support output-column references (the common case).
-    let out_env = Bindings {
-        cols: result
-            .columns
-            .iter()
-            .map(|c| (String::new(), c.clone()))
-            .collect(),
-    };
-    let mut keyed: Vec<(Vec<Value>, Tuple)> = Vec::with_capacity(result.rows.len());
-    for row in result.rows.drain(..) {
-        let mut keys = Vec::with_capacity(stmt.order_by.len());
-        for (e, _) in &stmt.order_by {
-            // Try output columns first, fall back to treating unqualified
-            // names as qualified in the source env (projection must have
-            // included them for that to be meaningful).
-            let v = eval(e, &row, &out_env).or_else(|_| eval(e, &row, &rel.env))?;
-            keys.push(v);
-        }
-        keyed.push((keys, row));
+/// Display name of a projected item (shared with the planner).
+pub(crate) fn item_name(item: &SelectItem, idx: usize) -> String {
+    match item {
+        SelectItem::Wildcard => "*".to_string(),
+        SelectItem::Expr { expr, alias } => alias.clone().unwrap_or_else(|| match expr {
+            Expr::Column(c) => c.clone(),
+            Expr::Qualified(q, c) => format!("{q}.{c}"),
+            Expr::Agg { func, .. } => format!("{func:?}").to_lowercase(),
+            _ => format!("col{idx}"),
+        }),
     }
-    keyed.sort_by(|a, b| {
-        for (i, (_, ord)) in stmt.order_by.iter().enumerate() {
-            let c = a.0[i].total_cmp(&b.0[i]);
-            let c = match ord {
-                SortOrder::Asc => c,
-                SortOrder::Desc => c.reverse(),
-            };
-            if !c.is_eq() {
-                return c;
-            }
-        }
-        std::cmp::Ordering::Equal
-    });
-    result.rows = keyed.into_iter().map(|(_, r)| r).collect();
-    Ok(())
 }

@@ -31,6 +31,7 @@ pub mod durability;
 pub mod error;
 pub mod exec;
 pub mod expr;
+pub mod planner;
 
 pub use analytics::{extract_examples, make_batches, value_to_field, Standardizer};
 pub use compare::{
@@ -40,5 +41,8 @@ pub use compare::{
 pub use database::{Database, Output, PredictionReport};
 pub use durability::{BindingMeta, SnapshotBinding};
 pub use error::{CoreError, CoreResult};
-pub use exec::{execute_select, QueryResult};
+pub use exec::{
+    execute_plan, execute_plan_instrumented, execute_select, OpMetrics, QueryResult, BATCH_ROWS,
+};
 pub use expr::{eval, eval_predicate, Bindings, EvalError};
+pub use planner::{plan_select, PhysicalPlan, PlannedSelect};

@@ -1,0 +1,963 @@
+//! The SELECT planner: lowers a parsed [`SelectStmt`] into a
+//! [`PhysicalPlan`] tree that the operator executor ([`crate::exec`])
+//! runs batch-by-batch.
+//!
+//! Planning proceeds in three stages (the paper's plan path, Section 3):
+//!
+//! 1. **Logical analysis** — split the WHERE clause into conjuncts, push
+//!    single-table predicates down to their scans, and estimate per-scan
+//!    cardinalities from live [`neurdb_storage::TableStats`] (MCV/histogram
+//!    selectivities, not stale catalog guesses).
+//! 2. **Join ordering** — for queries joining three or more tables the
+//!    planner builds a [`neurdb_qo::JoinGraph`] from the scan estimates
+//!    and the equi-join conjuncts and asks `neurdb-qo` for an order:
+//!    the learned optimizer ([`neurdb_qo::Optimizer`], e.g. `NeurQo`)
+//!    when one is installed on the session, else the exhaustive
+//!    cost-based DP ([`neurdb_qo::dp_best_plan`]).
+//! 3. **Physical lowering** — the chosen join tree becomes HashJoin /
+//!    NestedLoopJoin nodes (hash when an equi conjunct bridges the two
+//!    sides), remaining conjuncts become Filters at the lowest node where
+//!    they resolve, and the aggregate / project / sort / limit tail is
+//!    stacked on top. A `Reorder` node restores the FROM-clause column
+//!    layout whenever the optimizer's join order differs, so `SELECT *`
+//!    output is independent of the plan shape.
+
+use crate::error::CoreError;
+use crate::exec::item_name;
+use crate::expr::{literal_value, Bindings};
+use neurdb_qo::{dp_best_plan, JoinEdge, JoinGraph, Optimizer, PlanTree, TableInfo};
+use neurdb_sql::{BinaryOp, Expr, SelectItem, SelectStmt, SortOrder, UnaryOp};
+use neurdb_storage::{Table, TableStats, Value};
+use std::sync::Arc;
+
+/// A physical plan node. Every node knows its output binding environment
+/// (`env`) — the `(qualifier, column)` layout of the tuples it yields.
+#[derive(Clone)]
+pub enum PhysicalPlan {
+    /// Sequential scan over a table's heap with pushed-down predicates,
+    /// pulled in batches via `Table::scan_batches`.
+    SeqScan {
+        table: Arc<Table>,
+        binding: String,
+        predicates: Vec<Expr>,
+        env: Bindings,
+        est_rows: f64,
+    },
+    /// Build a hash table on the right input keyed on `right_key`, probe
+    /// with the left input on `left_key`.
+    HashJoin {
+        left: Box<PhysicalPlan>,
+        right: Box<PhysicalPlan>,
+        left_key: usize,
+        right_key: usize,
+        /// The equi conjunct this join consumes (for display).
+        cond: Expr,
+        env: Bindings,
+        est_rows: f64,
+    },
+    /// Cross/theta join: materialize the right input, stream the left.
+    NestedLoopJoin {
+        left: Box<PhysicalPlan>,
+        right: Box<PhysicalPlan>,
+        env: Bindings,
+        est_rows: f64,
+    },
+    /// Apply residual conjuncts.
+    Filter {
+        input: Box<PhysicalPlan>,
+        predicates: Vec<Expr>,
+        env: Bindings,
+    },
+    /// Permute columns back to the canonical FROM-clause layout after the
+    /// optimizer reordered the joins: `out[i] = in[perm[i]]`.
+    Reorder {
+        input: Box<PhysicalPlan>,
+        perm: Vec<usize>,
+        env: Bindings,
+    },
+    /// Grouped aggregation (also handles the no-GROUP-BY all-aggregate
+    /// case, which yields exactly one row).
+    HashAggregate {
+        input: Box<PhysicalPlan>,
+        group_by: Vec<Expr>,
+        items: Vec<SelectItem>,
+        in_env: Bindings,
+        columns: Vec<String>,
+    },
+    /// Scalar projection.
+    Project {
+        input: Box<PhysicalPlan>,
+        items: Vec<SelectItem>,
+        in_env: Bindings,
+        columns: Vec<String>,
+    },
+    /// Sort the (already projected) result rows. Keys resolve against the
+    /// output columns first, falling back to pre-projection names for
+    /// source columns the projection kept (`proj_map` records where each
+    /// source position landed in the output, if anywhere).
+    Sort {
+        input: Box<PhysicalPlan>,
+        order_by: Vec<(Expr, SortOrder)>,
+        out_env: Bindings,
+        fallback_env: Bindings,
+        /// Source position → output position, `None` if not projected.
+        proj_map: Vec<Option<usize>>,
+    },
+    /// Keep the first `n` rows.
+    Limit { input: Box<PhysicalPlan>, n: u64 },
+}
+
+/// A planned SELECT: the physical plan plus provenance of the join order.
+pub struct PlannedSelect {
+    pub plan: PhysicalPlan,
+    /// Which `neurdb-qo` component chose the join order (set for queries
+    /// with ≥ 2 joins): `"neurdb-qo/dp"` or `"neurdb-qo/<model name>"`.
+    pub join_order: Option<String>,
+}
+
+// ------------------------- conjunct analysis -------------------------
+
+/// Split a predicate into AND-conjuncts.
+pub(crate) fn conjuncts(expr: &Expr) -> Vec<Expr> {
+    match expr {
+        Expr::Binary {
+            op: BinaryOp::And,
+            left,
+            right,
+        } => {
+            let mut out = conjuncts(left);
+            out.extend(conjuncts(right));
+            out
+        }
+        other => vec![other.clone()],
+    }
+}
+
+/// Does every column referenced by `expr` resolve within `env`?
+pub(crate) fn resolvable(expr: &Expr, env: &Bindings) -> bool {
+    expr.referenced_columns().iter().all(|c| {
+        if let Some((q, n)) = c.split_once('.') {
+            env.resolve_qualified(q, n).is_ok()
+        } else {
+            env.resolve(c).is_ok()
+        }
+    })
+}
+
+/// If `expr` is `left_col = right_col` bridging the two environments,
+/// return the column indexes `(left_idx, right_idx)`.
+pub(crate) fn equi_join_key(
+    expr: &Expr,
+    left: &Bindings,
+    right: &Bindings,
+) -> Option<(usize, usize)> {
+    let Expr::Binary {
+        op: BinaryOp::Eq,
+        left: a,
+        right: b,
+    } = expr
+    else {
+        return None;
+    };
+    let col_idx = |e: &Expr, env: &Bindings| -> Option<usize> {
+        match e {
+            Expr::Column(c) => env.resolve(c).ok(),
+            Expr::Qualified(q, c) => env.resolve_qualified(q, c).ok(),
+            _ => None,
+        }
+    };
+    match (col_idx(a, left), col_idx(b, right)) {
+        (Some(l), Some(r)) => Some((l, r)),
+        _ => match (col_idx(b, left), col_idx(a, right)) {
+            (Some(l), Some(r)) => Some((l, r)),
+            _ => None,
+        },
+    }
+}
+
+// ---------------------- cardinality estimation -----------------------
+
+/// Classic fallback selectivity when no usable statistics exist.
+const DEFAULT_SEL: f64 = 0.33;
+
+/// Row-density guess for page-count-based cardinality estimates (used
+/// only when no statistics are cached and none are needed for planning).
+const ROWS_PER_PAGE_GUESS: f64 = 64.0;
+
+/// Estimated selectivity of one pushed-down conjunct against a single
+/// table, using its live column statistics.
+fn conjunct_selectivity(c: &Expr, env: &Bindings, stats: &TableStats) -> f64 {
+    let Expr::Binary { op, left, right } = c else {
+        return DEFAULT_SEL;
+    };
+    let col_idx = |e: &Expr| -> Option<usize> {
+        match e {
+            Expr::Column(name) => env.resolve(name).ok(),
+            Expr::Qualified(q, name) => env.resolve_qualified(q, name).ok(),
+            _ => None,
+        }
+    };
+    let lit = |e: &Expr| -> Option<Value> {
+        match e {
+            Expr::Literal(l) => Some(literal_value(l)),
+            Expr::Unary {
+                op: UnaryOp::Neg,
+                expr,
+            } => match expr.as_ref() {
+                Expr::Literal(l) => match literal_value(l) {
+                    Value::Int(i) => Some(Value::Int(-i)),
+                    Value::Float(f) => Some(Value::Float(-f)),
+                    _ => None,
+                },
+                _ => None,
+            },
+            _ => None,
+        }
+    };
+    // Normalize to `col op value`, mirroring the operator when the
+    // literal is on the left.
+    let (idx, val, op) = match (col_idx(left), lit(right)) {
+        (Some(i), Some(v)) => (i, v, *op),
+        _ => match (col_idx(right), lit(left)) {
+            (Some(i), Some(v)) => {
+                let flipped = match op {
+                    BinaryOp::Lt => BinaryOp::Gt,
+                    BinaryOp::Lte => BinaryOp::Gte,
+                    BinaryOp::Gt => BinaryOp::Lt,
+                    BinaryOp::Gte => BinaryOp::Lte,
+                    other => *other,
+                };
+                (i, v, flipped)
+            }
+            _ => return DEFAULT_SEL,
+        },
+    };
+    let Some(col) = stats.columns.get(idx) else {
+        return DEFAULT_SEL;
+    };
+    match op {
+        BinaryOp::Eq => col.eq_selectivity(&val),
+        BinaryOp::Neq => (1.0 - col.eq_selectivity(&val)).max(0.0),
+        BinaryOp::Lt | BinaryOp::Lte => match val.as_f64() {
+            Some(x) => col.range_selectivity(None, Some(x)),
+            None => DEFAULT_SEL,
+        },
+        BinaryOp::Gt | BinaryOp::Gte => match val.as_f64() {
+            Some(x) => col.range_selectivity(Some(x), None),
+            None => DEFAULT_SEL,
+        },
+        _ => DEFAULT_SEL,
+    }
+}
+
+// ----------------------------- planning ------------------------------
+
+struct ScanInfo {
+    binding: String,
+    table: Arc<Table>,
+    env: Bindings,
+    predicates: Vec<Expr>,
+    /// Populated only for multi-table queries: single-table plans never
+    /// pay a statistics rebuild (an O(table) scan after any write) for an
+    /// estimate that is cosmetic there.
+    stats: Option<Arc<TableStats>>,
+    est_rows: f64,
+}
+
+/// Plan a SELECT over resolved tables (`binding name -> table`). When a
+/// learned optimizer is supplied it chooses the join order for ≥ 3-table
+/// queries; otherwise `neurdb-qo`'s cost-based DP does.
+pub fn plan_select(
+    stmt: &SelectStmt,
+    tables: &[(String, Arc<Table>)],
+    mut learned: Option<&mut dyn Optimizer>,
+) -> Result<PlannedSelect, CoreError> {
+    if tables.is_empty() {
+        return Err(CoreError::Unsupported("SELECT without FROM".into()));
+    }
+
+    // 1. Scans with predicate pushdown and cardinality estimates. Column
+    //    statistics (which rebuild with a full scan after writes) are
+    //    fetched only when a join graph will consume them.
+    let need_stats = tables.len() >= 2;
+    let mut scans: Vec<ScanInfo> = Vec::with_capacity(tables.len());
+    for (binding, table) in tables {
+        let names = table.schema.names();
+        scans.push(ScanInfo {
+            binding: binding.clone(),
+            env: Bindings::for_table(binding, &names),
+            stats: if need_stats {
+                Some(table.stats()?)
+            } else {
+                // Cosmetic estimate only: take the cache if it is warm,
+                // never pay a rebuild (a full scan) for it.
+                table.cached_stats()
+            },
+            table: table.clone(),
+            predicates: Vec::new(),
+            est_rows: 0.0,
+        });
+    }
+    let all_conjuncts: Vec<Expr> = stmt.predicate.as_ref().map(conjuncts).unwrap_or_default();
+    let mut used = vec![false; all_conjuncts.len()];
+    for scan in &mut scans {
+        for (j, c) in all_conjuncts.iter().enumerate() {
+            if !used[j] && resolvable(c, &scan.env) {
+                used[j] = true;
+                scan.predicates.push(c.clone());
+            }
+        }
+        let mut sel = 1.0;
+        for p in &scan.predicates {
+            sel *= match &scan.stats {
+                Some(st) => conjunct_selectivity(p, &scan.env, st),
+                None => DEFAULT_SEL,
+            };
+        }
+        scan.est_rows = match &scan.stats {
+            Some(st) => st.row_count as f64 * sel,
+            // No stats cached: a page-count guess (O(1)) — never a page
+            // walk for an estimate that is display-only on this path.
+            None => scan.table.num_pages() as f64 * ROWS_PER_PAGE_GUESS * sel,
+        };
+    }
+    let n = scans.len();
+    // Join-tree masks (and qo's JoinGraph) are u32 bitsets.
+    if n > 32 {
+        return Err(CoreError::Unsupported(format!(
+            "FROM clause with {n} tables (max 32)"
+        )));
+    }
+
+    // 2. Join ordering through neurdb-qo.
+    let graph = (n >= 2).then(|| build_join_graph(&scans, &all_conjuncts, &used));
+    let from_order: Vec<usize> = (0..n).collect();
+    let (tree, join_order) = if (3..=16).contains(&n) {
+        let g = graph.as_ref().unwrap();
+        let (tree, source) = match learned.as_mut() {
+            Some(opt) => {
+                let name = opt.name().to_string();
+                (opt.choose_plan(g), format!("neurdb-qo/{name}"))
+            }
+            None => (dp_best_plan(g), "neurdb-qo/dp".to_string()),
+        };
+        // Defensive: an optimizer must cover every table exactly once;
+        // fall back to the FROM order if it misbehaves.
+        if tree.mask() == (1u32 << n) - 1 && tree.num_joins() == n - 1 {
+            (tree, Some(source))
+        } else {
+            (PlanTree::left_deep(&from_order), None)
+        }
+    } else {
+        (PlanTree::left_deep(&from_order), None)
+    };
+
+    // 3. Lower the join tree to physical operators.
+    let mut builder = JoinBuilder {
+        scans: &scans,
+        graph: graph.as_ref(),
+        conjuncts: &all_conjuncts,
+        used,
+    };
+    let built = builder.build(&tree);
+    let mut plan = built.plan;
+    let mut env = built.env;
+    let used = builder.used;
+
+    // Restore the FROM-clause column layout if the join order moved it.
+    if built.leaf_order != from_order {
+        let mut cur_off = vec![0usize; n];
+        let mut acc = 0;
+        for &r in &built.leaf_order {
+            cur_off[r] = acc;
+            acc += scans[r].env.arity();
+        }
+        let canonical = scans
+            .iter()
+            .fold(Bindings::default(), |e, s| e.join(&s.env));
+        let mut perm = Vec::with_capacity(canonical.arity());
+        for (i, s) in scans.iter().enumerate() {
+            for k in 0..s.env.arity() {
+                perm.push(cur_off[i] + k);
+            }
+        }
+        plan = PhysicalPlan::Reorder {
+            input: Box::new(plan),
+            perm,
+            env: canonical.clone(),
+        };
+        env = canonical;
+    }
+
+    // 4. Residual conjuncts must resolve over the full join output.
+    let mut residual = Vec::new();
+    for (j, c) in all_conjuncts.iter().enumerate() {
+        if !used[j] {
+            if !resolvable(c, &env) {
+                return Err(CoreError::Unsupported(format!(
+                    "predicate references unknown columns: {:?}",
+                    c.referenced_columns()
+                )));
+            }
+            residual.push(c.clone());
+        }
+    }
+    if !residual.is_empty() {
+        plan = PhysicalPlan::Filter {
+            input: Box::new(plan),
+            predicates: residual,
+            env: env.clone(),
+        };
+    }
+
+    // 5. Aggregate or project, then sort, then limit.
+    let has_agg = stmt
+        .items
+        .iter()
+        .any(|i| matches!(i, SelectItem::Expr { expr, .. } if contains_agg(expr)));
+    let columns = output_columns_for(&stmt.items, &env, has_agg || !stmt.group_by.is_empty());
+    plan = if has_agg || !stmt.group_by.is_empty() {
+        PhysicalPlan::HashAggregate {
+            input: Box::new(plan),
+            group_by: stmt.group_by.clone(),
+            items: stmt.items.clone(),
+            in_env: env.clone(),
+            columns: columns.clone(),
+        }
+    } else {
+        PhysicalPlan::Project {
+            input: Box::new(plan),
+            items: stmt.items.clone(),
+            in_env: env.clone(),
+            columns: columns.clone(),
+        }
+    };
+    if !stmt.order_by.is_empty() {
+        let out_env = Bindings {
+            cols: columns.iter().map(|c| (String::new(), c.clone())).collect(),
+        };
+        plan = PhysicalPlan::Sort {
+            input: Box::new(plan),
+            order_by: stmt.order_by.clone(),
+            out_env,
+            fallback_env: env.clone(),
+            proj_map: projection_map(&stmt.items, &env),
+        };
+    }
+    if let Some(limit) = stmt.limit {
+        plan = PhysicalPlan::Limit {
+            input: Box::new(plan),
+            n: limit,
+        };
+    }
+    Ok(PlannedSelect { plan, join_order })
+}
+
+fn contains_agg(e: &Expr) -> bool {
+    match e {
+        Expr::Agg { .. } => true,
+        Expr::Binary { left, right, .. } => contains_agg(left) || contains_agg(right),
+        Expr::Unary { expr, .. } => contains_agg(expr),
+        _ => false,
+    }
+}
+
+/// Where each source-layout position landed in the projected output
+/// (`None` if the projection dropped it). Lets ORDER BY keys written in
+/// source-table terms resolve against the projected rows — and lets the
+/// executor *reject* keys over columns the projection did not keep,
+/// instead of silently sorting by whatever occupies that index.
+fn projection_map(items: &[SelectItem], in_env: &Bindings) -> Vec<Option<usize>> {
+    let mut map = vec![None; in_env.arity()];
+    let mut out_pos = 0usize;
+    for item in items {
+        match item {
+            SelectItem::Wildcard => {
+                for slot in map.iter_mut() {
+                    if slot.is_none() {
+                        *slot = Some(out_pos);
+                    }
+                    out_pos += 1;
+                }
+            }
+            SelectItem::Expr { expr, .. } => {
+                let idx = match expr {
+                    Expr::Column(c) => in_env.resolve(c).ok(),
+                    Expr::Qualified(q, c) => in_env.resolve_qualified(q, c).ok(),
+                    _ => None,
+                };
+                if let Some(i) = idx {
+                    if map[i].is_none() {
+                        map[i] = Some(out_pos);
+                    }
+                }
+                out_pos += 1;
+            }
+        }
+    }
+    map
+}
+
+fn output_columns_for(items: &[SelectItem], env: &Bindings, aggregated: bool) -> Vec<String> {
+    let mut columns = Vec::new();
+    for (i, item) in items.iter().enumerate() {
+        match item {
+            SelectItem::Wildcard if !aggregated => {
+                columns.extend(env.cols.iter().map(|(_, c)| c.clone()));
+            }
+            _ => columns.push(item_name(item, i)),
+        }
+    }
+    columns
+}
+
+/// Build the optimizer's view of the query: per-table post-predicate
+/// cardinalities (live statistics, so `est == true`) and equi-join edges
+/// with classic `1/max(ndv)` selectivities.
+fn build_join_graph(scans: &[ScanInfo], all_conjuncts: &[Expr], used: &[bool]) -> JoinGraph {
+    let row_count = |s: &ScanInfo| s.stats.as_ref().map_or(0, |st| st.row_count);
+    let ndv = |s: &ScanInfo, col: usize| {
+        s.stats
+            .as_ref()
+            .and_then(|st| st.columns.get(col))
+            .map_or(1, |c| c.distinct)
+    };
+    let tables = scans
+        .iter()
+        .map(|s| {
+            let rows = s.est_rows.max(1.0);
+            TableInfo {
+                name: s.binding.clone(),
+                est_rows: rows,
+                true_rows: rows,
+                est_selectivity: if row_count(s) == 0 {
+                    1.0
+                } else {
+                    (s.est_rows / row_count(s) as f64).clamp(0.0, 1.0)
+                },
+            }
+        })
+        .collect();
+    let mut joins: Vec<JoinEdge> = Vec::new();
+    for (j, c) in all_conjuncts.iter().enumerate() {
+        if used[j] {
+            continue;
+        }
+        // One conjunct contributes at most one edge (the executor will
+        // consume it at exactly one join).
+        'pairs: for a in 0..scans.len() {
+            for b in a + 1..scans.len() {
+                if let Some((ka, kb)) = equi_join_key(c, &scans[a].env, &scans[b].env) {
+                    let sel = 1.0 / ndv(&scans[a], ka).max(ndv(&scans[b], kb)).max(1) as f64;
+                    match joins
+                        .iter_mut()
+                        .find(|e| (e.a, e.b) == (a, b) || (e.a, e.b) == (b, a))
+                    {
+                        // Multiple equi conjuncts on one pair compound.
+                        Some(edge) => {
+                            edge.est_sel *= sel;
+                            edge.true_sel *= sel;
+                        }
+                        None => joins.push(JoinEdge {
+                            a,
+                            b,
+                            est_sel: sel,
+                            true_sel: sel,
+                        }),
+                    }
+                    break 'pairs;
+                }
+            }
+        }
+    }
+    JoinGraph { tables, joins }
+}
+
+struct JoinBuilder<'a> {
+    scans: &'a [ScanInfo],
+    graph: Option<&'a JoinGraph>,
+    conjuncts: &'a [Expr],
+    used: Vec<bool>,
+}
+
+struct Built {
+    plan: PhysicalPlan,
+    env: Bindings,
+    leaf_order: Vec<usize>,
+    mask: u32,
+    est_rows: f64,
+}
+
+impl JoinBuilder<'_> {
+    fn build(&mut self, tree: &PlanTree) -> Built {
+        match tree {
+            PlanTree::Leaf(i) => {
+                let s = &self.scans[*i];
+                Built {
+                    plan: PhysicalPlan::SeqScan {
+                        table: s.table.clone(),
+                        binding: s.binding.clone(),
+                        predicates: s.predicates.clone(),
+                        env: s.env.clone(),
+                        est_rows: s.est_rows,
+                    },
+                    env: s.env.clone(),
+                    leaf_order: vec![*i],
+                    mask: 1u32 << *i,
+                    est_rows: s.est_rows,
+                }
+            }
+            PlanTree::Join(l, r) => {
+                let left = self.build(l);
+                let right = self.build(r);
+                let env = left.env.join(&right.env);
+                let mask = left.mask | right.mask;
+                let sel = self
+                    .graph
+                    .map_or(1.0, |g| g.cross_selectivity(left.mask, right.mask, false));
+                let est_rows = sel * left.est_rows * right.est_rows;
+                // Hash join when an unused equi conjunct bridges the sides.
+                let mut join_key = None;
+                for (j, c) in self.conjuncts.iter().enumerate() {
+                    if self.used[j] {
+                        continue;
+                    }
+                    if let Some(k) = equi_join_key(c, &left.env, &right.env) {
+                        join_key = Some((j, k, c.clone()));
+                        break;
+                    }
+                }
+                let mut plan = match join_key {
+                    Some((j, (lk, rk), cond)) => {
+                        self.used[j] = true;
+                        PhysicalPlan::HashJoin {
+                            left: Box::new(left.plan),
+                            right: Box::new(right.plan),
+                            left_key: lk,
+                            right_key: rk,
+                            cond,
+                            env: env.clone(),
+                            est_rows,
+                        }
+                    }
+                    None => PhysicalPlan::NestedLoopJoin {
+                        left: Box::new(left.plan),
+                        right: Box::new(right.plan),
+                        env: env.clone(),
+                        est_rows,
+                    },
+                };
+                // Conjuncts that become resolvable right after this join
+                // are applied immediately (smallest intermediate).
+                let mut newly = Vec::new();
+                for (j, c) in self.conjuncts.iter().enumerate() {
+                    if !self.used[j] && resolvable(c, &env) {
+                        self.used[j] = true;
+                        newly.push(c.clone());
+                    }
+                }
+                if !newly.is_empty() {
+                    plan = PhysicalPlan::Filter {
+                        input: Box::new(plan),
+                        predicates: newly,
+                        env: env.clone(),
+                    };
+                }
+                let mut leaf_order = left.leaf_order;
+                leaf_order.extend(right.leaf_order);
+                Built {
+                    plan,
+                    env,
+                    leaf_order,
+                    mask,
+                    est_rows,
+                }
+            }
+        }
+    }
+}
+
+// ------------------------------ EXPLAIN ------------------------------
+
+impl PhysicalPlan {
+    /// Output column names of this plan.
+    pub fn output_columns(&self) -> Vec<String> {
+        match self {
+            PhysicalPlan::Project { columns, .. } | PhysicalPlan::HashAggregate { columns, .. } => {
+                columns.clone()
+            }
+            PhysicalPlan::Sort { input, .. }
+            | PhysicalPlan::Limit { input, .. }
+            | PhysicalPlan::Filter { input, .. }
+            | PhysicalPlan::Reorder { input, .. } => input.output_columns(),
+            PhysicalPlan::SeqScan { env, .. }
+            | PhysicalPlan::HashJoin { env, .. }
+            | PhysicalPlan::NestedLoopJoin { env, .. } => {
+                env.cols.iter().map(|(_, c)| c.clone()).collect()
+            }
+        }
+    }
+
+    /// One-line operator label (shared by EXPLAIN and operator metrics).
+    pub fn label(&self) -> String {
+        match self {
+            PhysicalPlan::SeqScan {
+                table,
+                binding,
+                predicates,
+                est_rows,
+                ..
+            } => {
+                let name = if *binding == table.name {
+                    table.name.clone()
+                } else {
+                    format!("{} AS {}", table.name, binding)
+                };
+                let filter = if predicates.is_empty() {
+                    String::new()
+                } else {
+                    format!(" filter=[{}]", exprs_sql(predicates))
+                };
+                format!("SeqScan({name}){filter} (est={est_rows:.0} rows)")
+            }
+            PhysicalPlan::HashJoin { cond, est_rows, .. } => {
+                format!("HashJoin({}) (est={est_rows:.0} rows)", expr_sql(cond))
+            }
+            PhysicalPlan::NestedLoopJoin { est_rows, .. } => {
+                format!("NestedLoopJoin (est={est_rows:.0} rows)")
+            }
+            PhysicalPlan::Filter { predicates, .. } => {
+                format!("Filter({})", exprs_sql(predicates))
+            }
+            PhysicalPlan::Reorder { .. } => "Reorder(FROM-clause column order)".to_string(),
+            PhysicalPlan::HashAggregate { group_by, .. } => {
+                if group_by.is_empty() {
+                    "HashAggregate".to_string()
+                } else {
+                    format!("HashAggregate(group_by=[{}])", exprs_sql(group_by))
+                }
+            }
+            PhysicalPlan::Project { columns, .. } => {
+                format!("Project({})", columns.join(", "))
+            }
+            PhysicalPlan::Sort { order_by, .. } => {
+                let keys: Vec<String> = order_by
+                    .iter()
+                    .map(|(e, o)| {
+                        format!(
+                            "{}{}",
+                            expr_sql(e),
+                            match o {
+                                SortOrder::Asc => "",
+                                SortOrder::Desc => " DESC",
+                            }
+                        )
+                    })
+                    .collect();
+                format!("Sort({})", keys.join(", "))
+            }
+            PhysicalPlan::Limit { n, .. } => format!("Limit({n})"),
+        }
+    }
+
+    fn children(&self) -> Vec<&PhysicalPlan> {
+        match self {
+            PhysicalPlan::SeqScan { .. } => vec![],
+            PhysicalPlan::HashJoin { left, right, .. }
+            | PhysicalPlan::NestedLoopJoin { left, right, .. } => vec![left, right],
+            PhysicalPlan::Filter { input, .. }
+            | PhysicalPlan::Reorder { input, .. }
+            | PhysicalPlan::HashAggregate { input, .. }
+            | PhysicalPlan::Project { input, .. }
+            | PhysicalPlan::Sort { input, .. }
+            | PhysicalPlan::Limit { input, .. } => vec![input],
+        }
+    }
+
+    /// Render the plan as an indented tree. `metrics`, when given, is the
+    /// pre-order metrics vector from
+    /// [`crate::exec::execute_plan_instrumented`] — each line then gets
+    /// its operator's observed `rows`, `batches`, and inclusive time.
+    pub fn render(&self, metrics: Option<&[crate::exec::OpMetrics]>) -> Vec<String> {
+        let mut lines = Vec::new();
+        let mut next_id = 0usize;
+        self.render_into(&mut lines, &mut next_id, "", "", metrics);
+        lines
+    }
+
+    fn render_into(
+        &self,
+        lines: &mut Vec<String>,
+        next_id: &mut usize,
+        prefix: &str,
+        child_prefix: &str,
+        metrics: Option<&[crate::exec::OpMetrics]>,
+    ) {
+        let id = *next_id;
+        *next_id += 1;
+        let mut line = format!("{prefix}{}", self.label());
+        if let Some(ms) = metrics {
+            if let Some(m) = ms.get(id) {
+                line.push_str(&format!(
+                    " [rows={} batches={} time={:.3}ms]",
+                    m.rows_out,
+                    m.batches,
+                    m.nanos as f64 / 1e6
+                ));
+            }
+        }
+        lines.push(line);
+        let children = self.children();
+        let last = children.len().saturating_sub(1);
+        for (i, child) in children.into_iter().enumerate() {
+            let (branch, cont) = if i == last {
+                ("└─ ", "   ")
+            } else {
+                ("├─ ", "│  ")
+            };
+            child.render_into(
+                lines,
+                next_id,
+                &format!("{child_prefix}{branch}"),
+                &format!("{child_prefix}{cont}"),
+                metrics,
+            );
+        }
+    }
+}
+
+/// Render an expression back to SQL-ish text (for EXPLAIN output).
+pub(crate) fn expr_sql(e: &Expr) -> String {
+    match e {
+        Expr::Column(c) => c.clone(),
+        Expr::Qualified(q, c) => format!("{q}.{c}"),
+        Expr::Literal(l) => l.to_string(),
+        Expr::Binary { op, left, right } => {
+            format!("{} {op} {}", expr_sql(left), expr_sql(right))
+        }
+        Expr::Unary { op, expr } => match op {
+            UnaryOp::Not => format!("NOT {}", expr_sql(expr)),
+            UnaryOp::Neg => format!("-{}", expr_sql(expr)),
+        },
+        Expr::Agg { func, arg } => {
+            let inner = arg.as_ref().map_or("*".to_string(), |a| expr_sql(a));
+            format!("{func:?}({inner})").to_lowercase()
+        }
+    }
+}
+
+fn exprs_sql(es: &[Expr]) -> String {
+    es.iter().map(expr_sql).collect::<Vec<_>>().join(" AND ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neurdb_sql::{parse, Statement};
+    use neurdb_storage::{BufferPool, ColumnDef, DataType, DiskManager, Schema, Tuple};
+
+    fn table(name: &str, cols: &[(&str, DataType)], rows: Vec<Vec<Value>>) -> Arc<Table> {
+        let pool = Arc::new(BufferPool::new(Arc::new(DiskManager::new()), 256));
+        let schema = Schema::new(
+            cols.iter()
+                .map(|(n, t)| ColumnDef::new(*n, *t))
+                .collect::<Vec<_>>(),
+        );
+        let t = Arc::new(Table::new(name, schema, pool));
+        for r in rows {
+            t.insert(Tuple::new(r)).unwrap();
+        }
+        t
+    }
+
+    fn select(sql: &str) -> SelectStmt {
+        match parse(sql).unwrap() {
+            Statement::Select(s) => s,
+            other => panic!("{other:?}"),
+        }
+    }
+
+    fn three_tables() -> Vec<(String, Arc<Table>)> {
+        let a = table(
+            "a",
+            &[("id", DataType::Int), ("x", DataType::Int)],
+            (0..50)
+                .map(|i| vec![Value::Int(i), Value::Int(i % 5)])
+                .collect(),
+        );
+        let b = table(
+            "b",
+            &[("id", DataType::Int), ("aid", DataType::Int)],
+            (0..500)
+                .map(|i| vec![Value::Int(i), Value::Int(i % 50)])
+                .collect(),
+        );
+        let c = table(
+            "c",
+            &[("id", DataType::Int), ("bid", DataType::Int)],
+            (0..2000)
+                .map(|i| vec![Value::Int(i), Value::Int(i % 500)])
+                .collect(),
+        );
+        vec![
+            ("a".to_string(), a),
+            ("b".to_string(), b),
+            ("c".to_string(), c),
+        ]
+    }
+
+    #[test]
+    fn multi_join_routes_through_qo() {
+        let tables = three_tables();
+        let stmt = select("SELECT * FROM a, b, c WHERE a.id = b.aid AND b.id = c.bid");
+        let planned = plan_select(&stmt, &tables, None).unwrap();
+        assert_eq!(planned.join_order.as_deref(), Some("neurdb-qo/dp"));
+        // Two hash joins in the tree, no nested loops.
+        let rendered = planned.plan.render(None).join("\n");
+        assert_eq!(rendered.matches("HashJoin").count(), 2, "{rendered}");
+        assert!(!rendered.contains("NestedLoopJoin"), "{rendered}");
+    }
+
+    #[test]
+    fn single_table_has_no_join_order() {
+        let tables = vec![three_tables().remove(0)];
+        let stmt = select("SELECT x FROM a WHERE id > 10");
+        let planned = plan_select(&stmt, &tables, None).unwrap();
+        assert!(planned.join_order.is_none());
+        let rendered = planned.plan.render(None).join("\n");
+        assert!(rendered.contains("SeqScan(a)"), "{rendered}");
+        assert!(rendered.contains("filter=[id > 10]"), "{rendered}");
+    }
+
+    #[test]
+    fn pushdown_estimates_shrink_scans() {
+        let tables = three_tables();
+        let stmt = select("SELECT * FROM a, b, c WHERE a.id = b.aid AND b.id = c.bid AND c.id = 7");
+        let planned = plan_select(&stmt, &tables, None).unwrap();
+        let rendered = planned.plan.render(None).join("\n");
+        // The c scan estimate reflects the equality predicate (1 row).
+        assert!(
+            rendered.contains("filter=[c.id = 7] (est=1 rows)"),
+            "{rendered}"
+        );
+    }
+
+    #[test]
+    fn wildcard_column_order_is_from_clause_order() {
+        // Force a qo-chosen order that differs from FROM order by putting
+        // the huge table first in FROM.
+        let mut tables = three_tables();
+        tables.reverse(); // c, b, a
+        let stmt = select("SELECT * FROM c, b, a WHERE a.id = b.aid AND b.id = c.bid");
+        let planned = plan_select(&stmt, &tables, None).unwrap();
+        let cols = planned.plan.output_columns();
+        assert_eq!(cols, vec!["id", "bid", "id", "aid", "id", "x"]);
+    }
+
+    #[test]
+    fn unknown_column_in_predicate_errors() {
+        let tables = vec![three_tables().remove(0)];
+        let stmt = select("SELECT * FROM a WHERE nope = 1");
+        assert!(plan_select(&stmt, &tables, None).is_err());
+    }
+}

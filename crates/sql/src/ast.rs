@@ -276,6 +276,12 @@ pub enum Statement {
     },
     Select(SelectStmt),
     Predict(PredictStmt),
+    /// `EXPLAIN [ANALYZE] SELECT ...`: show the physical plan; with
+    /// ANALYZE, execute it and report per-operator row/time counters.
+    Explain {
+        analyze: bool,
+        stmt: Box<Statement>,
+    },
 }
 
 #[cfg(test)]

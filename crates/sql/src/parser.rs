@@ -129,6 +129,8 @@ impl Parser {
             Some(Token::Keyword(Keyword::Value)) => Ok("value".to_string()),
             Some(Token::Keyword(Keyword::Class)) => Ok("class".to_string()),
             Some(Token::Keyword(Keyword::Key)) => Ok("key".to_string()),
+            Some(Token::Keyword(Keyword::Explain)) => Ok("explain".to_string()),
+            Some(Token::Keyword(Keyword::Analyze)) => Ok("analyze".to_string()),
             other => Err(self.err(&format!(
                 "expected identifier, found {}",
                 other.map_or("<eof>".to_string(), |t| t.to_string())
@@ -145,8 +147,22 @@ impl Parser {
             Some(Token::Keyword(Keyword::Delete)) => self.delete(),
             Some(Token::Keyword(Keyword::Select)) => Ok(Statement::Select(self.select()?)),
             Some(Token::Keyword(Keyword::Predict)) => self.predict(),
+            Some(Token::Keyword(Keyword::Explain)) => self.explain(),
             _ => Err(self.err(&format!("expected statement, found {}", self.peek_str()))),
         }
+    }
+
+    fn explain(&mut self) -> PResult<Statement> {
+        self.expect_kw(Keyword::Explain)?;
+        let analyze = self.accept_kw(Keyword::Analyze);
+        let inner = self.statement()?;
+        if matches!(inner, Statement::Explain { .. }) {
+            return Err(self.err("EXPLAIN cannot be nested"));
+        }
+        Ok(Statement::Explain {
+            analyze,
+            stmt: Box::new(inner),
+        })
     }
 
     fn create(&mut self) -> PResult<Statement> {
@@ -618,7 +634,9 @@ impl Parser {
             Some(Token::Ident(_))
             | Some(Token::Keyword(Keyword::Value))
             | Some(Token::Keyword(Keyword::Class))
-            | Some(Token::Keyword(Keyword::Key)) => {
+            | Some(Token::Keyword(Keyword::Key))
+            | Some(Token::Keyword(Keyword::Explain))
+            | Some(Token::Keyword(Keyword::Analyze)) => {
                 let first = self.ident()?;
                 if self.accept(&Token::Dot) {
                     let second = self.ident()?;
@@ -841,9 +859,31 @@ mod tests {
     }
 
     #[test]
+    fn explain_variants() {
+        let e = parse("EXPLAIN SELECT * FROM t").unwrap();
+        match e {
+            Statement::Explain { analyze, stmt } => {
+                assert!(!analyze);
+                assert!(matches!(*stmt, Statement::Select(_)));
+            }
+            other => panic!("{other:?}"),
+        }
+        let e = parse("EXPLAIN ANALYZE SELECT a FROM t WHERE a > 1 ORDER BY a LIMIT 3").unwrap();
+        assert!(matches!(e, Statement::Explain { analyze: true, .. }));
+        // Nested EXPLAIN is rejected; bare EXPLAIN needs a statement.
+        assert!(parse("EXPLAIN EXPLAIN SELECT * FROM t").is_err());
+        assert!(parse("EXPLAIN").is_err());
+    }
+
+    #[test]
     fn keywordish_identifiers() {
         let stmt = parse("SELECT value, class FROM t").unwrap();
         let Statement::Select(s) = stmt else { panic!() };
         assert_eq!(s.items.len(), 2);
+        // EXPLAIN/ANALYZE stay usable as column/table names.
+        let stmt = parse("SELECT analyze, explain FROM t WHERE analyze > 1").unwrap();
+        let Statement::Select(s) = stmt else { panic!() };
+        assert_eq!(s.items.len(), 2);
+        assert!(parse("EXPLAIN SELECT analyze FROM t").is_ok());
     }
 }

@@ -52,6 +52,9 @@ pub enum Keyword {
     Of,
     Train,
     With,
+    // Plan inspection.
+    Explain,
+    Analyze,
 }
 
 impl Keyword {
@@ -103,6 +106,11 @@ impl Keyword {
             "OF" => Keyword::Of,
             "TRAIN" => Keyword::Train,
             "WITH" => Keyword::With,
+            "EXPLAIN" => Keyword::Explain,
+            // No ANALYSE alias: the parser re-materializes this keyword
+            // as the identifier "analyze" in name position, so an alias
+            // spelling would silently rename user columns.
+            "ANALYZE" => Keyword::Analyze,
             _ => return None,
         })
     }

@@ -124,6 +124,20 @@ impl HeapFile {
         Ok(out)
     }
 
+    /// Pull-based batched scan: yields batches of roughly `target_rows`
+    /// live tuples, decoding one page at a time. The page list is
+    /// snapshotted at creation (like [`HeapFile::scan`]); concurrent
+    /// inserts into new pages are not observed.
+    pub fn scan_batches(&self, target_rows: usize) -> HeapBatchScan {
+        HeapBatchScan {
+            pool: self.pool.clone(),
+            types: self.types.clone(),
+            pages: self.pages.read().clone(),
+            next_page: 0,
+            target_rows: target_rows.max(1),
+        }
+    }
+
     /// Count live tuples (scans pages; O(pages)).
     pub fn len(&self) -> StorageResult<usize> {
         let pages = self.pages.read().clone();
@@ -136,6 +150,45 @@ impl HeapFile {
 
     pub fn is_empty(&self) -> StorageResult<bool> {
         Ok(self.len()? == 0)
+    }
+}
+
+/// Cursor state of a batched heap scan (see [`HeapFile::scan_batches`]).
+/// Each [`HeapBatchScan::next_batch`] call borrows pages one at a time,
+/// so a long-running scan never pins more than one buffer-pool frame.
+pub struct HeapBatchScan {
+    pool: Arc<BufferPool>,
+    types: Vec<DataType>,
+    pages: Vec<PageId>,
+    next_page: usize,
+    target_rows: usize,
+}
+
+impl HeapBatchScan {
+    /// The next batch of live `(rid, tuple)` pairs (page-aligned: batches
+    /// hold whole pages until `target_rows` is reached), or `None` once
+    /// the heap is exhausted.
+    pub fn next_batch(&mut self) -> StorageResult<Option<Vec<(RecordId, Tuple)>>> {
+        let mut out = Vec::new();
+        while self.next_page < self.pages.len() && out.len() < self.target_rows {
+            let pid = self.pages[self.next_page];
+            self.next_page += 1;
+            let raw: Vec<(u16, Vec<u8>)> = self
+                .pool
+                .with_page(pid, |p| p.iter().map(|(s, d)| (s, d.to_vec())).collect())?;
+            out.reserve(raw.len());
+            for (slot, bytes) in raw {
+                out.push((
+                    RecordId::new(pid, slot),
+                    Tuple::decode(&bytes, &self.types)?,
+                ));
+            }
+        }
+        if out.is_empty() {
+            Ok(None)
+        } else {
+            Ok(Some(out))
+        }
     }
 }
 
@@ -195,6 +248,27 @@ mod tests {
         let rows = h.scan().unwrap();
         assert_eq!(rows.len(), 2);
         assert!(rows.iter().all(|(_, t)| t.get(0) != &Value::Int(0)));
+    }
+
+    #[test]
+    fn batched_scan_matches_full_scan() {
+        let h = heap();
+        for i in 0..2000 {
+            h.insert(&row(i)).unwrap();
+        }
+        let full = h.scan().unwrap();
+        let mut cursor = h.scan_batches(128);
+        let mut got = Vec::new();
+        let mut batches = 0;
+        while let Some(b) = cursor.next_batch().unwrap() {
+            assert!(!b.is_empty());
+            batches += 1;
+            got.extend(b);
+        }
+        assert!(batches > 1, "2000 rows at 128/batch must span batches");
+        assert_eq!(got, full);
+        // Empty heap yields None immediately.
+        assert!(heap().scan_batches(64).next_batch().unwrap().is_none());
     }
 
     #[test]

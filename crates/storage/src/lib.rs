@@ -38,7 +38,7 @@ pub use btree::BTreeIndex;
 pub use buffer::{BufferPool, BufferStats, DiskBackend, DiskManager};
 pub use catalog::{Catalog, ColumnDef, Schema, TableId, TableMeta};
 pub use error::{StorageError, StorageResult};
-pub use heap::HeapFile;
+pub use heap::{HeapBatchScan, HeapFile};
 pub use page::{Page, PageId, RecordId, PAGE_SIZE};
 pub use stats::{ColumnStats, Histogram, TableStats, DEFAULT_BUCKETS};
 pub use table::Table;

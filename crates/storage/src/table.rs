@@ -162,6 +162,14 @@ impl Table {
         self.heap.scan()
     }
 
+    /// Batched scan: a pull cursor yielding `Vec<(RecordId, Tuple)>`
+    /// batches of roughly `target_rows` live tuples. The executor's
+    /// SeqScan operator pulls from this instead of materializing the
+    /// whole table up front.
+    pub fn scan_batches(&self, target_rows: usize) -> crate::heap::HeapBatchScan {
+        self.heap.scan_batches(target_rows)
+    }
+
     /// Point lookup via a column index (falls back to a scan when absent).
     pub fn lookup(&self, col: usize, key: &Value) -> StorageResult<Vec<(RecordId, Tuple)>> {
         let rids = {
@@ -195,6 +203,13 @@ impl Table {
 
     fn invalidate_stats(&self) {
         *self.stats.write() = None;
+    }
+
+    /// The cached statistics, if still valid (no rebuild). Planners use
+    /// this on paths where an estimate is cosmetic and a post-write
+    /// rebuild (a full scan) would not pay for itself.
+    pub fn cached_stats(&self) -> Option<Arc<TableStats>> {
+        self.stats.read().clone()
     }
 
     /// Table statistics, recomputed lazily after mutations.

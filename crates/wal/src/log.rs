@@ -115,12 +115,18 @@ impl Inner {
 
     fn open_segment(&mut self, start: Lsn) -> StorageResult<()> {
         let path = Self::segment_path(&self.dir, start);
+        let existed = path.exists();
         let file = OpenOptions::new()
             .create(true)
             .append(true)
             .read(true)
             .open(&path)
             .map_err(io_err)?;
+        if !existed {
+            // A new segment's directory entry must itself be durable, or a
+            // crash can lose the whole file even after its data is fsynced.
+            sync_dir(&self.dir)?;
+        }
         let len = file.metadata().map_err(io_err)?.len();
         self.current = Some(Segment { file, len });
         Ok(())
@@ -195,6 +201,24 @@ fn io_err(e: std::io::Error) -> StorageError {
     StorageError::Codec(format!("wal io: {e}"))
 }
 
+/// Fsync a directory so file creations/renames/removals inside it are
+/// themselves durable (POSIX: the directory entry lives in the directory,
+/// not the file). Windows cannot open directories for fsync, so it is a
+/// no-op there; everywhere else a failure is a real durability error and
+/// propagates.
+#[cfg(not(windows))]
+pub(crate) fn sync_dir(dir: &Path) -> StorageResult<()> {
+    File::open(dir).and_then(|f| f.sync_all()).map_err(io_err)
+}
+
+#[cfg(windows)]
+pub(crate) fn sync_dir(_dir: &Path) -> StorageResult<()> {
+    Ok(())
+}
+
+/// Records scanned from the log during open: `(start_lsn, record)`.
+pub type ScannedRecords = Vec<(Lsn, WalRecord)>;
+
 /// The write-ahead log. Clone the surrounding [`Arc`] to share.
 pub struct Wal {
     inner: Mutex<Inner>,
@@ -209,13 +233,26 @@ impl Wal {
     /// record. A torn tail is truncated so appends start at a clean
     /// boundary.
     pub fn open(dir: impl Into<PathBuf>, opts: WalOptions) -> StorageResult<Arc<Wal>> {
+        Ok(Self::open_with_records(dir, opts, Lsn::MAX)?.0)
+    }
+
+    /// [`Wal::open`] that additionally returns, from the *same* single
+    /// walk over the segment files, every valid record whose start LSN is
+    /// `>= collect_from` — so recovery can replay the log without a
+    /// second scan. Pass `Lsn::MAX` to collect nothing.
+    pub fn open_with_records(
+        dir: impl Into<PathBuf>,
+        opts: WalOptions,
+        collect_from: Lsn,
+    ) -> StorageResult<(Arc<Wal>, ScannedRecords)> {
         let dir = dir.into();
         fs::create_dir_all(&dir).map_err(io_err)?;
-        // Find the end of the *contiguous valid* log — the same walk
-        // recovery scans — then truncate the segment holding that point
-        // and delete anything beyond, so new appends continue exactly
-        // where recovery stops.
+        // Find the end of the *contiguous valid* log — collecting replay
+        // records along the way — then truncate the segment holding that
+        // point and delete anything beyond, so new appends continue
+        // exactly where recovery stops.
         let segments = list_segments(&dir)?;
+        let mut records = Vec::new();
         let mut next_lsn = 0;
         let mut valid_in_seg: Option<Lsn> = None; // seg start holding the end
         for &(start, _) in &segments {
@@ -227,8 +264,11 @@ impl Wal {
             }
             valid_in_seg = Some(start);
             let frames = scan_segment_frames(&dir, start)?;
-            for (lsn, frame_len, _) in &frames {
+            for (lsn, frame_len, record) in frames {
                 next_lsn = lsn + frame_len;
+                if lsn >= collect_from {
+                    records.push((lsn, record));
+                }
             }
             let seg_len = fs::metadata(Inner::segment_path(&dir, start))
                 .map_err(io_err)?
@@ -247,11 +287,17 @@ impl Wal {
             if f.metadata().map_err(io_err)?.len() > next_lsn - end_seg {
                 f.set_len(next_lsn - end_seg).map_err(io_err)?;
             }
-            // Delete dead segments beyond the valid end.
+            // Delete dead segments beyond the valid end, and persist the
+            // removals so they cannot resurrect after a crash.
+            let mut removed = false;
             for &(start, ref path) in &segments {
                 if start > end_seg {
                     let _ = fs::remove_file(path);
+                    removed = true;
                 }
+            }
+            if removed {
+                sync_dir(&dir)?;
             }
         }
         let inner = Inner {
@@ -287,7 +333,7 @@ impl Wal {
             });
             *wal.flusher.lock().unwrap() = Some(handle);
         }
-        Ok(wal)
+        Ok((wal, records))
     }
 
     /// Append a record; returns its **end** LSN (pass to
@@ -396,12 +442,17 @@ impl Wal {
     pub fn truncate_before(&self, lsn: Lsn) -> StorageResult<()> {
         let inner = self.inner.lock().unwrap();
         let segments = list_segments(&inner.dir)?;
+        let mut removed = false;
         for window in segments.windows(2) {
             let (start, _) = window[0];
             let (next_start, _) = window[1];
             if next_start <= lsn {
                 let _ = fs::remove_file(Inner::segment_path(&inner.dir, start));
+                removed = true;
             }
+        }
+        if removed {
+            sync_dir(&inner.dir)?;
         }
         Ok(())
     }

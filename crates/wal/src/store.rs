@@ -198,8 +198,11 @@ impl DurableStore {
             tables.insert(tm.name.clone(), t);
         }
 
-        // 3. Redo committed records after the checkpoint.
-        let log = Wal::scan_from(&paths.wal_dir, ckpt_lsn)?;
+        // 3. Open the log and redo committed records after the checkpoint.
+        //    One walk over the segment files both finds the valid end of
+        //    the log (truncating any torn tail so appends continue there)
+        //    and collects the replay records — recovery no longer re-scans.
+        let (wal, log) = Wal::open_with_records(&paths.wal_dir, opts.wal, ckpt_lsn)?;
         let mut committed: HashSet<u64> = HashSet::new();
         committed.insert(SYSTEM_TXN);
         let mut max_txn = 0;
@@ -279,8 +282,7 @@ impl DurableStore {
             }
         }
 
-        // 4. Log continues after the valid tail.
-        let wal = Wal::open(&paths.wal_dir, opts.wal)?;
+        // 4. Log appends continue after the valid tail found above.
         let store = DurableStore {
             pool,
             tables: RwLock::new(tables),
@@ -553,6 +555,9 @@ impl DurableStore {
         sync_file(&tmp_meta)?;
         fs::rename(&tmp_meta, &paths.ckpt_meta)
             .map_err(|e| StorageError::Codec(format!("manifest publish: {e}")))?;
+        // The image/manifest renames are only durable once the directory
+        // entries are — fsync the directory before declaring success.
+        crate::log::sync_dir(&paths.dir)?;
 
         // Note: no CheckpointEnd record is appended — the manifest is the
         // authoritative anchor, and appending here would make the record

@@ -1,0 +1,77 @@
+//! Physical query plans end to end: load a small social schema, run a
+//! three-way join (join order chosen by `neurdb-qo`), and print
+//! `EXPLAIN` / `EXPLAIN ANALYZE` plan trees with per-operator counters.
+//!
+//! ```bash
+//! cargo run --release --example explain_plans
+//! ```
+
+use neurdb_core::Database;
+
+fn show(db: &Database, sql: &str) {
+    println!("\n> {sql}");
+    match db.execute(sql) {
+        Ok(out) => {
+            if let Some(rows) = out.rows() {
+                for row in &rows.rows {
+                    match row.get(0).as_str() {
+                        Some(line) => println!("{line}"),
+                        None => println!("{:?}", row.values),
+                    }
+                }
+            }
+        }
+        Err(e) => println!("error: {e}"),
+    }
+}
+
+fn main() {
+    let db = Database::new();
+    db.execute_script(
+        "CREATE TABLE users (id INT PRIMARY KEY, name TEXT, age INT); \
+         CREATE TABLE posts (pid INT PRIMARY KEY, owner INT, likes INT); \
+         CREATE TABLE comments (cid INT PRIMARY KEY, post INT);",
+    )
+    .unwrap();
+    for i in 0..200 {
+        db.execute(&format!(
+            "INSERT INTO users VALUES ({i}, 'user{i}', {})",
+            18 + i % 50
+        ))
+        .unwrap();
+    }
+    for i in 0..1000 {
+        db.execute(&format!(
+            "INSERT INTO posts VALUES ({i}, {}, {})",
+            i % 200,
+            i % 97
+        ))
+        .unwrap();
+    }
+    for i in 0..3000 {
+        db.execute(&format!("INSERT INTO comments VALUES ({i}, {})", i % 1000))
+            .unwrap();
+    }
+
+    show(&db, "EXPLAIN SELECT name FROM users WHERE age < 21");
+    show(
+        &db,
+        "EXPLAIN ANALYZE SELECT u.name, COUNT(*) AS comments \
+         FROM users u, posts p, comments c \
+         WHERE u.id = p.owner AND p.pid = c.post AND u.age < 21 \
+         GROUP BY u.name ORDER BY comments DESC LIMIT 5",
+    );
+
+    let out = db
+        .execute(
+            "SELECT u.name, COUNT(*) AS comments \
+             FROM users u, posts p, comments c \
+             WHERE u.id = p.owner AND p.pid = c.post AND u.age < 21 \
+             GROUP BY u.name ORDER BY comments DESC LIMIT 5",
+        )
+        .unwrap();
+    println!("\ntop commented (query result):");
+    for row in &out.rows().unwrap().rows {
+        println!("  {:?}", row.values);
+    }
+}

@@ -119,6 +119,25 @@ fn order_by_and_limit() {
 }
 
 #[test]
+fn order_by_source_name_of_projected_column() {
+    let db = db_with_users();
+    // `u.name` is projected under the output name "u.name"; ORDER BY by
+    // its source-table name still resolves through the projection map.
+    let out = db
+        .execute("SELECT users.age FROM users ORDER BY users.age DESC LIMIT 1")
+        .unwrap();
+    assert_eq!(out.rows().unwrap().rows[0].get(0), &Value::Int(41));
+}
+
+#[test]
+fn order_by_unprojected_column_errors() {
+    let db = db_with_users();
+    // "name" is not in the projection: sorting must error rather than
+    // silently sort by whatever value occupies that position.
+    assert!(db.execute("SELECT age FROM users ORDER BY name").is_err());
+}
+
+#[test]
 fn secondary_index_usable() {
     let db = db_with_users();
     db.execute("CREATE INDEX ON users (age)").unwrap();
@@ -191,6 +210,107 @@ fn stats_schema_loads_and_queries_parse() {
         db.execute(&q.sql)
             .unwrap_or_else(|e| panic!("q{} failed: {e}", q.id));
     }
+}
+
+fn plan_text(db: &Database, sql: &str) -> String {
+    let out = db.execute(sql).unwrap();
+    let rows = out.rows().unwrap();
+    assert_eq!(rows.columns, vec!["plan"]);
+    rows.rows
+        .iter()
+        .map(|r| r.get(0).as_str().unwrap().to_string())
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn explain_shows_plan_tree() {
+    let db = db_with_users();
+    let plan = plan_text(&db, "EXPLAIN SELECT name FROM users WHERE age = 25");
+    assert!(plan.contains("Project(name)"), "{plan}");
+    assert!(plan.contains("SeqScan(users)"), "{plan}");
+    assert!(plan.contains("filter=[age = 25]"), "{plan}");
+    // Plain EXPLAIN carries estimates but no runtime counters.
+    assert!(plan.contains("est="), "{plan}");
+    assert!(!plan.contains("rows="), "{plan}");
+}
+
+#[test]
+fn explain_analyze_three_way_join_reports_operator_rows() {
+    let db = db_with_users();
+    db.execute("CREATE TABLE posts (pid INT PRIMARY KEY, owner INT)")
+        .unwrap();
+    db.execute("CREATE TABLE comments (cid INT PRIMARY KEY, post INT)")
+        .unwrap();
+    db.execute("INSERT INTO posts VALUES (10, 1), (11, 2)")
+        .unwrap();
+    db.execute("INSERT INTO comments VALUES (100, 10), (101, 10), (102, 11)")
+        .unwrap();
+    let plan = plan_text(
+        &db,
+        "EXPLAIN ANALYZE SELECT u.name, c.cid FROM users u, posts p, comments c \
+         WHERE u.id = p.owner AND p.pid = c.post",
+    );
+    // ≥2 joins: the join order came from neurdb-qo.
+    assert!(plan.contains("join order: neurdb-qo/dp"), "{plan}");
+    assert_eq!(plan.matches("HashJoin").count(), 2, "{plan}");
+    // Per-operator runtime counters are attached to every plan line.
+    assert!(plan.contains("rows=3"), "{plan}");
+    assert!(plan.contains("batches="), "{plan}");
+    assert!(plan.contains("time="), "{plan}");
+    // The ANALYZE result matches the real execution's row count.
+    let out = db
+        .execute(
+            "SELECT u.name, c.cid FROM users u, posts p, comments c \
+             WHERE u.id = p.owner AND p.pid = c.post",
+        )
+        .unwrap();
+    assert_eq!(out.rows().unwrap().len(), 3);
+}
+
+#[test]
+fn explain_rejects_non_select() {
+    let db = db_with_users();
+    assert!(db
+        .execute("EXPLAIN INSERT INTO users VALUES (9, 'zed', 1)")
+        .is_err());
+}
+
+#[test]
+fn learned_optimizer_routes_join_ordering() {
+    use neurdb_qo::{NeurQo, PretrainConfig};
+    let db = db_with_users();
+    db.execute("CREATE TABLE posts (pid INT PRIMARY KEY, owner INT)")
+        .unwrap();
+    db.execute("CREATE TABLE comments (cid INT PRIMARY KEY, post INT)")
+        .unwrap();
+    db.execute("INSERT INTO posts VALUES (10, 1), (11, 2)")
+        .unwrap();
+    db.execute("INSERT INTO comments VALUES (100, 10), (101, 11)")
+        .unwrap();
+    let (nq, _) = NeurQo::pretrained(
+        PretrainConfig {
+            iters: 30,
+            tables: 3,
+            candidates: 4,
+        },
+        7,
+    );
+    db.set_join_optimizer(Box::new(nq));
+    let sql = "SELECT u.name, c.cid FROM users u, posts p, comments c \
+               WHERE u.id = p.owner AND p.pid = c.post";
+    let plan = plan_text(&db, &format!("EXPLAIN {sql}"));
+    assert!(plan.contains("join order: neurdb-qo/neurdb"), "{plan}");
+    // The learned plan returns the same result set as the DP baseline.
+    let learned: Vec<_> = db.execute(sql).unwrap().rows().unwrap().rows.clone();
+    db.clear_join_optimizer();
+    let baseline: Vec<_> = db.execute(sql).unwrap().rows().unwrap().rows.clone();
+    let key = |r: &neurdb_storage::Tuple| format!("{:?}", r.values);
+    let mut a: Vec<String> = learned.iter().map(key).collect();
+    let mut b: Vec<String> = baseline.iter().map(key).collect();
+    a.sort();
+    b.sort();
+    assert_eq!(a, b);
 }
 
 #[test]

@@ -1,0 +1,170 @@
+//! Property test: the planner + operator pipeline (logical → physical →
+//! batch operators, join order via `neurdb-qo`) returns result sets equal
+//! — up to declared ordering, i.e. as multisets — to a naive reference
+//! executor (cross product + filter) across randomized schemas,
+//! predicates, and 2–4-way joins.
+
+use neurdb_core::{eval_predicate, execute_plan, plan_select, Bindings};
+use neurdb_sql::{parse, SelectStmt, Statement};
+use neurdb_storage::{BufferPool, ColumnDef, DataType, DiskManager, Schema, Table, Tuple, Value};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn make_table(name: &str, rows: &[(i64, i64)]) -> Arc<Table> {
+    let pool = Arc::new(BufferPool::new(Arc::new(DiskManager::new()), 128));
+    let schema = Schema::new(vec![
+        ColumnDef::new("c0", DataType::Int),
+        ColumnDef::new("c1", DataType::Int),
+    ]);
+    let t = Arc::new(Table::new(name, schema, pool));
+    for &(a, b) in rows {
+        t.insert(Tuple::new(vec![Value::Int(a), Value::Int(b)]))
+            .unwrap();
+    }
+    t
+}
+
+/// Naive reference: cross-join all tables in FROM order, then filter
+/// with the full predicate.
+fn reference(stmt: &SelectStmt, tables: &[(String, Arc<Table>)]) -> Vec<Vec<Value>> {
+    let mut env = Bindings::default();
+    let mut rows: Vec<Vec<Value>> = vec![vec![]];
+    for (binding, t) in tables {
+        let names = t.schema.names();
+        env = env.join(&Bindings::for_table(binding, &names));
+        let trows = t.scan().unwrap();
+        let mut next = Vec::with_capacity(rows.len() * trows.len());
+        for r in &rows {
+            for (_, tr) in &trows {
+                let mut v = r.clone();
+                v.extend(tr.values.iter().cloned());
+                next.push(v);
+            }
+        }
+        rows = next;
+    }
+    rows.retain(|r| match &stmt.predicate {
+        Some(p) => eval_predicate(p, &Tuple::new(r.clone()), &env).unwrap(),
+        None => true,
+    });
+    rows
+}
+
+/// One randomized join query: per-table rows, a join edge from every
+/// table (after the first) to an earlier one, and optional extra range
+/// predicates.
+#[derive(Debug, Clone)]
+struct QueryCase {
+    tables: Vec<Vec<(i64, i64)>>,
+    /// `(parent_table, parent_col, child_col)` for tables `1..n`.
+    edges: Vec<(usize, usize, usize)>,
+    /// Optional `t{i}.c{col} <= k` per table.
+    extra: Vec<Option<(usize, i64)>>,
+}
+
+fn arb_case() -> impl Strategy<Value = QueryCase> {
+    (2usize..5)
+        .prop_flat_map(|n| {
+            let tables =
+                prop::collection::vec(prop::collection::vec((0i64..6, 0i64..6), 0..=10), n..=n);
+            let edges = prop::collection::vec((0usize..4, 0usize..2, 0usize..2), n - 1..=n - 1);
+            let extra = prop::collection::vec((any::<bool>(), 0usize..2, 0i64..6), n..=n);
+            (tables, edges, extra)
+        })
+        .prop_map(|(tables, mut edges, extra)| {
+            // Edge i connects table i+1 to a strictly earlier table.
+            for (i, e) in edges.iter_mut().enumerate() {
+                e.0 %= i + 1;
+            }
+            QueryCase {
+                tables,
+                edges,
+                extra: extra
+                    .into_iter()
+                    .map(|(some, c, k)| some.then_some((c, k)))
+                    .collect(),
+            }
+        })
+}
+
+fn case_sql(case: &QueryCase) -> String {
+    let n = case.tables.len();
+    let from: Vec<String> = (0..n).map(|i| format!("t{i}")).collect();
+    let mut conj = Vec::new();
+    for (i, &(parent, pc, cc)) in case.edges.iter().enumerate() {
+        conj.push(format!("t{parent}.c{pc} = t{}.c{cc}", i + 1));
+    }
+    for (i, e) in case.extra.iter().enumerate() {
+        if let Some((col, k)) = e {
+            conj.push(format!("t{i}.c{col} <= {k}"));
+        }
+    }
+    format!(
+        "SELECT * FROM {} WHERE {}",
+        from.join(", "),
+        conj.join(" AND ")
+    )
+}
+
+fn run_case(case: &QueryCase) {
+    let tables: Vec<(String, Arc<Table>)> = case
+        .tables
+        .iter()
+        .enumerate()
+        .map(|(i, rows)| {
+            let name = format!("t{i}");
+            (name.clone(), make_table(&name, rows))
+        })
+        .collect();
+    let sql = case_sql(case);
+    let Statement::Select(stmt) = parse(&sql).unwrap() else {
+        panic!("not a select: {sql}");
+    };
+    let expected = reference(&stmt, &tables);
+    let planned = plan_select(&stmt, &tables, None).unwrap();
+    let got = execute_plan(&planned.plan).unwrap();
+
+    // Same arity and multiset of rows (SELECT * must preserve the
+    // FROM-clause column layout regardless of the optimizer's join order).
+    let mut want: Vec<String> = expected.iter().map(|r| format!("{r:?}")).collect();
+    let mut have: Vec<String> = got.rows.iter().map(|r| format!("{:?}", r.values)).collect();
+    want.sort();
+    have.sort();
+    assert_eq!(want, have, "result mismatch for {sql}");
+
+    // And COUNT(*) through the aggregate operator agrees.
+    let count_sql = sql.replacen("SELECT *", "SELECT COUNT(*)", 1);
+    let Statement::Select(count_stmt) = parse(&count_sql).unwrap() else {
+        unreachable!()
+    };
+    let planned = plan_select(&count_stmt, &tables, None).unwrap();
+    let got = execute_plan(&planned.plan).unwrap();
+    assert_eq!(
+        got.rows[0].get(0),
+        &Value::Int(expected.len() as i64),
+        "count mismatch for {count_sql}"
+    );
+}
+
+proptest! {
+    #[test]
+    fn pipeline_matches_reference(case in arb_case()) {
+        run_case(&case);
+    }
+}
+
+#[test]
+fn regression_four_way_chain() {
+    // A deterministic 4-way chain join with selective predicates.
+    let case = QueryCase {
+        tables: vec![
+            (0..6).map(|i| (i, i % 3)).collect(),
+            (0..8).map(|i| (i % 4, i % 2)).collect(),
+            (0..10).map(|i| (i % 5, i % 3)).collect(),
+            (0..4).map(|i| (i, 5 - i)).collect(),
+        ],
+        edges: vec![(0, 0, 0), (1, 1, 1), (0, 1, 0)],
+        extra: vec![None, Some((0, 3)), None, Some((1, 4))],
+    };
+    run_case(&case);
+}
