@@ -100,5 +100,57 @@ fn bench_exec(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_exec);
+/// Morsel-driven parallel execution: the same scan+filter+aggregate
+/// workload at dop=1 vs dop=4 (`SET parallelism`). On a multi-core box
+/// the dop=4 numbers demonstrate the fan-out speedup; on any box they
+/// guard the parallel path (partitioned scans, Gather, partial-aggregate
+/// merge) against regressions.
+fn bench_parallel(c: &mut Criterion) {
+    const EVENTS: usize = 40_000;
+    let db = Database::new();
+    db.execute("CREATE TABLE events (eid INT PRIMARY KEY, kind INT, weight FLOAT)")
+        .unwrap();
+    // Chunked inserts keep single-statement parse time bounded.
+    for chunk in 0..(EVENTS / 4000) {
+        let mut stmt = String::from("INSERT INTO events VALUES ");
+        for i in (chunk * 4000)..((chunk + 1) * 4000) {
+            if i > chunk * 4000 {
+                stmt.push(',');
+            }
+            stmt.push_str(&format!("({i}, {}, {}.75)", i % 97, i % 31));
+        }
+        db.execute(&stmt).unwrap();
+    }
+
+    let mut g = c.benchmark_group("exec_parallel");
+    g.sample_size(10)
+        .measurement_time(Duration::from_millis(500));
+    g.throughput(Throughput::Elements(EVENTS as u64));
+
+    for dop in [1usize, 4] {
+        db.execute(&format!("SET parallelism = {dop}")).unwrap();
+        g.bench_function(format!("scan_filter_agg_dop{dop}"), |b| {
+            b.iter(|| {
+                black_box(
+                    db.execute(
+                        "SELECT kind, COUNT(*), SUM(weight), MAX(eid) FROM events \
+                         WHERE weight > 3 AND kind < 80 GROUP BY kind",
+                    )
+                    .unwrap(),
+                )
+            })
+        });
+        g.bench_function(format!("scan_filter_dop{dop}"), |b| {
+            b.iter(|| {
+                black_box(
+                    db.execute("SELECT eid FROM events WHERE kind = 13 AND weight > 10")
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_exec, bench_parallel);
 criterion_main!(benches);

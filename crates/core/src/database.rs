@@ -20,9 +20,9 @@ use crate::durability::{
     SnapshotBinding,
 };
 use crate::error::{CoreError, CoreResult};
-use crate::exec::{execute_plan, execute_plan_instrumented, QueryResult};
+use crate::exec::{execute_plan, execute_plan_instrumented, OpMetrics, QueryResult};
 use crate::expr::{eval, eval_predicate, literal_value, Bindings};
-use crate::planner::{plan_select, PlannedSelect};
+use crate::planner::{plan_select_with, PhysicalPlan, PlannedSelect, PlannerConfig};
 use neurdb_engine::streaming::{stream_from_source, Handshake, StreamParams};
 use neurdb_engine::{AiEngine, Mid, TrainOutcome};
 use neurdb_nn::{armnet_spec, ArmNetConfig, LossKind};
@@ -93,6 +93,8 @@ pub struct Database {
     /// cost-based DP; install a pre-trained model (e.g.
     /// [`neurdb_qo::NeurQo`]) via [`Database::set_join_optimizer`].
     join_optimizer: Mutex<Option<Box<dyn neurdb_qo::Optimizer + Send>>>,
+    /// Session planner knobs (`SET parallelism = N`).
+    planner_config: Mutex<PlannerConfig>,
     models: Arc<Mutex<HashMap<(String, String), CachedModel>>>,
     /// Streaming protocol defaults (paper: window 80, batch 4096).
     pub stream_params: StreamParams,
@@ -198,6 +200,7 @@ impl Database {
             store: Arc::new(store),
             ai: AiEngine::new(),
             join_optimizer: Mutex::new(None),
+            planner_config: Mutex::new(PlannerConfig::default()),
             models: Arc::new(Mutex::new(HashMap::new())),
             stream_params: StreamParams {
                 batch_size: 4096,
@@ -340,7 +343,43 @@ impl Database {
             }
             Statement::Predict(p) => self.predict(&p).map(Output::Prediction),
             Statement::Explain { analyze, stmt } => self.explain(*stmt, analyze).map(Output::Rows),
+            Statement::Set { name, value } => {
+                self.set_session(&name, &value)?;
+                Ok(Output::Affected(0))
+            }
         }
+    }
+
+    /// Apply a `SET name = value` session statement.
+    fn set_session(&self, name: &str, value: &neurdb_sql::Literal) -> CoreResult<()> {
+        match name.to_ascii_lowercase().as_str() {
+            "parallelism" => {
+                let n = match literal_value(value) {
+                    Value::Int(i) if (1..=256).contains(&i) => i as usize,
+                    other => {
+                        return Err(CoreError::Unsupported(format!(
+                            "SET parallelism expects an integer in 1..=256, got {other}"
+                        )))
+                    }
+                };
+                self.planner_config.lock().parallelism = n;
+                Ok(())
+            }
+            other => Err(CoreError::Unsupported(format!(
+                "unknown session setting '{other}'"
+            ))),
+        }
+    }
+
+    /// The session's maximum per-scan degree of parallelism.
+    pub fn parallelism(&self) -> usize {
+        self.planner_config.lock().parallelism
+    }
+
+    /// Set the session's maximum per-scan degree of parallelism
+    /// (equivalent to `SET parallelism = n`).
+    pub fn set_parallelism(&self, n: usize) {
+        self.planner_config.lock().parallelism = n.clamp(1, 256);
     }
 
     /// Plan a SELECT: resolve its tables, then lower it through the
@@ -351,6 +390,7 @@ impl Database {
         for tref in &s.from {
             resolved.push((tref.binding().to_string(), self.table(&tref.name)?));
         }
+        let config = self.planner_config.lock().clone();
         // Only hold the optimizer lock when a learned model will actually
         // be consulted (it is stateful); planning with the DP baseline —
         // the common case — must not serialize concurrent sessions.
@@ -367,10 +407,10 @@ impl Database {
                 let learned = opt
                     .as_mut()
                     .map(|b| &mut **b as &mut dyn neurdb_qo::Optimizer);
-                return plan_select(s, &resolved, learned);
+                return plan_select_with(s, &resolved, learned, &config);
             }
         }
-        plan_select(s, &resolved, None)
+        plan_select_with(s, &resolved, None, &config)
     }
 
     /// `EXPLAIN [ANALYZE] SELECT ...`: render the physical plan (and,
@@ -391,6 +431,10 @@ impl Database {
         match analyze {
             true => {
                 let (_, metrics) = execute_plan_instrumented(&planned.plan)?;
+                // Metered execution doubles as a training signal: feed
+                // the observed cardinalities back to the learned
+                // optimizer.
+                self.record_plan_feedback(&planned, &metrics);
                 lines.extend(planned.plan.render(Some(&metrics)));
             }
             false => lines.extend(planned.plan.render(None)),
@@ -402,6 +446,118 @@ impl Database {
                 .map(|l| Tuple::new(vec![Value::Text(l)]))
                 .collect(),
         })
+    }
+
+    /// Feed a metered execution back to the learned join optimizer: the
+    /// planner's join graph gets its `true_*` fields overwritten with the
+    /// cardinalities the operators actually observed (post-predicate rows
+    /// per scan, output rows per join), and the installed optimizer's
+    /// [`neurdb_qo::Optimizer::observe`] trains on the corrected graph.
+    /// Returns whether feedback was delivered (multi-table plan with an
+    /// installed optimizer).
+    pub fn record_plan_feedback(&self, planned: &PlannedSelect, metrics: &[OpMetrics]) -> bool {
+        let Some(graph) = &planned.graph else {
+            return false;
+        };
+        let mut observed = graph.clone();
+        let name_to_idx: HashMap<&str, usize> = observed
+            .tables
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.name.as_str(), i))
+            .collect();
+        // Walk the plan in pre-order (aligned with `metrics`) collecting
+        // observed output rows per scan binding and per join mask.
+        // `(mask, observed output rows)` per subtree; joins also record
+        // their two input sets and input cardinalities.
+        fn walk(
+            plan: &PhysicalPlan,
+            next: &mut usize,
+            metrics: &[OpMetrics],
+            names: &HashMap<&str, usize>,
+            scans: &mut Vec<(usize, u64)>,
+            joins: &mut Vec<(u32, u32, f64, u64)>,
+        ) -> (u32, u64) {
+            let id = *next;
+            *next += 1;
+            let rows = metrics.get(id).map_or(0, |m| m.rows_out);
+            match plan {
+                PhysicalPlan::SeqScan { binding, .. } | PhysicalPlan::IndexScan { binding, .. } => {
+                    match names.get(binding.as_str()) {
+                        Some(&i) => {
+                            scans.push((i, rows));
+                            (1u32 << i, rows)
+                        }
+                        None => (0, rows),
+                    }
+                }
+                PhysicalPlan::HashJoin { .. } | PhysicalPlan::NestedLoopJoin { .. } => {
+                    let children = plan.children();
+                    let (lmask, lrows) = walk(children[0], next, metrics, names, scans, joins);
+                    let (rmask, rrows) = walk(children[1], next, metrics, names, scans, joins);
+                    joins.push((lmask, rmask, lrows as f64 * rrows as f64, rows));
+                    (lmask | rmask, rows)
+                }
+                other => {
+                    let mut mask = 0;
+                    let mut inner_rows = rows;
+                    for child in other.children() {
+                        let (m, r) = walk(child, next, metrics, names, scans, joins);
+                        mask |= m;
+                        // Pass-through nodes (Reorder, Gather over a
+                        // scan) report the child cardinality when their
+                        // own slot saw nothing (e.g. unexecuted).
+                        if inner_rows == 0 {
+                            inner_rows = r;
+                        }
+                    }
+                    (mask, inner_rows)
+                }
+            }
+        }
+        let mut next = 0usize;
+        let mut scans = Vec::new();
+        let mut joins = Vec::new();
+        walk(
+            &planned.plan,
+            &mut next,
+            metrics,
+            &name_to_idx,
+            &mut scans,
+            &mut joins,
+        );
+        // A scan's observed rows under a Gather are counted by the scan
+        // operator itself (worker metrics fold into its slot), so one
+        // update per base table suffices.
+        for (i, rows) in scans {
+            observed.tables[i].true_rows = (rows as f64).max(1.0);
+        }
+        // Attribute each join's observed output to the single graph edge
+        // crossing its two input sets, when unambiguous; the denominator
+        // is the product of the *observed* input cardinalities.
+        for (lmask, rmask, in_cross, rows) in joins {
+            let crossing: Vec<usize> = observed
+                .joins
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| {
+                    let (ba, bb) = (1u32 << e.a, 1u32 << e.b);
+                    (lmask & ba != 0 && rmask & bb != 0) || (lmask & bb != 0 && rmask & ba != 0)
+                })
+                .map(|(j, _)| j)
+                .collect();
+            if let [j] = crossing[..] {
+                observed.joins[j].true_sel = (rows as f64 / in_cross.max(1.0)).clamp(1e-9, 1.0);
+            }
+        }
+        let mut opt = self.join_optimizer.lock();
+        match opt.as_mut() {
+            Some(o) => {
+                o.observe(&observed);
+                true
+            }
+            None => false,
+        }
     }
 
     /// Install a learned join-order optimizer (e.g. a pre-trained

@@ -1,25 +1,50 @@
-//! The pull-based SELECT executor: a tree of batch operators built from a
+//! The SELECT executor: a tree of batch operators built from a
 //! [`PhysicalPlan`] (see [`crate::planner`]). Each operator yields
 //! `Vec<Tuple>` batches via [`Operator::next_batch`]; scans pull straight
 //! from the storage layer's batched heap cursor
-//! ([`neurdb_storage::Table::scan_batches`]) so a query never materializes
-//! a base table it only streams over. Every operator is wrapped in a
-//! metering shell that counts rows/batches and inclusive wall time —
-//! `EXPLAIN ANALYZE` renders those counters next to each plan node.
+//! ([`neurdb_storage::Table::scan_batches`]) or a B-tree index cursor
+//! ([`neurdb_storage::Table::index_scan`]), so a query never materializes
+//! a base table it only streams over.
+//!
+//! **Vectorization** — predicate evaluation over scans and filters runs
+//! through compiled selection-vector kernels ([`crate::vector`]): simple
+//! comparisons become typed column loops, everything else falls back to
+//! row-at-a-time evaluation with identical semantics.
+//!
+//! **Parallelism** — a plan's `Gather` node ([`PhysicalPlan::Exchange`])
+//! is the morsel-driven execution boundary: it spawns one worker thread
+//! per degree of parallelism, hands each worker a page-range partition of
+//! the scanned heap ([`neurdb_storage::Table::scan_partitions`]), runs a
+//! private copy of the child fragment in every worker, and merges their
+//! output batches through a bounded channel. Everything above the Gather
+//! stays single-threaded, so stateful consumers (Sort, hash builds) never
+//! observe concurrency. Aggregations directly over a parallel scan are
+//! split into per-worker partial aggregates whose encoded states the
+//! Gather's consumer merges (two-phase parallel aggregation).
+//!
+//! Every operator is wrapped in a metering shell that counts rows/batches
+//! and inclusive wall time — `EXPLAIN ANALYZE` renders those counters
+//! next to each plan node, including per-worker row counts at a Gather.
 
 use crate::error::CoreError;
-use crate::expr::{eval, eval_predicate, Bindings};
+use crate::expr::{eval, Bindings};
 use crate::planner::{plan_select, PhysicalPlan};
+use crate::vector::PredicateSet;
+use crossbeam::channel;
 use neurdb_sql::{AggFunc, Expr, SelectItem, SelectStmt, SortOrder};
 use neurdb_storage::{HeapBatchScan, Table, Tuple, Value};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 use std::sync::Arc;
+use std::thread::JoinHandle;
 use std::time::Instant;
 
 /// Rows per scan batch (operators in between may grow or shrink batches).
 pub const BATCH_ROWS: usize = 1024;
+
+/// In-flight batches a Gather buffers per worker before back-pressure.
+const EXCHANGE_QUEUE_PER_WORKER: usize = 2;
 
 /// A query result: column headers plus rows.
 #[derive(Debug, Clone, PartialEq)]
@@ -54,8 +79,11 @@ pub struct OpMetrics {
     pub rows_out: u64,
     /// Non-empty batches emitted.
     pub batches: u64,
-    /// Inclusive wall time (includes children pulled from within).
+    /// Inclusive wall time (includes children pulled from within; for
+    /// operators inside a Gather fragment, summed across workers).
     pub nanos: u128,
+    /// Operator-specific annotation (e.g. a Gather's per-worker rows).
+    pub note: String,
 }
 
 /// Execute a SELECT against resolved tables (`binding name -> table`):
@@ -79,12 +107,17 @@ pub fn execute_plan_instrumented(
     plan: &PhysicalPlan,
 ) -> Result<(QueryResult, Vec<OpMetrics>), CoreError> {
     let sink: MetricsSink = Rc::new(RefCell::new(Vec::new()));
-    let mut root = build_operator(plan, &sink)?;
+    let mut root = build_operator(plan, &sink, &mut None, false)?;
     let mut rows = Vec::new();
-    while let Some(batch) = root.next_batch()? {
-        rows.extend(batch);
-    }
+    let result = loop {
+        match root.next_batch() {
+            Ok(Some(batch)) => rows.extend(batch),
+            Ok(None) => break Ok(()),
+            Err(e) => break Err(e),
+        }
+    };
     drop(root);
+    result?;
     let columns = plan.output_columns();
     let metrics = Rc::try_unwrap(sink)
         .expect("operators dropped")
@@ -126,10 +159,52 @@ impl Operator for Metered {
     }
 }
 
+/// Register metric slots for `plan` and its subtree in pre-order without
+/// building operators (a Gather's child fragments are built inside the
+/// worker threads against worker-local sinks). Returns the slot id of
+/// `plan` itself.
+fn register_slots(plan: &PhysicalPlan, sink: &MetricsSink) -> usize {
+    let id = {
+        let mut s = sink.borrow_mut();
+        s.push(OpMetrics {
+            op: plan.label(),
+            ..OpMetrics::default()
+        });
+        s.len() - 1
+    };
+    for child in plan.children() {
+        register_slots(child, sink);
+    }
+    id
+}
+
+/// Number of plan nodes in the subtree rooted at `plan`.
+fn plan_size(plan: &PhysicalPlan) -> usize {
+    1 + plan.children().iter().map(|c| plan_size(c)).sum::<usize>()
+}
+
+/// The table of the (single) sequential scan leaf inside a Gather
+/// fragment — the planner's invariant is exactly one scan per fragment.
+fn fragment_scan_table(plan: &PhysicalPlan) -> Option<&Arc<Table>> {
+    match plan {
+        PhysicalPlan::SeqScan { table, .. } => Some(table),
+        other => other.children().into_iter().find_map(fragment_scan_table),
+    }
+}
+
 /// Build the operator tree for `plan`, registering one [`OpMetrics`] slot
 /// per node in pre-order (parent before children, children left-to-right)
 /// so metrics align with [`PhysicalPlan::render`].
-fn build_operator(plan: &PhysicalPlan, sink: &MetricsSink) -> Result<Box<dyn Operator>, CoreError> {
+///
+/// `partition` carries a worker's scan cursor when building a Gather
+/// fragment (`in_worker`): the fragment's scan leaf consumes it instead
+/// of opening a full-table cursor.
+fn build_operator(
+    plan: &PhysicalPlan,
+    sink: &MetricsSink,
+    partition: &mut Option<HeapBatchScan>,
+    in_worker: bool,
+) -> Result<Box<dyn Operator>, CoreError> {
     let id = {
         let mut s = sink.borrow_mut();
         s.push(OpMetrics {
@@ -144,10 +219,66 @@ fn build_operator(plan: &PhysicalPlan, sink: &MetricsSink) -> Result<Box<dyn Ope
             predicates,
             env,
             ..
-        } => Box::new(SeqScanOp {
-            cursor: table.scan_batches(BATCH_ROWS),
-            predicates: predicates.clone(),
-            env: env.clone(),
+        } => {
+            let cursor = match partition.take() {
+                Some(part) => part,
+                None => table.scan_batches(BATCH_ROWS),
+            };
+            Box::new(SeqScanOp {
+                cursor,
+                predicates: PredicateSet::compile(predicates, env),
+            })
+        }
+        PhysicalPlan::IndexScan {
+            table,
+            col,
+            lo,
+            hi,
+            predicates,
+            env,
+            ..
+        } => {
+            let compiled = PredicateSet::compile(predicates, env);
+            match table.index_scan(*col, lo.as_ref(), hi.as_ref()) {
+                Some(cursor) => Box::new(IndexScanOp {
+                    table: table.clone(),
+                    cursor,
+                    predicates: compiled,
+                }),
+                // Index dropped between planning and execution: the
+                // sequential sweep with the same residual predicates is
+                // exactly equivalent.
+                None => Box::new(SeqScanOp {
+                    cursor: table.scan_batches(BATCH_ROWS),
+                    predicates: compiled,
+                }),
+            }
+        }
+        PhysicalPlan::Exchange { input, dop, .. } => {
+            if in_worker {
+                return Err(CoreError::Unsupported(
+                    "nested Exchange inside a parallel fragment".to_string(),
+                ));
+            }
+            let child_base = register_slots(input, sink);
+            let child_len = plan_size(input);
+            Box::new(ExchangeOp::spawn(
+                input,
+                *dop,
+                id,
+                (child_base, child_len),
+                sink.clone(),
+            )?)
+        }
+        PhysicalPlan::PartialHashAggregate {
+            input,
+            group_by,
+            aggs,
+            in_env,
+        } => Box::new(PartialHashAggregateOp {
+            input: build_operator(input, sink, partition, in_worker)?,
+            spec: AggSpec::new(group_by.clone(), aggs.clone(), in_env.clone()),
+            done: false,
         }),
         PhysicalPlan::HashJoin {
             left,
@@ -156,15 +287,15 @@ fn build_operator(plan: &PhysicalPlan, sink: &MetricsSink) -> Result<Box<dyn Ope
             right_key,
             ..
         } => Box::new(HashJoinOp {
-            left: build_operator(left, sink)?,
-            right: Some(build_operator(right, sink)?),
+            left: build_operator(left, sink, partition, in_worker)?,
+            right: Some(build_operator(right, sink, partition, in_worker)?),
             left_key: *left_key,
             right_key: *right_key,
             table: HashMap::new(),
         }),
         PhysicalPlan::NestedLoopJoin { left, right, .. } => Box::new(NestedLoopJoinOp {
-            left: build_operator(left, sink)?,
-            right: Some(build_operator(right, sink)?),
+            left: build_operator(left, sink, partition, in_worker)?,
+            right: Some(build_operator(right, sink, partition, in_worker)?),
             right_rows: Vec::new(),
         }),
         PhysicalPlan::Filter {
@@ -172,12 +303,11 @@ fn build_operator(plan: &PhysicalPlan, sink: &MetricsSink) -> Result<Box<dyn Ope
             predicates,
             env,
         } => Box::new(FilterOp {
-            input: build_operator(input, sink)?,
-            predicates: predicates.clone(),
-            env: env.clone(),
+            input: build_operator(input, sink, partition, in_worker)?,
+            predicates: PredicateSet::compile(predicates, env),
         }),
         PhysicalPlan::Reorder { input, perm, .. } => Box::new(ReorderOp {
-            input: build_operator(input, sink)?,
+            input: build_operator(input, sink, partition, in_worker)?,
             perm: perm.clone(),
         }),
         PhysicalPlan::HashAggregate {
@@ -185,40 +315,46 @@ fn build_operator(plan: &PhysicalPlan, sink: &MetricsSink) -> Result<Box<dyn Ope
             group_by,
             items,
             in_env,
+            from_partials,
             ..
-        } => Box::new(HashAggregateOp {
-            input: build_operator(input, sink)?,
-            group_by: group_by.clone(),
-            items: items.clone(),
-            env: in_env.clone(),
-            done: false,
-        }),
+        } => {
+            let mut aggs = Vec::new();
+            for item in items {
+                if let SelectItem::Expr { expr, .. } = item {
+                    collect_aggs(expr, &mut aggs);
+                }
+            }
+            Box::new(HashAggregateOp {
+                input: build_operator(input, sink, partition, in_worker)?,
+                spec: AggSpec::new(group_by.clone(), aggs, in_env.clone()),
+                items: items.clone(),
+                from_partials: *from_partials,
+                done: false,
+            })
+        }
         PhysicalPlan::Project {
             input,
             items,
             in_env,
             ..
         } => Box::new(ProjectOp {
-            input: build_operator(input, sink)?,
+            input: build_operator(input, sink, partition, in_worker)?,
             items: items.clone(),
             env: in_env.clone(),
         }),
         PhysicalPlan::Sort {
             input,
-            order_by,
-            out_env,
-            fallback_env,
-            proj_map,
+            keys,
+            visible,
+            ..
         } => Box::new(SortOp {
-            input: build_operator(input, sink)?,
-            order_by: order_by.clone(),
-            out_env: out_env.clone(),
-            fallback_env: fallback_env.clone(),
-            proj_map: proj_map.clone(),
+            input: build_operator(input, sink, partition, in_worker)?,
+            keys: keys.clone(),
+            visible: *visible,
             done: false,
         }),
         PhysicalPlan::Limit { input, n } => Box::new(LimitOp {
-            input: build_operator(input, sink)?,
+            input: build_operator(input, sink, partition, in_worker)?,
             remaining: *n as usize,
         }),
     };
@@ -229,10 +365,11 @@ fn build_operator(plan: &PhysicalPlan, sink: &MetricsSink) -> Result<Box<dyn Ope
     }))
 }
 
+// ------------------------------- scans -------------------------------
+
 struct SeqScanOp {
     cursor: HeapBatchScan,
-    predicates: Vec<Expr>,
-    env: Bindings,
+    predicates: PredicateSet,
 }
 
 impl Operator for SeqScanOp {
@@ -241,15 +378,8 @@ impl Operator for SeqScanOp {
             let Some(raw) = self.cursor.next_batch()? else {
                 return Ok(None);
             };
-            let mut out = Vec::with_capacity(raw.len());
-            'rows: for (_, row) in raw {
-                for p in &self.predicates {
-                    if !eval_predicate(p, &row, &self.env)? {
-                        continue 'rows;
-                    }
-                }
-                out.push(row);
-            }
+            let rows: Vec<Tuple> = raw.into_iter().map(|(_, t)| t).collect();
+            let out = self.predicates.filter_rows(rows)?;
             if !out.is_empty() {
                 return Ok(Some(out));
             }
@@ -257,10 +387,167 @@ impl Operator for SeqScanOp {
     }
 }
 
+struct IndexScanOp {
+    table: Arc<Table>,
+    cursor: neurdb_storage::TableIndexScan,
+    predicates: PredicateSet,
+}
+
+impl Operator for IndexScanOp {
+    fn next_batch(&mut self) -> Result<Option<Batch>, CoreError> {
+        loop {
+            let Some(raw) = self.table.index_scan_next(&mut self.cursor, BATCH_ROWS)? else {
+                return Ok(None);
+            };
+            let rows: Vec<Tuple> = raw.into_iter().map(|(_, t)| t).collect();
+            let out = self.predicates.filter_rows(rows)?;
+            if !out.is_empty() {
+                return Ok(Some(out));
+            }
+        }
+    }
+}
+
+// ------------------------------ exchange ------------------------------
+
+/// What a finished Gather worker reports back: its id, the metrics of
+/// its private fragment (pre-order, aligned with the fragment plan), and
+/// the error that stopped it, if any.
+type WorkerReport = (usize, Vec<OpMetrics>, Option<CoreError>);
+
+/// Gather: merges the batch streams of `dop` fragment workers. See the
+/// module docs for the threading model.
+struct ExchangeOp {
+    rx: Option<channel::Receiver<(usize, Batch)>>,
+    reports: channel::Receiver<WorkerReport>,
+    handles: Vec<JoinHandle<()>>,
+    worker_rows: Vec<u64>,
+    /// Own metric slot and the `(base, len)` slot range of the child
+    /// fragment in the main sink.
+    id: usize,
+    child_slots: (usize, usize),
+    sink: MetricsSink,
+    finished: bool,
+}
+
+impl ExchangeOp {
+    fn spawn(
+        fragment: &PhysicalPlan,
+        dop: usize,
+        id: usize,
+        child_slots: (usize, usize),
+        sink: MetricsSink,
+    ) -> Result<ExchangeOp, CoreError> {
+        let dop = dop.max(1);
+        let table = fragment_scan_table(fragment).ok_or_else(|| {
+            CoreError::Unsupported("Exchange fragment without a scan leaf".to_string())
+        })?;
+        let partitions = table.scan_partitions(dop, BATCH_ROWS);
+        let (tx, rx) = channel::bounded(dop * EXCHANGE_QUEUE_PER_WORKER);
+        let (report_tx, reports) = channel::unbounded();
+        let mut handles = Vec::with_capacity(dop);
+        for (w, cursor) in partitions.into_iter().enumerate() {
+            let plan = fragment.clone();
+            let tx = tx.clone();
+            let report_tx = report_tx.clone();
+            handles.push(std::thread::spawn(move || {
+                let local: MetricsSink = Rc::new(RefCell::new(Vec::new()));
+                let result = (|| {
+                    let mut root = build_operator(&plan, &local, &mut Some(cursor), true)?;
+                    while let Some(batch) = root.next_batch()? {
+                        if tx.send((w, batch)).is_err() {
+                            break; // consumer gone (e.g. LIMIT satisfied)
+                        }
+                    }
+                    Ok(())
+                })();
+                let metrics = Rc::try_unwrap(local)
+                    .expect("fragment operators dropped")
+                    .into_inner();
+                let _ = report_tx.send((w, metrics, result.err()));
+            }));
+        }
+        Ok(ExchangeOp {
+            rx: Some(rx),
+            reports,
+            handles,
+            worker_rows: vec![0; dop],
+            id,
+            child_slots,
+            sink,
+            finished: false,
+        })
+    }
+
+    /// Join the workers, fold their fragment metrics into the main sink,
+    /// and surface the first worker error.
+    fn shutdown(&mut self) -> Option<CoreError> {
+        if self.finished {
+            return None;
+        }
+        self.finished = true;
+        // Dropping the receiver unblocks any worker stuck on a full
+        // queue: its send fails and it exits.
+        self.rx = None;
+        let mut first_err = None;
+        for h in self.handles.drain(..) {
+            if h.join().is_err() && first_err.is_none() {
+                first_err = Some(CoreError::Unsupported(
+                    "parallel scan worker panicked".to_string(),
+                ));
+            }
+        }
+        let (base, len) = self.child_slots;
+        let mut sink = self.sink.borrow_mut();
+        while let Ok((_, metrics, err)) = self.reports.try_recv() {
+            for (i, m) in metrics.into_iter().enumerate().take(len) {
+                let slot = &mut sink[base + i];
+                slot.rows_out += m.rows_out;
+                slot.batches += m.batches;
+                slot.nanos += m.nanos;
+            }
+            if first_err.is_none() {
+                first_err = err;
+            }
+        }
+        sink[self.id].note = format!("workers={:?}", self.worker_rows);
+        first_err
+    }
+}
+
+impl Operator for ExchangeOp {
+    fn next_batch(&mut self) -> Result<Option<Batch>, CoreError> {
+        if self.finished {
+            return Ok(None);
+        }
+        let rx = self.rx.as_ref().expect("receiver alive until shutdown");
+        match rx.recv() {
+            Ok((w, batch)) => {
+                self.worker_rows[w] += batch.len() as u64;
+                Ok(Some(batch))
+            }
+            // All workers hung up: fold metrics, propagate any error.
+            Err(_) => match self.shutdown() {
+                Some(e) => Err(e),
+                None => Ok(None),
+            },
+        }
+    }
+}
+
+impl Drop for ExchangeOp {
+    fn drop(&mut self) {
+        // Early teardown (LIMIT, consumer error): still join the workers
+        // and keep whatever metrics they managed to record.
+        let _ = self.shutdown();
+    }
+}
+
+// ---------------------------- filter / misc ---------------------------
+
 struct FilterOp {
     input: Box<dyn Operator>,
-    predicates: Vec<Expr>,
-    env: Bindings,
+    predicates: PredicateSet,
 }
 
 impl Operator for FilterOp {
@@ -269,15 +556,7 @@ impl Operator for FilterOp {
             let Some(batch) = self.input.next_batch()? else {
                 return Ok(None);
             };
-            let mut out = Vec::with_capacity(batch.len());
-            'rows: for row in batch {
-                for p in &self.predicates {
-                    if !eval_predicate(p, &row, &self.env)? {
-                        continue 'rows;
-                    }
-                }
-                out.push(row);
-            }
+            let out = self.predicates.filter_rows(batch)?;
             if !out.is_empty() {
                 return Ok(Some(out));
             }
@@ -415,11 +694,222 @@ impl Operator for ProjectOp {
     }
 }
 
+// ---------------------------- aggregation -----------------------------
+
+/// How one aggregate call reads its argument per row.
+#[derive(Debug, Clone)]
+enum AggArg {
+    /// `COUNT(*)`.
+    Star,
+    /// A plain column: resolved once, read by index in a column loop.
+    Col(usize),
+    /// A general expression: row-at-a-time evaluation.
+    Expr(Expr),
+}
+
+/// The shared shape of an aggregation: group keys + aggregate calls,
+/// with column-resolved fast paths precomputed.
+struct AggSpec {
+    group_by: Vec<Expr>,
+    /// All group keys are plain columns: extract keys by index.
+    group_cols: Option<Vec<usize>>,
+    aggs: Vec<(AggFunc, AggArg)>,
+    env: Bindings,
+}
+
+impl AggSpec {
+    fn new(group_by: Vec<Expr>, aggs: Vec<(AggFunc, Option<Expr>)>, env: Bindings) -> AggSpec {
+        let as_col = |e: &Expr| -> Option<usize> {
+            match e {
+                Expr::Column(c) => env.resolve(c).ok(),
+                Expr::Qualified(q, c) => env.resolve_qualified(q, c).ok(),
+                _ => None,
+            }
+        };
+        let group_cols = group_by.iter().map(&as_col).collect::<Option<Vec<_>>>();
+        let aggs = aggs
+            .into_iter()
+            .map(|(f, arg)| {
+                let arg = match arg {
+                    None => AggArg::Star,
+                    Some(e) => match as_col(&e) {
+                        Some(i) => AggArg::Col(i),
+                        None => AggArg::Expr(e),
+                    },
+                };
+                (f, arg)
+            })
+            .collect();
+        AggSpec {
+            group_by,
+            group_cols,
+            aggs,
+            env,
+        }
+    }
+
+    fn key(&self, row: &Tuple) -> Result<Vec<Value>, CoreError> {
+        match &self.group_cols {
+            Some(cols) => Ok(cols.iter().map(|&i| row.values[i].clone()).collect()),
+            None => self
+                .group_by
+                .iter()
+                .map(|e| eval(e, row, &self.env).map_err(CoreError::from))
+                .collect(),
+        }
+    }
+
+    /// Values per encoded partial-state row: the sample row, the group
+    /// key, then four state fields per aggregate (see
+    /// [`AggState::encode_into`]).
+    fn state_row_arity(&self) -> usize {
+        self.env.arity() + self.group_by.len() + 4 * self.aggs.len()
+    }
+}
+
+/// Accumulated groups, in first-seen order.
+#[derive(Default)]
+struct AggTable {
+    groups: HashMap<Vec<Value>, (Tuple, Vec<AggState>)>,
+    order: Vec<Vec<Value>>,
+}
+
+impl AggTable {
+    fn entry(&mut self, spec: &AggSpec, key: Vec<Value>, sample: &Tuple) -> &mut Vec<AggState> {
+        let AggTable { groups, order } = self;
+        let entry = groups.entry(key).or_insert_with_key(|k| {
+            order.push(k.clone());
+            (
+                sample.clone(),
+                spec.aggs.iter().map(|(f, _)| AggState::new(*f)).collect(),
+            )
+        });
+        &mut entry.1
+    }
+
+    /// Accumulate a batch of raw rows. No GROUP BY runs the aggregate
+    /// kernels as per-aggregate column loops over the whole batch;
+    /// grouped input falls back to per-row accumulation after the
+    /// (column-resolved) key extraction.
+    fn update_batch(&mut self, spec: &AggSpec, batch: &[Tuple]) -> Result<(), CoreError> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        if spec.group_by.is_empty() {
+            let states = self.entry(spec, Vec::new(), &batch[0]);
+            // Split borrows: states is the only live borrow of self.
+            for (i, (_, arg)) in spec.aggs.iter().enumerate() {
+                match arg {
+                    AggArg::Star => states[i].count += batch.len() as u64,
+                    AggArg::Col(c) => {
+                        for row in batch {
+                            states[i].update_value(&row.values[*c]);
+                        }
+                    }
+                    AggArg::Expr(e) => {
+                        for row in batch {
+                            let v = eval(e, row, &spec.env)?;
+                            states[i].update_value(&v);
+                        }
+                    }
+                }
+            }
+            return Ok(());
+        }
+        for row in batch {
+            let key = spec.key(row)?;
+            let states = self.entry(spec, key, row);
+            for (i, (_, arg)) in spec.aggs.iter().enumerate() {
+                match arg {
+                    AggArg::Star => states[i].count += 1,
+                    AggArg::Col(c) => states[i].update_value(&row.values[*c]),
+                    AggArg::Expr(e) => {
+                        let v = eval(e, row, &spec.env)?;
+                        states[i].update_value(&v);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Merge a batch of encoded partial-state rows (from
+    /// [`AggTable::into_state_rows`] on a worker).
+    fn merge_state_rows(&mut self, spec: &AggSpec, batch: &[Tuple]) -> Result<(), CoreError> {
+        let arity = spec.env.arity();
+        let k = spec.group_by.len();
+        for row in batch {
+            if row.arity() != spec.state_row_arity() {
+                return Err(CoreError::Unsupported(
+                    "malformed partial aggregate state row".to_string(),
+                ));
+            }
+            let sample = Tuple::new(row.values[..arity].to_vec());
+            let key: Vec<Value> = row.values[arity..arity + k].to_vec();
+            let states = self.entry(spec, key, &sample);
+            for (i, state) in states.iter_mut().enumerate() {
+                state.merge_encoded(&row.values[arity + k + 4 * i..arity + k + 4 * (i + 1)]);
+            }
+        }
+        Ok(())
+    }
+
+    /// Encode every group as one state row: `sample ++ key ++ states`.
+    fn into_state_rows(mut self, spec: &AggSpec) -> Vec<Tuple> {
+        let mut out = Vec::with_capacity(self.order.len());
+        for key in &self.order {
+            let (sample, states) = self.groups.remove(key).expect("group in order");
+            let mut vals = Vec::with_capacity(spec.state_row_arity());
+            vals.extend(sample.values);
+            vals.extend(key.iter().cloned());
+            for s in &states {
+                s.encode_into(&mut vals);
+            }
+            out.push(Tuple::new(vals));
+        }
+        out
+    }
+
+    /// Emit final rows: substitute aggregate results into the projection
+    /// expressions. An empty input with no GROUP BY still yields one
+    /// all-aggregate row.
+    fn finish(mut self, spec: &AggSpec, items: &[SelectItem]) -> Result<Vec<Tuple>, CoreError> {
+        if self.groups.is_empty() && spec.group_by.is_empty() {
+            let key: Vec<Value> = vec![];
+            self.order.push(key.clone());
+            self.groups.insert(
+                key,
+                (
+                    Tuple::new(vec![Value::Null; spec.env.arity()]),
+                    spec.aggs.iter().map(|(f, _)| AggState::new(*f)).collect(),
+                ),
+            );
+        }
+        let mut rows = Vec::with_capacity(self.order.len());
+        for key in &self.order {
+            let (sample, states) = &self.groups[key];
+            let mut agg_iter = states.iter();
+            let mut vals = Vec::with_capacity(items.len());
+            for item in items {
+                let SelectItem::Expr { expr, .. } = item else {
+                    return Err(CoreError::Unsupported(
+                        "wildcard with aggregates".to_string(),
+                    ));
+                };
+                vals.push(eval_with_aggs(expr, sample, &spec.env, &mut agg_iter)?);
+            }
+            rows.push(Tuple::new(vals));
+        }
+        Ok(rows)
+    }
+}
+
+/// Final-phase aggregation: raw rows, or partial states under a Gather.
 struct HashAggregateOp {
     input: Box<dyn Operator>,
-    group_by: Vec<Expr>,
+    spec: AggSpec,
     items: Vec<SelectItem>,
-    env: Bindings,
+    from_partials: bool,
     done: bool,
 }
 
@@ -429,70 +919,15 @@ impl Operator for HashAggregateOp {
             return Ok(None);
         }
         self.done = true;
-        // Collect the aggregate calls appearing in the projection.
-        let mut agg_exprs: Vec<(AggFunc, Option<Expr>)> = Vec::new();
-        for item in &self.items {
-            if let SelectItem::Expr { expr, .. } = item {
-                collect_aggs(expr, &mut agg_exprs);
-            }
-        }
-        // Group rows, streaming batch by batch.
-        type GroupKey = Vec<Value>;
-        let mut groups: HashMap<GroupKey, (Tuple, Vec<AggState>)> = HashMap::new();
-        let mut order: Vec<GroupKey> = Vec::new();
+        let mut table = AggTable::default();
         while let Some(batch) = self.input.next_batch()? {
-            for row in &batch {
-                let key: GroupKey = self
-                    .group_by
-                    .iter()
-                    .map(|e| eval(e, row, &self.env))
-                    .collect::<Result<_, _>>()?;
-                let entry = groups.entry(key.clone()).or_insert_with(|| {
-                    order.push(key.clone());
-                    (
-                        row.clone(),
-                        agg_exprs.iter().map(|(f, _)| AggState::new(*f)).collect(),
-                    )
-                });
-                for ((_, arg), state) in agg_exprs.iter().zip(entry.1.iter_mut()) {
-                    match arg {
-                        None => state.update(None),
-                        Some(e) => {
-                            let v = eval(e, row, &self.env)?;
-                            state.update(Some(&v));
-                        }
-                    }
-                }
+            if self.from_partials {
+                table.merge_state_rows(&self.spec, &batch)?;
+            } else {
+                table.update_batch(&self.spec, &batch)?;
             }
         }
-        // Empty input with no GROUP BY still yields one all-aggregate row.
-        if groups.is_empty() && self.group_by.is_empty() {
-            let key: GroupKey = vec![];
-            order.push(key.clone());
-            groups.insert(
-                key,
-                (
-                    Tuple::new(vec![Value::Null; self.env.arity()]),
-                    agg_exprs.iter().map(|(f, _)| AggState::new(*f)).collect(),
-                ),
-            );
-        }
-        // Emit: substitute aggregate results into projection expressions.
-        let mut rows = Vec::with_capacity(order.len());
-        for key in order {
-            let (sample, states) = &groups[&key];
-            let mut agg_iter = states.iter();
-            let mut vals = Vec::with_capacity(self.items.len());
-            for item in &self.items {
-                let SelectItem::Expr { expr, .. } = item else {
-                    return Err(CoreError::Unsupported(
-                        "wildcard with aggregates".to_string(),
-                    ));
-                };
-                vals.push(eval_with_aggs(expr, sample, &self.env, &mut agg_iter)?);
-            }
-            rows.push(Tuple::new(vals));
-        }
+        let rows = table.finish(&self.spec, &self.items)?;
         if rows.is_empty() {
             Ok(None)
         } else {
@@ -501,54 +936,43 @@ impl Operator for HashAggregateOp {
     }
 }
 
-struct SortOp {
+/// Worker-side aggregation inside a Gather fragment: drains its morsel
+/// stream into an [`AggTable`] and emits the encoded states as a single
+/// batch (one row per group).
+struct PartialHashAggregateOp {
     input: Box<dyn Operator>,
-    order_by: Vec<(Expr, SortOrder)>,
-    /// Environment over the projected output columns.
-    out_env: Bindings,
-    /// Pre-projection environment: sort keys the projection kept may
-    /// still be referenced by their source-table names.
-    fallback_env: Bindings,
-    /// Source position → projected output position (see the planner's
-    /// `projection_map`).
-    proj_map: Vec<Option<usize>>,
+    spec: AggSpec,
     done: bool,
 }
 
-impl SortOp {
-    /// Evaluate a sort key against the projected row: output columns
-    /// first, then source-table names translated through `proj_map`. A
-    /// key over a column the projection dropped is an error — never a
-    /// silent sort by whatever value occupies that index.
-    fn key(&self, e: &Expr, row: &Tuple) -> Result<Value, CoreError> {
-        match eval(e, row, &self.out_env) {
-            Ok(v) => Ok(v),
-            Err(out_err) => {
-                let kept = e.referenced_columns().iter().all(|c| {
-                    let idx = if let Some((q, n)) = c.split_once('.') {
-                        self.fallback_env.resolve_qualified(q, n).ok()
-                    } else {
-                        self.fallback_env.resolve(c).ok()
-                    };
-                    idx.is_some_and(|i| self.proj_map.get(i).copied().flatten().is_some())
-                });
-                if !kept {
-                    return Err(out_err.into());
-                }
-                // Rebuild the referenced slice of the source layout from
-                // the projected values, then evaluate there.
-                let mut vals = vec![Value::Null; self.fallback_env.arity()];
-                for (src, out) in self.proj_map.iter().enumerate() {
-                    if let Some(o) = out {
-                        if let Some(v) = row.values.get(*o) {
-                            vals[src] = v.clone();
-                        }
-                    }
-                }
-                Ok(eval(e, &Tuple::new(vals), &self.fallback_env)?)
-            }
+impl Operator for PartialHashAggregateOp {
+    fn next_batch(&mut self) -> Result<Option<Batch>, CoreError> {
+        if self.done {
+            return Ok(None);
+        }
+        self.done = true;
+        let mut table = AggTable::default();
+        while let Some(batch) = self.input.next_batch()? {
+            table.update_batch(&self.spec, &batch)?;
+        }
+        let rows = table.into_state_rows(&self.spec);
+        if rows.is_empty() {
+            Ok(None)
+        } else {
+            Ok(Some(rows))
         }
     }
+}
+
+// -------------------------------- sort --------------------------------
+
+/// Sort by input column positions; hidden sort-key columns (appended by
+/// the planner past `visible`) are stripped from every row afterwards.
+struct SortOp {
+    input: Box<dyn Operator>,
+    keys: Vec<(usize, SortOrder)>,
+    visible: usize,
+    done: bool,
 }
 
 impl Operator for SortOp {
@@ -557,23 +981,16 @@ impl Operator for SortOp {
             return Ok(None);
         }
         self.done = true;
-        let mut keyed: Vec<(Vec<Value>, Tuple)> = Vec::new();
+        let mut rows: Vec<Tuple> = Vec::new();
         while let Some(batch) = self.input.next_batch()? {
-            keyed.reserve(batch.len());
-            for row in batch {
-                let mut keys = Vec::with_capacity(self.order_by.len());
-                for (e, _) in &self.order_by {
-                    keys.push(self.key(e, &row)?);
-                }
-                keyed.push((keys, row));
-            }
+            rows.extend(batch);
         }
-        if keyed.is_empty() {
+        if rows.is_empty() {
             return Ok(None);
         }
-        keyed.sort_by(|a, b| {
-            for (i, (_, ord)) in self.order_by.iter().enumerate() {
-                let c = a.0[i].total_cmp(&b.0[i]);
+        rows.sort_by(|a, b| {
+            for (pos, ord) in &self.keys {
+                let c = a.values[*pos].total_cmp(&b.values[*pos]);
                 let c = match ord {
                     SortOrder::Asc => c,
                     SortOrder::Desc => c.reverse(),
@@ -584,7 +1001,12 @@ impl Operator for SortOp {
             }
             std::cmp::Ordering::Equal
         });
-        Ok(Some(keyed.into_iter().map(|(_, r)| r).collect()))
+        if rows.first().is_some_and(|r| r.arity() > self.visible) {
+            for r in &mut rows {
+                r.values.truncate(self.visible);
+            }
+        }
+        Ok(Some(rows))
     }
 }
 
@@ -611,7 +1033,10 @@ impl Operator for LimitOp {
 
 // ---------------------------- aggregates -----------------------------
 
-fn collect_aggs(e: &Expr, out: &mut Vec<(AggFunc, Option<Expr>)>) {
+/// Collect aggregate calls appearing in a projection expression, in
+/// traversal order (shared with the planner's partial-aggregate
+/// lowering).
+pub(crate) fn collect_aggs(e: &Expr, out: &mut Vec<(AggFunc, Option<Expr>)>) {
     match e {
         Expr::Agg { func, arg } => out.push((*func, arg.as_deref().cloned())),
         Expr::Binary { left, right, .. } => {
@@ -623,7 +1048,9 @@ fn collect_aggs(e: &Expr, out: &mut Vec<(AggFunc, Option<Expr>)>) {
     }
 }
 
-/// Accumulator for one aggregate call.
+/// Accumulator for one aggregate call. The four fields are the complete
+/// state of every supported aggregate, which is what makes per-worker
+/// partial aggregation mergeable: `count`/`sum` add, `min`/`max` fold.
 #[derive(Debug, Clone)]
 struct AggState {
     func: AggFunc,
@@ -644,22 +1071,44 @@ impl AggState {
         }
     }
 
-    fn update(&mut self, v: Option<&Value>) {
-        match v {
-            None => self.count += 1, // COUNT(*)
-            Some(v) if !v.is_null() => {
-                self.count += 1;
-                if let Some(f) = v.as_f64() {
-                    self.sum += f;
-                }
-                if self.min.as_ref().is_none_or(|m| v < m) {
-                    self.min = Some(v.clone());
-                }
-                if self.max.as_ref().is_none_or(|m| v > m) {
-                    self.max = Some(v.clone());
-                }
-            }
-            _ => {}
+    #[inline]
+    fn update_value(&mut self, v: &Value) {
+        if v.is_null() {
+            return;
+        }
+        self.count += 1;
+        if let Some(f) = v.as_f64() {
+            self.sum += f;
+        }
+        if self.min.as_ref().is_none_or(|m| v < m) {
+            self.min = Some(v.clone());
+        }
+        if self.max.as_ref().is_none_or(|m| v > m) {
+            self.max = Some(v.clone());
+        }
+    }
+
+    /// Append the encoded state: `[count, sum, min, max]` (absent
+    /// min/max encode as NULL — aggregates ignore NULLs, so the encoding
+    /// is unambiguous).
+    fn encode_into(&self, out: &mut Vec<Value>) {
+        out.push(Value::Int(self.count as i64));
+        out.push(Value::Float(self.sum));
+        out.push(self.min.clone().unwrap_or(Value::Null));
+        out.push(self.max.clone().unwrap_or(Value::Null));
+    }
+
+    /// Merge an encoded `[count, sum, min, max]` slice into this state.
+    fn merge_encoded(&mut self, enc: &[Value]) {
+        self.count += enc[0].as_i64().unwrap_or(0) as u64;
+        if let Some(s) = enc[1].as_f64() {
+            self.sum += s;
+        }
+        if !enc[2].is_null() && self.min.as_ref().is_none_or(|m| &enc[2] < m) {
+            self.min = Some(enc[2].clone());
+        }
+        if !enc[3].is_null() && self.max.as_ref().is_none_or(|m| &enc[3] > m) {
+            self.max = Some(enc[3].clone());
         }
     }
 

@@ -32,6 +32,7 @@ pub mod error;
 pub mod exec;
 pub mod expr;
 pub mod planner;
+pub mod vector;
 
 pub use analytics::{extract_examples, make_batches, value_to_field, Standardizer};
 pub use compare::{
@@ -45,4 +46,5 @@ pub use exec::{
     execute_plan, execute_plan_instrumented, execute_select, OpMetrics, QueryResult, BATCH_ROWS,
 };
 pub use expr::{eval, eval_predicate, Bindings, EvalError};
-pub use planner::{plan_select, PhysicalPlan, PlannedSelect};
+pub use planner::{plan_select, plan_select_with, PhysicalPlan, PlannedSelect, PlannerConfig};
+pub use vector::PredicateSet;

@@ -23,25 +23,78 @@
 //!    output is independent of the plan shape.
 
 use crate::error::CoreError;
-use crate::exec::item_name;
-use crate::expr::{literal_value, Bindings};
+use crate::exec::{collect_aggs, item_name};
+use crate::expr::{literal_value, Bindings, EvalError};
 use neurdb_qo::{dp_best_plan, JoinEdge, JoinGraph, Optimizer, PlanTree, TableInfo};
-use neurdb_sql::{BinaryOp, Expr, SelectItem, SelectStmt, SortOrder, UnaryOp};
+use neurdb_sql::{AggFunc, BinaryOp, Expr, SelectItem, SelectStmt, SortOrder, UnaryOp};
 use neurdb_storage::{Table, TableStats, Value};
 use std::sync::Arc;
+
+/// Session knobs the planner consults (see `SET parallelism`).
+#[derive(Debug, Clone)]
+pub struct PlannerConfig {
+    /// Maximum degree of parallelism per scan. `1` (the default) keeps
+    /// every operator single-threaded; higher values let the planner fan
+    /// large scans out to morsel workers behind a Gather exchange.
+    pub parallelism: usize,
+}
+
+impl Default for PlannerConfig {
+    fn default() -> Self {
+        PlannerConfig { parallelism: 1 }
+    }
+}
 
 /// A physical plan node. Every node knows its output binding environment
 /// (`env`) — the `(qualifier, column)` layout of the tuples it yields.
 #[derive(Clone)]
 pub enum PhysicalPlan {
     /// Sequential scan over a table's heap with pushed-down predicates,
-    /// pulled in batches via `Table::scan_batches`.
+    /// pulled in batches via `Table::scan_batches`. With `dop > 1` the
+    /// scan runs under an [`PhysicalPlan::Exchange`]: each worker drains
+    /// one page-range partition (`Table::scan_partitions`).
     SeqScan {
         table: Arc<Table>,
         binding: String,
         predicates: Vec<Expr>,
         env: Bindings,
         est_rows: f64,
+        dop: usize,
+    },
+    /// B-tree index scan: a range/point cursor over `col`'s index narrows
+    /// the heap to matching rids; `predicates` (every pushed-down
+    /// conjunct, including the ones the bounds came from) re-filter the
+    /// fetched rows, so inclusive index bounds stay exact for strict
+    /// comparisons.
+    IndexScan {
+        table: Arc<Table>,
+        binding: String,
+        col: usize,
+        col_name: String,
+        lo: Option<Value>,
+        hi: Option<Value>,
+        predicates: Vec<Expr>,
+        env: Bindings,
+        est_rows: f64,
+    },
+    /// Parallelism boundary (Gather): `dop` workers each execute a copy
+    /// of the child fragment over their own scan partition and stream
+    /// batches into a bounded channel; the parent pulls the merged
+    /// stream single-threaded, so stateful consumers (Sort, hash builds)
+    /// never see concurrency.
+    Exchange {
+        input: Box<PhysicalPlan>,
+        dop: usize,
+        env: Bindings,
+    },
+    /// Per-worker partial aggregation below an Exchange: emits encoded
+    /// aggregate *states* (one row per group), which the parent
+    /// [`PhysicalPlan::HashAggregate`] (with `from_partials`) merges.
+    PartialHashAggregate {
+        input: Box<PhysicalPlan>,
+        group_by: Vec<Expr>,
+        aggs: Vec<(AggFunc, Option<Expr>)>,
+        in_env: Bindings,
     },
     /// Build a hash table on the right input keyed on `right_key`, probe
     /// with the left input on `left_key`.
@@ -76,13 +129,17 @@ pub enum PhysicalPlan {
         env: Bindings,
     },
     /// Grouped aggregation (also handles the no-GROUP-BY all-aggregate
-    /// case, which yields exactly one row).
+    /// case, which yields exactly one row). With `from_partials` the
+    /// input rows are encoded per-worker aggregate states (from
+    /// [`PhysicalPlan::PartialHashAggregate`]) to merge rather than raw
+    /// rows to accumulate.
     HashAggregate {
         input: Box<PhysicalPlan>,
         group_by: Vec<Expr>,
         items: Vec<SelectItem>,
         in_env: Bindings,
         columns: Vec<String>,
+        from_partials: bool,
     },
     /// Scalar projection.
     Project {
@@ -91,17 +148,20 @@ pub enum PhysicalPlan {
         in_env: Bindings,
         columns: Vec<String>,
     },
-    /// Sort the (already projected) result rows. Keys resolve against the
-    /// output columns first, falling back to pre-projection names for
-    /// source columns the projection kept (`proj_map` records where each
-    /// source position landed in the output, if anywhere).
+    /// Sort the projected rows by input column *positions*. Sort keys
+    /// over columns the visible projection does not carry are planned as
+    /// *hidden* projection columns (positions `>= visible`) and stripped
+    /// from each row after sorting — standard SQL `ORDER BY
+    /// unprojected_column` semantics without any re-evaluation of key
+    /// expressions inside the operator.
     Sort {
         input: Box<PhysicalPlan>,
-        order_by: Vec<(Expr, SortOrder)>,
-        out_env: Bindings,
-        fallback_env: Bindings,
-        /// Source position → output position, `None` if not projected.
-        proj_map: Vec<Option<usize>>,
+        /// `(input position, order)` per key.
+        keys: Vec<(usize, SortOrder)>,
+        /// Output arity; hidden sort-key columns beyond it are stripped.
+        visible: usize,
+        /// Full input column names (visible then hidden), for display.
+        columns: Vec<String>,
     },
     /// Keep the first `n` rows.
     Limit { input: Box<PhysicalPlan>, n: u64 },
@@ -113,6 +173,11 @@ pub struct PlannedSelect {
     /// Which `neurdb-qo` component chose the join order (set for queries
     /// with ≥ 2 joins): `"neurdb-qo/dp"` or `"neurdb-qo/<model name>"`.
     pub join_order: Option<String>,
+    /// The optimizer's view of the query (built for multi-table
+    /// queries): [`crate::database::Database::record_plan_feedback`]
+    /// overwrites its `true_*` fields with observed cardinalities after a
+    /// metered execution and feeds it back to the learned optimizer.
+    pub graph: Option<JoinGraph>,
 }
 
 // ------------------------- conjunct analysis -------------------------
@@ -184,11 +249,15 @@ const DEFAULT_SEL: f64 = 0.33;
 /// only when no statistics are cached and none are needed for planning).
 const ROWS_PER_PAGE_GUESS: f64 = 64.0;
 
-/// Estimated selectivity of one pushed-down conjunct against a single
-/// table, using its live column statistics.
-fn conjunct_selectivity(c: &Expr, env: &Bindings, stats: &TableStats) -> f64 {
+/// Normalize a conjunct to `col <op> value` form (flipping the operator
+/// when the literal sits on the left) — the shape the selectivity
+/// estimator, the index chooser, and the predicate-kernel compiler
+/// ([`crate::vector`]) all consume. NULL literals yield `None`: a
+/// comparison with NULL is never true, which callers must not paper over
+/// with kind-rank ordering.
+pub(crate) fn normalize_cmp(c: &Expr, env: &Bindings) -> Option<(usize, BinaryOp, Value)> {
     let Expr::Binary { op, left, right } = c else {
-        return DEFAULT_SEL;
+        return None;
     };
     let col_idx = |e: &Expr| -> Option<usize> {
         match e {
@@ -214,10 +283,8 @@ fn conjunct_selectivity(c: &Expr, env: &Bindings, stats: &TableStats) -> f64 {
             _ => None,
         }
     };
-    // Normalize to `col op value`, mirroring the operator when the
-    // literal is on the left.
-    let (idx, val, op) = match (col_idx(left), lit(right)) {
-        (Some(i), Some(v)) => (i, v, *op),
+    let normalized = match (col_idx(left), lit(right)) {
+        (Some(i), Some(v)) => Some((i, *op, v)),
         _ => match (col_idx(right), lit(left)) {
             (Some(i), Some(v)) => {
                 let flipped = match op {
@@ -227,10 +294,22 @@ fn conjunct_selectivity(c: &Expr, env: &Bindings, stats: &TableStats) -> f64 {
                     BinaryOp::Gte => BinaryOp::Lte,
                     other => *other,
                 };
-                (i, v, flipped)
+                Some((i, flipped, v))
             }
-            _ => return DEFAULT_SEL,
+            _ => None,
         },
+    };
+    match normalized {
+        Some((_, _, v)) if v.is_null() => None,
+        other => other,
+    }
+}
+
+/// Estimated selectivity of one pushed-down conjunct against a single
+/// table, using its live column statistics.
+fn conjunct_selectivity(c: &Expr, env: &Bindings, stats: &TableStats) -> f64 {
+    let Some((idx, op, val)) = normalize_cmp(c, env) else {
+        return DEFAULT_SEL;
     };
     let Some(col) = stats.columns.get(idx) else {
         return DEFAULT_SEL;
@@ -250,6 +329,122 @@ fn conjunct_selectivity(c: &Expr, env: &Bindings, stats: &TableStats) -> f64 {
     }
 }
 
+// ------------------------ access-path selection -----------------------
+
+/// Don't take an index scan expected to visit more than this fraction of
+/// the table: beyond it, random heap probes lose to a sequential sweep.
+const INDEX_SCAN_MAX_SEL: f64 = 0.25;
+
+/// Assumed selectivity of an equality probe on an indexed column when no
+/// statistics are cached — equality on an indexed key is almost always
+/// selective, so the index is taken even blind.
+const BLIND_EQ_SEL: f64 = 0.05;
+
+/// Scans expected to read fewer rows than this stay serial: morsel
+/// fan-out costs thread spawns and a channel hop per batch, which small
+/// inputs never amortize.
+const PARALLEL_MIN_EST_ROWS: f64 = 512.0;
+
+/// An index access path chosen for a scan.
+struct IndexChoice {
+    col: usize,
+    col_name: String,
+    lo: Option<Value>,
+    hi: Option<Value>,
+    /// Estimated selectivity of the bounds alone.
+    sel: f64,
+}
+
+/// Pick the best indexed access path for a scan, if any: an equality or
+/// range conjunct over an indexed column whose estimated selectivity
+/// (live statistics when available) clears [`INDEX_SCAN_MAX_SEL`].
+/// Bounds are accumulated across conjuncts on the same column
+/// (`a > 5 AND a < 9` becomes one `[5, 9]` cursor); strict bounds stay
+/// inclusive here because the scan re-applies every conjunct as a
+/// residual filter.
+fn choose_index(
+    table: &Table,
+    env: &Bindings,
+    predicates: &[Expr],
+    stats: Option<&TableStats>,
+) -> Option<IndexChoice> {
+    let mut best: Option<IndexChoice> = None;
+    for col in table.indexed_columns() {
+        let (mut lo, mut hi): (Option<Value>, Option<Value>) = (None, None);
+        let mut has_eq = false;
+        for c in predicates {
+            let Some((idx, op, val)) = normalize_cmp(c, env) else {
+                continue;
+            };
+            if idx != col {
+                continue;
+            }
+            let tighten_lo = |lo: &mut Option<Value>, v: &Value| {
+                if lo.as_ref().is_none_or(|cur| v > cur) {
+                    *lo = Some(v.clone());
+                }
+            };
+            let tighten_hi = |hi: &mut Option<Value>, v: &Value| {
+                if hi.as_ref().is_none_or(|cur| v < cur) {
+                    *hi = Some(v.clone());
+                }
+            };
+            match op {
+                BinaryOp::Eq => {
+                    has_eq = true;
+                    tighten_lo(&mut lo, &val);
+                    tighten_hi(&mut hi, &val);
+                }
+                BinaryOp::Gt | BinaryOp::Gte => tighten_lo(&mut lo, &val),
+                BinaryOp::Lt | BinaryOp::Lte => tighten_hi(&mut hi, &val),
+                _ => {}
+            }
+        }
+        if lo.is_none() && hi.is_none() {
+            continue;
+        }
+        let sel = match stats.and_then(|st| st.columns.get(col)) {
+            Some(cs) => {
+                if has_eq {
+                    cs.eq_selectivity(lo.as_ref().expect("eq sets both bounds"))
+                } else {
+                    cs.range_selectivity(
+                        lo.as_ref().and_then(|v| v.as_f64()),
+                        hi.as_ref().and_then(|v| v.as_f64()),
+                    )
+                }
+            }
+            // Blind: trust equality probes, refuse blind range scans.
+            None if has_eq => BLIND_EQ_SEL,
+            None => continue,
+        };
+        if sel > INDEX_SCAN_MAX_SEL {
+            continue;
+        }
+        if best.as_ref().is_none_or(|b| sel < b.sel) {
+            best = Some(IndexChoice {
+                col,
+                col_name: table.schema.column(col).name.clone(),
+                lo,
+                hi,
+                sel,
+            });
+        }
+    }
+    best
+}
+
+/// Degree of parallelism for a sequential scan: fan out only when the
+/// *input* (pre-predicate) cardinality amortizes worker startup, and
+/// never wider than the page count (partitions are page-granular).
+fn scan_dop(table: &Table, input_rows: f64, config: &PlannerConfig) -> usize {
+    let pages = table.num_pages();
+    if config.parallelism <= 1 || pages < 2 || input_rows < PARALLEL_MIN_EST_ROWS {
+        return 1;
+    }
+    config.parallelism.min(pages)
+}
+
 // ----------------------------- planning ------------------------------
 
 struct ScanInfo {
@@ -262,15 +457,30 @@ struct ScanInfo {
     /// estimate that is cosmetic there.
     stats: Option<Arc<TableStats>>,
     est_rows: f64,
+    /// Indexed access path, when one wins over the sequential sweep.
+    index: Option<IndexChoice>,
+    /// Morsel workers for a sequential scan (1 = serial).
+    dop: usize,
 }
 
-/// Plan a SELECT over resolved tables (`binding name -> table`). When a
-/// learned optimizer is supplied it chooses the join order for ≥ 3-table
-/// queries; otherwise `neurdb-qo`'s cost-based DP does.
+/// Plan a SELECT over resolved tables (`binding name -> table`) with the
+/// default (serial) planner configuration. When a learned optimizer is
+/// supplied it chooses the join order for ≥ 3-table queries; otherwise
+/// `neurdb-qo`'s cost-based DP does.
 pub fn plan_select(
     stmt: &SelectStmt,
     tables: &[(String, Arc<Table>)],
+    learned: Option<&mut dyn Optimizer>,
+) -> Result<PlannedSelect, CoreError> {
+    plan_select_with(stmt, tables, learned, &PlannerConfig::default())
+}
+
+/// [`plan_select`] with explicit session configuration (parallelism).
+pub fn plan_select_with(
+    stmt: &SelectStmt,
+    tables: &[(String, Arc<Table>)],
     mut learned: Option<&mut dyn Optimizer>,
+    config: &PlannerConfig,
 ) -> Result<PlannedSelect, CoreError> {
     if tables.is_empty() {
         return Err(CoreError::Unsupported("SELECT without FROM".into()));
@@ -296,6 +506,8 @@ pub fn plan_select(
             table: table.clone(),
             predicates: Vec::new(),
             est_rows: 0.0,
+            index: None,
+            dop: 1,
         });
     }
     let all_conjuncts: Vec<Expr> = stmt.predicate.as_ref().map(conjuncts).unwrap_or_default();
@@ -314,11 +526,24 @@ pub fn plan_select(
                 None => DEFAULT_SEL,
             };
         }
-        scan.est_rows = match &scan.stats {
-            Some(st) => st.row_count as f64 * sel,
+        let input_rows = match &scan.stats {
+            Some(st) => st.row_count as f64,
             // No stats cached: a page-count guess (O(1)) — never a page
             // walk for an estimate that is display-only on this path.
-            None => scan.table.num_pages() as f64 * ROWS_PER_PAGE_GUESS * sel,
+            None => scan.table.num_pages() as f64 * ROWS_PER_PAGE_GUESS,
+        };
+        scan.est_rows = input_rows * sel;
+        // Access path: a selective indexed predicate beats the sweep; a
+        // big sweep fans out to morsel workers.
+        scan.index = choose_index(
+            &scan.table,
+            &scan.env,
+            &scan.predicates,
+            scan.stats.as_deref(),
+        );
+        scan.dop = match scan.index {
+            Some(_) => 1,
+            None => scan_dop(&scan.table, input_rows, config),
         };
     }
     let n = scans.len();
@@ -415,33 +640,107 @@ pub fn plan_select(
         .items
         .iter()
         .any(|i| matches!(i, SelectItem::Expr { expr, .. } if contains_agg(expr)));
-    let columns = output_columns_for(&stmt.items, &env, has_agg || !stmt.group_by.is_empty());
-    plan = if has_agg || !stmt.group_by.is_empty() {
-        PhysicalPlan::HashAggregate {
-            input: Box::new(plan),
-            group_by: stmt.group_by.clone(),
-            items: stmt.items.clone(),
-            in_env: env.clone(),
-            columns: columns.clone(),
+    let aggregated = has_agg || !stmt.group_by.is_empty();
+    let columns = output_columns_for(&stmt.items, &env, aggregated);
+
+    // Sort-key planning happens *before* the projection is emitted so
+    // keys the projection would drop can ride along as hidden columns
+    // (standard SQL: `SELECT a FROM t ORDER BY b`). Constant keys are
+    // dropped (they cannot affect the order).
+    let mut proj_items = stmt.items.clone();
+    let mut all_columns = columns.clone();
+    let visible = columns.len();
+    let mut sort_keys: Vec<(usize, SortOrder)> = Vec::new();
+    for (key, ord) in &stmt.order_by {
+        if matches!(key, Expr::Literal(_)) {
+            continue;
+        }
+        match output_position(key, &columns, &stmt.items, &env)? {
+            Some(pos) => sort_keys.push((pos, *ord)),
+            None if aggregated => {
+                // Post-aggregation rows only carry the SELECT list; a key
+                // outside it has nothing to evaluate against.
+                return Err(CoreError::Unsupported(format!(
+                    "ORDER BY key {} must appear in the SELECT list of an aggregated query",
+                    expr_sql(key)
+                )));
+            }
+            None => {
+                if !resolvable(key, &env) {
+                    return Err(CoreError::Eval(EvalError::UnknownColumn(format!(
+                        "{} in ORDER BY",
+                        expr_sql(key)
+                    ))));
+                }
+                sort_keys.push((all_columns.len(), *ord));
+                proj_items.push(SelectItem::Expr {
+                    expr: key.clone(),
+                    alias: None,
+                });
+                all_columns.push(expr_sql(key));
+            }
+        }
+    }
+
+    plan = if aggregated {
+        match plan {
+            // A parallel scan feeding an aggregate directly: aggregate
+            // *inside* the workers (one state row per group per worker)
+            // and merge the partials at the gather — the classic
+            // two-phase parallel aggregate.
+            PhysicalPlan::Exchange {
+                input,
+                dop,
+                env: xenv,
+            } => {
+                let mut aggs = Vec::new();
+                for item in &stmt.items {
+                    if let SelectItem::Expr { expr, .. } = item {
+                        collect_aggs(expr, &mut aggs);
+                    }
+                }
+                let partial = PhysicalPlan::PartialHashAggregate {
+                    input,
+                    group_by: stmt.group_by.clone(),
+                    aggs,
+                    in_env: env.clone(),
+                };
+                PhysicalPlan::HashAggregate {
+                    input: Box::new(PhysicalPlan::Exchange {
+                        input: Box::new(partial),
+                        dop,
+                        env: xenv,
+                    }),
+                    group_by: stmt.group_by.clone(),
+                    items: stmt.items.clone(),
+                    in_env: env.clone(),
+                    columns: columns.clone(),
+                    from_partials: true,
+                }
+            }
+            other => PhysicalPlan::HashAggregate {
+                input: Box::new(other),
+                group_by: stmt.group_by.clone(),
+                items: stmt.items.clone(),
+                in_env: env.clone(),
+                columns: columns.clone(),
+                from_partials: false,
+            },
         }
     } else {
         PhysicalPlan::Project {
             input: Box::new(plan),
-            items: stmt.items.clone(),
+            items: proj_items,
             in_env: env.clone(),
-            columns: columns.clone(),
+            columns: all_columns.clone(),
         }
     };
-    if !stmt.order_by.is_empty() {
-        let out_env = Bindings {
-            cols: columns.iter().map(|c| (String::new(), c.clone())).collect(),
-        };
+    if !sort_keys.is_empty() {
         plan = PhysicalPlan::Sort {
             input: Box::new(plan),
-            order_by: stmt.order_by.clone(),
-            out_env,
-            fallback_env: env.clone(),
-            proj_map: projection_map(&stmt.items, &env),
+            keys: sort_keys,
+            visible,
+            columns: all_columns,
         };
     }
     if let Some(limit) = stmt.limit {
@@ -450,7 +749,61 @@ pub fn plan_select(
             n: limit,
         };
     }
-    Ok(PlannedSelect { plan, join_order })
+    Ok(PlannedSelect {
+        plan,
+        join_order,
+        graph,
+    })
+}
+
+/// Resolve an ORDER BY key against the projected output: by output
+/// column name (`ORDER BY alias_or_name`), by qualified name (`ORDER BY
+/// t.c` when the item kept that label), or by syntactic equality with a
+/// projected expression (`SELECT a+1 ... ORDER BY a+1`, `SELECT COUNT(*)
+/// ... ORDER BY COUNT(*)`). `Ok(None)` means the key needs a hidden
+/// projection column.
+fn output_position(
+    key: &Expr,
+    columns: &[String],
+    items: &[SelectItem],
+    in_env: &Bindings,
+) -> Result<Option<usize>, CoreError> {
+    let name = match key {
+        Expr::Column(c) => Some(c.clone()),
+        Expr::Qualified(q, c) => Some(format!("{q}.{c}")),
+        _ => None,
+    };
+    if let Some(name) = name {
+        let hits: Vec<usize> = columns
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c == name)
+            .map(|(i, _)| i)
+            .collect();
+        match hits.len() {
+            1 => return Ok(Some(hits[0])),
+            0 => {}
+            _ => {
+                return Err(CoreError::Eval(EvalError::AmbiguousColumn(format!(
+                    "{name} in ORDER BY"
+                ))))
+            }
+        }
+    }
+    // Positions of each item in the output layout (wildcards expand).
+    let mut out_pos = 0usize;
+    for item in items {
+        match item {
+            SelectItem::Wildcard => out_pos += in_env.arity(),
+            SelectItem::Expr { expr, .. } => {
+                if expr == key {
+                    return Ok(Some(out_pos));
+                }
+                out_pos += 1;
+            }
+        }
+    }
+    Ok(None)
 }
 
 fn contains_agg(e: &Expr) -> bool {
@@ -460,42 +813,6 @@ fn contains_agg(e: &Expr) -> bool {
         Expr::Unary { expr, .. } => contains_agg(expr),
         _ => false,
     }
-}
-
-/// Where each source-layout position landed in the projected output
-/// (`None` if the projection dropped it). Lets ORDER BY keys written in
-/// source-table terms resolve against the projected rows — and lets the
-/// executor *reject* keys over columns the projection did not keep,
-/// instead of silently sorting by whatever occupies that index.
-fn projection_map(items: &[SelectItem], in_env: &Bindings) -> Vec<Option<usize>> {
-    let mut map = vec![None; in_env.arity()];
-    let mut out_pos = 0usize;
-    for item in items {
-        match item {
-            SelectItem::Wildcard => {
-                for slot in map.iter_mut() {
-                    if slot.is_none() {
-                        *slot = Some(out_pos);
-                    }
-                    out_pos += 1;
-                }
-            }
-            SelectItem::Expr { expr, .. } => {
-                let idx = match expr {
-                    Expr::Column(c) => in_env.resolve(c).ok(),
-                    Expr::Qualified(q, c) => in_env.resolve_qualified(q, c).ok(),
-                    _ => None,
-                };
-                if let Some(i) = idx {
-                    if map[i].is_none() {
-                        map[i] = Some(out_pos);
-                    }
-                }
-                out_pos += 1;
-            }
-        }
-    }
-    map
 }
 
 fn output_columns_for(items: &[SelectItem], env: &Bindings, aggregated: bool) -> Vec<String> {
@@ -593,14 +910,40 @@ impl JoinBuilder<'_> {
         match tree {
             PlanTree::Leaf(i) => {
                 let s = &self.scans[*i];
-                Built {
-                    plan: PhysicalPlan::SeqScan {
+                let plan = match &s.index {
+                    Some(ic) => PhysicalPlan::IndexScan {
                         table: s.table.clone(),
                         binding: s.binding.clone(),
+                        col: ic.col,
+                        col_name: ic.col_name.clone(),
+                        lo: ic.lo.clone(),
+                        hi: ic.hi.clone(),
                         predicates: s.predicates.clone(),
                         env: s.env.clone(),
                         est_rows: s.est_rows,
                     },
+                    None => {
+                        let scan = PhysicalPlan::SeqScan {
+                            table: s.table.clone(),
+                            binding: s.binding.clone(),
+                            predicates: s.predicates.clone(),
+                            env: s.env.clone(),
+                            est_rows: s.est_rows,
+                            dop: s.dop,
+                        };
+                        if s.dop > 1 {
+                            PhysicalPlan::Exchange {
+                                input: Box::new(scan),
+                                dop: s.dop,
+                                env: s.env.clone(),
+                            }
+                        } else {
+                            scan
+                        }
+                    }
+                };
+                Built {
+                    plan,
                     env: s.env.clone(),
                     leaf_order: vec![*i],
                     mask: 1u32 << *i,
@@ -686,11 +1029,16 @@ impl PhysicalPlan {
             PhysicalPlan::Project { columns, .. } | PhysicalPlan::HashAggregate { columns, .. } => {
                 columns.clone()
             }
-            PhysicalPlan::Sort { input, .. }
-            | PhysicalPlan::Limit { input, .. }
+            PhysicalPlan::Sort {
+                visible, columns, ..
+            } => columns[..*visible].to_vec(),
+            PhysicalPlan::Limit { input, .. }
             | PhysicalPlan::Filter { input, .. }
-            | PhysicalPlan::Reorder { input, .. } => input.output_columns(),
+            | PhysicalPlan::Reorder { input, .. }
+            | PhysicalPlan::Exchange { input, .. }
+            | PhysicalPlan::PartialHashAggregate { input, .. } => input.output_columns(),
             PhysicalPlan::SeqScan { env, .. }
+            | PhysicalPlan::IndexScan { env, .. }
             | PhysicalPlan::HashJoin { env, .. }
             | PhysicalPlan::NestedLoopJoin { env, .. } => {
                 env.cols.iter().map(|(_, c)| c.clone()).collect()
@@ -706,6 +1054,7 @@ impl PhysicalPlan {
                 binding,
                 predicates,
                 est_rows,
+                dop,
                 ..
             } => {
                 let name = if *binding == table.name {
@@ -718,7 +1067,45 @@ impl PhysicalPlan {
                 } else {
                     format!(" filter=[{}]", exprs_sql(predicates))
                 };
-                format!("SeqScan({name}){filter} (est={est_rows:.0} rows)")
+                format!("SeqScan({name}){filter} (est={est_rows:.0} rows, dop={dop})")
+            }
+            PhysicalPlan::IndexScan {
+                table,
+                binding,
+                col_name,
+                lo,
+                hi,
+                predicates,
+                est_rows,
+                ..
+            } => {
+                let name = if *binding == table.name {
+                    table.name.clone()
+                } else {
+                    format!("{} AS {}", table.name, binding)
+                };
+                let bounds = match (lo, hi) {
+                    (Some(l), Some(h)) if l == h => format!("{col_name}={l}"),
+                    (l, h) => format!(
+                        "{col_name}=[{}..{}]",
+                        l.as_ref().map_or("-inf".to_string(), |v| v.to_string()),
+                        h.as_ref().map_or("+inf".to_string(), |v| v.to_string()),
+                    ),
+                };
+                let filter = if predicates.is_empty() {
+                    String::new()
+                } else {
+                    format!(" filter=[{}]", exprs_sql(predicates))
+                };
+                format!("IndexScan({name} {bounds}){filter} (est={est_rows:.0} rows)")
+            }
+            PhysicalPlan::Exchange { dop, .. } => format!("Gather(dop={dop})"),
+            PhysicalPlan::PartialHashAggregate { group_by, .. } => {
+                if group_by.is_empty() {
+                    "PartialHashAggregate".to_string()
+                } else {
+                    format!("PartialHashAggregate(group_by=[{}])", exprs_sql(group_by))
+                }
             }
             PhysicalPlan::HashJoin { cond, est_rows, .. } => {
                 format!("HashJoin({}) (est={est_rows:.0} rows)", expr_sql(cond))
@@ -740,13 +1127,22 @@ impl PhysicalPlan {
             PhysicalPlan::Project { columns, .. } => {
                 format!("Project({})", columns.join(", "))
             }
-            PhysicalPlan::Sort { order_by, .. } => {
-                let keys: Vec<String> = order_by
+            PhysicalPlan::Sort {
+                keys,
+                visible,
+                columns,
+                ..
+            } => {
+                let rendered: Vec<String> = keys
                     .iter()
-                    .map(|(e, o)| {
+                    .map(|(pos, o)| {
+                        let name = columns
+                            .get(*pos)
+                            .cloned()
+                            .unwrap_or_else(|| pos.to_string());
+                        let hidden = if *pos >= *visible { " hidden" } else { "" };
                         format!(
-                            "{}{}",
-                            expr_sql(e),
+                            "{name}{hidden}{}",
                             match o {
                                 SortOrder::Asc => "",
                                 SortOrder::Desc => " DESC",
@@ -754,19 +1150,21 @@ impl PhysicalPlan {
                         )
                     })
                     .collect();
-                format!("Sort({})", keys.join(", "))
+                format!("Sort({})", rendered.join(", "))
             }
             PhysicalPlan::Limit { n, .. } => format!("Limit({n})"),
         }
     }
 
-    fn children(&self) -> Vec<&PhysicalPlan> {
+    pub(crate) fn children(&self) -> Vec<&PhysicalPlan> {
         match self {
-            PhysicalPlan::SeqScan { .. } => vec![],
+            PhysicalPlan::SeqScan { .. } | PhysicalPlan::IndexScan { .. } => vec![],
             PhysicalPlan::HashJoin { left, right, .. }
             | PhysicalPlan::NestedLoopJoin { left, right, .. } => vec![left, right],
             PhysicalPlan::Filter { input, .. }
             | PhysicalPlan::Reorder { input, .. }
+            | PhysicalPlan::Exchange { input, .. }
+            | PhysicalPlan::PartialHashAggregate { input, .. }
             | PhysicalPlan::HashAggregate { input, .. }
             | PhysicalPlan::Project { input, .. }
             | PhysicalPlan::Sort { input, .. }
@@ -804,6 +1202,9 @@ impl PhysicalPlan {
                     m.batches,
                     m.nanos as f64 / 1e6
                 ));
+                if !m.note.is_empty() {
+                    line.push_str(&format!(" {}", m.note));
+                }
             }
         }
         lines.push(line);
@@ -937,7 +1338,7 @@ mod tests {
         let rendered = planned.plan.render(None).join("\n");
         // The c scan estimate reflects the equality predicate (1 row).
         assert!(
-            rendered.contains("filter=[c.id = 7] (est=1 rows)"),
+            rendered.contains("filter=[c.id = 7] (est=1 rows"),
             "{rendered}"
         );
     }

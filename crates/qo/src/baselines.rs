@@ -14,6 +14,12 @@ use rand::{Rng, SeedableRng};
 pub trait Optimizer {
     fn choose_plan(&mut self, graph: &JoinGraph) -> PlanTree;
     fn name(&self) -> &str;
+    /// Execution feedback: the same join graph with its `true_rows` /
+    /// `true_sel` fields overwritten by cardinalities *observed* during a
+    /// metered execution (`EXPLAIN ANALYZE`). Adaptive optimizers treat
+    /// this as an online training signal; the default is a no-op (frozen
+    /// baselines ignore feedback, exactly as the paper runs them).
+    fn observe(&mut self, _observed: &JoinGraph) {}
 }
 
 /// Execution latency surrogate of a chosen plan: cost under true stats.

@@ -97,6 +97,21 @@ impl Optimizer for NeurQo {
     fn name(&self) -> &str {
         "neurdb"
     }
+
+    /// Online adaptation from metered execution (paper Section 4.2's
+    /// fast-adaptive loop): the observed graph carries *measured*
+    /// cardinalities in its `true_*` fields, so one supervised step over a
+    /// fresh candidate set fits the model's ranking to what the engine
+    /// actually saw — no retraining pipeline, no stale-estimate detour.
+    fn observe(&mut self, observed: &JoinGraph) {
+        if observed.num_tables() < 2 {
+            return;
+        }
+        let cands = candidate_plans(observed, self.k, &mut self.rng);
+        if cands.len() >= 2 {
+            self.model.train_step(&cands, observed);
+        }
+    }
 }
 
 #[cfg(test)]

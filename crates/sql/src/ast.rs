@@ -282,6 +282,13 @@ pub enum Statement {
         analyze: bool,
         stmt: Box<Statement>,
     },
+    /// `SET name = literal`: session configuration (e.g.
+    /// `SET parallelism = 4` caps the planner's per-scan degree of
+    /// parallelism).
+    Set {
+        name: String,
+        value: Literal,
+    },
 }
 
 #[cfg(test)]

@@ -148,8 +148,18 @@ impl Parser {
             Some(Token::Keyword(Keyword::Select)) => Ok(Statement::Select(self.select()?)),
             Some(Token::Keyword(Keyword::Predict)) => self.predict(),
             Some(Token::Keyword(Keyword::Explain)) => self.explain(),
+            Some(Token::Keyword(Keyword::Set)) => self.set_stmt(),
             _ => Err(self.err(&format!("expected statement, found {}", self.peek_str()))),
         }
+    }
+
+    /// `SET name = literal` — session configuration.
+    fn set_stmt(&mut self) -> PResult<Statement> {
+        self.expect_kw(Keyword::Set)?;
+        let name = self.ident()?;
+        self.expect(&Token::Eq)?;
+        let value = self.literal()?;
+        Ok(Statement::Set { name, value })
     }
 
     fn explain(&mut self) -> PResult<Statement> {
@@ -873,6 +883,26 @@ mod tests {
         // Nested EXPLAIN is rejected; bare EXPLAIN needs a statement.
         assert!(parse("EXPLAIN EXPLAIN SELECT * FROM t").is_err());
         assert!(parse("EXPLAIN").is_err());
+    }
+
+    #[test]
+    fn set_statement() {
+        assert_eq!(
+            parse("SET parallelism = 4").unwrap(),
+            Statement::Set {
+                name: "parallelism".to_string(),
+                value: Literal::Int(4),
+            }
+        );
+        assert_eq!(
+            parse("SET mode = 'fast'").unwrap(),
+            Statement::Set {
+                name: "mode".to_string(),
+                value: Literal::Str("fast".to_string()),
+            }
+        );
+        assert!(parse("SET parallelism").is_err());
+        assert!(parse("SET = 4").is_err());
     }
 
     #[test]

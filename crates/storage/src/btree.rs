@@ -265,6 +265,19 @@ impl BTreeIndex {
         }
     }
 
+    /// Open a cursor over `[lo, hi]` (inclusive bounds; `None` =
+    /// unbounded). Unlike [`BTreeIndex::range`], the cursor pulls entries
+    /// in bounded chunks — an executor can stream a huge range without
+    /// materializing it — and a point lookup is just `lo == hi`.
+    pub fn scan(&self, lo: Option<&Value>, hi: Option<&Value>) -> BTreeIndexScan {
+        BTreeIndexScan {
+            lo: lo.cloned(),
+            hi: hi.cloned(),
+            resume_after: None,
+            done: false,
+        }
+    }
+
     /// Depth of the tree (1 = just a leaf). Exposed for tests.
     pub fn depth(&self) -> usize {
         let mut d = 1;
@@ -274,6 +287,133 @@ impl BTreeIndex {
             node = &children[0];
         }
         d
+    }
+}
+
+/// A resumable range/point cursor over a [`BTreeIndex`] (see
+/// [`BTreeIndex::scan`]).
+///
+/// The cursor does not borrow the tree: each [`BTreeIndexScan::next_chunk`]
+/// call re-descends from the root (O(log n)) and collects entries with key
+/// strictly greater than the last key already returned. Chunk boundaries
+/// always fall *between* keys, so a duplicate key's whole posting list is
+/// delivered in one chunk and resumption never skips or repeats rids —
+/// this is what lets the executor hold the index's lock only per-chunk.
+#[derive(Debug, Clone)]
+pub struct BTreeIndexScan {
+    lo: Option<Value>,
+    hi: Option<Value>,
+    /// Last key fully emitted; the next chunk starts strictly after it.
+    resume_after: Option<Value>,
+    done: bool,
+}
+
+impl BTreeIndexScan {
+    /// Collect the next chunk of `(key, rid)` entries in key order: at
+    /// least `max_entries` are gathered before stopping at the next key
+    /// boundary (a posting list is never split). `None` once exhausted.
+    pub fn next_chunk(
+        &mut self,
+        index: &BTreeIndex,
+        max_entries: usize,
+    ) -> Option<Vec<(Value, RecordId)>> {
+        if self.done {
+            return None;
+        }
+        let mut out = Vec::new();
+        // The effective lower bound: strictly-after the resume key, else
+        // inclusive of `lo`.
+        let exhausted = Self::collect(
+            &index.root,
+            self.resume_after.as_ref(),
+            self.lo.as_ref(),
+            self.hi.as_ref(),
+            max_entries.max(1),
+            &mut out,
+        );
+        if exhausted {
+            self.done = true;
+        }
+        match out.last() {
+            Some((k, _)) => self.resume_after = Some(k.clone()),
+            None => self.done = true,
+        }
+        if out.is_empty() {
+            None
+        } else {
+            Some(out)
+        }
+    }
+
+    /// Walk `node` collecting in-range entries past the resume point.
+    /// Returns `true` when the whole range was covered (no early stop).
+    fn collect(
+        node: &Node,
+        after: Option<&Value>,
+        lo: Option<&Value>,
+        hi: Option<&Value>,
+        max_entries: usize,
+        out: &mut Vec<(Value, RecordId)>,
+    ) -> bool {
+        match node {
+            Node::Internal { keys, children } => {
+                for (i, child) in children.iter().enumerate() {
+                    // Child i holds keys < keys[i] (and >= keys[i-1]):
+                    // skip children entirely below the start bound and
+                    // stop at children entirely above `hi`.
+                    let start = match (after, lo) {
+                        (Some(a), _) => Some(a),
+                        (None, l) => l,
+                    };
+                    if let Some(s) = start {
+                        if i < keys.len() && keys[i] < *s {
+                            continue;
+                        }
+                    }
+                    if let Some(hi) = hi {
+                        if i > 0 && keys[i - 1] > *hi {
+                            return true;
+                        }
+                    }
+                    if !Self::collect(child, after, lo, hi, max_entries, out) {
+                        return false;
+                    }
+                    if out.len() >= max_entries {
+                        // Key-boundary stop: recursion only returns
+                        // between leaf keys.
+                        return false;
+                    }
+                }
+                true
+            }
+            Node::Leaf { keys, postings } => {
+                for (k, p) in keys.iter().zip(postings.iter()) {
+                    if let Some(a) = after {
+                        if k <= a {
+                            continue;
+                        }
+                    }
+                    if let Some(lo) = lo {
+                        if k < lo {
+                            continue;
+                        }
+                    }
+                    if let Some(hi) = hi {
+                        if k > hi {
+                            return true;
+                        }
+                    }
+                    out.reserve(p.len());
+                    for rid in p {
+                        out.push((k.clone(), *rid));
+                    }
+                    if out.len() >= max_entries {
+                        return false;
+                    }
+                }
+                true
+            }
+        }
     }
 }
 
@@ -359,6 +499,50 @@ mod tests {
         );
         let keys: Vec<&str> = got.iter().filter_map(|(k, _)| k.as_str()).collect();
         assert_eq!(keys, vec!["banana", "fig"]);
+    }
+
+    #[test]
+    fn cursor_chunks_match_range() {
+        let mut t = BTreeIndex::with_order(4);
+        for i in 0..500i64 {
+            t.insert(Value::Int(i % 100), rid(i as u64));
+        }
+        for (lo, hi) in [
+            (None, None),
+            (Some(Value::Int(10)), Some(Value::Int(40))),
+            (Some(Value::Int(40)), Some(Value::Int(40))), // point lookup
+            (None, Some(Value::Int(5))),
+            (Some(Value::Int(95)), None),
+            (Some(Value::Int(200)), None), // empty
+        ] {
+            let want = t.range(lo.as_ref(), hi.as_ref());
+            for chunk_size in [1, 3, 1000] {
+                let mut cur = t.scan(lo.as_ref(), hi.as_ref());
+                let mut got = Vec::new();
+                while let Some(chunk) = cur.next_chunk(&t, chunk_size) {
+                    got.extend(chunk);
+                }
+                assert_eq!(got, want, "bounds={lo:?}..{hi:?} chunk={chunk_size}");
+                assert!(cur.next_chunk(&t, chunk_size).is_none(), "stays done");
+            }
+        }
+    }
+
+    #[test]
+    fn cursor_never_splits_a_posting_list() {
+        let mut t = BTreeIndex::with_order(4);
+        for i in 0..10 {
+            t.insert(Value::Int(7), rid(i));
+        }
+        t.insert(Value::Int(8), rid(100));
+        let mut cur = t.scan(None, None);
+        // max_entries=1 still returns all ten rids of key 7 in one chunk.
+        let first = cur.next_chunk(&t, 1).unwrap();
+        assert_eq!(first.len(), 10);
+        assert!(first.iter().all(|(k, _)| k == &Value::Int(7)));
+        let second = cur.next_chunk(&t, 1).unwrap();
+        assert_eq!(second, vec![(Value::Int(8), rid(100))]);
+        assert!(cur.next_chunk(&t, 1).is_none());
     }
 
     #[test]

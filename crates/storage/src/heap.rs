@@ -138,6 +138,31 @@ impl HeapFile {
         }
     }
 
+    /// Partition the heap into `n` independent batched cursors over
+    /// disjoint contiguous page ranges (morsel-driven parallel scan: each
+    /// worker drains one partition). The page list is snapshotted once,
+    /// so the union of the partitions equals exactly one
+    /// [`HeapFile::scan_batches`] snapshot. Partitions may be empty when
+    /// the heap has fewer pages than `n`.
+    pub fn scan_partitions(&self, n: usize, target_rows: usize) -> Vec<HeapBatchScan> {
+        let pages = self.pages.read().clone();
+        let n = n.max(1);
+        let chunk = pages.len().div_ceil(n).max(1);
+        let mut parts = Vec::with_capacity(n);
+        for i in 0..n {
+            let lo = (i * chunk).min(pages.len());
+            let hi = ((i + 1) * chunk).min(pages.len());
+            parts.push(HeapBatchScan {
+                pool: self.pool.clone(),
+                types: self.types.clone(),
+                pages: pages[lo..hi].to_vec(),
+                next_page: 0,
+                target_rows: target_rows.max(1),
+            });
+        }
+        parts
+    }
+
     /// Count live tuples (scans pages; O(pages)).
     pub fn len(&self) -> StorageResult<usize> {
         let pages = self.pages.read().clone();
@@ -269,6 +294,31 @@ mod tests {
         assert_eq!(got, full);
         // Empty heap yields None immediately.
         assert!(heap().scan_batches(64).next_batch().unwrap().is_none());
+    }
+
+    #[test]
+    fn partitioned_scan_covers_heap_exactly_once() {
+        let h = heap();
+        for i in 0..2000 {
+            h.insert(&row(i)).unwrap();
+        }
+        let full = h.scan().unwrap();
+        for n in [1, 2, 3, 7, 64] {
+            let parts = h.scan_partitions(n, 100);
+            assert_eq!(parts.len(), n);
+            let mut got = Vec::new();
+            for mut p in parts {
+                while let Some(b) = p.next_batch().unwrap() {
+                    got.extend(b);
+                }
+            }
+            // Contiguous page ranges: concatenation preserves heap order.
+            assert_eq!(got, full, "n={n}");
+        }
+        // More partitions than pages: the extras are empty, not panics.
+        let extras = h.scan_partitions(1000, 100);
+        let non_empty = extras.into_iter().filter(|p| !p.pages.is_empty()).count();
+        assert_eq!(non_empty, h.num_pages());
     }
 
     #[test]

@@ -34,13 +34,13 @@ pub mod table;
 pub mod tuple;
 pub mod value;
 
-pub use btree::BTreeIndex;
+pub use btree::{BTreeIndex, BTreeIndexScan};
 pub use buffer::{BufferPool, BufferStats, DiskBackend, DiskManager};
 pub use catalog::{Catalog, ColumnDef, Schema, TableId, TableMeta};
 pub use error::{StorageError, StorageResult};
 pub use heap::{HeapBatchScan, HeapFile};
 pub use page::{Page, PageId, RecordId, PAGE_SIZE};
 pub use stats::{ColumnStats, Histogram, TableStats, DEFAULT_BUCKETS};
-pub use table::Table;
+pub use table::{Table, TableIndexScan};
 pub use tuple::Tuple;
 pub use value::{DataType, Value};

@@ -170,6 +170,56 @@ impl Table {
         self.heap.scan_batches(target_rows)
     }
 
+    /// Partition the heap into `n` independent batched cursors over
+    /// disjoint page ranges (one morsel stream per parallel scan worker);
+    /// see [`crate::heap::HeapFile::scan_partitions`].
+    pub fn scan_partitions(&self, n: usize, target_rows: usize) -> Vec<crate::heap::HeapBatchScan> {
+        self.heap.scan_partitions(n, target_rows)
+    }
+
+    /// Open an index-scan cursor over `[lo, hi]` (inclusive; `None` =
+    /// unbounded; `lo == hi` is a point lookup) on column `col`. Returns
+    /// `None` when the column carries no index. Pull batches with
+    /// [`Table::index_scan_next`]; the index lock is held per-chunk, not
+    /// across the whole scan.
+    pub fn index_scan(
+        &self,
+        col: usize,
+        lo: Option<&Value>,
+        hi: Option<&Value>,
+    ) -> Option<TableIndexScan> {
+        let indexes = self.indexes.read();
+        let idx = indexes.get(&col)?;
+        Some(TableIndexScan {
+            col,
+            cursor: idx.scan(lo, hi),
+        })
+    }
+
+    /// The next batch of `(rid, tuple)` pairs of an index scan, in key
+    /// order, or `None` once exhausted (or if the index was dropped).
+    pub fn index_scan_next(
+        &self,
+        scan: &mut TableIndexScan,
+        max_rows: usize,
+    ) -> StorageResult<Option<Vec<(RecordId, Tuple)>>> {
+        let chunk = {
+            let indexes = self.indexes.read();
+            let Some(idx) = indexes.get(&scan.col) else {
+                return Ok(None);
+            };
+            scan.cursor.next_chunk(idx, max_rows.max(1))
+        };
+        let Some(chunk) = chunk else {
+            return Ok(None);
+        };
+        let mut out = Vec::with_capacity(chunk.len());
+        for (_, rid) in chunk {
+            out.push((rid, self.heap.get(rid)?));
+        }
+        Ok(Some(out))
+    }
+
     /// Point lookup via a column index (falls back to a scan when absent).
     pub fn lookup(&self, col: usize, key: &Value) -> StorageResult<Vec<(RecordId, Tuple)>> {
         let rids = {
@@ -229,6 +279,14 @@ impl Table {
         *self.stats.write() = Some(stats.clone());
         Ok(stats)
     }
+}
+
+/// Cursor state of a table index scan (see [`Table::index_scan`]): the
+/// B-tree cursor plus the column it ranges over. Owns no locks — each
+/// [`Table::index_scan_next`] call re-acquires the index briefly.
+pub struct TableIndexScan {
+    col: usize,
+    cursor: crate::btree::BTreeIndexScan,
 }
 
 #[cfg(test)]
@@ -312,6 +370,34 @@ mod tests {
         t.insert(row(100, "y", 1.0)).unwrap();
         let s3 = t.stats().unwrap();
         assert_eq!(s3.row_count, 101);
+    }
+
+    #[test]
+    fn index_scan_cursor_ranges_and_points() {
+        let t = make_table();
+        t.create_index(0).unwrap();
+        for i in 0..200 {
+            t.insert(row(i, "x", i as f64)).unwrap();
+        }
+        // No index on column 1.
+        assert!(t.index_scan(1, None, None).is_none());
+        // Range [50, 59].
+        let mut cur = t
+            .index_scan(0, Some(&Value::Int(50)), Some(&Value::Int(59)))
+            .unwrap();
+        let mut got = Vec::new();
+        while let Some(b) = t.index_scan_next(&mut cur, 4).unwrap() {
+            got.extend(b.into_iter().map(|(_, tup)| tup.get(0).clone()));
+        }
+        assert_eq!(got, (50..60).map(Value::Int).collect::<Vec<_>>());
+        // Point lookup lo == hi.
+        let mut cur = t
+            .index_scan(0, Some(&Value::Int(7)), Some(&Value::Int(7)))
+            .unwrap();
+        let b = t.index_scan_next(&mut cur, 64).unwrap().unwrap();
+        assert_eq!(b.len(), 1);
+        assert_eq!(b[0].1.get(0), &Value::Int(7));
+        assert!(t.index_scan_next(&mut cur, 64).unwrap().is_none());
     }
 
     #[test]

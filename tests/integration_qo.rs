@@ -123,3 +123,65 @@ fn pretraining_report_is_consistent() {
     assert_eq!(report.bucket_counts.iter().sum::<usize>(), 100);
     assert!(report.loss_curve.iter().all(|l| l.is_finite()));
 }
+
+/// EXPLAIN ANALYZE feeds observed cardinalities back into the installed
+/// optimizer: the session hook rewrites the join graph's `true_*` fields
+/// from operator metrics and calls `Optimizer::observe`.
+#[test]
+fn explain_analyze_feeds_observed_cardinalities_back() {
+    use neurdb_core::Database;
+    use neurdb_qo::{JoinGraph, PlanTree};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    struct Probe {
+        observed: Arc<AtomicUsize>,
+        last_true_rows: Arc<std::sync::Mutex<Vec<f64>>>,
+    }
+    impl Optimizer for Probe {
+        fn choose_plan(&mut self, graph: &JoinGraph) -> PlanTree {
+            neurdb_qo::dp_best_plan(graph)
+        }
+        fn name(&self) -> &str {
+            "probe"
+        }
+        fn observe(&mut self, observed: &JoinGraph) {
+            self.observed.fetch_add(1, Ordering::SeqCst);
+            *self.last_true_rows.lock().unwrap() =
+                observed.tables.iter().map(|t| t.true_rows).collect();
+        }
+    }
+
+    let db = Database::new();
+    db.execute("CREATE TABLE a (id INT, x INT)").unwrap();
+    db.execute("CREATE TABLE b (id INT, aid INT)").unwrap();
+    db.execute("CREATE TABLE c (id INT, bid INT)").unwrap();
+    for i in 0..40 {
+        db.execute(&format!("INSERT INTO a VALUES ({i}, {})", i % 5))
+            .unwrap();
+        db.execute(&format!("INSERT INTO b VALUES ({i}, {})", i % 40))
+            .unwrap();
+        db.execute(&format!("INSERT INTO c VALUES ({i}, {})", i % 40))
+            .unwrap();
+    }
+    let observed = Arc::new(AtomicUsize::new(0));
+    let rows_seen = Arc::new(std::sync::Mutex::new(Vec::new()));
+    db.set_join_optimizer(Box::new(Probe {
+        observed: observed.clone(),
+        last_true_rows: rows_seen.clone(),
+    }));
+    // Plain EXPLAIN must not train.
+    db.execute("EXPLAIN SELECT * FROM a, b, c WHERE a.id = b.aid AND b.id = c.bid")
+        .unwrap();
+    assert_eq!(observed.load(Ordering::SeqCst), 0);
+    // Metered execution must.
+    db.execute(
+        "EXPLAIN ANALYZE SELECT * FROM a, b, c WHERE a.id = b.aid AND b.id = c.bid AND a.x = 1",
+    )
+    .unwrap();
+    assert_eq!(observed.load(Ordering::SeqCst), 1);
+    // The feedback graph carries *observed* scan cardinalities: table a
+    // emits exactly the 8 rows with x = 1 (40 rows, x = i % 5).
+    let seen = rows_seen.lock().unwrap().clone();
+    assert!(seen.contains(&8.0), "observed true_rows: {seen:?}");
+}

@@ -130,11 +130,32 @@ fn order_by_source_name_of_projected_column() {
 }
 
 #[test]
-fn order_by_unprojected_column_errors() {
+fn order_by_unprojected_column_sorts_like_standard_sql() {
     let db = db_with_users();
-    // "name" is not in the projection: sorting must error rather than
-    // silently sort by whatever value occupies that position.
-    assert!(db.execute("SELECT age FROM users ORDER BY name").is_err());
+    // "name" is not in the projection: the planner projects it as a
+    // hidden sort key, sorts, and strips it — standard SQL semantics.
+    let out = db
+        .execute("SELECT age FROM users ORDER BY name DESC")
+        .unwrap();
+    let rows = out.rows().unwrap();
+    assert_eq!(rows.columns, vec!["age"], "hidden key must be stripped");
+    let ages: Vec<_> = rows.rows.iter().map(|r| r.get(0).clone()).collect();
+    // names are ada(36), bob(25), carol(41), dan(25) -> DESC by name.
+    assert_eq!(
+        ages,
+        vec![
+            Value::Int(25),
+            Value::Int(41),
+            Value::Int(25),
+            Value::Int(36)
+        ]
+    );
+    // A key over a column that exists nowhere still errors.
+    assert!(db.execute("SELECT age FROM users ORDER BY nope").is_err());
+    // Aggregated queries cannot sort by keys outside the SELECT list.
+    assert!(db
+        .execute("SELECT COUNT(*) FROM users GROUP BY age ORDER BY name")
+        .is_err());
 }
 
 #[test]
@@ -322,4 +343,152 @@ fn buffer_stats_exposed() {
     let stats = db.buffer_stats();
     assert!(stats.hits > 0);
     assert!(stats.hit_ratio() > 0.5);
+}
+
+// ------------------- parallel + vectorized execution -------------------
+
+fn db_with_big_table(rows: usize) -> Database {
+    let db = Database::new();
+    db.execute("CREATE TABLE big (id INT PRIMARY KEY, grp INT, score FLOAT)")
+        .unwrap();
+    let mut stmt = String::from("INSERT INTO big VALUES ");
+    for i in 0..rows {
+        if i > 0 {
+            stmt.push(',');
+        }
+        stmt.push_str(&format!("({i}, {}, {}.25)", i % 7, i % 50));
+    }
+    db.execute(&stmt).unwrap();
+    db
+}
+
+fn sorted_rows(db: &Database, sql: &str) -> Vec<String> {
+    let out = db.execute(sql).unwrap();
+    let mut rows: Vec<String> = out
+        .rows()
+        .unwrap()
+        .rows
+        .iter()
+        .map(|r| format!("{:?}", r.values))
+        .collect();
+    rows.sort();
+    rows
+}
+
+#[test]
+fn set_parallelism_gathers_large_scans() {
+    let db = db_with_big_table(4000);
+    let queries = [
+        "SELECT id FROM big WHERE grp = 3 AND score > 10",
+        "SELECT COUNT(*), SUM(score), MIN(id), MAX(id), AVG(score) FROM big WHERE grp < 5",
+        "SELECT grp, COUNT(*), SUM(id) FROM big GROUP BY grp",
+        "SELECT grp, COUNT(*) FROM big WHERE score > 20 GROUP BY grp ORDER BY grp",
+    ];
+    let serial: Vec<_> = queries.iter().map(|q| sorted_rows(&db, q)).collect();
+
+    db.execute("SET parallelism = 4").unwrap();
+    assert_eq!(db.parallelism(), 4);
+    // The plan now fans the scan out behind a Gather.
+    let plan = db
+        .execute("EXPLAIN SELECT id FROM big WHERE grp = 3")
+        .unwrap();
+    let text: Vec<String> = plan
+        .rows()
+        .unwrap()
+        .rows
+        .iter()
+        .map(|r| r.get(0).as_str().unwrap().to_string())
+        .collect();
+    let text = text.join("\n");
+    assert!(text.contains("Gather(dop="), "{text}");
+    assert!(
+        text.contains("dop=4") || text.contains("dop=3") || text.contains("dop=2"),
+        "{text}"
+    );
+
+    // Aggregates over a parallel scan split into partial + merge phases.
+    let plan = db
+        .execute("EXPLAIN SELECT grp, COUNT(*) FROM big GROUP BY grp")
+        .unwrap();
+    let text: Vec<String> = plan
+        .rows()
+        .unwrap()
+        .rows
+        .iter()
+        .map(|r| r.get(0).as_str().unwrap().to_string())
+        .collect();
+    let text = text.join("\n");
+    assert!(text.contains("PartialHashAggregate"), "{text}");
+    assert!(text.contains("HashAggregate"), "{text}");
+
+    // Results are identical to the serial run (order-normalized).
+    for (q, want) in queries.iter().zip(&serial) {
+        assert_eq!(&sorted_rows(&db, q), want, "parallel mismatch for {q}");
+    }
+
+    // EXPLAIN ANALYZE reports per-worker row counts at the Gather.
+    let plan = db
+        .execute("EXPLAIN ANALYZE SELECT COUNT(*) FROM big")
+        .unwrap();
+    let text: Vec<String> = plan
+        .rows()
+        .unwrap()
+        .rows
+        .iter()
+        .map(|r| r.get(0).as_str().unwrap().to_string())
+        .collect();
+    let text = text.join("\n");
+    assert!(text.contains("workers=["), "{text}");
+
+    // LIMIT tears the workers down early without hanging or erroring.
+    let out = db.execute("SELECT id FROM big LIMIT 5").unwrap();
+    assert_eq!(out.rows().unwrap().len(), 5);
+
+    db.execute("SET parallelism = 1").unwrap();
+    assert_eq!(db.parallelism(), 1);
+    assert!(db.execute("SET parallelism = 0").is_err());
+    assert!(db.execute("SET nonsense = 1").is_err());
+}
+
+#[test]
+fn index_scan_chosen_for_selective_indexed_predicates() {
+    let db = db_with_big_table(2000);
+    db.execute("CREATE INDEX ON big (id)").unwrap();
+
+    let plan_text = |sql: &str| -> String {
+        db.execute(sql)
+            .unwrap()
+            .rows()
+            .unwrap()
+            .rows
+            .iter()
+            .map(|r| r.get(0).as_str().unwrap().to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+
+    // Equality probe: IndexScan even without cached statistics.
+    let text = plan_text("EXPLAIN SELECT * FROM big WHERE id = 1234");
+    assert!(text.contains("IndexScan(big id=1234)"), "{text}");
+    let out = db.execute("SELECT * FROM big WHERE id = 1234").unwrap();
+    assert_eq!(out.rows().unwrap().len(), 1);
+    assert_eq!(out.rows().unwrap().rows[0].get(0), &Value::Int(1234));
+
+    // Range probes consult live statistics; warm the cache first.
+    db.table("big").unwrap().stats().unwrap();
+    let text = plan_text("EXPLAIN SELECT * FROM big WHERE id > 1950 AND id <= 1980");
+    assert!(text.contains("IndexScan(big id=[1950..1980])"), "{text}");
+    let got = sorted_rows(&db, "SELECT id FROM big WHERE id > 1950 AND id <= 1980");
+    let want: Vec<String> = (1951..=1980).map(|i| format!("[Int({i})]")).collect();
+    let mut want = want;
+    want.sort();
+    assert_eq!(got, want);
+
+    // An unselective range stays a sequential scan.
+    let text = plan_text("EXPLAIN SELECT * FROM big WHERE id >= 0");
+    assert!(text.contains("SeqScan(big)"), "{text}");
+
+    // Unindexed predicates keep the sequential path too.
+    let text = plan_text("EXPLAIN SELECT * FROM big WHERE grp = 3");
+    assert!(text.contains("SeqScan(big)"), "{text}");
 }

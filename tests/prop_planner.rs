@@ -4,11 +4,34 @@
 //! executor (cross product + filter) across randomized schemas,
 //! predicates, and 2–4-way joins.
 
-use neurdb_core::{eval_predicate, execute_plan, plan_select, Bindings};
+use neurdb_core::{
+    eval_predicate, execute_plan, plan_select, plan_select_with, Bindings, PlannerConfig,
+};
 use neurdb_sql::{parse, SelectStmt, Statement};
 use neurdb_storage::{BufferPool, ColumnDef, DataType, DiskManager, Schema, Table, Tuple, Value};
 use proptest::prelude::*;
 use std::sync::Arc;
+
+/// Order-normalized rendering of a result set (multiset comparison).
+fn normalized(rows: &[Tuple]) -> Vec<String> {
+    let mut out: Vec<String> = rows.iter().map(|r| format!("{:?}", r.values)).collect();
+    out.sort();
+    out
+}
+
+/// Run `sql` through the pipeline at a given max parallelism.
+fn run_at(
+    sql: &str,
+    tables: &[(String, Arc<Table>)],
+    parallelism: usize,
+) -> neurdb_core::QueryResult {
+    let Statement::Select(stmt) = parse(sql).unwrap() else {
+        panic!("not a select: {sql}");
+    };
+    let config = PlannerConfig { parallelism };
+    let planned = plan_select_with(&stmt, tables, None, &config).unwrap();
+    execute_plan(&planned.plan).unwrap()
+}
 
 fn make_table(name: &str, rows: &[(i64, i64)]) -> Arc<Table> {
     let pool = Arc::new(BufferPool::new(Arc::new(DiskManager::new()), 128));
@@ -127,29 +150,129 @@ fn run_case(case: &QueryCase) {
     // Same arity and multiset of rows (SELECT * must preserve the
     // FROM-clause column layout regardless of the optimizer's join order).
     let mut want: Vec<String> = expected.iter().map(|r| format!("{r:?}")).collect();
-    let mut have: Vec<String> = got.rows.iter().map(|r| format!("{:?}", r.values)).collect();
+    let have = normalized(&got.rows);
     want.sort();
-    have.sort();
     assert_eq!(want, have, "result mismatch for {sql}");
 
-    // And COUNT(*) through the aggregate operator agrees.
+    // Parallelism must never change the result multiset: every case runs
+    // again at max dop 4 and must match the serial pipeline exactly.
+    let parallel = run_at(&sql, &tables, 4);
+    assert_eq!(normalized(&parallel.rows), have, "dop=4 mismatch for {sql}");
+
+    // And COUNT(*) through the aggregate operator agrees, at dop 1 and 4.
     let count_sql = sql.replacen("SELECT *", "SELECT COUNT(*)", 1);
-    let Statement::Select(count_stmt) = parse(&count_sql).unwrap() else {
-        unreachable!()
-    };
-    let planned = plan_select(&count_stmt, &tables, None).unwrap();
-    let got = execute_plan(&planned.plan).unwrap();
-    assert_eq!(
-        got.rows[0].get(0),
-        &Value::Int(expected.len() as i64),
-        "count mismatch for {count_sql}"
-    );
+    for dop in [1, 4] {
+        let got = run_at(&count_sql, &tables, dop);
+        assert_eq!(
+            got.rows[0].get(0),
+            &Value::Int(expected.len() as i64),
+            "count mismatch for {count_sql} at dop={dop}"
+        );
+    }
 }
 
 proptest! {
     #[test]
     fn pipeline_matches_reference(case in arb_case()) {
         run_case(&case);
+    }
+}
+
+// ------------------- parallel & index-scan properties ------------------
+
+/// A table big enough that the planner actually fans out (multi-page,
+/// past the minimum-cardinality gate), deterministically derived from a
+/// few proptest scalars.
+fn big_table(name: &str, rows: usize, m0: i64, m1: i64, indexed: bool) -> Arc<Table> {
+    let pool = Arc::new(BufferPool::new(Arc::new(DiskManager::new()), 256));
+    let schema = Schema::new(vec![
+        ColumnDef::new("c0", DataType::Int),
+        ColumnDef::new("c1", DataType::Int),
+    ]);
+    let t = Arc::new(Table::new(name, schema, pool));
+    if indexed {
+        t.create_index(0).unwrap();
+    }
+    for i in 0..rows as i64 {
+        t.insert(Tuple::new(vec![Value::Int(i % m0), Value::Int(i % m1)]))
+            .unwrap();
+    }
+    // Warm the statistics cache so single-table planning sees live stats
+    // (range index choices require them).
+    t.stats().unwrap();
+    t
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// Morsel-parallel execution is result-identical to serial across
+    /// filters, aggregates, grouped aggregates, and sorts over a table
+    /// large enough to split into real partitions.
+    #[test]
+    fn parallel_matches_serial(
+        rows in 700usize..1600,
+        m0 in 2i64..97,
+        m1 in 2i64..13,
+        k in 0i64..97,
+    ) {
+        let t = big_table("t0", rows, m0, m1, false);
+        let tables = vec![("t0".to_string(), t)];
+        let queries = [
+            format!("SELECT * FROM t0 WHERE c0 < {k}"),
+            format!("SELECT c1, c0 FROM t0 WHERE c0 >= {k} OR c1 = 1"),
+            "SELECT COUNT(*), SUM(c0), MIN(c0), MAX(c1), AVG(c1) FROM t0".to_string(),
+            format!("SELECT c1, COUNT(*), SUM(c0) FROM t0 WHERE c0 <> {k} GROUP BY c1"),
+            format!("SELECT c0 FROM t0 WHERE c1 < 6 ORDER BY c0 DESC LIMIT {}", (k as usize % 40) + 1),
+        ];
+        for sql in &queries {
+            let serial = run_at(sql, &tables, 1);
+            let parallel = run_at(sql, &tables, 4);
+            prop_assert_eq!(&serial.columns, &parallel.columns, "{}", sql);
+            prop_assert_eq!(
+                normalized(&serial.rows),
+                normalized(&parallel.rows),
+                "dop=4 diverged for {}",
+                sql
+            );
+        }
+    }
+
+    /// An index scan (point or range) returns exactly what the
+    /// sequential scan returns, and selective indexed predicates do
+    /// plan as IndexScan.
+    #[test]
+    fn index_scan_matches_seq_scan(
+        rows in 600usize..1400,
+        m0 in 50i64..400,
+        lo in 0i64..400,
+        width in 0i64..30,
+    ) {
+        let indexed = big_table("t0", rows, m0, 7, true);
+        let plain = big_table("t0", rows, m0, 7, false);
+        let with_index = vec![("t0".to_string(), indexed)];
+        let without = vec![("t0".to_string(), plain)];
+        let queries = [
+            format!("SELECT * FROM t0 WHERE c0 = {lo}"),
+            format!("SELECT * FROM t0 WHERE c0 > {lo} AND c0 <= {}", lo + width),
+            format!("SELECT COUNT(*), SUM(c1) FROM t0 WHERE c0 >= {lo} AND c0 < {}", lo + width),
+            format!("SELECT c1 FROM t0 WHERE c0 = {lo} AND c1 < 5"),
+        ];
+        for sql in &queries {
+            let via_index = run_at(sql, &with_index, 1);
+            let via_seq = run_at(sql, &without, 1);
+            prop_assert_eq!(
+                normalized(&via_index.rows),
+                normalized(&via_seq.rows),
+                "index path diverged for {}",
+                sql
+            );
+        }
+        // The equality probe really is an IndexScan on the indexed table.
+        let Statement::Select(stmt) = parse(&queries[0]).unwrap() else { unreachable!() };
+        let planned = plan_select(&stmt, &with_index, None).unwrap();
+        let rendered = planned.plan.render(None).join("\n");
+        prop_assert!(rendered.contains("IndexScan"), "{}", rendered);
     }
 }
 
