@@ -152,5 +152,70 @@ fn bench_parallel(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_exec, bench_parallel);
+/// Partitioned parallel hash join: a fan-out-worthy probe side joined
+/// to a small build side at dop=1 vs dop=4 (`SET parallelism`). dop=1
+/// runs the classic serial hash join; dop=4 hash-partitions the build
+/// side and probes it from 4 morsel workers, so the delta is the join
+/// fan-out itself.
+fn bench_join_parallel(c: &mut Criterion) {
+    const FACTS: usize = 40_000;
+    const DIMS: usize = 200;
+    let db = Database::new();
+    db.execute("CREATE TABLE facts (fid INT PRIMARY KEY, dim INT, val INT)")
+        .unwrap();
+    db.execute("CREATE TABLE dims (did INT PRIMARY KEY, label INT)")
+        .unwrap();
+    for chunk in 0..(FACTS / 4000) {
+        let mut stmt = String::from("INSERT INTO facts VALUES ");
+        for i in (chunk * 4000)..((chunk + 1) * 4000) {
+            if i > chunk * 4000 {
+                stmt.push(',');
+            }
+            stmt.push_str(&format!("({i}, {}, {})", i % DIMS, i % 1000));
+        }
+        db.execute(&stmt).unwrap();
+    }
+    let mut stmt = String::from("INSERT INTO dims VALUES ");
+    for d in 0..DIMS {
+        if d > 0 {
+            stmt.push(',');
+        }
+        stmt.push_str(&format!("({d}, {})", d % 10));
+    }
+    db.execute(&stmt).unwrap();
+
+    let mut g = c.benchmark_group("exec_join_parallel");
+    g.sample_size(10)
+        .measurement_time(Duration::from_millis(500));
+    g.throughput(Throughput::Elements(FACTS as u64));
+
+    for dop in [1usize, 4] {
+        db.execute(&format!("SET parallelism = {dop}")).unwrap();
+        g.bench_function(format!("hash_join_probe_dop{dop}"), |b| {
+            b.iter(|| {
+                black_box(
+                    db.execute(
+                        "SELECT f.fid, d.label FROM facts f, dims d \
+                         WHERE f.dim = d.did AND d.label = 3 AND f.val < 500",
+                    )
+                    .unwrap(),
+                )
+            })
+        });
+        g.bench_function(format!("join_agg_dop{dop}"), |b| {
+            b.iter(|| {
+                black_box(
+                    db.execute(
+                        "SELECT COUNT(*), SUM(f.val) FROM facts f, dims d \
+                         WHERE f.dim = d.did AND d.label < 5",
+                    )
+                    .unwrap(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_exec, bench_parallel, bench_join_parallel);
 criterion_main!(benches);

@@ -36,6 +36,29 @@ use std::collections::HashMap;
 use std::path::Path;
 use std::sync::Arc;
 
+/// Whether a LIMIT in `plan` can stop pulling its subtree mid-stream,
+/// leaving truncated operator counters below it. A full pipeline breaker
+/// under the Limit — Sort or a (final) aggregation, possibly behind
+/// streaming pass-throughs — drains its input completely before the
+/// first row comes out, so counters below it are exact despite the
+/// Limit.
+fn limit_truncates(plan: &PhysicalPlan) -> bool {
+    fn breaks_pipeline(plan: &PhysicalPlan) -> bool {
+        match plan {
+            PhysicalPlan::Sort { .. } | PhysicalPlan::HashAggregate { .. } => true,
+            PhysicalPlan::Project { input, .. }
+            | PhysicalPlan::Filter { input, .. }
+            | PhysicalPlan::Reorder { input, .. }
+            | PhysicalPlan::Limit { input, .. } => breaks_pipeline(input),
+            _ => false,
+        }
+    }
+    match plan {
+        PhysicalPlan::Limit { input, .. } => !breaks_pipeline(input),
+        other => other.children().into_iter().any(limit_truncates),
+    }
+}
+
 /// Result of executing one statement.
 #[derive(Debug)]
 pub enum Output {
@@ -455,10 +478,27 @@ impl Database {
     /// [`neurdb_qo::Optimizer::observe`] trains on the corrected graph.
     /// Returns whether feedback was delivered (multi-table plan with an
     /// installed optimizer).
+    ///
+    /// Zero-observation guards: an operator that reported **zero** rows
+    /// is indistinguishable from one that never executed (an empty build
+    /// side short-circuits its probe subtree; `LIMIT` tears fragments
+    /// down early), so zero-row scans keep their planning-time estimate
+    /// instead of injecting a bogus `true_rows`, and a join updates its
+    /// edge only when both inputs actually produced rows. Every rewritten
+    /// field is clamped finite and positive before `observe` — the model
+    /// must never train on zeros, NaNs, or infinities.
     pub fn record_plan_feedback(&self, planned: &PlannedSelect, metrics: &[OpMetrics]) -> bool {
         let Some(graph) = &planned.graph else {
             return false;
         };
+        // A LIMIT that stops pulling mid-stream leaves every operator
+        // below it with *truncated* counters — not ground truth at any
+        // scale, so the whole execution is unusable as feedback. Only a
+        // pipeline breaker (Sort, aggregation) between the Limit and the
+        // joins guarantees the subtree was drained completely.
+        if limit_truncates(&planned.plan) {
+            return false;
+        }
         let mut observed = graph.clone();
         let name_to_idx: HashMap<&str, usize> = observed
             .tables
@@ -491,7 +531,9 @@ impl Database {
                         None => (0, rows),
                     }
                 }
-                PhysicalPlan::HashJoin { .. } | PhysicalPlan::NestedLoopJoin { .. } => {
+                PhysicalPlan::HashJoin { .. }
+                | PhysicalPlan::PartitionedHashJoin { .. }
+                | PhysicalPlan::NestedLoopJoin { .. } => {
                     let children = plan.children();
                     let (lmask, lrows) = walk(children[0], next, metrics, names, scans, joins);
                     let (rmask, rrows) = walk(children[1], next, metrics, names, scans, joins);
@@ -526,16 +568,26 @@ impl Database {
             &mut scans,
             &mut joins,
         );
-        // A scan's observed rows under a Gather are counted by the scan
-        // operator itself (worker metrics fold into its slot), so one
-        // update per base table suffices.
+        // A scan's observed rows under a Gather or a partitioned join are
+        // counted by the scan operator itself (worker metrics fold into
+        // its slot), so one update per base table suffices. Zero rows are
+        // skipped: a subtree short-circuited away (empty build side,
+        // LIMIT teardown) reports zero without ever running, and a
+        // genuinely empty scan carries no more signal than its estimate.
         for (i, rows) in scans {
-            observed.tables[i].true_rows = (rows as f64).max(1.0);
+            if rows > 0 {
+                observed.tables[i].true_rows = (rows as f64).max(1.0);
+            }
         }
         // Attribute each join's observed output to the single graph edge
         // crossing its two input sets, when unambiguous; the denominator
-        // is the product of the *observed* input cardinalities.
+        // is the product of the *observed* input cardinalities. Joins
+        // whose inputs produced nothing (never-executed subtrees) leave
+        // the edge estimate untouched.
         for (lmask, rmask, in_cross, rows) in joins {
+            if in_cross <= 0.0 {
+                continue;
+            }
             let crossing: Vec<usize> = observed
                 .joins
                 .iter()
@@ -547,7 +599,23 @@ impl Database {
                 .map(|(j, _)| j)
                 .collect();
             if let [j] = crossing[..] {
-                observed.joins[j].true_sel = (rows as f64 / in_cross.max(1.0)).clamp(1e-9, 1.0);
+                observed.joins[j].true_sel = (rows as f64 / in_cross).clamp(1e-9, 1.0);
+            }
+        }
+        // Defense in depth: nothing non-finite or non-positive may reach
+        // the learned model's training step.
+        for t in &mut observed.tables {
+            if !t.true_rows.is_finite() || t.true_rows < 1.0 {
+                t.true_rows = 1.0;
+            }
+        }
+        for e in &mut observed.joins {
+            if !e.true_sel.is_finite() || e.true_sel <= 0.0 {
+                e.true_sel = if e.est_sel.is_finite() && e.est_sel > 0.0 {
+                    e.est_sel
+                } else {
+                    1e-9
+                };
             }
         }
         let mut opt = self.join_optimizer.lock();
@@ -563,6 +631,9 @@ impl Database {
     /// Install a learned join-order optimizer (e.g. a pre-trained
     /// [`neurdb_qo::NeurQo`]); subsequent multi-join SELECTs route their
     /// join ordering through it instead of the DP baseline.
+    ///
+    /// (See [`Database::record_plan_feedback`] for how metered
+    /// executions train it.)
     pub fn set_join_optimizer(&self, opt: Box<dyn neurdb_qo::Optimizer + Send>) {
         *self.join_optimizer.lock() = Some(opt);
     }

@@ -20,16 +20,21 @@
 //! stays single-threaded, so stateful consumers (Sort, hash builds) never
 //! observe concurrency. Aggregations directly over a parallel scan are
 //! split into per-worker partial aggregates whose encoded states the
-//! Gather's consumer merges (two-phase parallel aggregation).
+//! Gather's consumer merges (two-phase parallel aggregation). A hash
+//! join whose probe side merits fan-out runs as a *partitioned parallel
+//! hash join* ([`PartitionedHashJoinOp`]): the build side is drained
+//! once and hash-partitioned into `dop` read-only partitions, then each
+//! worker probes them with its own morsel stream of the probe scan.
 //!
 //! Every operator is wrapped in a metering shell that counts rows/batches
 //! and inclusive wall time — `EXPLAIN ANALYZE` renders those counters
-//! next to each plan node, including per-worker row counts at a Gather.
+//! next to each plan node, including per-worker row counts at a Gather
+//! or a partitioned join.
 
 use crate::error::CoreError;
 use crate::expr::{eval, Bindings};
 use crate::planner::{plan_select, PhysicalPlan};
-use crate::vector::PredicateSet;
+use crate::vector::{PredicateSet, ProjectionSet};
 use crossbeam::channel;
 use neurdb_sql::{AggFunc, Expr, SelectItem, SelectStmt, SortOrder};
 use neurdb_storage::{HeapBatchScan, Table, Tuple, Value};
@@ -293,6 +298,37 @@ fn build_operator(
             right_key: *right_key,
             table: HashMap::new(),
         }),
+        PhysicalPlan::PartitionedHashJoin {
+            probe,
+            build,
+            left_key,
+            right_key,
+            dop,
+            ..
+        } => {
+            if in_worker {
+                return Err(CoreError::Unsupported(
+                    "nested parallel join inside a parallel fragment".to_string(),
+                ));
+            }
+            // Pre-order slot layout: join, probe subtree (built inside
+            // the workers), then the build subtree (built here).
+            let probe_base = register_slots(probe, sink);
+            let probe_len = plan_size(probe);
+            let build_op = build_operator(build, sink, partition, in_worker)?;
+            Box::new(PartitionedHashJoinOp {
+                build: Some(build_op),
+                probe_plan: probe.as_ref().clone(),
+                left_key: *left_key,
+                right_key: *right_key,
+                dop: (*dop).max(1),
+                pool: None,
+                id,
+                probe_slots: (probe_base, probe_len),
+                sink: sink.clone(),
+                finished: false,
+            })
+        }
         PhysicalPlan::NestedLoopJoin { left, right, .. } => Box::new(NestedLoopJoinOp {
             left: build_operator(left, sink, partition, in_worker)?,
             right: Some(build_operator(right, sink, partition, in_worker)?),
@@ -339,8 +375,7 @@ fn build_operator(
             ..
         } => Box::new(ProjectOp {
             input: build_operator(input, sink, partition, in_worker)?,
-            items: items.clone(),
-            env: in_env.clone(),
+            proj: ProjectionSet::compile(items, in_env),
         }),
         PhysicalPlan::Sort {
             input,
@@ -410,37 +445,52 @@ impl Operator for IndexScanOp {
 
 // ------------------------------ exchange ------------------------------
 
-/// What a finished Gather worker reports back: its id, the metrics of
+/// What a finished parallel worker reports back: its id, the metrics of
 /// its private fragment (pre-order, aligned with the fragment plan), and
 /// the error that stopped it, if any.
 type WorkerReport = (usize, Vec<OpMetrics>, Option<CoreError>);
 
-/// Gather: merges the batch streams of `dop` fragment workers. See the
-/// module docs for the threading model.
-struct ExchangeOp {
+/// What each parallel worker does with the batches its private fragment
+/// produces before sending them downstream.
+#[derive(Clone)]
+enum WorkerTask {
+    /// Forward fragment batches as-is (a Gather).
+    Forward,
+    /// Probe a shared partitioned hash-join build table with every
+    /// fragment row and forward the joined rows.
+    Probe {
+        partitions: Arc<Vec<HashMap<Value, Vec<Tuple>>>>,
+        left_key: usize,
+    },
+}
+
+/// The shared threading core of every parallel operator (Gather,
+/// partitioned hash join): `dop` worker threads each run a private copy
+/// of a plan fragment over one page-range partition of the fragment's
+/// scan table and stream batches into a bounded channel (back-pressure:
+/// [`EXCHANGE_QUEUE_PER_WORKER`] batches of headroom per worker). At
+/// shutdown the workers' fragment metrics fold into the main sink's
+/// `child_slots` range and per-worker output rows are reported.
+struct WorkerPool {
     rx: Option<channel::Receiver<(usize, Batch)>>,
     reports: channel::Receiver<WorkerReport>,
     handles: Vec<JoinHandle<()>>,
     worker_rows: Vec<u64>,
-    /// Own metric slot and the `(base, len)` slot range of the child
-    /// fragment in the main sink.
-    id: usize,
+    /// `(base, len)` slot range of the worker fragment in the main sink.
     child_slots: (usize, usize),
-    sink: MetricsSink,
     finished: bool,
 }
 
-impl ExchangeOp {
+impl WorkerPool {
     fn spawn(
         fragment: &PhysicalPlan,
         dop: usize,
-        id: usize,
+        task: &WorkerTask,
         child_slots: (usize, usize),
-        sink: MetricsSink,
-    ) -> Result<ExchangeOp, CoreError> {
+    ) -> Result<WorkerPool, CoreError> {
         let dop = dop.max(1);
         let table = fragment_scan_table(fragment).ok_or_else(|| {
-            CoreError::Unsupported("Exchange fragment without a scan leaf".to_string())
+            CoreError::Unsupported("parallel fragment without a scan leaf".to_string())
         })?;
         let partitions = table.scan_partitions(dop, BATCH_ROWS);
         let (tx, rx) = channel::bounded(dop * EXCHANGE_QUEUE_PER_WORKER);
@@ -450,12 +500,23 @@ impl ExchangeOp {
             let plan = fragment.clone();
             let tx = tx.clone();
             let report_tx = report_tx.clone();
+            let task = task.clone();
             handles.push(std::thread::spawn(move || {
                 let local: MetricsSink = Rc::new(RefCell::new(Vec::new()));
                 let result = (|| {
                     let mut root = build_operator(&plan, &local, &mut Some(cursor), true)?;
                     while let Some(batch) = root.next_batch()? {
-                        if tx.send((w, batch)).is_err() {
+                        let out = match &task {
+                            WorkerTask::Forward => batch,
+                            WorkerTask::Probe {
+                                partitions,
+                                left_key,
+                            } => probe_partitions(&batch, partitions, *left_key),
+                        };
+                        if out.is_empty() {
+                            continue;
+                        }
+                        if tx.send((w, out)).is_err() {
                             break; // consumer gone (e.g. LIMIT satisfied)
                         }
                     }
@@ -467,21 +528,37 @@ impl ExchangeOp {
                 let _ = report_tx.send((w, metrics, result.err()));
             }));
         }
-        Ok(ExchangeOp {
+        Ok(WorkerPool {
             rx: Some(rx),
             reports,
             handles,
             worker_rows: vec![0; dop],
-            id,
             child_slots,
-            sink,
             finished: false,
         })
     }
 
-    /// Join the workers, fold their fragment metrics into the main sink,
-    /// and surface the first worker error.
-    fn shutdown(&mut self) -> Option<CoreError> {
+    /// The next merged batch, or `None` once every worker hung up (any
+    /// worker error surfaces after the join in [`WorkerPool::shutdown`]).
+    fn next(&mut self) -> Result<Option<(usize, Batch)>, CoreError> {
+        if self.finished {
+            return Ok(None);
+        }
+        let rx = self.rx.as_ref().expect("receiver alive until shutdown");
+        match rx.recv() {
+            Ok((w, batch)) => {
+                self.worker_rows[w] += batch.len() as u64;
+                Ok(Some((w, batch)))
+            }
+            Err(_) => Ok(None),
+        }
+    }
+
+    /// Join the workers, fold their fragment metrics into `sink`, and
+    /// surface the first worker error. Idempotent; also runs on early
+    /// teardown (LIMIT, consumer error), where dropping the receiver
+    /// unblocks any worker stuck on a full queue.
+    fn shutdown(&mut self, sink: &MetricsSink) -> Option<CoreError> {
         if self.finished {
             return None;
         }
@@ -493,12 +570,12 @@ impl ExchangeOp {
         for h in self.handles.drain(..) {
             if h.join().is_err() && first_err.is_none() {
                 first_err = Some(CoreError::Unsupported(
-                    "parallel scan worker panicked".to_string(),
+                    "parallel worker panicked".to_string(),
                 ));
             }
         }
         let (base, len) = self.child_slots;
-        let mut sink = self.sink.borrow_mut();
+        let mut sink = sink.borrow_mut();
         while let Ok((_, metrics, err)) = self.reports.try_recv() {
             for (i, m) in metrics.into_iter().enumerate().take(len) {
                 let slot = &mut sink[base + i];
@@ -510,24 +587,50 @@ impl ExchangeOp {
                 first_err = err;
             }
         }
-        sink[self.id].note = format!("workers={:?}", self.worker_rows);
         first_err
+    }
+}
+
+/// Gather: merges the batch streams of `dop` fragment workers. See the
+/// module docs for the threading model.
+struct ExchangeOp {
+    pool: WorkerPool,
+    /// Own metric slot in the main sink.
+    id: usize,
+    sink: MetricsSink,
+}
+
+impl ExchangeOp {
+    fn spawn(
+        fragment: &PhysicalPlan,
+        dop: usize,
+        id: usize,
+        child_slots: (usize, usize),
+        sink: MetricsSink,
+    ) -> Result<ExchangeOp, CoreError> {
+        Ok(ExchangeOp {
+            pool: WorkerPool::spawn(fragment, dop, &WorkerTask::Forward, child_slots)?,
+            id,
+            sink,
+        })
+    }
+
+    fn shutdown(&mut self) -> Option<CoreError> {
+        if self.pool.finished {
+            return None;
+        }
+        let err = self.pool.shutdown(&self.sink);
+        self.sink.borrow_mut()[self.id].note = format!("workers={:?}", self.pool.worker_rows);
+        err
     }
 }
 
 impl Operator for ExchangeOp {
     fn next_batch(&mut self) -> Result<Option<Batch>, CoreError> {
-        if self.finished {
-            return Ok(None);
-        }
-        let rx = self.rx.as_ref().expect("receiver alive until shutdown");
-        match rx.recv() {
-            Ok((w, batch)) => {
-                self.worker_rows[w] += batch.len() as u64;
-                Ok(Some(batch))
-            }
+        match self.pool.next()? {
+            Some((_, batch)) => Ok(Some(batch)),
             // All workers hung up: fold metrics, propagate any error.
-            Err(_) => match self.shutdown() {
+            None => match self.shutdown() {
                 Some(e) => Err(e),
                 None => Ok(None),
             },
@@ -539,6 +642,166 @@ impl Drop for ExchangeOp {
     fn drop(&mut self) {
         // Early teardown (LIMIT, consumer error): still join the workers
         // and keep whatever metrics they managed to record.
+        let _ = self.shutdown();
+    }
+}
+
+// --------------------- partitioned parallel join ----------------------
+
+/// Route a join key to its build partition: a cheap multiply-mix over an
+/// Eq-consistent discriminant (numerically equal Int/Float route
+/// together, exactly like [`Value`]'s `Hash`/`Eq`), deterministic across
+/// threads so the build phase and every probe worker agree. Kept far
+/// cheaper than the partition maps' own SipHash — routing runs once per
+/// row on both hot paths.
+#[inline]
+fn partition_of(key: &Value, dop: usize) -> usize {
+    let bits = match key {
+        Value::Null => 0,
+        Value::Bool(b) => 1 + *b as u64,
+        Value::Int(i) => (*i as f64).to_bits(),
+        Value::Float(f) => f.to_bits(),
+        Value::Text(s) => {
+            // FNV-1a over the bytes.
+            let mut h = 0xcbf29ce484222325u64;
+            for b in s.as_bytes() {
+                h = (h ^ *b as u64).wrapping_mul(0x100000001b3);
+            }
+            h
+        }
+    };
+    ((bits.wrapping_mul(0x9E3779B97F4A7C15) >> 32) % dop as u64) as usize
+}
+
+/// The shared build/probe row semantics of every hash join (serial and
+/// partitioned): NULL keys never build and never match; joined rows are
+/// `probe ++ build`. A serial join is simply the one-partition case.
+#[inline]
+fn join_build_insert(partitions: &mut [HashMap<Value, Vec<Tuple>>], key_idx: usize, row: Tuple) {
+    let key = row.get(key_idx).clone();
+    if key.is_null() {
+        return;
+    }
+    let p = match partitions.len() {
+        1 => 0,
+        n => partition_of(&key, n),
+    };
+    partitions[p].entry(key).or_default().push(row);
+}
+
+#[inline]
+fn join_lookup<'a>(
+    partitions: &'a [HashMap<Value, Vec<Tuple>>],
+    key: &Value,
+) -> Option<&'a Vec<Tuple>> {
+    let p = match partitions.len() {
+        1 => 0,
+        n => partition_of(key, n),
+    };
+    partitions[p].get(key)
+}
+
+/// Probe the build partitions with one batch of probe-side rows.
+fn probe_partitions(
+    batch: &[Tuple],
+    partitions: &[HashMap<Value, Vec<Tuple>>],
+    left_key: usize,
+) -> Batch {
+    let mut out = Vec::new();
+    for l in batch {
+        let key = l.get(left_key);
+        if key.is_null() {
+            continue;
+        }
+        if let Some(matches) = join_lookup(partitions, key) {
+            for r in matches {
+                let mut vals = l.values.clone();
+                vals.extend(r.values.iter().cloned());
+                out.push(Tuple::new(vals));
+            }
+        }
+    }
+    out
+}
+
+/// Partitioned parallel hash join. The first pull drains the build
+/// (right) side single-threaded and hash-partitions its rows on the
+/// build key into `dop` read-only partitions; the probe (left) fragment
+/// then fans out across `dop` morsel workers — each drains one
+/// page-range partition of the probe scan, probes the shared partitions,
+/// and streams joined batches through the pool's bounded channel. An
+/// empty build side short-circuits: the workers are never spawned and
+/// the probe scan never runs.
+struct PartitionedHashJoinOp {
+    /// Consumed (drained into the partitions) on the first pull.
+    build: Option<Box<dyn Operator>>,
+    probe_plan: PhysicalPlan,
+    left_key: usize,
+    right_key: usize,
+    dop: usize,
+    pool: Option<WorkerPool>,
+    /// Own metric slot and the probe fragment's slot range.
+    id: usize,
+    probe_slots: (usize, usize),
+    sink: MetricsSink,
+    finished: bool,
+}
+
+impl PartitionedHashJoinOp {
+    fn shutdown(&mut self) -> Option<CoreError> {
+        self.finished = true;
+        let pool = self.pool.as_mut()?;
+        if pool.finished {
+            return None;
+        }
+        let err = pool.shutdown(&self.sink);
+        self.sink.borrow_mut()[self.id].note = format!("workers={:?}", pool.worker_rows);
+        err
+    }
+}
+
+impl Operator for PartitionedHashJoinOp {
+    fn next_batch(&mut self) -> Result<Option<Batch>, CoreError> {
+        if self.finished {
+            return Ok(None);
+        }
+        if self.pool.is_none() {
+            // Build phase: drain the right input into hash partitions.
+            let mut build = self.build.take().expect("build side pending");
+            let mut partitions: Vec<HashMap<Value, Vec<Tuple>>> = vec![HashMap::new(); self.dop];
+            while let Some(batch) = build.next_batch()? {
+                for row in batch {
+                    join_build_insert(&mut partitions, self.right_key, row);
+                }
+            }
+            if partitions.iter().all(|p| p.is_empty()) {
+                // Empty build side can never produce a match; skip the
+                // probe entirely (workers never spawn).
+                self.finished = true;
+                return Ok(None);
+            }
+            self.pool = Some(WorkerPool::spawn(
+                &self.probe_plan,
+                self.dop,
+                &WorkerTask::Probe {
+                    partitions: Arc::new(partitions),
+                    left_key: self.left_key,
+                },
+                self.probe_slots,
+            )?);
+        }
+        match self.pool.as_mut().expect("pool spawned").next()? {
+            Some((_, batch)) => Ok(Some(batch)),
+            None => match self.shutdown() {
+                Some(e) => Err(e),
+                None => Ok(None),
+            },
+        }
+    }
+}
+
+impl Drop for PartitionedHashJoinOp {
+    fn drop(&mut self) {
         let _ = self.shutdown();
     }
 }
@@ -598,11 +861,7 @@ impl Operator for HashJoinOp {
             // Build phase: hash the entire right input on its key.
             while let Some(batch) = right.next_batch()? {
                 for row in batch {
-                    let key = row.get(self.right_key).clone();
-                    if key.is_null() {
-                        continue;
-                    }
-                    self.table.entry(key).or_default().push(row);
+                    join_build_insert(std::slice::from_mut(&mut self.table), self.right_key, row);
                 }
             }
         }
@@ -614,20 +873,7 @@ impl Operator for HashJoinOp {
             let Some(batch) = self.left.next_batch()? else {
                 return Ok(None);
             };
-            let mut out = Vec::new();
-            for l in &batch {
-                let key = l.get(self.left_key);
-                if key.is_null() {
-                    continue;
-                }
-                if let Some(matches) = self.table.get(key) {
-                    for r in matches {
-                        let mut vals = l.values.clone();
-                        vals.extend(r.values.iter().cloned());
-                        out.push(Tuple::new(vals));
-                    }
-                }
-            }
+            let out = probe_partitions(&batch, std::slice::from_ref(&self.table), self.left_key);
             if !out.is_empty() {
                 return Ok(Some(out));
             }
@@ -668,10 +914,14 @@ impl Operator for NestedLoopJoinOp {
     }
 }
 
+/// Scalar projection through compiled column kernels
+/// ([`crate::vector::ProjectionSet`]): column indexes resolve once at
+/// build time, arithmetic/comparison items evaluate column-at-a-time,
+/// and anything else falls back to row evaluation with identical
+/// semantics.
 struct ProjectOp {
     input: Box<dyn Operator>,
-    items: Vec<SelectItem>,
-    env: Bindings,
+    proj: ProjectionSet,
 }
 
 impl Operator for ProjectOp {
@@ -679,18 +929,7 @@ impl Operator for ProjectOp {
         let Some(batch) = self.input.next_batch()? else {
             return Ok(None);
         };
-        let mut out = Vec::with_capacity(batch.len());
-        for row in &batch {
-            let mut vals = Vec::with_capacity(self.items.len());
-            for item in &self.items {
-                match item {
-                    SelectItem::Wildcard => vals.extend(row.values.iter().cloned()),
-                    SelectItem::Expr { expr, .. } => vals.push(eval(expr, row, &self.env)?),
-                }
-            }
-            out.push(Tuple::new(vals));
-        }
-        Ok(Some(out))
+        Ok(Some(self.proj.project(batch)?))
     }
 }
 

@@ -180,7 +180,10 @@ pub fn eval(expr: &Expr, row: &Tuple, env: &Bindings) -> Result<Value, EvalError
     }
 }
 
-fn arith(op: BinaryOp, l: &Value, r: &Value) -> Result<Value, EvalError> {
+/// Arithmetic over two non-NULL values (shared with the columnar
+/// projection kernels in [`crate::vector`], which must produce results
+/// and type errors bit-identical to [`eval`]).
+pub(crate) fn arith(op: BinaryOp, l: &Value, r: &Value) -> Result<Value, EvalError> {
     // Integer arithmetic stays integral; any float operand promotes.
     if let (Value::Int(a), Value::Int(b)) = (l, r) {
         return Ok(match op {

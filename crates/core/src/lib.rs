@@ -47,4 +47,4 @@ pub use exec::{
 };
 pub use expr::{eval, eval_predicate, Bindings, EvalError};
 pub use planner::{plan_select, plan_select_with, PhysicalPlan, PlannedSelect, PlannerConfig};
-pub use vector::PredicateSet;
+pub use vector::{ExprKernel, PredicateSet, ProjectionSet};

@@ -35,13 +35,25 @@ use std::sync::Arc;
 pub struct PlannerConfig {
     /// Maximum degree of parallelism per scan. `1` (the default) keeps
     /// every operator single-threaded; higher values let the planner fan
-    /// large scans out to morsel workers behind a Gather exchange.
+    /// large scans out to morsel workers behind a Gather exchange — and
+    /// hash joins probing such a scan become partitioned parallel joins
+    /// ([`PhysicalPlan::PartitionedHashJoin`]).
     pub parallelism: usize,
+    /// Minimum estimated input rows before a scan fans out (default
+    /// [`PARALLEL_MIN_EST_ROWS`]): morsel workers cost thread spawns and
+    /// a channel hop per batch, which small inputs never amortize.
+    /// Setting `0.0` force-parallelizes every scan at full `parallelism`
+    /// regardless of size or page count — a testing knob that drives the
+    /// parallel operators (empty partitions included) over tiny tables.
+    pub parallel_min_rows: f64,
 }
 
 impl Default for PlannerConfig {
     fn default() -> Self {
-        PlannerConfig { parallelism: 1 }
+        PlannerConfig {
+            parallelism: 1,
+            parallel_min_rows: PARALLEL_MIN_EST_ROWS,
+        }
     }
 }
 
@@ -107,6 +119,26 @@ pub enum PhysicalPlan {
         cond: Expr,
         env: Bindings,
         est_rows: f64,
+    },
+    /// Partitioned parallel hash join: the build (right) side runs
+    /// single-threaded and is hash-partitioned on its key into `dop`
+    /// read-only partitions; the probe (left) side is a scan fragment
+    /// fanned out across `dop` morsel workers (the planner absorbs the
+    /// probe scan's Gather into the join, so the scan-dop cardinality
+    /// gating behind `SET parallelism` carries over). Each worker probes
+    /// the shared partitions and streams joined batches through the same
+    /// bounded-channel machinery as [`PhysicalPlan::Exchange`].
+    PartitionedHashJoin {
+        /// Worker fragment (contains the probe scan leaf).
+        probe: Box<PhysicalPlan>,
+        build: Box<PhysicalPlan>,
+        left_key: usize,
+        right_key: usize,
+        /// The equi conjunct this join consumes (for display).
+        cond: Expr,
+        env: Bindings,
+        est_rows: f64,
+        dop: usize,
     },
     /// Cross/theta join: materialize the right input, stream the left.
     NestedLoopJoin {
@@ -342,8 +374,9 @@ const BLIND_EQ_SEL: f64 = 0.05;
 
 /// Scans expected to read fewer rows than this stay serial: morsel
 /// fan-out costs thread spawns and a channel hop per batch, which small
-/// inputs never amortize.
-const PARALLEL_MIN_EST_ROWS: f64 = 512.0;
+/// inputs never amortize (the default for
+/// [`PlannerConfig::parallel_min_rows`]).
+pub const PARALLEL_MIN_EST_ROWS: f64 = 512.0;
 
 /// An index access path chosen for a scan.
 struct IndexChoice {
@@ -436,10 +469,18 @@ fn choose_index(
 
 /// Degree of parallelism for a sequential scan: fan out only when the
 /// *input* (pre-predicate) cardinality amortizes worker startup, and
-/// never wider than the page count (partitions are page-granular).
+/// never wider than the page count (partitions are page-granular). A
+/// zero `parallel_min_rows` forces full fan-out (testing knob; extra
+/// workers just drain empty partitions).
 fn scan_dop(table: &Table, input_rows: f64, config: &PlannerConfig) -> usize {
+    if config.parallelism <= 1 {
+        return 1;
+    }
+    if config.parallel_min_rows <= 0.0 {
+        return config.parallelism;
+    }
     let pages = table.num_pages();
-    if config.parallelism <= 1 || pages < 2 || input_rows < PARALLEL_MIN_EST_ROWS {
+    if pages < 2 || input_rows < config.parallel_min_rows {
         return 1;
     }
     config.parallelism.min(pages)
@@ -973,14 +1014,33 @@ impl JoinBuilder<'_> {
                 let mut plan = match join_key {
                     Some((j, (lk, rk), cond)) => {
                         self.used[j] = true;
-                        PhysicalPlan::HashJoin {
-                            left: Box::new(left.plan),
-                            right: Box::new(right.plan),
-                            left_key: lk,
-                            right_key: rk,
-                            cond,
-                            env: env.clone(),
-                            est_rows,
+                        match left.plan {
+                            // The probe side is a parallel scan: absorb
+                            // its Gather into the join so the workers
+                            // probe instead of just scanning (the scan's
+                            // cardinality gating already authorized the
+                            // fan-out).
+                            PhysicalPlan::Exchange { input, dop, .. } => {
+                                PhysicalPlan::PartitionedHashJoin {
+                                    probe: input,
+                                    build: Box::new(right.plan),
+                                    left_key: lk,
+                                    right_key: rk,
+                                    cond,
+                                    env: env.clone(),
+                                    est_rows,
+                                    dop,
+                                }
+                            }
+                            probe => PhysicalPlan::HashJoin {
+                                left: Box::new(probe),
+                                right: Box::new(right.plan),
+                                left_key: lk,
+                                right_key: rk,
+                                cond,
+                                env: env.clone(),
+                                est_rows,
+                            },
                         }
                     }
                     None => PhysicalPlan::NestedLoopJoin {
@@ -1040,6 +1100,7 @@ impl PhysicalPlan {
             PhysicalPlan::SeqScan { env, .. }
             | PhysicalPlan::IndexScan { env, .. }
             | PhysicalPlan::HashJoin { env, .. }
+            | PhysicalPlan::PartitionedHashJoin { env, .. }
             | PhysicalPlan::NestedLoopJoin { env, .. } => {
                 env.cols.iter().map(|(_, c)| c.clone()).collect()
             }
@@ -1110,6 +1171,15 @@ impl PhysicalPlan {
             PhysicalPlan::HashJoin { cond, est_rows, .. } => {
                 format!("HashJoin({}) (est={est_rows:.0} rows)", expr_sql(cond))
             }
+            PhysicalPlan::PartitionedHashJoin {
+                cond,
+                est_rows,
+                dop,
+                ..
+            } => format!(
+                "PartitionedHashJoin({}) (est={est_rows:.0} rows, dop={dop})",
+                expr_sql(cond)
+            ),
             PhysicalPlan::NestedLoopJoin { est_rows, .. } => {
                 format!("NestedLoopJoin (est={est_rows:.0} rows)")
             }
@@ -1161,6 +1231,7 @@ impl PhysicalPlan {
             PhysicalPlan::SeqScan { .. } | PhysicalPlan::IndexScan { .. } => vec![],
             PhysicalPlan::HashJoin { left, right, .. }
             | PhysicalPlan::NestedLoopJoin { left, right, .. } => vec![left, right],
+            PhysicalPlan::PartitionedHashJoin { probe, build, .. } => vec![probe, build],
             PhysicalPlan::Filter { input, .. }
             | PhysicalPlan::Reorder { input, .. }
             | PhysicalPlan::Exchange { input, .. }

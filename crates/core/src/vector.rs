@@ -1,5 +1,5 @@
-//! Columnar predicate kernels: selection-vector filtering over row
-//! batches.
+//! Columnar kernels: selection-vector filtering and vectorized
+//! expression evaluation over row batches.
 //!
 //! [`PredicateSet::compile`] turns a conjunction of predicate expressions
 //! into *kernels*. Simple comparisons (`col <op> literal`, `col <op>
@@ -20,10 +20,22 @@
 //! false), and OR keeps a row if *any* branch is true regardless of other
 //! branches being NULL — which is precisely the union of the branch
 //! selection vectors.
+//!
+//! **Projection kernels** — [`ProjectionSet::compile`] does the same for
+//! scalar *computation*: arithmetic and comparison expression trees over
+//! columns and literals compile into [`ExprKernel`]s evaluated
+//! column-at-a-time ([`ExprKernel::eval_column`]), resolving every column
+//! index once and reusing the scalar `arith` kernel per element — no
+//! expression-tree walk and no per-row name resolution. Shapes whose
+//! semantics depend on per-row short-circuiting (AND/OR/NOT) or that the
+//! kernels don't model (aggregates, unresolvable names) fall back to
+//! row-at-a-time [`crate::expr::eval`] with identical results, including
+//! NULL propagation, integer/float promotion, and division-by-zero
+//! yielding NULL.
 
-use crate::expr::{eval_predicate, Bindings, EvalError};
+use crate::expr::{arith, eval, eval_predicate, literal_value, Bindings, EvalError};
 use crate::planner::normalize_cmp;
-use neurdb_sql::{BinaryOp, Expr};
+use neurdb_sql::{BinaryOp, Expr, SelectItem, UnaryOp};
 use neurdb_storage::{Tuple, Value};
 use std::cmp::Ordering;
 
@@ -32,7 +44,7 @@ pub type SelVec = Vec<u32>;
 
 /// Comparison operators the typed kernels support.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum CmpOp {
+pub enum CmpOp {
     Eq,
     Neq,
     Lt,
@@ -304,6 +316,225 @@ fn apply_kernel(
     }
 }
 
+// ------------------------- projection kernels -------------------------
+
+/// A compiled scalar expression, evaluated column-at-a-time.
+///
+/// Every variant mirrors one [`crate::expr::eval`] case exactly; shapes
+/// with per-row short-circuit semantics (AND/OR) or that the kernels
+/// don't model stay [`ExprKernel::Row`] so results and errors cannot
+/// diverge from the row evaluator.
+#[derive(Debug, Clone)]
+pub enum ExprKernel {
+    /// A column reference, resolved once at compile time.
+    Col(usize),
+    /// A constant (literal or negated numeric literal).
+    Const(Value),
+    /// Arithmetic (`+ - * /`): NULL propagates, ints stay integral,
+    /// floats promote, division by zero yields NULL.
+    Arith {
+        op: BinaryOp,
+        left: Box<ExprKernel>,
+        right: Box<ExprKernel>,
+    },
+    /// Comparison: NULL operands yield NULL, else a boolean via the
+    /// total order (exactly `eval`'s comparison path).
+    Cmp {
+        op: CmpOp,
+        left: Box<ExprKernel>,
+        right: Box<ExprKernel>,
+    },
+    /// Numeric negation.
+    Neg(Box<ExprKernel>),
+    /// Fallback: row-at-a-time evaluation.
+    Row(Expr),
+}
+
+impl ExprKernel {
+    /// Compile one scalar expression against a row layout.
+    pub fn compile(e: &Expr, env: &Bindings) -> ExprKernel {
+        match e {
+            Expr::Literal(l) => ExprKernel::Const(literal_value(l)),
+            Expr::Column(_) | Expr::Qualified(..) => match col_idx(e, env) {
+                Some(i) => ExprKernel::Col(i),
+                // Unresolvable name: the row evaluator owns the error.
+                None => ExprKernel::Row(e.clone()),
+            },
+            Expr::Unary {
+                op: UnaryOp::Neg,
+                expr,
+            } => match ExprKernel::compile(expr, env) {
+                ExprKernel::Row(_) => ExprKernel::Row(e.clone()),
+                inner => ExprKernel::Neg(Box::new(inner)),
+            },
+            Expr::Binary { op, left, right }
+                if matches!(
+                    op,
+                    BinaryOp::Add | BinaryOp::Sub | BinaryOp::Mul | BinaryOp::Div
+                ) || CmpOp::from_binary(*op).is_some() =>
+            {
+                let l = ExprKernel::compile(left, env);
+                let r = ExprKernel::compile(right, env);
+                if matches!(l, ExprKernel::Row(_)) || matches!(r, ExprKernel::Row(_)) {
+                    return ExprKernel::Row(e.clone());
+                }
+                match CmpOp::from_binary(*op) {
+                    Some(cmp) => ExprKernel::Cmp {
+                        op: cmp,
+                        left: Box::new(l),
+                        right: Box::new(r),
+                    },
+                    None => ExprKernel::Arith {
+                        op: *op,
+                        left: Box::new(l),
+                        right: Box::new(r),
+                    },
+                }
+            }
+            // AND/OR short-circuit per row (an error in the pruned branch
+            // must not surface), NOT and aggregates are row-only shapes.
+            other => ExprKernel::Row(other.clone()),
+        }
+    }
+
+    /// Whether this kernel tree is fully columnar (no row-eval fallback).
+    pub fn is_columnar(&self) -> bool {
+        match self {
+            ExprKernel::Row(_) => false,
+            ExprKernel::Col(_) | ExprKernel::Const(_) => true,
+            ExprKernel::Neg(k) => k.is_columnar(),
+            ExprKernel::Arith { left, right, .. } | ExprKernel::Cmp { left, right, .. } => {
+                left.is_columnar() && right.is_columnar()
+            }
+        }
+    }
+
+    /// Evaluate over a whole batch, yielding one output value per row.
+    pub fn eval_column(&self, batch: &[Tuple], env: &Bindings) -> Result<Vec<Value>, EvalError> {
+        match self {
+            ExprKernel::Col(i) => Ok(batch.iter().map(|t| t.values[*i].clone()).collect()),
+            ExprKernel::Const(v) => Ok(vec![v.clone(); batch.len()]),
+            ExprKernel::Neg(k) => {
+                let mut col = k.eval_column(batch, env)?;
+                for v in &mut col {
+                    *v = match v {
+                        Value::Int(i) => Value::Int(-*i),
+                        Value::Float(f) => Value::Float(-*f),
+                        Value::Null => Value::Null,
+                        other => return Err(EvalError::TypeMismatch(format!("-{other}"))),
+                    };
+                }
+                Ok(col)
+            }
+            ExprKernel::Arith { op, left, right } => {
+                let lc = left.eval_column(batch, env)?;
+                let rc = right.eval_column(batch, env)?;
+                lc.iter()
+                    .zip(rc.iter())
+                    .map(|(a, b)| {
+                        if a.is_null() || b.is_null() {
+                            Ok(Value::Null)
+                        } else {
+                            arith(*op, a, b)
+                        }
+                    })
+                    .collect()
+            }
+            ExprKernel::Cmp { op, left, right } => {
+                let lc = left.eval_column(batch, env)?;
+                let rc = right.eval_column(batch, env)?;
+                Ok(lc
+                    .iter()
+                    .zip(rc.iter())
+                    .map(|(a, b)| {
+                        if a.is_null() || b.is_null() {
+                            Value::Null
+                        } else {
+                            Value::Bool(op.test(a.total_cmp(b)))
+                        }
+                    })
+                    .collect())
+            }
+            ExprKernel::Row(e) => batch.iter().map(|t| eval(e, t, env)).collect(),
+        }
+    }
+}
+
+/// One projected item: a wildcard passthrough or a compiled expression.
+#[derive(Debug, Clone)]
+enum ProjKernel {
+    Wildcard,
+    Expr(ExprKernel),
+}
+
+/// A compiled projection list, applied batch-at-a-time.
+#[derive(Debug, Clone, Default)]
+pub struct ProjectionSet {
+    items: Vec<ProjKernel>,
+    env: Bindings,
+}
+
+impl ProjectionSet {
+    /// Compile a SELECT item list against the input row layout.
+    pub fn compile(items: &[SelectItem], env: &Bindings) -> ProjectionSet {
+        let items = items
+            .iter()
+            .map(|item| match item {
+                SelectItem::Wildcard => ProjKernel::Wildcard,
+                SelectItem::Expr { expr, .. } => ProjKernel::Expr(ExprKernel::compile(expr, env)),
+            })
+            .collect();
+        ProjectionSet {
+            items,
+            env: env.clone(),
+        }
+    }
+
+    /// How many items compiled to fully columnar kernels (wildcards
+    /// count: they are pure copies). Exposed for tests.
+    pub fn compiled_count(&self) -> usize {
+        self.items
+            .iter()
+            .filter(|k| match k {
+                ProjKernel::Wildcard => true,
+                ProjKernel::Expr(e) => e.is_columnar(),
+            })
+            .count()
+    }
+
+    /// Project an owned batch: each item is evaluated as one column,
+    /// then rows are reassembled in item order.
+    pub fn project(&self, batch: Vec<Tuple>) -> Result<Vec<Tuple>, EvalError> {
+        if batch.is_empty() {
+            return Ok(batch);
+        }
+        enum Out {
+            Whole,
+            Col(Vec<Value>),
+        }
+        let mut cols = Vec::with_capacity(self.items.len());
+        for item in &self.items {
+            cols.push(match item {
+                ProjKernel::Wildcard => Out::Whole,
+                ProjKernel::Expr(k) => Out::Col(k.eval_column(&batch, &self.env)?),
+            });
+        }
+        let mut out = Vec::with_capacity(batch.len());
+        for (i, row) in batch.iter().enumerate() {
+            let mut vals = Vec::with_capacity(cols.len());
+            for c in &mut cols {
+                match c {
+                    Out::Whole => vals.extend(row.values.iter().cloned()),
+                    // Move the computed value out (each cell is read once).
+                    Out::Col(col) => vals.push(std::mem::replace(&mut col[i], Value::Null)),
+                }
+            }
+            out.push(Tuple::new(vals));
+        }
+        Ok(out)
+    }
+}
+
 /// Merge two sorted selection vectors without duplicates.
 fn union_sorted(a: &[u32], b: &[u32]) -> SelVec {
     let mut out = Vec::with_capacity(a.len() + b.len());
@@ -439,6 +670,75 @@ mod tests {
         let out = set.filter_rows(rows()).unwrap();
         let got: Vec<i64> = out.iter().filter_map(|t| t.get(0).as_i64()).collect();
         assert_eq!(got, (10..20).collect::<Vec<_>>());
+    }
+
+    /// Every projection kernel must agree with the row-at-a-time
+    /// evaluator — values, NULL propagation, and promotion included.
+    fn check_projection(select_list: &str, expect_columnar: bool) {
+        let e = env();
+        let batch = rows();
+        let Statement::Select(s) = parse(&format!("SELECT {select_list} FROM t")).unwrap() else {
+            panic!()
+        };
+        let set = ProjectionSet::compile(&s.items, &e);
+        assert_eq!(
+            set.compiled_count() == s.items.len(),
+            expect_columnar,
+            "compilation shape for {select_list}: {set:?}"
+        );
+        let got = set.project(batch.clone()).unwrap();
+        for (row_in, row_out) in batch.iter().zip(got.iter()) {
+            let mut want = Vec::new();
+            for item in &s.items {
+                match item {
+                    neurdb_sql::SelectItem::Wildcard => want.extend(row_in.values.iter().cloned()),
+                    neurdb_sql::SelectItem::Expr { expr, .. } => {
+                        want.push(crate::expr::eval(expr, row_in, &e).unwrap())
+                    }
+                }
+            }
+            assert_eq!(row_out.values, want, "{select_list}");
+        }
+    }
+
+    #[test]
+    fn projection_kernels_match_row_eval() {
+        check_projection("a", true);
+        check_projection("*", true);
+        check_projection("a, b, s", true);
+        check_projection("a + 1", true);
+        check_projection("a * 2 - b", true);
+        check_projection("a / 0", true); // division by zero -> NULL
+        check_projection("b / a", true); // row 0 divides by 0 -> NULL
+        check_projection("-a, -b", true);
+        check_projection("a + b * 2.5", true); // int/float promotion
+        check_projection("a = b, a < 5", true);
+        check_projection("a + 1 = b * 2", true);
+        check_projection("s, a - -3", true);
+        // Row fallbacks: short-circuit logic and unresolvable names.
+        check_projection("a > 1 AND b < 4", false);
+        check_projection("NOT a = 5", false);
+    }
+
+    #[test]
+    fn projection_kernels_propagate_null_and_type_errors() {
+        let e = env();
+        let batch = rows(); // row 7 has NULL in column a
+        let Statement::Select(s) = parse("SELECT a + 1, -a FROM t").unwrap() else {
+            panic!()
+        };
+        let set = ProjectionSet::compile(&s.items, &e);
+        let got = set.project(batch).unwrap();
+        assert_eq!(got[7].values, vec![Value::Null, Value::Null]);
+        // Arithmetic over text errors exactly like the row evaluator.
+        let Statement::Select(s) = parse("SELECT s + 1 FROM t").unwrap() else {
+            panic!()
+        };
+        let set = ProjectionSet::compile(&s.items, &e);
+        assert!(matches!(
+            set.project(rows()),
+            Err(EvalError::TypeMismatch(_))
+        ));
     }
 
     #[test]

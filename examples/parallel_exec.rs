@@ -1,7 +1,9 @@
-//! Demo of PR 3's execution-engine features: morsel-driven parallel
-//! scans behind `SET parallelism`, two-phase parallel aggregation,
-//! planner-chosen B-tree index scans, and ORDER BY over unprojected
-//! columns — all surfaced through `EXPLAIN [ANALYZE]`.
+//! Demo of the parallel + vectorized execution engine: morsel-driven
+//! parallel scans behind `SET parallelism`, two-phase parallel
+//! aggregation, partitioned parallel hash joins (build side
+//! hash-partitioned, probe side fanned out across workers), vectorized
+//! projections, planner-chosen B-tree index scans, and ORDER BY over
+//! unprojected columns — all surfaced through `EXPLAIN [ANALYZE]`.
 //!
 //! Run with: `cargo run --release --example parallel_exec`
 
@@ -64,6 +66,23 @@ fn main() {
         "\nparallel == serial: {:?}",
         serial.rows().unwrap().rows[0].values
     );
+
+    // A hash join probing the big table becomes a partitioned parallel
+    // join: the dims build side is hash-partitioned and the events probe
+    // side fans out across 4 workers (per-worker rows on the join line).
+    db.execute("CREATE TABLE kinds (kid INT PRIMARY KEY, label INT)")
+        .unwrap();
+    for k in 0..97 {
+        db.execute(&format!("INSERT INTO kinds VALUES ({k}, {})", k % 5))
+            .unwrap();
+    }
+    db.execute("SET parallelism = 4").unwrap();
+    show(
+        &db,
+        "EXPLAIN ANALYZE SELECT e.eid, k.label FROM events e, kinds k \
+         WHERE e.kind = k.kid AND k.label = 2 AND e.weight > 20",
+    );
+    db.execute("SET parallelism = 1").unwrap();
 
     // A selective predicate on an indexed column plans as an IndexScan.
     db.execute("CREATE INDEX ON events (eid)").unwrap();

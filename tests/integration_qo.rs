@@ -185,3 +185,105 @@ fn explain_analyze_feeds_observed_cardinalities_back() {
     let seen = rows_seen.lock().unwrap().clone();
     assert!(seen.contains(&8.0), "observed true_rows: {seen:?}");
 }
+
+/// A metered execution that observes **zero** rows (impossible
+/// predicate: scans, joins, and never-executed probe subtrees all report
+/// nothing) must still deliver a sane graph to `Optimizer::observe` —
+/// every `true_rows` finite and >= 1, every `true_sel` finite in
+/// (0, 1] — never zeros or NaNs that would blow up a training step.
+#[test]
+fn zero_row_feedback_is_clamped() {
+    use neurdb_core::Database;
+    use neurdb_qo::{JoinGraph, PlanTree};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    struct Guard {
+        observed: Arc<AtomicUsize>,
+    }
+    impl Optimizer for Guard {
+        fn choose_plan(&mut self, graph: &JoinGraph) -> PlanTree {
+            neurdb_qo::dp_best_plan(graph)
+        }
+        fn name(&self) -> &str {
+            "guard"
+        }
+        fn observe(&mut self, observed: &JoinGraph) {
+            self.observed.fetch_add(1, Ordering::SeqCst);
+            for t in &observed.tables {
+                assert!(
+                    t.true_rows.is_finite() && t.true_rows >= 1.0,
+                    "bad true_rows {} for {}",
+                    t.true_rows,
+                    t.name
+                );
+            }
+            for e in &observed.joins {
+                assert!(
+                    e.true_sel.is_finite() && e.true_sel > 0.0 && e.true_sel <= 1.0,
+                    "bad true_sel {} on edge {}-{}",
+                    e.true_sel,
+                    e.a,
+                    e.b
+                );
+            }
+            // The graph must survive the model's own feature extraction.
+            for tok in observed.condition_tokens(observed.num_tables()) {
+                assert!(tok.iter().all(|v| v.is_finite()), "{tok:?}");
+            }
+        }
+    }
+
+    let db = Database::new();
+    db.execute("CREATE TABLE a (id INT, x INT)").unwrap();
+    db.execute("CREATE TABLE b (id INT, aid INT)").unwrap();
+    db.execute("CREATE TABLE c (id INT, bid INT)").unwrap();
+    for i in 0..30 {
+        db.execute(&format!("INSERT INTO a VALUES ({i}, {})", i % 5))
+            .unwrap();
+        db.execute(&format!("INSERT INTO b VALUES ({i}, {i})"))
+            .unwrap();
+        db.execute(&format!("INSERT INTO c VALUES ({i}, {i})"))
+            .unwrap();
+    }
+    let observed = Arc::new(AtomicUsize::new(0));
+    db.set_join_optimizer(Box::new(Guard {
+        observed: observed.clone(),
+    }));
+    // Impossible scan predicate: table a emits zero rows, so the joins
+    // above it never match and some subtrees short-circuit entirely.
+    db.execute(
+        "EXPLAIN ANALYZE SELECT * FROM a, b, c \
+         WHERE a.id = b.aid AND b.id = c.bid AND a.x = 999999",
+    )
+    .unwrap();
+    // An empty *table* (no pages at all) is the harshest zero case.
+    db.execute("CREATE TABLE empty (id INT, aid INT)").unwrap();
+    db.execute(
+        "EXPLAIN ANALYZE SELECT * FROM a, b, empty \
+         WHERE a.id = b.aid AND b.id = empty.aid",
+    )
+    .unwrap();
+    assert_eq!(observed.load(Ordering::SeqCst), 2);
+
+    // A streaming LIMIT stops pulling mid-scan: every counter below it
+    // is truncated, so the execution must NOT train the optimizer.
+    db.execute(
+        "EXPLAIN ANALYZE SELECT * FROM a, b, c \
+         WHERE a.id = b.aid AND b.id = c.bid LIMIT 1",
+    )
+    .unwrap();
+    assert_eq!(
+        observed.load(Ordering::SeqCst),
+        2,
+        "truncated LIMIT execution must not reach observe"
+    );
+    // A LIMIT above a Sort drains the joins completely first — those
+    // counters are exact, so feedback still flows.
+    db.execute(
+        "EXPLAIN ANALYZE SELECT a.x FROM a, b, c \
+         WHERE a.id = b.aid AND b.id = c.bid ORDER BY a.x LIMIT 1",
+    )
+    .unwrap();
+    assert_eq!(observed.load(Ordering::SeqCst), 3);
+}

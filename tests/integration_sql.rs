@@ -450,6 +450,157 @@ fn set_parallelism_gathers_large_scans() {
     assert!(db.execute("SET nonsense = 1").is_err());
 }
 
+/// Multi-join `EXPLAIN ANALYZE` at `SET parallelism 4`: hash joins over
+/// a fan-out-worthy probe side run as partitioned parallel joins and
+/// report per-worker joined-row counts, exactly like parallel scans.
+#[test]
+fn partitioned_join_reports_per_worker_metrics() {
+    let db = Database::new();
+    db.execute("CREATE TABLE facts (fid INT PRIMARY KEY, uid INT, tag INT)")
+        .unwrap();
+    db.execute("CREATE TABLE users (uid INT PRIMARY KEY, grp INT)")
+        .unwrap();
+    db.execute("CREATE TABLE tags (tag INT PRIMARY KEY, kind INT)")
+        .unwrap();
+    let mut stmt = String::from("INSERT INTO facts VALUES ");
+    for i in 0..6000 {
+        if i > 0 {
+            stmt.push(',');
+        }
+        stmt.push_str(&format!("({i}, {}, {})", i % 40, i % 25));
+    }
+    db.execute(&stmt).unwrap();
+    for u in 0..40 {
+        db.execute(&format!("INSERT INTO users VALUES ({u}, {})", u % 4))
+            .unwrap();
+    }
+    for t in 0..25 {
+        db.execute(&format!("INSERT INTO tags VALUES ({t}, {})", t % 3))
+            .unwrap();
+    }
+    let sql = "SELECT u.grp, t.kind FROM facts f, users u, tags t \
+               WHERE f.uid = u.uid AND f.tag = t.tag AND u.grp = 1";
+
+    let serial = sorted_rows(&db, sql);
+    db.execute("SET parallelism = 4").unwrap();
+    let plan = plan_text(&db, &format!("EXPLAIN ANALYZE {sql}"));
+    assert!(plan.contains("PartitionedHashJoin"), "{plan}");
+    assert!(plan.contains("dop=4"), "{plan}");
+    // The partitioned join's line carries its own per-worker rows.
+    let join_line = plan
+        .lines()
+        .find(|l| l.contains("PartitionedHashJoin"))
+        .unwrap();
+    assert!(join_line.contains("workers=["), "{plan}");
+    // And the result multiset is identical to the serial plan's.
+    assert_eq!(sorted_rows(&db, sql), serial, "{plan}");
+}
+
+/// `AVG` through the two-phase parallel aggregate must merge
+/// `[count, sum]` state and recompute `sum/count` at the gather — never
+/// average the per-worker averages. The filter makes the qualifying row
+/// counts wildly unequal across the page-range partitions, where a
+/// mean-of-means would be far off.
+#[test]
+fn parallel_avg_with_skewed_partitions() {
+    let db = Database::new();
+    db.execute("CREATE TABLE seq (id INT PRIMARY KEY, v FLOAT)")
+        .unwrap();
+    let mut stmt = String::from("INSERT INTO seq VALUES ");
+    for i in 0..4000 {
+        if i > 0 {
+            stmt.push(',');
+        }
+        stmt.push_str(&format!("({i}, {i}.0)"));
+    }
+    db.execute(&stmt).unwrap();
+    // Qualifying rows: v in [0, 1500) plus [3800, 4000) — roughly
+    // 1000/500/0/200 rows across 4 contiguous page-range partitions.
+    let sql = "SELECT AVG(v), SUM(v), COUNT(*) FROM seq WHERE v < 1500 OR v >= 3800";
+    let exact_sum = (0..1500).sum::<i64>() + (3800..4000).sum::<i64>();
+    let exact_avg = exact_sum as f64 / 1700.0;
+
+    let serial = db.execute(sql).unwrap();
+    db.execute("SET parallelism = 4").unwrap();
+    let parallel = db.execute(sql).unwrap();
+    for out in [&serial, &parallel] {
+        let r = &out.rows().unwrap().rows[0];
+        assert_eq!(r.get(0), &Value::Float(exact_avg));
+        assert_eq!(r.get(1), &Value::Float(exact_sum as f64));
+        assert_eq!(r.get(2), &Value::Int(1700));
+    }
+}
+
+/// Worker partitions whose aggregate column is entirely NULL (or that
+/// see no qualifying rows at all) encode `count=0` and absent min/max;
+/// merging those states must not poison the group's MIN/MAX/SUM/AVG.
+#[test]
+fn parallel_aggregates_over_all_null_partitions() {
+    let db = Database::new();
+    db.execute("CREATE TABLE nh (id INT PRIMARY KEY, g INT, v INT)")
+        .unwrap();
+    // First ~2 of 4 page-range partitions carry only NULL v; group 9 is
+    // all-NULL everywhere.
+    let mut stmt = String::from("INSERT INTO nh VALUES ");
+    for i in 0..3000i64 {
+        if i > 0 {
+            stmt.push(',');
+        }
+        let g = if i % 10 == 9 { 9 } else { i % 3 };
+        if i < 2000 || g == 9 {
+            stmt.push_str(&format!("({i}, {g}, NULL)"));
+        } else {
+            stmt.push_str(&format!("({i}, {g}, {i})"));
+        }
+    }
+    db.execute(&stmt).unwrap();
+    let queries = [
+        "SELECT MIN(v), MAX(v), SUM(v), AVG(v), COUNT(v), COUNT(*) FROM nh",
+        "SELECT g, MIN(v), MAX(v), SUM(v), COUNT(v) FROM nh GROUP BY g",
+        "SELECT MIN(v), MAX(v) FROM nh WHERE g = 9", // every value NULL
+    ];
+    let serial: Vec<_> = queries.iter().map(|q| sorted_rows(&db, q)).collect();
+    db.execute("SET parallelism = 4").unwrap();
+    for (q, want) in queries.iter().zip(&serial) {
+        assert_eq!(&sorted_rows(&db, q), want, "dop=4 diverged for {q}");
+    }
+    // The all-NULL group yields NULL aggregates, not a poisoned value.
+    let out = db
+        .execute("SELECT MIN(v), SUM(v) FROM nh WHERE g = 9")
+        .unwrap();
+    assert_eq!(
+        out.rows().unwrap().rows[0].values,
+        vec![Value::Null, Value::Null]
+    );
+}
+
+/// `LIMIT 1` over a parallel scan at dop=4, with far more batches than
+/// the bounded exchange queue holds: the early receiver drop must
+/// unblock workers stuck on a full queue and join them — no deadlock,
+/// no leaked threads, repeatedly.
+#[test]
+fn limit_tears_down_blocked_parallel_workers() {
+    let db = db_with_big_table(20_000);
+    db.execute("SET parallelism = 4").unwrap();
+    for _ in 0..5 {
+        let out = db.execute("SELECT id FROM big LIMIT 1").unwrap();
+        assert_eq!(out.rows().unwrap().len(), 1);
+    }
+    // Same teardown with the partitioned join's probe workers.
+    db.execute("CREATE TABLE dims (grp INT PRIMARY KEY, label INT)")
+        .unwrap();
+    for g in 0..7 {
+        db.execute(&format!("INSERT INTO dims VALUES ({g}, {})", g * 10))
+            .unwrap();
+    }
+    for _ in 0..5 {
+        let out = db
+            .execute("SELECT b.id, d.label FROM big b, dims d WHERE b.grp = d.grp LIMIT 1")
+            .unwrap();
+        assert_eq!(out.rows().unwrap().len(), 1);
+    }
+}
+
 #[test]
 fn index_scan_chosen_for_selective_indexed_predicates() {
     let db = db_with_big_table(2000);
