@@ -1,0 +1,100 @@
+//! Serving-path micro-benchmarks: wire-protocol round-trip latency and
+//! multi-connection throughput through `neurdb-server`, so the perf
+//! trajectory covers the network front end and not just in-process
+//! execution. CI runs this as a smoke test.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use neurdb_core::Database;
+use neurdb_server::{Client, Server, ServerConfig, ServerHandle};
+use std::hint::black_box;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+const ROWS: usize = 2_000;
+
+fn start_server() -> (ServerHandle, SocketAddr) {
+    let db = Arc::new(Database::new());
+    db.execute("CREATE TABLE pts (id INT PRIMARY KEY, grp INT, v FLOAT)")
+        .unwrap();
+    db.execute("CREATE INDEX ON pts (id)").unwrap();
+    let mut stmt = String::from("INSERT INTO pts VALUES ");
+    for i in 0..ROWS {
+        if i > 0 {
+            stmt.push(',');
+        }
+        stmt.push_str(&format!("({i}, {}, {}.25)", i % 16, i % 50));
+    }
+    db.execute(&stmt).unwrap();
+    let handle = Server::start(db, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = handle.local_addr();
+    (handle, addr)
+}
+
+fn bench_server(c: &mut Criterion) {
+    let (handle, addr) = start_server();
+    let mut g = c.benchmark_group("server");
+    g.sample_size(10)
+        .measurement_time(Duration::from_millis(300));
+
+    // Round-trip latency over one connection: protocol overhead only
+    // (SHOW touches no table) vs. an indexed point SELECT vs. a small
+    // aggregate.
+    let mut client = Client::connect(addr).unwrap();
+    g.bench_function("roundtrip_show", |b| {
+        b.iter(|| black_box(client.query("SHOW parallelism").unwrap()))
+    });
+    g.bench_function("roundtrip_point_select", |b| {
+        b.iter(|| black_box(client.query("SELECT v FROM pts WHERE id = 1234").unwrap()))
+    });
+    g.bench_function("roundtrip_aggregate", |b| {
+        b.iter(|| {
+            black_box(
+                client
+                    .query("SELECT grp, COUNT(*) FROM pts WHERE v > 10 GROUP BY grp")
+                    .unwrap(),
+            )
+        })
+    });
+
+    // Throughput: the same statement mix pushed from 1 vs 8 concurrent
+    // connections, measured as total wall clock for `iters` statements
+    // split across the clients.
+    for nclients in [1usize, 8] {
+        // Persistent connections: the measurement covers statements,
+        // not TCP connects.
+        let mut clients: Vec<Client> = (0..nclients)
+            .map(|_| Client::connect(addr).unwrap())
+            .collect();
+        g.bench_function(format!("throughput_{nclients}_clients"), |b| {
+            b.iter_custom(|iters| {
+                let per = (iters as usize).div_ceil(nclients).max(1);
+                let start = Instant::now();
+                thread::scope(|s| {
+                    for c in clients.iter_mut() {
+                        s.spawn(move || {
+                            for i in 0..per {
+                                let id = (i * 37) % ROWS;
+                                black_box(
+                                    c.query(&format!("SELECT v FROM pts WHERE id = {id}"))
+                                        .unwrap(),
+                                );
+                            }
+                        });
+                    }
+                });
+                start.elapsed()
+            })
+        });
+        for c in clients {
+            c.close().unwrap();
+        }
+    }
+    g.finish();
+    client.close().unwrap();
+    handle.shutdown();
+}
+
+criterion_group!(benches, bench_server);
+criterion_main!(benches);

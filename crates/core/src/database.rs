@@ -23,6 +23,7 @@ use crate::error::{CoreError, CoreResult};
 use crate::exec::{execute_plan, execute_plan_instrumented, OpMetrics, QueryResult};
 use crate::expr::{eval, eval_predicate, literal_value, Bindings};
 use crate::planner::{plan_select_with, PhysicalPlan, PlannedSelect, PlannerConfig};
+use crate::session::SessionContext;
 use neurdb_engine::streaming::{stream_from_source, Handshake, StreamParams};
 use neurdb_engine::{AiEngine, Mid, TrainOutcome};
 use neurdb_nn::{armnet_spec, ArmNetConfig, LossKind};
@@ -116,8 +117,12 @@ pub struct Database {
     /// cost-based DP; install a pre-trained model (e.g.
     /// [`neurdb_qo::NeurQo`]) via [`Database::set_join_optimizer`].
     join_optimizer: Mutex<Option<Box<dyn neurdb_qo::Optimizer + Send>>>,
-    /// Session planner knobs (`SET parallelism = N`).
-    planner_config: Mutex<PlannerConfig>,
+    /// The default session backing the embedded convenience API
+    /// ([`Database::execute`]). Server front ends create one
+    /// [`SessionContext`] per connection and use
+    /// [`Database::execute_in_session`] instead, so their `SET`
+    /// statements never touch (or observe) this shared instance.
+    default_session: Mutex<SessionContext>,
     models: Arc<Mutex<HashMap<(String, String), CachedModel>>>,
     /// Streaming protocol defaults (paper: window 80, batch 4096).
     pub stream_params: StreamParams,
@@ -223,7 +228,7 @@ impl Database {
             store: Arc::new(store),
             ai: AiEngine::new(),
             join_optimizer: Mutex::new(None),
-            planner_config: Mutex::new(PlannerConfig::default()),
+            default_session: Mutex::new(SessionContext::new()),
             models: Arc::new(Mutex::new(HashMap::new())),
             stream_params: StreamParams {
                 batch_size: 4096,
@@ -321,24 +326,76 @@ impl Database {
         self.store.table_names()
     }
 
-    /// Execute one SQL statement.
+    /// Execute one SQL statement in the database's default session (the
+    /// embedded convenience API — see [`Database::execute_in_session`]
+    /// for the multi-client path).
     pub fn execute(&self, sql: &str) -> CoreResult<Output> {
         let stmt = parse(sql)?;
-        self.execute_statement(stmt)
+        self.execute_default(stmt)
     }
 
-    /// Execute a `;`-separated script, returning the last statement's
-    /// output.
+    /// Execute one SQL statement in `session`. This is the primitive
+    /// that server front ends build on: each connection owns a
+    /// [`SessionContext`], so `SET parallelism` (and every future
+    /// session setting) is scoped to that connection instead of being
+    /// last-writer-wins across the whole process.
+    pub fn execute_in_session(
+        &self,
+        session: &mut SessionContext,
+        sql: &str,
+    ) -> CoreResult<Output> {
+        let stmt = parse(sql)?;
+        self.execute_statement(session, stmt)
+    }
+
+    /// Execute a `;`-separated script in the default session, returning
+    /// the last statement's output.
     pub fn execute_script(&self, sql: &str) -> CoreResult<Output> {
         let stmts = parse_script(sql)?;
         let mut last = Output::Affected(0);
         for s in stmts {
-            last = self.execute_statement(s)?;
+            last = self.execute_default(s)?;
         }
         Ok(last)
     }
 
-    fn execute_statement(&self, stmt: Statement) -> CoreResult<Output> {
+    /// Execute a `;`-separated script in `session`, returning the last
+    /// statement's output.
+    pub fn execute_script_in_session(
+        &self,
+        session: &mut SessionContext,
+        sql: &str,
+    ) -> CoreResult<Output> {
+        let stmts = parse_script(sql)?;
+        let mut last = Output::Affected(0);
+        for s in stmts {
+            last = self.execute_statement(session, s)?;
+        }
+        Ok(last)
+    }
+
+    /// Route a statement through the default session. `SET` must mutate
+    /// the shared instance under its lock; everything else runs on a
+    /// snapshot so concurrent [`Database::execute`] callers never
+    /// serialize on the session lock for the duration of a query.
+    fn execute_default(&self, stmt: Statement) -> CoreResult<Output> {
+        match &stmt {
+            Statement::Set { .. } => {
+                let mut session = self.default_session.lock();
+                self.execute_statement(&mut session, stmt)
+            }
+            _ => {
+                let mut session = self.default_session.lock().clone();
+                self.execute_statement(&mut session, stmt)
+            }
+        }
+    }
+
+    fn execute_statement(
+        &self,
+        session: &mut SessionContext,
+        stmt: Statement,
+    ) -> CoreResult<Output> {
         match stmt {
             // Mutating statements run as a statement-level transaction:
             // begin, apply+log each operation, commit. There is no undo —
@@ -361,20 +418,27 @@ impl Database {
                 }
             }
             Statement::Select(s) => {
-                let planned = self.plan(&s)?;
+                let planned = self.plan(&s, session.planner_config())?;
                 execute_plan(&planned.plan).map(Output::Rows)
             }
             Statement::Predict(p) => self.predict(&p).map(Output::Prediction),
-            Statement::Explain { analyze, stmt } => self.explain(*stmt, analyze).map(Output::Rows),
+            Statement::Explain { analyze, stmt } => {
+                self.explain(session, *stmt, analyze).map(Output::Rows)
+            }
             Statement::Set { name, value } => {
-                self.set_session(&name, &value)?;
+                Self::set_session(session, &name, &value)?;
                 Ok(Output::Affected(0))
             }
+            Statement::Show { name } => self.show(session, &name).map(Output::Rows),
         }
     }
 
-    /// Apply a `SET name = value` session statement.
-    fn set_session(&self, name: &str, value: &neurdb_sql::Literal) -> CoreResult<()> {
+    /// Apply a `SET name = value` statement to `session`.
+    fn set_session(
+        session: &mut SessionContext,
+        name: &str,
+        value: &neurdb_sql::Literal,
+    ) -> CoreResult<()> {
         match name.to_ascii_lowercase().as_str() {
             "parallelism" => {
                 let n = match literal_value(value) {
@@ -385,7 +449,22 @@ impl Database {
                         )))
                     }
                 };
-                self.planner_config.lock().parallelism = n;
+                session.set_parallelism(n);
+                Ok(())
+            }
+            "parallel_min_rows" => {
+                // The planner's fan-out gate; 0 force-parallelizes every
+                // scan (a testing knob, same contract as the
+                // `PlannerConfig` field).
+                let n = match literal_value(value) {
+                    Value::Int(i) if i >= 0 => i as f64,
+                    other => {
+                        return Err(CoreError::Unsupported(format!(
+                            "SET parallel_min_rows expects a non-negative integer, got {other}"
+                        )))
+                    }
+                };
+                session.planner_config_mut().parallel_min_rows = n;
                 Ok(())
             }
             other => Err(CoreError::Unsupported(format!(
@@ -394,26 +473,70 @@ impl Database {
         }
     }
 
-    /// The session's maximum per-scan degree of parallelism.
-    pub fn parallelism(&self) -> usize {
-        self.planner_config.lock().parallelism
+    /// Answer a `SHOW name` statement: catalog items (`SHOW TABLES`) and
+    /// this session's settings. `SHOW SESSIONS` is server-scoped — the
+    /// `neurdb-server` front end intercepts it before the core facade;
+    /// an embedded session has no server to enumerate.
+    fn show(&self, session: &SessionContext, name: &str) -> CoreResult<QueryResult> {
+        let one_column = |name: &str, value: Value| QueryResult {
+            columns: vec![name.to_string()],
+            rows: vec![Tuple::new(vec![value])],
+        };
+        match name.to_ascii_lowercase().as_str() {
+            "tables" => {
+                let mut names = self.table_names();
+                names.sort();
+                Ok(QueryResult {
+                    columns: vec!["table".to_string()],
+                    rows: names
+                        .into_iter()
+                        .map(|n| Tuple::new(vec![Value::Text(n)]))
+                        .collect(),
+                })
+            }
+            "parallelism" => Ok(one_column(
+                "parallelism",
+                Value::Int(session.parallelism() as i64),
+            )),
+            "parallel_min_rows" => Ok(one_column(
+                "parallel_min_rows",
+                Value::Int(session.planner_config().parallel_min_rows as i64),
+            )),
+            "sessions" => Err(CoreError::Unsupported(
+                "SHOW SESSIONS is served by neurdb-server; this session is not \
+                 attached to a server"
+                    .into(),
+            )),
+            other => Err(CoreError::Unsupported(format!(
+                "unknown SHOW item '{other}'"
+            ))),
+        }
     }
 
-    /// Set the session's maximum per-scan degree of parallelism
-    /// (equivalent to `SET parallelism = n`).
+    /// The default session's maximum per-scan degree of parallelism.
+    pub fn parallelism(&self) -> usize {
+        self.default_session.lock().parallelism()
+    }
+
+    /// Set the default session's maximum per-scan degree of parallelism
+    /// (equivalent to `SET parallelism = n` through
+    /// [`Database::execute`]).
     pub fn set_parallelism(&self, n: usize) {
-        self.planner_config.lock().parallelism = n.clamp(1, 256);
+        self.default_session.lock().set_parallelism(n);
     }
 
     /// Plan a SELECT: resolve its tables, then lower it through the
     /// planner (join order via the installed learned optimizer, falling
     /// back to `neurdb-qo`'s cost-based DP).
-    fn plan(&self, s: &neurdb_sql::SelectStmt) -> CoreResult<PlannedSelect> {
+    fn plan(
+        &self,
+        s: &neurdb_sql::SelectStmt,
+        config: &PlannerConfig,
+    ) -> CoreResult<PlannedSelect> {
         let mut resolved = Vec::with_capacity(s.from.len());
         for tref in &s.from {
             resolved.push((tref.binding().to_string(), self.table(&tref.name)?));
         }
-        let config = self.planner_config.lock().clone();
         // Only hold the optimizer lock when a learned model will actually
         // be consulted (it is stateful); planning with the DP baseline —
         // the common case — must not serialize concurrent sessions.
@@ -430,23 +553,28 @@ impl Database {
                 let learned = opt
                     .as_mut()
                     .map(|b| &mut **b as &mut dyn neurdb_qo::Optimizer);
-                return plan_select_with(s, &resolved, learned, &config);
+                return plan_select_with(s, &resolved, learned, config);
             }
         }
-        plan_select_with(s, &resolved, None, &config)
+        plan_select_with(s, &resolved, None, config)
     }
 
     /// `EXPLAIN [ANALYZE] SELECT ...`: render the physical plan (and,
     /// with ANALYZE, execute it and annotate every operator with observed
     /// rows, batches, and inclusive time). The result is one `plan` text
     /// column, one row per plan line.
-    fn explain(&self, stmt: Statement, analyze: bool) -> CoreResult<QueryResult> {
+    fn explain(
+        &self,
+        session: &SessionContext,
+        stmt: Statement,
+        analyze: bool,
+    ) -> CoreResult<QueryResult> {
         let Statement::Select(s) = stmt else {
             return Err(CoreError::Unsupported(
                 "EXPLAIN supports SELECT statements".into(),
             ));
         };
-        let planned = self.plan(&s)?;
+        let planned = self.plan(&s, session.planner_config())?;
         let mut lines = Vec::new();
         if let Some(source) = &planned.join_order {
             lines.push(format!("join order: {source}"));

@@ -32,6 +32,7 @@ pub mod error;
 pub mod exec;
 pub mod expr;
 pub mod planner;
+pub mod session;
 pub mod vector;
 
 pub use analytics::{extract_examples, make_batches, value_to_field, Standardizer};
@@ -47,4 +48,5 @@ pub use exec::{
 };
 pub use expr::{eval, eval_predicate, Bindings, EvalError};
 pub use planner::{plan_select, plan_select_with, PhysicalPlan, PlannedSelect, PlannerConfig};
+pub use session::SessionContext;
 pub use vector::{ExprKernel, PredicateSet, ProjectionSet};

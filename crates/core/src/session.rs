@@ -1,0 +1,94 @@
+//! Per-session state, extracted from the [`Database`](crate::Database)
+//! facade so concurrent clients get isolated settings.
+//!
+//! A [`SessionContext`] owns everything that `SET` statements mutate —
+//! today the planner knobs (`SET parallelism`, `SET parallel_min_rows`),
+//! tomorrow a transaction handle for multi-statement `BEGIN`/`COMMIT`.
+//! The `Database` itself holds only process-wide state (storage, WAL,
+//! AI engine, learned optimizer); every statement executes *in* a
+//! session via [`Database::execute_in_session`](crate::Database::execute_in_session).
+//!
+//! The old convenience path [`Database::execute`](crate::Database::execute)
+//! still works: it runs against a default session owned by the
+//! `Database`, so single-session embedders never see the session layer.
+//! Server front ends (the `neurdb-server` crate) create one
+//! `SessionContext` per connection, which is what makes `SET
+//! parallelism` per-connection instead of last-writer-wins global.
+
+use crate::planner::PlannerConfig;
+
+/// Isolated per-session state: one per client connection (or one
+/// default instance per `Database` for the embedded convenience API).
+///
+/// Cheap to create and to clone; holds no locks and no references into
+/// the `Database`, so a session can be driven from any thread as long
+/// as the caller hands it mutably to `execute_in_session`.
+#[derive(Debug, Clone, Default)]
+pub struct SessionContext {
+    /// Planner knobs this session's `SET` statements control.
+    planner: PlannerConfig,
+}
+
+impl SessionContext {
+    /// A fresh session with default settings (`parallelism = 1`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The planner configuration queries in this session run under.
+    pub fn planner_config(&self) -> &PlannerConfig {
+        &self.planner
+    }
+
+    /// Mutable access to the planner knobs (what `SET` statements use).
+    pub fn planner_config_mut(&mut self) -> &mut PlannerConfig {
+        &mut self.planner
+    }
+
+    /// This session's maximum per-scan degree of parallelism.
+    pub fn parallelism(&self) -> usize {
+        self.planner.parallelism
+    }
+
+    /// Set this session's maximum per-scan degree of parallelism
+    /// (equivalent to `SET parallelism = n`), clamped to `1..=256`.
+    pub fn set_parallelism(&mut self, n: usize) {
+        self.planner.parallelism = n.clamp(1, 256);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_planner_defaults() {
+        let s = SessionContext::new();
+        assert_eq!(s.parallelism(), 1);
+        assert_eq!(
+            s.planner_config().parallel_min_rows,
+            PlannerConfig::default().parallel_min_rows
+        );
+    }
+
+    #[test]
+    fn set_parallelism_clamps() {
+        let mut s = SessionContext::new();
+        s.set_parallelism(0);
+        assert_eq!(s.parallelism(), 1);
+        s.set_parallelism(4);
+        assert_eq!(s.parallelism(), 4);
+        s.set_parallelism(100_000);
+        assert_eq!(s.parallelism(), 256);
+    }
+
+    #[test]
+    fn sessions_are_independent_clones() {
+        let mut a = SessionContext::new();
+        let mut b = a.clone();
+        a.set_parallelism(8);
+        b.set_parallelism(2);
+        assert_eq!(a.parallelism(), 8);
+        assert_eq!(b.parallelism(), 2);
+    }
+}

@@ -1,0 +1,242 @@
+//! A small blocking client driver for the NeurDB wire protocol.
+//!
+//! ```no_run
+//! use neurdb_server::client::Client;
+//!
+//! let mut c = Client::connect("127.0.0.1:5433").unwrap();
+//! c.affected("CREATE TABLE t (a INT)").unwrap();
+//! c.affected("INSERT INTO t VALUES (1), (2)").unwrap();
+//! let rows = c.query("SELECT a FROM t ORDER BY a").unwrap();
+//! assert_eq!(rows.rows.len(), 2);
+//! c.close().unwrap();
+//! ```
+
+use crate::protocol::{
+    decode_response, read_frame, write_request, FrameError, Request, Response, RowSet,
+    WireErrorKind, PROTOCOL_VERSION,
+};
+use std::fmt;
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Typed client-side failures; each server error frame kind maps onto
+/// its own variant so callers can match on what went wrong.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The connection failed or broke.
+    Io(io::Error),
+    /// The statement failed server-side (parse error, unknown table,
+    /// …). The connection is still usable.
+    Sql(String),
+    /// One side violated the wire protocol (malformed or unexpected
+    /// frame).
+    Protocol(String),
+    /// The server is shutting down.
+    Shutdown(String),
+    /// The server refused the connection at admission (max-connections).
+    Busy(String),
+}
+
+impl ClientError {
+    /// Map a server error frame to the typed client error.
+    pub(crate) fn from_frame(kind: WireErrorKind, message: String) -> ClientError {
+        match kind {
+            WireErrorKind::Sql => ClientError::Sql(message),
+            WireErrorKind::Protocol => ClientError::Protocol(message),
+            WireErrorKind::Shutdown => ClientError::Shutdown(message),
+            WireErrorKind::TooBusy => ClientError::Busy(message),
+        }
+    }
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection error: {e}"),
+            ClientError::Sql(m) => write!(f, "sql error: {m}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ClientError::Shutdown(m) => write!(f, "server shutdown: {m}"),
+            ClientError::Busy(m) => write!(f, "server busy: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        match e {
+            FrameError::Io(e) => ClientError::Io(e),
+            other => ClientError::Protocol(other.to_string()),
+        }
+    }
+}
+
+/// A blocking connection to a NeurDB server: one session, one statement
+/// at a time.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    session_id: u64,
+}
+
+impl Client {
+    /// Connect and wait for the server's Hello (or its admission
+    /// rejection, surfaced as [`ClientError::Busy`]).
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let mut stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        let payload = read_frame(&mut stream)?;
+        match decode_response(&payload)? {
+            Response::Hello {
+                version,
+                session_id,
+            } => {
+                if version != PROTOCOL_VERSION {
+                    return Err(ClientError::Protocol(format!(
+                        "server speaks protocol version {version}, client {PROTOCOL_VERSION}"
+                    )));
+                }
+                Ok(Client { stream, session_id })
+            }
+            Response::Error { kind, message } => Err(ClientError::from_frame(kind, message)),
+            other => Err(ClientError::Protocol(format!(
+                "expected Hello, got {other:?}"
+            ))),
+        }
+    }
+
+    /// The session id the server assigned (as shown by `SHOW SESSIONS`).
+    pub fn session_id(&self) -> u64 {
+        self.session_id
+    }
+
+    /// Execute one SQL statement, returning the typed response frame.
+    /// Server-reported failures come back as `Err` ([`ClientError::Sql`]
+    /// etc.); `Ok` is always Rows, Affected, or Prediction.
+    pub fn execute(&mut self, sql: &str) -> Result<Response, ClientError> {
+        if let Err(e) = write_request(&mut self.stream, &Request::Query(sql.to_string())) {
+            // The server may have posted a notice (e.g. a shutdown
+            // frame) before closing its end; prefer surfacing that over
+            // the raw broken-pipe error.
+            if let Some(err) = self.pending_error_notice() {
+                return Err(err);
+            }
+            return Err(ClientError::Io(e));
+        }
+        match self.read_response()? {
+            Response::Error { kind, message } => Err(ClientError::from_frame(kind, message)),
+            Response::Hello { .. } => Err(ClientError::Protocol(
+                "unexpected Hello mid-session".to_string(),
+            )),
+            resp => Ok(resp),
+        }
+    }
+
+    /// Execute a statement that returns rows (SELECT, SHOW, EXPLAIN, or
+    /// PREDICT — prediction rows are unwrapped).
+    pub fn query(&mut self, sql: &str) -> Result<RowSet, ClientError> {
+        match self.execute(sql)? {
+            Response::Rows(rs) => Ok(rs),
+            Response::Prediction { rows, .. } => Ok(rows),
+            other => Err(ClientError::Protocol(format!(
+                "statement did not return rows: {other:?}"
+            ))),
+        }
+    }
+
+    /// Execute a DML/DDL statement, returning the affected-row count.
+    pub fn affected(&mut self, sql: &str) -> Result<u64, ClientError> {
+        match self.execute(sql)? {
+            Response::Affected(n) => Ok(n),
+            other => Err(ClientError::Protocol(format!(
+                "statement did not return an affected count: {other:?}"
+            ))),
+        }
+    }
+
+    /// Orderly goodbye; the server ends the session immediately instead
+    /// of waiting for the disconnect.
+    pub fn close(mut self) -> Result<(), ClientError> {
+        write_request(&mut self.stream, &Request::Close)?;
+        Ok(())
+    }
+
+    fn read_response(&mut self) -> Result<Response, ClientError> {
+        let payload = read_frame(&mut self.stream)?;
+        Ok(decode_response(&payload)?)
+    }
+
+    /// After a failed write: briefly check whether the server left a
+    /// parting error frame (shutdown notice) in the receive buffer.
+    fn pending_error_notice(&mut self) -> Option<ClientError> {
+        let _ = self
+            .stream
+            .set_read_timeout(Some(Duration::from_millis(200)));
+        let result = read_frame(&mut self.stream)
+            .ok()
+            .and_then(|p| decode_response(&p).ok());
+        let _ = self.stream.set_read_timeout(None);
+        match result {
+            Some(Response::Error { kind, message }) => Some(ClientError::from_frame(kind, message)),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // One mapping test per error frame kind: the wire-level kind must
+    // surface as its own typed Rust error.
+
+    #[test]
+    fn sql_error_frame_maps_to_sql() {
+        match ClientError::from_frame(WireErrorKind::Sql, "unknown table 't'".into()) {
+            ClientError::Sql(m) => assert_eq!(m, "unknown table 't'"),
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn protocol_error_frame_maps_to_protocol() {
+        match ClientError::from_frame(WireErrorKind::Protocol, "unknown request type".into()) {
+            ClientError::Protocol(m) => assert!(m.contains("unknown request")),
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shutdown_error_frame_maps_to_shutdown() {
+        match ClientError::from_frame(WireErrorKind::Shutdown, "server is shutting down".into()) {
+            ClientError::Shutdown(m) => assert!(m.contains("shutting down")),
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn busy_error_frame_maps_to_busy() {
+        match ClientError::from_frame(WireErrorKind::TooBusy, "server at capacity".into()) {
+            ClientError::Busy(m) => assert!(m.contains("capacity")),
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn frame_errors_map_by_kind() {
+        let io = FrameError::Io(io::Error::new(io::ErrorKind::UnexpectedEof, "eof"));
+        assert!(matches!(ClientError::from(io), ClientError::Io(_)));
+        let bad = FrameError::Malformed("tag".into());
+        assert!(matches!(ClientError::from(bad), ClientError::Protocol(_)));
+        let big = FrameError::Oversized(usize::MAX);
+        assert!(matches!(ClientError::from(big), ClientError::Protocol(_)));
+    }
+}

@@ -1,0 +1,466 @@
+//! The TCP front end: an admission-controlled accept loop, one worker
+//! thread per connection, per-connection [`SessionContext`]s, a session
+//! registry behind `SHOW SESSIONS`, and graceful drain shutdown.
+//!
+//! # Threading model
+//!
+//! - The **accept thread** owns the (non-blocking) listener. It polls
+//!   for new connections, reaps finished workers, enforces the
+//!   max-connections admission limit (rejected connections get one
+//!   structured `TooBusy` error frame instead of a silent close), and
+//!   hands each admitted socket to a fresh worker thread.
+//! - Each **worker thread** owns its socket and its session state
+//!   exclusively; the only shared mutable state is the session registry
+//!   (a mutex held for microseconds) and the shutdown/active-count
+//!   atomics. Statements execute on the worker thread, so the
+//!   `Database`'s own concurrency control is what serializes storage —
+//!   the server adds no global statement lock.
+//! - **Shutdown** ([`ServerHandle::shutdown`]) flips one flag. The
+//!   accept thread stops admitting and exits; workers notice within one
+//!   read-timeout tick, finish the statement they are executing (the
+//!   response is still delivered), send a final `Shutdown` error frame,
+//!   and exit. `shutdown` joins every thread before returning, so no
+//!   zombie threads survive the handle.
+
+use crate::protocol::{
+    decode_request, write_response, FrameError, Request, Response, RowSet, WireErrorKind,
+    MAX_FRAME_BYTES, PROTOCOL_VERSION,
+};
+use neurdb_core::{Database, Output, SessionContext};
+use neurdb_sql::Statement;
+use neurdb_storage::Value;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io::{self, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Admission limit: connections beyond this are answered with one
+    /// `TooBusy` error frame and closed.
+    pub max_connections: usize,
+    /// How often idle workers (and the accept loop) poll the shutdown
+    /// flag; bounds shutdown latency for idle connections.
+    pub poll_interval: Duration,
+    /// Socket write timeout. A peer that stops reading while a response
+    /// is being streamed stalls its worker in `write`; the timeout
+    /// fails the write so the worker can exit — without it, one stalled
+    /// client would wedge graceful shutdown (which joins every worker).
+    pub write_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_connections: 64,
+            poll_interval: Duration::from_millis(50),
+            write_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// A snapshot of one live session, as reported by `SHOW SESSIONS` and
+/// [`ServerHandle::sessions`].
+#[derive(Debug, Clone)]
+pub struct SessionInfo {
+    pub id: u64,
+    pub peer: String,
+    /// Statements completed on this session.
+    pub statements: u64,
+    /// The session's current `SET parallelism` value.
+    pub parallelism: usize,
+    /// The statement executing right now, if any.
+    pub current: Option<String>,
+}
+
+struct Shared {
+    db: Arc<Database>,
+    config: ServerConfig,
+    shutdown: AtomicBool,
+    active: AtomicUsize,
+    next_session: AtomicU64,
+    sessions: Mutex<HashMap<u64, SessionInfo>>,
+}
+
+impl Shared {
+    fn register(&self, id: u64, peer: String) {
+        self.sessions.lock().insert(
+            id,
+            SessionInfo {
+                id,
+                peer,
+                statements: 0,
+                parallelism: SessionContext::new().parallelism(),
+                current: None,
+            },
+        );
+    }
+
+    fn deregister(&self, id: u64) {
+        self.sessions.lock().remove(&id);
+        self.active.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    fn begin_statement(&self, id: u64, sql: &str) {
+        if let Some(s) = self.sessions.lock().get_mut(&id) {
+            s.current = Some(sql.to_string());
+        }
+    }
+
+    fn end_statement(&self, id: u64, parallelism: usize) {
+        if let Some(s) = self.sessions.lock().get_mut(&id) {
+            s.current = None;
+            s.statements += 1;
+            s.parallelism = parallelism;
+        }
+    }
+
+    /// Ordered snapshot of the live sessions (shared by `SHOW SESSIONS`
+    /// and [`ServerHandle::sessions`]).
+    fn session_snapshot(&self) -> Vec<SessionInfo> {
+        let mut infos: Vec<SessionInfo> = self.sessions.lock().values().cloned().collect();
+        infos.sort_by_key(|s| s.id);
+        infos
+    }
+
+    fn session_rows(&self) -> RowSet {
+        let infos = self.session_snapshot();
+        RowSet {
+            columns: vec![
+                "session_id".to_string(),
+                "peer".to_string(),
+                "statements".to_string(),
+                "parallelism".to_string(),
+                "current_query".to_string(),
+            ],
+            rows: infos
+                .into_iter()
+                .map(|s| {
+                    vec![
+                        Value::Int(s.id as i64),
+                        Value::Text(s.peer),
+                        Value::Int(s.statements as i64),
+                        Value::Int(s.parallelism as i64),
+                        s.current.map_or(Value::Null, Value::Text),
+                    ]
+                })
+                .collect(),
+        }
+    }
+}
+
+/// The NeurDB TCP server.
+pub struct Server;
+
+impl Server {
+    /// Bind `addr` (use port 0 for an ephemeral port) and start serving
+    /// `db`. Returns a handle owning every thread the server spawns.
+    pub fn start(
+        db: Arc<Database>,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            db,
+            config,
+            shutdown: AtomicBool::new(false),
+            active: AtomicUsize::new(0),
+            next_session: AtomicU64::new(0),
+            sessions: Mutex::new(HashMap::new()),
+        });
+        let accept_shared = shared.clone();
+        let accept = thread::Builder::new()
+            .name("neurdb-accept".to_string())
+            .spawn(move || accept_loop(listener, accept_shared))?;
+        Ok(ServerHandle {
+            shared,
+            local_addr,
+            accept: Some(accept),
+        })
+    }
+}
+
+/// Handle to a running server. [`ServerHandle::shutdown`] (also run on
+/// drop) drains in-flight statements and joins every thread.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    accept: Option<JoinHandle<Vec<JoinHandle<()>>>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Snapshot of the live sessions (what `SHOW SESSIONS` reports).
+    pub fn sessions(&self) -> Vec<SessionInfo> {
+        self.shared.session_snapshot()
+    }
+
+    /// Number of currently connected sessions.
+    pub fn session_count(&self) -> usize {
+        self.shared.active.load(Ordering::SeqCst)
+    }
+
+    /// Graceful shutdown: stop admitting, let in-flight statements
+    /// finish (their responses are delivered), notify idle connections
+    /// with a `Shutdown` error frame, and join every thread.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.accept.take() {
+            if let Ok(workers) = handle.join() {
+                for w in workers {
+                    let _ = w.join();
+                }
+            }
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// The accept thread: admit, spawn, reap; returns the handles of
+/// workers still running at shutdown so the caller can join them.
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) -> Vec<JoinHandle<()>> {
+    let mut workers: Vec<JoinHandle<()>> = Vec::new();
+    let accept_poll = shared.config.poll_interval.min(Duration::from_millis(10));
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        workers.retain(|w| !w.is_finished());
+        match listener.accept() {
+            Ok((mut stream, peer)) => {
+                let _ = stream.set_nodelay(true);
+                let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
+                if shared.active.load(Ordering::SeqCst) >= shared.config.max_connections {
+                    let _ = write_response(
+                        &mut stream,
+                        &Response::Error {
+                            kind: WireErrorKind::TooBusy,
+                            message: format!(
+                                "server at capacity ({} connections)",
+                                shared.config.max_connections
+                            ),
+                        },
+                    );
+                    continue;
+                }
+                let id = shared.next_session.fetch_add(1, Ordering::SeqCst) + 1;
+                shared.active.fetch_add(1, Ordering::SeqCst);
+                shared.register(id, peer.to_string());
+                let worker_shared = shared.clone();
+                let spawned = thread::Builder::new()
+                    .name(format!("neurdb-conn-{id}"))
+                    .spawn(move || connection_loop(stream, id, worker_shared));
+                match spawned {
+                    Ok(h) => workers.push(h),
+                    Err(_) => shared.deregister(id),
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(accept_poll),
+            Err(_) => thread::sleep(accept_poll),
+        }
+    }
+    workers
+}
+
+/// Read one frame, polling `shutdown` between read-timeout ticks.
+/// `Ok(None)` means shutdown was requested while waiting.
+fn read_frame_polling(
+    stream: &mut TcpStream,
+    shutdown: &AtomicBool,
+) -> Result<Option<Vec<u8>>, FrameError> {
+    let mut header = [0u8; 4];
+    if !read_exact_polling(stream, &mut header, shutdown)? {
+        return Ok(None);
+    }
+    let len = u32::from_be_bytes(header) as usize;
+    if len == 0 || len > MAX_FRAME_BYTES {
+        return Err(FrameError::Oversized(len));
+    }
+    let mut buf = vec![0u8; len];
+    if !read_exact_polling(stream, &mut buf, shutdown)? {
+        return Ok(None);
+    }
+    Ok(Some(buf))
+}
+
+/// `read_exact` that tolerates read timeouts, checking `shutdown` at
+/// every tick. Returns `Ok(false)` on shutdown (any partial bytes are
+/// abandoned — the connection is closing).
+fn read_exact_polling(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    shutdown: &AtomicBool,
+) -> Result<bool, FrameError> {
+    let mut got = 0;
+    while got < buf.len() {
+        if shutdown.load(Ordering::SeqCst) {
+            return Ok(false);
+        }
+        match stream.read(&mut buf[got..]) {
+            Ok(0) => {
+                return Err(FrameError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "peer closed the connection",
+                )))
+            }
+            Ok(n) => got += n,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    Ok(true)
+}
+
+/// One worker thread: greet, then serve request frames until the client
+/// leaves, the stream breaks, or the server shuts down.
+fn connection_loop(mut stream: TcpStream, id: u64, shared: Arc<Shared>) {
+    let _ = stream.set_read_timeout(Some(shared.config.poll_interval));
+    // (The accept loop already set the write timeout: a peer that stops
+    // reading fails its worker's writes instead of wedging shutdown.)
+    let mut session = SessionContext::new();
+    let greeted = write_response(
+        &mut stream,
+        &Response::Hello {
+            version: PROTOCOL_VERSION,
+            session_id: id,
+        },
+    )
+    .is_ok();
+    if greeted {
+        loop {
+            match read_frame_polling(&mut stream, &shared.shutdown) {
+                Ok(None) => {
+                    // Shutdown while idle (or mid-request): notify and
+                    // leave. In-flight statements never reach here —
+                    // the flag is only polled between requests.
+                    let _ = write_response(
+                        &mut stream,
+                        &Response::Error {
+                            kind: WireErrorKind::Shutdown,
+                            message: "server is shutting down".to_string(),
+                        },
+                    );
+                    break;
+                }
+                Ok(Some(frame)) => match decode_request(&frame) {
+                    Ok(Request::Close) => break,
+                    Ok(Request::Query(sql)) => {
+                        shared.begin_statement(id, &sql);
+                        let resp = run_statement(&shared, &mut session, &sql);
+                        shared.end_statement(id, session.parallelism());
+                        match write_response(&mut stream, &resp) {
+                            Ok(()) => {}
+                            // A result set too large for one frame is a
+                            // statement-level failure, not a reason to
+                            // kill the connection: the encoder refused
+                            // before any byte hit the wire.
+                            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                                let fallback = Response::Error {
+                                    kind: WireErrorKind::Sql,
+                                    message: format!(
+                                        "result set too large for one wire frame ({e}); \
+                                         paginate with LIMIT"
+                                    ),
+                                };
+                                if write_response(&mut stream, &fallback).is_err() {
+                                    break;
+                                }
+                            }
+                            Err(_) => break,
+                        }
+                    }
+                    // Length-prefixed framing keeps the stream in sync
+                    // past a malformed body: answer and keep serving.
+                    Err(e) => {
+                        let resp = Response::Error {
+                            kind: WireErrorKind::Protocol,
+                            message: e.to_string(),
+                        };
+                        if write_response(&mut stream, &resp).is_err() {
+                            break;
+                        }
+                    }
+                },
+                // A bad length prefix *does* desync the stream: report
+                // and close.
+                Err(FrameError::Oversized(n)) => {
+                    let _ = write_response(
+                        &mut stream,
+                        &Response::Error {
+                            kind: WireErrorKind::Protocol,
+                            message: FrameError::Oversized(n).to_string(),
+                        },
+                    );
+                    break;
+                }
+                // Disconnects and stream failures end the session
+                // quietly — there is no one left to notify.
+                Err(_) => break,
+            }
+        }
+    }
+    shared.deregister(id);
+}
+
+/// Execute one statement for a session: intercept server-scoped
+/// introspection (`SHOW SESSIONS`), delegate everything else to the
+/// core facade, and map the outcome onto response frames.
+fn run_statement(shared: &Shared, session: &mut SessionContext, sql: &str) -> Response {
+    // Cheap prefix gate so the common path doesn't parse twice just to
+    // sniff for the one server-scoped statement.
+    let looks_like_show = sql
+        .trim_start()
+        .get(..4)
+        .is_some_and(|p| p.eq_ignore_ascii_case("show"));
+    if looks_like_show {
+        if let Ok(Statement::Show { name }) = neurdb_sql::parse(sql) {
+            if name.eq_ignore_ascii_case("sessions") {
+                return Response::Rows(shared.session_rows());
+            }
+        }
+    }
+    match shared.db.execute_in_session(session, sql) {
+        Ok(Output::Rows(qr)) => Response::Rows(rowset_from(qr)),
+        Ok(Output::Affected(n)) => Response::Affected(n as u64),
+        Ok(Output::Prediction(p)) => Response::Prediction {
+            mid: p.mid,
+            trained: p.train_outcome.is_some(),
+            rows: rowset_from(p.result),
+        },
+        Err(e) => Response::Error {
+            kind: WireErrorKind::Sql,
+            message: e.to_string(),
+        },
+    }
+}
+
+fn rowset_from(qr: neurdb_core::QueryResult) -> RowSet {
+    RowSet {
+        columns: qr.columns,
+        rows: qr.rows.into_iter().map(|t| t.values).collect(),
+    }
+}

@@ -289,6 +289,12 @@ pub enum Statement {
         name: String,
         value: Literal,
     },
+    /// `SHOW name`: introspection. The core facade answers catalog and
+    /// session items (`SHOW TABLES`, `SHOW parallelism`); the server
+    /// layer answers server-scoped items (`SHOW SESSIONS`).
+    Show {
+        name: String,
+    },
 }
 
 #[cfg(test)]

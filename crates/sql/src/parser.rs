@@ -131,6 +131,7 @@ impl Parser {
             Some(Token::Keyword(Keyword::Key)) => Ok("key".to_string()),
             Some(Token::Keyword(Keyword::Explain)) => Ok("explain".to_string()),
             Some(Token::Keyword(Keyword::Analyze)) => Ok("analyze".to_string()),
+            Some(Token::Keyword(Keyword::Show)) => Ok("show".to_string()),
             other => Err(self.err(&format!(
                 "expected identifier, found {}",
                 other.map_or("<eof>".to_string(), |t| t.to_string())
@@ -149,8 +150,16 @@ impl Parser {
             Some(Token::Keyword(Keyword::Predict)) => self.predict(),
             Some(Token::Keyword(Keyword::Explain)) => self.explain(),
             Some(Token::Keyword(Keyword::Set)) => self.set_stmt(),
+            Some(Token::Keyword(Keyword::Show)) => self.show_stmt(),
             _ => Err(self.err(&format!("expected statement, found {}", self.peek_str()))),
         }
+    }
+
+    /// `SHOW name` — catalog / session / server introspection.
+    fn show_stmt(&mut self) -> PResult<Statement> {
+        self.expect_kw(Keyword::Show)?;
+        let name = self.ident()?;
+        Ok(Statement::Show { name })
     }
 
     /// `SET name = literal` — session configuration.
@@ -646,7 +655,8 @@ impl Parser {
             | Some(Token::Keyword(Keyword::Class))
             | Some(Token::Keyword(Keyword::Key))
             | Some(Token::Keyword(Keyword::Explain))
-            | Some(Token::Keyword(Keyword::Analyze)) => {
+            | Some(Token::Keyword(Keyword::Analyze))
+            | Some(Token::Keyword(Keyword::Show)) => {
                 let first = self.ident()?;
                 if self.accept(&Token::Dot) {
                     let second = self.ident()?;
@@ -903,6 +913,33 @@ mod tests {
         );
         assert!(parse("SET parallelism").is_err());
         assert!(parse("SET = 4").is_err());
+    }
+
+    #[test]
+    fn show_statement() {
+        assert_eq!(
+            parse("SHOW sessions").unwrap(),
+            Statement::Show {
+                name: "sessions".to_string(),
+            }
+        );
+        // Identifier case is preserved (the executor matches
+        // case-insensitively, like SET).
+        assert_eq!(
+            parse("SHOW TABLES;").unwrap(),
+            Statement::Show {
+                name: "TABLES".to_string(),
+            }
+        );
+        assert_eq!(
+            parse("show Parallelism").unwrap(),
+            Statement::Show {
+                name: "Parallelism".to_string(),
+            }
+        );
+        // SHOW needs an item; SHOW stays usable as a column name.
+        assert!(parse("SHOW").is_err());
+        assert!(parse("SELECT show FROM t WHERE show > 1").is_ok());
     }
 
     #[test]

@@ -55,6 +55,8 @@ pub enum Keyword {
     // Plan inspection.
     Explain,
     Analyze,
+    // Session / catalog introspection.
+    Show,
 }
 
 impl Keyword {
@@ -111,6 +113,7 @@ impl Keyword {
             // as the identifier "analyze" in name position, so an alias
             // spelling would silently rename user columns.
             "ANALYZE" => Keyword::Analyze,
+            "SHOW" => Keyword::Show,
             _ => return None,
         })
     }

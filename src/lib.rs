@@ -10,6 +10,7 @@ pub use neurdb_core as core;
 pub use neurdb_engine as engine;
 pub use neurdb_nn as nn;
 pub use neurdb_qo as qo;
+pub use neurdb_server as server;
 pub use neurdb_sql as sql;
 pub use neurdb_storage as storage;
 pub use neurdb_txn as txn;

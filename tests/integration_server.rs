@@ -1,0 +1,598 @@
+//! End-to-end tests for the `neurdb-server` subsystem: wire-protocol
+//! round trips, per-session isolation of `SET` state (the PR 5
+//! regression: `SET parallelism` used to be last-writer-wins across the
+//! whole process), structured error frames, admission control, graceful
+//! shutdown, and a many-clients-over-a-durable-store smoke test that
+//! reuses the kill-and-reopen recovery pattern.
+//!
+//! Every test arms a watchdog that aborts the process on deadlock, so a
+//! hung accept loop or unjoined worker fails CI instead of hanging it.
+
+use neurdb_core::{Database, SessionContext};
+use neurdb_server::protocol::{
+    decode_response, read_frame, write_request, Request, Response, WireErrorKind,
+};
+use neurdb_server::{client::Client, ClientError, Server, ServerConfig};
+use neurdb_storage::Value;
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Aborts the whole process if the owning test runs past `secs` — a
+/// hard per-test timeout (a deadlocked server would otherwise hang
+/// `cargo test` until the CI job limit).
+struct Watchdog {
+    done: Arc<AtomicBool>,
+}
+
+impl Watchdog {
+    fn arm(name: &'static str, secs: u64) -> Watchdog {
+        let done = Arc::new(AtomicBool::new(false));
+        let flag = done.clone();
+        thread::spawn(move || {
+            let deadline = Instant::now() + Duration::from_secs(secs);
+            while Instant::now() < deadline {
+                if flag.load(Ordering::Relaxed) {
+                    return;
+                }
+                thread::sleep(Duration::from_millis(100));
+            }
+            eprintln!("watchdog: test '{name}' exceeded {secs}s, aborting process");
+            std::process::abort();
+        });
+        Watchdog { done }
+    }
+}
+
+impl Drop for Watchdog {
+    fn drop(&mut self) {
+        self.done.store(true, Ordering::Relaxed);
+    }
+}
+
+fn start_volatile() -> neurdb_server::ServerHandle {
+    let db = Arc::new(Database::new());
+    Server::start(db, "127.0.0.1:0", ServerConfig::default()).unwrap()
+}
+
+fn plan_text(c: &mut Client, sql: &str) -> String {
+    let rows = c.query(sql).unwrap();
+    rows.rows
+        .iter()
+        .map(|r| match &r[0] {
+            Value::Text(s) => s.clone(),
+            other => panic!("plan row should be text, got {other:?}"),
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn wire_roundtrip_typed_results() {
+    let _w = Watchdog::arm("wire_roundtrip_typed_results", 120);
+    let handle = start_volatile();
+    let mut c = Client::connect(handle.local_addr()).unwrap();
+    assert!(c.session_id() > 0);
+
+    assert_eq!(
+        c.affected("CREATE TABLE items (id INT PRIMARY KEY, name TEXT, price FLOAT, live BOOL)")
+            .unwrap(),
+        0
+    );
+    assert_eq!(
+        c.affected("INSERT INTO items VALUES (1, 'apple', 1.5, TRUE), (2, 'pear', NULL, FALSE)")
+            .unwrap(),
+        2
+    );
+
+    // Every value type survives the wire with its type intact.
+    let rows = c
+        .query("SELECT id, name, price, live FROM items ORDER BY id")
+        .unwrap();
+    assert_eq!(rows.columns, vec!["id", "name", "price", "live"]);
+    assert_eq!(
+        rows.rows[0],
+        vec![
+            Value::Int(1),
+            Value::Text("apple".into()),
+            Value::Float(1.5),
+            Value::Bool(true)
+        ]
+    );
+    assert_eq!(rows.rows[1][2], Value::Null);
+
+    assert_eq!(
+        c.affected("UPDATE items SET price = 2.0 WHERE id = 2")
+            .unwrap(),
+        1
+    );
+    assert_eq!(c.affected("DELETE FROM items WHERE id = 1").unwrap(), 1);
+
+    // EXPLAIN output arrives as plan rows.
+    let plan = plan_text(&mut c, "EXPLAIN SELECT id FROM items WHERE id = 2");
+    assert!(plan.contains("Scan") || plan.contains("Project"), "{plan}");
+
+    // Aggregates and SHOW work through the same path.
+    let agg = c.query("SELECT COUNT(*) FROM items").unwrap();
+    assert_eq!(agg.rows[0][0], Value::Int(1));
+    let tables = c.query("SHOW TABLES").unwrap();
+    assert_eq!(tables.rows, vec![vec![Value::Text("items".into())]]);
+
+    c.close().unwrap();
+    handle.shutdown();
+}
+
+/// The PR 5 satellite regression, at the core-API level: two sessions
+/// on one `Database` with different `parallelism` settings must plan
+/// different `dop`s *concurrently*, without interfering with each other
+/// or with the default session (before `SessionContext`, the last
+/// `SET parallelism` won globally).
+#[test]
+fn concurrent_sessions_plan_independent_dops() {
+    let _w = Watchdog::arm("concurrent_sessions_plan_independent_dops", 120);
+    let db = Arc::new(Database::new());
+    db.execute("CREATE TABLE t (a INT, b INT)").unwrap();
+    let mut stmt = String::from("INSERT INTO t VALUES ");
+    for i in 0..64 {
+        if i > 0 {
+            stmt.push(',');
+        }
+        stmt.push_str(&format!("({i}, {})", i % 8));
+    }
+    db.execute(&stmt).unwrap();
+
+    let explain = |session: &mut SessionContext, db: &Database| -> String {
+        let out = db
+            .execute_in_session(session, "EXPLAIN SELECT a FROM t WHERE b = 3")
+            .unwrap();
+        out.rows()
+            .unwrap()
+            .rows
+            .iter()
+            .map(|r| r.get(0).as_str().unwrap().to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+
+    let mut threads = Vec::new();
+    for (parallelism, expect_gather) in [(4usize, true), (2, true), (1, false)] {
+        let db = db.clone();
+        threads.push(thread::spawn(move || {
+            let mut session = SessionContext::new();
+            // Force-parallelize regardless of table size so the dop in
+            // the plan equals the session's setting exactly.
+            db.execute_in_session(&mut session, "SET parallel_min_rows = 0")
+                .unwrap();
+            db.execute_in_session(&mut session, &format!("SET parallelism = {parallelism}"))
+                .unwrap();
+            for _ in 0..50 {
+                let plan = explain(&mut session, &db);
+                if expect_gather {
+                    assert!(
+                        plan.contains(&format!("Gather(dop={parallelism})")),
+                        "session with parallelism={parallelism} planned: {plan}"
+                    );
+                } else {
+                    assert!(
+                        !plan.contains("Gather"),
+                        "serial session planned a Gather: {plan}"
+                    );
+                }
+            }
+            assert_eq!(session.parallelism(), parallelism);
+        }));
+    }
+    for t in threads {
+        t.join().unwrap();
+    }
+    // The default session never saw any of it.
+    assert_eq!(db.parallelism(), 1);
+}
+
+/// The same isolation property through the server: four concurrent
+/// clients each `SET` a different parallelism and must each see their
+/// own `dop` in EXPLAIN / EXPLAIN ANALYZE output, interleaved.
+#[test]
+fn wire_sessions_isolate_parallelism() {
+    let _w = Watchdog::arm("wire_sessions_isolate_parallelism", 120);
+    let db = Arc::new(Database::new());
+    db.execute("CREATE TABLE events (eid INT PRIMARY KEY, kind INT)")
+        .unwrap();
+    let mut stmt = String::from("INSERT INTO events VALUES ");
+    for i in 0..256 {
+        if i > 0 {
+            stmt.push(',');
+        }
+        stmt.push_str(&format!("({i}, {})", i % 16));
+    }
+    db.execute(&stmt).unwrap();
+    let handle = Server::start(db, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = handle.local_addr();
+
+    let mut threads = Vec::new();
+    for parallelism in 1..=4usize {
+        threads.push(thread::spawn(move || {
+            let mut c = Client::connect(addr).unwrap();
+            c.affected("SET parallel_min_rows = 0").unwrap();
+            c.affected(&format!("SET parallelism = {parallelism}"))
+                .unwrap();
+            for round in 0..20 {
+                // Alternate plain EXPLAIN with EXPLAIN ANALYZE so the
+                // executed dop is covered too, and run the real query to
+                // confirm results are unaffected by other sessions.
+                let stmt = if round % 2 == 0 {
+                    "EXPLAIN SELECT eid FROM events WHERE kind = 3"
+                } else {
+                    "EXPLAIN ANALYZE SELECT eid FROM events WHERE kind = 3"
+                };
+                let plan = {
+                    let rows = c.query(stmt).unwrap();
+                    rows.rows
+                        .iter()
+                        .map(|r| match &r[0] {
+                            Value::Text(s) => s.clone(),
+                            other => panic!("{other:?}"),
+                        })
+                        .collect::<Vec<_>>()
+                        .join("\n")
+                };
+                if parallelism > 1 {
+                    assert!(
+                        plan.contains(&format!("Gather(dop={parallelism})")),
+                        "client parallelism={parallelism} saw plan: {plan}"
+                    );
+                } else {
+                    assert!(!plan.contains("Gather"), "{plan}");
+                }
+                let rows = c.query("SELECT eid FROM events WHERE kind = 3").unwrap();
+                assert_eq!(rows.rows.len(), 16);
+            }
+            let p = c.query("SHOW parallelism").unwrap();
+            assert_eq!(p.rows[0][0], Value::Int(parallelism as i64));
+            c.close().unwrap();
+        }));
+    }
+    for t in threads {
+        t.join().unwrap();
+    }
+    handle.shutdown();
+}
+
+/// `SHOW SESSIONS` enumerates live connections with their per-session
+/// parallelism and statement counters.
+#[test]
+fn show_sessions_reports_live_connections() {
+    let _w = Watchdog::arm("show_sessions_reports_live_connections", 120);
+    let handle = start_volatile();
+    let addr = handle.local_addr();
+    let mut a = Client::connect(addr).unwrap();
+    let mut b = Client::connect(addr).unwrap();
+    a.affected("SET parallelism = 8").unwrap();
+    a.affected("CREATE TABLE t (x INT)").unwrap();
+    b.affected("SET parallelism = 2").unwrap();
+
+    let sessions = b.query("SHOW SESSIONS").unwrap();
+    assert_eq!(
+        sessions.columns,
+        vec![
+            "session_id",
+            "peer",
+            "statements",
+            "parallelism",
+            "current_query"
+        ]
+    );
+    assert_eq!(sessions.rows.len(), 2);
+    let row_for = |id: u64| {
+        sessions
+            .rows
+            .iter()
+            .find(|r| r[0] == Value::Int(id as i64))
+            .unwrap_or_else(|| panic!("session {id} missing"))
+    };
+    assert_eq!(row_for(a.session_id())[3], Value::Int(8));
+    assert_eq!(row_for(a.session_id())[2], Value::Int(2)); // SET + CREATE
+    assert_eq!(row_for(b.session_id())[3], Value::Int(2));
+    // The introspecting session sees its own in-flight SHOW SESSIONS.
+    assert_eq!(
+        row_for(b.session_id())[4],
+        Value::Text("SHOW SESSIONS".into())
+    );
+
+    // The handle-level view agrees.
+    assert_eq!(handle.session_count(), 2);
+    a.close().unwrap();
+    b.close().unwrap();
+    handle.shutdown();
+}
+
+/// Structured error frames, kind by kind.
+#[test]
+fn sql_errors_keep_the_connection_usable() {
+    let _w = Watchdog::arm("sql_errors_keep_the_connection_usable", 120);
+    let handle = start_volatile();
+    let mut c = Client::connect(handle.local_addr()).unwrap();
+    match c.execute("SELECT * FROM missing") {
+        Err(ClientError::Sql(m)) => assert!(m.contains("missing"), "{m}"),
+        other => panic!("expected Sql error, got {other:?}"),
+    }
+    match c.execute("THIS IS NOT SQL") {
+        Err(ClientError::Sql(m)) => assert!(m.contains("parse"), "{m}"),
+        other => panic!("expected Sql error, got {other:?}"),
+    }
+    // Same connection still serves statements.
+    c.affected("CREATE TABLE ok (a INT)").unwrap();
+    assert_eq!(c.affected("INSERT INTO ok VALUES (1)").unwrap(), 1);
+    c.close().unwrap();
+    handle.shutdown();
+}
+
+#[test]
+fn protocol_errors_are_structured_frames() {
+    let _w = Watchdog::arm("protocol_errors_are_structured_frames", 120);
+    let handle = start_volatile();
+    let mut raw = TcpStream::connect(handle.local_addr()).unwrap();
+    let hello = decode_response(&read_frame(&mut raw).unwrap()).unwrap();
+    assert!(matches!(hello, Response::Hello { .. }));
+
+    // An unknown frame type gets a structured Protocol error, not a
+    // dropped connection.
+    use std::io::Write;
+    raw.write_all(&1u32.to_be_bytes()).unwrap();
+    raw.write_all(&[0x7f]).unwrap();
+    raw.flush().unwrap();
+    match decode_response(&read_frame(&mut raw).unwrap()).unwrap() {
+        Response::Error { kind, message } => {
+            assert_eq!(kind, WireErrorKind::Protocol);
+            assert!(message.contains("unknown request"), "{message}");
+        }
+        other => panic!("expected protocol error frame, got {other:?}"),
+    }
+
+    // The connection survived: a well-formed request still runs.
+    write_request(&mut raw, &Request::Query("SHOW TABLES".into())).unwrap();
+    match decode_response(&read_frame(&mut raw).unwrap()).unwrap() {
+        Response::Rows(_) => {}
+        other => panic!("expected rows after recovering, got {other:?}"),
+    }
+    write_request(&mut raw, &Request::Close).unwrap();
+    handle.shutdown();
+}
+
+#[test]
+fn admission_control_rejects_with_busy_frame() {
+    let _w = Watchdog::arm("admission_control_rejects_with_busy_frame", 120);
+    let db = Arc::new(Database::new());
+    let config = ServerConfig {
+        max_connections: 1,
+        ..ServerConfig::default()
+    };
+    let handle = Server::start(db, "127.0.0.1:0", config).unwrap();
+    let addr = handle.local_addr();
+
+    let first = Client::connect(addr).unwrap();
+    match Client::connect(addr) {
+        Err(ClientError::Busy(m)) => assert!(m.contains("capacity"), "{m}"),
+        other => panic!("expected Busy, got {other:?}"),
+    }
+
+    // Capacity frees once the first client leaves.
+    first.close().unwrap();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        match Client::connect(addr) {
+            Ok(c) => {
+                c.close().unwrap();
+                break;
+            }
+            Err(ClientError::Busy(_)) if Instant::now() < deadline => {
+                thread::sleep(Duration::from_millis(20));
+            }
+            Err(other) => panic!("unexpected error while waiting for capacity: {other:?}"),
+        }
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_notifies_idle_connections() {
+    let _w = Watchdog::arm("graceful_shutdown_notifies_idle_connections", 120);
+    let handle = start_volatile();
+    let addr = handle.local_addr();
+
+    // A raw idle connection: after shutdown it must receive a parting
+    // Shutdown error frame (not a silent close).
+    let mut raw = TcpStream::connect(addr).unwrap();
+    let _hello = decode_response(&read_frame(&mut raw).unwrap()).unwrap();
+
+    // A driver-level client: its next statement after shutdown fails
+    // with a typed Shutdown error (or a connection error if the close
+    // raced the notice).
+    let mut c = Client::connect(addr).unwrap();
+    c.affected("CREATE TABLE t (a INT)").unwrap();
+
+    handle.shutdown(); // joins every thread before returning
+
+    match decode_response(&read_frame(&mut raw).unwrap()).unwrap() {
+        Response::Error { kind, message } => {
+            assert_eq!(kind, WireErrorKind::Shutdown);
+            assert!(message.contains("shutting down"), "{message}");
+        }
+        other => panic!("expected shutdown frame, got {other:?}"),
+    }
+
+    match c.execute("SELECT * FROM t") {
+        Err(ClientError::Shutdown(_)) | Err(ClientError::Io(_)) => {}
+        other => panic!("expected Shutdown or Io after shutdown, got {other:?}"),
+    }
+}
+
+/// In-flight statements are drained on shutdown: a statement that is
+/// already executing completes and its response is delivered.
+#[test]
+fn graceful_shutdown_drains_in_flight_statements() {
+    let _w = Watchdog::arm("graceful_shutdown_drains_in_flight_statements", 120);
+    let db = Arc::new(Database::new());
+    db.execute("CREATE TABLE big (a INT, b INT)").unwrap();
+    let mut stmt = String::from("INSERT INTO big VALUES ");
+    for i in 0..4000 {
+        if i > 0 {
+            stmt.push(',');
+        }
+        stmt.push_str(&format!("({i}, {})", i % 13));
+    }
+    db.execute(&stmt).unwrap();
+    let handle = Server::start(db, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = handle.local_addr();
+
+    let worker = thread::spawn(move || {
+        let mut c = Client::connect(addr).unwrap();
+        // A self-join heavy enough to still be running when shutdown
+        // lands; its response must still arrive.
+        let rows = c
+            .query("SELECT COUNT(*) FROM big x, big y WHERE x.b = y.b AND x.a < 50")
+            .unwrap();
+        assert_eq!(rows.rows.len(), 1);
+    });
+    // Let the statement get going, then shut down underneath it.
+    thread::sleep(Duration::from_millis(30));
+    handle.shutdown();
+    worker.join().unwrap();
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("neurdb-server-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+/// The concurrency smoke from the issue: N client threads × M
+/// statements against one server over a durable store, then close,
+/// reopen the directory, and verify the durable prefix (everything the
+/// clients saw acknowledged) survived — the PR 1 recovery-harness
+/// pattern applied to the serving path.
+#[test]
+fn durable_store_survives_concurrent_clients_and_reopen() {
+    let _w = Watchdog::arm("durable_store_survives_concurrent_clients_and_reopen", 240);
+    const CLIENTS: usize = 4;
+    const INSERTS: usize = 25;
+
+    let dir = tmpdir("smoke");
+    let db = Arc::new(Database::open(&dir).unwrap());
+    db.execute("CREATE TABLE stress (id INT PRIMARY KEY, tid INT, payload TEXT)")
+        .unwrap();
+    db.execute("CREATE TABLE dims (tid INT PRIMARY KEY, label TEXT)")
+        .unwrap();
+    for t in 0..CLIENTS {
+        db.execute(&format!("INSERT INTO dims VALUES ({t}, 'thread{t}')"))
+            .unwrap();
+    }
+    let handle = Server::start(db, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = handle.local_addr();
+
+    let mut threads = Vec::new();
+    for t in 0..CLIENTS {
+        threads.push(thread::spawn(move || {
+            let mut c = Client::connect(addr).unwrap();
+            for i in 0..INSERTS {
+                let id = t * 10_000 + i;
+                assert_eq!(
+                    c.affected(&format!(
+                        "INSERT INTO stress VALUES ({id}, {t}, 'row-{t}-{i}')"
+                    ))
+                    .unwrap(),
+                    1
+                );
+                // Interleave reads and a join so the parallel paths and
+                // the catalog are exercised under concurrency.
+                if i % 5 == 0 {
+                    let rows = c
+                        .query(&format!(
+                            "SELECT s.id, d.label FROM stress s, dims d \
+                             WHERE s.tid = d.tid AND s.tid = {t}"
+                        ))
+                        .unwrap();
+                    assert_eq!(rows.rows.len(), i + 1);
+                }
+            }
+            c.close().unwrap();
+        }));
+    }
+    for t in threads {
+        t.join().unwrap();
+    }
+    handle.shutdown();
+
+    // "Kill": the only remaining owner closes the store...
+    // (the server handle is gone, so the Arc count is 1 again)
+    // ...and reopening must recover every acknowledged statement.
+    let reopened = Database::open(&dir).unwrap();
+    let out = reopened.execute("SELECT COUNT(*) FROM stress").unwrap();
+    assert_eq!(
+        out.rows().unwrap().rows[0].get(0),
+        &Value::Int((CLIENTS * INSERTS) as i64)
+    );
+    for t in 0..CLIENTS {
+        let out = reopened
+            .execute(&format!("SELECT COUNT(*) FROM stress WHERE tid = {t}"))
+            .unwrap();
+        assert_eq!(
+            out.rows().unwrap().rows[0].get(0),
+            &Value::Int(INSERTS as i64)
+        );
+    }
+    // Catalog and the joinable dimension table came back too.
+    let out = reopened
+        .execute("SELECT COUNT(*) FROM stress s, dims d WHERE s.tid = d.tid")
+        .unwrap();
+    assert_eq!(
+        out.rows().unwrap().rows[0].get(0),
+        &Value::Int((CLIENTS * INSERTS) as i64)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// PREDICT through the wire: train + serve over one connection, typed
+/// prediction frame on the client.
+#[test]
+fn predict_over_the_wire() {
+    let _w = Watchdog::arm("predict_over_the_wire", 240);
+    let handle = start_volatile();
+    let mut c = Client::connect(handle.local_addr()).unwrap();
+    c.affected("CREATE TABLE review (id INT PRIMARY KEY, brand INT, stars INT, score FLOAT)")
+        .unwrap();
+    let mut stmt = String::from("INSERT INTO review VALUES ");
+    for i in 0..200 {
+        if i > 0 {
+            stmt.push(',');
+        }
+        stmt.push_str(&format!("({i}, {}, {}, {}.0)", i % 4, i % 5, i % 5));
+    }
+    c.affected(&stmt).unwrap();
+
+    match c
+        .execute("PREDICT VALUE OF score FROM review WHERE brand = 0 TRAIN ON * WITH brand <> 0")
+        .unwrap()
+    {
+        Response::Prediction { mid, trained, rows } => {
+            assert!(mid > 0);
+            assert!(trained, "first PREDICT should train");
+            assert_eq!(rows.rows.len(), 50);
+            assert!(rows.columns.iter().any(|c| c == "predicted_score"));
+        }
+        other => panic!("expected prediction, got {other:?}"),
+    }
+    // Second call serves from the cached model.
+    match c
+        .execute("PREDICT VALUE OF score FROM review WHERE brand = 0 TRAIN ON * WITH brand <> 0")
+        .unwrap()
+    {
+        Response::Prediction { trained, .. } => assert!(!trained),
+        other => panic!("expected prediction, got {other:?}"),
+    }
+    c.close().unwrap();
+    handle.shutdown();
+}
