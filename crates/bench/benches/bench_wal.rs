@@ -40,6 +40,7 @@ fn bench_append(c: &mut Criterion) {
             WalOptions {
                 segment_bytes: 64 << 20,
                 fsync: FsyncPolicy::Never,
+                ..WalOptions::default()
             },
         )
         .unwrap();
@@ -73,6 +74,7 @@ fn bench_commit_policies(c: &mut Criterion) {
                     WalOptions {
                         segment_bytes: 64 << 20,
                         fsync: *policy,
+                        ..WalOptions::default()
                     },
                 )
                 .unwrap();
@@ -97,7 +99,9 @@ fn store_opts() -> DurableStoreOptions {
         wal: WalOptions {
             segment_bytes: 4 << 20,
             fsync: FsyncPolicy::Never,
+            ..WalOptions::default()
         },
+        ..Default::default()
     }
 }
 

@@ -1,0 +1,219 @@
+//! Tracked benchmark trajectory: a fixed set of end-to-end workload
+//! groups, each timed per-iteration with the median nanoseconds written
+//! to a `BENCH_6.json` artifact. CI runs this on every push (in `--quick`
+//! mode) and uploads the file, so the series of artifacts across commits
+//! forms the performance trajectory of the repo.
+//!
+//! ```sh
+//! cargo run --release -p neurdb-bench --bin trajectory            # full
+//! cargo run --release -p neurdb-bench --bin trajectory -- --quick # CI
+//! cargo run --release -p neurdb-bench --bin trajectory -- --out /tmp/b.json
+//! ```
+//!
+//! The JSON is hand-rendered (the workspace is dependency-free) and
+//! deliberately flat: `{"groups": {"<name>": {"median_ns": N, ...}}}`.
+
+use neurdb_core::{Database, SessionContext};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct GroupResult {
+    name: &'static str,
+    iters: usize,
+    median_ns: u128,
+    min_ns: u128,
+    max_ns: u128,
+}
+
+/// Time `op` for `iters` iterations (after `warmup` discarded ones) and
+/// summarise the per-iteration distribution.
+fn measure(
+    name: &'static str,
+    warmup: usize,
+    iters: usize,
+    mut op: impl FnMut(usize),
+) -> GroupResult {
+    for i in 0..warmup {
+        op(i);
+    }
+    let mut samples: Vec<u128> = Vec::with_capacity(iters);
+    for i in 0..iters {
+        let start = Instant::now();
+        op(warmup + i);
+        samples.push(start.elapsed().as_nanos());
+    }
+    samples.sort_unstable();
+    GroupResult {
+        name,
+        iters,
+        median_ns: samples[samples.len() / 2],
+        min_ns: samples[0],
+        max_ns: samples[samples.len() - 1],
+    }
+}
+
+/// Seed `rows` rows into `table (id INT PRIMARY KEY, grp INT, v INT)`
+/// with multi-row INSERT statements (fast enough to keep setup cheap).
+fn seed(db: &Database, table: &str, rows: usize) {
+    db.execute(&format!(
+        "CREATE TABLE {table} (id INT PRIMARY KEY, grp INT, v INT)"
+    ))
+    .unwrap();
+    let mut next = 0usize;
+    while next < rows {
+        let mut stmt = format!("INSERT INTO {table} VALUES ");
+        let chunk = (rows - next).min(500);
+        for i in 0..chunk {
+            if i > 0 {
+                stmt.push(',');
+            }
+            let id = next + i;
+            write!(stmt, "({id}, {}, {})", id % 32, id % 1000).unwrap();
+        }
+        next += chunk;
+        db.execute(&stmt).unwrap();
+    }
+}
+
+/// Single-row INSERT latency against the in-memory engine.
+fn bench_insert(quick: bool) -> GroupResult {
+    let db = Database::new();
+    db.execute("CREATE TABLE ins (id INT PRIMARY KEY, grp INT, v INT)")
+        .unwrap();
+    let iters = if quick { 200 } else { 2000 };
+    measure("insert", iters / 10, iters, |i| {
+        db.execute(&format!(
+            "INSERT INTO ins VALUES ({i}, {}, {})",
+            i % 32,
+            i % 1000
+        ))
+        .unwrap();
+    })
+}
+
+/// Full sequential scan with a non-indexed filter.
+fn bench_seqscan(quick: bool) -> GroupResult {
+    let db = Database::new();
+    seed(&db, "scan", if quick { 5_000 } else { 50_000 });
+    let iters = if quick { 30 } else { 200 };
+    measure("seqscan_filter", 3, iters, |i| {
+        let out = db
+            .execute(&format!("SELECT * FROM scan WHERE v = {}", i % 1000))
+            .unwrap();
+        assert!(!out.rows().unwrap().rows.is_empty());
+    })
+}
+
+/// Point lookup through a B-tree index (explicitly created, with table
+/// statistics warmed so the planner's selectivity estimate picks the
+/// indexed path rather than a blind sequential sweep).
+fn bench_indexed_point(quick: bool) -> GroupResult {
+    let db = Database::new();
+    let rows = if quick { 5_000 } else { 50_000 };
+    seed(&db, "pk", rows);
+    db.execute("CREATE INDEX ON pk (id)").unwrap();
+    db.table("pk").unwrap().stats().unwrap();
+    let iters = if quick { 300 } else { 3000 };
+    measure("indexed_point", iters / 10, iters, |i| {
+        let out = db
+            .execute(&format!(
+                "SELECT * FROM pk WHERE id = {}",
+                (i * 7919) % rows
+            ))
+            .unwrap();
+        assert_eq!(out.rows().unwrap().rows.len(), 1);
+    })
+}
+
+/// Grouped aggregate over every row, with the session parallelism knob
+/// opened so the morsel-driven parallel pipeline engages.
+fn bench_parallel_agg(quick: bool) -> GroupResult {
+    let db = Database::new();
+    seed(&db, "agg", if quick { 10_000 } else { 100_000 });
+    let mut session = SessionContext::new();
+    db.execute_in_session(&mut session, "SET parallelism = 4")
+        .unwrap();
+    let iters = if quick { 20 } else { 100 };
+    measure("parallel_agg", 3, iters, |_| {
+        let out = db
+            .execute_in_session(
+                &mut session,
+                "SELECT grp, COUNT(*), SUM(v) FROM agg GROUP BY grp",
+            )
+            .unwrap();
+        assert_eq!(out.rows().unwrap().rows.len(), 32);
+    })
+}
+
+/// Durable single-row INSERT: WAL append + group-commit fsync on the
+/// latency path.
+fn bench_wal_insert(quick: bool) -> GroupResult {
+    let dir = std::env::temp_dir().join(format!("neurdb-trajectory-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let result = {
+        let db = Database::open(&dir).unwrap();
+        db.execute("CREATE TABLE dur (id INT PRIMARY KEY, grp INT, v INT)")
+            .unwrap();
+        let iters = if quick { 100 } else { 1000 };
+        measure("wal_insert_fsync", iters / 10, iters, |i| {
+            db.execute(&format!(
+                "INSERT INTO dur VALUES ({i}, {}, {})",
+                i % 32,
+                i % 1000
+            ))
+            .unwrap();
+        })
+    };
+    let _ = std::fs::remove_dir_all(&dir);
+    result
+}
+
+fn render_json(results: &[GroupResult], quick: bool) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"schema\": \"neurdb-bench-trajectory/v1\",");
+    let _ = writeln!(out, "  \"pr\": 6,");
+    let _ = writeln!(
+        out,
+        "  \"mode\": \"{}\",",
+        if quick { "quick" } else { "full" }
+    );
+    out.push_str("  \"groups\": {\n");
+    for (i, r) in results.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    \"{}\": {{ \"median_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \"iters\": {} }}",
+            r.name, r.median_ns, r.min_ns, r.max_ns, r.iters
+        );
+        out.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_6.json".to_string());
+
+    let results = vec![
+        bench_insert(quick),
+        bench_seqscan(quick),
+        bench_indexed_point(quick),
+        bench_parallel_agg(quick),
+        bench_wal_insert(quick),
+    ];
+    for r in &results {
+        println!(
+            "{:<18} median {:>12} ns  (min {}, max {}, n={})",
+            r.name, r.median_ns, r.min_ns, r.max_ns, r.iters
+        );
+    }
+    let json = render_json(&results, quick);
+    std::fs::write(&out_path, &json).unwrap();
+    println!("wrote {out_path}");
+}

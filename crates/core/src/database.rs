@@ -20,22 +20,25 @@ use crate::durability::{
     SnapshotBinding,
 };
 use crate::error::{CoreError, CoreResult};
-use crate::exec::{execute_plan, execute_plan_instrumented, OpMetrics, QueryResult};
+use crate::exec::{execute_plan_instrumented, OpMetrics, QueryResult};
 use crate::expr::{eval, eval_predicate, literal_value, Bindings};
 use crate::planner::{plan_select_with, PhysicalPlan, PlannedSelect, PlannerConfig};
 use crate::session::SessionContext;
 use neurdb_engine::streaming::{stream_from_source, Handshake, StreamParams};
 use neurdb_engine::{AiEngine, Mid, TrainOutcome};
 use neurdb_nn::{armnet_spec, ArmNetConfig, LossKind};
+use neurdb_obs::MetricsRegistry;
+use neurdb_qo::SystemConditions;
 use neurdb_sql::{
     parse, parse_script, ColumnSpec, Expr, PredictStmt, PredictTask, Statement, TrainOn, TypeName,
 };
 use neurdb_storage::{ColumnDef, DataType, Schema, Table, Tuple, Value};
 use neurdb_wal::{DurableStore, DurableStoreOptions, Lsn, WalRecord, SYSTEM_TXN};
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::path::Path;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Whether a LIMIT in `plan` can stop pulling its subtree mid-stream,
 /// leaving truncated operator counters below it. A full pipeline breaker
@@ -98,6 +101,29 @@ pub struct PredictionReport {
     pub train_outcome: Option<TrainOutcome>,
 }
 
+/// Entries the slow-query log retains before evicting the oldest.
+const SLOW_LOG_CAP: usize = 128;
+
+/// One structured slow-query log entry: a statement whose wall time met
+/// its session's `SET slow_query_ms` threshold. SELECTs carry plan
+/// provenance (which optimizer chose the join order) and the rendered
+/// plan annotated with the same per-operator rows/batches/time slots
+/// `EXPLAIN ANALYZE` prints; other statements log text and timing only.
+#[derive(Debug, Clone)]
+pub struct SlowQueryEntry {
+    /// `<session id>-<statement seq>`, minted when the statement started.
+    pub trace_id: String,
+    pub session_id: u64,
+    /// The statement text as submitted (for scripts, the whole script).
+    pub sql: String,
+    pub elapsed: Duration,
+    /// Join-order provenance for SELECTs (e.g. which optimizer planned
+    /// it), when the planner recorded one.
+    pub join_order: Option<String>,
+    /// Rendered plan with per-operator timings; empty for non-SELECTs.
+    pub plan: Vec<String>,
+}
+
 /// Cached per-(table, target) model state.
 struct CachedModel {
     mid: Mid,
@@ -123,6 +149,11 @@ pub struct Database {
     /// [`Database::execute_in_session`] instead, so their `SET`
     /// statements never touch (or observe) this shared instance.
     default_session: Mutex<SessionContext>,
+    /// Structured slow-query log, newest last, capped at
+    /// [`SLOW_LOG_CAP`] entries (oldest evicted). Fed by every session
+    /// whose `SET slow_query_ms` threshold a statement meets; read via
+    /// [`Database::slow_queries`] or `SHOW slow_queries`.
+    slow_log: Mutex<VecDeque<SlowQueryEntry>>,
     models: Arc<Mutex<HashMap<(String, String), CachedModel>>>,
     /// Streaming protocol defaults (paper: window 80, batch 4096).
     pub stream_params: StreamParams,
@@ -229,6 +260,7 @@ impl Database {
             ai: AiEngine::new(),
             join_optimizer: Mutex::new(None),
             default_session: Mutex::new(SessionContext::new()),
+            slow_log: Mutex::new(VecDeque::new()),
             models: Arc::new(Mutex::new(HashMap::new())),
             stream_params: StreamParams {
                 batch_size: 4096,
@@ -315,6 +347,38 @@ impl Database {
         self.store.buffer_stats()
     }
 
+    /// The metrics registry every layer of this database records into
+    /// (WAL, buffer pool, executor, and any attached server front end).
+    /// `SHOW METRICS` renders a snapshot of it.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        self.store.metrics()
+    }
+
+    /// Fresh system conditions from the buffer pool — the live signal
+    /// stamped onto every SELECT's [`PlannerConfig`] (and thus its join
+    /// graph) right before planning, so the learned optimizer is
+    /// conditioned on the machine's current state.
+    pub fn system_conditions(&self) -> SystemConditions {
+        let b = self.buffer_stats();
+        SystemConditions {
+            buffer_hit_ratio: b.hit_ratio(),
+            buffer_occupancy: b.occupancy(),
+        }
+    }
+
+    /// Snapshot of the slow-query log, oldest first.
+    pub fn slow_queries(&self) -> Vec<SlowQueryEntry> {
+        self.slow_log.lock().iter().cloned().collect()
+    }
+
+    fn push_slow(&self, entry: SlowQueryEntry) {
+        let mut log = self.slow_log.lock();
+        if log.len() == SLOW_LOG_CAP {
+            log.pop_front();
+        }
+        log.push_back(entry);
+    }
+
     /// Look up a table.
     pub fn table(&self, name: &str) -> CoreResult<Arc<Table>> {
         self.store
@@ -331,7 +395,7 @@ impl Database {
     /// for the multi-client path).
     pub fn execute(&self, sql: &str) -> CoreResult<Output> {
         let stmt = parse(sql)?;
-        self.execute_default(stmt)
+        self.execute_default(stmt, sql)
     }
 
     /// Execute one SQL statement in `session`. This is the primitive
@@ -345,7 +409,7 @@ impl Database {
         sql: &str,
     ) -> CoreResult<Output> {
         let stmt = parse(sql)?;
-        self.execute_statement(session, stmt)
+        self.execute_statement(session, stmt, sql)
     }
 
     /// Execute a `;`-separated script in the default session, returning
@@ -354,7 +418,7 @@ impl Database {
         let stmts = parse_script(sql)?;
         let mut last = Output::Affected(0);
         for s in stmts {
-            last = self.execute_default(s)?;
+            last = self.execute_default(s, sql)?;
         }
         Ok(last)
     }
@@ -369,7 +433,7 @@ impl Database {
         let stmts = parse_script(sql)?;
         let mut last = Output::Affected(0);
         for s in stmts {
-            last = self.execute_statement(session, s)?;
+            last = self.execute_statement(session, s, sql)?;
         }
         Ok(last)
     }
@@ -378,23 +442,59 @@ impl Database {
     /// the shared instance under its lock; everything else runs on a
     /// snapshot so concurrent [`Database::execute`] callers never
     /// serialize on the session lock for the duration of a query.
-    fn execute_default(&self, stmt: Statement) -> CoreResult<Output> {
+    fn execute_default(&self, stmt: Statement, sql: &str) -> CoreResult<Output> {
         match &stmt {
             Statement::Set { .. } => {
                 let mut session = self.default_session.lock();
-                self.execute_statement(&mut session, stmt)
+                self.execute_statement(&mut session, stmt, sql)
             }
             _ => {
                 let mut session = self.default_session.lock().clone();
-                self.execute_statement(&mut session, stmt)
+                self.execute_statement(&mut session, stmt, sql)
             }
         }
     }
 
+    /// The per-statement shell around [`Database::dispatch_statement`]:
+    /// mints the statement's trace id, times it end to end (executor
+    /// teardown included), and files a slow-query entry when the
+    /// session's `SET slow_query_ms` threshold is met.
     fn execute_statement(
         &self,
         session: &mut SessionContext,
         stmt: Statement,
+        sql: &str,
+    ) -> CoreResult<Output> {
+        let trace_id = session.next_trace_id();
+        let threshold = session.slow_query_ms();
+        let start = Instant::now();
+        let mut provenance = None;
+        let result = self.dispatch_statement(session, stmt, &mut provenance);
+        let elapsed = start.elapsed();
+        if let Some(ms) = threshold {
+            if result.is_ok() && elapsed.as_millis() as u64 >= ms {
+                let (join_order, plan) = provenance.unwrap_or((None, Vec::new()));
+                self.push_slow(SlowQueryEntry {
+                    trace_id,
+                    session_id: session.session_id(),
+                    sql: sql.to_string(),
+                    elapsed,
+                    join_order,
+                    plan,
+                });
+            }
+        }
+        result
+    }
+
+    /// Route one parsed statement to its implementation. `provenance`
+    /// receives a SELECT's plan provenance (join-order source + rendered
+    /// plan with per-operator timings) for the slow-query log.
+    fn dispatch_statement(
+        &self,
+        session: &mut SessionContext,
+        stmt: Statement,
+        provenance: &mut Option<(Option<String>, Vec<String>)>,
     ) -> CoreResult<Output> {
         match stmt {
             // Mutating statements run as a statement-level transaction:
@@ -419,7 +519,13 @@ impl Database {
             }
             Statement::Select(s) => {
                 let planned = self.plan(&s, session.planner_config())?;
-                execute_plan(&planned.plan).map(Output::Rows)
+                let (rows, metrics) = execute_plan_instrumented(&planned.plan)?;
+                self.note_operator_metrics(&metrics);
+                *provenance = Some((
+                    planned.join_order.clone(),
+                    planned.plan.render(Some(&metrics)),
+                ));
+                Ok(Output::Rows(rows))
             }
             Statement::Predict(p) => self.predict(&p).map(Output::Prediction),
             Statement::Explain { analyze, stmt } => {
@@ -467,9 +573,47 @@ impl Database {
                 session.planner_config_mut().parallel_min_rows = n;
                 Ok(())
             }
+            "slow_query_ms" => {
+                let n = match literal_value(value) {
+                    Value::Int(i) if i >= 0 => i as u64,
+                    other => {
+                        return Err(CoreError::Unsupported(format!(
+                            "SET slow_query_ms expects a non-negative integer \
+                             (0 logs every statement), got {other}"
+                        )))
+                    }
+                };
+                session.set_slow_query_ms(n);
+                Ok(())
+            }
             other => Err(CoreError::Unsupported(format!(
                 "unknown session setting '{other}'"
             ))),
+        }
+    }
+
+    /// Fold one instrumented execution's counters into the registry:
+    /// rows and non-empty batches per operator class (`exec.rows.<op>`,
+    /// `exec.batches.<op>`), plus the parallel workers' split of time
+    /// spent computing vs. blocked on the exchange queue
+    /// (`exec.worker.busy_ns` / `exec.worker.wait_ns`).
+    fn note_operator_metrics(&self, metrics: &[OpMetrics]) {
+        let reg = self.store.metrics();
+        for m in metrics {
+            let class =
+                m.op.split(|c: char| c == '(' || c.is_whitespace())
+                    .next()
+                    .filter(|s| !s.is_empty())
+                    .unwrap_or("op")
+                    .to_ascii_lowercase();
+            reg.counter(&format!("exec.rows.{class}")).add(m.rows_out);
+            reg.counter(&format!("exec.batches.{class}")).add(m.batches);
+            if m.busy_ns > 0 {
+                reg.counter("exec.worker.busy_ns").add(m.busy_ns as u64);
+            }
+            if m.wait_ns > 0 {
+                reg.counter("exec.worker.wait_ns").add(m.wait_ns as u64);
+            }
         }
     }
 
@@ -502,6 +646,76 @@ impl Database {
                 "parallel_min_rows",
                 Value::Int(session.planner_config().parallel_min_rows as i64),
             )),
+            "slow_query_ms" => Ok(one_column(
+                "slow_query_ms",
+                session
+                    .slow_query_ms()
+                    .map_or(Value::Null, |ms| Value::Int(ms as i64)),
+            )),
+            // The system-wide metrics snapshot: one `(metric, value)` row
+            // per counter (INT) and gauge (FLOAT); histograms expand to
+            // `.count`/`.p50`/`.p95`/`.p99` rows (INT nanoseconds for the
+            // `_ns`-suffixed ones, NULL quantiles while empty). Gauges
+            // mirroring buffer/WAL stats are refreshed first, so the
+            // snapshot is current as of this statement.
+            "metrics" => {
+                self.store.refresh_metrics();
+                let snap = self.store.metrics().snapshot();
+                let mut rows: Vec<(String, Value)> = Vec::new();
+                for (name, v) in &snap.counters {
+                    rows.push((name.clone(), Value::Int(*v as i64)));
+                }
+                for (name, v) in &snap.gauges {
+                    rows.push((name.clone(), Value::Float(*v)));
+                }
+                for (name, h) in &snap.histograms {
+                    let q = |v: Option<u64>| v.map_or(Value::Null, |v| Value::Int(v as i64));
+                    rows.push((format!("{name}.count"), Value::Int(h.count as i64)));
+                    rows.push((format!("{name}.p50"), q(h.p50())));
+                    rows.push((format!("{name}.p95"), q(h.p95())));
+                    rows.push((format!("{name}.p99"), q(h.p99())));
+                }
+                rows.sort_by(|a, b| a.0.cmp(&b.0));
+                Ok(QueryResult {
+                    columns: vec!["metric".to_string(), "value".to_string()],
+                    rows: rows
+                        .into_iter()
+                        .map(|(n, v)| Tuple::new(vec![Value::Text(n), v]))
+                        .collect(),
+                })
+            }
+            // The slow-query log, oldest first: trace id, owning
+            // session, wall milliseconds, statement text, join-order
+            // provenance, and the rendered plan with per-operator
+            // timings (NULL for non-SELECTs).
+            "slow_queries" => Ok(QueryResult {
+                columns: vec![
+                    "trace_id".to_string(),
+                    "session_id".to_string(),
+                    "elapsed_ms".to_string(),
+                    "sql".to_string(),
+                    "join_order".to_string(),
+                    "plan".to_string(),
+                ],
+                rows: self
+                    .slow_queries()
+                    .into_iter()
+                    .map(|e| {
+                        Tuple::new(vec![
+                            Value::Text(e.trace_id),
+                            Value::Int(e.session_id as i64),
+                            Value::Float(e.elapsed.as_secs_f64() * 1e3),
+                            Value::Text(e.sql),
+                            e.join_order.map_or(Value::Null, Value::Text),
+                            if e.plan.is_empty() {
+                                Value::Null
+                            } else {
+                                Value::Text(e.plan.join("\n"))
+                            },
+                        ])
+                    })
+                    .collect(),
+            }),
             "sessions" => Err(CoreError::Unsupported(
                 "SHOW SESSIONS is served by neurdb-server; this session is not \
                  attached to a server"
@@ -533,6 +747,13 @@ impl Database {
         s: &neurdb_sql::SelectStmt,
         config: &PlannerConfig,
     ) -> CoreResult<PlannedSelect> {
+        // Stamp fresh system conditions (buffer-pool state) onto the
+        // session's planner config: the join graph carries them into
+        // the learned optimizer's condition tokens.
+        let config = &PlannerConfig {
+            system: self.system_conditions(),
+            ..config.clone()
+        };
         let mut resolved = Vec::with_capacity(s.from.len());
         for tref in &s.from {
             resolved.push((tref.binding().to_string(), self.table(&tref.name)?));

@@ -87,6 +87,14 @@ pub struct OpMetrics {
     /// Inclusive wall time (includes children pulled from within; for
     /// operators inside a Gather fragment, summed across workers).
     pub nanos: u128,
+    /// Parallel operators only (Gather, partitioned join): total time
+    /// the pool's workers spent computing fragment batches, summed
+    /// across workers.
+    pub busy_ns: u128,
+    /// Parallel operators only: total time the pool's workers spent
+    /// blocked handing batches to the exchange queue (back-pressure
+    /// from the consumer), summed across workers.
+    pub wait_ns: u128,
     /// Operator-specific annotation (e.g. a Gather's per-worker rows).
     pub note: String,
 }
@@ -446,9 +454,11 @@ impl Operator for IndexScanOp {
 // ------------------------------ exchange ------------------------------
 
 /// What a finished parallel worker reports back: its id, the metrics of
-/// its private fragment (pre-order, aligned with the fragment plan), and
-/// the error that stopped it, if any.
-type WorkerReport = (usize, Vec<OpMetrics>, Option<CoreError>);
+/// its private fragment (pre-order, aligned with the fragment plan),
+/// the error that stopped it (if any), and its busy/queue-wait split —
+/// nanoseconds spent computing fragment batches vs. blocked sending
+/// them through the bounded exchange channel.
+type WorkerReport = (usize, Vec<OpMetrics>, Option<CoreError>, u128, u128);
 
 /// What each parallel worker does with the batches its private fragment
 /// produces before sending them downstream.
@@ -476,6 +486,10 @@ struct WorkerPool {
     reports: channel::Receiver<WorkerReport>,
     handles: Vec<JoinHandle<()>>,
     worker_rows: Vec<u64>,
+    /// Summed across workers after shutdown: time computing fragment
+    /// batches vs. blocked on the exchange queue.
+    busy_ns: u128,
+    wait_ns: u128,
     /// `(base, len)` slot range of the worker fragment in the main sink.
     child_slots: (usize, usize),
     finished: bool,
@@ -503,9 +517,16 @@ impl WorkerPool {
             let task = task.clone();
             handles.push(std::thread::spawn(move || {
                 let local: MetricsSink = Rc::new(RefCell::new(Vec::new()));
+                let mut busy_ns = 0u128;
+                let mut wait_ns = 0u128;
                 let result = (|| {
                     let mut root = build_operator(&plan, &local, &mut Some(cursor), true)?;
-                    while let Some(batch) = root.next_batch()? {
+                    loop {
+                        let start = Instant::now();
+                        let Some(batch) = root.next_batch()? else {
+                            busy_ns += start.elapsed().as_nanos();
+                            break;
+                        };
                         let out = match &task {
                             WorkerTask::Forward => batch,
                             WorkerTask::Probe {
@@ -513,10 +534,14 @@ impl WorkerPool {
                                 left_key,
                             } => probe_partitions(&batch, partitions, *left_key),
                         };
+                        busy_ns += start.elapsed().as_nanos();
                         if out.is_empty() {
                             continue;
                         }
-                        if tx.send((w, out)).is_err() {
+                        let send_start = Instant::now();
+                        let sent = tx.send((w, out));
+                        wait_ns += send_start.elapsed().as_nanos();
+                        if sent.is_err() {
                             break; // consumer gone (e.g. LIMIT satisfied)
                         }
                     }
@@ -525,7 +550,7 @@ impl WorkerPool {
                 let metrics = Rc::try_unwrap(local)
                     .expect("fragment operators dropped")
                     .into_inner();
-                let _ = report_tx.send((w, metrics, result.err()));
+                let _ = report_tx.send((w, metrics, result.err(), busy_ns, wait_ns));
             }));
         }
         Ok(WorkerPool {
@@ -533,6 +558,8 @@ impl WorkerPool {
             reports,
             handles,
             worker_rows: vec![0; dop],
+            busy_ns: 0,
+            wait_ns: 0,
             child_slots,
             finished: false,
         })
@@ -576,13 +603,15 @@ impl WorkerPool {
         }
         let (base, len) = self.child_slots;
         let mut sink = sink.borrow_mut();
-        while let Ok((_, metrics, err)) = self.reports.try_recv() {
+        while let Ok((_, metrics, err, busy, wait)) = self.reports.try_recv() {
             for (i, m) in metrics.into_iter().enumerate().take(len) {
                 let slot = &mut sink[base + i];
                 slot.rows_out += m.rows_out;
                 slot.batches += m.batches;
                 slot.nanos += m.nanos;
             }
+            self.busy_ns += busy;
+            self.wait_ns += wait;
             if first_err.is_none() {
                 first_err = err;
             }
@@ -620,7 +649,11 @@ impl ExchangeOp {
             return None;
         }
         let err = self.pool.shutdown(&self.sink);
-        self.sink.borrow_mut()[self.id].note = format!("workers={:?}", self.pool.worker_rows);
+        let mut sink = self.sink.borrow_mut();
+        let slot = &mut sink[self.id];
+        slot.note = format!("workers={:?}", self.pool.worker_rows);
+        slot.busy_ns += self.pool.busy_ns;
+        slot.wait_ns += self.pool.wait_ns;
         err
     }
 }
@@ -755,7 +788,11 @@ impl PartitionedHashJoinOp {
             return None;
         }
         let err = pool.shutdown(&self.sink);
-        self.sink.borrow_mut()[self.id].note = format!("workers={:?}", pool.worker_rows);
+        let mut sink = self.sink.borrow_mut();
+        let slot = &mut sink[self.id];
+        slot.note = format!("workers={:?}", pool.worker_rows);
+        slot.busy_ns += pool.busy_ns;
+        slot.wait_ns += pool.wait_ns;
         err
     }
 }

@@ -40,7 +40,7 @@ pub use compare::{
     build_batches, compare, from_text_protocol, run_neurdb, run_pgp, to_text_protocol,
     AnalyticsWorkload, ComparisonRow, RowSource,
 };
-pub use database::{Database, Output, PredictionReport};
+pub use database::{Database, Output, PredictionReport, SlowQueryEntry};
 pub use durability::{BindingMeta, SnapshotBinding};
 pub use error::{CoreError, CoreResult};
 pub use exec::{

@@ -25,7 +25,9 @@
 use crate::error::CoreError;
 use crate::exec::{collect_aggs, item_name};
 use crate::expr::{literal_value, Bindings, EvalError};
-use neurdb_qo::{dp_best_plan, JoinEdge, JoinGraph, Optimizer, PlanTree, TableInfo};
+use neurdb_qo::{
+    dp_best_plan, JoinEdge, JoinGraph, Optimizer, PlanTree, SystemConditions, TableInfo,
+};
 use neurdb_sql::{AggFunc, BinaryOp, Expr, SelectItem, SelectStmt, SortOrder, UnaryOp};
 use neurdb_storage::{Table, TableStats, Value};
 use std::sync::Arc;
@@ -46,6 +48,11 @@ pub struct PlannerConfig {
     /// regardless of size or page count — a testing knob that drives the
     /// parallel operators (empty partitions included) over tiny tables.
     pub parallel_min_rows: f64,
+    /// Fresh system conditions (buffer-pool state) stamped onto the join
+    /// graph so the learned optimizer is conditioned on them.
+    /// [`crate::database::Database`] refreshes this from the buffer pool
+    /// right before planning.
+    pub system: SystemConditions,
 }
 
 impl Default for PlannerConfig {
@@ -53,6 +60,7 @@ impl Default for PlannerConfig {
         PlannerConfig {
             parallelism: 1,
             parallel_min_rows: PARALLEL_MIN_EST_ROWS,
+            system: SystemConditions::default(),
         }
     }
 }
@@ -595,8 +603,9 @@ pub fn plan_select_with(
         )));
     }
 
-    // 2. Join ordering through neurdb-qo.
-    let graph = (n >= 2).then(|| build_join_graph(&scans, &all_conjuncts, &used));
+    // 2. Join ordering through neurdb-qo, conditioned on the session's
+    //    fresh system state.
+    let graph = (n >= 2).then(|| build_join_graph(&scans, &all_conjuncts, &used, config.system));
     let from_order: Vec<usize> = (0..n).collect();
     let (tree, join_order) = if (3..=16).contains(&n) {
         let g = graph.as_ref().unwrap();
@@ -872,7 +881,12 @@ fn output_columns_for(items: &[SelectItem], env: &Bindings, aggregated: bool) ->
 /// Build the optimizer's view of the query: per-table post-predicate
 /// cardinalities (live statistics, so `est == true`) and equi-join edges
 /// with classic `1/max(ndv)` selectivities.
-fn build_join_graph(scans: &[ScanInfo], all_conjuncts: &[Expr], used: &[bool]) -> JoinGraph {
+fn build_join_graph(
+    scans: &[ScanInfo],
+    all_conjuncts: &[Expr],
+    used: &[bool],
+    system: SystemConditions,
+) -> JoinGraph {
     let row_count = |s: &ScanInfo| s.stats.as_ref().map_or(0, |st| st.row_count);
     let ndv = |s: &ScanInfo, col: usize| {
         s.stats
@@ -928,7 +942,11 @@ fn build_join_graph(scans: &[ScanInfo], all_conjuncts: &[Expr], used: &[bool]) -
             }
         }
     }
-    JoinGraph { tables, joins }
+    JoinGraph {
+        tables,
+        joins,
+        system,
+    }
 }
 
 struct JoinBuilder<'a> {

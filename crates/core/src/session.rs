@@ -27,12 +27,53 @@ use crate::planner::PlannerConfig;
 pub struct SessionContext {
     /// Planner knobs this session's `SET` statements control.
     planner: PlannerConfig,
+    /// Who this session is, for trace ids and the slow-query log.
+    /// Server front ends stamp their connection id here
+    /// ([`SessionContext::set_session_id`]); the embedded default
+    /// session stays `0`.
+    session_id: u64,
+    /// Statements started in this session (monotone; trace-id suffix).
+    statements: u64,
+    /// Slow-query threshold: statements at or above this many
+    /// milliseconds land in the database's slow-query log. `None` (the
+    /// default) disables logging for this session; `SET slow_query_ms`
+    /// controls it per session.
+    slow_query_ms: Option<u64>,
 }
 
 impl SessionContext {
     /// A fresh session with default settings (`parallelism = 1`).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Stamp this session's identity (a server's connection id). Trace
+    /// ids and slow-query entries carry it.
+    pub fn set_session_id(&mut self, id: u64) {
+        self.session_id = id;
+    }
+
+    pub fn session_id(&self) -> u64 {
+        self.session_id
+    }
+
+    /// This session's slow-query threshold, if logging is enabled.
+    pub fn slow_query_ms(&self) -> Option<u64> {
+        self.slow_query_ms
+    }
+
+    /// Enable (or change) this session's slow-query threshold.
+    pub fn set_slow_query_ms(&mut self, ms: u64) {
+        self.slow_query_ms = Some(ms);
+    }
+
+    /// Mint the trace id for the next statement:
+    /// `<session id>-<statement seq>`, unique within a session and
+    /// carried from statement start (server accept, for wire sessions)
+    /// through executor teardown into the slow-query log.
+    pub fn next_trace_id(&mut self) -> String {
+        self.statements += 1;
+        format!("{}-{}", self.session_id, self.statements)
     }
 
     /// The planner configuration queries in this session run under.

@@ -1,0 +1,682 @@
+//! `neurdb-obs`: the dependency-free observability core.
+//!
+//! Every layer of the system (WAL, buffer pool, executor, server) records
+//! into the primitives here; `SHOW METRICS` renders a [`Snapshot`] of the
+//! whole [`MetricsRegistry`] and the learned optimizer reads fresh buffer
+//! statistics out of it for its system-condition vector. The design
+//! constraints, in order:
+//!
+//! 1. **Cheap on the hot path.** [`Counter::add`] and [`Histogram::record`]
+//!    are a handful of relaxed atomic RMWs — no locks, no allocation, no
+//!    syscalls. A WAL fsync or a per-batch executor tick can afford them.
+//! 2. **Mergeable.** Histograms from worker threads fold into a parent with
+//!    [`Histogram::merge_from`]; snapshots subtract ([`Snapshot::delta`])
+//!    so callers can meter an interval, not just a lifetime.
+//! 3. **No dependencies.** `std` atomics and locks only, so every crate in
+//!    the workspace can depend on it without cycles or feature creep.
+//!
+//! # Metric naming
+//!
+//! Names are dotted, lowercase, unit-suffixed paths:
+//! `<layer>.<subject>[.<detail>]`, with `_ns` / `_bytes` suffixes on the
+//! leaf when the unit is not a plain count — e.g. `wal.fsync_ns`,
+//! `buffer.hits`, `exec.rows.scan`, `srv.stmt_ns.select`. Registration is
+//! idempotent: asking the registry for an existing name returns the same
+//! underlying metric, so instrumented code never coordinates "who creates
+//! what".
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+// ------------------------------ counter ------------------------------
+
+/// A monotonically increasing `u64` counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Add `n` to the counter (relaxed; counters are statistical).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+// ------------------------------- gauge -------------------------------
+
+/// A last-writer-wins `f64` gauge (stored as bits in an `AtomicU64`).
+///
+/// Gauges carry point-in-time readings — active connections, buffer
+/// occupancy, a recovery-replay duration — where only the latest value is
+/// meaningful. [`Gauge::set_max`] keeps a high-water mark (peak
+/// connections) without a lock.
+#[derive(Debug)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge {
+            bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+}
+
+impl Gauge {
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Add `delta` (may be negative). Compare-and-swap loop; gauges are
+    /// updated at connection granularity, so contention is negligible.
+    pub fn add(&self, delta: f64) {
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + delta).to_bits();
+            match self
+                .bits
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// Raise the gauge to `v` if `v` exceeds the current value
+    /// (high-water mark).
+    pub fn set_max(&self, v: f64) {
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        while v > f64::from_bits(cur) {
+            match self.bits.compare_exchange_weak(
+                cur,
+                v.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+// ----------------------------- histogram -----------------------------
+
+/// Sub-buckets per power-of-two octave: 8, so any recorded value lands in
+/// a bucket whose width is ≤ 1/8 of its magnitude (≲ 6% worst-case error
+/// when quoting the bucket midpoint as a percentile).
+const SUB_BITS: u32 = 3;
+const SUBS: u64 = 1 << SUB_BITS;
+
+/// Bucket count covering the full `u64` range: values below [`SUBS`] get
+/// exact unit buckets, then 8 buckets per octave for octaves 3..=63.
+pub const NUM_BUCKETS: usize = ((64 - SUB_BITS as usize) << SUB_BITS) + (1 << SUB_BITS);
+
+/// Map a value to its bucket index. Small values (< 8) are exact; larger
+/// values index by (octave, sub-bucket), contiguously after the unit
+/// buckets.
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v < SUBS {
+        return v as usize;
+    }
+    let octave = 63 - v.leading_zeros(); // >= SUB_BITS
+    let sub = (v >> (octave - SUB_BITS)) & (SUBS - 1);
+    (((octave - SUB_BITS) as usize) << SUB_BITS) + sub as usize + SUBS as usize
+}
+
+/// Inclusive `[lo, hi]` value range of bucket `idx` (inverse of
+/// [`bucket_index`]).
+fn bucket_range(idx: usize) -> (u64, u64) {
+    if idx < SUBS as usize {
+        return (idx as u64, idx as u64);
+    }
+    let rel = idx - SUBS as usize;
+    let octave = (rel >> SUB_BITS as usize) as u32 + SUB_BITS;
+    let sub = (rel & (SUBS as usize - 1)) as u64;
+    let width = 1u64 << (octave - SUB_BITS);
+    let lo = (1u64 << octave) + sub * width;
+    (lo, lo + width - 1)
+}
+
+/// A lock-free log-bucketed histogram of `u64` samples (latencies in
+/// nanoseconds, batch sizes, frame lengths — anything positive).
+///
+/// Recording is a relaxed `fetch_add` on one bucket plus running
+/// count/sum; quantiles are answered from a [`HistogramSnapshot`] by
+/// walking the cumulative distribution and interpolating inside the
+/// target bucket.
+pub struct Histogram {
+    buckets: Box<[AtomicU64; NUM_BUCKETS]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        // `AtomicU64` is not Copy; build the array from zeroed u64s.
+        let buckets: Vec<AtomicU64> = (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        let buckets: Box<[AtomicU64; NUM_BUCKETS]> = buckets
+            .into_boxed_slice()
+            .try_into()
+            .expect("bucket count is fixed");
+        Histogram {
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count.load(Ordering::Relaxed))
+            .field("sum", &self.sum.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Record a [`std::time::Duration`] in nanoseconds.
+    #[inline]
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Fold another histogram's buckets into this one (used to merge
+    /// per-worker histograms into a shared parent).
+    pub fn merge_from(&self, other: &Histogram) {
+        for (dst, src) in self.buckets.iter().zip(other.buckets.iter()) {
+            let n = src.load(Ordering::Relaxed);
+            if n > 0 {
+                dst.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum
+            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// An immutable copy of the current state, cheap to diff and query.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// Frozen histogram state: answers quantiles, diffs against an earlier
+/// snapshot, and merges with siblings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum: u64,
+    buckets: Vec<u64>,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            buckets: vec![0; NUM_BUCKETS],
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// The `q`-quantile (`0.0 ..= 1.0`) estimated by linear interpolation
+    /// within the target bucket; `None` when the histogram is empty.
+    /// Small values (< 8) are exact; larger ones are within the bucket's
+    /// ≤ 1/8-relative width.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target sample, 1-based.
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if seen + n >= rank {
+                let (lo, hi) = bucket_range(idx);
+                // Interpolate the rank's position inside the bucket.
+                let into = (rank - seen - 1) as f64 / n as f64;
+                return Some(lo + ((hi - lo) as f64 * into) as u64);
+            }
+            seen += n;
+        }
+        // Rounding pushed the rank past the last occupied bucket.
+        self.buckets
+            .iter()
+            .rposition(|&n| n > 0)
+            .map(|idx| bucket_range(idx).1)
+    }
+
+    pub fn p50(&self) -> Option<u64> {
+        self.quantile(0.50)
+    }
+
+    pub fn p95(&self) -> Option<u64> {
+        self.quantile(0.95)
+    }
+
+    pub fn p99(&self) -> Option<u64> {
+        self.quantile(0.99)
+    }
+
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Merge two snapshots (bucket-wise sum). Associative and
+    /// commutative, so worker snapshots can fold in any order.
+    pub fn merge(&self, other: &HistogramSnapshot) -> HistogramSnapshot {
+        let buckets = self
+            .buckets
+            .iter()
+            .zip(other.buckets.iter())
+            .map(|(a, b)| a + b)
+            .collect();
+        HistogramSnapshot {
+            count: self.count + other.count,
+            sum: self.sum + other.sum,
+            buckets,
+        }
+    }
+
+    /// This snapshot minus an `earlier` one of the same histogram —
+    /// the distribution of samples recorded in between. Saturating, so a
+    /// mismatched pair degrades to zeros rather than wrapping.
+    pub fn delta(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let buckets = self
+            .buckets
+            .iter()
+            .zip(earlier.buckets.iter())
+            .map(|(a, b)| a.saturating_sub(*b))
+            .collect();
+        HistogramSnapshot {
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.saturating_sub(earlier.sum),
+            buckets,
+        }
+    }
+}
+
+// ------------------------------ registry ------------------------------
+
+/// A named registry of counters, gauges, and histograms.
+///
+/// Lookup takes a `Mutex` over a `BTreeMap` (sorted, so snapshots render
+/// deterministically) and returns an `Arc` handle; instrumented code
+/// resolves its metrics once at construction and records lock-free from
+/// then on. There is deliberately no global registry — each `Database`
+/// owns one, keeping tests and embedded instances isolated.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock().expect("obs registry poisoned");
+        match map.get(name) {
+            Some(c) => Arc::clone(c),
+            None => {
+                let c = Arc::new(Counter::new());
+                map.insert(name.to_string(), Arc::clone(&c));
+                c
+            }
+        }
+    }
+
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.gauges.lock().expect("obs registry poisoned");
+        match map.get(name) {
+            Some(g) => Arc::clone(g),
+            None => {
+                let g = Arc::new(Gauge::new());
+                map.insert(name.to_string(), Arc::clone(&g));
+                g
+            }
+        }
+    }
+
+    /// The histogram named `name`, created on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.histograms.lock().expect("obs registry poisoned");
+        match map.get(name) {
+            Some(h) => Arc::clone(h),
+            None => {
+                let h = Arc::new(Histogram::new());
+                map.insert(name.to_string(), Arc::clone(&h));
+                h
+            }
+        }
+    }
+
+    /// A point-in-time copy of every registered metric, sorted by name.
+    pub fn snapshot(&self) -> Snapshot {
+        let counters = self
+            .counters
+            .lock()
+            .expect("obs registry poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        let gauges = self
+            .gauges
+            .lock()
+            .expect("obs registry poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .expect("obs registry poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.snapshot()))
+            .collect();
+        Snapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+/// A frozen view of a whole [`MetricsRegistry`].
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, f64>,
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// This snapshot minus an `earlier` one: counter and histogram values
+    /// become the interval's activity; gauges keep their latest reading
+    /// (a gauge delta is meaningless). Metrics absent from `earlier` pass
+    /// through unchanged.
+    pub fn delta(&self, earlier: &Snapshot) -> Snapshot {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(k, v)| {
+                let before = earlier.counters.get(k).copied().unwrap_or(0);
+                (k.clone(), v.saturating_sub(before))
+            })
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(k, v)| match earlier.histograms.get(k) {
+                Some(prev) => (k.clone(), v.delta(prev)),
+                None => (k.clone(), v.clone()),
+            })
+            .collect();
+        Snapshot {
+            counters,
+            gauges: self.gauges.clone(),
+            histograms,
+        }
+    }
+}
+
+// ------------------------------- tests -------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic xorshift64* — the crate is dependency-free, so the
+    /// tests bring their own RNG.
+    struct Rng(u64);
+
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.0 = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+    }
+
+    #[test]
+    fn bucket_index_is_monotone_and_in_range() {
+        let mut vals: Vec<u64> = (0..64)
+            .flat_map(|shift| [0u64, 1, 3].map(|off| (1u64 << shift).saturating_add(off)))
+            .collect();
+        vals.sort_unstable();
+        vals.dedup();
+        let mut prev = 0usize;
+        for v in vals {
+            let idx = bucket_index(v);
+            assert!(idx < NUM_BUCKETS, "v={v} idx={idx}");
+            assert!(idx >= prev, "bucket index regressed at v={v}");
+            let (lo, hi) = bucket_range(idx);
+            assert!(lo <= v && v <= hi, "v={v} outside [{lo}, {hi}]");
+            prev = idx;
+        }
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+
+        let g = Gauge::new();
+        g.set(3.5);
+        g.add(-1.0);
+        assert!((g.get() - 2.5).abs() < 1e-12);
+        g.set_max(10.0);
+        g.set_max(4.0); // lower: no effect
+        assert!((g.get() - 10.0).abs() < 1e-12);
+    }
+
+    /// Percentile accuracy against a sorted-vector reference on random
+    /// samples: with 8 sub-buckets per octave the midpoint-interpolated
+    /// quantile must land within ~1/8 of the exact order statistic.
+    #[test]
+    fn quantiles_track_sorted_reference() {
+        let mut rng = Rng(0x9E37_79B9_7F4A_7C15);
+        for scale_shift in [10u32, 20, 30] {
+            let h = Histogram::new();
+            let mut samples: Vec<u64> = (0..4096)
+                .map(|_| rng.next() >> (64 - scale_shift))
+                .collect();
+            for &s in &samples {
+                h.record(s);
+            }
+            samples.sort_unstable();
+            let snap = h.snapshot();
+            assert_eq!(snap.count, samples.len() as u64);
+            assert_eq!(snap.sum, samples.iter().sum::<u64>());
+            for q in [0.5, 0.95, 0.99] {
+                let rank = ((q * samples.len() as f64).ceil() as usize).max(1) - 1;
+                let exact = samples[rank];
+                let est = snap.quantile(q).expect("non-empty");
+                let tol = (exact as f64 / 8.0).max(2.0);
+                assert!(
+                    (est as f64 - exact as f64).abs() <= tol,
+                    "q={q} exact={exact} est={est} (shift {scale_shift})"
+                );
+            }
+        }
+    }
+
+    /// Merging snapshots is associative (and commutative): any fold order
+    /// over worker histograms yields the same distribution.
+    #[test]
+    fn merge_is_associative() {
+        let mut rng = Rng(42);
+        let parts: Vec<HistogramSnapshot> = (0..3)
+            .map(|_| {
+                let h = Histogram::new();
+                for _ in 0..512 {
+                    h.record(rng.next() >> 40);
+                }
+                h.snapshot()
+            })
+            .collect();
+        let left = parts[0].merge(&parts[1]).merge(&parts[2]);
+        let right = parts[0].merge(&parts[1].merge(&parts[2]));
+        assert_eq!(left, right);
+        assert_eq!(left, parts[2].merge(&parts[1]).merge(&parts[0]));
+        assert_eq!(left.count, 3 * 512);
+    }
+
+    /// Concurrent recording from 8 threads loses no counts.
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        const THREADS: u64 = 8;
+        const PER_THREAD: u64 = 10_000;
+        let h = Arc::new(Histogram::new());
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    let mut rng = Rng(t + 1);
+                    for _ in 0..PER_THREAD {
+                        h.record(rng.next() >> 44);
+                    }
+                })
+            })
+            .collect();
+        for j in handles {
+            j.join().unwrap();
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, THREADS * PER_THREAD);
+        assert_eq!(
+            snap.buckets.iter().sum::<u64>(),
+            THREADS * PER_THREAD,
+            "bucket totals must equal the recorded count"
+        );
+    }
+
+    #[test]
+    fn histogram_merge_from_folds_workers() {
+        let parent = Histogram::new();
+        let worker = Histogram::new();
+        for v in [1u64, 100, 10_000] {
+            worker.record(v);
+        }
+        parent.record(7);
+        parent.merge_from(&worker);
+        let snap = parent.snapshot();
+        assert_eq!(snap.count, 4);
+        assert_eq!(snap.sum, 1 + 100 + 10_000 + 7);
+    }
+
+    #[test]
+    fn registry_is_idempotent_and_snapshots_sorted() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("wal.fsync");
+        let b = reg.counter("wal.fsync");
+        a.inc();
+        assert_eq!(b.get(), 1, "same name must alias the same counter");
+        reg.gauge("buffer.hit_ratio").set(0.75);
+        reg.histogram("srv.stmt_ns.select").record(1_000);
+
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters.get("wal.fsync"), Some(&1));
+        assert_eq!(snap.gauges.get("buffer.hit_ratio"), Some(&0.75));
+        assert_eq!(snap.histograms["srv.stmt_ns.select"].count, 1);
+    }
+
+    #[test]
+    fn snapshot_delta_isolates_interval() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("srv.frames.in");
+        let h = reg.histogram("srv.stmt_ns.select");
+        c.add(5);
+        h.record(10);
+        let before = reg.snapshot();
+        c.add(3);
+        h.record(20);
+        h.record(30);
+        let after = reg.snapshot();
+        let d = after.delta(&before);
+        assert_eq!(d.counters["srv.frames.in"], 3);
+        assert_eq!(d.histograms["srv.stmt_ns.select"].count, 2);
+        assert_eq!(d.histograms["srv.stmt_ns.select"].sum, 50);
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let h = Histogram::new();
+        assert_eq!(h.snapshot().quantile(0.5), None);
+        assert_eq!(h.snapshot().mean(), None);
+    }
+}

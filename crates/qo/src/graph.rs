@@ -33,11 +33,38 @@ pub struct JoinEdge {
     pub true_sel: f64,
 }
 
+/// Point-in-time *system conditions* the learned optimizer is
+/// conditioned on, alongside the per-table statistics: the paper's core
+/// loop adapts plan choice to the machine's current state, not just the
+/// data. Sourced from the buffer pool right before planning (a hot
+/// buffer favors probe-heavy orders; a cold one favors orders that
+/// stream). Defaults model an idle system (everything cached, nothing
+/// resident).
+#[derive(Debug, Clone, Copy)]
+pub struct SystemConditions {
+    /// Buffer-pool hit ratio in `[0, 1]` (1.0 when never probed).
+    pub buffer_hit_ratio: f64,
+    /// Fraction of buffer-pool frames currently resident.
+    pub buffer_occupancy: f64,
+}
+
+impl Default for SystemConditions {
+    fn default() -> Self {
+        SystemConditions {
+            buffer_hit_ratio: 1.0,
+            buffer_occupancy: 0.0,
+        }
+    }
+}
+
 /// The join graph of one SPJ query.
 #[derive(Debug, Clone)]
 pub struct JoinGraph {
     pub tables: Vec<TableInfo>,
     pub joins: Vec<JoinEdge>,
+    /// System state at planning time, folded into every real table's
+    /// condition token (see [`JoinGraph::condition_tokens`]).
+    pub system: SystemConditions,
 }
 
 impl JoinGraph {
@@ -112,8 +139,11 @@ impl JoinGraph {
     }
 
     /// Summary statistics vector for the *system condition* input of the
-    /// learned QO: per table `[log10(true rows), est/true ratio]`, padded
-    /// to `max_tables` tables.
+    /// learned QO: per table `[log10(true rows), est/true ratio,
+    /// est selectivity, buffer hit ratio, buffer occupancy]`, padded to
+    /// `max_tables` tables (padding rows stay all-zero). The last two
+    /// features repeat the graph's global [`SystemConditions`] on every
+    /// real row, so the model sees them regardless of table count.
     pub fn condition_tokens(&self, max_tables: usize) -> Vec<Vec<f32>> {
         let mut out = Vec::with_capacity(max_tables);
         for i in 0..max_tables {
@@ -122,8 +152,10 @@ impl JoinGraph {
                     (t.true_rows.max(1.0).log10() / 8.0) as f32,
                     ((t.est_rows / t.true_rows.max(1.0)).ln().clamp(-3.0, 3.0) / 3.0) as f32,
                     t.est_selectivity as f32,
+                    self.system.buffer_hit_ratio as f32,
+                    self.system.buffer_occupancy as f32,
                 ]),
-                None => out.push(vec![0.0, 0.0, 0.0]),
+                None => out.push(vec![0.0; 5]),
             }
         }
         out
@@ -174,7 +206,11 @@ pub fn random_graph(n_tables: usize, rng: &mut impl Rng) -> JoinGraph {
             });
         }
     }
-    JoinGraph { tables, joins }
+    JoinGraph {
+        tables,
+        joins,
+        system: SystemConditions::default(),
+    }
 }
 
 #[cfg(test)]
@@ -260,6 +296,7 @@ mod tests {
                     true_sel: 0.01,
                 },
             ],
+            system: SystemConditions::default(),
         };
         // {0} vs {1,2}: edges 0-1 only.
         assert_eq!(g.cross_selectivity(0b001, 0b110, false), 0.1);
@@ -276,10 +313,35 @@ mod tests {
         let g = random_graph(4, &mut r);
         let toks = g.condition_tokens(8);
         assert_eq!(toks.len(), 8);
-        assert!(toks.iter().all(|t| t.len() == 3));
+        assert!(toks.iter().all(|t| t.len() == 5));
         // Padding rows are zero.
         assert!(toks[6].iter().all(|v| *v == 0.0));
         // Fresh graph: est/true ratio feature ~ 0.
         assert!(toks[0][1].abs() < 1e-6);
+        // Idle system defaults: hit ratio 1, occupancy 0.
+        assert_eq!(toks[0][3], 1.0);
+        assert_eq!(toks[0][4], 0.0);
+    }
+
+    /// The system-condition features must move when buffer state moves —
+    /// this is the regression guard for the live feed from the buffer
+    /// pool into the optimizer input.
+    #[test]
+    fn condition_tokens_track_buffer_state() {
+        let mut r = rng();
+        let mut g = random_graph(4, &mut r);
+        let cold = g.condition_tokens(8);
+        g.system = SystemConditions {
+            buffer_hit_ratio: 0.25,
+            buffer_occupancy: 0.9,
+        };
+        let hot = g.condition_tokens(8);
+        assert_ne!(cold, hot);
+        for row in hot.iter().take(4) {
+            assert_eq!(row[3], 0.25);
+            assert_eq!(row[4], 0.9);
+        }
+        // Padding rows stay zero regardless of system state.
+        assert!(hot[6].iter().all(|v| *v == 0.0));
     }
 }

@@ -26,7 +26,7 @@ pub use baselines::{
     arm_plan, latency_of, plan_summary, BaoArm, BaoOptimizer, CostBasedOptimizer, LeroOptimizer,
     Optimizer, RandomOptimizer, BAO_ARMS,
 };
-pub use graph::{random_graph, JoinEdge, JoinGraph, TableInfo};
+pub use graph::{random_graph, JoinEdge, JoinGraph, SystemConditions, TableInfo};
 pub use model::{normalize_cost, plan_features, DualQoModel, COND_FEAT, NODE_FEAT};
 pub use plan::{candidate_plans, cost_plan, dp_best_plan, PlanCost, PlanTree};
 pub use pretrain::{pretrain, pretrain_workload, pretrained_model, PretrainConfig, PretrainReport};

@@ -14,8 +14,10 @@ use rand::Rng;
 
 /// Per-node feature width fed to the tree encoder.
 pub const NODE_FEAT: usize = 8;
-/// Per-table condition token width.
-pub const COND_FEAT: usize = 3;
+/// Per-table condition token width: three per-table statistics plus the
+/// two global buffer-state features (see
+/// [`crate::graph::SystemConditions`]).
+pub const COND_FEAT: usize = 5;
 
 /// Normalize a raw cost into the model's target space.
 pub fn normalize_cost(cost: f64) -> f32 {
@@ -275,6 +277,24 @@ mod tests {
             chosen_total < avg_total,
             "model choice ({chosen_total:.0}) must beat random-average ({avg_total:.0})"
         );
+    }
+
+    /// Moving only the buffer-state features (hit ratio / occupancy)
+    /// must change the model's plan scores: the conditions projection
+    /// consumes them, so the optimizer genuinely reacts to system state.
+    #[test]
+    fn buffer_state_alone_changes_scores() {
+        let mut r = rng();
+        let mut g = random_graph(4, &mut r);
+        let cands = candidate_plans(&g, 4, &mut r);
+        let mut m = DualQoModel::new(16, 8, 1e-3, &mut r);
+        let cold = m.predict(&cands, &g);
+        g.system = crate::graph::SystemConditions {
+            buffer_hit_ratio: 0.2,
+            buffer_occupancy: 0.95,
+        };
+        let hot = m.predict(&cands, &g);
+        assert_ne!(cold, hot, "buffer state must reach the model input");
     }
 
     #[test]

@@ -274,6 +274,7 @@ mod tests {
                     true_sel: 0.0001,
                 },
             ],
+            system: Default::default(),
         }
     }
 

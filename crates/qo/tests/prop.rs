@@ -103,7 +103,7 @@ proptest! {
         let toks = g.condition_tokens(max_tables);
         prop_assert_eq!(toks.len(), max_tables);
         for t in &toks {
-            prop_assert_eq!(t.len(), 3);
+            prop_assert_eq!(t.len(), 5);
             prop_assert!(t.iter().all(|v| v.is_finite()));
         }
     }

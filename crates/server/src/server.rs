@@ -27,16 +27,17 @@ use crate::protocol::{
     MAX_FRAME_BYTES, PROTOCOL_VERSION,
 };
 use neurdb_core::{Database, Output, SessionContext};
+use neurdb_obs::{Counter, Gauge, MetricsRegistry};
 use neurdb_sql::Statement;
 use neurdb_storage::Value;
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::io::{self, Read};
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -74,13 +75,73 @@ pub struct SessionInfo {
     pub statements: u64,
     /// The session's current `SET parallelism` value.
     pub parallelism: usize,
+    /// Cumulative wall time of this session's completed statements.
+    pub total_latency: Duration,
+    /// Wall time of the most recently completed statement.
+    pub last_latency: Option<Duration>,
     /// The statement executing right now, if any.
     pub current: Option<String>,
+}
+
+/// Pre-resolved handles into the database's metrics registry for the
+/// server's hot paths (one lookup at startup, atomic ops per event).
+/// Per-statement-kind latency histograms (`srv.stmt_ns.<kind>`) go
+/// through the registry by name — statements are not frame-rate hot.
+struct ServerMetrics {
+    registry: Arc<MetricsRegistry>,
+    connections_active: Arc<Gauge>,
+    connections_peak: Arc<Gauge>,
+    connections_total: Arc<Counter>,
+    admission_rejected: Arc<Counter>,
+    frames_in: Arc<Counter>,
+    bytes_in: Arc<Counter>,
+    frames_out: Arc<Counter>,
+    bytes_out: Arc<Counter>,
+}
+
+impl ServerMetrics {
+    fn new(registry: Arc<MetricsRegistry>) -> ServerMetrics {
+        ServerMetrics {
+            connections_active: registry.gauge("srv.connections.active"),
+            connections_peak: registry.gauge("srv.connections.peak"),
+            connections_total: registry.counter("srv.connections.total"),
+            admission_rejected: registry.counter("srv.admission_rejected"),
+            frames_in: registry.counter("srv.frames_in"),
+            bytes_in: registry.counter("srv.bytes_in"),
+            frames_out: registry.counter("srv.frames_out"),
+            bytes_out: registry.counter("srv.bytes_out"),
+            registry,
+        }
+    }
+
+    /// Record one completed statement's wall time under its kind
+    /// (`srv.stmt_ns.select`, `srv.stmt_ns.insert`, ...).
+    fn record_statement(&self, sql: &str, elapsed: Duration) {
+        self.registry
+            .histogram(&format!("srv.stmt_ns.{}", statement_kind(sql)))
+            .record_duration(elapsed);
+    }
+}
+
+/// Classify a statement by its leading keyword for per-kind latency
+/// histograms. Unknown or unparsable leaders land in `other`.
+fn statement_kind(sql: &str) -> &'static str {
+    let lead = sql.split_whitespace().next().unwrap_or("");
+    for kind in [
+        "select", "insert", "update", "delete", "create", "drop", "set", "show", "explain",
+        "predict",
+    ] {
+        if lead.eq_ignore_ascii_case(kind) {
+            return kind;
+        }
+    }
+    "other"
 }
 
 struct Shared {
     db: Arc<Database>,
     config: ServerConfig,
+    metrics: ServerMetrics,
     shutdown: AtomicBool,
     active: AtomicUsize,
     next_session: AtomicU64,
@@ -89,6 +150,11 @@ struct Shared {
 
 impl Shared {
     fn register(&self, id: u64, peer: String) {
+        self.metrics.connections_total.inc();
+        self.metrics.connections_active.add(1.0);
+        self.metrics
+            .connections_peak
+            .set_max(self.active.load(Ordering::SeqCst) as f64);
         self.sessions.lock().insert(
             id,
             SessionInfo {
@@ -96,6 +162,8 @@ impl Shared {
                 peer,
                 statements: 0,
                 parallelism: SessionContext::new().parallelism(),
+                total_latency: Duration::ZERO,
+                last_latency: None,
                 current: None,
             },
         );
@@ -104,6 +172,7 @@ impl Shared {
     fn deregister(&self, id: u64) {
         self.sessions.lock().remove(&id);
         self.active.fetch_sub(1, Ordering::SeqCst);
+        self.metrics.connections_active.add(-1.0);
     }
 
     fn begin_statement(&self, id: u64, sql: &str) {
@@ -112,11 +181,13 @@ impl Shared {
         }
     }
 
-    fn end_statement(&self, id: u64, parallelism: usize) {
+    fn end_statement(&self, id: u64, parallelism: usize, elapsed: Duration) {
         if let Some(s) = self.sessions.lock().get_mut(&id) {
             s.current = None;
             s.statements += 1;
             s.parallelism = parallelism;
+            s.total_latency += elapsed;
+            s.last_latency = Some(elapsed);
         }
     }
 
@@ -136,6 +207,8 @@ impl Shared {
                 "peer".to_string(),
                 "statements".to_string(),
                 "parallelism".to_string(),
+                "total_ms".to_string(),
+                "last_ms".to_string(),
                 "current_query".to_string(),
             ],
             rows: infos
@@ -146,6 +219,9 @@ impl Shared {
                         Value::Text(s.peer),
                         Value::Int(s.statements as i64),
                         Value::Int(s.parallelism as i64),
+                        Value::Float(s.total_latency.as_secs_f64() * 1e3),
+                        s.last_latency
+                            .map_or(Value::Null, |d| Value::Float(d.as_secs_f64() * 1e3)),
                         s.current.map_or(Value::Null, Value::Text),
                     ]
                 })
@@ -168,9 +244,11 @@ impl Server {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
+        let metrics = ServerMetrics::new(db.metrics().clone());
         let shared = Arc::new(Shared {
             db,
             config,
+            metrics,
             shutdown: AtomicBool::new(false),
             active: AtomicUsize::new(0),
             next_session: AtomicU64::new(0),
@@ -237,6 +315,41 @@ impl Drop for ServerHandle {
     }
 }
 
+/// A write adapter that counts bytes as they hit the stream, so
+/// `srv.bytes_out` reflects what was actually written (partial writes
+/// included) without the protocol layer knowing about metrics.
+struct CountingWriter<'a> {
+    inner: &'a mut TcpStream,
+    bytes: u64,
+}
+
+impl Write for CountingWriter<'_> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.bytes += n as u64;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// [`write_response`] with wire accounting: bytes out (even on a failed
+/// or partial write) and one frame per successful response.
+fn send_response(stream: &mut TcpStream, resp: &Response, m: &ServerMetrics) -> io::Result<()> {
+    let mut cw = CountingWriter {
+        inner: stream,
+        bytes: 0,
+    };
+    let result = write_response(&mut cw, resp);
+    m.bytes_out.add(cw.bytes);
+    if result.is_ok() {
+        m.frames_out.inc();
+    }
+    result
+}
+
 /// The accept thread: admit, spawn, reap; returns the handles of
 /// workers still running at shutdown so the caller can join them.
 fn accept_loop(listener: TcpListener, shared: Arc<Shared>) -> Vec<JoinHandle<()>> {
@@ -252,7 +365,8 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) -> Vec<JoinHandle<()>
                 let _ = stream.set_nodelay(true);
                 let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
                 if shared.active.load(Ordering::SeqCst) >= shared.config.max_connections {
-                    let _ = write_response(
+                    shared.metrics.admission_rejected.inc();
+                    let _ = send_response(
                         &mut stream,
                         &Response::Error {
                             kind: WireErrorKind::TooBusy,
@@ -261,6 +375,7 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) -> Vec<JoinHandle<()>
                                 shared.config.max_connections
                             ),
                         },
+                        &shared.metrics,
                     );
                     continue;
                 }
@@ -342,12 +457,16 @@ fn connection_loop(mut stream: TcpStream, id: u64, shared: Arc<Shared>) {
     // (The accept loop already set the write timeout: a peer that stops
     // reading fails its worker's writes instead of wedging shutdown.)
     let mut session = SessionContext::new();
-    let greeted = write_response(
+    // The session's identity on every trace id and slow-query entry it
+    // produces is this connection's id, stamped at accept time.
+    session.set_session_id(id);
+    let greeted = send_response(
         &mut stream,
         &Response::Hello {
             version: PROTOCOL_VERSION,
             session_id: id,
         },
+        &shared.metrics,
     )
     .is_ok();
     if greeted {
@@ -357,63 +476,74 @@ fn connection_loop(mut stream: TcpStream, id: u64, shared: Arc<Shared>) {
                     // Shutdown while idle (or mid-request): notify and
                     // leave. In-flight statements never reach here —
                     // the flag is only polled between requests.
-                    let _ = write_response(
+                    let _ = send_response(
                         &mut stream,
                         &Response::Error {
                             kind: WireErrorKind::Shutdown,
                             message: "server is shutting down".to_string(),
                         },
+                        &shared.metrics,
                     );
                     break;
                 }
-                Ok(Some(frame)) => match decode_request(&frame) {
-                    Ok(Request::Close) => break,
-                    Ok(Request::Query(sql)) => {
-                        shared.begin_statement(id, &sql);
-                        let resp = run_statement(&shared, &mut session, &sql);
-                        shared.end_statement(id, session.parallelism());
-                        match write_response(&mut stream, &resp) {
-                            Ok(()) => {}
-                            // A result set too large for one frame is a
-                            // statement-level failure, not a reason to
-                            // kill the connection: the encoder refused
-                            // before any byte hit the wire.
-                            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
-                                let fallback = Response::Error {
-                                    kind: WireErrorKind::Sql,
-                                    message: format!(
-                                        "result set too large for one wire frame ({e}); \
-                                         paginate with LIMIT"
-                                    ),
-                                };
-                                if write_response(&mut stream, &fallback).is_err() {
-                                    break;
+                Ok(Some(frame)) => {
+                    shared.metrics.frames_in.inc();
+                    shared.metrics.bytes_in.add(4 + frame.len() as u64);
+                    match decode_request(&frame) {
+                        Ok(Request::Close) => break,
+                        Ok(Request::Query(sql)) => {
+                            shared.begin_statement(id, &sql);
+                            let start = Instant::now();
+                            let resp = run_statement(&shared, &mut session, &sql);
+                            let elapsed = start.elapsed();
+                            shared.metrics.record_statement(&sql, elapsed);
+                            shared.end_statement(id, session.parallelism(), elapsed);
+                            match send_response(&mut stream, &resp, &shared.metrics) {
+                                Ok(()) => {}
+                                // A result set too large for one frame is a
+                                // statement-level failure, not a reason to
+                                // kill the connection: the encoder refused
+                                // before any byte hit the wire.
+                                Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                                    let fallback = Response::Error {
+                                        kind: WireErrorKind::Sql,
+                                        message: format!(
+                                            "result set too large for one wire frame ({e}); \
+                                             paginate with LIMIT"
+                                        ),
+                                    };
+                                    if send_response(&mut stream, &fallback, &shared.metrics)
+                                        .is_err()
+                                    {
+                                        break;
+                                    }
                                 }
+                                Err(_) => break,
                             }
-                            Err(_) => break,
+                        }
+                        // Length-prefixed framing keeps the stream in sync
+                        // past a malformed body: answer and keep serving.
+                        Err(e) => {
+                            let resp = Response::Error {
+                                kind: WireErrorKind::Protocol,
+                                message: e.to_string(),
+                            };
+                            if send_response(&mut stream, &resp, &shared.metrics).is_err() {
+                                break;
+                            }
                         }
                     }
-                    // Length-prefixed framing keeps the stream in sync
-                    // past a malformed body: answer and keep serving.
-                    Err(e) => {
-                        let resp = Response::Error {
-                            kind: WireErrorKind::Protocol,
-                            message: e.to_string(),
-                        };
-                        if write_response(&mut stream, &resp).is_err() {
-                            break;
-                        }
-                    }
-                },
+                }
                 // A bad length prefix *does* desync the stream: report
                 // and close.
                 Err(FrameError::Oversized(n)) => {
-                    let _ = write_response(
+                    let _ = send_response(
                         &mut stream,
                         &Response::Error {
                             kind: WireErrorKind::Protocol,
                             message: FrameError::Oversized(n).to_string(),
                         },
+                        &shared.metrics,
                     );
                     break;
                 }

@@ -943,6 +943,32 @@ mod tests {
     }
 
     #[test]
+    fn observability_statements_parse_generically() {
+        // The observability surface rides the generic SHOW/SET grammar:
+        // no dedicated keywords, so the parser needs no changes when the
+        // executor grows new introspection items.
+        assert_eq!(
+            parse("SHOW METRICS").unwrap(),
+            Statement::Show {
+                name: "METRICS".to_string(),
+            }
+        );
+        assert_eq!(
+            parse("SHOW slow_queries").unwrap(),
+            Statement::Show {
+                name: "slow_queries".to_string(),
+            }
+        );
+        assert_eq!(
+            parse("SET slow_query_ms = 250").unwrap(),
+            Statement::Set {
+                name: "slow_query_ms".to_string(),
+                value: Literal::Int(250),
+            }
+        );
+    }
+
+    #[test]
     fn keywordish_identifiers() {
         let stmt = parse("SELECT value, class FROM t").unwrap();
         let Statement::Select(s) = stmt else { panic!() };

@@ -145,7 +145,8 @@ proptest! {
         let _ = std::fs::remove_dir_all(&dir);
         let opts = || DurableStoreOptions {
             frames: 16,
-            wal: WalOptions { segment_bytes: 8 << 10, fsync: FsyncPolicy::Never },
+            wal: WalOptions { segment_bytes: 8 << 10, fsync: FsyncPolicy::Never, ..WalOptions::default() },
+            ..Default::default()
         };
         let schema = Schema::new(vec![
             ColumnDef::new("k", DataType::Int),

@@ -39,6 +39,6 @@ pub mod store;
 
 pub use crc32::crc32;
 pub use disk::FileDisk;
-pub use log::{FsyncPolicy, Lsn, Wal, WalOptions, WalStats};
+pub use log::{FsyncPolicy, Lsn, Wal, WalMetrics, WalOptions, WalStats};
 pub use record::{ColumnSpecDef, WalRecord, SYSTEM_TXN};
 pub use store::{DurableStore, DurableStoreOptions, RecoveredApp};

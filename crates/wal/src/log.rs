@@ -16,6 +16,7 @@
 
 use crate::crc32::crc32;
 use crate::record::WalRecord;
+use neurdb_obs::{Counter, Histogram};
 use neurdb_storage::{StorageError, StorageResult};
 use std::collections::VecDeque;
 use std::fs::{self, File, OpenOptions};
@@ -24,7 +25,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Log sequence number: a global byte offset. `Wal::append` returns the
 /// *end* LSN of the appended record (first offset not covered by it);
@@ -49,12 +50,27 @@ pub enum FsyncPolicy {
     Never,
 }
 
+/// Observability handles for the log's hot paths. The default handles
+/// are detached (recorded into but never read); `DurableStore` replaces
+/// them with metrics resolved from its registry so `SHOW METRICS` sees
+/// them. Cloning shares the underlying metrics.
+#[derive(Debug, Clone, Default)]
+pub struct WalMetrics {
+    /// Latency of each `fsync(2)` on a segment file, in nanoseconds.
+    pub fsync_ns: Arc<Histogram>,
+    /// Records written per flush — the group-commit batch size.
+    pub group_batch_records: Arc<Histogram>,
+    /// Segment files closed and rolled over.
+    pub segment_rotations: Arc<Counter>,
+}
+
 /// Tuning knobs for [`Wal`].
 #[derive(Debug, Clone)]
 pub struct WalOptions {
     /// Roll to a new segment file once the current one reaches this size.
     pub segment_bytes: u64,
     pub fsync: FsyncPolicy,
+    pub metrics: WalMetrics,
 }
 
 impl Default for WalOptions {
@@ -62,6 +78,7 @@ impl Default for WalOptions {
         WalOptions {
             segment_bytes: 4 << 20,
             fsync: FsyncPolicy::Group(Duration::from_millis(1)),
+            metrics: WalMetrics::default(),
         }
     }
 }
@@ -106,6 +123,7 @@ struct Inner {
     /// `durable_lsn` that can no longer advance.
     io_error: Option<String>,
     stats: WalStats,
+    metrics: WalMetrics,
 }
 
 impl Inner {
@@ -139,6 +157,7 @@ impl Inner {
     /// everything in order.
     fn flush_buffer(&mut self) -> StorageResult<bool> {
         let mut wrote = false;
+        let batch_start = self.records_flushed;
         while let Some((lsn, frame)) = self.buffer.front() {
             let (lsn, frame_len) = (*lsn, frame.len() as u64);
             let dropped = match self.crash_after_records {
@@ -166,6 +185,10 @@ impl Inner {
             self.buffer.pop_front();
         }
         self.stats.flushes += 1;
+        let batch = self.records_flushed - batch_start;
+        if batch > 0 {
+            self.metrics.group_batch_records.record(batch);
+        }
         Ok(wrote)
     }
 
@@ -179,6 +202,7 @@ impl Inner {
         if roll {
             if let Some(seg) = self.current.take() {
                 seg.file.sync_data().map_err(io_err)?;
+                self.metrics.segment_rotations.inc();
             }
             self.open_segment(lsn)?;
         }
@@ -190,7 +214,9 @@ impl Inner {
 
     fn fsync_current(&mut self) -> StorageResult<()> {
         if let Some(seg) = &self.current {
+            let start = Instant::now();
             seg.file.sync_data().map_err(io_err)?;
+            self.metrics.fsync_ns.record_duration(start.elapsed());
             self.stats.fsyncs += 1;
         }
         Ok(())
@@ -313,6 +339,7 @@ impl Wal {
             records_flushed: 0,
             io_error: None,
             stats: WalStats::default(),
+            metrics: opts.metrics.clone(),
         };
         let wal = Arc::new(Wal {
             inner: Mutex::new(inner),
@@ -612,6 +639,7 @@ mod tests {
                 WalOptions {
                     segment_bytes: 256,
                     fsync: FsyncPolicy::Never,
+                    ..WalOptions::default()
                 },
             )
             .unwrap();
@@ -703,6 +731,7 @@ mod tests {
             WalOptions {
                 segment_bytes: 4 << 20,
                 fsync: FsyncPolicy::Group(Duration::from_millis(2)),
+                ..WalOptions::default()
             },
         )
         .unwrap();
@@ -739,6 +768,7 @@ mod tests {
             WalOptions {
                 segment_bytes: 128,
                 fsync: FsyncPolicy::Never,
+                ..WalOptions::default()
             },
         )
         .unwrap();

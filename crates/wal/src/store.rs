@@ -20,8 +20,9 @@
 use crate::codec::{Reader, Writer};
 use crate::crc32::crc32;
 use crate::disk::FileDisk;
-use crate::log::{Lsn, Wal, WalOptions, WalStats};
+use crate::log::{Lsn, Wal, WalMetrics, WalOptions, WalStats};
 use crate::record::{read_schema, write_schema, WalRecord, SYSTEM_TXN};
+use neurdb_obs::MetricsRegistry;
 use neurdb_storage::{
     BufferPool, BufferStats, DiskManager, PageId, RecordId, Schema, StorageError, StorageResult,
     Table, Tuple,
@@ -41,6 +42,10 @@ pub struct DurableStoreOptions {
     /// Buffer pool frames (`0` → default 4096).
     pub frames: usize,
     pub wal: WalOptions,
+    /// Registry the store's WAL and buffer metrics resolve from;
+    /// defaults to a fresh private registry, so embedded and test
+    /// instances stay isolated.
+    pub registry: Arc<MetricsRegistry>,
 }
 
 impl DurableStoreOptions {
@@ -110,6 +115,7 @@ pub struct RecoveredApp {
 /// Tables + WAL + checkpointing. Thread-safe; share via `Arc`.
 pub struct DurableStore {
     pool: Arc<BufferPool>,
+    registry: Arc<MetricsRegistry>,
     tables: RwLock<HashMap<String, Arc<Table>>>,
     wal: Option<Arc<Wal>>,
     disk: Option<Arc<FileDisk>>,
@@ -135,6 +141,7 @@ impl DurableStore {
     pub fn volatile(frames: usize) -> DurableStore {
         DurableStore {
             pool: Arc::new(BufferPool::new(Arc::new(DiskManager::new()), frames)),
+            registry: Arc::new(MetricsRegistry::new()),
             tables: RwLock::new(HashMap::new()),
             wal: None,
             disk: None,
@@ -155,6 +162,7 @@ impl DurableStore {
         dir: impl Into<PathBuf>,
         opts: DurableStoreOptions,
     ) -> StorageResult<(DurableStore, RecoveredApp)> {
+        let recovery_start = std::time::Instant::now();
         let dir = dir.into();
         fs::create_dir_all(&dir).map_err(|e| StorageError::Codec(format!("store dir: {e}")))?;
         let paths = StorePaths::new(&dir);
@@ -202,7 +210,15 @@ impl DurableStore {
         //    One walk over the segment files both finds the valid end of
         //    the log (truncating any torn tail so appends continue there)
         //    and collects the replay records — recovery no longer re-scans.
-        let (wal, log) = Wal::open_with_records(&paths.wal_dir, opts.wal, ckpt_lsn)?;
+        let wal_opts = WalOptions {
+            metrics: WalMetrics {
+                fsync_ns: opts.registry.histogram("wal.fsync_ns"),
+                group_batch_records: opts.registry.histogram("wal.group_batch_records"),
+                segment_rotations: opts.registry.counter("wal.segment_rotations"),
+            },
+            ..opts.wal
+        };
+        let (wal, log) = Wal::open_with_records(&paths.wal_dir, wal_opts, ckpt_lsn)?;
         let mut committed: HashSet<u64> = HashSet::new();
         committed.insert(SYSTEM_TXN);
         let mut max_txn = 0;
@@ -283,8 +299,12 @@ impl DurableStore {
         }
 
         // 4. Log appends continue after the valid tail found above.
+        opts.registry
+            .gauge("wal.recovery_replay_ns")
+            .set(recovery_start.elapsed().as_nanos() as f64);
         let store = DurableStore {
             pool,
+            registry: opts.registry,
             tables: RwLock::new(tables),
             wal: Some(wal),
             disk: Some(disk),
@@ -588,6 +608,35 @@ impl DurableStore {
         self.wal.as_ref().map(|w| w.stats())
     }
 
+    /// The registry this store's WAL and buffer metrics live in.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
+    /// Re-export point-in-time sources (buffer-pool counters, WAL stats)
+    /// as gauges in the registry. The buffer pool and `WalStats` keep
+    /// their own counters; mirroring them here at snapshot time keeps
+    /// their hot paths untouched.
+    pub fn refresh_metrics(&self) {
+        let b = self.pool.stats();
+        let r = &self.registry;
+        r.gauge("buffer.hits").set(b.hits as f64);
+        r.gauge("buffer.misses").set(b.misses as f64);
+        r.gauge("buffer.evictions").set(b.evictions as f64);
+        r.gauge("buffer.hit_ratio").set(b.hit_ratio());
+        r.gauge("buffer.occupancy").set(b.occupancy());
+        r.gauge("buffer.capacity").set(b.capacity as f64);
+        r.gauge("buffer.resident").set(b.resident as f64);
+        if let Some(w) = self.wal_stats() {
+            r.gauge("wal.appended_records")
+                .set(w.appended_records as f64);
+            r.gauge("wal.appended_bytes").set(w.appended_bytes as f64);
+            r.gauge("wal.flushes").set(w.flushes as f64);
+            r.gauge("wal.fsyncs").set(w.fsyncs as f64);
+            r.gauge("wal.group_rides").set(w.group_rides as f64);
+        }
+    }
+
     pub fn pool(&self) -> &Arc<BufferPool> {
         &self.pool
     }
@@ -738,7 +787,9 @@ mod tests {
             wal: WalOptions {
                 segment_bytes: 16 << 10,
                 fsync: FsyncPolicy::Never,
+                ..WalOptions::default()
             },
+            ..Default::default()
         }
     }
 

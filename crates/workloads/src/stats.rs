@@ -177,7 +177,11 @@ pub fn query_graph(query: &StatsQuery, level: DriftLevel, seed: u64) -> JoinGrap
             });
         }
     }
-    let g = JoinGraph { tables, joins };
+    let g = JoinGraph {
+        tables,
+        joins,
+        system: Default::default(),
+    };
     if level == DriftLevel::Original {
         g
     } else {

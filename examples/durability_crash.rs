@@ -21,7 +21,9 @@ fn opts() -> DurableStoreOptions {
         wal: WalOptions {
             segment_bytes: 1 << 20,
             fsync: FsyncPolicy::Group(Duration::from_millis(1)),
+            ..WalOptions::default()
         },
+        ..Default::default()
     }
 }
 

@@ -1,0 +1,270 @@
+//! End-to-end tests for the observability subsystem: the slow-query
+//! log (per-session `SET slow_query_ms` thresholds, plan provenance,
+//! trace ids), `SHOW METRICS` at the embedded core level, and the live
+//! system-condition feed from the buffer pool into the learned
+//! optimizer's join-graph condition tokens.
+
+use neurdb_core::{plan_select_with, Database, Output, PlannerConfig, SessionContext};
+use neurdb_qo::SystemConditions;
+use neurdb_sql::{parse, Statement};
+use neurdb_storage::Value;
+
+fn select_stmt(sql: &str) -> neurdb_sql::SelectStmt {
+    match parse(sql).unwrap() {
+        Statement::Select(s) => s,
+        other => panic!("not a select: {other:?}"),
+    }
+}
+
+fn seeded_db() -> Database {
+    let db = Database::new();
+    db.execute("CREATE TABLE a (x INT, y INT)").unwrap();
+    db.execute("CREATE TABLE b (x INT, z INT)").unwrap();
+    for i in 0..64 {
+        db.execute(&format!("INSERT INTO a VALUES ({i}, {})", i % 8))
+            .unwrap();
+        db.execute(&format!("INSERT INTO b VALUES ({}, {i})", i % 16))
+            .unwrap();
+    }
+    db
+}
+
+/// A threshold of 0 ms logs every statement: one entry per statement,
+/// carrying the SQL text, a `<session>-<seq>` trace id, and — for
+/// SELECTs — the rendered plan with per-operator timings.
+#[test]
+fn slow_query_log_captures_statements_at_threshold() {
+    let db = seeded_db();
+    let mut session = SessionContext::new();
+    session.set_session_id(7);
+    db.execute_in_session(&mut session, "SET slow_query_ms = 0")
+        .unwrap();
+    assert!(
+        db.slow_queries().is_empty(),
+        "SET itself predates the threshold read"
+    );
+
+    db.execute_in_session(&mut session, "SELECT * FROM a WHERE y = 3")
+        .unwrap();
+    let entries = db.slow_queries();
+    assert_eq!(entries.len(), 1, "exactly one entry for one statement");
+    let e = &entries[0];
+    assert_eq!(e.session_id, 7);
+    assert_eq!(e.sql, "SELECT * FROM a WHERE y = 3");
+    // Trace ids are session-scoped: `<session id>-<statement seq>`; the
+    // SET was statement 1, this SELECT statement 2.
+    assert_eq!(e.trace_id, "7-2");
+    // SELECT entries carry the plan annotated with observed operator
+    // counters (the EXPLAIN ANALYZE slots).
+    assert!(!e.plan.is_empty());
+    let plan_text = e.plan.join("\n");
+    assert!(plan_text.contains("SeqScan"), "plan: {plan_text}");
+    assert!(plan_text.contains("rows="), "timings missing: {plan_text}");
+
+    // Non-SELECT statements log too, without a plan.
+    db.execute_in_session(&mut session, "INSERT INTO a VALUES (999, 9)")
+        .unwrap();
+    let entries = db.slow_queries();
+    assert_eq!(entries.len(), 2);
+    assert!(entries[1].plan.is_empty());
+    assert_eq!(entries[1].trace_id, "7-3");
+}
+
+/// Statements below the threshold never reach the log, and the
+/// threshold is per-session state: an aggressive threshold in one
+/// session does not leak into another.
+#[test]
+fn slow_query_threshold_is_per_session() {
+    let db = seeded_db();
+    let mut eager = SessionContext::new();
+    eager.set_session_id(1);
+    let mut lax = SessionContext::new();
+    lax.set_session_id(2);
+    let mut silent = SessionContext::new();
+    silent.set_session_id(3);
+
+    db.execute_in_session(&mut eager, "SET slow_query_ms = 0")
+        .unwrap();
+    // Sub-millisecond statements stay below a 60s threshold.
+    db.execute_in_session(&mut lax, "SET slow_query_ms = 60000")
+        .unwrap();
+
+    db.execute_in_session(&mut lax, "SELECT * FROM a").unwrap();
+    db.execute_in_session(&mut silent, "SELECT * FROM a")
+        .unwrap();
+    assert!(
+        db.slow_queries().is_empty(),
+        "below-threshold and no-threshold sessions must not log"
+    );
+
+    db.execute_in_session(&mut eager, "SELECT * FROM a")
+        .unwrap();
+    let entries = db.slow_queries();
+    assert_eq!(entries.len(), 1);
+    assert_eq!(entries[0].session_id, 1);
+}
+
+/// `SHOW slow_queries` renders the log as rows; `SHOW slow_query_ms`
+/// reports the session's threshold (NULL while unset).
+#[test]
+fn slow_query_log_is_queryable_via_show() {
+    let db = seeded_db();
+    let mut session = SessionContext::new();
+    session.set_session_id(4);
+
+    let unset = db
+        .execute_in_session(&mut session, "SHOW slow_query_ms")
+        .unwrap();
+    assert_eq!(unset.rows().unwrap().rows[0].values[0], Value::Null);
+
+    db.execute_in_session(&mut session, "SET slow_query_ms = 0")
+        .unwrap();
+    let set = db
+        .execute_in_session(&mut session, "SHOW slow_query_ms")
+        .unwrap();
+    assert_eq!(set.rows().unwrap().rows[0].values[0], Value::Int(0));
+
+    db.execute_in_session(&mut session, "SELECT * FROM b WHERE z < 10")
+        .unwrap();
+    let out = db
+        .execute_in_session(&mut session, "SHOW slow_queries")
+        .unwrap();
+    let Output::Rows(qr) = out else {
+        panic!("SHOW slow_queries should return rows")
+    };
+    assert_eq!(
+        qr.columns,
+        vec![
+            "trace_id",
+            "session_id",
+            "elapsed_ms",
+            "sql",
+            "join_order",
+            "plan"
+        ]
+    );
+    // The SELECT and the second SHOW slow_query_ms both logged (the
+    // threshold was live by then); find the SELECT row.
+    let select_row = qr
+        .rows
+        .iter()
+        .find(|r| r.values[3] == Value::Text("SELECT * FROM b WHERE z < 10".into()))
+        .expect("SELECT entry in SHOW slow_queries");
+    assert_eq!(select_row.values[1], Value::Int(4));
+    match &select_row.values[5] {
+        Value::Text(plan) => assert!(plan.contains("SeqScan"), "{plan}"),
+        other => panic!("plan column should be TEXT for a SELECT, got {other:?}"),
+    }
+}
+
+/// Embedded `SHOW METRICS`: executor operator-class counters and buffer
+/// gauges appear with live values after a workload.
+#[test]
+fn show_metrics_reports_executor_and_buffer_state() {
+    let db = seeded_db();
+    let out = db.execute("SELECT * FROM a WHERE y = 1").unwrap();
+    assert_eq!(out.rows().unwrap().rows.len(), 8);
+
+    let metrics = db.execute("SHOW METRICS").unwrap();
+    let Output::Rows(qr) = metrics else {
+        panic!("SHOW METRICS should return rows")
+    };
+    assert_eq!(qr.columns, vec!["metric", "value"]);
+    let get = |name: &str| {
+        qr.rows
+            .iter()
+            .find(|r| r.values[0] == Value::Text(name.to_string()))
+            .map(|r| r.values[1].clone())
+            .unwrap_or_else(|| panic!("metric '{name}' missing"))
+    };
+    match get("exec.rows.seqscan") {
+        Value::Int(n) => assert!(n >= 8, "exec.rows.seqscan = {n}"),
+        other => panic!("counter should be INT, got {other:?}"),
+    }
+    match get("buffer.occupancy") {
+        Value::Float(o) => assert!(o > 0.0, "buffer.occupancy = {o}"),
+        other => panic!("gauge should be FLOAT, got {other:?}"),
+    }
+    // Names are sorted for a stable, diffable listing.
+    let names: Vec<&Value> = qr.rows.iter().map(|r| &r.values[0]).collect();
+    let mut sorted = names.clone();
+    sorted.sort_by(|a, b| format!("{a}").cmp(&format!("{b}")));
+    assert_eq!(names, sorted);
+}
+
+/// The regression guard for the live system-condition feed: the
+/// planner stamps [`PlannerConfig::system`] onto the join graph, and
+/// the graph's condition tokens (the learned optimizer's input) change
+/// when the buffer hit-ratio changes.
+#[test]
+fn planner_stamps_system_conditions_onto_join_graph() {
+    let db = seeded_db();
+    let tables = vec![
+        ("a".to_string(), db.table("a").unwrap()),
+        ("b".to_string(), db.table("b").unwrap()),
+    ];
+    let stmt = select_stmt("SELECT a.y FROM a, b WHERE a.x = b.x");
+
+    let cold = plan_select_with(
+        &stmt,
+        &tables,
+        None,
+        &PlannerConfig {
+            system: SystemConditions {
+                buffer_hit_ratio: 0.2,
+                buffer_occupancy: 0.95,
+            },
+            ..PlannerConfig::default()
+        },
+    )
+    .unwrap();
+    let hot = plan_select_with(&stmt, &tables, None, &PlannerConfig::default()).unwrap();
+
+    let cold_graph = cold.graph.expect("multi-table query builds a graph");
+    let hot_graph = hot.graph.expect("multi-table query builds a graph");
+    assert_eq!(cold_graph.system.buffer_hit_ratio, 0.2);
+    assert_eq!(hot_graph.system.buffer_hit_ratio, 1.0);
+    assert_ne!(
+        cold_graph.condition_tokens(4),
+        hot_graph.condition_tokens(4),
+        "condition tokens must track buffer state"
+    );
+}
+
+/// End to end at the database level: a buffer pool too small for the
+/// working set reports degraded hit-ratio and non-zero occupancy
+/// through [`Database::system_conditions`] — the exact values the
+/// planner feeds the optimizer.
+#[test]
+fn system_conditions_track_live_buffer_state() {
+    let db = Database::with_buffer_capacity(2);
+    assert_eq!(db.system_conditions().buffer_hit_ratio, 1.0);
+    db.execute("CREATE TABLE big (x INT, pad TEXT)").unwrap();
+    // Many pages of rows through a 2-frame pool: scans must evict and
+    // re-read, so misses accumulate.
+    let filler = "x".repeat(128);
+    for chunk in 0..40 {
+        let mut stmt = String::from("INSERT INTO big VALUES ");
+        for i in 0..50 {
+            if i > 0 {
+                stmt.push(',');
+            }
+            stmt.push_str(&format!("({}, '{filler}')", chunk * 50 + i));
+        }
+        db.execute(&stmt).unwrap();
+    }
+    db.execute("SELECT * FROM big WHERE x = 17").unwrap();
+    db.execute("SELECT * FROM big WHERE x = 1999").unwrap();
+
+    let sc = db.system_conditions();
+    assert!(
+        sc.buffer_hit_ratio < 1.0,
+        "hit ratio = {}",
+        sc.buffer_hit_ratio
+    );
+    assert!(
+        sc.buffer_occupancy > 0.0,
+        "occupancy = {}",
+        sc.buffer_occupancy
+    );
+}

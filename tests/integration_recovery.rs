@@ -28,7 +28,9 @@ fn opts() -> DurableStoreOptions {
         wal: WalOptions {
             segment_bytes: 64 << 10,
             fsync: FsyncPolicy::Never,
+            ..WalOptions::default()
         },
+        ..Default::default()
     }
 }
 

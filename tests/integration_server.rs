@@ -282,6 +282,8 @@ fn show_sessions_reports_live_connections() {
             "peer",
             "statements",
             "parallelism",
+            "total_ms",
+            "last_ms",
             "current_query"
         ]
     );
@@ -296,9 +298,16 @@ fn show_sessions_reports_live_connections() {
     assert_eq!(row_for(a.session_id())[3], Value::Int(8));
     assert_eq!(row_for(a.session_id())[2], Value::Int(2)); // SET + CREATE
     assert_eq!(row_for(b.session_id())[3], Value::Int(2));
+    // Completed statements accumulate wall time: cumulative latency is
+    // at least the last statement's, and both are non-negative.
+    let (total, last) = match (&row_for(a.session_id())[4], &row_for(a.session_id())[5]) {
+        (Value::Float(t), Value::Float(l)) => (*t, *l),
+        other => panic!("expected FLOAT latency columns, got {other:?}"),
+    };
+    assert!(total >= last && last >= 0.0, "total={total} last={last}");
     // The introspecting session sees its own in-flight SHOW SESSIONS.
     assert_eq!(
-        row_for(b.session_id())[4],
+        row_for(b.session_id())[6],
         Value::Text("SHOW SESSIONS".into())
     );
 
@@ -467,6 +476,76 @@ fn tmpdir(tag: &str) -> PathBuf {
     let d = std::env::temp_dir().join(format!("neurdb-server-{tag}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&d);
     d
+}
+
+/// The observability acceptance smoke: after a real workload over a
+/// durable store, `SHOW METRICS` over a live TCP connection reports
+/// non-zero WAL-fsync, buffer-hit, and server-statement-latency
+/// metrics, with histogram quantiles (p50/p99) rendered as rows.
+#[test]
+fn show_metrics_round_trips_over_tcp() {
+    let _w = Watchdog::arm("show_metrics_round_trips_over_tcp", 120);
+    let dir = tmpdir("metrics");
+    let db = Arc::new(Database::open(&dir).unwrap());
+    let handle = Server::start(db, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut c = Client::connect(handle.local_addr()).unwrap();
+
+    c.affected("CREATE TABLE m (id INT PRIMARY KEY, v INT)")
+        .unwrap();
+    for i in 0..50 {
+        c.affected(&format!("INSERT INTO m VALUES ({i}, {})", i % 7))
+            .unwrap();
+    }
+    assert_eq!(
+        c.query("SELECT * FROM m WHERE v = 3").unwrap().rows.len(),
+        7
+    );
+
+    let metrics = c.query("SHOW METRICS").unwrap();
+    assert_eq!(metrics.columns, vec!["metric", "value"]);
+    let get = |name: &str| -> &Value {
+        metrics
+            .rows
+            .iter()
+            .find(|r| r[0] == Value::Text(name.to_string()))
+            .map(|r| &r[1])
+            .unwrap_or_else(|| panic!("metric '{name}' missing from SHOW METRICS"))
+    };
+    let int_of = |name: &str| -> i64 {
+        match get(name) {
+            Value::Int(i) => *i,
+            other => panic!("metric '{name}' should be INT, got {other:?}"),
+        }
+    };
+    // WAL fsync latency histogram: every INSERT forced at least one
+    // fsync on this durable store, and quantiles are positive.
+    assert!(int_of("wal.fsync_ns.count") > 0);
+    assert!(int_of("wal.fsync_ns.p50") > 0);
+    assert!(int_of("wal.fsync_ns.p99") >= int_of("wal.fsync_ns.p50"));
+    // Buffer pool was hit by the scans.
+    match get("buffer.hits") {
+        Value::Float(h) => assert!(*h > 0.0, "buffer.hits = {h}"),
+        other => panic!("buffer.hits should be FLOAT, got {other:?}"),
+    }
+    // Server-side per-statement-kind latency histograms saw the
+    // workload (the SELECT above, and every INSERT).
+    assert!(int_of("srv.stmt_ns.select.count") >= 1);
+    assert!(int_of("srv.stmt_ns.select.p50") > 0);
+    assert!(int_of("srv.stmt_ns.insert.count") >= 50);
+    assert!(int_of("srv.stmt_ns.insert.p99") >= int_of("srv.stmt_ns.insert.p50"));
+    // Executor counters: the SELECT's scan emitted rows.
+    assert!(int_of("exec.rows.seqscan") > 0);
+    // Wire accounting: frames flowed both ways.
+    assert!(int_of("srv.frames_in") > 0);
+    assert!(int_of("srv.bytes_out") > 0);
+    // Connection gauges: this client is the one active connection.
+    match get("srv.connections.active") {
+        Value::Float(a) => assert_eq!(*a, 1.0),
+        other => panic!("srv.connections.active should be FLOAT, got {other:?}"),
+    }
+
+    c.close().unwrap();
+    handle.shutdown();
 }
 
 /// The concurrency smoke from the issue: N client threads × M

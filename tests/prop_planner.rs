@@ -59,6 +59,7 @@ fn forced_parallel(parallelism: usize) -> PlannerConfig {
     PlannerConfig {
         parallelism,
         parallel_min_rows: 0.0,
+        ..PlannerConfig::default()
     }
 }
 
