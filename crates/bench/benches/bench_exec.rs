@@ -217,5 +217,101 @@ fn bench_join_parallel(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_exec, bench_parallel, bench_join_parallel);
+/// Repartitioning-exchange shapes at dop=1 vs dop=4: parallel build
+/// (small probe, fan-out-worthy build side), partition-wise join (both
+/// sides repartitioned, each worker joins one partition pair), and
+/// aggregation pushed into the join workers (only partial-aggregate
+/// state rows cross the output channel). dop=1 runs the serial hash
+/// join, so the delta isolates each exchange shape.
+fn bench_repartition(c: &mut Criterion) {
+    const RFACTS: usize = 30_000;
+    const RDIMS: usize = 6_000;
+    const SPROBE: usize = 300;
+    let db = Database::new();
+    db.execute("CREATE TABLE rfacts (fid INT PRIMARY KEY, dim INT, val INT)")
+        .unwrap();
+    db.execute("CREATE TABLE rdims (did INT PRIMARY KEY, grp INT)")
+        .unwrap();
+    db.execute("CREATE TABLE sprobe (sid INT PRIMARY KEY, k INT)")
+        .unwrap();
+    for chunk in 0..(RFACTS / 3000) {
+        let mut stmt = String::from("INSERT INTO rfacts VALUES ");
+        for i in (chunk * 3000)..((chunk + 1) * 3000) {
+            if i > chunk * 3000 {
+                stmt.push(',');
+            }
+            stmt.push_str(&format!("({i}, {}, {})", i % RDIMS, i % 1000));
+        }
+        db.execute(&stmt).unwrap();
+    }
+    for chunk in 0..(RDIMS / 3000) {
+        let mut stmt = String::from("INSERT INTO rdims VALUES ");
+        for d in (chunk * 3000)..((chunk + 1) * 3000) {
+            if d > chunk * 3000 {
+                stmt.push(',');
+            }
+            stmt.push_str(&format!("({d}, {})", d % 16));
+        }
+        db.execute(&stmt).unwrap();
+    }
+    let mut stmt = String::from("INSERT INTO sprobe VALUES ");
+    for s in 0..SPROBE {
+        if s > 0 {
+            stmt.push(',');
+        }
+        stmt.push_str(&format!("({s}, {})", (s * 17) % RDIMS));
+    }
+    db.execute(&stmt).unwrap();
+
+    let mut g = c.benchmark_group("exec_repartition");
+    g.sample_size(10)
+        .measurement_time(Duration::from_millis(500));
+    g.throughput(Throughput::Elements(RFACTS as u64));
+
+    for dop in [1usize, 4] {
+        db.execute(&format!("SET parallelism = {dop}")).unwrap();
+        g.bench_function(format!("build_parallel_join_dop{dop}"), |b| {
+            b.iter(|| {
+                black_box(
+                    db.execute(
+                        "SELECT s.sid, d.grp FROM sprobe s, rdims d \
+                         WHERE s.k = d.did",
+                    )
+                    .unwrap(),
+                )
+            })
+        });
+        g.bench_function(format!("partition_wise_join_dop{dop}"), |b| {
+            b.iter(|| {
+                black_box(
+                    db.execute(
+                        "SELECT f.fid, d.grp FROM rfacts f, rdims d \
+                         WHERE f.dim = d.did AND d.grp < 4",
+                    )
+                    .unwrap(),
+                )
+            })
+        });
+        g.bench_function(format!("join_agg_pushdown_dop{dop}"), |b| {
+            b.iter(|| {
+                black_box(
+                    db.execute(
+                        "SELECT d.grp, COUNT(*), SUM(f.val) FROM rfacts f, rdims d \
+                         WHERE f.dim = d.did GROUP BY d.grp",
+                    )
+                    .unwrap(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_exec,
+    bench_parallel,
+    bench_join_parallel,
+    bench_repartition
+);
 criterion_main!(benches);

@@ -1,8 +1,10 @@
 //! Tracked benchmark trajectory: a fixed set of end-to-end workload
 //! groups, each timed per-iteration with the median nanoseconds written
-//! to a `BENCH_6.json` artifact. CI runs this on every push (in `--quick`
-//! mode) and uploads the file, so the series of artifacts across commits
-//! forms the performance trajectory of the repo.
+//! to a `BENCH_7.json` artifact. CI runs this on every push (in `--quick`
+//! mode), uploads the file, and diffs it against the committed previous
+//! trajectory via `scripts/compare_bench.py`, so the series of artifacts
+//! across commits forms the performance trajectory of the repo — with a
+//! hard gate on median regressions.
 //!
 //! ```sh
 //! cargo run --release -p neurdb-bench --bin trajectory            # full
@@ -145,6 +147,30 @@ fn bench_parallel_agg(quick: bool) -> GroupResult {
     })
 }
 
+/// Grouped aggregate over a partition-wise parallel join: both sides
+/// repartition on the join key, each join worker builds and probes its
+/// own partition pair, and the partial aggregate runs inside the join
+/// workers so only aggregate state rows cross the output channel.
+fn bench_join_agg_parallel(quick: bool) -> GroupResult {
+    let db = Database::new();
+    seed(&db, "jfact", if quick { 10_000 } else { 60_000 });
+    seed(&db, "jdim", if quick { 3_000 } else { 6_000 });
+    let mut session = SessionContext::new();
+    db.execute_in_session(&mut session, "SET parallelism = 4")
+        .unwrap();
+    let iters = if quick { 20 } else { 100 };
+    measure("join_agg_parallel", 3, iters, |_| {
+        let out = db
+            .execute_in_session(
+                &mut session,
+                "SELECT d.grp, COUNT(*), SUM(f.v) FROM jfact f, jdim d \
+                 WHERE f.grp = d.id GROUP BY d.grp",
+            )
+            .unwrap();
+        assert_eq!(out.rows().unwrap().rows.len(), 32);
+    })
+}
+
 /// Durable single-row INSERT: WAL append + group-commit fsync on the
 /// latency path.
 fn bench_wal_insert(quick: bool) -> GroupResult {
@@ -171,7 +197,7 @@ fn bench_wal_insert(quick: bool) -> GroupResult {
 fn render_json(results: &[GroupResult], quick: bool) -> String {
     let mut out = String::from("{\n");
     let _ = writeln!(out, "  \"schema\": \"neurdb-bench-trajectory/v1\",");
-    let _ = writeln!(out, "  \"pr\": 6,");
+    let _ = writeln!(out, "  \"pr\": 7,");
     let _ = writeln!(
         out,
         "  \"mode\": \"{}\",",
@@ -198,13 +224,14 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned()
-        .unwrap_or_else(|| "BENCH_6.json".to_string());
+        .unwrap_or_else(|| "BENCH_7.json".to_string());
 
     let results = vec![
         bench_insert(quick),
         bench_seqscan(quick),
         bench_indexed_point(quick),
         bench_parallel_agg(quick),
+        bench_join_agg_parallel(quick),
         bench_wal_insert(quick),
     ];
     for r in &results {

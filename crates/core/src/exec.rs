@@ -22,9 +22,23 @@
 //! split into per-worker partial aggregates whose encoded states the
 //! Gather's consumer merges (two-phase parallel aggregation). A hash
 //! join whose probe side merits fan-out runs as a *partitioned parallel
-//! hash join* ([`PartitionedHashJoinOp`]): the build side is drained
-//! once and hash-partitioned into `dop` read-only partitions, then each
-//! worker probes them with its own morsel stream of the probe scan.
+//! hash join* ([`PartitionedHashJoinOp`]): the build side is
+//! hash-partitioned into read-only partitions, then each worker probes
+//! them with its own morsel stream of the probe scan.
+//!
+//! **Repartitioning exchange** — when the planner fans out the *build*
+//! side of a join too, its rows flow through a hash-repartitioning
+//! exchange: producer workers route every row to a bounded per-partition
+//! channel by hashing the join key with the same deterministic
+//! [`partition_of`] the probe path uses. With only the build side
+//! parallel, one builder thread per partition assembles the shared
+//! partitions ([`BuildInput::Parallel`]); with *both* sides parallel the
+//! join becomes partition-wise ([`PartitionWiseHashJoinOp`]) — each join
+//! worker owns one partition pair end-to-end (local build, local probe),
+//! so nothing is shared and nothing locks. A partial aggregate sitting
+//! directly above a parallel join is pushed into the join workers
+//! ([`PushedAgg`]): only encoded per-group aggregate states cross the
+//! output channel instead of every joined row.
 //!
 //! Every operator is wrapped in a metering shell that counts rows/batches
 //! and inclusive wall time — `EXPLAIN ANALYZE` renders those counters
@@ -142,6 +156,8 @@ pub fn execute_plan_instrumented(
 
 type Batch = Vec<Tuple>;
 type MetricsSink = Rc<RefCell<Vec<OpMetrics>>>;
+/// One hash partition of a join build side.
+type PartitionMap = HashMap<Value, Vec<Tuple>>;
 
 /// A pull-based batch operator.
 trait Operator {
@@ -288,11 +304,41 @@ fn build_operator(
             group_by,
             aggs,
             in_env,
-        } => Box::new(PartialHashAggregateOp {
-            input: build_operator(input, sink, partition, in_worker)?,
-            spec: AggSpec::new(group_by.clone(), aggs.clone(), in_env.clone()),
-            done: false,
-        }),
+        } => {
+            // A partial aggregate directly above a parallel join is
+            // pushed *into* the join workers: each worker folds its
+            // joined stream locally and only encoded aggregate states
+            // cross the exchange channel. This node's metric slot then
+            // counts the state rows; the join's own slot is filled from
+            // the worker reports at shutdown.
+            let fused = !in_worker
+                && matches!(
+                    input.as_ref(),
+                    PhysicalPlan::PartitionedHashJoin { probe_dop, .. } if *probe_dop > 1
+                );
+            if fused {
+                let agg = Arc::new(PushedAgg {
+                    group_by: group_by.clone(),
+                    aggs: aggs.clone(),
+                    env: in_env.clone(),
+                });
+                let join_id = {
+                    let mut s = sink.borrow_mut();
+                    s.push(OpMetrics {
+                        op: input.label(),
+                        ..OpMetrics::default()
+                    });
+                    s.len() - 1
+                };
+                build_partitioned_join(input, join_id, sink, Some(agg), Some(id))?
+            } else {
+                Box::new(PartialHashAggregateOp {
+                    input: build_operator(input, sink, partition, in_worker)?,
+                    spec: AggSpec::new(group_by.clone(), aggs.clone(), in_env.clone()),
+                    done: false,
+                })
+            }
+        }
         PhysicalPlan::HashJoin {
             left,
             right,
@@ -306,36 +352,13 @@ fn build_operator(
             right_key: *right_key,
             table: HashMap::new(),
         }),
-        PhysicalPlan::PartitionedHashJoin {
-            probe,
-            build,
-            left_key,
-            right_key,
-            dop,
-            ..
-        } => {
+        PhysicalPlan::PartitionedHashJoin { .. } => {
             if in_worker {
                 return Err(CoreError::Unsupported(
                     "nested parallel join inside a parallel fragment".to_string(),
                 ));
             }
-            // Pre-order slot layout: join, probe subtree (built inside
-            // the workers), then the build subtree (built here).
-            let probe_base = register_slots(probe, sink);
-            let probe_len = plan_size(probe);
-            let build_op = build_operator(build, sink, partition, in_worker)?;
-            Box::new(PartitionedHashJoinOp {
-                build: Some(build_op),
-                probe_plan: probe.as_ref().clone(),
-                left_key: *left_key,
-                right_key: *right_key,
-                dop: (*dop).max(1),
-                pool: None,
-                id,
-                probe_slots: (probe_base, probe_len),
-                sink: sink.clone(),
-                finished: false,
-            })
+            build_partitioned_join(plan, id, sink, None, None)?
         }
         PhysicalPlan::NestedLoopJoin { left, right, .. } => Box::new(NestedLoopJoinOp {
             left: build_operator(left, sink, partition, in_worker)?,
@@ -408,6 +431,105 @@ fn build_operator(
     }))
 }
 
+/// Construct the operator for a [`PhysicalPlan::PartitionedHashJoin`]
+/// with metric slot `join_id` (already registered by the caller), picking
+/// the execution shape from the per-side dops:
+///
+/// * both sides parallel → partition-wise join (each worker owns one
+///   partition pair end-to-end),
+/// * one side parallel → shared partitions with a parallel build and/or
+///   worker probe,
+/// * neither → shared partitions, fully serial (degenerate; the planner
+///   emits a plain HashJoin instead).
+///
+/// Slot registration stays pre-order (probe subtree, then build subtree)
+/// to match [`PhysicalPlan::render`]. `agg`/`partial_slot` carry a fused
+/// partial aggregate pushed down from the node above.
+fn build_partitioned_join(
+    plan: &PhysicalPlan,
+    join_id: usize,
+    sink: &MetricsSink,
+    agg: Option<Arc<PushedAgg>>,
+    partial_slot: Option<usize>,
+) -> Result<Box<dyn Operator>, CoreError> {
+    let PhysicalPlan::PartitionedHashJoin {
+        probe,
+        build,
+        left_key,
+        right_key,
+        probe_dop,
+        build_dop,
+        ..
+    } = plan
+    else {
+        unreachable!("build_partitioned_join on a non-join plan");
+    };
+    let probe_dop = (*probe_dop).max(1);
+    let build_dop = (*build_dop).max(1);
+    if probe_dop > 1 && build_dop > 1 {
+        let probe_slots = (register_slots(probe, sink), plan_size(probe));
+        let build_slots = (register_slots(build, sink), plan_size(build));
+        return Ok(Box::new(PartitionWiseHashJoinOp {
+            probe_plan: probe.as_ref().clone(),
+            build_plan: build.as_ref().clone(),
+            left_key: *left_key,
+            right_key: *right_key,
+            probe_dop,
+            build_dop,
+            dop: probe_dop.max(build_dop),
+            agg,
+            out_rx: None,
+            probe_pool: None,
+            build_pool: None,
+            join_handles: Vec::new(),
+            join_reports: None,
+            id: join_id,
+            partial_slot,
+            probe_slots,
+            build_slots,
+            sink: sink.clone(),
+            finished: false,
+        }));
+    }
+    let probe_input = if probe_dop > 1 {
+        let slots = (register_slots(probe, sink), plan_size(probe));
+        ProbeInput::Workers {
+            fragment: probe.as_ref().clone(),
+            dop: probe_dop,
+            slots,
+        }
+    } else {
+        ProbeInput::Serial(Some(build_operator(probe, sink, &mut None, false)?))
+    };
+    let build_input = if build_dop > 1 {
+        let slots = (register_slots(build, sink), plan_size(build));
+        BuildInput::Parallel {
+            fragment: build.as_ref().clone(),
+            dop: build_dop,
+            slots,
+        }
+    } else {
+        BuildInput::Serial(Some(build_operator(build, sink, &mut None, false)?))
+    };
+    Ok(Box::new(PartitionedHashJoinOp {
+        build: build_input,
+        probe: probe_input,
+        left_key: *left_key,
+        right_key: *right_key,
+        nparts: probe_dop.max(build_dop),
+        agg,
+        partitions: None,
+        pool: None,
+        id: join_id,
+        partial_slot,
+        sink: sink.clone(),
+        build_note: String::new(),
+        build_busy_ns: 0,
+        build_wait_ns: 0,
+        finished: false,
+    }))
+}
+
 // ------------------------------- scans -------------------------------
 
 struct SeqScanOp {
@@ -453,12 +575,42 @@ impl Operator for IndexScanOp {
 
 // ------------------------------ exchange ------------------------------
 
-/// What a finished parallel worker reports back: its id, the metrics of
-/// its private fragment (pre-order, aligned with the fragment plan),
-/// the error that stopped it (if any), and its busy/queue-wait split —
-/// nanoseconds spent computing fragment batches vs. blocked sending
-/// them through the bounded exchange channel.
-type WorkerReport = (usize, Vec<OpMetrics>, Option<CoreError>, u128, u128);
+/// What a finished parallel worker reports back.
+struct WorkerReport {
+    worker: usize,
+    /// Metrics of the worker's private fragment (pre-order, aligned with
+    /// the fragment plan).
+    metrics: Vec<OpMetrics>,
+    /// The error that stopped the worker, if any.
+    err: Option<CoreError>,
+    /// Nanoseconds spent computing fragment batches and applying the
+    /// worker task (join probe, repartition routing).
+    busy_ns: u128,
+    /// Nanoseconds blocked sending through bounded channels
+    /// (back-pressure from the consumer side).
+    wait_ns: u128,
+    /// Rows the worker's task produced: forwarded rows (Gather), joined
+    /// rows (probe), or routed rows (repartition). Reported even when a
+    /// pushed aggregate swallows the rows, so skew stays visible.
+    task_rows: u64,
+}
+
+/// A partial aggregation pushed into parallel join workers: each worker
+/// folds its joined stream into an [`AggTable`] and emits one batch of
+/// encoded state rows, which the final `HashAggregate(from_partials)`
+/// merges. Only tiny per-group states cross the exchange channel instead
+/// of every joined row.
+struct PushedAgg {
+    group_by: Vec<Expr>,
+    aggs: Vec<(AggFunc, Option<Expr>)>,
+    env: Bindings,
+}
+
+impl PushedAgg {
+    fn spec(&self) -> AggSpec {
+        AggSpec::new(self.group_by.clone(), self.aggs.clone(), self.env.clone())
+    }
+}
 
 /// What each parallel worker does with the batches its private fragment
 /// produces before sending them downstream.
@@ -467,10 +619,21 @@ enum WorkerTask {
     /// Forward fragment batches as-is (a Gather).
     Forward,
     /// Probe a shared partitioned hash-join build table with every
-    /// fragment row and forward the joined rows.
+    /// fragment row and forward the joined rows (or, with `agg`, fold
+    /// them into a partial aggregate and emit the states at the end).
     Probe {
-        partitions: Arc<Vec<HashMap<Value, Vec<Tuple>>>>,
+        partitions: Arc<Vec<PartitionMap>>,
         left_key: usize,
+        agg: Option<Arc<PushedAgg>>,
+    },
+    /// Repartitioning-exchange producer: hash every fragment row on
+    /// `key` with [`partition_of`] and route it to `txs[partition]`
+    /// (NULL keys are dropped — routing only ever happens on join keys,
+    /// and NULL never matches). Consumers tearing down close the
+    /// channels, which stops the producer.
+    Repartition {
+        key: usize,
+        txs: Arc<Vec<channel::Sender<Batch>>>,
     },
 }
 
@@ -485,7 +648,9 @@ struct WorkerPool {
     rx: Option<channel::Receiver<(usize, Batch)>>,
     reports: channel::Receiver<WorkerReport>,
     handles: Vec<JoinHandle<()>>,
-    worker_rows: Vec<u64>,
+    /// Per-worker task-produced rows (forwarded/joined/routed), filled
+    /// from the end-of-run reports at shutdown.
+    task_rows: Vec<u64>,
     /// Summed across workers after shutdown: time computing fragment
     /// batches vs. blocked on the exchange queue.
     busy_ns: u128,
@@ -519,30 +684,92 @@ impl WorkerPool {
                 let local: MetricsSink = Rc::new(RefCell::new(Vec::new()));
                 let mut busy_ns = 0u128;
                 let mut wait_ns = 0u128;
+                let mut task_rows = 0u64;
                 let result = (|| {
                     let mut root = build_operator(&plan, &local, &mut Some(cursor), true)?;
-                    loop {
+                    // A pushed partial aggregate accumulates across the
+                    // whole morsel stream; its states flush at the end.
+                    let mut agg_state = match &task {
+                        WorkerTask::Probe { agg: Some(a), .. } => {
+                            Some((a.spec(), AggTable::default()))
+                        }
+                        _ => None,
+                    };
+                    'produce: loop {
                         let start = Instant::now();
                         let Some(batch) = root.next_batch()? else {
                             busy_ns += start.elapsed().as_nanos();
                             break;
                         };
-                        let out = match &task {
-                            WorkerTask::Forward => batch,
+                        match &task {
+                            WorkerTask::Forward => {
+                                task_rows += batch.len() as u64;
+                                busy_ns += start.elapsed().as_nanos();
+                                let send_start = Instant::now();
+                                let sent = tx.send((w, batch));
+                                wait_ns += send_start.elapsed().as_nanos();
+                                if sent.is_err() {
+                                    break; // consumer gone (e.g. LIMIT satisfied)
+                                }
+                            }
                             WorkerTask::Probe {
                                 partitions,
                                 left_key,
-                            } => probe_partitions(&batch, partitions, *left_key),
-                        };
-                        busy_ns += start.elapsed().as_nanos();
-                        if out.is_empty() {
-                            continue;
+                                ..
+                            } => {
+                                let out = probe_partitions(&batch, partitions, *left_key);
+                                task_rows += out.len() as u64;
+                                if let Some((spec, table)) = &mut agg_state {
+                                    table.update_batch(spec, &out)?;
+                                    busy_ns += start.elapsed().as_nanos();
+                                    continue;
+                                }
+                                busy_ns += start.elapsed().as_nanos();
+                                if out.is_empty() {
+                                    continue;
+                                }
+                                let send_start = Instant::now();
+                                let sent = tx.send((w, out));
+                                wait_ns += send_start.elapsed().as_nanos();
+                                if sent.is_err() {
+                                    break;
+                                }
+                            }
+                            WorkerTask::Repartition { key, txs } => {
+                                let n = txs.len().max(1);
+                                let mut buckets: Vec<Batch> = vec![Vec::new(); n];
+                                for row in batch {
+                                    let k = row.get(*key);
+                                    if k.is_null() {
+                                        continue; // NULL join keys never match
+                                    }
+                                    let p = if n == 1 { 0 } else { partition_of(k, n) };
+                                    task_rows += 1;
+                                    buckets[p].push(row);
+                                }
+                                busy_ns += start.elapsed().as_nanos();
+                                let send_start = Instant::now();
+                                for (p, bucket) in buckets.into_iter().enumerate() {
+                                    if bucket.is_empty() {
+                                        continue;
+                                    }
+                                    if txs[p].send(bucket).is_err() {
+                                        // A consumer partition tore down
+                                        // (LIMIT/error): stop producing.
+                                        wait_ns += send_start.elapsed().as_nanos();
+                                        break 'produce;
+                                    }
+                                }
+                                wait_ns += send_start.elapsed().as_nanos();
+                            }
                         }
-                        let send_start = Instant::now();
-                        let sent = tx.send((w, out));
-                        wait_ns += send_start.elapsed().as_nanos();
-                        if sent.is_err() {
-                            break; // consumer gone (e.g. LIMIT satisfied)
+                    }
+                    if let Some((spec, table)) = agg_state {
+                        let rows = table.into_state_rows(&spec);
+                        if !rows.is_empty() {
+                            let send_start = Instant::now();
+                            let _ = tx.send((w, rows));
+                            wait_ns += send_start.elapsed().as_nanos();
                         }
                     }
                     Ok(())
@@ -550,14 +777,21 @@ impl WorkerPool {
                 let metrics = Rc::try_unwrap(local)
                     .expect("fragment operators dropped")
                     .into_inner();
-                let _ = report_tx.send((w, metrics, result.err(), busy_ns, wait_ns));
+                let _ = report_tx.send(WorkerReport {
+                    worker: w,
+                    metrics,
+                    err: result.err(),
+                    busy_ns,
+                    wait_ns,
+                    task_rows,
+                });
             }));
         }
         Ok(WorkerPool {
             rx: Some(rx),
             reports,
             handles,
-            worker_rows: vec![0; dop],
+            task_rows: vec![0; dop],
             busy_ns: 0,
             wait_ns: 0,
             child_slots,
@@ -573,10 +807,7 @@ impl WorkerPool {
         }
         let rx = self.rx.as_ref().expect("receiver alive until shutdown");
         match rx.recv() {
-            Ok((w, batch)) => {
-                self.worker_rows[w] += batch.len() as u64;
-                Ok(Some((w, batch)))
-            }
+            Ok((w, batch)) => Ok(Some((w, batch))),
             Err(_) => Ok(None),
         }
     }
@@ -603,17 +834,18 @@ impl WorkerPool {
         }
         let (base, len) = self.child_slots;
         let mut sink = sink.borrow_mut();
-        while let Ok((_, metrics, err, busy, wait)) = self.reports.try_recv() {
-            for (i, m) in metrics.into_iter().enumerate().take(len) {
+        while let Ok(report) = self.reports.try_recv() {
+            for (i, m) in report.metrics.into_iter().enumerate().take(len) {
                 let slot = &mut sink[base + i];
                 slot.rows_out += m.rows_out;
                 slot.batches += m.batches;
                 slot.nanos += m.nanos;
             }
-            self.busy_ns += busy;
-            self.wait_ns += wait;
+            self.busy_ns += report.busy_ns;
+            self.wait_ns += report.wait_ns;
+            self.task_rows[report.worker] = report.task_rows;
             if first_err.is_none() {
-                first_err = err;
+                first_err = report.err;
             }
         }
         first_err
@@ -651,7 +883,7 @@ impl ExchangeOp {
         let err = self.pool.shutdown(&self.sink);
         let mut sink = self.sink.borrow_mut();
         let slot = &mut sink[self.id];
-        slot.note = format!("workers={:?}", self.pool.worker_rows);
+        slot.note = format!("workers={:?}", self.pool.task_rows);
         slot.busy_ns += self.pool.busy_ns;
         slot.wait_ns += self.pool.wait_ns;
         err
@@ -703,7 +935,18 @@ fn partition_of(key: &Value, dop: usize) -> usize {
             h
         }
     };
-    ((bits.wrapping_mul(0x9E3779B97F4A7C15) >> 32) % dop as u64) as usize
+    // splitmix64 finalizer: a single multiply is not enough here —
+    // integer keys go through their f64 bit pattern, which leaves the
+    // payload in the high mantissa bits with ≥32 trailing zeros, and
+    // one multiply + shift then routes every small int to partition 0.
+    // The xor-folds pull the high bits back down between multiplies.
+    let mut h = bits;
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xBF58476D1CE4E5B9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94D049BB133111EB);
+    h ^= h >> 31;
+    (h % dop as u64) as usize
 }
 
 /// The shared build/probe row semantics of every hash join (serial and
@@ -757,42 +1000,191 @@ fn probe_partitions(
     out
 }
 
-/// Partitioned parallel hash join. The first pull drains the build
-/// (right) side single-threaded and hash-partitions its rows on the
-/// build key into `dop` read-only partitions; the probe (left) fragment
-/// then fans out across `dop` morsel workers — each drains one
-/// page-range partition of the probe scan, probes the shared partitions,
-/// and streams joined batches through the pool's bounded channel. An
-/// empty build side short-circuits: the workers are never spawned and
-/// the probe scan never runs.
+/// How a partitioned join drains its build (right) side into the shared
+/// hash partitions.
+enum BuildInput {
+    /// Drain on the consumer thread (the pre-exchange shape). The drain
+    /// is timed so it shows up in the join's busy split.
+    Serial(Option<Box<dyn Operator>>),
+    /// Repartitioning exchange: `dop` fragment producers route build
+    /// rows on the build key into one bounded channel per hash
+    /// partition; one builder thread per partition owns its map, so the
+    /// whole build runs in parallel without locking.
+    Parallel {
+        fragment: PhysicalPlan,
+        dop: usize,
+        slots: (usize, usize),
+    },
+}
+
+/// How a partitioned join streams its probe (left) side.
+enum ProbeInput {
+    /// Morsel fan-out: `dop` workers each drain one page-range partition
+    /// of the probe fragment and probe the shared partitions.
+    Workers {
+        fragment: PhysicalPlan,
+        dop: usize,
+        slots: (usize, usize),
+    },
+    /// Drain on the consumer thread (parallel-build, serial-probe).
+    Serial(Option<Box<dyn Operator>>),
+}
+
+/// Partitioned parallel hash join over shared read-only partitions. The
+/// first pull materializes the build side into `nparts` hash partitions
+/// — serially, or through a repartitioning exchange when the planner
+/// fanned the build side out — then the probe side streams against
+/// them, either from `dop` morsel workers or on the calling thread. An
+/// empty build side short-circuits: probe workers never spawn and the
+/// probe scan never runs. With a pushed partial aggregate, probe
+/// workers fold joined rows into per-worker aggregate states and only
+/// the encoded states cross the channel.
 struct PartitionedHashJoinOp {
-    /// Consumed (drained into the partitions) on the first pull.
-    build: Option<Box<dyn Operator>>,
-    probe_plan: PhysicalPlan,
+    build: BuildInput,
+    probe: ProbeInput,
     left_key: usize,
     right_key: usize,
-    dop: usize,
+    /// Hash partitions the build side splits into (max of the two dops).
+    nparts: usize,
+    agg: Option<Arc<PushedAgg>>,
+    partitions: Option<Arc<Vec<PartitionMap>>>,
     pool: Option<WorkerPool>,
-    /// Own metric slot and the probe fragment's slot range.
+    /// Own metric slot; `partial_slot` is set when a pushed aggregate
+    /// means the metering shell above counts state rows into the
+    /// partial-aggregate node instead of joined rows into this one.
     id: usize,
-    probe_slots: (usize, usize),
+    partial_slot: Option<usize>,
     sink: MetricsSink,
+    /// `build=[...] parts=[...]` note fragment + the build side's
+    /// busy/wait split, folded into the join slot at shutdown.
+    build_note: String,
+    build_busy_ns: u128,
+    build_wait_ns: u128,
     finished: bool,
 }
 
 impl PartitionedHashJoinOp {
+    /// Materialize the build side into `nparts` hash partitions.
+    fn build_partitions(&mut self) -> Result<(), CoreError> {
+        let nparts = self.nparts.max(1);
+        let mut partitions: Vec<PartitionMap> = vec![HashMap::new(); nparts];
+        match &mut self.build {
+            BuildInput::Serial(op) => {
+                let mut op = op.take().expect("build side pending");
+                let start = Instant::now();
+                let mut total = 0u64;
+                while let Some(batch) = op.next_batch()? {
+                    total += batch.len() as u64;
+                    for row in batch {
+                        join_build_insert(&mut partitions, self.right_key, row);
+                    }
+                }
+                self.build_busy_ns += start.elapsed().as_nanos();
+                self.build_note = format!("build=[{total}]");
+            }
+            BuildInput::Parallel {
+                fragment,
+                dop,
+                slots,
+            } => {
+                let dop = (*dop).max(1);
+                let cap = (dop * EXCHANGE_QUEUE_PER_WORKER).max(2);
+                let mut txs = Vec::with_capacity(nparts);
+                let mut builders = Vec::with_capacity(nparts);
+                for _ in 0..nparts {
+                    let (tx, rx) = channel::bounded::<Batch>(cap);
+                    txs.push(tx);
+                    let right_key = self.right_key;
+                    builders.push(std::thread::spawn(move || {
+                        let mut map: PartitionMap = HashMap::new();
+                        while let Ok(batch) = rx.recv() {
+                            for row in batch {
+                                join_build_insert(std::slice::from_mut(&mut map), right_key, row);
+                            }
+                        }
+                        map
+                    }));
+                }
+                // The task owns the only non-worker clones of the
+                // senders; dropping it after spawn closes the channels
+                // once every producer exits, which ends the builders.
+                let task = WorkerTask::Repartition {
+                    key: self.right_key,
+                    txs: Arc::new(txs),
+                };
+                let spawned = WorkerPool::spawn(fragment, dop, &task, *slots);
+                drop(task);
+                let mut pool = match spawned {
+                    Ok(pool) => pool,
+                    Err(e) => {
+                        // Channels are closed; the builders end on their
+                        // own, but join them so no thread outlives us.
+                        for b in builders {
+                            let _ = b.join();
+                        }
+                        return Err(e);
+                    }
+                };
+                let mut panicked = false;
+                for (p, b) in builders.into_iter().enumerate() {
+                    match b.join() {
+                        Ok(map) => partitions[p] = map,
+                        Err(_) => panicked = true,
+                    }
+                }
+                let err = pool.shutdown(&self.sink);
+                self.build_note = format!("build={:?}", pool.task_rows);
+                self.build_busy_ns += pool.busy_ns;
+                self.build_wait_ns += pool.wait_ns;
+                if let Some(e) = err {
+                    return Err(e);
+                }
+                if panicked {
+                    return Err(CoreError::Unsupported(
+                        "parallel build worker panicked".to_string(),
+                    ));
+                }
+            }
+        }
+        if nparts > 1 {
+            let sizes: Vec<u64> = partitions
+                .iter()
+                .map(|p| p.values().map(|v| v.len() as u64).sum::<u64>())
+                .collect();
+            self.build_note.push_str(&format!(" parts={sizes:?}"));
+        }
+        self.partitions = Some(Arc::new(partitions));
+        Ok(())
+    }
+
     fn shutdown(&mut self) -> Option<CoreError> {
-        self.finished = true;
-        let pool = self.pool.as_mut()?;
-        if pool.finished {
+        if self.finished {
             return None;
         }
-        let err = pool.shutdown(&self.sink);
+        self.finished = true;
+        let mut err = None;
+        let mut note = String::new();
+        let mut busy = self.build_busy_ns;
+        let mut wait = self.build_wait_ns;
+        let mut joined_total = 0u64;
+        if let Some(pool) = self.pool.as_mut() {
+            err = pool.shutdown(&self.sink);
+            note = format!("workers={:?} ", pool.task_rows);
+            joined_total = pool.task_rows.iter().sum();
+            busy += pool.busy_ns;
+            wait += pool.wait_ns;
+        }
         let mut sink = self.sink.borrow_mut();
         let slot = &mut sink[self.id];
-        slot.note = format!("workers={:?}", pool.worker_rows);
-        slot.busy_ns += pool.busy_ns;
-        slot.wait_ns += pool.wait_ns;
+        slot.note = format!("{note}{}", self.build_note);
+        slot.busy_ns += busy;
+        slot.wait_ns += wait;
+        if self.partial_slot.is_some() {
+            // The metering shell wraps the fused partial-aggregate node,
+            // so the join's own counters come from the worker reports.
+            slot.rows_out += joined_total;
+            slot.nanos += busy;
+        }
         err
     }
 }
@@ -802,34 +1194,343 @@ impl Operator for PartitionedHashJoinOp {
         if self.finished {
             return Ok(None);
         }
-        if self.pool.is_none() {
-            // Build phase: drain the right input into hash partitions.
-            let mut build = self.build.take().expect("build side pending");
-            let mut partitions: Vec<HashMap<Value, Vec<Tuple>>> = vec![HashMap::new(); self.dop];
-            while let Some(batch) = build.next_batch()? {
-                for row in batch {
-                    join_build_insert(&mut partitions, self.right_key, row);
+        if self.partitions.is_none() {
+            if let Err(e) = self.build_partitions() {
+                self.shutdown();
+                return Err(e);
+            }
+            let parts = self.partitions.as_ref().expect("partitions built");
+            if parts.iter().all(|p| p.is_empty()) {
+                // Empty build side can never produce a match; skip the
+                // probe entirely (workers never spawn). A pushed
+                // aggregate is still correct: the final HashAggregate
+                // sees zero state rows.
+                return match self.shutdown() {
+                    Some(e) => Err(e),
+                    None => Ok(None),
+                };
+            }
+        }
+        let parts = self.partitions.clone().expect("partitions built");
+        if let ProbeInput::Workers {
+            fragment,
+            dop,
+            slots,
+        } = &self.probe
+        {
+            if self.pool.is_none() {
+                self.pool = Some(WorkerPool::spawn(
+                    fragment,
+                    *dop,
+                    &WorkerTask::Probe {
+                        partitions: parts.clone(),
+                        left_key: self.left_key,
+                        agg: self.agg.clone(),
+                    },
+                    *slots,
+                )?);
+            }
+        }
+        if self.pool.is_some() {
+            return match self.pool.as_mut().expect("pool spawned").next()? {
+                Some((_, batch)) => Ok(Some(batch)),
+                None => match self.shutdown() {
+                    Some(e) => Err(e),
+                    None => Ok(None),
+                },
+            };
+        }
+        loop {
+            let next = match &mut self.probe {
+                ProbeInput::Serial(Some(op)) => op.next_batch()?,
+                _ => unreachable!("serial probe side pending"),
+            };
+            let Some(batch) = next else {
+                return match self.shutdown() {
+                    Some(e) => Err(e),
+                    None => Ok(None),
+                };
+            };
+            let out = probe_partitions(&batch, &parts, self.left_key);
+            if !out.is_empty() {
+                return Ok(Some(out));
+            }
+        }
+    }
+}
+
+impl Drop for PartitionedHashJoinOp {
+    fn drop(&mut self) {
+        let _ = self.shutdown();
+    }
+}
+
+// ---------------------- partition-wise hash join ----------------------
+
+/// What a partition-wise join worker reports at the end of its run.
+struct JoinWorkerReport {
+    worker: usize,
+    /// Rows received into this worker's build partition.
+    build_rows: u64,
+    /// Joined rows this worker produced (pre-aggregation).
+    joined_rows: u64,
+    err: Option<CoreError>,
+    busy_ns: u128,
+    wait_ns: u128,
+}
+
+/// One partition-wise join worker: owns hash partition `w` end-to-end.
+/// It drains its build channel into a private hash map, then probes it
+/// with its probe channel, streaming joined batches (or, with a pushed
+/// aggregate, one batch of encoded aggregate states) to the shared
+/// output channel. Teardown cascades: the consumer dropping the output
+/// receiver fails this worker's sends, the worker exiting drops its
+/// partition receivers, and the producers' sends into them fail next.
+#[allow(clippy::too_many_arguments)]
+fn partition_join_worker(
+    w: usize,
+    build_rx: channel::Receiver<Batch>,
+    probe_rx: channel::Receiver<Batch>,
+    out_tx: channel::Sender<(usize, Batch)>,
+    left_key: usize,
+    right_key: usize,
+    agg: Option<Arc<PushedAgg>>,
+    report_tx: channel::Sender<JoinWorkerReport>,
+) {
+    let mut busy_ns = 0u128;
+    let mut wait_ns = 0u128;
+    let mut build_rows = 0u64;
+    let mut joined_rows = 0u64;
+    let result = (|| -> Result<(), CoreError> {
+        let mut map: PartitionMap = HashMap::new();
+        while let Ok(batch) = build_rx.recv() {
+            let start = Instant::now();
+            build_rows += batch.len() as u64;
+            for row in batch {
+                join_build_insert(std::slice::from_mut(&mut map), right_key, row);
+            }
+            busy_ns += start.elapsed().as_nanos();
+        }
+        if map.is_empty() {
+            // Nothing can match, but the probe stream must still drain:
+            // dropping the receiver early would fail sends from
+            // producers that still feed *other* partitions.
+            while probe_rx.recv().is_ok() {}
+            return Ok(());
+        }
+        let mut agg_state = agg.as_ref().map(|a| (a.spec(), AggTable::default()));
+        while let Ok(batch) = probe_rx.recv() {
+            let start = Instant::now();
+            let out = probe_partitions(&batch, std::slice::from_ref(&map), left_key);
+            joined_rows += out.len() as u64;
+            if let Some((spec, table)) = &mut agg_state {
+                table.update_batch(spec, &out)?;
+                busy_ns += start.elapsed().as_nanos();
+                continue;
+            }
+            busy_ns += start.elapsed().as_nanos();
+            if out.is_empty() {
+                continue;
+            }
+            let send_start = Instant::now();
+            let sent = out_tx.send((w, out));
+            wait_ns += send_start.elapsed().as_nanos();
+            if sent.is_err() {
+                return Ok(()); // consumer gone (e.g. LIMIT satisfied)
+            }
+        }
+        if let Some((spec, table)) = agg_state {
+            let rows = table.into_state_rows(&spec);
+            if !rows.is_empty() {
+                let send_start = Instant::now();
+                let _ = out_tx.send((w, rows));
+                wait_ns += send_start.elapsed().as_nanos();
+            }
+        }
+        Ok(())
+    })();
+    let _ = report_tx.send(JoinWorkerReport {
+        worker: w,
+        build_rows,
+        joined_rows,
+        err: result.err(),
+        busy_ns,
+        wait_ns,
+    });
+}
+
+/// Partition-wise parallel hash join: both sides run through a
+/// repartitioning exchange on their join key, and each of `dop` join
+/// workers owns one partition pair end-to-end (local build, local
+/// probe). Nothing is shared between workers, so build, probe, and —
+/// with a pushed aggregate — partial aggregation all run fully
+/// parallel; only joined batches (or tiny aggregate states) reach the
+/// single-threaded consumer.
+struct PartitionWiseHashJoinOp {
+    probe_plan: PhysicalPlan,
+    build_plan: PhysicalPlan,
+    left_key: usize,
+    right_key: usize,
+    probe_dop: usize,
+    build_dop: usize,
+    /// Join workers = hash partitions.
+    dop: usize,
+    agg: Option<Arc<PushedAgg>>,
+    out_rx: Option<channel::Receiver<(usize, Batch)>>,
+    probe_pool: Option<WorkerPool>,
+    build_pool: Option<WorkerPool>,
+    join_handles: Vec<JoinHandle<()>>,
+    join_reports: Option<channel::Receiver<JoinWorkerReport>>,
+    id: usize,
+    partial_slot: Option<usize>,
+    probe_slots: (usize, usize),
+    build_slots: (usize, usize),
+    sink: MetricsSink,
+    finished: bool,
+}
+
+impl PartitionWiseHashJoinOp {
+    fn start(&mut self) -> Result<(), CoreError> {
+        let dop = self.dop.max(1);
+        let (out_tx, out_rx) = channel::bounded(dop * EXCHANGE_QUEUE_PER_WORKER);
+        let (report_tx, report_rx) = channel::unbounded();
+        let bcap = (self.build_dop * EXCHANGE_QUEUE_PER_WORKER).max(2);
+        let pcap = (self.probe_dop * EXCHANGE_QUEUE_PER_WORKER).max(2);
+        let mut build_txs = Vec::with_capacity(dop);
+        let mut probe_txs = Vec::with_capacity(dop);
+        for w in 0..dop {
+            let (btx, brx) = channel::bounded::<Batch>(bcap);
+            let (ptx, prx) = channel::bounded::<Batch>(pcap);
+            build_txs.push(btx);
+            probe_txs.push(ptx);
+            let out_tx = out_tx.clone();
+            let report_tx = report_tx.clone();
+            let (left_key, right_key) = (self.left_key, self.right_key);
+            let agg = self.agg.clone();
+            self.join_handles.push(std::thread::spawn(move || {
+                partition_join_worker(w, brx, prx, out_tx, left_key, right_key, agg, report_tx);
+            }));
+        }
+        drop(out_tx);
+        self.join_reports = Some(report_rx);
+        // Producers: build side first (the join workers consume build
+        // streams first); the probe producers just back-pressure on
+        // their bounded channels until each worker finishes building.
+        // If a spawn fails, the dropped senders close the partition
+        // channels and the join workers run out on their own.
+        let build_task = WorkerTask::Repartition {
+            key: self.right_key,
+            txs: Arc::new(build_txs),
+        };
+        let spawned = WorkerPool::spawn(
+            &self.build_plan,
+            self.build_dop,
+            &build_task,
+            self.build_slots,
+        );
+        drop(build_task);
+        self.build_pool = Some(spawned?);
+        let probe_task = WorkerTask::Repartition {
+            key: self.left_key,
+            txs: Arc::new(probe_txs),
+        };
+        let spawned = WorkerPool::spawn(
+            &self.probe_plan,
+            self.probe_dop,
+            &probe_task,
+            self.probe_slots,
+        );
+        drop(probe_task);
+        self.probe_pool = Some(spawned?);
+        self.out_rx = Some(out_rx);
+        Ok(())
+    }
+
+    fn shutdown(&mut self) -> Option<CoreError> {
+        if self.finished {
+            return None;
+        }
+        self.finished = true;
+        // Teardown ordering: drop the output receiver first (join
+        // workers' sends fail), join the workers (their exits drop the
+        // partition receivers), then join the producers (their sends
+        // fail). Each join below can only block on a thread that is
+        // already guaranteed to exit.
+        self.out_rx = None;
+        let mut first_err = None;
+        for h in self.join_handles.drain(..) {
+            if h.join().is_err() && first_err.is_none() {
+                first_err = Some(CoreError::Unsupported(
+                    "partition-wise join worker panicked".to_string(),
+                ));
+            }
+        }
+        let dop = self.dop.max(1);
+        let mut joined = vec![0u64; dop];
+        let mut build_parts = vec![0u64; dop];
+        let mut busy = 0u128;
+        let mut wait = 0u128;
+        if let Some(reports) = &self.join_reports {
+            while let Ok(r) = reports.try_recv() {
+                joined[r.worker] = r.joined_rows;
+                build_parts[r.worker] = r.build_rows;
+                busy += r.busy_ns;
+                wait += r.wait_ns;
+                if first_err.is_none() {
+                    first_err = r.err;
                 }
             }
-            if partitions.iter().all(|p| p.is_empty()) {
-                // Empty build side can never produce a match; skip the
-                // probe entirely (workers never spawn).
-                self.finished = true;
-                return Ok(None);
-            }
-            self.pool = Some(WorkerPool::spawn(
-                &self.probe_plan,
-                self.dop,
-                &WorkerTask::Probe {
-                    partitions: Arc::new(partitions),
-                    left_key: self.left_key,
-                },
-                self.probe_slots,
-            )?);
         }
-        match self.pool.as_mut().expect("pool spawned").next()? {
-            Some((_, batch)) => Ok(Some(batch)),
-            None => match self.shutdown() {
+        let mut build_workers = Vec::new();
+        let mut probe_workers = Vec::new();
+        if let Some(pool) = self.build_pool.as_mut() {
+            let err = pool.shutdown(&self.sink);
+            build_workers = pool.task_rows.clone();
+            busy += pool.busy_ns;
+            wait += pool.wait_ns;
+            if first_err.is_none() {
+                first_err = err;
+            }
+        }
+        if let Some(pool) = self.probe_pool.as_mut() {
+            let err = pool.shutdown(&self.sink);
+            probe_workers = pool.task_rows.clone();
+            busy += pool.busy_ns;
+            wait += pool.wait_ns;
+            if first_err.is_none() {
+                first_err = err;
+            }
+        }
+        let joined_total: u64 = joined.iter().sum();
+        let mut sink = self.sink.borrow_mut();
+        let slot = &mut sink[self.id];
+        slot.note = format!(
+            "workers={joined:?} build={build_workers:?} parts={build_parts:?} probe={probe_workers:?}"
+        );
+        slot.busy_ns += busy;
+        slot.wait_ns += wait;
+        if self.partial_slot.is_some() {
+            slot.rows_out += joined_total;
+            slot.nanos += busy;
+        }
+        first_err
+    }
+}
+
+impl Operator for PartitionWiseHashJoinOp {
+    fn next_batch(&mut self) -> Result<Option<Batch>, CoreError> {
+        if self.finished {
+            return Ok(None);
+        }
+        if self.out_rx.is_none() {
+            if let Err(e) = self.start() {
+                self.shutdown();
+                return Err(e);
+            }
+        }
+        match self.out_rx.as_ref().expect("started").recv() {
+            Ok((_, batch)) => Ok(Some(batch)),
+            Err(_) => match self.shutdown() {
                 Some(e) => Err(e),
                 None => Ok(None),
             },
@@ -837,7 +1538,7 @@ impl Operator for PartitionedHashJoinOp {
     }
 }
 
-impl Drop for PartitionedHashJoinOp {
+impl Drop for PartitionWiseHashJoinOp {
     fn drop(&mut self) {
         let _ = self.shutdown();
     }

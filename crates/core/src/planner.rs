@@ -128,16 +128,23 @@ pub enum PhysicalPlan {
         env: Bindings,
         est_rows: f64,
     },
-    /// Partitioned parallel hash join: the build (right) side runs
-    /// single-threaded and is hash-partitioned on its key into `dop`
-    /// read-only partitions; the probe (left) side is a scan fragment
-    /// fanned out across `dop` morsel workers (the planner absorbs the
-    /// probe scan's Gather into the join, so the scan-dop cardinality
-    /// gating behind `SET parallelism` carries over). Each worker probes
-    /// the shared partitions and streams joined batches through the same
-    /// bounded-channel machinery as [`PhysicalPlan::Exchange`].
+    /// Partitioned parallel hash join. The planner absorbs a Gather on
+    /// either join side into the join (the scan-dop cardinality gating
+    /// behind `SET parallelism` carries over), which picks the execution
+    /// shape per side:
+    ///
+    /// * `probe_dop > 1, build_dop == 1` — the build side drains
+    ///   serially into shared read-only hash partitions; `probe_dop`
+    ///   morsel workers probe them.
+    /// * `build_dop > 1, probe_dop == 1` — the build side flows through
+    ///   a hash-repartitioning exchange (`build_dop` producers routing
+    ///   on the build key, one builder per partition) and the probe side
+    ///   drains serially against the assembled partitions.
+    /// * both `> 1` — partition-wise join: both sides repartition on the
+    ///   join key and each worker joins its partition pair end-to-end.
     PartitionedHashJoin {
-        /// Worker fragment (contains the probe scan leaf).
+        /// Probe-side fragment (contains the probe scan leaf when
+        /// `probe_dop > 1`).
         probe: Box<PhysicalPlan>,
         build: Box<PhysicalPlan>,
         left_key: usize,
@@ -146,7 +153,8 @@ pub enum PhysicalPlan {
         cond: Expr,
         env: Bindings,
         est_rows: f64,
-        dop: usize,
+        probe_dop: usize,
+        build_dop: usize,
     },
     /// Cross/theta join: materialize the right input, stream the left.
     NestedLoopJoin {
@@ -639,8 +647,20 @@ pub fn plan_select_with(
     let mut env = built.env;
     let used = builder.used;
 
+    // Aggregation resolves its inputs by name and its output layout is
+    // the SELECT list, so aggregated queries never need the canonical
+    // FROM-clause column order restored — skipping the Reorder both
+    // saves a per-row permutation and keeps a parallel join directly
+    // under the aggregate, where two-phase aggregation can push into
+    // the join workers.
+    let has_agg = stmt
+        .items
+        .iter()
+        .any(|i| matches!(i, SelectItem::Expr { expr, .. } if contains_agg(expr)));
+    let aggregated = has_agg || !stmt.group_by.is_empty();
+
     // Restore the FROM-clause column layout if the join order moved it.
-    if built.leaf_order != from_order {
+    if built.leaf_order != from_order && !aggregated {
         let mut cur_off = vec![0usize; n];
         let mut acc = 0;
         for &r in &built.leaf_order {
@@ -686,11 +706,6 @@ pub fn plan_select_with(
     }
 
     // 5. Aggregate or project, then sort, then limit.
-    let has_agg = stmt
-        .items
-        .iter()
-        .any(|i| matches!(i, SelectItem::Expr { expr, .. } if contains_agg(expr)));
-    let aggregated = has_agg || !stmt.group_by.is_empty();
     let columns = output_columns_for(&stmt.items, &env, aggregated);
 
     // Sort-key planning happens *before* the projection is emitted so
@@ -733,6 +748,19 @@ pub fn plan_select_with(
     }
 
     plan = if aggregated {
+        let mut aggs = Vec::new();
+        for item in &stmt.items {
+            if let SelectItem::Expr { expr, .. } = item {
+                collect_aggs(expr, &mut aggs);
+            }
+        }
+        // A partial aggregate directly above a probe-parallel join is
+        // fused into the join workers at execution time, so only
+        // encoded aggregate states reach the final merge.
+        let probe_parallel_join = matches!(
+            &plan,
+            PhysicalPlan::PartitionedHashJoin { probe_dop, .. } if *probe_dop > 1
+        );
         match plan {
             // A parallel scan feeding an aggregate directly: aggregate
             // *inside* the workers (one state row per group per worker)
@@ -743,12 +771,6 @@ pub fn plan_select_with(
                 dop,
                 env: xenv,
             } => {
-                let mut aggs = Vec::new();
-                for item in &stmt.items {
-                    if let SelectItem::Expr { expr, .. } = item {
-                        collect_aggs(expr, &mut aggs);
-                    }
-                }
                 let partial = PhysicalPlan::PartialHashAggregate {
                     input,
                     group_by: stmt.group_by.clone(),
@@ -761,6 +783,25 @@ pub fn plan_select_with(
                         dop,
                         env: xenv,
                     }),
+                    group_by: stmt.group_by.clone(),
+                    items: stmt.items.clone(),
+                    in_env: env.clone(),
+                    columns: columns.clone(),
+                    from_partials: true,
+                }
+            }
+            // Two-phase aggregation above a parallel join: the partial
+            // phase rides inside the join workers and the final
+            // HashAggregate merges their states.
+            join if probe_parallel_join => {
+                let partial = PhysicalPlan::PartialHashAggregate {
+                    input: Box::new(join),
+                    group_by: stmt.group_by.clone(),
+                    aggs,
+                    in_env: env.clone(),
+                };
+                PhysicalPlan::HashAggregate {
+                    input: Box::new(partial),
                     group_by: stmt.group_by.clone(),
                     items: stmt.items.clone(),
                     in_env: env.clone(),
@@ -1032,33 +1073,42 @@ impl JoinBuilder<'_> {
                 let mut plan = match join_key {
                     Some((j, (lk, rk), cond)) => {
                         self.used[j] = true;
-                        match left.plan {
-                            // The probe side is a parallel scan: absorb
-                            // its Gather into the join so the workers
-                            // probe instead of just scanning (the scan's
-                            // cardinality gating already authorized the
-                            // fan-out).
-                            PhysicalPlan::Exchange { input, dop, .. } => {
-                                PhysicalPlan::PartitionedHashJoin {
-                                    probe: input,
-                                    build: Box::new(right.plan),
-                                    left_key: lk,
-                                    right_key: rk,
-                                    cond,
-                                    env: env.clone(),
-                                    est_rows,
-                                    dop,
-                                }
-                            }
-                            probe => PhysicalPlan::HashJoin {
-                                left: Box::new(probe),
-                                right: Box::new(right.plan),
+                        // Either side arriving as a parallel scan gets
+                        // its Gather absorbed into the join, so the
+                        // workers build/probe instead of just scanning
+                        // (the scans' cardinality gating already
+                        // authorized the fan-out). Both sides parallel
+                        // makes the join partition-wise.
+                        let (probe, probe_dop) = match left.plan {
+                            PhysicalPlan::Exchange { input, dop, .. } => (*input, dop),
+                            p => (p, 1),
+                        };
+                        let (build, build_dop) = match right.plan {
+                            PhysicalPlan::Exchange { input, dop, .. } => (*input, dop),
+                            b => (b, 1),
+                        };
+                        if probe_dop > 1 || build_dop > 1 {
+                            PhysicalPlan::PartitionedHashJoin {
+                                probe: Box::new(probe),
+                                build: Box::new(build),
                                 left_key: lk,
                                 right_key: rk,
                                 cond,
                                 env: env.clone(),
                                 est_rows,
-                            },
+                                probe_dop,
+                                build_dop,
+                            }
+                        } else {
+                            PhysicalPlan::HashJoin {
+                                left: Box::new(probe),
+                                right: Box::new(build),
+                                left_key: lk,
+                                right_key: rk,
+                                cond,
+                                env: env.clone(),
+                                est_rows,
+                            }
                         }
                     }
                     None => PhysicalPlan::NestedLoopJoin {
@@ -1192,12 +1242,23 @@ impl PhysicalPlan {
             PhysicalPlan::PartitionedHashJoin {
                 cond,
                 est_rows,
-                dop,
+                probe_dop,
+                build_dop,
                 ..
-            } => format!(
-                "PartitionedHashJoin({}) (est={est_rows:.0} rows, dop={dop})",
-                expr_sql(cond)
-            ),
+            } => {
+                let dop = probe_dop.max(build_dop);
+                let mode = if *probe_dop > 1 && *build_dop > 1 {
+                    format!(", partition-wise probe_dop={probe_dop} build_dop={build_dop}")
+                } else if *build_dop > 1 {
+                    format!(", parallel-build build_dop={build_dop}")
+                } else {
+                    String::new()
+                };
+                format!(
+                    "PartitionedHashJoin({}) (est={est_rows:.0} rows, dop={dop}{mode})",
+                    expr_sql(cond)
+                )
+            }
             PhysicalPlan::NestedLoopJoin { est_rows, .. } => {
                 format!("NestedLoopJoin (est={est_rows:.0} rows)")
             }

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Compare a fresh benchmark-trajectory JSON against a committed baseline.
+
+Usage:
+    compare_bench.py NEW.json [OLD.json] [--threshold 0.25]
+
+NEW.json is the freshly produced trajectory (``cargo run -p neurdb-bench
+--bin trajectory``). OLD.json defaults to the highest-numbered
+``BENCH_*.json`` at the repository root — the committed reference run of
+the previous PR. The script prints a per-group delta table and exits
+non-zero if any group's median regressed by more than the threshold
+(default 25%). Groups present on only one side (workloads added or
+retired between PRs) are reported and skipped, never failed.
+"""
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "neurdb-bench-trajectory/v1":
+        sys.exit(f"error: {path}: unexpected schema {doc.get('schema')!r}")
+    return doc
+
+
+def default_baseline(new_path):
+    """Highest-numbered BENCH_<n>.json at the repo root, excluding NEW itself."""
+    root = Path(__file__).resolve().parent.parent
+    best, best_n = None, -1
+    for p in root.glob("BENCH_*.json"):
+        if p.resolve() == Path(new_path).resolve():
+            continue
+        m = re.fullmatch(r"BENCH_(\d+)\.json", p.name)
+        if m and int(m.group(1)) > best_n:
+            best, best_n = p, int(m.group(1))
+    return best
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("new", help="fresh trajectory JSON")
+    ap.add_argument("old", nargs="?", help="baseline JSON (default: newest BENCH_*.json)")
+    ap.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="max tolerated median regression as a fraction (default 0.25)",
+    )
+    args = ap.parse_args()
+
+    old_path = args.old or default_baseline(args.new)
+    if old_path is None:
+        print("compare_bench: no committed BENCH_*.json baseline found; nothing to compare")
+        return 0
+
+    new = load(args.new)
+    old = load(old_path)
+    if new.get("mode") != old.get("mode"):
+        print(
+            f"compare_bench: warning: mode mismatch "
+            f"(new={new.get('mode')!r}, old={old.get('mode')!r}); "
+            f"quick and full runs use different data sizes, deltas may be meaningless"
+        )
+
+    new_groups = new.get("groups", {})
+    old_groups = old.get("groups", {})
+    regressions = []
+    print(f"compare_bench: {args.new} vs {old_path} (threshold {args.threshold:.0%})")
+    print(f"{'group':<22} {'old median':>14} {'new median':>14} {'delta':>9}")
+    for name in sorted(set(new_groups) | set(old_groups)):
+        if name not in old_groups:
+            print(f"{name:<22} {'-':>14} {new_groups[name]['median_ns']:>14} {'new':>9}")
+            continue
+        if name not in new_groups:
+            print(f"{name:<22} {old_groups[name]['median_ns']:>14} {'-':>14} {'retired':>9}")
+            continue
+        old_ns = old_groups[name]["median_ns"]
+        new_ns = new_groups[name]["median_ns"]
+        delta = (new_ns - old_ns) / old_ns if old_ns else 0.0
+        flag = " <-- REGRESSION" if delta > args.threshold else ""
+        print(f"{name:<22} {old_ns:>14} {new_ns:>14} {delta:>+8.1%}{flag}")
+        if delta > args.threshold:
+            regressions.append((name, delta))
+
+    if regressions:
+        worst = ", ".join(f"{n} ({d:+.1%})" for n, d in regressions)
+        print(f"compare_bench: FAIL: median regression past threshold in: {worst}")
+        return 1
+    print("compare_bench: OK: no group regressed past the threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

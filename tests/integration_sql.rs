@@ -599,6 +599,118 @@ fn limit_tears_down_blocked_parallel_workers() {
             .unwrap();
         assert_eq!(out.rows().unwrap().len(), 1);
     }
+    // Partition-wise teardown: both sides fan out, so LIMIT 1 leaves
+    // repartition *producers* blocked on full bounded partition channels
+    // and join workers blocked on the output channel. The consumer
+    // dropping the output receiver must cascade through both layers —
+    // join workers exit, their partition receivers drop, producer sends
+    // fail — with every thread joined, repeatedly.
+    let mut stmt = String::from("INSERT INTO bigdims VALUES ");
+    db.execute("CREATE TABLE bigdims (gid INT PRIMARY KEY, label INT)")
+        .unwrap();
+    for g in 0..5000 {
+        if g > 0 {
+            stmt.push(',');
+        }
+        stmt.push_str(&format!("({g}, {})", g * 10));
+    }
+    db.execute(&stmt).unwrap();
+    let sql = "SELECT b.id, d.label FROM big b, bigdims d WHERE b.grp = d.gid LIMIT 1";
+    let plan = plan_text(
+        &db,
+        &format!("EXPLAIN {}", sql.trim_end_matches(" LIMIT 1")),
+    );
+    assert!(plan.contains("partition-wise"), "{plan}");
+    for _ in 0..5 {
+        let out = db.execute(sql).unwrap();
+        assert_eq!(out.rows().unwrap().len(), 1);
+    }
+}
+
+/// The repartitioning-exchange join shapes — parallel build with a
+/// serial probe, partition-wise, and two-phase aggregation fused into
+/// the join workers — must match the serial plans row-for-row and
+/// surface per-worker / per-partition row counts in `EXPLAIN ANALYZE`.
+#[test]
+fn repartition_shapes_match_serial_and_report_metrics() {
+    let db = Database::new();
+    db.execute("CREATE TABLE bf (id INT PRIMARY KEY, k INT, v INT)")
+        .unwrap();
+    db.execute("CREATE TABLE bd (did INT PRIMARY KEY, grp INT)")
+        .unwrap();
+    db.execute("CREATE TABLE sp (sid INT PRIMARY KEY, k INT)")
+        .unwrap();
+    let mut stmt = String::from("INSERT INTO bf VALUES ");
+    for i in 0..6000 {
+        if i > 0 {
+            stmt.push(',');
+        }
+        stmt.push_str(&format!("({i}, {}, {})", i % 3000, i % 13));
+    }
+    db.execute(&stmt).unwrap();
+    let mut stmt = String::from("INSERT INTO bd VALUES ");
+    for d in 0..3000 {
+        if d > 0 {
+            stmt.push(',');
+        }
+        stmt.push_str(&format!("({d}, {})", d % 11));
+    }
+    db.execute(&stmt).unwrap();
+    for s in 0..100 {
+        db.execute(&format!("INSERT INTO sp VALUES ({s}, {})", s * 17))
+            .unwrap();
+    }
+
+    let partition_wise = "SELECT f.v, d.grp FROM bf f, bd d WHERE f.k = d.did";
+    let build_parallel = "SELECT s.sid, d.grp FROM sp s, bd d WHERE s.k = d.did";
+    let join_agg_grouped =
+        "SELECT d.grp, COUNT(*), SUM(f.v) FROM bf f, bd d WHERE f.k = d.did GROUP BY d.grp";
+    let join_agg_global = "SELECT COUNT(*), SUM(f.v), MIN(f.v), MAX(d.grp), AVG(f.v) \
+                           FROM bf f, bd d WHERE f.k = d.did";
+    let queries = [
+        partition_wise,
+        build_parallel,
+        join_agg_grouped,
+        join_agg_global,
+    ];
+    let serial: Vec<_> = queries.iter().map(|q| sorted_rows(&db, q)).collect();
+
+    db.execute("SET parallelism = 4").unwrap();
+
+    // Both sides clear the fan-out gate: partition-wise join, with
+    // per-partition joined rows, per-producer routed rows, and build
+    // partition sizes on the join line.
+    let plan = plan_text(&db, &format!("EXPLAIN ANALYZE {partition_wise}"));
+    assert!(plan.contains("partition-wise"), "{plan}");
+    let join_line = plan
+        .lines()
+        .find(|l| l.contains("PartitionedHashJoin"))
+        .unwrap();
+    assert!(join_line.contains("workers=["), "{plan}");
+    assert!(join_line.contains("build=["), "{plan}");
+    assert!(join_line.contains("parts=["), "{plan}");
+
+    // A probe side below the gate keeps the probe serial while the big
+    // build side repartitions across 4 producers.
+    let plan = plan_text(&db, &format!("EXPLAIN ANALYZE {build_parallel}"));
+    assert!(plan.contains("parallel-build build_dop=4"), "{plan}");
+    let join_line = plan
+        .lines()
+        .find(|l| l.contains("PartitionedHashJoin"))
+        .unwrap();
+    assert!(join_line.contains("build=["), "{plan}");
+    assert!(join_line.contains("parts=["), "{plan}");
+
+    // Aggregates directly above a parallel join run two-phase: the
+    // partial phase is fused into the join workers.
+    let plan = plan_text(&db, &format!("EXPLAIN ANALYZE {join_agg_grouped}"));
+    assert!(plan.contains("PartialHashAggregate"), "{plan}");
+    assert!(plan.contains("partition-wise"), "{plan}");
+
+    // Every shape matches its serial result multiset.
+    for (q, want) in queries.iter().zip(&serial) {
+        assert_eq!(&sorted_rows(&db, q), want, "repartition mismatch for {q}");
+    }
 }
 
 #[test]

@@ -77,6 +77,22 @@ fn make_table(name: &str, rows: &[(i64, i64)]) -> Arc<Table> {
     t
 }
 
+/// Like [`make_table`] but with nullable cells, so join keys and
+/// aggregate inputs can be NULL.
+fn make_table_null(name: &str, rows: &[(Option<i64>, Option<i64>)]) -> Arc<Table> {
+    let pool = Arc::new(BufferPool::new(Arc::new(DiskManager::new()), 128));
+    let schema = Schema::new(vec![
+        ColumnDef::new("c0", DataType::Int),
+        ColumnDef::new("c1", DataType::Int),
+    ]);
+    let t = Arc::new(Table::new(name, schema, pool));
+    let cell = |v: Option<i64>| v.map(Value::Int).unwrap_or(Value::Null);
+    for &(a, b) in rows {
+        t.insert(Tuple::new(vec![cell(a), cell(b)])).unwrap();
+    }
+    t
+}
+
 /// Naive reference: cross-join all tables in FROM order, then filter
 /// with the full predicate.
 fn reference(stmt: &SelectStmt, tables: &[(String, Arc<Table>)]) -> Vec<Vec<Value>> {
@@ -105,21 +121,42 @@ fn reference(stmt: &SelectStmt, tables: &[(String, Arc<Table>)]) -> Vec<Vec<Valu
 
 /// One randomized join query: per-table rows, a join edge from every
 /// table (after the first) to an earlier one, and optional extra range
-/// predicates.
+/// predicates. Cells are nullable (NULL join keys never match) and the
+/// value distribution is deliberately skewed onto one key, so the
+/// repartitioning shapes see empty partitions, all-NULL key columns,
+/// and heavy partition skew.
 #[derive(Debug, Clone)]
 struct QueryCase {
-    tables: Vec<Vec<(i64, i64)>>,
+    tables: Vec<Vec<(Option<i64>, Option<i64>)>>,
     /// `(parent_table, parent_col, child_col)` for tables `1..n`.
     edges: Vec<(usize, usize, usize)>,
     /// Optional `t{i}.c{col} <= k` per table.
     extra: Vec<Option<(usize, i64)>>,
 }
 
+/// A nullable cell with mass concentrated on one value: NULLs exercise
+/// the never-match path, the constant exercises partition skew. (The
+/// vendored `prop_oneof!` picks arms uniformly, so weights are spelled
+/// out as repeated arms.)
+fn arb_cell() -> impl Strategy<Value = Option<i64>> {
+    prop_oneof![
+        Just(None),
+        Just(Some(0)),
+        Just(Some(0)),
+        (0i64..6).prop_map(Some),
+        (0i64..6).prop_map(Some),
+        (0i64..6).prop_map(Some),
+        (0i64..6).prop_map(Some),
+    ]
+}
+
 fn arb_case() -> impl Strategy<Value = QueryCase> {
     (2usize..5)
         .prop_flat_map(|n| {
-            let tables =
-                prop::collection::vec(prop::collection::vec((0i64..6, 0i64..6), 0..=10), n..=n);
+            let tables = prop::collection::vec(
+                prop::collection::vec((arb_cell(), arb_cell()), 0..=10),
+                n..=n,
+            );
             let edges = prop::collection::vec((0usize..4, 0usize..2, 0usize..2), n - 1..=n - 1);
             let extra = prop::collection::vec((any::<bool>(), 0usize..2, 0i64..6), n..=n);
             (tables, edges, extra)
@@ -166,7 +203,7 @@ fn run_case(case: &QueryCase) {
         .enumerate()
         .map(|(i, rows)| {
             let name = format!("t{i}");
-            (name.clone(), make_table(&name, rows))
+            (name.clone(), make_table_null(&name, rows))
         })
         .collect();
     let sql = case_sql(case);
@@ -190,14 +227,22 @@ fn run_case(case: &QueryCase) {
     assert_eq!(normalized(&parallel.rows), have, "dop=4 mismatch for {sql}");
 
     // Force the parallel operators even over these tiny tables: every
-    // scan fans out and every eligible hash join runs as a partitioned
-    // parallel join (empty page partitions included).
-    let (forced, _) = run_with(&sql, &tables, &forced_parallel(4));
+    // scan fans out and every eligible hash join runs through the
+    // repartitioning shapes (empty partitions and all-NULL keys included).
+    let (forced, forced_plan) = run_with(&sql, &tables, &forced_parallel(4));
     assert_eq!(
         normalized(&forced.rows),
         have,
         "forced-parallel mismatch for {sql}"
     );
+    if case.tables.len() == 2 {
+        // With both scans fanned out, a 2-way equi join must take the
+        // partition-wise shape (each worker joins one partition pair).
+        assert!(
+            forced_plan.contains("partition-wise"),
+            "expected a partition-wise join for {sql}:\n{forced_plan}"
+        );
+    }
 
     // And COUNT(*) through the aggregate operator agrees, at dop 1 and 4.
     let count_sql = sql.replacen("SELECT *", "SELECT COUNT(*)", 1);
@@ -207,6 +252,22 @@ fn run_case(case: &QueryCase) {
             got.rows[0].get(0),
             &Value::Int(expected.len() as i64),
             "count mismatch for {count_sql} at dop={dop}"
+        );
+    }
+
+    // Force-parallel COUNT(*): over a probe-parallel join the partial
+    // aggregate is pushed into the join workers and merged at the final
+    // HashAggregate — the result must still be exact.
+    let (forced_count, forced_count_plan) = run_with(&count_sql, &tables, &forced_parallel(4));
+    assert_eq!(
+        forced_count.rows[0].get(0),
+        &Value::Int(expected.len() as i64),
+        "forced-parallel count mismatch for {count_sql}"
+    );
+    if case.tables.len() == 2 {
+        assert!(
+            forced_count_plan.contains("PartialHashAggregate"),
+            "expected pushed partial aggregation for {count_sql}:\n{forced_count_plan}"
         );
     }
 }
@@ -406,13 +467,48 @@ fn regression_four_way_chain() {
     // A deterministic 4-way chain join with selective predicates.
     let case = QueryCase {
         tables: vec![
-            (0..6).map(|i| (i, i % 3)).collect(),
-            (0..8).map(|i| (i % 4, i % 2)).collect(),
-            (0..10).map(|i| (i % 5, i % 3)).collect(),
-            (0..4).map(|i| (i, 5 - i)).collect(),
+            (0..6).map(|i| (Some(i), Some(i % 3))).collect(),
+            (0..8).map(|i| (Some(i % 4), Some(i % 2))).collect(),
+            (0..10).map(|i| (Some(i % 5), Some(i % 3))).collect(),
+            (0..4).map(|i| (Some(i), Some(5 - i))).collect(),
         ],
         edges: vec![(0, 0, 0), (1, 1, 1), (0, 1, 0)],
         extra: vec![None, Some((0, 3)), None, Some((1, 4))],
+    };
+    run_case(&case);
+}
+
+#[test]
+fn regression_null_keys_and_empty_partitions() {
+    // One column of all-NULL join keys, one entirely NULL table, and one
+    // empty table: repartition producers must drop NULL keys, join
+    // workers must handle empty build partitions, and the teardown must
+    // not hang when whole streams produce nothing.
+    let case = QueryCase {
+        tables: vec![
+            (0..9).map(|i| (Some(i % 3), None)).collect(),
+            vec![(None, None); 7],
+            vec![],
+        ],
+        edges: vec![(0, 0, 0), (1, 1, 1)],
+        extra: vec![None, None, None],
+    };
+    run_case(&case);
+}
+
+#[test]
+fn regression_skewed_keys_partition_wise() {
+    // Every matching key hashes to the same partition: one join worker
+    // does all the work while its peers see empty partition pairs.
+    let case = QueryCase {
+        tables: vec![
+            vec![(Some(4), Some(1)); 10],
+            (0..10)
+                .map(|i| (Some(if i % 2 == 0 { 4 } else { i }), Some(0)))
+                .collect(),
+        ],
+        edges: vec![(0, 0, 0)],
+        extra: vec![None, None],
     };
     run_case(&case);
 }
