@@ -1,10 +1,12 @@
 //! Tracked benchmark trajectory: a fixed set of end-to-end workload
 //! groups, each timed per-iteration with the median nanoseconds written
-//! to a `BENCH_7.json` artifact. CI runs this on every push (in `--quick`
+//! to a `BENCH_8.json` artifact. CI runs this on every push (in `--quick`
 //! mode), uploads the file, and diffs it against the committed previous
 //! trajectory via `scripts/compare_bench.py`, so the series of artifacts
 //! across commits forms the performance trajectory of the repo — with a
-//! hard gate on median regressions.
+//! hard gate on median regressions. Buffer-pool groups additionally
+//! carry hit-ratio facts (`point_hit_ratio` et al.) that the comparator
+//! reports alongside the timing deltas.
 //!
 //! ```sh
 //! cargo run --release -p neurdb-bench --bin trajectory            # full
@@ -16,7 +18,9 @@
 //! deliberately flat: `{"groups": {"<name>": {"median_ns": N, ...}}}`.
 
 use neurdb_core::{Database, SessionContext};
+use neurdb_storage::{AccessHint, BufferConfig, BufferPool, DiskManager, PolicyKind};
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::Instant;
 
 struct GroupResult {
@@ -25,6 +29,9 @@ struct GroupResult {
     median_ns: u128,
     min_ns: u128,
     max_ns: u128,
+    /// Extra per-group scalar facts (e.g. hit ratios) rendered as
+    /// additional JSON keys alongside the timing summary.
+    extras: Vec<(&'static str, f64)>,
 }
 
 /// Time `op` for `iters` iterations (after `warmup` discarded ones) and
@@ -51,6 +58,7 @@ fn measure(
         median_ns: samples[samples.len() / 2],
         min_ns: samples[0],
         max_ns: samples[samples.len() - 1],
+        extras: Vec::new(),
     }
 }
 
@@ -194,10 +202,170 @@ fn bench_wal_insert(quick: bool) -> GroupResult {
     result
 }
 
+/// Latch-contention microbench: 4 threads hammering resident pages of a
+/// fully-cached pool. `shards = 1` reproduces the old single-mutex pool;
+/// `shards = 8` is the default sharded geometry.
+fn bench_buffer_latch(name: &'static str, shards: usize, quick: bool) -> GroupResult {
+    const PAGES: usize = 256;
+    const THREADS: usize = 4;
+    let touches = if quick { 20_000 } else { 100_000 };
+    let pool = Arc::new(BufferPool::with_config(
+        Arc::new(DiskManager::new()),
+        BufferConfig {
+            shards,
+            capacity: PAGES,
+            policy: PolicyKind::Clock,
+            scan_resistant: true,
+        },
+    ));
+    let ids: Vec<u64> = (0..PAGES).map(|_| pool.allocate_page().unwrap()).collect();
+    for &id in &ids {
+        pool.with_page(id, |_| ()).unwrap();
+    }
+    let iters = if quick { 10 } else { 30 };
+    measure(name, 2, iters, |_| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let pool = pool.clone();
+                let ids = ids.clone();
+                std::thread::spawn(move || {
+                    let mut acc = 0usize;
+                    for i in 0..touches as usize {
+                        // Knuth-style stride so threads collide across
+                        // shards rather than marching in lockstep.
+                        let id = ids[(i.wrapping_mul(2654435761) + t * 97) % ids.len()];
+                        acc += pool.with_page(id, |p| p.live_count()).unwrap();
+                    }
+                    acc
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    })
+}
+
+/// Hot-set size for the out-of-core workload.
+const OOC_HOT: usize = 24;
+
+fn ooc_pool(capacity: usize, scan_resistant: bool) -> Arc<BufferPool> {
+    Arc::new(BufferPool::with_config(
+        Arc::new(DiskManager::new()),
+        BufferConfig {
+            shards: 0,
+            capacity,
+            policy: PolicyKind::Clock,
+            scan_resistant,
+        },
+    ))
+}
+
+/// Deterministic scan-vs-point interleave: four full sequential sweeps
+/// of the table, with two hot-set point lookups after every eight
+/// sequential touches (the access pattern a dop-4 scan racing a point
+/// client produces, minus the scheduler nondeterminism — so the hit
+/// ratio is reproducible on any machine and core count). Returns the
+/// point-class hit ratio over the trace.
+fn ooc_point_hit_ratio(pool: &BufferPool, ids: &[u64]) -> f64 {
+    for &id in &ids[..OOC_HOT] {
+        pool.with_page(id, |_| ()).unwrap();
+    }
+    let before = pool.stats();
+    let mut h = 0usize;
+    for _sweep in 0..4 {
+        for chunk in ids.chunks(8) {
+            for &id in chunk {
+                pool.with_page_hint(id, AccessHint::Sequential, |_| ())
+                    .unwrap();
+            }
+            for _ in 0..2 {
+                pool.with_page(ids[h % OOC_HOT], |p| p.live_count())
+                    .unwrap();
+                h += 1;
+            }
+        }
+    }
+    let after = pool.stats();
+    let hits = (after.point_hits - before.point_hits) as f64;
+    let total = hits + (after.point_misses - before.point_misses) as f64;
+    if total == 0.0 {
+        1.0
+    } else {
+        hits / total
+    }
+}
+
+/// Out-of-core mixed workload at a given `capacity / table pages` ratio.
+/// The timed number is a dop-4 concurrent run (four sequential-sweep
+/// threads racing the point-lookup client) on the scan-resistant pool;
+/// the `point_hit_ratio` / `point_hit_ratio_unhinted` extras come from
+/// the deterministic interleave above on scan-resistant and
+/// scan-oblivious pools, exposing the hit-ratio gap the hints buy.
+fn bench_buffer_out_of_core(name: &'static str, ratio: f64, quick: bool) -> GroupResult {
+    const THREADS: usize = 4;
+    let table_pages = if quick { 256 } else { 1024 };
+    let lookups = if quick { 2_000 } else { 8_000 };
+    let capacity = ((table_pages as f64 * ratio) as usize).max(OOC_HOT + 8);
+
+    // Hit-ratio facts, deterministic.
+    let hinted_pool = ooc_pool(capacity, true);
+    let ids: Vec<u64> = (0..table_pages)
+        .map(|_| hinted_pool.allocate_page().unwrap())
+        .collect();
+    hinted_pool.flush_all().unwrap();
+    let hinted_ratio = ooc_point_hit_ratio(&hinted_pool, &ids);
+    let unhinted_pool = ooc_pool(capacity, false);
+    let unhinted_ids: Vec<u64> = (0..table_pages)
+        .map(|_| unhinted_pool.allocate_page().unwrap())
+        .collect();
+    unhinted_pool.flush_all().unwrap();
+    let unhinted_ratio = ooc_point_hit_ratio(&unhinted_pool, &unhinted_ids);
+
+    // Timed concurrent run on the hinted pool.
+    let pool = hinted_pool;
+    let iters = if quick { 5 } else { 15 };
+    let mut result = measure(name, 1, iters, |_| {
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let scanners: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let pool = pool.clone();
+                let ids = ids.clone();
+                let stop = stop.clone();
+                std::thread::spawn(move || {
+                    while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                        for &id in &ids {
+                            pool.with_page_hint(id, AccessHint::Sequential, |_| ())
+                                .unwrap();
+                            if stop.load(std::sync::atomic::Ordering::Relaxed) {
+                                return;
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for i in 0..lookups as usize {
+            let id = ids[(i.wrapping_mul(31)) % OOC_HOT];
+            pool.with_page(id, |p| p.live_count()).unwrap();
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        for s in scanners {
+            s.join().unwrap();
+        }
+    });
+    result.extras.push(("capacity_ratio", ratio));
+    result.extras.push(("point_hit_ratio", hinted_ratio));
+    result
+        .extras
+        .push(("point_hit_ratio_unhinted", unhinted_ratio));
+    result
+}
+
 fn render_json(results: &[GroupResult], quick: bool) -> String {
     let mut out = String::from("{\n");
     let _ = writeln!(out, "  \"schema\": \"neurdb-bench-trajectory/v1\",");
-    let _ = writeln!(out, "  \"pr\": 7,");
+    let _ = writeln!(out, "  \"pr\": 8,");
     let _ = writeln!(
         out,
         "  \"mode\": \"{}\",",
@@ -207,9 +375,13 @@ fn render_json(results: &[GroupResult], quick: bool) -> String {
     for (i, r) in results.iter().enumerate() {
         let _ = write!(
             out,
-            "    \"{}\": {{ \"median_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \"iters\": {} }}",
+            "    \"{}\": {{ \"median_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \"iters\": {}",
             r.name, r.median_ns, r.min_ns, r.max_ns, r.iters
         );
+        for (k, v) in &r.extras {
+            let _ = write!(out, ", \"{k}\": {v:.6}");
+        }
+        out.push_str(" }");
         out.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
     }
     out.push_str("  }\n}\n");
@@ -224,7 +396,7 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned()
-        .unwrap_or_else(|| "BENCH_7.json".to_string());
+        .unwrap_or_else(|| "BENCH_8.json".to_string());
 
     let results = vec![
         bench_insert(quick),
@@ -233,12 +405,20 @@ fn main() {
         bench_parallel_agg(quick),
         bench_join_agg_parallel(quick),
         bench_wal_insert(quick),
+        bench_buffer_latch("buffer_latch_global_t4", 1, quick),
+        bench_buffer_latch("buffer_latch_sharded_t4", 8, quick),
+        bench_buffer_out_of_core("buffer_out_of_core_0.1x", 0.1, quick),
+        bench_buffer_out_of_core("buffer_out_of_core_0.5x", 0.5, quick),
+        bench_buffer_out_of_core("buffer_out_of_core_2x", 2.0, quick),
     ];
     for r in &results {
         println!(
-            "{:<18} median {:>12} ns  (min {}, max {}, n={})",
+            "{:<24} median {:>12} ns  (min {}, max {}, n={})",
             r.name, r.median_ns, r.min_ns, r.max_ns, r.iters
         );
+        for (k, v) in &r.extras {
+            println!("{:<24}   {k} = {v:.4}", "");
+        }
     }
     let json = render_json(&results, quick);
     std::fs::write(&out_path, &json).unwrap();

@@ -32,7 +32,7 @@ use neurdb_qo::SystemConditions;
 use neurdb_sql::{
     parse, parse_script, ColumnSpec, Expr, PredictStmt, PredictTask, Statement, TrainOn, TypeName,
 };
-use neurdb_storage::{ColumnDef, DataType, Schema, Table, Tuple, Value};
+use neurdb_storage::{BufferConfig, ColumnDef, DataType, PolicyKind, Schema, Table, Tuple, Value};
 use neurdb_wal::{DurableStore, DurableStoreOptions, Lsn, WalRecord, SYSTEM_TXN};
 use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
@@ -178,6 +178,13 @@ impl Database {
 
     pub fn with_buffer_capacity(frames: usize) -> Self {
         Self::from_store(DurableStore::volatile(frames))
+    }
+
+    /// A volatile database with full buffer-pool geometry control:
+    /// shard count, frame capacity, replacement policy, and
+    /// scan-resistant admission.
+    pub fn with_buffer_config(buffer: BufferConfig) -> Self {
+        Self::from_store(DurableStore::volatile_config(buffer))
     }
 
     /// Open (or create) a durable database in `dir` with default
@@ -532,15 +539,17 @@ impl Database {
                 self.explain(session, *stmt, analyze).map(Output::Rows)
             }
             Statement::Set { name, value } => {
-                Self::set_session(session, &name, &value)?;
+                self.set_session(session, &name, &value)?;
                 Ok(Output::Affected(0))
             }
             Statement::Show { name } => self.show(session, &name).map(Output::Rows),
         }
     }
 
-    /// Apply a `SET name = value` statement to `session`.
+    /// Apply a `SET name = value` statement to `session` (or, for
+    /// database-scoped knobs like `buffer_policy`, to the store).
     fn set_session(
+        &self,
         session: &mut SessionContext,
         name: &str,
         value: &neurdb_sql::Literal,
@@ -584,6 +593,25 @@ impl Database {
                     }
                 };
                 session.set_slow_query_ms(n);
+                Ok(())
+            }
+            "buffer_policy" => {
+                // Database-scoped (the pool is shared): switches the
+                // replacement policy live, re-admitting resident pages.
+                let kind = match literal_value(value) {
+                    Value::Text(s) => PolicyKind::parse(&s).ok_or_else(|| {
+                        CoreError::Unsupported(format!(
+                            "SET buffer_policy expects 'clock', 'sieve', or 'lru', got '{s}'"
+                        ))
+                    })?,
+                    other => {
+                        return Err(CoreError::Unsupported(format!(
+                            "SET buffer_policy expects a string \
+                             ('clock', 'sieve', or 'lru'), got {other}"
+                        )))
+                    }
+                };
+                self.store.pool().set_policy(kind);
                 Ok(())
             }
             other => Err(CoreError::Unsupported(format!(
@@ -652,6 +680,42 @@ impl Database {
                     .slow_query_ms()
                     .map_or(Value::Null, |ms| Value::Int(ms as i64)),
             )),
+            // Buffer-pool state as `(property, value)` rows: geometry
+            // (policy, shards, capacity, resident), the aggregate and
+            // point-lookup-class hit ratios, and per-shard hit ratios so
+            // skew across the latch shards is visible.
+            "buffer" => {
+                let pool = self.store.pool();
+                let stats = pool.stats();
+                let mut rows: Vec<(String, Value)> = vec![
+                    ("policy".into(), Value::Text(pool.policy().name().into())),
+                    ("shards".into(), Value::Int(pool.shard_count() as i64)),
+                    ("capacity".into(), Value::Int(stats.capacity as i64)),
+                    ("resident".into(), Value::Int(stats.resident as i64)),
+                    ("hits".into(), Value::Int(stats.hits as i64)),
+                    ("misses".into(), Value::Int(stats.misses as i64)),
+                    ("evictions".into(), Value::Int(stats.evictions as i64)),
+                    ("hit_ratio".into(), Value::Float(stats.hit_ratio())),
+                    (
+                        "point_hit_ratio".into(),
+                        Value::Float(stats.point_hit_ratio()),
+                    ),
+                    (
+                        "scan_resistant".into(),
+                        Value::Text(pool.scan_resistant().to_string()),
+                    ),
+                ];
+                for (i, s) in pool.shard_stats().iter().enumerate() {
+                    rows.push((format!("shard{i}.hit_ratio"), Value::Float(s.hit_ratio())));
+                }
+                Ok(QueryResult {
+                    columns: vec!["property".to_string(), "value".to_string()],
+                    rows: rows
+                        .into_iter()
+                        .map(|(n, v)| Tuple::new(vec![Value::Text(n), v]))
+                        .collect(),
+                })
+            }
             // The system-wide metrics snapshot: one `(metric, value)` row
             // per counter (INT) and gauge (FLOAT); histograms expand to
             // `.count`/`.p50`/`.p95`/`.p99` rows (INT nanoseconds for the

@@ -51,7 +51,7 @@ use crate::planner::{plan_select, PhysicalPlan};
 use crate::vector::{PredicateSet, ProjectionSet};
 use crossbeam::channel;
 use neurdb_sql::{AggFunc, Expr, SelectItem, SelectStmt, SortOrder};
-use neurdb_storage::{HeapBatchScan, Table, Tuple, Value};
+use neurdb_storage::{AccessHint, HeapBatchScan, Table, Tuple, Value};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
@@ -251,7 +251,7 @@ fn build_operator(
         } => {
             let cursor = match partition.take() {
                 Some(part) => part,
-                None => table.scan_batches(BATCH_ROWS),
+                None => table.scan_batches_hinted(BATCH_ROWS, AccessHint::Sequential),
             };
             Box::new(SeqScanOp {
                 cursor,
@@ -278,7 +278,7 @@ fn build_operator(
                 // sequential sweep with the same residual predicates is
                 // exactly equivalent.
                 None => Box::new(SeqScanOp {
-                    cursor: table.scan_batches(BATCH_ROWS),
+                    cursor: table.scan_batches_hinted(BATCH_ROWS, AccessHint::Sequential),
                     predicates: compiled,
                 }),
             }
@@ -671,7 +671,7 @@ impl WorkerPool {
         let table = fragment_scan_table(fragment).ok_or_else(|| {
             CoreError::Unsupported("parallel fragment without a scan leaf".to_string())
         })?;
-        let partitions = table.scan_partitions(dop, BATCH_ROWS);
+        let partitions = table.scan_partitions_hinted(dop, BATCH_ROWS, AccessHint::Sequential);
         let (tx, rx) = channel::bounded(dop * EXCHANGE_QUEUE_PER_WORKER);
         let (report_tx, reports) = channel::unbounded();
         let mut handles = Vec::with_capacity(dop);

@@ -71,4 +71,65 @@ mod tests {
         c.close().unwrap();
         handle.shutdown();
     }
+
+    /// Buffer-pool control surface over the wire: `SET buffer_policy`
+    /// switches the shared pool's replacement policy and `SHOW buffer`
+    /// reflects it, along with geometry and hit-ratio rows.
+    #[test]
+    fn buffer_policy_round_trips_over_the_wire() {
+        use neurdb_storage::Value;
+        let db = Arc::new(Database::new());
+        let handle = Server::start(db, "127.0.0.1:0", ServerConfig::default()).unwrap();
+        let mut c = Client::connect(handle.local_addr()).unwrap();
+
+        let prop = |rows: &RowSet, name: &str| {
+            rows.rows
+                .iter()
+                .find(|r| r[0] == Value::Text(name.into()))
+                .unwrap_or_else(|| panic!("SHOW buffer missing '{name}'"))[1]
+                .clone()
+        };
+        let buf = c.query("SHOW buffer").unwrap();
+        assert_eq!(buf.columns, vec!["property", "value"]);
+        assert_eq!(prop(&buf, "policy"), Value::Text("clock".into()));
+        assert_eq!(prop(&buf, "capacity"), Value::Int(4096));
+        let Value::Int(shards) = prop(&buf, "shards") else {
+            panic!("shards must be an integer");
+        };
+        assert!(shards >= 1);
+        // Every shard reports a hit ratio.
+        for i in 0..shards {
+            prop(&buf, &format!("shard{i}.hit_ratio"));
+        }
+
+        c.affected("SET buffer_policy = 'sieve'").unwrap();
+        let buf = c.query("SHOW buffer").unwrap();
+        assert_eq!(prop(&buf, "policy"), Value::Text("sieve".into()));
+        // Unknown policies are rejected with a structured error.
+        assert!(c.affected("SET buffer_policy = 'arc'").is_err());
+
+        // SHOW METRICS carries the per-shard buffer gauges and the I/O
+        // latency histograms after some traffic.
+        c.affected("CREATE TABLE t (a INT)").unwrap();
+        c.affected("INSERT INTO t VALUES (1), (2), (3)").unwrap();
+        c.query("SELECT a FROM t").unwrap();
+        let metrics = c.query("SHOW METRICS").unwrap();
+        let names: Vec<String> = metrics
+            .rows
+            .iter()
+            .map(|r| match &r[0] {
+                Value::Text(s) => s.clone(),
+                other => panic!("metric name should be text, got {other:?}"),
+            })
+            .collect();
+        assert!(names.iter().any(|n| n == "buffer.shard0.hit_ratio"));
+        assert!(names.iter().any(|n| n == "buffer.point_hit_ratio"));
+        assert!(names.iter().any(|n| n == "buffer.write_ns.count"));
+        assert!(names
+            .iter()
+            .any(|n| n.starts_with("buffer.policy.") && n.ends_with(".hits")));
+
+        c.close().unwrap();
+        handle.shutdown();
+    }
 }

@@ -1,6 +1,6 @@
 //! Heap files: unordered collections of tuples over buffer-pool pages.
 
-use crate::buffer::BufferPool;
+use crate::buffer::{AccessHint, BufferPool};
 use crate::error::{StorageError, StorageResult};
 use crate::page::{PageId, RecordId};
 use crate::tuple::Tuple;
@@ -85,11 +85,18 @@ impl HeapFile {
         Ok(RecordId::new(pid, slot))
     }
 
-    /// Fetch the tuple at `rid`.
+    /// Fetch the tuple at `rid` (point-access hint).
     pub fn get(&self, rid: RecordId) -> StorageResult<Tuple> {
+        self.get_with_hint(rid, AccessHint::Point)
+    }
+
+    /// Fetch the tuple at `rid`, telling the buffer pool how this access
+    /// participates in the workload (e.g. `Index` for fetches performed
+    /// on behalf of an index scan).
+    pub fn get_with_hint(&self, rid: RecordId, hint: AccessHint) -> StorageResult<Tuple> {
         let bytes = self
             .pool
-            .with_page(rid.page, |p| p.get(rid.slot).map(|b| b.to_vec()))??;
+            .with_page_hint(rid.page, hint, |p| p.get(rid.slot).map(|b| b.to_vec()))??;
         Tuple::decode(&bytes, &self.types)
     }
 
@@ -107,13 +114,16 @@ impl HeapFile {
 
     /// Materialize all live `(rid, tuple)` pairs. Used by sequential scans;
     /// decodes page-by-page so only one page is borrowed at a time.
+    /// Admitted cold (`Sequential` hint): a full materialize must not
+    /// flush the pool's hot set.
     pub fn scan(&self) -> StorageResult<Vec<(RecordId, Tuple)>> {
         let pages = self.pages.read().clone();
         let mut out = Vec::new();
         for pid in pages {
-            let raw: Vec<(u16, Vec<u8>)> = self
-                .pool
-                .with_page(pid, |p| p.iter().map(|(s, d)| (s, d.to_vec())).collect())?;
+            let raw: Vec<(u16, Vec<u8>)> =
+                self.pool.with_page_hint(pid, AccessHint::Sequential, |p| {
+                    p.iter().map(|(s, d)| (s, d.to_vec())).collect()
+                })?;
             for (slot, bytes) in raw {
                 out.push((
                     RecordId::new(pid, slot),
@@ -129,12 +139,21 @@ impl HeapFile {
     /// snapshotted at creation (like [`HeapFile::scan`]); concurrent
     /// inserts into new pages are not observed.
     pub fn scan_batches(&self, target_rows: usize) -> HeapBatchScan {
+        self.scan_batches_hinted(target_rows, AccessHint::Sequential)
+    }
+
+    /// [`HeapFile::scan_batches`] with an explicit access hint — the
+    /// executor's scan operators pass `Sequential` so morsel sweeps admit
+    /// cold; callers draining a tiny heap they intend to reuse may pass
+    /// `Point` to keep its pages warm.
+    pub fn scan_batches_hinted(&self, target_rows: usize, hint: AccessHint) -> HeapBatchScan {
         HeapBatchScan {
             pool: self.pool.clone(),
             types: self.types.clone(),
             pages: self.pages.read().clone(),
             next_page: 0,
             target_rows: target_rows.max(1),
+            hint,
         }
     }
 
@@ -145,6 +164,17 @@ impl HeapFile {
     /// [`HeapFile::scan_batches`] snapshot. Partitions may be empty when
     /// the heap has fewer pages than `n`.
     pub fn scan_partitions(&self, n: usize, target_rows: usize) -> Vec<HeapBatchScan> {
+        self.scan_partitions_hinted(n, target_rows, AccessHint::Sequential)
+    }
+
+    /// [`HeapFile::scan_partitions`] with an explicit access hint (see
+    /// [`HeapFile::scan_batches_hinted`]).
+    pub fn scan_partitions_hinted(
+        &self,
+        n: usize,
+        target_rows: usize,
+        hint: AccessHint,
+    ) -> Vec<HeapBatchScan> {
         let pages = self.pages.read().clone();
         let n = n.max(1);
         let chunk = pages.len().div_ceil(n).max(1);
@@ -158,6 +188,7 @@ impl HeapFile {
                 pages: pages[lo..hi].to_vec(),
                 next_page: 0,
                 target_rows: target_rows.max(1),
+                hint,
             });
         }
         parts
@@ -168,7 +199,9 @@ impl HeapFile {
         let pages = self.pages.read().clone();
         let mut n = 0;
         for pid in pages {
-            n += self.pool.with_page(pid, |p| p.live_count())?;
+            n += self
+                .pool
+                .with_page_hint(pid, AccessHint::Sequential, |p| p.live_count())?;
         }
         Ok(n)
     }
@@ -187,6 +220,7 @@ pub struct HeapBatchScan {
     pages: Vec<PageId>,
     next_page: usize,
     target_rows: usize,
+    hint: AccessHint,
 }
 
 impl HeapBatchScan {
@@ -198,9 +232,9 @@ impl HeapBatchScan {
         while self.next_page < self.pages.len() && out.len() < self.target_rows {
             let pid = self.pages[self.next_page];
             self.next_page += 1;
-            let raw: Vec<(u16, Vec<u8>)> = self
-                .pool
-                .with_page(pid, |p| p.iter().map(|(s, d)| (s, d.to_vec())).collect())?;
+            let raw: Vec<(u16, Vec<u8>)> = self.pool.with_page_hint(pid, self.hint, |p| {
+                p.iter().map(|(s, d)| (s, d.to_vec())).collect()
+            })?;
             out.reserve(raw.len());
             for (slot, bytes) in raw {
                 out.push((

@@ -1,7 +1,7 @@
 //! `Table`: schema + heap file + secondary indexes + cached statistics.
 
 use crate::btree::BTreeIndex;
-use crate::buffer::BufferPool;
+use crate::buffer::{AccessHint, BufferPool};
 use crate::catalog::Schema;
 use crate::error::{StorageError, StorageResult};
 use crate::heap::HeapFile;
@@ -170,11 +170,33 @@ impl Table {
         self.heap.scan_batches(target_rows)
     }
 
+    /// [`Table::scan_batches`] with an explicit buffer-pool access hint
+    /// (the executor passes `Sequential` for morsel sweeps).
+    pub fn scan_batches_hinted(
+        &self,
+        target_rows: usize,
+        hint: AccessHint,
+    ) -> crate::heap::HeapBatchScan {
+        self.heap.scan_batches_hinted(target_rows, hint)
+    }
+
     /// Partition the heap into `n` independent batched cursors over
     /// disjoint page ranges (one morsel stream per parallel scan worker);
     /// see [`crate::heap::HeapFile::scan_partitions`].
     pub fn scan_partitions(&self, n: usize, target_rows: usize) -> Vec<crate::heap::HeapBatchScan> {
         self.heap.scan_partitions(n, target_rows)
+    }
+
+    /// [`Table::scan_partitions`] with an explicit buffer-pool access
+    /// hint (repartition producers and parallel scan workers pass
+    /// `Sequential`).
+    pub fn scan_partitions_hinted(
+        &self,
+        n: usize,
+        target_rows: usize,
+        hint: AccessHint,
+    ) -> Vec<crate::heap::HeapBatchScan> {
+        self.heap.scan_partitions_hinted(n, target_rows, hint)
     }
 
     /// Open an index-scan cursor over `[lo, hi]` (inclusive; `None` =
@@ -215,7 +237,10 @@ impl Table {
         };
         let mut out = Vec::with_capacity(chunk.len());
         for (_, rid) in chunk {
-            out.push((rid, self.heap.get(rid)?));
+            // Heap fetches on behalf of an index descent pin warm: an
+            // index scan's targets are part of the working set, not a
+            // sweep the pool should recycle.
+            out.push((rid, self.heap.get_with_hint(rid, AccessHint::Index)?));
         }
         Ok(Some(out))
     }
@@ -229,7 +254,7 @@ impl Table {
         match rids {
             Some(rids) => rids
                 .into_iter()
-                .map(|rid| Ok((rid, self.heap.get(rid)?)))
+                .map(|rid| Ok((rid, self.heap.get_with_hint(rid, AccessHint::Index)?)))
                 .collect(),
             None => Ok(self
                 .scan()?

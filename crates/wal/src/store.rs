@@ -24,8 +24,8 @@ use crate::log::{Lsn, Wal, WalMetrics, WalOptions, WalStats};
 use crate::record::{read_schema, write_schema, WalRecord, SYSTEM_TXN};
 use neurdb_obs::MetricsRegistry;
 use neurdb_storage::{
-    BufferPool, BufferStats, DiskManager, PageId, RecordId, Schema, StorageError, StorageResult,
-    Table, Tuple,
+    BufferConfig, BufferPool, BufferStats, DiskManager, PageId, RecordId, Schema, StorageError,
+    StorageResult, Table, Tuple,
 };
 use parking_lot::RwLock;
 use std::collections::{HashMap, HashSet};
@@ -39,8 +39,13 @@ const MANIFEST_MAGIC: &[u8; 8] = b"NDBCKPT1";
 /// Options for opening a durable store.
 #[derive(Debug, Clone, Default)]
 pub struct DurableStoreOptions {
-    /// Buffer pool frames (`0` → default 4096).
+    /// Buffer pool frames (`0` → the capacity from `buffer`). Kept as a
+    /// shorthand for callers that only want to size the pool; when
+    /// nonzero it overrides `buffer.capacity`.
     pub frames: usize,
+    /// Full buffer-pool geometry: shard count, capacity, replacement
+    /// policy, and scan-resistant admission.
+    pub buffer: BufferConfig,
     pub wal: WalOptions,
     /// Registry the store's WAL and buffer metrics resolve from;
     /// defaults to a fresh private registry, so embedded and test
@@ -49,12 +54,15 @@ pub struct DurableStoreOptions {
 }
 
 impl DurableStoreOptions {
-    fn frames(&self) -> usize {
-        if self.frames == 0 {
-            4096
-        } else {
-            self.frames
+    fn buffer_config(&self) -> BufferConfig {
+        let mut cfg = self.buffer;
+        if self.frames != 0 {
+            cfg.capacity = self.frames;
         }
+        if cfg.capacity == 0 {
+            cfg.capacity = 4096;
+        }
+        cfg
     }
 }
 
@@ -139,9 +147,24 @@ pub struct DurableStore {
 impl DurableStore {
     /// An in-memory store with no durability (the seed's behavior).
     pub fn volatile(frames: usize) -> DurableStore {
+        Self::volatile_config(BufferConfig::with_capacity(frames))
+    }
+
+    /// An in-memory store with full buffer-pool geometry control
+    /// (shards, replacement policy, scan resistance).
+    pub fn volatile_config(buffer: BufferConfig) -> DurableStore {
+        let registry = Arc::new(MetricsRegistry::new());
+        let pool = Arc::new(BufferPool::with_config(
+            Arc::new(DiskManager::new()),
+            buffer,
+        ));
+        pool.attach_metrics(
+            registry.histogram("buffer.read_ns"),
+            registry.histogram("buffer.write_ns"),
+        );
         DurableStore {
-            pool: Arc::new(BufferPool::new(Arc::new(DiskManager::new()), frames)),
-            registry: Arc::new(MetricsRegistry::new()),
+            pool,
+            registry,
             tables: RwLock::new(HashMap::new()),
             wal: None,
             disk: None,
@@ -191,7 +214,11 @@ impl DurableStore {
 
         // 2. Page file + buffer pool + manifest tables.
         let disk = Arc::new(FileDisk::open(&paths.data)?);
-        let pool = Arc::new(BufferPool::new(disk.clone(), opts.frames()));
+        let pool = Arc::new(BufferPool::with_config(disk.clone(), opts.buffer_config()));
+        pool.attach_metrics(
+            opts.registry.histogram("buffer.read_ns"),
+            opts.registry.histogram("buffer.write_ns"),
+        );
         let mut tables: HashMap<String, Arc<Table>> = HashMap::new();
         for tm in &table_manifests {
             let t = Arc::new(Table::with_heap_pages(
@@ -624,9 +651,36 @@ impl DurableStore {
         r.gauge("buffer.misses").set(b.misses as f64);
         r.gauge("buffer.evictions").set(b.evictions as f64);
         r.gauge("buffer.hit_ratio").set(b.hit_ratio());
+        r.gauge("buffer.point_hit_ratio").set(b.point_hit_ratio());
         r.gauge("buffer.occupancy").set(b.occupancy());
         r.gauge("buffer.capacity").set(b.capacity as f64);
         r.gauge("buffer.resident").set(b.resident as f64);
+        r.gauge("buffer.shards").set(self.pool.shard_count() as f64);
+        for (i, s) in self.pool.shard_stats().iter().enumerate() {
+            r.gauge(&format!("buffer.shard{i}.hits")).set(s.hits as f64);
+            r.gauge(&format!("buffer.shard{i}.misses"))
+                .set(s.misses as f64);
+            r.gauge(&format!("buffer.shard{i}.evictions"))
+                .set(s.evictions as f64);
+            r.gauge(&format!("buffer.shard{i}.hit_ratio"))
+                .set(s.hit_ratio());
+        }
+        // Per-policy counters: only policies that have actually served
+        // traffic, so a store that never switched stays compact.
+        for (kind, s) in self.pool.policy_stats() {
+            if s.hits + s.misses == 0 {
+                continue;
+            }
+            let name = kind.name();
+            r.gauge(&format!("buffer.policy.{name}.hits"))
+                .set(s.hits as f64);
+            r.gauge(&format!("buffer.policy.{name}.misses"))
+                .set(s.misses as f64);
+            r.gauge(&format!("buffer.policy.{name}.evictions"))
+                .set(s.evictions as f64);
+            r.gauge(&format!("buffer.policy.{name}.hit_ratio"))
+                .set(s.hit_ratio());
+        }
         if let Some(w) = self.wal_stats() {
             r.gauge("wal.appended_records")
                 .set(w.appended_records as f64);

@@ -11,6 +11,11 @@ the previous PR. The script prints a per-group delta table and exits
 non-zero if any group's median regressed by more than the threshold
 (default 25%). Groups present on only one side (workloads added or
 retired between PRs) are reported and skipped, never failed.
+
+Groups may carry extra scalar facts beyond the timing summary (the
+buffer-pool groups record ``point_hit_ratio`` and friends); those are
+reported as a second delta table, informational only — hit ratios are
+workload facts, not regressions to gate on.
 """
 
 import argparse
@@ -87,12 +92,35 @@ def main():
         if delta > args.threshold:
             regressions.append((name, delta))
 
+    report_extras(new_groups, old_groups)
+
     if regressions:
         worst = ", ".join(f"{n} ({d:+.1%})" for n, d in regressions)
         print(f"compare_bench: FAIL: median regression past threshold in: {worst}")
         return 1
     print("compare_bench: OK: no group regressed past the threshold")
     return 0
+
+
+TIMING_KEYS = {"median_ns", "min_ns", "max_ns", "iters"}
+
+
+def report_extras(new_groups, old_groups):
+    """Informational table of non-timing group facts (hit ratios etc.)."""
+    rows = []
+    for name in sorted(new_groups):
+        group = new_groups[name]
+        for key in sorted(set(group) - TIMING_KEYS):
+            old_val = old_groups.get(name, {}).get(key)
+            rows.append((name, key, old_val, group[key]))
+    if not rows:
+        return
+    print()
+    print(f"{'group':<24} {'fact':>26} {'old':>10} {'new':>10} {'delta':>9}")
+    for name, key, old_val, new_val in rows:
+        old_s = f"{old_val:.4f}" if old_val is not None else "-"
+        delta_s = f"{new_val - old_val:+.4f}" if old_val is not None else "new"
+        print(f"{name:<24} {key:>26} {old_s:>10} {new_val:>10.4f} {delta_s:>9}")
 
 
 if __name__ == "__main__":
