@@ -1,6 +1,6 @@
 //! Tracked benchmark trajectory: a fixed set of end-to-end workload
 //! groups, each timed per-iteration with the median nanoseconds written
-//! to a `BENCH_8.json` artifact. CI runs this on every push (in `--quick`
+//! to a `BENCH_9.json` artifact. CI runs this on every push (in `--quick`
 //! mode), uploads the file, and diffs it against the committed previous
 //! trajectory via `scripts/compare_bench.py`, so the series of artifacts
 //! across commits forms the performance trajectory of the repo — with a
@@ -362,10 +362,132 @@ fn bench_buffer_out_of_core(name: &'static str, ratio: f64, quick: bool) -> Grou
     result
 }
 
+/// Multi-statement transaction commit cycle on the embedded engine:
+/// BEGIN → one UPDATE + one INSERT staged in the deferred-apply write
+/// set → COMMIT (validation, overlay apply, WAL commit record). Single
+/// session, so the cost is the transaction machinery itself.
+fn bench_txn_commit(quick: bool) -> GroupResult {
+    let db = Database::new();
+    seed(&db, "txn", 500);
+    let mut session = SessionContext::new();
+    let iters = if quick { 100 } else { 1000 };
+    measure("txn_commit", iters / 10, iters, |i| {
+        db.execute_in_session(&mut session, "BEGIN").unwrap();
+        db.execute_in_session(
+            &mut session,
+            &format!("UPDATE txn SET v = v + 1 WHERE id = {}", i % 500),
+        )
+        .unwrap();
+        db.execute_in_session(
+            &mut session,
+            &format!("INSERT INTO txn VALUES ({}, 0, 0)", 10_000 + i),
+        )
+        .unwrap();
+        db.execute_in_session(&mut session, "COMMIT").unwrap();
+    })
+}
+
+/// YCSB-style zipf-skewed read-modify-write transactions from 4
+/// concurrent wire clients against a real server: the serving path the
+/// learned CC policy adapts on. Each iteration is one full round of
+/// transactions across all clients; conflict aborts retry with backoff.
+/// The `abort_ratio` extra reports how much work the policy discarded.
+fn bench_ycsb_zipf_concurrent(quick: bool) -> GroupResult {
+    use neurdb_server::{client::Client, ClientError, Server, ServerConfig};
+    use neurdb_workloads::Zipf;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    const CLIENTS: usize = 4;
+    const KEYS: u64 = 64;
+    let txns = if quick { 8 } else { 25 };
+
+    let db = Arc::new(Database::new());
+    db.execute("CREATE TABLE ycsb (id INT PRIMARY KEY, val INT)")
+        .unwrap();
+    let mut stmt = String::from("INSERT INTO ycsb VALUES ");
+    for k in 0..KEYS {
+        if k > 0 {
+            stmt.push(',');
+        }
+        let _ = write!(stmt, "({k}, 0)");
+    }
+    db.execute(&stmt).unwrap();
+    let handle = Server::start(db, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = handle.local_addr();
+
+    let aborts = Arc::new(AtomicU64::new(0));
+    let commits = Arc::new(AtomicU64::new(0));
+    let iters = if quick { 5 } else { 15 };
+    let mut result = measure("ycsb_zipf_concurrent", 2, iters, |round| {
+        let workers: Vec<_> = (0..CLIENTS)
+            .map(|t| {
+                let aborts = aborts.clone();
+                let commits = commits.clone();
+                std::thread::spawn(move || {
+                    let mut c = Client::connect(addr).unwrap();
+                    let zipf = Zipf::new(KEYS, 0.9);
+                    let mut rng = StdRng::seed_from_u64((round * CLIENTS + t) as u64);
+                    for _ in 0..txns {
+                        let k1 = zipf.sample(&mut rng);
+                        let k2 = zipf.sample(&mut rng);
+                        let mut attempts = 0u32;
+                        'retry: loop {
+                            attempts += 1;
+                            if attempts > 1 {
+                                std::thread::sleep(std::time::Duration::from_micros(
+                                    200 * u64::from(attempts.min(20)),
+                                ));
+                            }
+                            c.affected("BEGIN").unwrap();
+                            for k in [k1, k2] {
+                                match c.affected(&format!(
+                                    "UPDATE ycsb SET val = val + 1 WHERE id = {k}"
+                                )) {
+                                    Ok(_) => {}
+                                    Err(ClientError::TxnAborted(_)) => {
+                                        aborts.fetch_add(1, Ordering::Relaxed);
+                                        let _ = c.affected("ROLLBACK");
+                                        continue 'retry;
+                                    }
+                                    Err(e) => panic!("unexpected error: {e}"),
+                                }
+                            }
+                            match c.affected("COMMIT") {
+                                Ok(_) => {
+                                    commits.fetch_add(1, Ordering::Relaxed);
+                                    break;
+                                }
+                                Err(ClientError::TxnAborted(_)) => {
+                                    aborts.fetch_add(1, Ordering::Relaxed);
+                                    let _ = c.affected("ROLLBACK");
+                                }
+                                Err(e) => panic!("unexpected COMMIT error: {e}"),
+                            }
+                        }
+                    }
+                    c.close().unwrap();
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().unwrap();
+        }
+    });
+    handle.shutdown();
+    let a = aborts.load(Ordering::Relaxed) as f64;
+    let c = commits.load(Ordering::Relaxed) as f64;
+    result
+        .extras
+        .push(("abort_ratio", if a + c == 0.0 { 0.0 } else { a / (a + c) }));
+    result
+}
+
 fn render_json(results: &[GroupResult], quick: bool) -> String {
     let mut out = String::from("{\n");
     let _ = writeln!(out, "  \"schema\": \"neurdb-bench-trajectory/v1\",");
-    let _ = writeln!(out, "  \"pr\": 8,");
+    let _ = writeln!(out, "  \"pr\": 9,");
     let _ = writeln!(
         out,
         "  \"mode\": \"{}\",",
@@ -396,7 +518,7 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned()
-        .unwrap_or_else(|| "BENCH_8.json".to_string());
+        .unwrap_or_else(|| "BENCH_9.json".to_string());
 
     let results = vec![
         bench_insert(quick),
@@ -405,6 +527,8 @@ fn main() {
         bench_parallel_agg(quick),
         bench_join_agg_parallel(quick),
         bench_wal_insert(quick),
+        bench_txn_commit(quick),
+        bench_ycsb_zipf_concurrent(quick),
         bench_buffer_latch("buffer_latch_global_t4", 1, quick),
         bench_buffer_latch("buffer_latch_sharded_t4", 8, quick),
         bench_buffer_out_of_core("buffer_out_of_core_0.1x", 0.1, quick),

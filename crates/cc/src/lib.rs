@@ -28,15 +28,17 @@
 pub mod adapt;
 pub mod driver;
 pub mod encoding;
+pub mod live;
 pub mod model;
 pub mod polyjuice;
 
 pub use adapt::{AdaptConfig, Observation, TwoPhaseAdapter};
 pub use driver::{run_learned_adaptive, run_polyjuice_adaptive, Phase, TimelinePoint, TxnGen};
 pub use encoding::{encode, ENCODING_DIM};
+pub use live::{DecisionSample, LivePolicy, PolicyMode};
 pub use model::{
-    perturb_params, random_params, seed_params, LearnedCc, Params, PARAM_COUNT, READ_ACTIONS,
-    WRITE_ACTIONS,
+    action_for, perturb_params, random_params, seed_params, LearnedCc, Params, PARAM_COUNT,
+    READ_ACTIONS, WRITE_ACTIONS,
 };
 pub use polyjuice::{
     crossover_table, mutate_table, random_table, ActionEntry, PolicyTable, PolyjuiceCc,

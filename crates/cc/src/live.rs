@@ -1,0 +1,361 @@
+//! The serving-path CC policy: a hot-swappable dispatcher that fronts the
+//! learned model, the Polyjuice baseline, and the classical policies, and
+//! feeds the two-phase adaptation loop from live decision samples.
+//!
+//! `core` installs one [`LivePolicy`] into the shared `TxnEngine` at
+//! startup; `SET cc_policy = '...'` flips the mode at runtime without
+//! rebuilding the engine (the `CcPolicy` object stays the same, only the
+//! dispatch target changes). Every consult is counted and sampled into a
+//! bounded ring; [`LivePolicy::adapt_now`] drains the ring and runs the
+//! paper's filtering + refinement search (Section 4.2), scoring candidate
+//! models by *counterfactual replay*: what would this model have decided
+//! on the recorded contention states, and does that match how contention
+//! on those keys actually evolved?
+
+use crate::adapt::{AdaptConfig, TwoPhaseAdapter};
+use crate::encoding::encode;
+use crate::model::{action_for, LearnedCc, Params};
+use crate::polyjuice::PolyjuiceCc;
+use neurdb_txn::{
+    CcPolicy, ContentionTracker, Occ, OpCtx, ReadDecision, TwoPhaseLocking, WriteDecision,
+};
+use parking_lot::{Mutex, RwLock};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Which policy the dispatcher routes decisions to.
+///
+/// SSI is deliberately absent: its commit-time checks depend on
+/// begin-time bookkeeping, so flipping into it mid-flight would leave
+/// already-running transactions with inconsistent state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyMode {
+    Learned,
+    Polyjuice,
+    Occ,
+    TwoPl,
+}
+
+impl PolicyMode {
+    /// Parse a `SET cc_policy` value (case-insensitive).
+    pub fn parse(s: &str) -> Option<PolicyMode> {
+        Some(match s.to_ascii_lowercase().as_str() {
+            "learned" | "neurdb" | "neurdb-cc" => PolicyMode::Learned,
+            "polyjuice" => PolicyMode::Polyjuice,
+            "occ" => PolicyMode::Occ,
+            "2pl" | "locking" => PolicyMode::TwoPl,
+            _ => return None,
+        })
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyMode::Learned => "neurdb-cc",
+            PolicyMode::Polyjuice => "polyjuice",
+            PolicyMode::Occ => "occ",
+            PolicyMode::TwoPl => "2pl",
+        }
+    }
+}
+
+/// One recorded policy consult: the contention state the decision was made
+/// under. Kept small (OpCtx is `Copy`) so sampling stays off the hot
+/// path's allocator.
+#[derive(Debug, Clone, Copy)]
+pub struct DecisionSample {
+    pub ctx: OpCtx,
+    pub is_write: bool,
+}
+
+/// Bounded sample ring: old decisions age out; adaptation only ever looks
+/// at recent behaviour (the workload it is adapting *to*).
+const SAMPLE_CAP: usize = 512;
+
+/// Hot-swappable serving-path policy. See module docs.
+pub struct LivePolicy {
+    mode: RwLock<PolicyMode>,
+    learned: Arc<LearnedCc>,
+    polyjuice: Arc<PolyjuiceCc>,
+    occ: Occ,
+    twopl: TwoPhaseLocking,
+    consults: AtomicU64,
+    samples: Mutex<VecDeque<DecisionSample>>,
+    adapter: Mutex<TwoPhaseAdapter>,
+    adaptations: AtomicU64,
+}
+
+impl LivePolicy {
+    pub fn new(seed: u64) -> Self {
+        LivePolicy {
+            mode: RwLock::new(PolicyMode::Learned),
+            learned: Arc::new(LearnedCc::seeded()),
+            polyjuice: Arc::new(PolyjuiceCc::default_policy()),
+            occ: Occ,
+            twopl: TwoPhaseLocking,
+            consults: AtomicU64::new(0),
+            samples: Mutex::new(VecDeque::with_capacity(SAMPLE_CAP)),
+            adapter: Mutex::new(TwoPhaseAdapter::new(AdaptConfig::default(), seed)),
+            adaptations: AtomicU64::new(0),
+        }
+    }
+
+    pub fn mode(&self) -> PolicyMode {
+        *self.mode.read()
+    }
+
+    pub fn set_mode(&self, mode: PolicyMode) {
+        *self.mode.write() = mode;
+    }
+
+    /// Total policy consults (read + write decisions) since startup.
+    pub fn consults(&self) -> u64 {
+        self.consults.load(Ordering::Relaxed)
+    }
+
+    /// Completed adaptation rounds.
+    pub fn adaptations(&self) -> u64 {
+        self.adaptations.load(Ordering::Relaxed)
+    }
+
+    /// The learned model behind the `Learned` mode (for tests/inspection).
+    pub fn learned(&self) -> &Arc<LearnedCc> {
+        &self.learned
+    }
+
+    fn record(&self, ctx: &OpCtx, is_write: bool) {
+        self.consults.fetch_add(1, Ordering::Relaxed);
+        let mut ring = self.samples.lock();
+        if ring.len() == SAMPLE_CAP {
+            ring.pop_front();
+        }
+        ring.push_back(DecisionSample {
+            ctx: *ctx,
+            is_write,
+        });
+    }
+
+    /// Number of decision samples currently buffered.
+    pub fn sample_count(&self) -> usize {
+        self.samples.lock().len()
+    }
+
+    /// Run one two-phase adaptation round over the buffered decision
+    /// samples, installing the winning parameters into the learned model.
+    /// Returns the winning reward, or `None` when there is nothing to
+    /// learn from yet.
+    pub fn adapt_now(&self, tracker: &ContentionTracker) -> Option<f64> {
+        let samples: Vec<DecisionSample> = {
+            let mut ring = self.samples.lock();
+            ring.drain(..).collect()
+        };
+        if samples.is_empty() {
+            return None;
+        }
+        let mut adapter = self.adapter.lock();
+        // Seed the search with the currently deployed model so the
+        // incumbent always competes.
+        let current = self.learned.params();
+        let current_r = replay_score(&current, &samples, tracker);
+        adapter.observe(current, current_r);
+        let (best, reward) = adapter.adapt(|p| replay_score(p, &samples, tracker));
+        self.learned.set_params(best);
+        self.adaptations.fetch_add(1, Ordering::Relaxed);
+        Some(reward)
+    }
+}
+
+/// Counterfactual replay reward: score a candidate model by replaying the
+/// recorded decisions and comparing each choice against how contention on
+/// that key actually evolved. Keys whose abort counters grew (or were
+/// already hot at decision time) reward pessimism — locking queues the
+/// conflict instead of wasting work; quiet keys reward optimism — locks
+/// there only add latency. Immediate aborts only pay off in abort storms.
+fn replay_score(params: &Params, samples: &[DecisionSample], tracker: &ContentionTracker) -> f64 {
+    let mut score = 0.0;
+    for s in samples {
+        let x = encode(&s.ctx);
+        let action = action_for(params, &x, s.is_write);
+        let now = tracker.contention(s.ctx.key, false);
+        let heat = now.recent_aborts.max(s.ctx.contention.recent_aborts);
+        let contended = heat > 0.5;
+        let storm = heat > 4.0;
+        score += match action {
+            0 => {
+                // Optimistic (snapshot read / buffered write).
+                if contended {
+                    -0.5
+                } else {
+                    1.0
+                }
+            }
+            1 => {
+                // Pessimistic (locking read / locking write).
+                if contended {
+                    1.0
+                } else {
+                    -0.2
+                }
+            }
+            _ => {
+                // Immediate abort.
+                if storm {
+                    0.5
+                } else {
+                    -1.0
+                }
+            }
+        };
+    }
+    score / samples.len() as f64
+}
+
+impl CcPolicy for LivePolicy {
+    fn read_decision(&self, ctx: &OpCtx) -> ReadDecision {
+        self.record(ctx, false);
+        match self.mode() {
+            PolicyMode::Learned => self.learned.read_decision(ctx),
+            PolicyMode::Polyjuice => self.polyjuice.read_decision(ctx),
+            PolicyMode::Occ => self.occ.read_decision(ctx),
+            PolicyMode::TwoPl => self.twopl.read_decision(ctx),
+        }
+    }
+
+    fn write_decision(&self, ctx: &OpCtx) -> WriteDecision {
+        self.record(ctx, true);
+        match self.mode() {
+            PolicyMode::Learned => self.learned.write_decision(ctx),
+            PolicyMode::Polyjuice => self.polyjuice.write_decision(ctx),
+            PolicyMode::Occ => self.occ.write_decision(ctx),
+            PolicyMode::TwoPl => self.twopl.write_decision(ctx),
+        }
+    }
+
+    fn validate_reads(&self) -> bool {
+        match self.mode() {
+            PolicyMode::Learned => self.learned.validate_reads(),
+            PolicyMode::Polyjuice => self.polyjuice.validate_reads(),
+            PolicyMode::Occ => self.occ.validate_reads(),
+            PolicyMode::TwoPl => self.twopl.validate_reads(),
+        }
+    }
+
+    fn ssi_checks(&self) -> bool {
+        false
+    }
+
+    fn name(&self) -> &str {
+        self.mode().name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neurdb_txn::{KeyContention, ReadMode, WriteMode};
+
+    fn ctx(key: u64, aborts: f32) -> OpCtx {
+        OpCtx {
+            key,
+            ops_done: 1,
+            txn_len_hint: 4,
+            txn_type: 0,
+            contention: KeyContention {
+                recent_reads: 1.0,
+                recent_writes: 1.0,
+                recent_aborts: aborts,
+                write_locked: false,
+            },
+        }
+    }
+
+    #[test]
+    fn mode_parse_and_names() {
+        assert_eq!(PolicyMode::parse("Learned"), Some(PolicyMode::Learned));
+        assert_eq!(PolicyMode::parse("POLYJUICE"), Some(PolicyMode::Polyjuice));
+        assert_eq!(PolicyMode::parse("occ"), Some(PolicyMode::Occ));
+        assert_eq!(PolicyMode::parse("2pl"), Some(PolicyMode::TwoPl));
+        assert_eq!(PolicyMode::parse("ssi"), None);
+        assert_eq!(PolicyMode::Learned.name(), "neurdb-cc");
+    }
+
+    #[test]
+    fn dispatch_follows_mode() {
+        let live = LivePolicy::new(7);
+        assert_eq!(live.name(), "neurdb-cc");
+        // 2PL always locks; the learned seed is optimistic on cold keys.
+        let cold = ctx(1, 0.0);
+        assert_eq!(
+            live.read_decision(&cold),
+            ReadDecision::Proceed(ReadMode::Snapshot)
+        );
+        live.set_mode(PolicyMode::TwoPl);
+        assert_eq!(live.name(), "2pl");
+        assert_eq!(
+            live.read_decision(&cold),
+            ReadDecision::Proceed(ReadMode::LockShared)
+        );
+        assert_eq!(
+            live.write_decision(&cold),
+            WriteDecision::Proceed(WriteMode::LockExclusive)
+        );
+        assert!(!live.validate_reads(), "2pl needs no read validation");
+        live.set_mode(PolicyMode::Occ);
+        assert!(live.validate_reads());
+    }
+
+    #[test]
+    fn consults_and_samples_accumulate() {
+        let live = LivePolicy::new(1);
+        for i in 0..600u64 {
+            let _ = live.read_decision(&ctx(i, 0.0));
+        }
+        assert_eq!(live.consults(), 600);
+        assert_eq!(live.sample_count(), SAMPLE_CAP, "ring is bounded");
+    }
+
+    #[test]
+    fn adapt_now_installs_new_params_and_drains() {
+        let live = LivePolicy::new(3);
+        let tracker = ContentionTracker::new();
+        // Hot key 5: aborts recorded; cold keys otherwise.
+        for _ in 0..50 {
+            tracker.record_write(5);
+            tracker.record_abort(&[5]);
+            let _ = live.write_decision(&ctx(5, tracker.contention(5, false).recent_aborts));
+            let _ = live.write_decision(&ctx(1000, 0.0));
+        }
+        assert!(live.sample_count() > 0);
+        let reward = live.adapt_now(&tracker);
+        assert!(reward.is_some());
+        assert_eq!(live.adaptations(), 1);
+        assert_eq!(live.sample_count(), 0, "samples drained");
+        // Nothing buffered: second round is a no-op.
+        assert!(live.adapt_now(&tracker).is_none());
+        assert_eq!(live.adaptations(), 1);
+    }
+
+    #[test]
+    fn replay_rewards_matching_pessimism() {
+        let tracker = ContentionTracker::new();
+        for _ in 0..20 {
+            tracker.record_write(9);
+            tracker.record_abort(&[9]);
+        }
+        let hot = ctx(9, tracker.contention(9, false).recent_aborts);
+        let samples = vec![DecisionSample {
+            ctx: hot,
+            is_write: true,
+        }];
+        // A model that always locks beats one that always buffers on a
+        // contended key.
+        let mut lock_all = vec![0.0f32; crate::model::PARAM_COUNT];
+        // write action 1 (lock), bias feature.
+        lock_all[(crate::model::READ_ACTIONS + 1) * crate::encoding::ENCODING_DIM + 7] = 5.0;
+        let mut buffer_all = vec![0.0f32; crate::model::PARAM_COUNT];
+        buffer_all[crate::model::READ_ACTIONS * crate::encoding::ENCODING_DIM + 7] = 5.0;
+        let r_lock = replay_score(&lock_all, &samples, &tracker);
+        let r_buf = replay_score(&buffer_all, &samples, &tracker);
+        assert!(r_lock > r_buf, "lock {r_lock} vs buffer {r_buf}");
+    }
+}

@@ -98,6 +98,18 @@ fn argmax_logits(params: &[f32], offset: usize, actions: usize, x: &[f32; ENCODI
     best
 }
 
+/// Action index a candidate parameter vector would pick for an encoded
+/// contention state — read actions [snapshot, lock, abort] or write
+/// actions [buffer, lock, abort]. The adaptation loop uses this to replay
+/// recorded decisions against candidate models without deploying them.
+pub fn action_for(params: &Params, x: &[f32; ENCODING_DIM], is_write: bool) -> usize {
+    if is_write {
+        argmax_logits(params, READ_ACTIONS, WRITE_ACTIONS, x)
+    } else {
+        argmax_logits(params, 0, READ_ACTIONS, x)
+    }
+}
+
 /// The learned CC policy: NeurDB(CC). Thread-safe; parameters hot-swap.
 pub struct LearnedCc {
     params: RwLock<Params>,

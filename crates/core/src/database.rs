@@ -24,6 +24,8 @@ use crate::exec::{execute_plan_instrumented, OpMetrics, QueryResult};
 use crate::expr::{eval, eval_predicate, literal_value, Bindings};
 use crate::planner::{plan_select_with, PhysicalPlan, PlannedSelect, PlannerConfig};
 use crate::session::SessionContext;
+use crate::transactions::{CcState, SessionTxn};
+use neurdb_cc::PolicyMode;
 use neurdb_engine::streaming::{stream_from_source, Handshake, StreamParams};
 use neurdb_engine::{AiEngine, Mid, TrainOutcome};
 use neurdb_nn::{armnet_spec, ArmNetConfig, LossKind};
@@ -37,6 +39,7 @@ use neurdb_wal::{DurableStore, DurableStoreOptions, Lsn, WalRecord, SYSTEM_TXN};
 use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
 use std::path::Path;
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -135,7 +138,11 @@ struct CachedModel {
 
 /// The database.
 pub struct Database {
-    store: Arc<DurableStore>,
+    pub(crate) store: Arc<DurableStore>,
+    /// Concurrency-control state for multi-statement transactions: the
+    /// shared CC engine, the live (switchable, learned-by-default)
+    /// policy, the commit lock, and the adaptation cadence.
+    pub(crate) cc: CcState,
     /// The in-database AI engine (task manager, model manager, runtimes).
     pub ai: AiEngine,
     /// Learned join-order optimizer for the SELECT planner. `None` (the
@@ -264,6 +271,7 @@ impl Database {
     fn from_store(store: DurableStore) -> Database {
         Database {
             store: Arc::new(store),
+            cc: CcState::new(),
             ai: AiEngine::new(),
             join_optimizer: Mutex::new(None),
             default_session: Mutex::new(SessionContext::new()),
@@ -445,20 +453,27 @@ impl Database {
         Ok(last)
     }
 
-    /// Route a statement through the default session. `SET` must mutate
-    /// the shared instance under its lock; everything else runs on a
-    /// snapshot so concurrent [`Database::execute`] callers never
-    /// serialize on the session lock for the duration of a query.
+    /// Route a statement through the default session. `SET` and
+    /// transaction control must mutate the shared instance under its
+    /// lock — and once a transaction is open, *every* statement must,
+    /// because the transaction lives in the session. Otherwise the
+    /// statement runs on a snapshot so concurrent [`Database::execute`]
+    /// callers never serialize on the session lock for the duration of
+    /// a query (cloning a session never clones its transaction, which
+    /// is why the `in_txn` check gates the snapshot path).
     fn execute_default(&self, stmt: Statement, sql: &str) -> CoreResult<Output> {
-        match &stmt {
-            Statement::Set { .. } => {
-                let mut session = self.default_session.lock();
-                self.execute_statement(&mut session, stmt, sql)
-            }
-            _ => {
-                let mut session = self.default_session.lock().clone();
-                self.execute_statement(&mut session, stmt, sql)
-            }
+        let mut session = self.default_session.lock();
+        let must_share = session.in_txn()
+            || matches!(
+                stmt,
+                Statement::Set { .. } | Statement::Begin | Statement::Commit | Statement::Rollback
+            );
+        if must_share {
+            self.execute_statement(&mut session, stmt, sql)
+        } else {
+            let mut snapshot = session.clone();
+            drop(session);
+            self.execute_statement(&mut snapshot, stmt, sql)
         }
     }
 
@@ -503,29 +518,55 @@ impl Database {
         stmt: Statement,
         provenance: &mut Option<(Option<String>, Vec<String>)>,
     ) -> CoreResult<Output> {
+        // Transaction control first: it transitions the session's
+        // transaction slot regardless of its current state.
+        match stmt {
+            Statement::Begin => return self.begin_txn(session),
+            Statement::Commit => return self.commit_txn(session),
+            Statement::Rollback => return self.rollback_txn(session),
+            _ => {}
+        }
+        // Inside an open transaction every statement routes through the
+        // transactional executor (deferred-apply write set + learned CC;
+        // see `transactions.rs`), with auto-abort on error.
+        if session.in_txn() {
+            return self.dispatch_in_txn(session, stmt, provenance);
+        }
         match stmt {
             // Mutating statements run as a statement-level transaction:
             // begin, apply+log each operation, commit. There is no undo —
             // partial effects of a failed statement stay visible (the
             // seed's semantics) and are committed so recovered state
-            // always matches what a live session observed.
+            // always matches what a live session observed. The commit
+            // lock serializes the apply with transactional commits so a
+            // concurrent transaction's pre-image validation cannot race
+            // this statement; the durability wait happens after it is
+            // released (group commit batches across sessions).
             Statement::CreateTable { .. }
             | Statement::DropTable { .. }
             | Statement::CreateIndex { .. }
             | Statement::Insert { .. }
             | Statement::Update { .. }
             | Statement::Delete { .. } => {
-                let txn = self.store.begin();
-                let result = self.apply_mutation(txn, stmt);
-                let commit = self.store.commit(txn);
-                match (result, commit) {
+                let (result, lsn) = {
+                    let _commit = self.cc.commit_lock.lock();
+                    let txn = self.store.begin();
+                    let result = self.apply_mutation(txn, stmt);
+                    let lsn = self.store.commit_nowait(txn);
+                    (result, lsn)
+                };
+                let wait = match lsn {
+                    Some(lsn) => self.store.wait_durable(lsn),
+                    None => Ok(()),
+                };
+                match (result, wait) {
                     (Ok(out), Ok(())) => Ok(out),
                     (Err(e), _) => Err(e),
                     (Ok(_), Err(e)) => Err(e.into()),
                 }
             }
             Statement::Select(s) => {
-                let planned = self.plan(&s, session.planner_config())?;
+                let planned = self.plan(session, &s)?;
                 let (rows, metrics) = execute_plan_instrumented(&planned.plan)?;
                 self.note_operator_metrics(&metrics);
                 *provenance = Some((
@@ -543,6 +584,118 @@ impl Database {
                 Ok(Output::Affected(0))
             }
             Statement::Show { name } => self.show(session, &name).map(Output::Rows),
+            Statement::Begin | Statement::Commit | Statement::Rollback => {
+                unreachable!("transaction control handled above")
+            }
+        }
+    }
+
+    /// Execute one statement inside the session's open transaction.
+    /// Any error — evaluation, unsupported statement, CC conflict —
+    /// auto-aborts the transaction: its buffered effects are discarded,
+    /// the session moves to the `aborted` state (statements error until
+    /// `ROLLBACK`), and the client receives a structured
+    /// [`CoreError::TxnAborted`] naming the transaction.
+    fn dispatch_in_txn(
+        &self,
+        session: &mut SessionContext,
+        stmt: Statement,
+        provenance: &mut Option<(Option<String>, Vec<String>)>,
+    ) -> CoreResult<Output> {
+        if let Some(SessionTxn::Failed { id }) = &session.txn {
+            return Err(CoreError::Unsupported(format!(
+                "current transaction {id} is aborted; statements are ignored \
+                 until ROLLBACK"
+            )));
+        }
+        match self.run_txn_statement(session, stmt, provenance) {
+            Ok(out) => Ok(out),
+            Err(e) => {
+                let txn = self.auto_abort_txn(session);
+                Err(CoreError::TxnAborted {
+                    txn,
+                    message: format!("{e}"),
+                })
+            }
+        }
+    }
+
+    fn run_txn_statement(
+        &self,
+        session: &mut SessionContext,
+        stmt: Statement,
+        provenance: &mut Option<(Option<String>, Vec<String>)>,
+    ) -> CoreResult<Output> {
+        if let Some(SessionTxn::Active(at)) = &mut session.txn {
+            at.statements += 1;
+        }
+        match stmt {
+            Statement::Insert {
+                table,
+                columns,
+                rows,
+            } => {
+                let Some(SessionTxn::Active(at)) = &mut session.txn else {
+                    unreachable!("run_txn_statement requires an active transaction");
+                };
+                self.txn_insert(at, &table, columns.as_deref(), &rows)
+                    .map(Output::Affected)
+            }
+            Statement::Update {
+                table,
+                assignments,
+                predicate,
+            } => {
+                let Some(SessionTxn::Active(at)) = &mut session.txn else {
+                    unreachable!("run_txn_statement requires an active transaction");
+                };
+                self.txn_update(at, &table, &assignments, predicate.as_ref())
+                    .map(Output::Affected)
+            }
+            Statement::Delete { table, predicate } => {
+                let Some(SessionTxn::Active(at)) = &mut session.txn else {
+                    unreachable!("run_txn_statement requires an active transaction");
+                };
+                self.txn_delete(at, &table, predicate.as_ref())
+                    .map(Output::Affected)
+            }
+            Statement::Select(s) => {
+                // Register the predicate read with the CC engine (per
+                // FROM table), then plan against the session's effective
+                // tables (heap merged with this transaction's overlay).
+                let tables: Vec<String> = s.from.iter().map(|t| t.name.clone()).collect();
+                self.txn_note_table_reads(session, &tables)?;
+                let planned = self.plan(session, &s)?;
+                let (rows, metrics) = execute_plan_instrumented(&planned.plan)?;
+                self.note_operator_metrics(&metrics);
+                *provenance = Some((
+                    planned.join_order.clone(),
+                    planned.plan.render(Some(&metrics)),
+                ));
+                Ok(Output::Rows(rows))
+            }
+            Statement::Explain { analyze, stmt } => {
+                self.explain(session, *stmt, analyze).map(Output::Rows)
+            }
+            Statement::Set { name, value } => {
+                self.set_session(session, &name, &value)?;
+                Ok(Output::Affected(0))
+            }
+            Statement::Show { name } => self.show(session, &name).map(Output::Rows),
+            // DDL restructures shared catalog state the overlay cannot
+            // buffer, and PREDICT trains/serves models with durability
+            // side effects of its own — neither is transactional.
+            Statement::CreateTable { .. }
+            | Statement::DropTable { .. }
+            | Statement::CreateIndex { .. } => Err(CoreError::Unsupported(
+                "DDL cannot run inside a transaction".into(),
+            )),
+            Statement::Predict(_) => Err(CoreError::Unsupported(
+                "PREDICT cannot run inside a transaction".into(),
+            )),
+            Statement::Begin | Statement::Commit | Statement::Rollback => {
+                unreachable!("transaction control handled by dispatch_statement")
+            }
         }
     }
 
@@ -612,6 +765,41 @@ impl Database {
                     }
                 };
                 self.store.pool().set_policy(kind);
+                Ok(())
+            }
+            "cc_policy" => {
+                // Database-scoped (the CC engine is shared): switches
+                // the live policy all transactions consult.
+                let mode = match literal_value(value) {
+                    Value::Text(s) => PolicyMode::parse(&s).ok_or_else(|| {
+                        CoreError::Unsupported(format!(
+                            "SET cc_policy expects 'learned', 'polyjuice', 'occ', \
+                             or '2pl', got '{s}'"
+                        ))
+                    })?,
+                    other => {
+                        return Err(CoreError::Unsupported(format!(
+                            "SET cc_policy expects a string \
+                             ('learned', 'polyjuice', 'occ', or '2pl'), got {other}"
+                        )))
+                    }
+                };
+                self.cc.live.set_mode(mode);
+                Ok(())
+            }
+            "cc_adapt_every" => {
+                // Database-scoped: run the two-phase adaptation loop
+                // every n completed transactions (0 disables it).
+                let n = match literal_value(value) {
+                    Value::Int(i) if i >= 0 => i as u64,
+                    other => {
+                        return Err(CoreError::Unsupported(format!(
+                            "SET cc_adapt_every expects a non-negative integer \
+                             (0 disables adaptation), got {other}"
+                        )))
+                    }
+                };
+                self.cc.adapt_every.store(n, Ordering::Relaxed);
                 Ok(())
             }
             other => Err(CoreError::Unsupported(format!(
@@ -780,6 +968,10 @@ impl Database {
                     })
                     .collect(),
             }),
+            // Live concurrency-control state: active policy, decisions
+            // consulted, adaptation rounds, and the engine's observed
+            // commit/abort balance.
+            "cc" => Ok(self.show_cc()),
             "sessions" => Err(CoreError::Unsupported(
                 "SHOW SESSIONS is served by neurdb-server; this session is not \
                  attached to a server"
@@ -803,24 +995,29 @@ impl Database {
         self.default_session.lock().set_parallelism(n);
     }
 
-    /// Plan a SELECT: resolve its tables, then lower it through the
+    /// Plan a SELECT: resolve its tables *as the session sees them*
+    /// (an open transaction's buffered changes materialize as shadow
+    /// tables — read-your-own-writes), then lower it through the
     /// planner (join order via the installed learned optimizer, falling
     /// back to `neurdb-qo`'s cost-based DP).
     fn plan(
         &self,
+        session: &SessionContext,
         s: &neurdb_sql::SelectStmt,
-        config: &PlannerConfig,
     ) -> CoreResult<PlannedSelect> {
         // Stamp fresh system conditions (buffer-pool state) onto the
         // session's planner config: the join graph carries them into
         // the learned optimizer's condition tokens.
         let config = &PlannerConfig {
             system: self.system_conditions(),
-            ..config.clone()
+            ..session.planner_config().clone()
         };
         let mut resolved = Vec::with_capacity(s.from.len());
         for tref in &s.from {
-            resolved.push((tref.binding().to_string(), self.table(&tref.name)?));
+            resolved.push((
+                tref.binding().to_string(),
+                self.effective_table(session, &tref.name)?,
+            ));
         }
         // Only hold the optimizer lock when a learned model will actually
         // be consulted (it is stateful); planning with the DP baseline —
@@ -859,7 +1056,7 @@ impl Database {
                 "EXPLAIN supports SELECT statements".into(),
             ));
         };
-        let planned = self.plan(&s, session.planner_config())?;
+        let planned = self.plan(session, &s)?;
         let mut lines = Vec::new();
         if let Some(source) = &planned.join_order {
             lines.push(format!("join order: {source}"));

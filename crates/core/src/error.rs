@@ -16,6 +16,14 @@ pub enum CoreError {
     UnknownTable(String),
     UnknownColumn(String),
     Unsupported(String),
+    /// The open transaction was aborted — either by a statement error
+    /// inside it (auto-abort) or by a concurrency-control conflict at
+    /// COMMIT. `txn` names the aborted transaction so clients can tell
+    /// which unit of work was discarded.
+    TxnAborted {
+        txn: u64,
+        message: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -28,6 +36,9 @@ impl fmt::Display for CoreError {
             CoreError::UnknownTable(t) => write!(f, "unknown table '{t}'"),
             CoreError::UnknownColumn(c) => write!(f, "unknown column '{c}'"),
             CoreError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            CoreError::TxnAborted { txn, message } => {
+                write!(f, "transaction {txn} aborted: {message}")
+            }
         }
     }
 }

@@ -33,6 +33,7 @@ pub mod exec;
 pub mod expr;
 pub mod planner;
 pub mod session;
+pub mod transactions;
 pub mod vector;
 
 pub use analytics::{extract_examples, make_batches, value_to_field, Standardizer};
@@ -49,4 +50,5 @@ pub use exec::{
 pub use expr::{eval, eval_predicate, Bindings, EvalError};
 pub use planner::{plan_select, plan_select_with, PhysicalPlan, PlannedSelect, PlannerConfig};
 pub use session::SessionContext;
+pub use transactions::SessionTxn;
 pub use vector::{ExprKernel, PredicateSet, ProjectionSet};

@@ -16,6 +16,7 @@
 //! parallelism` per-connection instead of last-writer-wins global.
 
 use crate::planner::PlannerConfig;
+use crate::transactions::SessionTxn;
 
 /// Isolated per-session state: one per client connection (or one
 /// default instance per `Database` for the embedded convenience API).
@@ -23,7 +24,7 @@ use crate::planner::PlannerConfig;
 /// Cheap to create and to clone; holds no locks and no references into
 /// the `Database`, so a session can be driven from any thread as long
 /// as the caller hands it mutably to `execute_in_session`.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 pub struct SessionContext {
     /// Planner knobs this session's `SET` statements control.
     planner: PlannerConfig,
@@ -39,6 +40,26 @@ pub struct SessionContext {
     /// default) disables logging for this session; `SET slow_query_ms`
     /// controls it per session.
     slow_query_ms: Option<u64>,
+    /// The open multi-statement transaction, if any (`BEGIN` opened it
+    /// and neither `COMMIT` nor `ROLLBACK`/auto-abort closed it yet).
+    /// Owned by the session so transaction scope == session scope.
+    pub(crate) txn: Option<SessionTxn>,
+}
+
+impl Clone for SessionContext {
+    /// Cloning a session copies its settings but never its transaction:
+    /// a `Txn` handle holds engine-side lock state that must have
+    /// exactly one owner. `Database::execute_default` only clones the
+    /// default session when it has no open transaction.
+    fn clone(&self) -> Self {
+        SessionContext {
+            planner: self.planner.clone(),
+            session_id: self.session_id,
+            statements: self.statements,
+            slow_query_ms: self.slow_query_ms,
+            txn: None,
+        }
+    }
 }
 
 impl SessionContext {
@@ -95,6 +116,28 @@ impl SessionContext {
     /// (equivalent to `SET parallelism = n`), clamped to `1..=256`.
     pub fn set_parallelism(&mut self, n: usize) {
         self.planner.parallelism = n.clamp(1, 256);
+    }
+
+    /// Whether a multi-statement transaction is open on this session
+    /// (active or failed-awaiting-ROLLBACK).
+    pub fn in_txn(&self) -> bool {
+        self.txn.is_some()
+    }
+
+    /// The open transaction's id, if any.
+    pub fn txn_id(&self) -> Option<u64> {
+        self.txn.as_ref().map(|t| t.id())
+    }
+
+    /// Statements executed inside the open transaction (0 when none).
+    pub fn txn_statements(&self) -> u64 {
+        self.txn.as_ref().map_or(0, |t| t.statements())
+    }
+
+    /// Display state of the open transaction: `"active"`, `"aborted"`,
+    /// or `None` when no transaction is open.
+    pub fn txn_state(&self) -> Option<&'static str> {
+        self.txn.as_ref().map(|t| t.state_name())
     }
 }
 

@@ -1,0 +1,848 @@
+//! Multi-statement transactions for the SQL facade: `BEGIN` / `COMMIT` /
+//! `ROLLBACK`, with the learned concurrency control of `neurdb-cc` on the
+//! serving path.
+//!
+//! # Undo strategy: deferred-apply write set
+//!
+//! The WAL is redo-only (recovery replays exactly the committed-txn
+//! prefix), so an open transaction must not touch the shared heaps at
+//! all until its fate is decided. Each session therefore buffers its
+//! writes in per-table **overlays** ([`TableOverlay`]): an `UPDATE` or
+//! `DELETE` records the committed pre-image and the pending after-image
+//! keyed by record id, an `INSERT` appends to a pending-rows list.
+//!
+//! * Concurrent readers scan the untouched heaps — they can never
+//!   observe an uncommitted row, by construction.
+//! * `ROLLBACK` (and auto-abort on a statement error) is O(1): drop the
+//!   overlays.
+//! * `COMMIT` revalidates every buffered pre-image against the heap
+//!   under the database-wide commit lock, then applies the overlays as
+//!   one store transaction whose `TxnCommit` record is the *only*
+//!   commit record the WAL sees for the whole user transaction —
+//!   recovery is all-or-nothing per user transaction.
+//! * The store-level transaction spans only the short apply step, so a
+//!   checkpoint's quiesce never waits on an open user transaction.
+//!
+//! The tradeoff versus in-place version chains: read-your-own-writes
+//! needs overlay-aware statement execution (in-transaction `SELECT`s
+//! run against an ephemeral shadow table merging heap + overlay), and a
+//! very large transaction buffers its whole write set in memory. For
+//! the OLTP-shaped transactions the paper's CC section studies (YCSB /
+//! TPC-C, a handful of ops each) the O(1) abort and the untouched read
+//! path are the better end of the trade.
+//!
+//! # Learned CC on the serving path
+//!
+//! Every in-transaction statement consults the session-shared
+//! [`TxnEngine`] wired with a [`LivePolicy`] (the paper's flattened
+//! decision model, plus Polyjuice/OCC/2PL fallbacks switchable via
+//! `SET cc_policy`): row reads/writes map to engine keys (a stable hash
+//! of table x record id), predicate statements additionally read a
+//! per-table *epoch* key that inserts bump, and the policy decides
+//! buffer/lock/abort per op. Observed contention feeds the two-phase
+//! adaptation loop (`SET cc_adapt_every = n` re-tunes every n
+//! completed transactions; [`Database::cc_adapt_now`] forces a round).
+
+use crate::database::{Database, Output};
+use crate::error::{CoreError, CoreResult};
+use crate::exec::QueryResult;
+use crate::expr::{eval, eval_predicate, Bindings};
+use crate::session::SessionContext;
+use neurdb_cc::LivePolicy;
+use neurdb_sql::Expr;
+use neurdb_storage::{BufferPool, DiskManager, RecordId, Table, Tuple, Value};
+use neurdb_txn::{CcPolicy, EngineConfig, Txn, TxnEngine, TxnError};
+use parking_lot::Mutex;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Frames for the ephemeral buffer pool behind an in-transaction
+/// `SELECT`'s shadow table; the pool spills to its private in-memory
+/// disk, so this bounds residency, not table size.
+const SHADOW_POOL_FRAMES: usize = 256;
+
+/// Default ops hint handed to the engine for interactive transactions
+/// (the learned policy's "txn length" feature).
+const TXN_LEN_HINT: usize = 8;
+
+// ------------------------- engine key mapping -------------------------
+
+fn hash2(tag: u8, table: &str, extra: Option<RecordId>) -> u64 {
+    // std's SipHash with default keys is deterministic across processes
+    // given the same inputs, which keeps engine keys stable for a table
+    // name + record id for the lifetime of the database.
+    let mut h = DefaultHasher::new();
+    tag.hash(&mut h);
+    table.hash(&mut h);
+    if let Some(rid) = extra {
+        rid.hash(&mut h);
+    }
+    h.finish()
+}
+
+/// Engine key standing for one heap record of `table`.
+pub(crate) fn row_key(table: &str, rid: RecordId) -> u64 {
+    hash2(1, table, Some(rid))
+}
+
+/// Engine key standing for `table`'s membership: predicate statements
+/// read it, inserts write it, so an insert invalidates (or locks out,
+/// under a pessimistic policy) concurrent predicate transactions — a
+/// coarse phantom guard.
+pub(crate) fn epoch_key(table: &str) -> u64 {
+    hash2(0, table, None)
+}
+
+// --------------------------- session state ----------------------------
+
+/// One buffered change to a committed heap row.
+pub(crate) struct RowChange {
+    /// The committed tuple as first observed by this transaction; the
+    /// commit-time validation re-reads the heap and aborts on mismatch.
+    /// Stable across repeated in-transaction updates of the same row.
+    pub(crate) pre: Tuple,
+    /// The pending after-image; `None` buffers a delete.
+    pub(crate) new: Option<Tuple>,
+}
+
+/// Buffered effects of the open transaction on one table.
+#[derive(Default)]
+pub(crate) struct TableOverlay {
+    /// Changes to committed rows, keyed (and applied) in record-id
+    /// order so the commit apply is deterministic.
+    pub(crate) modified: BTreeMap<RecordId, RowChange>,
+    /// Rows this transaction inserted (no record id until commit).
+    pub(crate) inserted: Vec<Tuple>,
+}
+
+impl TableOverlay {
+    pub(crate) fn is_empty(&self) -> bool {
+        self.modified.is_empty() && self.inserted.is_empty()
+    }
+}
+
+/// A live transaction owned by a session.
+pub struct ActiveTxn {
+    /// The CC engine handle (holds any policy-acquired locks).
+    pub(crate) handle: Txn,
+    /// Statements executed inside this transaction so far.
+    pub(crate) statements: u64,
+    /// Deferred write set, keyed by table (sorted for apply order).
+    pub(crate) overlays: BTreeMap<String, TableOverlay>,
+}
+
+/// The transaction slot of a [`SessionContext`]: either live, or failed
+/// (a statement error auto-aborted it) and waiting for the client to
+/// acknowledge with `ROLLBACK`/`COMMIT`.
+pub enum SessionTxn {
+    Active(Box<ActiveTxn>),
+    /// Auto-aborted: effects are already discarded; every statement
+    /// except `ROLLBACK`/`COMMIT` errors until the client clears it.
+    Failed {
+        id: u64,
+    },
+}
+
+impl SessionTxn {
+    pub fn id(&self) -> u64 {
+        match self {
+            SessionTxn::Active(at) => at.handle.id,
+            SessionTxn::Failed { id } => *id,
+        }
+    }
+
+    pub fn statements(&self) -> u64 {
+        match self {
+            SessionTxn::Active(at) => at.statements,
+            SessionTxn::Failed { .. } => 0,
+        }
+    }
+
+    pub fn state_name(&self) -> &'static str {
+        match self {
+            SessionTxn::Active(_) => "active",
+            SessionTxn::Failed { .. } => "aborted",
+        }
+    }
+}
+
+impl fmt::Debug for SessionTxn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SessionTxn({}, {})", self.id(), self.state_name())
+    }
+}
+
+// ------------------------- database CC state --------------------------
+
+/// Process-wide concurrency-control state owned by the [`Database`].
+pub(crate) struct CcState {
+    /// The shared CC engine all sessions' transactions run through.
+    pub(crate) engine: Arc<TxnEngine>,
+    /// The switchable policy the engine consults (learned by default).
+    pub(crate) live: Arc<LivePolicy>,
+    /// Serializes every commit apply (transactional and autocommit)
+    /// with the pre-image validation that precedes it, so validation
+    /// cannot race a concurrent writer between check and apply.
+    pub(crate) commit_lock: Mutex<()>,
+    /// Completed user transactions (commit + abort + rollback).
+    pub(crate) completions: AtomicU64,
+    /// Run the two-phase adaptation loop every n completions (0 = off;
+    /// `SET cc_adapt_every = n`). On by default: the learned model's
+    /// immediate-abort action is only rescued by adaptation — under a
+    /// sustained abort storm on a hot key the counterfactual replay
+    /// rewards locking over aborting, so the loop steers the policy out
+    /// of retry livelock. Aborts count as completions, which is what
+    /// makes the loop fire *during* a storm rather than after it.
+    pub(crate) adapt_every: AtomicU64,
+}
+
+/// Default adaptation cadence (in completed transactions).
+const ADAPT_EVERY_DEFAULT: u64 = 64;
+
+impl CcState {
+    pub(crate) fn new() -> CcState {
+        let live = Arc::new(LivePolicy::new(0x005e_edcc));
+        let engine = Arc::new(TxnEngine::new(
+            live.clone() as Arc<dyn CcPolicy>,
+            EngineConfig::default(),
+        ));
+        CcState {
+            engine,
+            live,
+            commit_lock: Mutex::new(()),
+            completions: AtomicU64::new(0),
+            adapt_every: AtomicU64::new(ADAPT_EVERY_DEFAULT),
+        }
+    }
+}
+
+fn conflict_err(e: TxnError) -> CoreError {
+    CoreError::Unsupported(format!("concurrency-control conflict: {e:?}"))
+}
+
+// ------------------------ Database txn methods -------------------------
+
+impl Database {
+    /// `BEGIN [TRANSACTION | WORK]`.
+    pub(crate) fn begin_txn(&self, session: &mut SessionContext) -> CoreResult<Output> {
+        if let Some(t) = &session.txn {
+            return Err(CoreError::Unsupported(format!(
+                "BEGIN: transaction {} is already open on this session",
+                t.id()
+            )));
+        }
+        let handle = self.cc.engine.begin_with_hint(TXN_LEN_HINT);
+        session.txn = Some(SessionTxn::Active(Box::new(ActiveTxn {
+            handle,
+            statements: 0,
+            overlays: BTreeMap::new(),
+        })));
+        Ok(Output::Affected(0))
+    }
+
+    /// `ROLLBACK [TRANSACTION | WORK]`: discard the open transaction's
+    /// buffered effects (a no-op heap-wise — nothing was applied).
+    pub(crate) fn rollback_txn(&self, session: &mut SessionContext) -> CoreResult<Output> {
+        match session.txn.take() {
+            None => Err(CoreError::Unsupported(
+                "ROLLBACK: no transaction is open on this session".into(),
+            )),
+            // Auto-abort already released everything; ROLLBACK just
+            // acknowledges (the abort was counted when it happened).
+            Some(SessionTxn::Failed { .. }) => Ok(Output::Affected(0)),
+            Some(SessionTxn::Active(at)) => {
+                self.cc.engine.abort(at.handle);
+                self.store().metrics().counter("txn.rollbacks").inc();
+                self.note_txn_completion();
+                Ok(Output::Affected(0))
+            }
+        }
+    }
+
+    /// `COMMIT [TRANSACTION | WORK]`: validate, apply the write set as
+    /// one store transaction, and wait until its commit record is
+    /// durable.
+    pub(crate) fn commit_txn(&self, session: &mut SessionContext) -> CoreResult<Output> {
+        match session.txn.take() {
+            None => Err(CoreError::Unsupported(
+                "COMMIT: no transaction is open on this session".into(),
+            )),
+            Some(SessionTxn::Failed { id }) => Err(CoreError::TxnAborted {
+                txn: id,
+                message: "transaction was aborted; its statements were discarded".into(),
+            }),
+            Some(SessionTxn::Active(at)) => self.apply_commit(*at),
+        }
+    }
+
+    /// Abort the session's open transaction because a statement inside
+    /// it failed; leaves the session in the `Failed` state so later
+    /// statements error until `ROLLBACK`. Returns the aborted txn id.
+    pub(crate) fn auto_abort_txn(&self, session: &mut SessionContext) -> u64 {
+        match session.txn.take() {
+            Some(SessionTxn::Active(at)) => {
+                let id = at.handle.id;
+                self.cc.engine.abort(at.handle);
+                self.store().metrics().counter("txn.aborts").inc();
+                self.note_txn_completion();
+                session.txn = Some(SessionTxn::Failed { id });
+                id
+            }
+            Some(f @ SessionTxn::Failed { .. }) => {
+                let id = f.id();
+                session.txn = Some(f);
+                id
+            }
+            None => 0,
+        }
+    }
+
+    /// Roll back whatever transaction the session still has open —
+    /// server front ends call this when a connection drops mid-
+    /// transaction. Safe to call with no transaction open.
+    pub fn rollback_session(&self, session: &mut SessionContext) {
+        if let Some(SessionTxn::Active(at)) = session.txn.take() {
+            self.cc.engine.abort(at.handle);
+            self.store().metrics().counter("txn.rollbacks").inc();
+            self.note_txn_completion();
+        }
+    }
+
+    fn apply_commit(&self, at: ActiveTxn) -> CoreResult<Output> {
+        let start = Instant::now();
+        let ActiveTxn {
+            handle, overlays, ..
+        } = at;
+        let id = handle.id;
+
+        // Everything from validation through the commit record is under
+        // the commit lock: no other transaction (or autocommit
+        // statement) can write between our pre-image check and our
+        // apply.
+        let guard = self.cc.commit_lock.lock();
+
+        // First-committer-wins validation: every row we buffered a
+        // change for must still carry the pre-image we read.
+        for (name, ov) in &overlays {
+            let t = match self.table(name) {
+                Ok(t) => t,
+                Err(e) => {
+                    drop(guard);
+                    return self.commit_conflict(handle, id, format!("{e}"));
+                }
+            };
+            for (rid, ch) in &ov.modified {
+                match t.get(*rid) {
+                    Ok(current) if current == ch.pre => {}
+                    _ => {
+                        drop(guard);
+                        return self.commit_conflict(
+                            handle,
+                            id,
+                            format!(
+                                "row {}:{} of '{name}' was changed by a concurrent transaction",
+                                rid.page, rid.slot
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+
+        // The CC engine's own validation (OCC read sets / SSI / lock
+        // release, per the live policy).
+        if let Err(e) = self.cc.engine.commit(handle) {
+            drop(guard);
+            self.store().metrics().counter("txn.aborts").inc();
+            self.note_txn_completion();
+            return Err(CoreError::TxnAborted {
+                txn: id,
+                message: format!("concurrency-control validation failed: {e:?}"),
+            });
+        }
+
+        // Apply the write set as one store transaction. Its TxnCommit
+        // record is the only commit the WAL sees for this user
+        // transaction, so recovery replays it all or not at all.
+        let has_changes = overlays.values().any(|ov| !ov.is_empty());
+        let mut lsn = None;
+        let mut apply_err: Option<CoreError> = None;
+        if has_changes {
+            let wtxn = self.store().begin();
+            'apply: for (name, ov) in &overlays {
+                for (rid, ch) in &ov.modified {
+                    let r = match &ch.new {
+                        Some(t) => self.store().update(wtxn, name, *rid, t.clone()),
+                        None => self.store().delete(wtxn, name, *rid),
+                    };
+                    if let Err(e) = r {
+                        apply_err = Some(e.into());
+                        break 'apply;
+                    }
+                }
+                for t in &ov.inserted {
+                    if let Err(e) = self.store().insert(wtxn, name, t.clone()) {
+                        apply_err = Some(e.into());
+                        break 'apply;
+                    }
+                }
+            }
+            // Close the store txn even on error: applied operations stay
+            // (the executor's statement-level partial-failure semantics,
+            // now per transaction — see ARCHITECTURE.md) and recovered
+            // state matches what live sessions observed.
+            lsn = self.store().commit_nowait(wtxn);
+        }
+        drop(guard);
+
+        if let Some(e) = apply_err {
+            self.store().metrics().counter("txn.aborts").inc();
+            self.note_txn_completion();
+            return Err(e);
+        }
+        // Group-commit friendly: the durability wait happens after the
+        // commit lock is released.
+        if let Some(lsn) = lsn {
+            self.store().wait_durable(lsn)?;
+        }
+        let m = self.store().metrics();
+        m.counter("txn.commits").inc();
+        m.histogram("txn.commit_ns")
+            .record_duration(start.elapsed());
+        self.note_txn_completion();
+        Ok(Output::Affected(0))
+    }
+
+    fn commit_conflict(&self, handle: Txn, id: u64, message: String) -> CoreResult<Output> {
+        self.cc.engine.abort(handle);
+        self.store().metrics().counter("txn.aborts").inc();
+        self.note_txn_completion();
+        Err(CoreError::TxnAborted { txn: id, message })
+    }
+
+    /// One user transaction finished (commit, abort, or rollback):
+    /// maybe run the two-phase adaptation loop.
+    fn note_txn_completion(&self) {
+        let done = self.cc.completions.fetch_add(1, Ordering::Relaxed) + 1;
+        let every = self.cc.adapt_every.load(Ordering::Relaxed);
+        if every > 0 && done.is_multiple_of(every) {
+            self.run_adaptation();
+        }
+    }
+
+    fn run_adaptation(&self) {
+        if self.cc.live.adapt_now(&self.cc.engine.metrics).is_some() {
+            self.store().metrics().counter("cc.adaptations").inc();
+        }
+    }
+
+    /// Force one round of the two-phase adaptation loop on the live
+    /// policy, fed by the engine's observed contention. Returns the
+    /// replayed reward of the installed parameters, or `None` when no
+    /// decisions were sampled since the last round.
+    pub fn cc_adapt_now(&self) -> Option<f64> {
+        let r = self.cc.live.adapt_now(&self.cc.engine.metrics);
+        if r.is_some() {
+            self.store().metrics().counter("cc.adaptations").inc();
+        }
+        r
+    }
+
+    /// How many operations consulted the live CC policy so far.
+    pub fn cc_decisions(&self) -> u64 {
+        self.cc.live.consults()
+    }
+
+    /// The active CC policy's name (`SET cc_policy` switches it).
+    pub fn cc_policy_name(&self) -> &'static str {
+        self.cc.live.mode().name()
+    }
+
+    // ----------------------- engine op helpers ------------------------
+
+    /// Policy-mediated engine read; every call is one consulted CC
+    /// decision (`cc.decisions`).
+    fn cc_read(&self, handle: &mut Txn, key: u64) -> CoreResult<u64> {
+        self.store().metrics().counter("cc.decisions").inc();
+        self.cc.engine.read(handle, key).map_err(conflict_err)
+    }
+
+    /// Policy-mediated engine write (the engine's value payload is
+    /// unused by the SQL facade; the key's lock/version state is what
+    /// matters).
+    fn cc_write(&self, handle: &mut Txn, key: u64) -> CoreResult<()> {
+        self.store().metrics().counter("cc.decisions").inc();
+        self.cc.engine.write(handle, key, 0).map_err(conflict_err)
+    }
+
+    /// Record a predicate read of each table in `tables` on the open
+    /// transaction (its epoch key): in-transaction `SELECT`s call this
+    /// so a concurrent insert invalidates — or a pessimistic policy
+    /// blocks — this transaction at commit.
+    pub(crate) fn txn_note_table_reads(
+        &self,
+        session: &mut SessionContext,
+        tables: &[String],
+    ) -> CoreResult<()> {
+        let Some(SessionTxn::Active(at)) = &mut session.txn else {
+            return Ok(());
+        };
+        for name in tables {
+            let ek = epoch_key(name);
+            self.cc.engine.ensure(ek);
+            self.store().metrics().counter("cc.decisions").inc();
+            self.cc
+                .engine
+                .read(&mut at.handle, ek)
+                .map_err(conflict_err)?;
+        }
+        Ok(())
+    }
+
+    // --------------------- in-transaction DML ------------------------
+
+    /// `INSERT` inside an open transaction: evaluate the rows and
+    /// buffer them; the table's epoch key is written so concurrent
+    /// predicate transactions see the membership change.
+    pub(crate) fn txn_insert(
+        &self,
+        at: &mut ActiveTxn,
+        table: &str,
+        columns: Option<&[String]>,
+        rows: &[Vec<Expr>],
+    ) -> CoreResult<usize> {
+        let t = self.table(table)?;
+        let arity = t.schema.arity();
+        let positions: Vec<usize> = match columns {
+            Some(cols) => cols
+                .iter()
+                .map(|c| {
+                    t.schema
+                        .column_index(c)
+                        .ok_or_else(|| CoreError::UnknownColumn(c.clone()))
+                })
+                .collect::<CoreResult<_>>()?,
+            None => (0..arity).collect(),
+        };
+        let empty_env = Bindings::default();
+        let empty_row = Tuple::new(vec![]);
+        let mut staged = Vec::with_capacity(rows.len());
+        for row in rows {
+            if row.len() != positions.len() {
+                return Err(CoreError::Unsupported(format!(
+                    "INSERT arity mismatch: {} values for {} columns",
+                    row.len(),
+                    positions.len()
+                )));
+            }
+            let mut vals = vec![Value::Null; arity];
+            for (expr, &pos) in row.iter().zip(positions.iter()) {
+                vals[pos] = eval(expr, &empty_row, &empty_env)?;
+            }
+            staged.push(Tuple::new(vals));
+        }
+        let ek = epoch_key(table);
+        self.cc.engine.ensure(ek);
+        self.cc_write(&mut at.handle, ek)?;
+        let n = staged.len();
+        at.overlays
+            .entry(table.to_string())
+            .or_default()
+            .inserted
+            .extend(staged);
+        Ok(n)
+    }
+
+    /// `UPDATE` inside an open transaction: predicate over the
+    /// *effective* rows (heap merged with this transaction's overlay),
+    /// buffering after-images; each touched committed row is read and
+    /// written through the CC engine.
+    pub(crate) fn txn_update(
+        &self,
+        at: &mut ActiveTxn,
+        table: &str,
+        assignments: &[(String, Expr)],
+        predicate: Option<&Expr>,
+    ) -> CoreResult<usize> {
+        let t = self.table(table)?;
+        let names = t.schema.names();
+        let env = Bindings::for_table(table, &names);
+        let targets: Vec<usize> = assignments
+            .iter()
+            .map(|(c, _)| {
+                t.schema
+                    .column_index(c)
+                    .ok_or_else(|| CoreError::UnknownColumn(c.clone()))
+            })
+            .collect::<CoreResult<_>>()?;
+        let ek = epoch_key(table);
+        self.cc.engine.ensure(ek);
+        self.cc_read(&mut at.handle, ek)?;
+        let scan = t.scan()?;
+        let mut n = 0;
+        let ov = at.overlays.entry(table.to_string()).or_default();
+        for (rid, heap_row) in scan {
+            let effective = match ov.modified.get(&rid) {
+                Some(RowChange { new: None, .. }) => continue,
+                Some(RowChange { new: Some(cur), .. }) => cur.clone(),
+                None => heap_row.clone(),
+            };
+            let hit = match predicate {
+                Some(p) => eval_predicate(p, &effective, &env)?,
+                None => true,
+            };
+            if !hit {
+                continue;
+            }
+            let rk = row_key(table, rid);
+            self.cc.engine.ensure(rk);
+            {
+                let m = self.store().metrics();
+                m.counter("cc.decisions").add(2);
+            }
+            self.cc
+                .engine
+                .read(&mut at.handle, rk)
+                .map_err(conflict_err)?;
+            self.cc
+                .engine
+                .write(&mut at.handle, rk, 0)
+                .map_err(conflict_err)?;
+            let mut new_row = effective.clone();
+            for ((_, expr), &pos) in assignments.iter().zip(targets.iter()) {
+                new_row.values[pos] = eval(expr, &effective, &env)?;
+            }
+            ov.modified
+                .entry(rid)
+                .and_modify(|ch| ch.new = Some(new_row.clone()))
+                .or_insert_with(|| RowChange {
+                    pre: heap_row,
+                    new: Some(new_row),
+                });
+            n += 1;
+        }
+        // Rows this transaction itself inserted (no record id yet, no
+        // engine key — they are invisible outside this session).
+        for i in 0..ov.inserted.len() {
+            let row = ov.inserted[i].clone();
+            let hit = match predicate {
+                Some(p) => eval_predicate(p, &row, &env)?,
+                None => true,
+            };
+            if !hit {
+                continue;
+            }
+            let mut new_row = row.clone();
+            for ((_, expr), &pos) in assignments.iter().zip(targets.iter()) {
+                new_row.values[pos] = eval(expr, &row, &env)?;
+            }
+            ov.inserted[i] = new_row;
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// `DELETE` inside an open transaction: like [`Database::txn_update`],
+    /// buffering tombstones for committed rows and dropping pending
+    /// inserts in place.
+    pub(crate) fn txn_delete(
+        &self,
+        at: &mut ActiveTxn,
+        table: &str,
+        predicate: Option<&Expr>,
+    ) -> CoreResult<usize> {
+        let t = self.table(table)?;
+        let names = t.schema.names();
+        let env = Bindings::for_table(table, &names);
+        let ek = epoch_key(table);
+        self.cc.engine.ensure(ek);
+        self.cc_read(&mut at.handle, ek)?;
+        let scan = t.scan()?;
+        let mut n = 0;
+        let ov = at.overlays.entry(table.to_string()).or_default();
+        for (rid, heap_row) in scan {
+            let effective = match ov.modified.get(&rid) {
+                Some(RowChange { new: None, .. }) => continue,
+                Some(RowChange { new: Some(cur), .. }) => cur.clone(),
+                None => heap_row.clone(),
+            };
+            let hit = match predicate {
+                Some(p) => eval_predicate(p, &effective, &env)?,
+                None => true,
+            };
+            if !hit {
+                continue;
+            }
+            let rk = row_key(table, rid);
+            self.cc.engine.ensure(rk);
+            {
+                let m = self.store().metrics();
+                m.counter("cc.decisions").add(2);
+            }
+            self.cc
+                .engine
+                .read(&mut at.handle, rk)
+                .map_err(conflict_err)?;
+            self.cc
+                .engine
+                .write(&mut at.handle, rk, 0)
+                .map_err(conflict_err)?;
+            ov.modified
+                .entry(rid)
+                .and_modify(|ch| ch.new = None)
+                .or_insert_with(|| RowChange {
+                    pre: heap_row,
+                    new: None,
+                });
+            n += 1;
+        }
+        let mut i = 0;
+        while i < ov.inserted.len() {
+            let hit = match predicate {
+                Some(p) => eval_predicate(p, &ov.inserted[i], &env)?,
+                None => true,
+            };
+            if hit {
+                ov.inserted.remove(i);
+                n += 1;
+            } else {
+                i += 1;
+            }
+        }
+        Ok(n)
+    }
+
+    // ------------------- overlay-aware table reads --------------------
+
+    /// Resolve `name` as this session sees it: the shared table, unless
+    /// the session's open transaction has buffered changes to it — then
+    /// an ephemeral shadow table merging heap + overlay (read-your-own-
+    /// writes for in-transaction `SELECT`s). Other sessions always get
+    /// the shared table: uncommitted rows are never visible to them.
+    pub(crate) fn effective_table(
+        &self,
+        session: &SessionContext,
+        name: &str,
+    ) -> CoreResult<Arc<Table>> {
+        let base = self.table(name)?;
+        let Some(SessionTxn::Active(at)) = &session.txn else {
+            return Ok(base);
+        };
+        let Some(ov) = at.overlays.get(name) else {
+            return Ok(base);
+        };
+        if ov.is_empty() {
+            return Ok(base);
+        }
+        let pool = Arc::new(BufferPool::new(
+            Arc::new(DiskManager::new()),
+            SHADOW_POOL_FRAMES,
+        ));
+        let shadow = Table::new(base.name.clone(), base.schema.clone(), pool);
+        for col in base.indexed_columns() {
+            shadow.create_index(col)?;
+        }
+        for (rid, row) in base.scan()? {
+            match ov.modified.get(&rid) {
+                Some(RowChange { new: None, .. }) => continue,
+                Some(RowChange { new: Some(cur), .. }) => shadow.insert(cur.clone())?,
+                None => shadow.insert(row)?,
+            };
+        }
+        for t in &ov.inserted {
+            shadow.insert(t.clone())?;
+        }
+        Ok(Arc::new(shadow))
+    }
+
+    /// `SHOW cc`: the live concurrency-control state as
+    /// `(property, value)` rows.
+    pub(crate) fn show_cc(&self) -> QueryResult {
+        let tracker = &self.cc.engine.metrics;
+        let rows: Vec<(String, Value)> = vec![
+            (
+                "policy".into(),
+                Value::Text(self.cc.live.mode().name().into()),
+            ),
+            (
+                "decisions".into(),
+                Value::Int(self.cc.live.consults() as i64),
+            ),
+            (
+                "adaptations".into(),
+                Value::Int(self.cc.live.adaptations() as i64),
+            ),
+            (
+                "adapt_every".into(),
+                Value::Int(self.cc.adapt_every.load(Ordering::Relaxed) as i64),
+            ),
+            (
+                "engine.commits".into(),
+                Value::Int(tracker.commits() as i64),
+            ),
+            ("engine.aborts".into(), Value::Int(tracker.aborts() as i64)),
+            (
+                "engine.abort_ratio".into(),
+                Value::Float(tracker.abort_ratio()),
+            ),
+        ];
+        QueryResult {
+            columns: vec!["property".to_string(), "value".to_string()],
+            rows: rows
+                .into_iter()
+                .map(|(n, v)| Tuple::new(vec![Value::Text(n), v]))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_keys_are_stable_and_distinct() {
+        let rid = RecordId::new(3, 7);
+        assert_eq!(row_key("t", rid), row_key("t", rid));
+        assert_eq!(epoch_key("t"), epoch_key("t"));
+        assert_ne!(row_key("t", rid), epoch_key("t"));
+        assert_ne!(epoch_key("t"), epoch_key("u"));
+        assert_ne!(row_key("t", rid), row_key("u", rid));
+        assert_ne!(row_key("t", rid), row_key("t", RecordId::new(3, 8)));
+    }
+
+    #[test]
+    fn session_txn_reports_state() {
+        let cc = CcState::new();
+        let handle = cc.engine.begin_with_hint(2);
+        let id = handle.id;
+        let t = SessionTxn::Active(Box::new(ActiveTxn {
+            handle,
+            statements: 3,
+            overlays: BTreeMap::new(),
+        }));
+        assert_eq!(t.id(), id);
+        assert_eq!(t.statements(), 3);
+        assert_eq!(t.state_name(), "active");
+        let f = SessionTxn::Failed { id: 9 };
+        assert_eq!(f.id(), 9);
+        assert_eq!(f.statements(), 0);
+        assert_eq!(f.state_name(), "aborted");
+        if let SessionTxn::Active(at) = t {
+            cc.engine.abort(at.handle);
+        }
+    }
+
+    #[test]
+    fn overlay_emptiness() {
+        let mut ov = TableOverlay::default();
+        assert!(ov.is_empty());
+        ov.inserted.push(Tuple::new(vec![Value::Int(1)]));
+        assert!(!ov.is_empty());
+    }
+}

@@ -36,6 +36,11 @@ pub enum ClientError {
     Shutdown(String),
     /// The server refused the connection at admission (max-connections).
     Busy(String),
+    /// The session's open transaction was aborted server-side (statement
+    /// error inside it, or a concurrency-control conflict at COMMIT);
+    /// its effects were discarded. The connection stays usable — issue
+    /// `ROLLBACK` to clear the transaction state.
+    TxnAborted(String),
 }
 
 impl ClientError {
@@ -46,6 +51,7 @@ impl ClientError {
             WireErrorKind::Protocol => ClientError::Protocol(message),
             WireErrorKind::Shutdown => ClientError::Shutdown(message),
             WireErrorKind::TooBusy => ClientError::Busy(message),
+            WireErrorKind::TxnAborted => ClientError::TxnAborted(message),
         }
     }
 }
@@ -58,6 +64,7 @@ impl fmt::Display for ClientError {
             ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
             ClientError::Shutdown(m) => write!(f, "server shutdown: {m}"),
             ClientError::Busy(m) => write!(f, "server busy: {m}"),
+            ClientError::TxnAborted(m) => write!(f, "transaction aborted: {m}"),
         }
     }
 }
@@ -226,6 +233,14 @@ mod tests {
     fn busy_error_frame_maps_to_busy() {
         match ClientError::from_frame(WireErrorKind::TooBusy, "server at capacity".into()) {
             ClientError::Busy(m) => assert!(m.contains("capacity")),
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn txn_aborted_error_frame_maps_to_txn_aborted() {
+        match ClientError::from_frame(WireErrorKind::TxnAborted, "transaction 7 aborted".into()) {
+            ClientError::TxnAborted(m) => assert!(m.contains("transaction 7")),
             other => panic!("wrong variant: {other:?}"),
         }
     }

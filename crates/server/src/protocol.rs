@@ -107,6 +107,11 @@ pub enum WireErrorKind {
     Shutdown,
     /// Admission control rejected the connection (max-connections).
     TooBusy,
+    /// The session's open transaction was aborted (statement error or
+    /// concurrency-control conflict); its effects were discarded. The
+    /// connection stays usable — issue `ROLLBACK` to clear the
+    /// transaction state and continue.
+    TxnAborted,
 }
 
 impl WireErrorKind {
@@ -116,6 +121,7 @@ impl WireErrorKind {
             WireErrorKind::Protocol => 1,
             WireErrorKind::Shutdown => 2,
             WireErrorKind::TooBusy => 3,
+            WireErrorKind::TxnAborted => 4,
         }
     }
 
@@ -125,6 +131,7 @@ impl WireErrorKind {
             1 => WireErrorKind::Protocol,
             2 => WireErrorKind::Shutdown,
             3 => WireErrorKind::TooBusy,
+            4 => WireErrorKind::TxnAborted,
             _ => return None,
         })
     }
@@ -534,6 +541,7 @@ mod tests {
             WireErrorKind::Protocol,
             WireErrorKind::Shutdown,
             WireErrorKind::TooBusy,
+            WireErrorKind::TxnAborted,
         ] {
             let resp = Response::Error {
                 kind,

@@ -81,6 +81,12 @@ pub struct SessionInfo {
     pub last_latency: Option<Duration>,
     /// The statement executing right now, if any.
     pub current: Option<String>,
+    /// The session's open transaction id, if a `BEGIN` is pending.
+    pub txn_id: Option<u64>,
+    /// Statements executed inside the open transaction.
+    pub txn_statements: u64,
+    /// State of the open transaction (`"active"` / `"aborted"`), if any.
+    pub txn_state: Option<&'static str>,
 }
 
 /// Pre-resolved handles into the database's metrics registry for the
@@ -129,7 +135,7 @@ fn statement_kind(sql: &str) -> &'static str {
     let lead = sql.split_whitespace().next().unwrap_or("");
     for kind in [
         "select", "insert", "update", "delete", "create", "drop", "set", "show", "explain",
-        "predict",
+        "predict", "begin", "commit", "rollback",
     ] {
         if lead.eq_ignore_ascii_case(kind) {
             return kind;
@@ -165,6 +171,9 @@ impl Shared {
                 total_latency: Duration::ZERO,
                 last_latency: None,
                 current: None,
+                txn_id: None,
+                txn_statements: 0,
+                txn_state: None,
             },
         );
     }
@@ -181,13 +190,16 @@ impl Shared {
         }
     }
 
-    fn end_statement(&self, id: u64, parallelism: usize, elapsed: Duration) {
+    fn end_statement(&self, id: u64, session: &SessionContext, elapsed: Duration) {
         if let Some(s) = self.sessions.lock().get_mut(&id) {
             s.current = None;
             s.statements += 1;
-            s.parallelism = parallelism;
+            s.parallelism = session.parallelism();
             s.total_latency += elapsed;
             s.last_latency = Some(elapsed);
+            s.txn_id = session.txn_id();
+            s.txn_statements = session.txn_statements();
+            s.txn_state = session.txn_state();
         }
     }
 
@@ -210,6 +222,9 @@ impl Shared {
                 "total_ms".to_string(),
                 "last_ms".to_string(),
                 "current_query".to_string(),
+                "txn_id".to_string(),
+                "txn_statements".to_string(),
+                "txn_state".to_string(),
             ],
             rows: infos
                 .into_iter()
@@ -223,6 +238,10 @@ impl Shared {
                         s.last_latency
                             .map_or(Value::Null, |d| Value::Float(d.as_secs_f64() * 1e3)),
                         s.current.map_or(Value::Null, Value::Text),
+                        s.txn_id.map_or(Value::Null, |t| Value::Int(t as i64)),
+                        Value::Int(s.txn_statements as i64),
+                        s.txn_state
+                            .map_or(Value::Null, |st| Value::Text(st.to_string())),
                     ]
                 })
                 .collect(),
@@ -497,7 +516,7 @@ fn connection_loop(mut stream: TcpStream, id: u64, shared: Arc<Shared>) {
                             let resp = run_statement(&shared, &mut session, &sql);
                             let elapsed = start.elapsed();
                             shared.metrics.record_statement(&sql, elapsed);
-                            shared.end_statement(id, session.parallelism(), elapsed);
+                            shared.end_statement(id, &session, elapsed);
                             match send_response(&mut stream, &resp, &shared.metrics) {
                                 Ok(()) => {}
                                 // A result set too large for one frame is a
@@ -553,6 +572,9 @@ fn connection_loop(mut stream: TcpStream, id: u64, shared: Arc<Shared>) {
             }
         }
     }
+    // A dropped connection must not leak its open transaction: discard
+    // any buffered effects and release the CC engine's state.
+    shared.db.rollback_session(&mut session);
     shared.deregister(id);
 }
 
@@ -580,6 +602,13 @@ fn run_statement(shared: &Shared, session: &mut SessionContext, sql: &str) -> Re
             mid: p.mid,
             trained: p.train_outcome.is_some(),
             rows: rowset_from(p.result),
+        },
+        // An aborted transaction gets its own frame kind so drivers can
+        // distinguish "this unit of work was discarded; ROLLBACK and
+        // retry" from an ordinary statement failure.
+        Err(e @ neurdb_core::CoreError::TxnAborted { .. }) => Response::Error {
+            kind: WireErrorKind::TxnAborted,
+            message: e.to_string(),
         },
         Err(e) => Response::Error {
             kind: WireErrorKind::Sql,

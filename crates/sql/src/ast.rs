@@ -295,6 +295,15 @@ pub enum Statement {
     Show {
         name: String,
     },
+    /// `BEGIN [TRANSACTION | WORK]`: open a multi-statement transaction
+    /// on the session.
+    Begin,
+    /// `COMMIT [TRANSACTION | WORK]`: make the open transaction's writes
+    /// visible and durable.
+    Commit,
+    /// `ROLLBACK [TRANSACTION | WORK]`: discard the open transaction's
+    /// writes.
+    Rollback,
 }
 
 #[cfg(test)]

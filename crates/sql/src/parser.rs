@@ -4,7 +4,8 @@
 //!
 //! ```text
 //! stmt     := create_table | drop_table | create_index | insert | update
-//!           | delete | select | predict
+//!           | delete | select | predict | txn_control
+//! txn_control := (BEGIN | COMMIT | ROLLBACK) [TRANSACTION | WORK]
 //! predict  := PREDICT (VALUE | CLASS) OF ident FROM ident [WHERE expr]
 //!             TRAIN ON (* | ident_list) [WITH expr] [VALUES row_list]
 //! select   := SELECT items FROM table_refs [WHERE expr] [GROUP BY exprs]
@@ -151,8 +152,24 @@ impl Parser {
             Some(Token::Keyword(Keyword::Explain)) => self.explain(),
             Some(Token::Keyword(Keyword::Set)) => self.set_stmt(),
             Some(Token::Keyword(Keyword::Show)) => self.show_stmt(),
+            Some(Token::Keyword(Keyword::Begin)) => self.txn_control(Statement::Begin),
+            Some(Token::Keyword(Keyword::Commit)) => self.txn_control(Statement::Commit),
+            Some(Token::Keyword(Keyword::Rollback)) => self.txn_control(Statement::Rollback),
             _ => Err(self.err(&format!("expected statement, found {}", self.peek_str()))),
         }
+    }
+
+    /// `BEGIN | COMMIT | ROLLBACK`, each with an optional noise word.
+    /// TRANSACTION and WORK are not lexer keywords (they stay usable as
+    /// identifiers elsewhere), so they are matched by text here.
+    fn txn_control(&mut self, stmt: Statement) -> PResult<Statement> {
+        self.pos += 1; // the BEGIN/COMMIT/ROLLBACK keyword itself
+        if let Some(Token::Ident(w)) = self.peek() {
+            if w.eq_ignore_ascii_case("transaction") || w.eq_ignore_ascii_case("work") {
+                self.pos += 1;
+            }
+        }
+        Ok(stmt)
     }
 
     /// `SHOW name` — catalog / session / server introspection.
@@ -966,6 +983,26 @@ mod tests {
                 value: Literal::Int(250),
             }
         );
+    }
+
+    #[test]
+    fn txn_control_statements() {
+        assert_eq!(parse("BEGIN").unwrap(), Statement::Begin);
+        assert_eq!(parse("begin transaction;").unwrap(), Statement::Begin);
+        assert_eq!(parse("BEGIN WORK").unwrap(), Statement::Begin);
+        assert_eq!(parse("COMMIT").unwrap(), Statement::Commit);
+        assert_eq!(parse("COMMIT WORK;").unwrap(), Statement::Commit);
+        assert_eq!(parse("rollback").unwrap(), Statement::Rollback);
+        assert_eq!(parse("ROLLBACK TRANSACTION").unwrap(), Statement::Rollback);
+        // Noise words are optional, and junk after them is rejected.
+        assert!(parse("BEGIN TRANSACTION extra").is_err());
+        assert!(parse("COMMIT 5").is_err());
+        // TRANSACTION/WORK stay usable as identifiers.
+        assert!(parse("SELECT transaction, work FROM t").is_ok());
+        let stmts = parse_script("BEGIN; INSERT INTO t VALUES (1); COMMIT;").unwrap();
+        assert_eq!(stmts.len(), 3);
+        assert_eq!(stmts[0], Statement::Begin);
+        assert_eq!(stmts[2], Statement::Commit);
     }
 
     #[test]

@@ -57,6 +57,10 @@ pub enum Keyword {
     Analyze,
     // Session / catalog introspection.
     Show,
+    // Transaction control.
+    Begin,
+    Commit,
+    Rollback,
 }
 
 impl Keyword {
@@ -114,6 +118,12 @@ impl Keyword {
             // spelling would silently rename user columns.
             "ANALYZE" => Keyword::Analyze,
             "SHOW" => Keyword::Show,
+            "BEGIN" => Keyword::Begin,
+            "COMMIT" => Keyword::Commit,
+            "ROLLBACK" => Keyword::Rollback,
+            // TRANSACTION / WORK stay plain identifiers so they remain
+            // usable as column names; the parser matches them by text
+            // after BEGIN.
             _ => return None,
         })
     }

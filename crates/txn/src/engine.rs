@@ -257,6 +257,20 @@ impl TxnEngine {
         st.versions.push(Version { ts, value });
     }
 
+    /// Make `key` readable even if no transaction has ever written it: if
+    /// the key has no versions, install a zero version at timestamp 0,
+    /// visible to every snapshot. Callers that map externally-created
+    /// objects (e.g. heap rows that predate the engine) onto engine keys
+    /// use this before the first `read`, so the conflict bookkeeping works
+    /// without a priming write.
+    pub fn ensure(&self, key: u64) {
+        let mut m = self.shard(key).map.lock();
+        let st = m.entry(key).or_default();
+        if st.versions.is_empty() {
+            st.versions.push(Version { ts: 0, value: 0 });
+        }
+    }
+
     pub fn begin(&self) -> Txn {
         self.begin_with_hint(10)
     }
@@ -609,6 +623,22 @@ mod tests {
 
     fn engine(policy: Arc<dyn CcPolicy>) -> TxnEngine {
         TxnEngine::new(policy, EngineConfig::default())
+    }
+
+    #[test]
+    fn ensure_makes_unwritten_keys_readable() {
+        let e = engine(Arc::new(Occ));
+        let mut t = e.begin();
+        assert!(e.read(&mut t, 42).is_err(), "unknown key must not read");
+        e.abort(t);
+        e.ensure(42);
+        let mut t = e.begin();
+        assert_eq!(e.read(&mut t, 42).unwrap(), 0);
+        e.write(&mut t, 42, 7).unwrap();
+        e.commit(t).unwrap();
+        // ensure() after a real write is a no-op.
+        e.ensure(42);
+        assert_eq!(e.peek(42), Some(7));
     }
 
     #[test]

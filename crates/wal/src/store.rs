@@ -379,6 +379,17 @@ impl DurableStore {
         Ok(())
     }
 
+    /// Commit without waiting for durability: append the commit record
+    /// and return its LSN so the caller can release latches/locks first
+    /// and `wait_durable` afterwards. Multi-statement transactions use
+    /// this to keep the commit critical section short while still
+    /// acknowledging only durable commits.
+    pub fn commit_nowait(&self, txn: u64) -> Option<Lsn> {
+        let lsn = self.log(&WalRecord::TxnCommit { txn });
+        self.finish_txn();
+        lsn
+    }
+
     /// Abandon a transaction. No undo is performed — in-memory effects
     /// stay visible (matching the executor's partial-failure semantics);
     /// the record exists so recovery can tell deliberate abandonment

@@ -8,7 +8,7 @@
 //! cutoff `N` (the log tail past `N` is lost, optionally torn) must
 //! recover the state of the last snapshot whose commit record is `≤ N`.
 
-use neurdb_core::{Database, Output};
+use neurdb_core::{Database, Output, SessionContext};
 use neurdb_engine::Mid;
 use neurdb_storage::Value;
 use neurdb_wal::{DurableStoreOptions, FsyncPolicy, WalOptions};
@@ -354,5 +354,205 @@ fn incremental_versions_survive_checkpoint_and_crash() {
         let x = neurdb_nn::Matrix::from_vec(1, 2, vec![1.0, 2.0]);
         let _ = m.forward(&x);
     }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+// ------------------- multi-statement transactions ----------------------
+
+/// Fixed transactional workload for the txn-crash tests: seed a table,
+/// commit one multi-statement transaction, then leave a second
+/// transaction open when the process dies. Returns the WAL record count
+/// before and after the COMMIT plus digests of the seeded and committed
+/// states, so callers can place crash points on either side of the
+/// commit record.
+fn txn_crash_workload(dir: &PathBuf, crash_at: u64, torn: bool) -> (u64, u64, String, String) {
+    let db = Database::open_with(dir, opts()).unwrap();
+    db.store().lose_after_records(crash_at, torn);
+    db.execute("CREATE TABLE acct (id INT PRIMARY KEY, bal INT)")
+        .unwrap();
+    db.execute("INSERT INTO acct VALUES (1, 100), (2, 200), (3, 300)")
+        .unwrap();
+    let seeded = digest(&db);
+    let before = db.wal_stats().unwrap().appended_records;
+
+    let mut s = SessionContext::new();
+    db.execute_in_session(&mut s, "BEGIN").unwrap();
+    db.execute_in_session(&mut s, "UPDATE acct SET bal = bal - 50 WHERE id = 1")
+        .unwrap();
+    db.execute_in_session(&mut s, "UPDATE acct SET bal = bal + 50 WHERE id = 2")
+        .unwrap();
+    db.execute_in_session(&mut s, "INSERT INTO acct VALUES (4, 400)")
+        .unwrap();
+    // Deferred apply: an open transaction writes nothing to the log.
+    assert_eq!(
+        db.wal_stats().unwrap().appended_records,
+        before,
+        "open transaction must not reach the WAL before COMMIT"
+    );
+    db.execute_in_session(&mut s, "COMMIT").unwrap();
+    let after = db.wal_stats().unwrap().appended_records;
+    let committed = digest(&db);
+
+    // A second transaction is mid-flight when the process dies; its
+    // staged writes live only in the session and must leave zero trace.
+    let mut s2 = SessionContext::new();
+    db.execute_in_session(&mut s2, "BEGIN").unwrap();
+    db.execute_in_session(&mut s2, "DELETE FROM acct WHERE id = 3")
+        .unwrap();
+    db.execute_in_session(&mut s2, "UPDATE acct SET bal = 0 WHERE id = 1")
+        .unwrap();
+    drop(db); // kill without shutdown
+    (before, after, seeded, committed)
+}
+
+/// Crash with transactions mid-flight: a committed transaction recovers
+/// exactly (all statements or none), a crash anywhere inside the
+/// commit's own record run erases the whole transaction, and a
+/// transaction still open at the kill leaves zero trace.
+#[test]
+fn txn_commit_is_atomic_across_kill_and_reopen() {
+    // Probe pass: learn where the commit's records land.
+    let dir = tmpdir("txn-probe");
+    let (before, after, seeded, committed) = txn_crash_workload(&dir, u64::MAX, false);
+    std::fs::remove_dir_all(&dir).unwrap();
+    assert!(
+        after > before,
+        "COMMIT must append log records ({before}..{after})"
+    );
+
+    // Survive the kill with the full commit durable: recover exactly the
+    // committed state — and never any of the open transaction.
+    let dir = tmpdir("txn-committed");
+    let (_, _, _, expect) = txn_crash_workload(&dir, after, false);
+    assert_eq!(expect, committed);
+    let db = Database::open_with(&dir, opts()).unwrap();
+    assert_eq!(digest(&db), committed, "committed txn must recover exactly");
+    drop(db);
+    std::fs::remove_dir_all(&dir).unwrap();
+
+    // Crash at every point inside the commit's record run (including
+    // torn final records): the transaction is all-or-nothing, so every
+    // cut before the commit record recovers the pre-transaction state.
+    for cut in before..after {
+        for &torn in &[false, true] {
+            let dir = tmpdir(&format!("txn-cut-{cut}-{torn}"));
+            let _ = txn_crash_workload(&dir, cut, torn);
+            let db = Database::open_with(&dir, opts()).unwrap();
+            assert_eq!(
+                digest(&db),
+                seeded,
+                "cut at {cut}/{after} (torn={torn}): partial transaction must vanish"
+            );
+            drop(db);
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+}
+
+/// The serving-path durable-prefix check from the issue: concurrent
+/// clients drive multi-statement transactions through a real server
+/// over a durable store; after a reopen, every acknowledged COMMIT is
+/// present in full and every ROLLBACK left zero trace.
+#[test]
+fn concurrent_client_txns_recover_durable_prefix() {
+    use neurdb_server::{client::Client, ClientError, Server, ServerConfig};
+    use std::sync::Arc;
+
+    const CLIENTS: usize = 4;
+    const TXNS: usize = 8;
+
+    let dir = tmpdir("txn-serve");
+    {
+        let db = Arc::new(Database::open_with(&dir, opts()).unwrap());
+        db.execute("CREATE TABLE ledger (id INT PRIMARY KEY, tid INT, v INT)")
+            .unwrap();
+        let handle = Server::start(db, "127.0.0.1:0", ServerConfig::default()).unwrap();
+        let addr = handle.local_addr();
+
+        let mut threads = Vec::new();
+        for t in 0..CLIENTS {
+            threads.push(std::thread::spawn(move || {
+                let mut c = Client::connect(addr).unwrap();
+                for i in 0..TXNS {
+                    let id = (t * 10_000 + i) as i64;
+                    // Committed two-row transaction; concurrent commits
+                    // can conflict (first-committer-wins), so retry
+                    // until this transaction's COMMIT is acknowledged.
+                    let mut attempts = 0u32;
+                    'retry: loop {
+                        attempts += 1;
+                        assert!(attempts < 2_000, "client {t} txn {i}: retry storm");
+                        if attempts > 1 {
+                            // Brief backoff so the adaptation loop's
+                            // contention signal can cool off.
+                            std::thread::sleep(std::time::Duration::from_micros(
+                                200 * u64::from(attempts.min(20)),
+                            ));
+                        }
+                        c.affected("BEGIN").unwrap();
+                        for stmt in [
+                            format!("INSERT INTO ledger VALUES ({id}, {t}, {i})"),
+                            format!("INSERT INTO ledger VALUES ({}, {t}, {i})", id + 5_000),
+                        ] {
+                            match c.affected(&stmt) {
+                                Ok(_) => {}
+                                Err(ClientError::TxnAborted(_)) => {
+                                    let _ = c.affected("ROLLBACK");
+                                    continue 'retry;
+                                }
+                                Err(e) => panic!("unexpected error: {e}"),
+                            }
+                        }
+                        match c.affected("COMMIT") {
+                            Ok(_) => break,
+                            Err(ClientError::TxnAborted(_)) => {
+                                let _ = c.affected("ROLLBACK");
+                            }
+                            Err(e) => panic!("unexpected COMMIT error: {e}"),
+                        }
+                    }
+                    // Rolled-back transaction: must never become durable.
+                    c.affected("BEGIN").unwrap();
+                    let _ = c.affected(&format!(
+                        "INSERT INTO ledger VALUES ({}, {t}, 999)",
+                        id + 7_000
+                    ));
+                    let _ = c.affected("ROLLBACK");
+                }
+                c.close().unwrap();
+            }));
+        }
+        for th in threads {
+            th.join().unwrap();
+        }
+        handle.shutdown();
+    }
+
+    // Kill-and-reopen: the acknowledged commits are the durable prefix.
+    let db = Database::open_with(&dir, opts()).unwrap();
+    let count = |sql: &str| -> i64 {
+        let out = db.execute(sql).unwrap();
+        match out.rows().unwrap().rows[0].get(0) {
+            Value::Int(n) => *n,
+            other => panic!("expected COUNT, got {other:?}"),
+        }
+    };
+    assert_eq!(
+        count("SELECT COUNT(*) FROM ledger"),
+        (CLIENTS * TXNS * 2) as i64,
+        "every acknowledged COMMIT recovers in full"
+    );
+    for t in 0..CLIENTS {
+        assert_eq!(
+            count(&format!("SELECT COUNT(*) FROM ledger WHERE tid = {t}")),
+            (TXNS * 2) as i64
+        );
+    }
+    assert_eq!(
+        count("SELECT COUNT(*) FROM ledger WHERE v = 999"),
+        0,
+        "rolled-back transactions leave zero trace"
+    );
+    drop(db);
     std::fs::remove_dir_all(&dir).unwrap();
 }

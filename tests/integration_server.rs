@@ -284,7 +284,10 @@ fn show_sessions_reports_live_connections() {
             "parallelism",
             "total_ms",
             "last_ms",
-            "current_query"
+            "current_query",
+            "txn_id",
+            "txn_statements",
+            "txn_state"
         ]
     );
     assert_eq!(sessions.rows.len(), 2);
@@ -673,5 +676,230 @@ fn predict_over_the_wire() {
         other => panic!("expected prediction, got {other:?}"),
     }
     c.close().unwrap();
+    handle.shutdown();
+}
+
+// ---------------- multi-statement transactions over the wire -----------
+
+/// The auto-abort regression from the issue: a statement error inside an
+/// open transaction aborts it server-side with a structured TxnAborted
+/// frame naming the transaction; further statements are refused until
+/// ROLLBACK clears it, the connection stays usable throughout, and none
+/// of the transaction's effects survive.
+#[test]
+fn txn_statement_error_auto_aborts_with_structured_frame() {
+    let _w = Watchdog::arm("txn_statement_error_auto_aborts_with_structured_frame", 120);
+    let handle = start_volatile();
+    let mut c = Client::connect(handle.local_addr()).unwrap();
+    c.affected("CREATE TABLE t (id INT, val INT)").unwrap();
+    c.affected("INSERT INTO t VALUES (1, 10)").unwrap();
+
+    c.affected("BEGIN").unwrap();
+    c.affected("UPDATE t SET val = 11 WHERE id = 1").unwrap();
+    // The failing statement surfaces as a typed TxnAborted frame (wire
+    // kind 4), not a generic SQL error, and names the transaction.
+    match c.execute("INSERT INTO missing VALUES (1)") {
+        Err(ClientError::TxnAborted(m)) => {
+            assert!(
+                m.starts_with("transaction ") && m.contains("aborted"),
+                "abort frame must name the aborted transaction: {m}"
+            );
+        }
+        other => panic!("expected TxnAborted frame, got {other:?}"),
+    }
+    // While aborted, ordinary statements are refused...
+    match c.execute("SELECT * FROM t") {
+        Err(ClientError::Sql(m)) => assert!(m.contains("aborted"), "{m}"),
+        other => panic!("expected refusal while aborted, got {other:?}"),
+    }
+    // ...until ROLLBACK clears the state; the connection never dropped.
+    c.affected("ROLLBACK").unwrap();
+    let rows = c.query("SELECT val FROM t WHERE id = 1").unwrap();
+    assert_eq!(rows.rows[0][0], Value::Int(10), "txn effects discarded");
+    c.close().unwrap();
+    handle.shutdown();
+}
+
+/// `SHOW SESSIONS` exposes another session's open transaction: its id,
+/// statement count, and state, live while the transaction is open and
+/// cleared again after ROLLBACK.
+#[test]
+fn show_sessions_exposes_open_txn_state() {
+    let _w = Watchdog::arm("show_sessions_exposes_open_txn_state", 120);
+    let handle = start_volatile();
+    let addr = handle.local_addr();
+    let mut a = Client::connect(addr).unwrap();
+    let mut b = Client::connect(addr).unwrap();
+    a.affected("CREATE TABLE t (id INT)").unwrap();
+    a.affected("BEGIN").unwrap();
+    a.affected("INSERT INTO t VALUES (1)").unwrap();
+    a.affected("INSERT INTO t VALUES (2)").unwrap();
+
+    let sessions = b.query("SHOW SESSIONS").unwrap();
+    let col = |name: &str| {
+        sessions
+            .columns
+            .iter()
+            .position(|c| c == name)
+            .unwrap_or_else(|| panic!("column {name} missing"))
+    };
+    let row_a = sessions
+        .rows
+        .iter()
+        .find(|r| r[0] == Value::Int(a.session_id() as i64))
+        .unwrap();
+    match &row_a[col("txn_id")] {
+        Value::Int(id) => assert!(*id > 0, "open txn id must be positive"),
+        other => panic!("txn_id should be INT while open, got {other:?}"),
+    }
+    assert_eq!(row_a[col("txn_statements")], Value::Int(2));
+    assert_eq!(row_a[col("txn_state")], Value::Text("active".into()));
+    // The observing session has no transaction open.
+    let row_b = sessions
+        .rows
+        .iter()
+        .find(|r| r[0] == Value::Int(b.session_id() as i64))
+        .unwrap();
+    assert_eq!(row_b[col("txn_id")], Value::Null);
+    assert_eq!(row_b[col("txn_state")], Value::Null);
+
+    a.affected("ROLLBACK").unwrap();
+    let sessions = b.query("SHOW SESSIONS").unwrap();
+    let row_a = sessions
+        .rows
+        .iter()
+        .find(|r| r[0] == Value::Int(a.session_id() as i64))
+        .unwrap();
+    assert_eq!(row_a[col("txn_id")], Value::Null, "rollback clears txn");
+    assert_eq!(row_a[col("txn_state")], Value::Null);
+
+    a.close().unwrap();
+    b.close().unwrap();
+    handle.shutdown();
+}
+
+/// The issue's serving-path acceptance: a YCSB-style zipf-skewed
+/// read-modify-write workload from 4 concurrent wire clients, each
+/// statement bracketed in BEGIN/COMMIT, completes with the learned CC
+/// policy observably consulted (cc.decisions > 0) and transactions
+/// committing (txn.commits > 0) — all observed over the wire.
+#[test]
+fn ycsb_zipf_concurrent_txns_consult_learned_cc() {
+    use neurdb_workloads::Zipf;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let _w = Watchdog::arm("ycsb_zipf_concurrent_txns_consult_learned_cc", 240);
+    const CLIENTS: usize = 4;
+    const KEYS: u64 = 64;
+    const TXNS: usize = 12;
+
+    let handle = start_volatile();
+    let addr = handle.local_addr();
+    let mut admin = Client::connect(addr).unwrap();
+    admin
+        .affected("CREATE TABLE ycsb (id INT PRIMARY KEY, val INT)")
+        .unwrap();
+    let mut stmt = String::from("INSERT INTO ycsb VALUES ");
+    for k in 0..KEYS {
+        if k > 0 {
+            stmt.push(',');
+        }
+        stmt.push_str(&format!("({k}, 0)"));
+    }
+    admin.affected(&stmt).unwrap();
+
+    let mut threads = Vec::new();
+    for t in 0..CLIENTS {
+        threads.push(thread::spawn(move || {
+            let mut c = Client::connect(addr).unwrap();
+            let zipf = Zipf::new(KEYS, 0.9);
+            let mut rng = StdRng::seed_from_u64(0x9e37_79b9 ^ t as u64);
+            let mut committed = 0usize;
+            for i in 0..TXNS {
+                let k1 = zipf.sample(&mut rng);
+                let k2 = zipf.sample(&mut rng);
+                let mut attempts = 0u32;
+                'retry: loop {
+                    attempts += 1;
+                    assert!(attempts < 2_000, "client {t} txn {i}: retry storm");
+                    if attempts > 1 {
+                        thread::sleep(Duration::from_micros(200 * u64::from(attempts.min(20))));
+                    }
+                    c.affected("BEGIN").unwrap();
+                    for k in [k1, k2] {
+                        match c.affected(&format!("UPDATE ycsb SET val = val + 1 WHERE id = {k}")) {
+                            Ok(_) => {}
+                            Err(ClientError::TxnAborted(_)) => {
+                                let _ = c.affected("ROLLBACK");
+                                continue 'retry;
+                            }
+                            Err(e) => panic!("unexpected error: {e}"),
+                        }
+                    }
+                    match c.affected("COMMIT") {
+                        Ok(_) => {
+                            committed += 1;
+                            break;
+                        }
+                        Err(ClientError::TxnAborted(_)) => {
+                            let _ = c.affected("ROLLBACK");
+                        }
+                        Err(e) => panic!("unexpected COMMIT error: {e}"),
+                    }
+                }
+            }
+            c.close().unwrap();
+            committed
+        }));
+    }
+    let committed: usize = threads.into_iter().map(|t| t.join().unwrap()).sum();
+    assert_eq!(
+        committed,
+        CLIENTS * TXNS,
+        "every transaction eventually commits"
+    );
+
+    // Observability over the wire: the learned policy was consulted and
+    // transactions committed.
+    let metrics = admin.query("SHOW METRICS").unwrap();
+    let int_of = |name: &str| -> i64 {
+        metrics
+            .rows
+            .iter()
+            .find(|r| r[0] == Value::Text(name.to_string()))
+            .map(|r| match &r[1] {
+                Value::Int(v) => *v,
+                other => panic!("metric {name} should be INT, got {other:?}"),
+            })
+            .unwrap_or_else(|| panic!("metric {name} missing"))
+    };
+    assert!(
+        int_of("cc.decisions") > 0,
+        "learned CC policy was consulted"
+    );
+    assert!(int_of("txn.commits") >= (CLIENTS * TXNS) as i64);
+    assert!(int_of("txn.commit_ns.count") >= (CLIENTS * TXNS) as i64);
+
+    // The policy in charge is the learned one (SHOW CC property rows).
+    let cc = admin.query("SHOW CC").unwrap();
+    let prop = |name: &str| -> String {
+        cc.rows
+            .iter()
+            .find(|r| r[0] == Value::Text(name.to_string()))
+            .map(|r| match &r[1] {
+                Value::Text(s) => s.clone(),
+                other => format!("{other:?}"),
+            })
+            .unwrap_or_else(|| panic!("property {name} missing"))
+    };
+    assert_eq!(prop("policy"), "neurdb-cc");
+
+    // The zipf increments all landed: total val equals committed
+    // transactions × 2 updates each.
+    let rows = admin.query("SELECT SUM(val) FROM ycsb").unwrap();
+    assert_eq!(rows.rows[0][0], Value::Int((CLIENTS * TXNS * 2) as i64));
+
+    admin.close().unwrap();
     handle.shutdown();
 }
