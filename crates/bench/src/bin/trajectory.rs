@@ -1,6 +1,6 @@
 //! Tracked benchmark trajectory: a fixed set of end-to-end workload
 //! groups, each timed per-iteration with the median nanoseconds written
-//! to a `BENCH_9.json` artifact. CI runs this on every push (in `--quick`
+//! to a `BENCH_10.json` artifact. CI runs this on every push (in `--quick`
 //! mode), uploads the file, and diffs it against the committed previous
 //! trajectory via `scripts/compare_bench.py`, so the series of artifacts
 //! across commits forms the performance trajectory of the repo — with a
@@ -362,6 +362,90 @@ fn bench_buffer_out_of_core(name: &'static str, ratio: f64, quick: bool) -> Grou
     result
 }
 
+/// Tracing-overhead gate: the timed (and regression-gated) metric is a
+/// point select with tracing fully disabled — the near-free path every
+/// statement pays one branch for. The extras report the same statement
+/// and a dop-4 join-aggregate with `SET trace = on`, plus the
+/// traced/untraced ratios, informationally: trace capture is allowed to
+/// cost something, the disabled path is not.
+fn bench_trace_overhead(quick: bool) -> GroupResult {
+    let db = Database::new();
+    let rows = if quick { 5_000 } else { 50_000 };
+    seed(&db, "tr", rows);
+    db.execute("CREATE INDEX ON tr (id)").unwrap();
+    db.table("tr").unwrap().stats().unwrap();
+    seed(&db, "trd", if quick { 2_000 } else { 6_000 });
+
+    let mut session = SessionContext::new();
+    db.execute_in_session(&mut session, "SET parallelism = 4")
+        .unwrap();
+
+    let point = |db: &Database, session: &mut SessionContext, i: usize| {
+        let out = db
+            .execute_in_session(
+                session,
+                &format!("SELECT * FROM tr WHERE id = {}", (i * 7919) % rows),
+            )
+            .unwrap();
+        assert_eq!(out.rows().unwrap().rows.len(), 1);
+    };
+    let join = |db: &Database, session: &mut SessionContext| {
+        let out = db
+            .execute_in_session(
+                session,
+                "SELECT d.grp, COUNT(*), SUM(f.v) FROM tr f, trd d \
+                 WHERE f.grp = d.id GROUP BY d.grp",
+            )
+            .unwrap();
+        assert_eq!(out.rows().unwrap().rows.len(), 32);
+    };
+
+    // Median ns per op for one phase, same warmup/iteration discipline
+    // as `measure` but inlined so all four phases share the seeded db.
+    let phase = |name: &'static str, iters: usize, op: &mut dyn FnMut(usize)| {
+        let mut r = measure(name, iters / 10, iters, op);
+        r.extras.clear();
+        r
+    };
+    let point_iters = if quick { 300 } else { 3000 };
+    let join_iters = if quick { 15 } else { 60 };
+
+    let untraced = phase("trace_overhead", point_iters, &mut |i| {
+        point(&db, &mut session, i)
+    });
+    let join_untraced = phase("_", join_iters, &mut |_| join(&db, &mut session));
+    db.execute_in_session(&mut session, "SET trace = on")
+        .unwrap();
+    let traced = phase("_", point_iters, &mut |i| point(&db, &mut session, i));
+    let join_traced = phase("_", join_iters, &mut |_| join(&db, &mut session));
+    assert!(
+        !db.tracer().recent().is_empty(),
+        "traced phases must actually capture traces"
+    );
+
+    let ratio = |t: &GroupResult, u: &GroupResult| t.median_ns as f64 / u.median_ns.max(1) as f64;
+    let mut result = untraced;
+    result
+        .extras
+        .push(("point_untraced_ns", result.median_ns as f64));
+    result
+        .extras
+        .push(("point_traced_ns", traced.median_ns as f64));
+    result
+        .extras
+        .push(("point_traced_ratio", ratio(&traced, &result)));
+    result
+        .extras
+        .push(("join_untraced_ns", join_untraced.median_ns as f64));
+    result
+        .extras
+        .push(("join_traced_ns", join_traced.median_ns as f64));
+    result
+        .extras
+        .push(("join_traced_ratio", ratio(&join_traced, &join_untraced)));
+    result
+}
+
 /// Multi-statement transaction commit cycle on the embedded engine:
 /// BEGIN → one UPDATE + one INSERT staged in the deferred-apply write
 /// set → COMMIT (validation, overlay apply, WAL commit record). Single
@@ -487,7 +571,7 @@ fn bench_ycsb_zipf_concurrent(quick: bool) -> GroupResult {
 fn render_json(results: &[GroupResult], quick: bool) -> String {
     let mut out = String::from("{\n");
     let _ = writeln!(out, "  \"schema\": \"neurdb-bench-trajectory/v1\",");
-    let _ = writeln!(out, "  \"pr\": 9,");
+    let _ = writeln!(out, "  \"pr\": 10,");
     let _ = writeln!(
         out,
         "  \"mode\": \"{}\",",
@@ -518,7 +602,7 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned()
-        .unwrap_or_else(|| "BENCH_9.json".to_string());
+        .unwrap_or_else(|| "BENCH_10.json".to_string());
 
     let results = vec![
         bench_insert(quick),
@@ -527,6 +611,7 @@ fn main() {
         bench_parallel_agg(quick),
         bench_join_agg_parallel(quick),
         bench_wal_insert(quick),
+        bench_trace_overhead(quick),
         bench_txn_commit(quick),
         bench_ycsb_zipf_concurrent(quick),
         bench_buffer_latch("buffer_latch_global_t4", 1, quick),

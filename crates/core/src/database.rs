@@ -29,6 +29,7 @@ use neurdb_cc::PolicyMode;
 use neurdb_engine::streaming::{stream_from_source, Handshake, StreamParams};
 use neurdb_engine::{AiEngine, Mid, TrainOutcome};
 use neurdb_nn::{armnet_spec, ArmNetConfig, LossKind};
+use neurdb_obs::trace::{self, FinishedTrace, Tracer};
 use neurdb_obs::MetricsRegistry;
 use neurdb_qo::SystemConditions;
 use neurdb_sql::{
@@ -64,6 +65,42 @@ fn limit_truncates(plan: &PhysicalPlan) -> bool {
         PhysicalPlan::Limit { input, .. } => !breaks_pipeline(input),
         other => other.children().into_iter().any(limit_truncates),
     }
+}
+
+/// `SHOW METRICS LIKE` matching: a pattern with `%`/`*` (any run) or
+/// `_` (any one char) wildcards matches the whole name, SQL-LIKE style;
+/// a pattern without wildcards matches as a case-insensitive substring.
+fn like_match(pattern: &str, name: &str) -> bool {
+    let pat: Vec<char> = pattern.to_ascii_lowercase().chars().collect();
+    let name_lc = name.to_ascii_lowercase();
+    if !pat.iter().any(|&c| c == '%' || c == '*' || c == '_') {
+        return name_lc.contains(&pattern.to_ascii_lowercase());
+    }
+    let text: Vec<char> = name_lc.chars().collect();
+    // Iterative glob with single-wildcard backtracking (no nested-star
+    // blowup: on mismatch, retry from one past the last star anchor).
+    let (mut p, mut t) = (0usize, 0usize);
+    let (mut star, mut anchor) = (None::<usize>, 0usize);
+    while t < text.len() {
+        if p < pat.len() && (pat[p] == '%' || pat[p] == '*') {
+            star = Some(p);
+            p += 1;
+            anchor = t;
+        } else if p < pat.len() && (pat[p] == '_' || pat[p] == text[t]) {
+            p += 1;
+            t += 1;
+        } else if let Some(s) = star {
+            p = s + 1;
+            anchor += 1;
+            t = anchor;
+        } else {
+            return false;
+        }
+    }
+    while p < pat.len() && (pat[p] == '%' || pat[p] == '*') {
+        p += 1;
+    }
+    p == pat.len()
 }
 
 /// Result of executing one statement.
@@ -125,6 +162,14 @@ pub struct SlowQueryEntry {
     pub join_order: Option<String>,
     /// Rendered plan with per-operator timings; empty for non-SELECTs.
     pub plan: Vec<String>,
+    /// The statement's error, when it failed (failed statements are
+    /// often the most interesting slow ones; the error text renders in
+    /// place of the plan).
+    pub error: Option<String>,
+    /// The statement's span tree, when tracing was armed for it. Held
+    /// by `Arc` so ring eviction in the [`Tracer`] never loses a trace
+    /// the slow-query log still references.
+    pub trace: Option<Arc<FinishedTrace>>,
 }
 
 /// Cached per-(table, target) model state.
@@ -161,6 +206,10 @@ pub struct Database {
     /// whose `SET slow_query_ms` threshold a statement meets; read via
     /// [`Database::slow_queries`] or `SHOW slow_queries`.
     slow_log: Mutex<VecDeque<SlowQueryEntry>>,
+    /// Per-statement span-tree tracer: sampling decision (`SET
+    /// trace_sample`), per-session force (`SET trace = on`), and the
+    /// bounded ring behind `SHOW TRACES` / `SHOW TRACE <id>`.
+    tracer: Tracer,
     models: Arc<Mutex<HashMap<(String, String), CachedModel>>>,
     /// Streaming protocol defaults (paper: window 80, batch 4096).
     pub stream_params: StreamParams,
@@ -276,6 +325,7 @@ impl Database {
             join_optimizer: Mutex::new(None),
             default_session: Mutex::new(SessionContext::new()),
             slow_log: Mutex::new(VecDeque::new()),
+            tracer: Tracer::new(64),
             models: Arc::new(Mutex::new(HashMap::new())),
             stream_params: StreamParams {
                 batch_size: 4096,
@@ -381,6 +431,12 @@ impl Database {
         }
     }
 
+    /// The per-statement span-tree tracer: sampling knobs and the ring
+    /// of recent finished traces (`SHOW TRACES` / `SHOW TRACE <id>`).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
     /// Snapshot of the slow-query log, oldest first.
     pub fn slow_queries(&self) -> Vec<SlowQueryEntry> {
         self.slow_log.lock().iter().cloned().collect()
@@ -478,9 +534,12 @@ impl Database {
     }
 
     /// The per-statement shell around [`Database::dispatch_statement`]:
-    /// mints the statement's trace id, times it end to end (executor
-    /// teardown included), and files a slow-query entry when the
-    /// session's `SET slow_query_ms` threshold is met.
+    /// mints the statement's trace id, arms tracing (session force or
+    /// 1-in-N sampling; the untraced path is one branch), times the
+    /// statement end to end (executor teardown included), and files a
+    /// slow-query entry — success *or* failure — when the session's
+    /// `SET slow_query_ms` threshold is met, capturing the span tree
+    /// when one was recorded.
     fn execute_statement(
         &self,
         session: &mut SessionContext,
@@ -489,12 +548,17 @@ impl Database {
     ) -> CoreResult<Output> {
         let trace_id = session.next_trace_id();
         let threshold = session.slow_query_ms();
+        let armed = self.tracer.maybe_start(session.trace_force());
         let start = Instant::now();
         let mut provenance = None;
-        let result = self.dispatch_statement(session, stmt, &mut provenance);
+        let result = {
+            let _scope = armed.as_ref().map(|t| t.enter());
+            self.dispatch_statement(session, stmt, &mut provenance)
+        };
         let elapsed = start.elapsed();
+        let finished = armed.map(|t| self.tracer.finish(t, trace_id.clone(), sql.to_string()));
         if let Some(ms) = threshold {
-            if result.is_ok() && elapsed.as_millis() as u64 >= ms {
+            if elapsed.as_millis() as u64 >= ms {
                 let (join_order, plan) = provenance.unwrap_or((None, Vec::new()));
                 self.push_slow(SlowQueryEntry {
                     trace_id,
@@ -503,6 +567,8 @@ impl Database {
                     elapsed,
                     join_order,
                     plan,
+                    error: result.as_ref().err().map(|e| e.to_string()),
+                    trace: finished,
                 });
             }
         }
@@ -549,14 +615,21 @@ impl Database {
             | Statement::Update { .. }
             | Statement::Delete { .. } => {
                 let (result, lsn) = {
+                    let lock_span = trace::span("txn.commit_lock_wait");
                     let _commit = self.cc.commit_lock.lock();
+                    drop(lock_span);
+                    let _apply = trace::span("txn.apply");
                     let txn = self.store.begin();
                     let result = self.apply_mutation(txn, stmt);
                     let lsn = self.store.commit_nowait(txn);
                     (result, lsn)
                 };
                 let wait = match lsn {
-                    Some(lsn) => self.store.wait_durable(lsn),
+                    Some(lsn) => {
+                        let mut sp = trace::span("txn.wait_durable");
+                        sp.attr("lsn", lsn);
+                        self.store.wait_durable(lsn)
+                    }
                     None => Ok(()),
                 };
                 match (result, wait) {
@@ -566,8 +639,20 @@ impl Database {
                 }
             }
             Statement::Select(s) => {
-                let planned = self.plan(session, &s)?;
-                let (rows, metrics) = execute_plan_instrumented(&planned.plan)?;
+                let planned = {
+                    let mut sp = trace::span("plan");
+                    let planned = self.plan(session, &s)?;
+                    if let Some(source) = &planned.join_order {
+                        sp.attr("join_order", source);
+                    }
+                    planned
+                };
+                let (rows, metrics) = {
+                    let mut sp = trace::span("execute");
+                    let (rows, metrics) = execute_plan_instrumented(&planned.plan)?;
+                    sp.attr("rows", rows.rows.len());
+                    (rows, metrics)
+                };
                 self.note_operator_metrics(&metrics);
                 *provenance = Some((
                     planned.join_order.clone(),
@@ -583,7 +668,9 @@ impl Database {
                 self.set_session(session, &name, &value)?;
                 Ok(Output::Affected(0))
             }
-            Statement::Show { name } => self.show(session, &name).map(Output::Rows),
+            Statement::Show { name, arg, format } => self
+                .show(session, &name, arg.as_deref(), format.as_deref())
+                .map(Output::Rows),
             Statement::Begin | Statement::Commit | Statement::Rollback => {
                 unreachable!("transaction control handled above")
             }
@@ -665,8 +752,20 @@ impl Database {
                 // tables (heap merged with this transaction's overlay).
                 let tables: Vec<String> = s.from.iter().map(|t| t.name.clone()).collect();
                 self.txn_note_table_reads(session, &tables)?;
-                let planned = self.plan(session, &s)?;
-                let (rows, metrics) = execute_plan_instrumented(&planned.plan)?;
+                let planned = {
+                    let mut sp = trace::span("plan");
+                    let planned = self.plan(session, &s)?;
+                    if let Some(source) = &planned.join_order {
+                        sp.attr("join_order", source);
+                    }
+                    planned
+                };
+                let (rows, metrics) = {
+                    let mut sp = trace::span("execute");
+                    let (rows, metrics) = execute_plan_instrumented(&planned.plan)?;
+                    sp.attr("rows", rows.rows.len());
+                    (rows, metrics)
+                };
                 self.note_operator_metrics(&metrics);
                 *provenance = Some((
                     planned.join_order.clone(),
@@ -681,7 +780,9 @@ impl Database {
                 self.set_session(session, &name, &value)?;
                 Ok(Output::Affected(0))
             }
-            Statement::Show { name } => self.show(session, &name).map(Output::Rows),
+            Statement::Show { name, arg, format } => self
+                .show(session, &name, arg.as_deref(), format.as_deref())
+                .map(Output::Rows),
             // DDL restructures shared catalog state the overlay cannot
             // buffer, and PREDICT trains/serves models with durability
             // side effects of its own — neither is transactional.
@@ -746,6 +847,40 @@ impl Database {
                     }
                 };
                 session.set_slow_query_ms(n);
+                Ok(())
+            }
+            "trace" => {
+                // Session-scoped: force-trace every statement this
+                // session runs (`SET trace = on|off`, or 1/0).
+                let on = match literal_value(value) {
+                    Value::Text(s) if s.eq_ignore_ascii_case("on") => true,
+                    Value::Text(s) if s.eq_ignore_ascii_case("off") => false,
+                    Value::Bool(b) => b,
+                    Value::Int(i) if i == 0 || i == 1 => i == 1,
+                    other => {
+                        return Err(CoreError::Unsupported(format!(
+                            "SET trace expects on/off, got {other}"
+                        )))
+                    }
+                };
+                session.set_trace_force(on);
+                Ok(())
+            }
+            "trace_sample" => {
+                // Database-scoped (the tracer is shared): trace one
+                // statement in N across all sessions; 0 disables
+                // sampling. Setting it re-arms the deterministic
+                // counter, so the next statement traces.
+                let n = match literal_value(value) {
+                    Value::Int(i) if i >= 0 => i as u64,
+                    other => {
+                        return Err(CoreError::Unsupported(format!(
+                            "SET trace_sample expects a non-negative integer \
+                             (0 disables sampling), got {other}"
+                        )))
+                    }
+                };
+                self.tracer.set_sample_every(n);
                 Ok(())
             }
             "buffer_policy" => {
@@ -833,16 +968,42 @@ impl Database {
         }
     }
 
-    /// Answer a `SHOW name` statement: catalog items (`SHOW TABLES`) and
-    /// this session's settings. `SHOW SESSIONS` is server-scoped — the
-    /// `neurdb-server` front end intercepts it before the core facade;
-    /// an embedded session has no server to enumerate.
-    fn show(&self, session: &SessionContext, name: &str) -> CoreResult<QueryResult> {
+    /// Answer a `SHOW name` statement: catalog items (`SHOW TABLES`),
+    /// this session's settings, metrics (optionally filtered with
+    /// `LIKE`), and traces (`SHOW TRACES`, `SHOW TRACE <id> [FORMAT
+    /// json]`). `SHOW SESSIONS` is server-scoped — the `neurdb-server`
+    /// front end intercepts it before the core facade; an embedded
+    /// session has no server to enumerate.
+    fn show(
+        &self,
+        session: &SessionContext,
+        name: &str,
+        arg: Option<&str>,
+        format: Option<&str>,
+    ) -> CoreResult<QueryResult> {
         let one_column = |name: &str, value: Value| QueryResult {
             columns: vec![name.to_string()],
             rows: vec![Tuple::new(vec![value])],
         };
-        match name.to_ascii_lowercase().as_str() {
+        let lowered = name.to_ascii_lowercase();
+        if arg.is_some() && !matches!(lowered.as_str(), "metrics" | "trace") {
+            return Err(CoreError::Unsupported(format!(
+                "SHOW {lowered} does not take an argument"
+            )));
+        }
+        if let Some(fmt) = format {
+            if lowered != "trace" {
+                return Err(CoreError::Unsupported(format!(
+                    "SHOW {lowered} does not take FORMAT"
+                )));
+            }
+            if fmt != "json" {
+                return Err(CoreError::Unsupported(format!(
+                    "SHOW TRACE supports FORMAT json, got '{fmt}'"
+                )));
+            }
+        }
+        match lowered.as_str() {
             "tables" => {
                 let mut names = self.table_names();
                 names.sort();
@@ -867,6 +1028,10 @@ impl Database {
                 session
                     .slow_query_ms()
                     .map_or(Value::Null, |ms| Value::Int(ms as i64)),
+            )),
+            "trace_sample" => Ok(one_column(
+                "trace_sample",
+                Value::Int(self.tracer.sample_every() as i64),
             )),
             // Buffer-pool state as `(property, value)` rows: geometry
             // (policy, shards, capacity, resident), the aggregate and
@@ -926,6 +1091,12 @@ impl Database {
                     rows.push((format!("{name}.p50"), q(h.p50())));
                     rows.push((format!("{name}.p95"), q(h.p95())));
                     rows.push((format!("{name}.p99"), q(h.p99())));
+                    rows.push((format!("{name}.max"), q((h.count > 0).then_some(h.max))));
+                }
+                // `SHOW METRICS LIKE '<pattern>'`: substring match, or a
+                // glob when the pattern carries `%`/`*`/`_` wildcards.
+                if let Some(pattern) = arg {
+                    rows.retain(|(n, _)| like_match(pattern, n));
                 }
                 rows.sort_by(|a, b| a.0.cmp(&b.0));
                 Ok(QueryResult {
@@ -933,6 +1104,63 @@ impl Database {
                     rows: rows
                         .into_iter()
                         .map(|(n, v)| Tuple::new(vec![Value::Text(n), v]))
+                        .collect(),
+                })
+            }
+            // The trace ring, oldest first: one row per retained trace
+            // with wall time and span count; `SHOW TRACE <id>` renders
+            // one of them in full.
+            "traces" => Ok(QueryResult {
+                columns: vec![
+                    "trace_id".to_string(),
+                    "wall_ms".to_string(),
+                    "spans".to_string(),
+                    "sql".to_string(),
+                ],
+                rows: self
+                    .tracer
+                    .recent()
+                    .into_iter()
+                    .map(|t| {
+                        Tuple::new(vec![
+                            Value::Text(t.id.clone()),
+                            Value::Float(t.wall_ns as f64 / 1e6),
+                            Value::Int(t.span_count() as i64),
+                            Value::Text(t.sql.clone()),
+                        ])
+                    })
+                    .collect(),
+            }),
+            // One full trace: the indented span tree (total/self times
+            // and attrs per span), or the Chrome trace-event JSON body
+            // with FORMAT json (what `scripts/trace_to_perfetto.py`
+            // consumes). Falls back to traces captured by slow-query
+            // entries that the ring has already evicted.
+            "trace" => {
+                let id = arg.expect("parser guarantees SHOW TRACE carries an id");
+                let found = self.tracer.get(id).or_else(|| {
+                    self.slow_log
+                        .lock()
+                        .iter()
+                        .rev()
+                        .find(|e| e.trace_id == id)
+                        .and_then(|e| e.trace.clone())
+                });
+                let Some(t) = found else {
+                    return Err(CoreError::Unsupported(format!(
+                        "no trace '{id}' (not sampled, or evicted from the ring; \
+                         arm tracing with SET trace = on or SET trace_sample = N)"
+                    )));
+                };
+                let lines = match format {
+                    Some(_) => vec![t.to_chrome_json()],
+                    None => t.render_tree(),
+                };
+                Ok(QueryResult {
+                    columns: vec!["trace".to_string()],
+                    rows: lines
+                        .into_iter()
+                        .map(|l| Tuple::new(vec![Value::Text(l)]))
                         .collect(),
                 })
             }
@@ -959,7 +1187,11 @@ impl Database {
                             Value::Float(e.elapsed.as_secs_f64() * 1e3),
                             Value::Text(e.sql),
                             e.join_order.map_or(Value::Null, Value::Text),
-                            if e.plan.is_empty() {
+                            // Failed statements log their error text in
+                            // place of the plan.
+                            if let Some(err) = e.error {
+                                Value::Text(format!("error: {err}"))
+                            } else if e.plan.is_empty() {
                                 Value::Null
                             } else {
                                 Value::Text(e.plan.join("\n"))

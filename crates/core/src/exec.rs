@@ -50,6 +50,7 @@ use crate::expr::{eval, Bindings};
 use crate::planner::{plan_select, PhysicalPlan};
 use crate::vector::{PredicateSet, ProjectionSet};
 use crossbeam::channel;
+use neurdb_obs::trace;
 use neurdb_sql::{AggFunc, Expr, SelectItem, SelectStmt, SortOrder};
 use neurdb_storage::{AccessHint, HeapBatchScan, Table, Tuple, Value};
 use std::cell::RefCell;
@@ -674,13 +675,24 @@ impl WorkerPool {
         let partitions = table.scan_partitions_hinted(dop, BATCH_ROWS, AccessHint::Sequential);
         let (tx, rx) = channel::bounded(dop * EXCHANGE_QUEUE_PER_WORKER);
         let (report_tx, reports) = channel::unbounded();
+        let trace_handle = trace::current_handle();
+        let task_kind = match task {
+            WorkerTask::Forward => "forward",
+            WorkerTask::Probe { .. } => "probe",
+            WorkerTask::Repartition { .. } => "repartition",
+        };
         let mut handles = Vec::with_capacity(dop);
         for (w, cursor) in partitions.into_iter().enumerate() {
             let plan = fragment.clone();
             let tx = tx.clone();
             let report_tx = report_tx.clone();
             let task = task.clone();
+            let trace_handle = trace_handle.clone();
             handles.push(std::thread::spawn(move || {
+                let _trace_scope = trace_handle.enter();
+                let mut worker_span = trace::span("worker");
+                worker_span.attr("worker", w);
+                worker_span.attr("task", task_kind);
                 let local: MetricsSink = Rc::new(RefCell::new(Vec::new()));
                 let mut busy_ns = 0u128;
                 let mut wait_ns = 0u128;
@@ -1091,11 +1103,15 @@ impl PartitionedHashJoinOp {
                 let cap = (dop * EXCHANGE_QUEUE_PER_WORKER).max(2);
                 let mut txs = Vec::with_capacity(nparts);
                 let mut builders = Vec::with_capacity(nparts);
-                for _ in 0..nparts {
+                for part in 0..nparts {
                     let (tx, rx) = channel::bounded::<Batch>(cap);
                     txs.push(tx);
                     let right_key = self.right_key;
+                    let trace_handle = trace::current_handle();
                     builders.push(std::thread::spawn(move || {
+                        let _trace_scope = trace_handle.enter();
+                        let mut span = trace::span("partition_build");
+                        span.attr("partition", part);
                         let mut map: PartitionMap = HashMap::new();
                         while let Ok(batch) = rx.recv() {
                             for row in batch {
@@ -1303,6 +1319,7 @@ fn partition_join_worker(
     let mut joined_rows = 0u64;
     let result = (|| -> Result<(), CoreError> {
         let mut map: PartitionMap = HashMap::new();
+        let mut build_span = trace::span("build");
         while let Ok(batch) = build_rx.recv() {
             let start = Instant::now();
             build_rows += batch.len() as u64;
@@ -1311,6 +1328,9 @@ fn partition_join_worker(
             }
             busy_ns += start.elapsed().as_nanos();
         }
+        build_span.attr("rows", build_rows);
+        drop(build_span);
+        let _probe_span = trace::span("probe");
         if map.is_empty() {
             // Nothing can match, but the probe stream must still drain:
             // dropping the receiver early would fail sends from
@@ -1407,7 +1427,11 @@ impl PartitionWiseHashJoinOp {
             let report_tx = report_tx.clone();
             let (left_key, right_key) = (self.left_key, self.right_key);
             let agg = self.agg.clone();
+            let trace_handle = trace::current_handle();
             self.join_handles.push(std::thread::spawn(move || {
+                let _trace_scope = trace_handle.enter();
+                let mut span = trace::span("partition_join");
+                span.attr("partition", w);
                 partition_join_worker(w, brx, prx, out_tx, left_key, right_key, agg, report_tx);
             }));
         }

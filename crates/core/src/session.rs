@@ -40,6 +40,9 @@ pub struct SessionContext {
     /// default) disables logging for this session; `SET slow_query_ms`
     /// controls it per session.
     slow_query_ms: Option<u64>,
+    /// `SET trace = on`: force-trace every statement in this session
+    /// regardless of the database-wide `trace_sample` rate.
+    trace_force: bool,
     /// The open multi-statement transaction, if any (`BEGIN` opened it
     /// and neither `COMMIT` nor `ROLLBACK`/auto-abort closed it yet).
     /// Owned by the session so transaction scope == session scope.
@@ -57,6 +60,7 @@ impl Clone for SessionContext {
             session_id: self.session_id,
             statements: self.statements,
             slow_query_ms: self.slow_query_ms,
+            trace_force: self.trace_force,
             txn: None,
         }
     }
@@ -86,6 +90,18 @@ impl SessionContext {
     /// Enable (or change) this session's slow-query threshold.
     pub fn set_slow_query_ms(&mut self, ms: u64) {
         self.slow_query_ms = Some(ms);
+    }
+
+    /// Whether `SET trace = on` forces tracing of every statement in
+    /// this session.
+    pub fn trace_force(&self) -> bool {
+        self.trace_force
+    }
+
+    /// Force (or stop forcing) tracing for this session
+    /// (`SET trace = on|off`).
+    pub fn set_trace_force(&mut self, on: bool) {
+        self.trace_force = on;
     }
 
     /// Mint the trace id for the next statement:

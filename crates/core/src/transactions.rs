@@ -49,6 +49,7 @@ use crate::exec::QueryResult;
 use crate::expr::{eval, eval_predicate, Bindings};
 use crate::session::SessionContext;
 use neurdb_cc::LivePolicy;
+use neurdb_obs::trace;
 use neurdb_sql::Expr;
 use neurdb_storage::{BufferPool, DiskManager, RecordId, Table, Tuple, Value};
 use neurdb_txn::{CcPolicy, EngineConfig, Txn, TxnEngine, TxnError};
@@ -324,10 +325,14 @@ impl Database {
         // the commit lock: no other transaction (or autocommit
         // statement) can write between our pre-image check and our
         // apply.
+        let lock_span = trace::span("txn.commit_lock_wait");
         let guard = self.cc.commit_lock.lock();
+        drop(lock_span);
 
         // First-committer-wins validation: every row we buffered a
         // change for must still carry the pre-image we read.
+        let mut fcw_span = trace::span("txn.fcw_validate");
+        fcw_span.attr("tables", overlays.len());
         for (name, ov) in &overlays {
             let t = match self.table(name) {
                 Ok(t) => t,
@@ -354,9 +359,13 @@ impl Database {
             }
         }
 
+        drop(fcw_span);
+
         // The CC engine's own validation (OCC read sets / SSI / lock
         // release, per the live policy).
+        let cc_span = trace::span("txn.cc_validate");
         if let Err(e) = self.cc.engine.commit(handle) {
+            drop(cc_span);
             drop(guard);
             self.store().metrics().counter("txn.aborts").inc();
             self.note_txn_completion();
@@ -365,6 +374,7 @@ impl Database {
                 message: format!("concurrency-control validation failed: {e:?}"),
             });
         }
+        drop(cc_span);
 
         // Apply the write set as one store transaction. Its TxnCommit
         // record is the only commit the WAL sees for this user
@@ -373,6 +383,8 @@ impl Database {
         let mut lsn = None;
         let mut apply_err: Option<CoreError> = None;
         if has_changes {
+            let mut apply_span = trace::span("txn.overlay_apply");
+            let mut applied_rows = 0u64;
             let wtxn = self.store().begin();
             'apply: for (name, ov) in &overlays {
                 for (rid, ch) in &ov.modified {
@@ -380,12 +392,14 @@ impl Database {
                         Some(t) => self.store().update(wtxn, name, *rid, t.clone()),
                         None => self.store().delete(wtxn, name, *rid),
                     };
+                    applied_rows += 1;
                     if let Err(e) = r {
                         apply_err = Some(e.into());
                         break 'apply;
                     }
                 }
                 for t in &ov.inserted {
+                    applied_rows += 1;
                     if let Err(e) = self.store().insert(wtxn, name, t.clone()) {
                         apply_err = Some(e.into());
                         break 'apply;
@@ -397,6 +411,7 @@ impl Database {
             // now per transaction — see ARCHITECTURE.md) and recovered
             // state matches what live sessions observed.
             lsn = self.store().commit_nowait(wtxn);
+            apply_span.attr("rows", applied_rows);
         }
         drop(guard);
 
@@ -408,6 +423,8 @@ impl Database {
         // Group-commit friendly: the durability wait happens after the
         // commit lock is released.
         if let Some(lsn) = lsn {
+            let mut sp = trace::span("txn.wait_durable");
+            sp.attr("lsn", lsn);
             self.store().wait_durable(lsn)?;
         }
         let m = self.store().metrics();
@@ -436,7 +453,10 @@ impl Database {
     }
 
     fn run_adaptation(&self) {
-        if self.cc.live.adapt_now(&self.cc.engine.metrics).is_some() {
+        let mut sp = trace::span("cc.adapt");
+        let adapted = self.cc.live.adapt_now(&self.cc.engine.metrics).is_some();
+        sp.attr("installed", adapted);
+        if adapted {
             self.store().metrics().counter("cc.adaptations").inc();
         }
     }

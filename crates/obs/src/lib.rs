@@ -29,6 +29,8 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+pub mod trace;
+
 // ------------------------------ counter ------------------------------
 
 /// A monotonically increasing `u64` counter.
@@ -178,6 +180,7 @@ pub struct Histogram {
     buckets: Box<[AtomicU64; NUM_BUCKETS]>,
     count: AtomicU64,
     sum: AtomicU64,
+    max: AtomicU64,
 }
 
 impl Default for Histogram {
@@ -192,6 +195,7 @@ impl Default for Histogram {
             buckets,
             count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
         }
     }
 }
@@ -216,6 +220,7 @@ impl Histogram {
         self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
     }
 
     /// Record a [`std::time::Duration`] in nanoseconds.
@@ -237,6 +242,8 @@ impl Histogram {
             .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
         self.sum
             .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max
+            .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
     }
 
     pub fn count(&self) -> u64 {
@@ -253,6 +260,7 @@ impl Histogram {
         HistogramSnapshot {
             count: self.count.load(Ordering::Relaxed),
             sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
             buckets,
         }
     }
@@ -263,7 +271,11 @@ impl Histogram {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HistogramSnapshot {
     pub count: u64,
+    /// Exact running sum of all recorded samples (not bucket-derived),
+    /// so [`HistogramSnapshot::mean`] and merged/diffed sums are exact.
     pub sum: u64,
+    /// Largest sample ever recorded (exact, not bucket-rounded).
+    pub max: u64,
     buckets: Vec<u64>,
 }
 
@@ -272,6 +284,7 @@ impl Default for HistogramSnapshot {
         HistogramSnapshot {
             count: 0,
             sum: 0,
+            max: 0,
             buckets: vec![0; NUM_BUCKETS],
         }
     }
@@ -337,6 +350,7 @@ impl HistogramSnapshot {
         HistogramSnapshot {
             count: self.count + other.count,
             sum: self.sum + other.sum,
+            max: self.max.max(other.max),
             buckets,
         }
     }
@@ -354,6 +368,9 @@ impl HistogramSnapshot {
         HistogramSnapshot {
             count: self.count.saturating_sub(earlier.count),
             sum: self.sum.saturating_sub(earlier.sum),
+            // The max over an interval is not recoverable from two
+            // lifetime maxima; keep the later lifetime max as the bound.
+            max: self.max,
             buckets,
         }
     }
@@ -562,6 +579,7 @@ mod tests {
             let snap = h.snapshot();
             assert_eq!(snap.count, samples.len() as u64);
             assert_eq!(snap.sum, samples.iter().sum::<u64>());
+            assert_eq!(snap.max, *samples.last().expect("non-empty"));
             for q in [0.5, 0.95, 0.99] {
                 let rank = ((q * samples.len() as f64).ceil() as usize).max(1) - 1;
                 let exact = samples[rank];
@@ -637,6 +655,21 @@ mod tests {
         let snap = parent.snapshot();
         assert_eq!(snap.count, 4);
         assert_eq!(snap.sum, 1 + 100 + 10_000 + 7);
+        assert_eq!(snap.max, 10_000, "merge_from keeps the larger max");
+    }
+
+    #[test]
+    fn histogram_max_is_exact_through_merge_and_delta() {
+        let h = Histogram::new();
+        h.record(5);
+        let early = h.snapshot();
+        h.record(9_999);
+        h.record(12);
+        let late = h.snapshot();
+        assert_eq!(early.max, 5);
+        assert_eq!(late.max, 9_999, "max is exact, not bucket-rounded");
+        assert_eq!(early.merge(&late).max, 9_999);
+        assert_eq!(late.delta(&early).max, 9_999, "delta keeps later max");
     }
 
     #[test]

@@ -1,0 +1,835 @@
+//! Per-statement structured tracing: span trees from wire frame to fsync.
+//!
+//! The model is deliberately small and dependency-free:
+//!
+//! * A [`Tracer`] (one per database) decides per statement whether to
+//!   trace — forced via `SET trace = on` or sampled 1-in-N via
+//!   `SET trace_sample = N` — and keeps a bounded ring of recent
+//!   [`FinishedTrace`]s keyed by the `<session>-<seq>` statement ids the
+//!   slow-query log already uses.
+//! * While a statement is traced, a thread-local *current span* carries
+//!   the context implicitly: [`span`] opens a child of whatever span is
+//!   current on this thread and closes it when the guard drops, so deep
+//!   layers (buffer pool, WAL, CC) never thread tracing arguments
+//!   through their APIs.
+//! * Crossing threads is explicit and cheap: [`current_handle`] captures
+//!   the current span as a `Send + Clone` [`SpanHandle`]; a worker calls
+//!   [`SpanHandle::enter`] and everything it does nests under the
+//!   originating span on its own track (`tid`).
+//! * Work measured elsewhere (the group-commit flusher's fsync runs on a
+//!   background thread with no statement context) is attributed after
+//!   the fact with [`span_interval`].
+//!
+//! The disabled path is near-free: when a statement is not traced the
+//! thread-local is `None`, so [`span`] is one branch returning an inert
+//! guard — no allocation, no clock read.
+//!
+//! Finished traces render as an indented tree (`SHOW TRACE <id>`) or as
+//! Chrome trace-event JSON (`SHOW TRACE <id> FORMAT json`), which
+//! `scripts/trace_to_perfetto.py` wraps for Perfetto.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+// ------------------------------ collection ------------------------------
+
+/// One closed span as collected on whatever thread ran it. Tree assembly
+/// happens once, at trace finish.
+struct SpanRecord {
+    id: u32,
+    parent: u32,
+    tid: u32,
+    name: &'static str,
+    start_ns: u64,
+    dur_ns: u64,
+    attrs: Vec<(&'static str, String)>,
+}
+
+/// State shared by every thread participating in one traced statement.
+struct TraceShared {
+    /// Timebase: all span offsets are relative to this instant.
+    epoch: Instant,
+    spans: Mutex<Vec<SpanRecord>>,
+    next_id: AtomicU32,
+    next_tid: AtomicU32,
+}
+
+impl TraceShared {
+    fn new() -> Self {
+        TraceShared {
+            epoch: Instant::now(),
+            spans: Mutex::new(Vec::new()),
+            next_id: AtomicU32::new(2),  // 1 is the root
+            next_tid: AtomicU32::new(1), // 0 is the statement thread
+        }
+    }
+
+    fn alloc_id(&self) -> u32 {
+        self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn ns_since_epoch(&self, at: Instant) -> u64 {
+        at.checked_duration_since(self.epoch)
+            .unwrap_or_default()
+            .as_nanos() as u64
+    }
+
+    fn push(&self, record: SpanRecord) {
+        self.spans.lock().expect("trace span lock").push(record);
+    }
+}
+
+#[derive(Clone)]
+struct ActiveCtx {
+    shared: Arc<TraceShared>,
+    span: u32,
+    tid: u32,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<ActiveCtx>> = const { RefCell::new(None) };
+}
+
+/// Open a span named `name` under the current span of this thread.
+///
+/// If the thread is not inside a traced statement this is one branch and
+/// returns an inert guard. The span closes (duration taken, record
+/// filed) when the guard drops; guards must nest like scopes, which the
+/// borrow rules of `let _g = span(..)` give you for free.
+pub fn span(name: &'static str) -> SpanGuard {
+    CURRENT.with(|cur| {
+        let mut cur = cur.borrow_mut();
+        let Some(ctx) = cur.as_mut() else {
+            return SpanGuard { inner: None };
+        };
+        let id = ctx.shared.alloc_id();
+        let parent = ctx.span;
+        ctx.span = id;
+        SpanGuard {
+            inner: Some(SpanInner {
+                shared: Arc::clone(&ctx.shared),
+                id,
+                parent,
+                tid: ctx.tid,
+                name,
+                start: Instant::now(),
+                attrs: Vec::new(),
+            }),
+        }
+    })
+}
+
+/// File an already-measured interval as a child of the current span.
+///
+/// Used when the work ran on a thread with no statement context (the
+/// group-commit flusher's fsync): the waiter measures or learns the
+/// real interval and attributes it to its own trace here.
+pub fn span_interval(
+    name: &'static str,
+    start: Instant,
+    dur: Duration,
+    attrs: Vec<(&'static str, String)>,
+) {
+    CURRENT.with(|cur| {
+        let cur = cur.borrow();
+        let Some(ctx) = cur.as_ref() else { return };
+        let record = SpanRecord {
+            id: ctx.shared.alloc_id(),
+            parent: ctx.span,
+            tid: ctx.tid,
+            name,
+            start_ns: ctx.shared.ns_since_epoch(start),
+            dur_ns: dur.as_nanos() as u64,
+            attrs,
+        };
+        ctx.shared.push(record);
+    });
+}
+
+/// Whether the calling thread is currently inside a traced statement.
+pub fn enabled() -> bool {
+    CURRENT.with(|cur| cur.borrow().is_some())
+}
+
+struct SpanInner {
+    shared: Arc<TraceShared>,
+    id: u32,
+    parent: u32,
+    tid: u32,
+    name: &'static str,
+    start: Instant,
+    attrs: Vec<(&'static str, String)>,
+}
+
+/// Guard for an open span; closes it on drop. Inert when the statement
+/// is not traced.
+pub struct SpanGuard {
+    inner: Option<SpanInner>,
+}
+
+impl SpanGuard {
+    /// Attach a key/value attribute. No-op (and no formatting) when the
+    /// span is inert.
+    pub fn attr<T: ToString>(&mut self, key: &'static str, value: T) {
+        if let Some(inner) = self.inner.as_mut() {
+            inner.attrs.push((key, value.to_string()));
+        }
+    }
+
+    /// Whether this guard is live (the statement is traced).
+    pub fn is_active(&self) -> bool {
+        self.inner.is_some()
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(inner) = self.inner.take() else {
+            return;
+        };
+        let record = SpanRecord {
+            id: inner.id,
+            parent: inner.parent,
+            tid: inner.tid,
+            name: inner.name,
+            start_ns: inner.shared.ns_since_epoch(inner.start),
+            dur_ns: inner.start.elapsed().as_nanos() as u64,
+            attrs: inner.attrs,
+        };
+        inner.shared.push(record);
+        // Restore the parent as this thread's current span.
+        CURRENT.with(|cur| {
+            if let Some(ctx) = cur.borrow_mut().as_mut() {
+                if ctx.span == inner.id {
+                    ctx.span = inner.parent;
+                }
+            }
+        });
+    }
+}
+
+/// A `Send + Clone` capture of the current span, made to be moved into a
+/// worker thread closure. [`SpanHandle::enter`] re-establishes tracing
+/// context there; a handle captured outside a traced statement is inert.
+#[derive(Clone)]
+pub struct SpanHandle {
+    inner: Option<(Arc<TraceShared>, u32)>,
+}
+
+impl SpanHandle {
+    /// A handle that never produces spans.
+    pub fn inert() -> Self {
+        SpanHandle { inner: None }
+    }
+
+    /// Whether entering this handle will produce spans.
+    pub fn is_active(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Make the captured span current on this thread (on a fresh track)
+    /// until the returned guard drops.
+    pub fn enter(&self) -> ScopeGuard {
+        let Some((shared, span)) = self.inner.as_ref() else {
+            return ScopeGuard {
+                prev: None,
+                installed: false,
+            };
+        };
+        let tid = shared.next_tid.fetch_add(1, Ordering::Relaxed);
+        let ctx = ActiveCtx {
+            shared: Arc::clone(shared),
+            span: *span,
+            tid,
+        };
+        let prev = CURRENT.with(|cur| cur.borrow_mut().replace(ctx));
+        ScopeGuard {
+            prev,
+            installed: true,
+        }
+    }
+}
+
+/// Capture the calling thread's current span as a cross-thread handle.
+pub fn current_handle() -> SpanHandle {
+    CURRENT.with(|cur| {
+        let cur = cur.borrow();
+        SpanHandle {
+            inner: cur.as_ref().map(|ctx| (Arc::clone(&ctx.shared), ctx.span)),
+        }
+    })
+}
+
+/// Restores the thread's previous tracing context on drop.
+pub struct ScopeGuard {
+    prev: Option<ActiveCtx>,
+    installed: bool,
+}
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        if self.installed {
+            CURRENT.with(|cur| {
+                *cur.borrow_mut() = self.prev.take();
+            });
+        }
+    }
+}
+
+// ------------------------------- finished -------------------------------
+
+/// One node of an assembled trace tree.
+#[derive(Debug, Clone)]
+pub struct Span {
+    pub name: &'static str,
+    pub start_ns: u64,
+    pub dur_ns: u64,
+    pub tid: u32,
+    pub attrs: Vec<(&'static str, String)>,
+    pub children: Vec<Span>,
+}
+
+impl Span {
+    /// Duration not accounted for by direct children (clamped at zero:
+    /// children on other threads may overlap the parent).
+    pub fn self_ns(&self) -> u64 {
+        let child: u64 = self.children.iter().map(|c| c.dur_ns).sum();
+        self.dur_ns.saturating_sub(child)
+    }
+
+    /// Depth-first walk over this span and all descendants.
+    pub fn walk(&self, f: &mut impl FnMut(&Span, usize)) {
+        self.walk_at(0, f)
+    }
+
+    fn walk_at(&self, depth: usize, f: &mut impl FnMut(&Span, usize)) {
+        f(self, depth);
+        for child in &self.children {
+            child.walk_at(depth + 1, f);
+        }
+    }
+
+    /// Number of spans in this subtree (including self).
+    pub fn count(&self) -> usize {
+        1 + self.children.iter().map(Span::count).sum::<usize>()
+    }
+
+    /// First descendant (or self) with the given name, depth-first.
+    pub fn find(&self, name: &str) -> Option<&Span> {
+        if self.name == name {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(name))
+    }
+
+    /// All descendants (including self) with the given name.
+    pub fn find_all<'a>(&'a self, name: &str, out: &mut Vec<&'a Span>) {
+        if self.name == name {
+            out.push(self);
+        }
+        for child in &self.children {
+            child.find_all(name, out);
+        }
+    }
+}
+
+/// A completed, assembled statement trace.
+#[derive(Debug, Clone)]
+pub struct FinishedTrace {
+    /// `<session>-<seq>` statement id (matches the slow-query log).
+    pub id: String,
+    /// The statement text.
+    pub sql: String,
+    /// Statement wall time.
+    pub wall_ns: u64,
+    pub root: Span,
+}
+
+impl FinishedTrace {
+    pub fn span_count(&self) -> usize {
+        self.root.count()
+    }
+
+    /// Render as an indented tree with total/self times and attrs — the
+    /// `SHOW TRACE <id>` body.
+    pub fn render_tree(&self) -> Vec<String> {
+        let mut lines = vec![
+            format!(
+                "trace {}  wall={}  spans={}",
+                self.id,
+                fmt_ns(self.wall_ns),
+                self.span_count()
+            ),
+            format!("sql: {}", self.sql),
+        ];
+        self.root.walk(&mut |span, depth| {
+            let mut line = format!(
+                "{}{}  total={} self={}",
+                "  ".repeat(depth),
+                span.name,
+                fmt_ns(span.dur_ns),
+                fmt_ns(span.self_ns()),
+            );
+            for (k, v) in &span.attrs {
+                line.push_str(&format!(" {k}={v}"));
+            }
+            lines.push(line);
+        });
+        lines
+    }
+
+    /// Chrome trace-event JSON (`ph:"X"` complete events, µs timebase):
+    /// loads directly in Perfetto / `chrome://tracing`.
+    pub fn to_chrome_json(&self) -> String {
+        let mut events = Vec::new();
+        let mut tids = Vec::new();
+        self.root.walk(&mut |span, _| {
+            if !tids.contains(&span.tid) {
+                tids.push(span.tid);
+            }
+            let mut args = String::new();
+            for (k, v) in &span.attrs {
+                if !args.is_empty() {
+                    args.push(',');
+                }
+                args.push_str(&format!("\"{}\":\"{}\"", json_escape(k), json_escape(v)));
+            }
+            events.push(format!(
+                "{{\"name\":\"{}\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\
+                 \"pid\":1,\"tid\":{},\"cat\":\"statement\",\"args\":{{{}}}}}",
+                json_escape(span.name),
+                span.start_ns as f64 / 1000.0,
+                span.dur_ns as f64 / 1000.0,
+                span.tid,
+                args
+            ));
+        });
+        for tid in tids {
+            let name = if tid == 0 {
+                "statement".to_string()
+            } else {
+                format!("track-{tid}")
+            };
+            events.push(format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\
+                 \"tid\":{tid},\"args\":{{\"name\":\"{name}\"}}}}"
+            ));
+        }
+        format!(
+            "{{\"displayTimeUnit\":\"ms\",\"otherData\":{{\"trace_id\":\"{}\",\
+             \"sql\":\"{}\"}},\"traceEvents\":[{}]}}",
+            json_escape(&self.id),
+            json_escape(&self.sql),
+            events.join(",")
+        )
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Human duration: ns under 1µs, then µs / ms / s with one decimal.
+pub fn fmt_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}us", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.1}ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2}s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+// -------------------------------- tracer --------------------------------
+
+/// An open statement trace: the root span is live from
+/// [`Tracer::maybe_start`] until [`Tracer::finish`].
+pub struct ActiveTrace {
+    shared: Arc<TraceShared>,
+}
+
+impl ActiveTrace {
+    /// Make the root span current on this thread (track 0) until the
+    /// guard drops.
+    pub fn enter(&self) -> ScopeGuard {
+        let ctx = ActiveCtx {
+            shared: Arc::clone(&self.shared),
+            span: 1,
+            tid: 0,
+        };
+        let prev = CURRENT.with(|cur| cur.borrow_mut().replace(ctx));
+        ScopeGuard {
+            prev,
+            installed: true,
+        }
+    }
+}
+
+/// Per-database trace controller: sampling decision, per-statement trace
+/// lifecycle, and the bounded ring of recent finished traces.
+pub struct Tracer {
+    /// 0 = sampling off; N = trace one statement in N.
+    sample_every: AtomicU64,
+    /// Statements seen while sampling was armed (sampling is
+    /// deterministic: the 1st, N+1th, 2N+1th, ... armed statements
+    /// trace).
+    sampled: AtomicU64,
+    ring: Mutex<VecDeque<Arc<FinishedTrace>>>,
+    capacity: usize,
+}
+
+impl Tracer {
+    pub fn new(capacity: usize) -> Self {
+        Tracer {
+            sample_every: AtomicU64::new(0),
+            sampled: AtomicU64::new(0),
+            ring: Mutex::new(VecDeque::new()),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Set the 1-in-N sampling rate (0 disables sampling) and reset the
+    /// deterministic counter so the next armed statement traces.
+    pub fn set_sample_every(&self, n: u64) {
+        self.sample_every.store(n, Ordering::Relaxed);
+        self.sampled.store(0, Ordering::Relaxed);
+    }
+
+    pub fn sample_every(&self) -> u64 {
+        self.sample_every.load(Ordering::Relaxed)
+    }
+
+    /// Decide whether to trace this statement. The untraced path is one
+    /// atomic load and a branch — no allocation.
+    pub fn maybe_start(&self, force: bool) -> Option<ActiveTrace> {
+        if !force {
+            let every = self.sample_every.load(Ordering::Relaxed);
+            if every == 0 {
+                return None;
+            }
+            let seen = self.sampled.fetch_add(1, Ordering::Relaxed);
+            if !seen.is_multiple_of(every) {
+                return None;
+            }
+        }
+        Some(ActiveTrace {
+            shared: Arc::new(TraceShared::new()),
+        })
+    }
+
+    /// Close the trace: file the root span, assemble the tree, push it
+    /// into the ring (evicting the oldest past capacity), return it.
+    pub fn finish(&self, trace: ActiveTrace, id: String, sql: String) -> Arc<FinishedTrace> {
+        let shared = trace.shared;
+        let wall_ns = shared.epoch.elapsed().as_nanos() as u64;
+        let records = {
+            let mut spans = shared.spans.lock().expect("trace span lock");
+            std::mem::take(&mut *spans)
+        };
+        let root = assemble(records, wall_ns);
+        let finished = Arc::new(FinishedTrace {
+            id,
+            sql,
+            wall_ns,
+            root,
+        });
+        let mut ring = self.ring.lock().expect("trace ring lock");
+        ring.push_back(Arc::clone(&finished));
+        while ring.len() > self.capacity {
+            ring.pop_front();
+        }
+        finished
+    }
+
+    /// Recent finished traces, oldest first.
+    pub fn recent(&self) -> Vec<Arc<FinishedTrace>> {
+        self.ring
+            .lock()
+            .expect("trace ring lock")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Look up a trace by its `<session>-<seq>` id.
+    pub fn get(&self, id: &str) -> Option<Arc<FinishedTrace>> {
+        self.ring
+            .lock()
+            .expect("trace ring lock")
+            .iter()
+            .rev()
+            .find(|t| t.id == id)
+            .cloned()
+    }
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::new(64)
+    }
+}
+
+/// Build the tree from flat records. Parents always outlive children
+/// (workers are joined before the statement finishes), so every record's
+/// parent exists; any orphan (defensive) re-parents onto the root.
+fn assemble(records: Vec<SpanRecord>, wall_ns: u64) -> Span {
+    let ids: std::collections::HashSet<u32> = records.iter().map(|r| r.id).collect();
+    let mut nodes: Vec<(u32, u32, Span)> = records
+        .into_iter()
+        .map(|r| {
+            let parent = if r.parent != 0 && ids.contains(&r.parent) {
+                r.parent
+            } else {
+                1
+            };
+            (
+                r.id,
+                parent,
+                Span {
+                    name: r.name,
+                    start_ns: r.start_ns,
+                    dur_ns: r.dur_ns,
+                    tid: r.tid,
+                    attrs: r.attrs,
+                    children: Vec::new(),
+                },
+            )
+        })
+        .collect();
+    // A child span is always created after its parent, so every
+    // descendant has a strictly greater id. Folding in descending id
+    // order therefore completes each subtree before its parent is
+    // visited.
+    let mut pending: std::collections::HashMap<u32, Vec<Span>> = std::collections::HashMap::new();
+    let mut root_children = Vec::new();
+    nodes.sort_by_key(|(id, _, _)| std::cmp::Reverse(*id));
+    for (id, parent, mut span) in nodes {
+        if let Some(mut kids) = pending.remove(&id) {
+            kids.sort_by_key(|c| c.start_ns);
+            span.children = kids;
+        }
+        if parent == 1 {
+            root_children.push(span);
+        } else {
+            pending.entry(parent).or_default().push(span);
+        }
+    }
+    // Any leftovers had a parent chain that never closed (should not
+    // happen); hang them off the root rather than dropping them.
+    for (_, kids) in pending.drain() {
+        root_children.extend(kids);
+    }
+    root_children.sort_by_key(|c| c.start_ns);
+    Span {
+        name: "statement",
+        start_ns: 0,
+        dur_ns: wall_ns,
+        tid: 0,
+        attrs: Vec::new(),
+        children: root_children,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn traced<R>(f: impl FnOnce() -> R) -> (Arc<FinishedTrace>, R) {
+        let tracer = Tracer::new(8);
+        let trace = tracer.maybe_start(true).expect("forced");
+        let scope = trace.enter();
+        let out = f();
+        drop(scope);
+        let finished = tracer.finish(trace, "1-1".into(), "SELECT 1".into());
+        (finished, out)
+    }
+
+    #[test]
+    fn disabled_path_produces_no_spans() {
+        assert!(!enabled());
+        let mut g = span("never");
+        assert!(!g.is_active());
+        g.attr("k", 1);
+        drop(g);
+        assert!(!current_handle().is_active());
+        span_interval("never", Instant::now(), Duration::from_millis(1), vec![]);
+        // Nothing to observe: no trace shared state exists at all.
+    }
+
+    #[test]
+    fn nested_spans_assemble_into_a_tree() {
+        let (t, ()) = traced(|| {
+            let mut a = span("plan");
+            a.attr("joins", 2);
+            drop(a);
+            let _b = span("execute");
+            let _c = span("scan");
+        });
+        assert_eq!(t.root.name, "statement");
+        assert_eq!(t.span_count(), 4);
+        let exec = t.root.find("execute").expect("execute span");
+        assert_eq!(exec.children.len(), 1);
+        assert_eq!(exec.children[0].name, "scan");
+        let plan = t.root.find("plan").expect("plan span");
+        assert_eq!(plan.attrs, vec![("joins", "2".to_string())]);
+        // Children sorted by start time.
+        assert!(t.root.children[0].start_ns <= t.root.children[1].start_ns);
+    }
+
+    #[test]
+    fn handles_propagate_across_threads() {
+        let (t, ()) = traced(|| {
+            let exec = span("execute");
+            let handle = current_handle();
+            assert!(handle.is_active());
+            let workers: Vec<_> = (0..3)
+                .map(|w| {
+                    let h = handle.clone();
+                    std::thread::spawn(move || {
+                        let _scope = h.enter();
+                        let mut s = span("worker");
+                        s.attr("worker", w);
+                    })
+                })
+                .collect();
+            for w in workers {
+                w.join().unwrap();
+            }
+            drop(exec);
+        });
+        let exec = t.root.find("execute").expect("execute span");
+        assert_eq!(exec.children.len(), 3, "worker spans parent under execute");
+        let mut tids: Vec<u32> = exec.children.iter().map(|c| c.tid).collect();
+        tids.sort_unstable();
+        tids.dedup();
+        assert_eq!(tids.len(), 3, "each worker gets its own track");
+        for child in &exec.children {
+            assert_eq!(child.name, "worker");
+        }
+    }
+
+    #[test]
+    fn span_interval_attributes_foreign_work() {
+        let (t, ()) = traced(|| {
+            let start = Instant::now();
+            std::thread::sleep(Duration::from_millis(2));
+            span_interval(
+                "wal.fsync",
+                start,
+                Duration::from_millis(2),
+                vec![("ride", "false".into())],
+            );
+        });
+        let fsync = t.root.find("wal.fsync").expect("fsync span");
+        assert!(fsync.dur_ns >= 2_000_000);
+        assert_eq!(fsync.attrs[0].0, "ride");
+    }
+
+    #[test]
+    fn self_time_excludes_children() {
+        let (t, ()) = traced(|| {
+            let _e = span("execute");
+            let inner = span("scan");
+            std::thread::sleep(Duration::from_millis(2));
+            drop(inner);
+        });
+        let exec = t.root.find("execute").expect("execute");
+        assert!(exec.self_ns() < exec.dur_ns);
+        assert!(exec.self_ns() <= exec.dur_ns - exec.children[0].dur_ns + 1);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_one_in_n() {
+        let tracer = Tracer::new(8);
+        tracer.set_sample_every(3);
+        let hits: Vec<bool> = (0..9)
+            .map(|_| tracer.maybe_start(false).is_some())
+            .collect();
+        assert_eq!(
+            hits,
+            vec![true, false, false, true, false, false, true, false, false]
+        );
+        // Resetting the rate re-arms the counter deterministically.
+        tracer.set_sample_every(2);
+        assert!(tracer.maybe_start(false).is_some());
+        assert!(tracer.maybe_start(false).is_none());
+        assert!(tracer.maybe_start(false).is_some());
+        // Off means off; force overrides.
+        tracer.set_sample_every(0);
+        assert!(tracer.maybe_start(false).is_none());
+        assert!(tracer.maybe_start(true).is_some());
+    }
+
+    #[test]
+    fn ring_evicts_oldest_beyond_capacity() {
+        let tracer = Tracer::new(3);
+        for i in 0..5 {
+            let t = tracer.maybe_start(true).unwrap();
+            tracer.finish(t, format!("1-{i}"), "SELECT 1".into());
+        }
+        let recent = tracer.recent();
+        assert_eq!(recent.len(), 3);
+        assert_eq!(recent[0].id, "1-2");
+        assert_eq!(recent[2].id, "1-4");
+        assert!(tracer.get("1-0").is_none(), "evicted");
+        assert!(tracer.get("1-4").is_some());
+    }
+
+    #[test]
+    fn chrome_json_is_wellformed_and_escaped() {
+        let (t, ()) = traced(|| {
+            let mut s = span("scan");
+            s.attr("pred", "v = \"x\"\n");
+        });
+        let json = t.to_chrome_json();
+        assert!(json.contains("\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\\\"x\\\"\\n"));
+        assert!(json.contains("thread_name"));
+        // Balanced braces/brackets — a cheap well-formedness check.
+        let braces = json.matches('{').count();
+        assert_eq!(braces, json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn render_tree_shows_indentation_and_attrs() {
+        let (t, ()) = traced(|| {
+            let _e = span("execute");
+            let mut s = span("buffer.read");
+            s.attr("page", 7);
+        });
+        let lines = t.render_tree();
+        assert!(lines[0].starts_with("trace 1-1"));
+        assert_eq!(lines[1], "sql: SELECT 1");
+        assert!(lines[2].starts_with("statement"));
+        assert!(lines[3].starts_with("  execute"));
+        assert!(lines[4].starts_with("    buffer.read"));
+        assert!(lines[4].contains("page=7"));
+    }
+
+    #[test]
+    fn fmt_ns_units() {
+        assert_eq!(fmt_ns(12), "12ns");
+        assert_eq!(fmt_ns(1_500), "1.5us");
+        assert_eq!(fmt_ns(2_500_000), "2.5ms");
+        assert_eq!(fmt_ns(1_500_000_000), "1.50s");
+    }
+}

@@ -589,7 +589,7 @@ fn run_statement(shared: &Shared, session: &mut SessionContext, sql: &str) -> Re
         .get(..4)
         .is_some_and(|p| p.eq_ignore_ascii_case("show"));
     if looks_like_show {
-        if let Ok(Statement::Show { name }) = neurdb_sql::parse(sql) {
+        if let Ok(Statement::Show { name, .. }) = neurdb_sql::parse(sql) {
             if name.eq_ignore_ascii_case("sessions") {
                 return Response::Rows(shared.session_rows());
             }

@@ -289,11 +289,16 @@ pub enum Statement {
         name: String,
         value: Literal,
     },
-    /// `SHOW name`: introspection. The core facade answers catalog and
-    /// session items (`SHOW TABLES`, `SHOW parallelism`); the server
-    /// layer answers server-scoped items (`SHOW SESSIONS`).
+    /// `SHOW name [LIKE 'pattern'] [<id>] [FORMAT fmt]`: introspection.
+    /// The core facade answers catalog and session items (`SHOW TABLES`,
+    /// `SHOW parallelism`, `SHOW METRICS LIKE 'wal.%'`, `SHOW TRACE
+    /// <id> FORMAT json`); the server layer answers server-scoped items
+    /// (`SHOW SESSIONS`). `arg` carries the LIKE pattern or trace id;
+    /// `format` carries the FORMAT word, lowercased.
     Show {
         name: String,
+        arg: Option<String>,
+        format: Option<String>,
     },
     /// `BEGIN [TRANSACTION | WORK]`: open a multi-statement transaction
     /// on the session.

@@ -172,19 +172,83 @@ impl Parser {
         Ok(stmt)
     }
 
-    /// `SHOW name` — catalog / session / server introspection.
+    /// `SHOW name [LIKE 'pattern'] [<trace-id>] [FORMAT fmt]` — catalog /
+    /// session / server introspection. LIKE and FORMAT are not lexer
+    /// keywords (they stay usable as identifiers elsewhere), so they are
+    /// matched by text, like TRANSACTION/WORK in txn_control.
     fn show_stmt(&mut self) -> PResult<Statement> {
         self.expect_kw(Keyword::Show)?;
         let name = self.ident()?;
-        Ok(Statement::Show { name })
+        let mut arg = None;
+        if let Some(Token::Ident(w)) = self.peek() {
+            if w.eq_ignore_ascii_case("like") {
+                self.pos += 1;
+                arg = Some(match self.next() {
+                    Some(Token::Str(s)) => s,
+                    other => {
+                        return Err(self.err(&format!(
+                            "expected string pattern after LIKE, found {}",
+                            other.map_or("<eof>".to_string(), |t| t.to_string())
+                        )))
+                    }
+                });
+            }
+        }
+        // `SHOW TRACE <session>-<seq>`: the id lexes as Int Minus Int,
+        // or may be quoted as a single string.
+        if arg.is_none() && name.eq_ignore_ascii_case("trace") {
+            arg = Some(self.trace_id()?);
+        }
+        let mut format = None;
+        if let Some(Token::Ident(w)) = self.peek() {
+            if w.eq_ignore_ascii_case("format") {
+                self.pos += 1;
+                format = Some(self.ident()?.to_ascii_lowercase());
+            }
+        }
+        Ok(Statement::Show { name, arg, format })
     }
 
-    /// `SET name = literal` — session configuration.
+    /// A `<session>-<seq>` trace id: `5-3` (Int Minus Int) or `'5-3'`.
+    fn trace_id(&mut self) -> PResult<String> {
+        match self.next() {
+            Some(Token::Str(s)) => Ok(s),
+            Some(Token::Int(session)) => {
+                self.expect(&Token::Minus)?;
+                match self.next() {
+                    Some(Token::Int(seq)) => Ok(format!("{session}-{seq}")),
+                    other => Err(self.err(&format!(
+                        "expected statement sequence in trace id, found {}",
+                        other.map_or("<eof>".to_string(), |t| t.to_string())
+                    ))),
+                }
+            }
+            other => Err(self.err(&format!(
+                "expected trace id (<session>-<seq>), found {}",
+                other.map_or("<eof>".to_string(), |t| t.to_string())
+            ))),
+        }
+    }
+
+    /// `SET name = literal` — session configuration. `on`/`off` are
+    /// accepted as string values (`SET trace = on`): ON is a keyword
+    /// (CREATE INDEX ON) and OFF a plain identifier, so neither is a
+    /// literal on its own.
     fn set_stmt(&mut self) -> PResult<Statement> {
         self.expect_kw(Keyword::Set)?;
         let name = self.ident()?;
         self.expect(&Token::Eq)?;
-        let value = self.literal()?;
+        let value = match self.peek() {
+            Some(Token::Keyword(Keyword::On)) => {
+                self.pos += 1;
+                Literal::Str("on".to_string())
+            }
+            Some(Token::Ident(w)) if w.eq_ignore_ascii_case("off") => {
+                self.pos += 1;
+                Literal::Str("off".to_string())
+            }
+            _ => self.literal()?,
+        };
         Ok(Statement::Set { name, value })
     }
 
@@ -938,6 +1002,8 @@ mod tests {
             parse("SHOW sessions").unwrap(),
             Statement::Show {
                 name: "sessions".to_string(),
+                arg: None,
+                format: None,
             }
         );
         // Identifier case is preserved (the executor matches
@@ -946,12 +1012,16 @@ mod tests {
             parse("SHOW TABLES;").unwrap(),
             Statement::Show {
                 name: "TABLES".to_string(),
+                arg: None,
+                format: None,
             }
         );
         assert_eq!(
             parse("show Parallelism").unwrap(),
             Statement::Show {
                 name: "Parallelism".to_string(),
+                arg: None,
+                format: None,
             }
         );
         // SHOW needs an item; SHOW stays usable as a column name.
@@ -968,12 +1038,16 @@ mod tests {
             parse("SHOW METRICS").unwrap(),
             Statement::Show {
                 name: "METRICS".to_string(),
+                arg: None,
+                format: None,
             }
         );
         assert_eq!(
             parse("SHOW slow_queries").unwrap(),
             Statement::Show {
                 name: "slow_queries".to_string(),
+                arg: None,
+                format: None,
             }
         );
         assert_eq!(
@@ -981,6 +1055,82 @@ mod tests {
             Statement::Set {
                 name: "slow_query_ms".to_string(),
                 value: Literal::Int(250),
+            }
+        );
+    }
+
+    #[test]
+    fn show_like_trace_and_format_clauses() {
+        assert_eq!(
+            parse("SHOW METRICS LIKE 'wal.%'").unwrap(),
+            Statement::Show {
+                name: "METRICS".to_string(),
+                arg: Some("wal.%".to_string()),
+                format: None,
+            }
+        );
+        assert_eq!(
+            parse("SHOW TRACES").unwrap(),
+            Statement::Show {
+                name: "TRACES".to_string(),
+                arg: None,
+                format: None,
+            }
+        );
+        // A trace id lexes as Int Minus Int; quoting also works.
+        assert_eq!(
+            parse("SHOW TRACE 5-3").unwrap(),
+            Statement::Show {
+                name: "TRACE".to_string(),
+                arg: Some("5-3".to_string()),
+                format: None,
+            }
+        );
+        assert_eq!(
+            parse("SHOW TRACE '12-7' FORMAT json").unwrap(),
+            Statement::Show {
+                name: "TRACE".to_string(),
+                arg: Some("12-7".to_string()),
+                format: Some("json".to_string()),
+            }
+        );
+        assert_eq!(
+            parse("show trace 1-1 format JSON;").unwrap(),
+            Statement::Show {
+                name: "trace".to_string(),
+                arg: Some("1-1".to_string()),
+                format: Some("json".to_string()),
+            }
+        );
+        // LIKE wants a string; TRACE wants an id; and like/format stay
+        // usable as ordinary identifiers elsewhere.
+        assert!(parse("SHOW METRICS LIKE wal").is_err());
+        assert!(parse("SHOW TRACE").is_err());
+        assert!(parse("SHOW TRACE 5").is_err());
+        assert!(parse("SELECT like FROM t WHERE format > 1").is_ok());
+    }
+
+    #[test]
+    fn set_accepts_on_off_toggles() {
+        assert_eq!(
+            parse("SET trace = on").unwrap(),
+            Statement::Set {
+                name: "trace".to_string(),
+                value: Literal::Str("on".to_string()),
+            }
+        );
+        assert_eq!(
+            parse("SET trace = OFF;").unwrap(),
+            Statement::Set {
+                name: "trace".to_string(),
+                value: Literal::Str("off".to_string()),
+            }
+        );
+        assert_eq!(
+            parse("SET trace_sample = 100").unwrap(),
+            Statement::Set {
+                name: "trace_sample".to_string(),
+                value: Literal::Int(100),
             }
         );
     }

@@ -32,6 +32,7 @@
 
 use crate::error::{StorageError, StorageResult};
 use crate::page::{Page, PageId, PAGE_SIZE};
+use neurdb_obs::trace;
 use neurdb_obs::Histogram;
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
@@ -958,7 +959,20 @@ impl BufferPool {
         if point {
             c.point_misses += 1;
         }
+        // A miss is the interesting (slow) case: the disk read gets its
+        // own span, tagged with the page and the executor's access hint.
+        let mut span = trace::span("buffer.read");
+        span.attr("page", id);
+        span.attr(
+            "hint",
+            match hint {
+                AccessHint::Point => "point",
+                AccessHint::Sequential => "sequential",
+                AccessHint::Index => "index",
+            },
+        );
         let bytes = self.timed_read(id)?;
+        drop(span);
         let idx = self.free_or_evict(inner)?;
         inner.map.insert(id, idx);
         inner.frames[idx] = Some(Frame {

@@ -16,6 +16,7 @@
 
 use crate::crc32::crc32;
 use crate::record::WalRecord;
+use neurdb_obs::trace;
 use neurdb_obs::{Counter, Histogram};
 use neurdb_storage::{StorageError, StorageResult};
 use std::collections::VecDeque;
@@ -124,6 +125,12 @@ struct Inner {
     io_error: Option<String>,
     stats: WalStats,
     metrics: WalMetrics,
+    /// `(start, duration)` of the most recent fsync, whichever thread
+    /// ran it. Group committers read it after their durability wait to
+    /// attribute the flusher's fsync to their own statement trace
+    /// ([`trace::span_interval`]); under `Always`/`Never` the fsync runs
+    /// on the committer thread and files its interval inline.
+    last_fsync: Option<(Instant, Duration)>,
 }
 
 impl Inner {
@@ -216,8 +223,14 @@ impl Inner {
         if let Some(seg) = &self.current {
             let start = Instant::now();
             seg.file.sync_data().map_err(io_err)?;
-            self.metrics.fsync_ns.record_duration(start.elapsed());
+            let took = start.elapsed();
+            self.metrics.fsync_ns.record_duration(took);
             self.stats.fsyncs += 1;
+            self.last_fsync = Some((start, took));
+            // No-op on the group flusher thread (no statement context);
+            // under Always/Never this runs on the committer and nests
+            // the fsync under its current span.
+            trace::span_interval("wal.fsync", start, took, Vec::new());
         }
         Ok(())
     }
@@ -225,6 +238,26 @@ impl Inner {
 
 fn io_err(e: std::io::Error) -> StorageError {
     StorageError::Codec(format!("wal io: {e}"))
+}
+
+/// File the covering fsync's measured interval as a child of the
+/// caller's open `wal.commit_wait` span. Under group commit the fsync
+/// runs on the background flusher thread, which has no statement
+/// context — so the *committer* attributes the interval to its own
+/// trace once its durability wait resolves. The enabled-check guards
+/// the attr allocation on the (common) untraced path.
+fn attribute_group_fsync(_wait_span: &mut trace::SpanGuard, covering: Option<(Instant, Duration)>) {
+    if !trace::enabled() {
+        return;
+    }
+    if let Some((start, took)) = covering {
+        trace::span_interval(
+            "wal.fsync",
+            start,
+            took,
+            vec![("group", "true".to_string())],
+        );
+    }
 }
 
 /// Fsync a directory so file creations/renames/removals inside it are
@@ -340,6 +373,7 @@ impl Wal {
             io_error: None,
             stats: WalStats::default(),
             metrics: opts.metrics.clone(),
+            last_fsync: None,
         };
         let wal = Arc::new(Wal {
             inner: Mutex::new(inner),
@@ -371,12 +405,15 @@ impl Wal {
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         frame.extend_from_slice(&crc32(&payload).to_le_bytes());
         frame.extend_from_slice(&payload);
+        let mut span = trace::span("wal.append");
+        span.attr("bytes", frame.len());
         let mut inner = self.inner.lock().unwrap();
         let lsn = inner.next_lsn;
         inner.next_lsn += frame.len() as u64;
         inner.stats.appended_records += 1;
         inner.stats.appended_bytes += frame.len() as u64;
         inner.buffer.push_back((lsn, frame));
+        span.attr("lsn", inner.next_lsn);
         inner.next_lsn
     }
 
@@ -393,9 +430,14 @@ impl Wal {
                 Ok(())
             }
             FsyncPolicy::Group(_) => {
+                let mut wait_span = trace::span("wal.commit_wait");
                 let mut inner = self.inner.lock().unwrap();
                 if inner.durable_lsn >= lsn {
                     inner.stats.group_rides += 1;
+                    let covering = inner.last_fsync;
+                    drop(inner);
+                    wait_span.attr("ride", true);
+                    attribute_group_fsync(&mut wait_span, covering);
                     return Ok(());
                 }
                 // Nudge the flusher rather than waiting a full interval.
@@ -408,6 +450,10 @@ impl Wal {
                     }
                     inner = self.durable.wait(inner).unwrap();
                     if inner.durable_lsn >= lsn {
+                        let covering = inner.last_fsync;
+                        drop(inner);
+                        wait_span.attr("ride", false);
+                        attribute_group_fsync(&mut wait_span, covering);
                         return Ok(());
                     }
                 }

@@ -1,11 +1,15 @@
-//! End-to-end drive of the PR 6 observability surface over a live TCP
+//! End-to-end drive of the observability surface over a live TCP
 //! server: a real workload, then `SHOW METRICS` (WAL fsync latency,
 //! buffer gauges, per-statement-kind server histograms, executor
 //! counters), the slow-query log with trace ids and plan provenance,
-//! and the latency columns of `SHOW SESSIONS`.
+//! the latency columns of `SHOW SESSIONS`, and structured tracing —
+//! `SET trace = on`, `SHOW TRACE <id>` as a span tree and as Chrome
+//! trace JSON for Perfetto.
 //!
 //! ```sh
 //! cargo run --release --example observability
+//! # also write the sample trace body for scripts/trace_to_perfetto.py:
+//! cargo run --release --example observability -- --emit-trace trace_body.json
 //! ```
 
 use neurdb_core::Database;
@@ -85,6 +89,54 @@ fn main() {
             "  id={:?} statements={:?} total_ms={:?} last_ms={:?}",
             row[0], row[2], row[4], row[5]
         );
+    }
+
+    // Structured tracing: force a trace, run a dop-4 parallel join, and
+    // pull the span tree back over the wire.
+    c.affected("SET parallelism = 4").unwrap();
+    // The demo table is small; force the parallel plan so the trace
+    // shows the worker/partition span tracks.
+    c.affected("SET parallel_min_rows = 0").unwrap();
+    c.affected("SET trace = on").unwrap();
+    let join_sql = "SELECT r.sensor, COUNT(*), SUM(s.v) FROM readings r, readings s \
+                    WHERE r.id = s.id GROUP BY r.sensor";
+    let _ = c.query(join_sql).unwrap();
+
+    let traces = c.query("SHOW TRACES").unwrap();
+    let trace_id = traces
+        .rows
+        .iter()
+        .rev()
+        .find(|r| r[3] == Value::Text(join_sql.into()))
+        .map(|r| match &r[0] {
+            Value::Text(id) => id.clone(),
+            other => panic!("{other:?}"),
+        })
+        .expect("join trace listed");
+
+    println!("\nSHOW TRACE {trace_id}:");
+    let tree = c.query(&format!("SHOW TRACE '{trace_id}'")).unwrap();
+    for row in &tree.rows {
+        if let Value::Text(line) = &row[0] {
+            println!("  {line}");
+        }
+    }
+
+    let json = c
+        .query(&format!("SHOW TRACE '{trace_id}' FORMAT json"))
+        .unwrap();
+    let Value::Text(body) = &json.rows[0][0] else {
+        panic!("FORMAT json should return one TEXT cell")
+    };
+    assert!(body.contains("\"traceEvents\":["));
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(path) = args
+        .iter()
+        .position(|a| a == "--emit-trace")
+        .and_then(|i| args.get(i + 1))
+    {
+        std::fs::write(path, body).expect("write trace body");
+        println!("\nwrote Chrome trace body to {path} (feed to scripts/trace_to_perfetto.py)");
     }
 
     c.close().unwrap();

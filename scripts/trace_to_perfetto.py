@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Turn a `SHOW TRACE <id> FORMAT json` body into a Perfetto-loadable file.
+
+The server already emits Chrome trace-event JSON (`ph:"X"` complete
+events, microsecond timebase), which Perfetto and chrome://tracing load
+directly — this script validates the body, optionally pretty-prints it,
+and writes it with the `.json` name Perfetto's open dialog expects.
+
+Usage:
+    # Body saved from the single `trace` column of SHOW TRACE ... FORMAT json
+    scripts/trace_to_perfetto.py trace_body.json -o trace.perfetto.json
+
+    # Or pipe it straight through
+    neurdb-cli "SHOW TRACE 5-3 FORMAT json" | scripts/trace_to_perfetto.py - -o out.json
+
+Exit status is non-zero when the body is not a well-formed Chrome trace
+(missing traceEvents, events without ts/dur, etc.), so CI can gate on it.
+"""
+
+import argparse
+import json
+import sys
+
+
+def validate(doc):
+    """Check the minimal Chrome trace-event contract Perfetto needs."""
+    if not isinstance(doc, dict):
+        raise ValueError("top level must be a JSON object")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        raise ValueError("traceEvents must be a non-empty array")
+    complete = 0
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            raise ValueError(f"event {i} is not an object")
+        ph = ev.get("ph")
+        if ph not in ("X", "M", "B", "E", "i"):
+            raise ValueError(f"event {i} has unsupported phase {ph!r}")
+        if ph == "X":
+            complete += 1
+            for field in ("name", "ts", "dur", "pid", "tid"):
+                if field not in ev:
+                    raise ValueError(f"complete event {i} missing {field!r}")
+            if ev["dur"] < 0 or ev["ts"] < 0:
+                raise ValueError(f"event {i} has negative ts/dur")
+    if complete == 0:
+        raise ValueError("no complete (ph=X) span events")
+    return complete
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("input", help="trace body file, or - for stdin")
+    ap.add_argument("-o", "--out", default="trace.perfetto.json",
+                    help="output path (default: trace.perfetto.json)")
+    ap.add_argument("--compact", action="store_true",
+                    help="write compact JSON instead of pretty-printed")
+    args = ap.parse_args()
+
+    raw = sys.stdin.read() if args.input == "-" else open(args.input).read()
+    # Tolerate a surrounding result-table render: find the JSON object.
+    start = raw.find("{")
+    if start < 0:
+        print("error: no JSON object in input", file=sys.stderr)
+        return 1
+    try:
+        doc = json.loads(raw[start:raw.rfind("}") + 1])
+        spans = validate(doc)
+    except ValueError as e:
+        print(f"error: not a Chrome trace: {e}", file=sys.stderr)
+        return 1
+
+    with open(args.out, "w") as f:
+        if args.compact:
+            json.dump(doc, f, separators=(",", ":"))
+        else:
+            json.dump(doc, f, indent=1)
+        f.write("\n")
+    meta = doc.get("otherData", {})
+    label = meta.get("trace_id", "?")
+    print(f"wrote {args.out}: trace {label}, {spans} spans "
+          f"(open at https://ui.perfetto.dev or chrome://tracing)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -903,3 +903,217 @@ fn ycsb_zipf_concurrent_txns_consult_learned_cc() {
     admin.close().unwrap();
     handle.shutdown();
 }
+
+// --------------------------- structured tracing ---------------------------
+
+/// The tentpole acceptance, over the wire: on a durable store with a
+/// deliberately tiny buffer pool, a dop-4 partition-wise join runs
+/// inside an open transaction with `SET trace = on`, and `SHOW TRACE`
+/// — issued while the transaction is still open — returns a single
+/// rooted tree with worker spans, buffer read spans, and (for the
+/// COMMIT's own trace) CC-validation and WAL append/fsync spans. The
+/// `FORMAT json` body is a complete Chrome trace for Perfetto.
+#[test]
+fn show_trace_round_trips_over_tcp_inside_open_txn() {
+    use neurdb_wal::DurableStoreOptions;
+
+    let _w = Watchdog::arm("show_trace_round_trips_over_tcp_inside_open_txn", 240);
+    let dir = tmpdir("trace");
+    let db = Arc::new(
+        Database::open_with(
+            &dir,
+            DurableStoreOptions {
+                frames: 8,
+                ..DurableStoreOptions::default()
+            },
+        )
+        .unwrap(),
+    );
+    let handle = Server::start(db, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut c = Client::connect(handle.local_addr()).unwrap();
+
+    c.affected("CREATE TABLE bf (id INT PRIMARY KEY, k INT, v INT)")
+        .unwrap();
+    c.affected("CREATE TABLE bd (did INT PRIMARY KEY, grp INT)")
+        .unwrap();
+    for base in 0..6 {
+        let mut stmt = String::from("INSERT INTO bf VALUES ");
+        for i in 0..1000 {
+            let id = base * 1000 + i;
+            if i > 0 {
+                stmt.push(',');
+            }
+            stmt.push_str(&format!("({id}, {}, {})", id % 3000, id % 13));
+        }
+        c.affected(&stmt).unwrap();
+    }
+    let mut stmt = String::from("INSERT INTO bd VALUES ");
+    for d in 0..3000 {
+        if d > 0 {
+            stmt.push(',');
+        }
+        stmt.push_str(&format!("({d}, {})", d % 11));
+    }
+    c.affected(&stmt).unwrap();
+
+    c.affected("SET parallelism = 4").unwrap();
+    c.affected("SET trace = on").unwrap();
+
+    let join_sql = "SELECT d.grp, COUNT(*), SUM(f.v) FROM bf f, bd d \
+                    WHERE f.k = d.did GROUP BY d.grp";
+    let plan = plan_text(&mut c, &format!("EXPLAIN {join_sql}"));
+    assert!(plan.contains("partition-wise"), "{plan}");
+
+    c.affected("BEGIN").unwrap();
+    // Joins nothing (no bf.k = 9000) — it exists to give COMMIT real
+    // write work so its trace shows the full validation/WAL pipeline.
+    c.affected("INSERT INTO bd VALUES (9000, 99)").unwrap();
+    assert_eq!(c.query(join_sql).unwrap().rows.len(), 11);
+
+    // Find the join statement's trace id from inside the transaction.
+    let traces = c.query("SHOW TRACES").unwrap();
+    assert_eq!(traces.columns, vec!["trace_id", "wall_ms", "spans", "sql"]);
+    let trace_id = |rows: &neurdb_server::protocol::RowSet, sql: &str| -> String {
+        rows.rows
+            .iter()
+            .rev()
+            .find(|r| r[3] == Value::Text(sql.into()))
+            .map(|r| match &r[0] {
+                Value::Text(id) => id.clone(),
+                other => panic!("trace_id should be TEXT, got {other:?}"),
+            })
+            .unwrap_or_else(|| panic!("no trace listed for {sql}"))
+    };
+    let join_id = trace_id(&traces, join_sql);
+
+    let tree = |c: &mut Client, id: &str| -> Vec<String> {
+        c.query(&format!("SHOW TRACE '{id}'"))
+            .unwrap()
+            .rows
+            .iter()
+            .map(|r| match &r[0] {
+                Value::Text(l) => l.clone(),
+                other => panic!("{other:?}"),
+            })
+            .collect()
+    };
+    let lines = tree(&mut c, &join_id);
+    assert!(
+        lines[0].starts_with(&format!("trace {join_id}  wall=")),
+        "{lines:?}"
+    );
+    // A single rooted tree: one unindented span line, everything else
+    // nested beneath it.
+    let roots: Vec<&String> = lines[2..].iter().filter(|l| !l.starts_with(' ')).collect();
+    assert_eq!(roots.len(), 1, "{lines:?}");
+    assert!(roots[0].starts_with("statement"), "{lines:?}");
+    let has = |needle: &str| lines.iter().any(|l| l.trim_start().starts_with(needle));
+    assert!(has("plan"), "plan span missing:\n{}", lines.join("\n"));
+    assert!(has("execute"), "{}", lines.join("\n"));
+    assert!(has("worker"), "worker spans missing:\n{}", lines.join("\n"));
+    assert!(
+        has("partition_join"),
+        "partition-wise join spans missing:\n{}",
+        lines.join("\n")
+    );
+    assert!(
+        has("buffer.read"),
+        "8-frame pool must miss during the join:\n{}",
+        lines.join("\n")
+    );
+
+    // COMMIT is traced as its own statement: the write pipeline's spans
+    // (CC validation, overlay apply, WAL append + fsync, durability
+    // wait) all appear in its tree.
+    c.affected("COMMIT").unwrap();
+    let traces = c.query("SHOW TRACES").unwrap();
+    let commit_id = trace_id(&traces, "COMMIT");
+    let lines = tree(&mut c, &commit_id);
+    let has = |needle: &str| lines.iter().any(|l| l.trim_start().starts_with(needle));
+    assert!(has("txn.cc_validate"), "{}", lines.join("\n"));
+    assert!(has("txn.overlay_apply"), "{}", lines.join("\n"));
+    assert!(has("wal.append"), "{}", lines.join("\n"));
+    assert!(has("wal.fsync"), "{}", lines.join("\n"));
+    assert!(has("txn.wait_durable"), "{}", lines.join("\n"));
+
+    // FORMAT json over the wire: one cell, a complete Chrome trace.
+    let json_rows = c
+        .query(&format!("SHOW TRACE '{join_id}' FORMAT json"))
+        .unwrap();
+    assert_eq!(json_rows.rows.len(), 1);
+    let Value::Text(json) = &json_rows.rows[0][0] else {
+        panic!("json body should be TEXT")
+    };
+    assert!(json.starts_with('{') && json.ends_with('}'));
+    assert!(json.contains("\"traceEvents\":["), "{json}");
+    assert!(json.contains("\"ph\":\"X\""), "{json}");
+    assert!(
+        json.contains(&format!("\"trace_id\":\"{join_id}\"")),
+        "{json}"
+    );
+    assert!(json.contains("\"name\":\"worker\""), "{json}");
+
+    // An unknown id errors cleanly over the wire too.
+    match c.execute("SHOW TRACE '404-404'") {
+        Err(ClientError::Sql(m)) => assert!(m.contains("no trace"), "{m}"),
+        other => panic!("expected Sql error, got {other:?}"),
+    }
+
+    c.close().unwrap();
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `SHOW METRICS LIKE` over the wire: substring and glob filters reach
+/// the same registry as the full listing, and the new `.max` histogram
+/// rows ride along.
+#[test]
+fn show_metrics_like_filters_over_tcp() {
+    let _w = Watchdog::arm("show_metrics_like_filters_over_tcp", 120);
+    let handle = start_volatile();
+    let mut c = Client::connect(handle.local_addr()).unwrap();
+    c.affected("CREATE TABLE t (a INT)").unwrap();
+    c.affected("INSERT INTO t VALUES (1), (2), (3)").unwrap();
+    assert_eq!(c.query("SELECT * FROM t").unwrap().rows.len(), 3);
+
+    let names = |rows: &neurdb_server::protocol::RowSet| -> Vec<String> {
+        rows.rows
+            .iter()
+            .map(|r| match &r[0] {
+                Value::Text(n) => n.clone(),
+                other => panic!("{other:?}"),
+            })
+            .collect()
+    };
+
+    let filtered = c.query("SHOW METRICS LIKE 'srv.stmt_ns.%'").unwrap();
+    let filtered = names(&filtered);
+    assert!(!filtered.is_empty());
+    assert!(
+        filtered.iter().all(|n| n.starts_with("srv.stmt_ns.")),
+        "{filtered:?}"
+    );
+    // The exact-max rows are part of every histogram's listing.
+    assert!(
+        filtered.iter().any(|n| n == "srv.stmt_ns.select.max"),
+        "{filtered:?}"
+    );
+    let max_row = c
+        .query("SHOW METRICS LIKE 'srv.stmt_ns.select.max'")
+        .unwrap();
+    match &max_row.rows[..] {
+        [row] => match &row[1] {
+            Value::Int(max) => assert!(*max > 0, "select ran, max must be set"),
+            other => panic!("max should be INT, got {other:?}"),
+        },
+        other => panic!("exact filter should match one row, got {other:?}"),
+    }
+
+    // Substring (no wildcard) matching is case-insensitive.
+    let sub = names(&c.query("SHOW METRICS LIKE 'FRAMES'").unwrap());
+    assert!(sub.iter().any(|n| n == "srv.frames_in"), "{sub:?}");
+    assert!(sub.iter().all(|n| n.contains("frames")), "{sub:?}");
+
+    c.close().unwrap();
+    handle.shutdown();
+}
